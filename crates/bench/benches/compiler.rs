@@ -1,0 +1,16 @@
+//! Criterion bench: xcc compile time across optimisation levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xcc::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::by_name("nettle-sha256").expect("workload");
+    let mut g = c.benchmark_group("compiler");
+    for level in OptLevel::ALL {
+        g.bench_function(level.flag(), |b| b.iter(|| w.compile(level).expect("compiles")));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

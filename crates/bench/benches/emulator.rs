@@ -1,0 +1,20 @@
+//! Criterion bench: reference-simulator throughput (the Spike substitute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riscv_emu::Emulator;
+use xcc::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::by_name("crc32").expect("crc32");
+    let image = w.compile(OptLevel::O2).expect("compiles");
+    c.bench_function("emulator_crc32_full_run", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new();
+            image.load(&mut emu);
+            emu.run(10_000_000).expect("runs").retired
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: gate-level execution throughput of a generated RISSP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwlib::HwLibrary;
+use rissp::{processor::GateLevelCpu, profile::InstructionSubset, Rissp};
+use xcc::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let lib = HwLibrary::build_full();
+    let w = workloads::by_name("crc32").expect("crc32");
+    let image = w.compile(OptLevel::O2).expect("compiles");
+    let subset = InstructionSubset::from_words(&image.words);
+    let rissp = Rissp::generate(&lib, &subset);
+    let mut g = c.benchmark_group("gate_sim");
+    g.sample_size(10);
+    g.bench_function("crc32_500_cycles", |b| {
+        b.iter(|| {
+            let mut cpu = GateLevelCpu::new(&rissp, 0);
+            cpu.load_words(0, &image.words);
+            for (base, words) in &image.data_segments {
+                cpu.load_words(*base, words);
+            }
+            let _ = cpu.run(500);
+            cpu.cycles()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

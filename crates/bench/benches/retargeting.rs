@@ -1,0 +1,24 @@
+//! Criterion bench: macro synthesis + verification throughput (Section 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retarget::{minimal_subset, Retargeter};
+use riscv_isa::asm;
+
+fn bench(c: &mut Criterion) {
+    let items = asm::parse(
+        "sub x7, x8, x9\nor x7, x8, x9\nxor x7, x8, x9\nslt x5, x8, x9\nhalt: jal x0, halt",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("retargeting");
+    g.sample_size(10);
+    g.bench_function("alu_block", |b| {
+        b.iter(|| {
+            let mut tool = Retargeter::new(minimal_subset(), 77);
+            tool.retarget(&items).expect("retargets")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

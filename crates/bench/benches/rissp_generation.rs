@@ -1,0 +1,24 @@
+//! Criterion bench: RISSP generation time (Steps 2–3 + synthesis), the
+//! methodology's per-design turnaround cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwlib::HwLibrary;
+use rissp::{profile::InstructionSubset, Rissp};
+
+fn bench(c: &mut Criterion) {
+    let lib = HwLibrary::build_full();
+    let small = InstructionSubset::from_names([
+        "addi", "andi", "bge", "blt", "jal", "jalr", "lui", "lw", "srli", "sw", "xor", "xori",
+    ]);
+    let mut g = c.benchmark_group("rissp_generation");
+    g.sample_size(10);
+    g.bench_function("xgboost_subset", |b| {
+        b.iter(|| Rissp::generate(&lib, &small))
+    });
+    g.bench_function("full_rv32e", |b| b.iter(|| Rissp::generate_full_isa(&lib)));
+    g.bench_function("library_build", |b| b.iter(HwLibrary::build_full));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

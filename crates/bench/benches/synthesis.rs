@@ -1,0 +1,25 @@
+//! Criterion bench: the netlist "synthesis" pass (sharing + sweep) and STA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexic::{sta, tech::Tech};
+use hwlib::HwLibrary;
+use netlist::opt::synthesize;
+use rissp::{processor::build_core, profile::InstructionSubset};
+
+fn bench(c: &mut Criterion) {
+    let lib = HwLibrary::build_full();
+    let subset = InstructionSubset::from_names(["add", "addi", "beq", "jal", "lw", "sw", "sll"]);
+    let unopt = build_core(&lib, &subset);
+    let (opt, _) = synthesize(&unopt);
+    let t = Tech::flexic_gen();
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(10);
+    g.bench_function("synthesize_core", |b| b.iter(|| synthesize(&unopt)));
+    g.bench_function("static_timing_analysis", |b| {
+        b.iter(|| sta::critical_path_ns(&opt, &t))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

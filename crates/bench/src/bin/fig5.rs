@@ -1,0 +1,74 @@
+//! Figure 5: code size (KiB) and distinct-instruction counts for all 25
+//! applications across `-O0/-O1/-O2/-O3/-Oz`, plus the §4.1 summary
+//! statistics (9–32 distinct instructions; 24–86 % of the ISA; average
+//! static instruction counts per flag).
+
+use bench::{distinct_of, header};
+use riscv_isa::ALL_MNEMONICS;
+use xcc::OptLevel;
+
+fn main() {
+    header("Figure 5 — instruction profiling across compiler optimisation flags");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}   {:>3} {:>3} {:>3} {:>3} {:>3}",
+        "app", "-O0(KiB)", "-O1", "-O2", "-O3", "-Oz", "d0", "d1", "d2", "d3", "dz"
+    );
+    let mut static_sums = [0usize; 5];
+    let mut distinct_min = usize::MAX;
+    let mut distinct_max = 0usize;
+    let mut distinct_sum = 0usize;
+    let mut distinct_n = 0usize;
+    let apps = workloads::all();
+    for w in &apps {
+        let mut sizes = Vec::new();
+        let mut distinct = Vec::new();
+        for (i, level) in OptLevel::ALL.iter().enumerate() {
+            let image = w.compile(*level).expect("compiles");
+            sizes.push(image.code_bytes() as f64 / 1024.0);
+            let d = distinct_of(&image.words).len();
+            distinct.push(d);
+            static_sums[i] += image.words.len();
+            distinct_min = distinct_min.min(d);
+            distinct_max = distinct_max.max(d);
+            distinct_sum += d;
+            distinct_n += 1;
+        }
+        println!(
+            "{:<16} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}   {:>3} {:>3} {:>3} {:>3} {:>3}",
+            w.name,
+            sizes[0],
+            sizes[1],
+            sizes[2],
+            sizes[3],
+            sizes[4],
+            distinct[0],
+            distinct[1],
+            distinct[2],
+            distinct[3],
+            distinct[4]
+        );
+    }
+    println!();
+    println!("summary (§4.1):");
+    println!(
+        "  distinct instructions: min {} / max {} / mean {:.1}  (paper: 9–32, mean ≈19)",
+        distinct_min,
+        distinct_max,
+        distinct_sum as f64 / distinct_n as f64
+    );
+    println!(
+        "  ISA coverage: {:.0}%–{:.0}% of {} instructions (paper: 24–86 %)",
+        100.0 * distinct_min as f64 / ALL_MNEMONICS.len() as f64,
+        100.0 * distinct_max as f64 / ALL_MNEMONICS.len() as f64,
+        ALL_MNEMONICS.len()
+    );
+    let n = apps.len();
+    println!(
+        "  average static instructions: O0 {} / O1 {} / O2 {} / O3 {} / Oz {}  (paper: 2027/1149/1207/1586/1018)",
+        static_sums[0] / n,
+        static_sums[1] / n,
+        static_sums[2] / n,
+        static_sums[3] / n,
+        static_sums[4] / n
+    );
+}

@@ -1,0 +1,35 @@
+//! Table 2: the instruction hardware blocks per format — their interfaces
+//! and per-block gate complexity from the pre-verified library.
+
+use bench::header;
+use hwlib::{ports, HwLibrary};
+use netlist::stats::GateCounts;
+use riscv_isa::{Format, ALL_MNEMONICS};
+
+fn main() {
+    header("Table 2 — instruction hardware blocks of the RV32I/E library");
+    println!("standard interface:");
+    println!(
+        "  inputs : {}",
+        ports::INPUTS.map(|(n, w)| format!("{n}[{w}]")).join(" ")
+    );
+    println!(
+        "  outputs: {}",
+        ports::OUTPUTS.map(|(n, w)| format!("{n}[{w}]")).join(" ")
+    );
+    println!();
+    let lib = HwLibrary::build_full();
+    for fmt in [Format::B, Format::R, Format::I, Format::S, Format::U, Format::J] {
+        let members: Vec<_> = ALL_MNEMONICS.iter().filter(|m| m.format() == fmt).collect();
+        println!("{fmt:?}-type ({} blocks):", members.len());
+        for m in members {
+            let counts = GateCounts::of(&lib.block(*m).netlist);
+            println!(
+                "  {:<6} {:>6.0} NAND2eq  ({} logic gates)",
+                m.name(),
+                counts.nand2_equivalent(),
+                counts.logic_gates()
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Table 3: the list of distinct instructions per application when compiled
+//! with `-O2`.
+
+use bench::{distinct_of, header};
+use xcc::OptLevel;
+
+fn main() {
+    header("Table 3 — distinct instructions per application at -O2");
+    for w in workloads::all() {
+        let image = w.compile(OptLevel::O2).expect("compiles");
+        let subset = distinct_of(&image.words);
+        println!("{:<16} ({:>2}) [{}]", w.name, subset.len(), subset.names().join(", "));
+    }
+}

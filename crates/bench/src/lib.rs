@@ -1,0 +1,108 @@
+//! Shared harness for regenerating every table and figure of the paper.
+//!
+//! Each `src/bin/figN.rs` / `src/bin/tableN.rs` binary prints the rows of
+//! the corresponding exhibit; this library holds the common pipeline:
+//! compile workload → extract subset → generate RISSP → measure activity on
+//! the gate-level core → run the FlexIC flow.  See `EXPERIMENTS.md` at the
+//! repository root for paper-vs-measured values.
+
+use flexic::tech::Tech;
+use flexic::DesignMetrics;
+use hwlib::HwLibrary;
+use netlist::stats::GateCounts;
+use rissp::processor::GateLevelCpu;
+use rissp::profile::InstructionSubset;
+use rissp::Rissp;
+use serv_model::{serv_gate_counts, ServTiming, SERV_ACTIVITY, SERV_CRITICAL_PATH_NS};
+use workloads::Workload;
+use xcc::OptLevel;
+
+/// Gate-level simulation window used for switching-activity measurement.
+pub const ACTIVITY_CYCLES: u64 = 1500;
+
+/// A fully characterised design: the RISSP plus its FlexIC metrics.
+pub struct CharacterisedDesign {
+    /// `RISSP-<app>` or a baseline name.
+    pub name: String,
+    /// Number of distinct instructions supported.
+    pub distinct: usize,
+    /// The analysis-ready metrics.
+    pub metrics: DesignMetrics,
+}
+
+/// Builds the RISSP for one workload (compiled at `-O2`, as §4.2 fixes) and
+/// measures its switching activity by running the actual application
+/// through the gates for [`ACTIVITY_CYCLES`] cycles.
+pub fn characterise_workload(lib: &HwLibrary, w: &Workload, t: &Tech) -> CharacterisedDesign {
+    let image = w.compile(OptLevel::O2).expect("workload compiles");
+    let subset = InstructionSubset::from_words(&image.words);
+    let rissp = Rissp::generate(lib, &subset);
+    let mut cpu = GateLevelCpu::new(&rissp, 0);
+    cpu.load_words(0, &image.words);
+    for (base, words) in &image.data_segments {
+        cpu.load_words(*base, words);
+    }
+    let _ = cpu.run(ACTIVITY_CYCLES);
+    let activity = cpu.sim().average_activity();
+    CharacterisedDesign {
+        name: format!("RISSP-{}", w.name),
+        distinct: subset.len(),
+        metrics: DesignMetrics::of_netlist(format!("RISSP-{}", w.name), &rissp.core, t, activity),
+    }
+}
+
+/// Builds the `RISSP-RV32E` full-ISA baseline, exercised with a generic
+/// mixed workload for activity.
+pub fn characterise_rv32e(lib: &HwLibrary, t: &Tech) -> CharacterisedDesign {
+    let rissp = Rissp::generate_full_isa(lib);
+    // Activity from a representative workload (crc32 exercises the core).
+    let w = workloads::by_name("crc32").expect("crc32 exists");
+    let image = w.compile(OptLevel::O2).expect("compiles");
+    let mut cpu = GateLevelCpu::new(&rissp, 0);
+    cpu.load_words(0, &image.words);
+    for (base, words) in &image.data_segments {
+        cpu.load_words(*base, words);
+    }
+    let _ = cpu.run(ACTIVITY_CYCLES);
+    let activity = cpu.sim().average_activity();
+    CharacterisedDesign {
+        name: "RISSP-RV32E".into(),
+        distinct: riscv_isa::ALL_MNEMONICS.len(),
+        metrics: DesignMetrics::of_netlist("RISSP-RV32E", &rissp.core, t, activity),
+    }
+}
+
+/// Builds the Serv baseline's metrics; its CPI is measured by running the
+/// given workload through the bit-serial cycle model.
+pub fn characterise_serv(cpi_workload: &Workload) -> CharacterisedDesign {
+    let image = cpi_workload.compile(OptLevel::O2).expect("compiles");
+    let cpi = ServTiming.measure_cpi(&image.words, &image.data_segments);
+    CharacterisedDesign {
+        name: "Serv".into(),
+        distinct: riscv_isa::ALL_MNEMONICS.len(),
+        metrics: DesignMetrics {
+            name: "Serv".into(),
+            counts: serv_gate_counts(),
+            critical_path_ns: SERV_CRITICAL_PATH_NS,
+            activity: SERV_ACTIVITY,
+            cpi,
+        },
+    }
+}
+
+/// Counts the distinct instructions of a compiled image.
+pub fn distinct_of(words: &[u32]) -> InstructionSubset {
+    InstructionSubset::from_words(words)
+}
+
+/// Gate counts of a RISSP core.
+pub fn counts_of(rissp: &Rissp) -> GateCounts {
+    GateCounts::of(&rissp.core)
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}

@@ -1,0 +1,371 @@
+//! RISSP construction (Step 3) and gate-level execution.
+//!
+//! [`build_core`] stitches ModularEX with the fixed fetch unit (the 32-bit
+//! PC register) exactly as Figure 3 shows.  The register file and the
+//! instruction/data memories are the pre-verified fixed units outside the
+//! synthesised netlist — the paper synthesises each RISSP *without* the RF
+//! "to better understand the effects of the instruction subsets in the
+//! hardware" (§4.2) — and [`GateLevelCpu`] attaches behavioural models of
+//! them to execute real programs through the gates.
+
+use hwlib::{ports, HwLibrary};
+use netlist::sim::Sim;
+use netlist::{Builder, NetId, Netlist};
+use riscv_emu::{RvfiRecord, RvfiTrace, SparseMemory};
+use riscv_isa::semantics::Memory as _;
+use std::collections::HashMap;
+
+use crate::modularex::build_modularex;
+use crate::profile::InstructionSubset;
+
+/// Builds the complete core netlist: ModularEX plus the fetch unit.
+///
+/// Interface:
+/// * inputs — `insn`, `rs1_data`, `rs2_data`, `dmem_rdata`;
+/// * outputs — `pc` (from the PC flip-flops) plus every ModularEX output
+///   (`next_pc`, register addresses, write-back, memory command, `valid`).
+///
+/// # Panics
+///
+/// Panics if `subset` is empty.
+pub fn build_core(library: &HwLibrary, subset: &InstructionSubset) -> Netlist {
+    let mex = build_modularex(library, subset);
+    let mut b = Builder::new();
+    let insn = b.input_bus(ports::INSN, 32);
+    let rs1_data = b.input_bus(ports::RS1_DATA, 32);
+    let rs2_data = b.input_bus(ports::RS2_DATA, 32);
+    let dmem_rdata = b.input_bus(ports::DMEM_RDATA, 32);
+
+    // Fetch unit: the PC register (reset vector 0).
+    let pc: Vec<NetId> = (0..32).map(|_| b.dff(false)).collect();
+
+    let mut bindings: HashMap<&str, Vec<NetId>> = HashMap::new();
+    bindings.insert(ports::PC, pc.clone());
+    bindings.insert(ports::INSN, insn);
+    bindings.insert(ports::RS1_DATA, rs1_data);
+    bindings.insert(ports::RS2_DATA, rs2_data);
+    bindings.insert(ports::DMEM_RDATA, dmem_rdata);
+    let outs = build_modularex_into(&mut b, &mex, &bindings);
+
+    // next_pc feeds the PC register.
+    let next_pc = outs
+        .iter()
+        .find(|(name, _)| name == ports::NEXT_PC)
+        .map(|(_, nets)| nets.clone())
+        .expect("ModularEX exposes next_pc");
+    for (ff, d) in pc.iter().zip(&next_pc) {
+        b.connect_dff(*ff, *d);
+    }
+
+    b.output_bus("pc", &pc);
+    for (name, nets) in &outs {
+        b.output_bus(name, nets);
+    }
+    b.finish()
+}
+
+fn build_modularex_into(
+    b: &mut Builder,
+    mex: &Netlist,
+    bindings: &HashMap<&str, Vec<NetId>>,
+) -> Vec<(String, Vec<NetId>)> {
+    b.import(mex, bindings)
+}
+
+/// An execution fault at gate level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The fetched instruction is not in the core's subset (`valid` was 0).
+    Unsupported {
+        /// PC of the faulting fetch.
+        pc: u32,
+        /// The raw instruction word.
+        insn: u32,
+    },
+    /// The step budget expired before the program halted.
+    StepLimit {
+        /// Cycles executed.
+        cycles: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Unsupported { pc, insn } => {
+                write!(f, "unsupported instruction {insn:#010x} at pc={pc:#010x}")
+            }
+            ExecError::StepLimit { cycles } => write!(f, "step limit after {cycles} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Gate-level single-cycle CPU: the synthesised core netlist driven cycle by
+/// cycle, with behavioural register file and unified memory attached.
+#[derive(Debug, Clone)]
+pub struct GateLevelCpu {
+    sim: Sim,
+    rf: [u32; riscv_isa::REG_COUNT],
+    mem: SparseMemory,
+    cycles: u64,
+    trace: Option<RvfiTrace>,
+}
+
+impl GateLevelCpu {
+    /// Creates a CPU over `rissp`'s core with the PC forced to `entry`.
+    pub fn new(rissp: &crate::Rissp, entry: u32) -> GateLevelCpu {
+        let mut sim = Sim::new(&rissp.core);
+        let pc_port = rissp.core.output("pc").expect("core exposes pc").nets.clone();
+        for (i, net) in pc_port.iter().enumerate() {
+            sim.set_ff(*net, (entry >> i) & 1 == 1);
+        }
+        GateLevelCpu {
+            sim,
+            rf: [0; riscv_isa::REG_COUNT],
+            mem: SparseMemory::new(),
+            cycles: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables RVFI trace capture.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(RvfiTrace::default());
+    }
+
+    /// Takes the captured RVFI trace, leaving capture enabled.
+    pub fn take_trace(&mut self) -> RvfiTrace {
+        self.trace.replace(RvfiTrace::default()).unwrap_or_default()
+    }
+
+    /// Copies a binary image into unified memory.
+    pub fn load_words(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.mem.store_word(base + (i as u32) * 4, w);
+        }
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, index: usize) -> u32 {
+        self.rf[index]
+    }
+
+    /// Writes an architectural register (x0 writes are ignored).
+    pub fn set_reg(&mut self, index: usize, value: u32) {
+        if index != 0 {
+            self.rf[index] = value;
+        }
+    }
+
+    /// The unified instruction/data memory.
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the unified memory.
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// Cycles executed (equals retired instructions: the core is
+    /// single-cycle, CPI = 1).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The gate-level simulator (for activity/power extraction).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The current PC (settles the netlist to read the flops).
+    pub fn pc(&mut self) -> u32 {
+        self.sim.eval();
+        self.sim.get_bus("pc")
+    }
+
+    /// Executes one cycle through the gates.
+    ///
+    /// Returns `Ok(true)` when the instruction jumped to itself (the halt
+    /// convention).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unsupported`] when the fetched word is outside the
+    /// subset (the core's `valid` output is low).
+    pub fn step(&mut self) -> Result<bool, ExecError> {
+        // Phase 0: settle to read the PC flops.
+        self.sim.eval();
+        let pc = self.sim.get_bus("pc");
+        // Phase 1: instruction fetch (combinational IMEM read).
+        let insn = self.mem.load_word(pc);
+        self.sim.set_bus(ports::INSN, insn);
+        self.sim.eval();
+        // Phase 2: register file read (combinational RF read).
+        let rs1_addr = self.sim.get_bus(ports::RS1_ADDR) as usize;
+        let rs2_addr = self.sim.get_bus(ports::RS2_ADDR) as usize;
+        let rs1_data = self.rf[rs1_addr];
+        let rs2_data = self.rf[rs2_addr];
+        self.sim.set_bus(ports::RS1_DATA, rs1_data);
+        self.sim.set_bus(ports::RS2_DATA, rs2_data);
+        self.sim.eval();
+        // Phase 3: data memory read (combinational DMEM read).
+        let dmem_re = self.sim.get_bus(ports::DMEM_RE) != 0;
+        let dmem_addr = self.sim.get_bus(ports::DMEM_ADDR);
+        let rdata = if dmem_re { self.mem.load_word(dmem_addr) } else { 0 };
+        self.sim.set_bus(ports::DMEM_RDATA, rdata);
+        self.sim.eval();
+
+        if self.sim.get_bus("valid") == 0 {
+            return Err(ExecError::Unsupported { pc, insn });
+        }
+
+        // Commit: memory write, register write-back, PC update.
+        let wmask = self.sim.get_bus(ports::DMEM_WMASK) as u8;
+        let wdata = self.sim.get_bus(ports::DMEM_WDATA);
+        let addr = self.sim.get_bus(ports::DMEM_ADDR);
+        if wmask != 0 {
+            self.mem.write_word(addr, wdata, wmask);
+        }
+        let rd_we = self.sim.get_bus(ports::RD_WE) != 0;
+        let rd_addr = self.sim.get_bus(ports::RD_ADDR) as usize;
+        let rd_data = self.sim.get_bus(ports::RD_DATA);
+        if rd_we {
+            self.set_reg(rd_addr, rd_data);
+        }
+        let next_pc = self.sim.get_bus(ports::NEXT_PC);
+        if let Some(trace) = &mut self.trace {
+            trace.push(RvfiRecord {
+                pc,
+                insn,
+                rs1_addr: rs1_addr as u8,
+                rs2_addr: rs2_addr as u8,
+                rs1_data,
+                rs2_data,
+                rd_addr: rd_addr as u8,
+                rd_wdata: rd_data,
+                rd_we,
+                next_pc,
+                mem_addr: addr,
+                mem_rdata: rdata,
+                mem_wdata: wdata,
+                mem_wmask: wmask,
+            });
+        }
+        self.sim.step();
+        self.cycles += 1;
+        Ok(next_pc == pc)
+    }
+
+    /// Runs until halt (self-loop) or the cycle budget expires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError::Unsupported`]; returns
+    /// [`ExecError::StepLimit`] if the budget expires.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, ExecError> {
+        for _ in 0..max_cycles {
+            if self.step()? {
+                return Ok(self.cycles);
+            }
+        }
+        Err(ExecError::StepLimit { cycles: self.cycles })
+    }
+
+    /// Reads the RISCOF-style signature region `[begin, end)`.
+    pub fn signature(&self, begin: u32, end: u32) -> Vec<u32> {
+        (begin..end).step_by(4).map(|a| self.mem.load_word(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rissp;
+    use riscv_isa::asm;
+
+    fn cpu_for(program: &str) -> (GateLevelCpu, Vec<u32>) {
+        let words = asm::assemble(&asm::parse(program).unwrap(), 0).unwrap();
+        let subset = InstructionSubset::from_words(&words);
+        let lib = HwLibrary::build_full();
+        let rissp = Rissp::generate(&lib, &subset);
+        let mut cpu = GateLevelCpu::new(&rissp, 0);
+        cpu.load_words(0, &words);
+        (cpu, words)
+    }
+
+    #[test]
+    fn gate_level_arithmetic_program() {
+        let (mut cpu, _) = cpu_for(
+            "
+            addi a0, zero, 10
+            addi a1, zero, 3
+            sub  a2, a0, a1
+            xor  a3, a0, a1
+            halt: jal x0, halt
+            ",
+        );
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(12), 7);
+        assert_eq!(cpu.reg(13), 9);
+        assert_eq!(cpu.cycles(), 5); // 4 instructions + the halting jal
+    }
+
+    #[test]
+    fn gate_level_memory_and_branches() {
+        let (mut cpu, _) = cpu_for(
+            "
+            addi a0, zero, 5     # n
+            addi a1, zero, 0     # sum
+            loop:
+            beq  a0, zero, done
+            add  a1, a1, a0
+            addi a0, a0, -1
+            jal  x0, loop
+            done:
+            sw   a1, 0x100(zero)
+            halt: jal x0, halt
+            ",
+        );
+        cpu.run(1000).unwrap();
+        assert_eq!(cpu.reg(11), 15);
+        assert_eq!(cpu.memory().load_word(0x100), 15);
+    }
+
+    #[test]
+    fn unsupported_instruction_faults() {
+        let lib = HwLibrary::build_full();
+        let subset: InstructionSubset =
+            [riscv_isa::Mnemonic::Addi, riscv_isa::Mnemonic::Jal].into_iter().collect();
+        let rissp = Rissp::generate(&lib, &subset);
+        let mut cpu = GateLevelCpu::new(&rissp, 0);
+        // `xor` is not in the subset.
+        let words = asm::assemble(
+            &asm::parse("addi a0, zero, 1\nxor a0, a0, a0\nhalt: jal x0, halt").unwrap(),
+            0,
+        )
+        .unwrap();
+        cpu.load_words(0, &words);
+        let err = cpu.run(10).unwrap_err();
+        assert!(matches!(err, ExecError::Unsupported { pc: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn entry_point_is_respected() {
+        let words = asm::assemble(
+            &asm::parse("addi a0, zero, 9\nhalt: jal x0, halt").unwrap(),
+            0x200,
+        )
+        .unwrap();
+        let subset = InstructionSubset::from_words(&words);
+        let lib = HwLibrary::build_full();
+        let rissp = Rissp::generate(&lib, &subset);
+        let mut cpu = GateLevelCpu::new(&rissp, 0x200);
+        cpu.load_words(0x200, &words);
+        assert_eq!(cpu.pc(), 0x200);
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(10), 9);
+    }
+}

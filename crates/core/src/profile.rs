@@ -1,0 +1,200 @@
+//! Application characterisation: instruction-subset extraction (Step 1).
+//!
+//! The paper compiles an application to RV32E and analyses the binary to
+//! identify the distinct instructions it uses (§4.1, Figure 5, Table 3).
+//! [`InstructionSubset`] is that set, and [`StaticProfile`] carries the
+//! code-size statistics the figure plots alongside it.
+
+use riscv_isa::{Instruction, Mnemonic, ALL_MNEMONICS};
+use std::collections::BTreeSet;
+
+/// A set of distinct RV32E instructions — the domain-specific instruction
+/// set a RISSP is generated for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstructionSubset {
+    set: BTreeSet<Mnemonic>,
+}
+
+impl InstructionSubset {
+    /// The empty subset.
+    pub fn new() -> InstructionSubset {
+        InstructionSubset::default()
+    }
+
+    /// The full RV32E base ISA (the `RISSP-RV32E` baseline).
+    pub fn full_isa() -> InstructionSubset {
+        ALL_MNEMONICS.iter().copied().collect()
+    }
+
+    /// Extracts the subset used by a binary image, ignoring words that do
+    /// not decode (data).
+    pub fn from_words(words: &[u32]) -> InstructionSubset {
+        words
+            .iter()
+            .filter_map(|&w| Instruction::decode(w).ok())
+            .map(|i| i.mnemonic)
+            .collect()
+    }
+
+    /// Builds a subset from mnemonic names (as printed in Table 3).
+    ///
+    /// Unknown names are ignored.
+    pub fn from_names<'a>(names: impl IntoIterator<Item = &'a str>) -> InstructionSubset {
+        names.into_iter().filter_map(Mnemonic::from_name).collect()
+    }
+
+    /// Inserts a mnemonic; returns `true` if it was not already present.
+    pub fn insert(&mut self, m: Mnemonic) -> bool {
+        self.set.insert(m)
+    }
+
+    /// True when the subset supports `m`.
+    pub fn contains(&self, m: Mnemonic) -> bool {
+        self.set.contains(&m)
+    }
+
+    /// Number of distinct instructions.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True for the empty subset.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates in deterministic (enum) order.
+    pub fn iter(&self) -> impl Iterator<Item = Mnemonic> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Union with another subset (for domain-level RISSPs covering several
+    /// applications).
+    pub fn union(&self, other: &InstructionSubset) -> InstructionSubset {
+        self.set.union(&other.set).copied().collect()
+    }
+
+    /// Fraction of the full RV32E ISA used, in `[0, 1]` (the paper's
+    /// "applications use only 24–86 % of the full ISA").
+    pub fn isa_coverage(&self) -> f64 {
+        self.len() as f64 / ALL_MNEMONICS.len() as f64
+    }
+
+    /// The mnemonic names, sorted alphabetically as Table 3 prints them.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self.set.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl FromIterator<Mnemonic> for InstructionSubset {
+    fn from_iter<T: IntoIterator<Item = Mnemonic>>(iter: T) -> Self {
+        InstructionSubset { set: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Mnemonic> for InstructionSubset {
+    fn extend<T: IntoIterator<Item = Mnemonic>>(&mut self, iter: T) {
+        self.set.extend(iter);
+    }
+}
+
+impl std::fmt::Display for InstructionSubset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}]", self.names().join(", "))
+    }
+}
+
+/// Static profile of a compiled binary (one point of Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticProfile {
+    /// Distinct instructions used.
+    pub subset: InstructionSubset,
+    /// Total static instruction count.
+    pub static_instructions: usize,
+    /// Code size in bytes (4 × static instructions + literal data words).
+    pub code_bytes: usize,
+}
+
+impl StaticProfile {
+    /// Profiles a binary image.
+    pub fn of_words(words: &[u32]) -> StaticProfile {
+        let static_instructions =
+            words.iter().filter(|&&w| Instruction::decode(w).is_ok()).count();
+        StaticProfile {
+            subset: InstructionSubset::from_words(words),
+            static_instructions,
+            code_bytes: words.len() * 4,
+        }
+    }
+
+    /// Code size in KiB as Figure 5 plots it.
+    pub fn code_kbytes(&self) -> f64 {
+        self.code_bytes as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::asm;
+
+    #[test]
+    fn subset_extraction_ignores_data_words() {
+        let words = asm::assemble(
+            &asm::parse("addi a0, zero, 1\nsw a0, 0(sp)\n.word 0xffffffff").unwrap(),
+            0,
+        )
+        .unwrap();
+        let subset = InstructionSubset::from_words(&words);
+        assert_eq!(subset.len(), 2);
+        assert!(subset.contains(Mnemonic::Addi));
+        assert!(subset.contains(Mnemonic::Sw));
+    }
+
+    #[test]
+    fn full_isa_covers_everything() {
+        let full = InstructionSubset::full_isa();
+        assert_eq!(full.len(), ALL_MNEMONICS.len());
+        assert!((full.isa_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_round_trip_table3_style() {
+        let subset = InstructionSubset::from_names([
+            "addi", "andi", "bge", "blt", "jal", "jalr", "lui", "lw", "srli", "sw", "xor", "xori",
+        ]);
+        assert_eq!(subset.len(), 12); // the paper's xgboost subset
+        assert_eq!(
+            subset.names(),
+            vec!["addi", "andi", "bge", "blt", "jal", "jalr", "lui", "lw", "srli", "sw", "xor", "xori"]
+        );
+    }
+
+    #[test]
+    fn union_merges_domains() {
+        let a = InstructionSubset::from_names(["add", "sub"]);
+        let b = InstructionSubset::from_names(["sub", "xor"]);
+        assert_eq!(a.union(&b).len(), 3);
+    }
+
+    #[test]
+    fn static_profile_counts_bytes() {
+        let words = asm::assemble(
+            &asm::parse("addi a0, zero, 1\naddi a0, a0, 1\n.word 7").unwrap(),
+            0,
+        )
+        .unwrap();
+        let p = StaticProfile::of_words(&words);
+        assert_eq!(p.static_instructions, 2);
+        assert_eq!(p.code_bytes, 12);
+        assert!((p.code_kbytes() - 12.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let subset = InstructionSubset::from_names(["add", "xor"]);
+        assert_eq!(subset.to_string(), "[add, xor]");
+    }
+}

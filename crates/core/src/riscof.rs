@@ -1,0 +1,145 @@
+//! RISCOF-style architectural compatibility testing (§3.4.2).
+//!
+//! The paper checks every generated RISSP with the RISCOF framework: the
+//! core runs a test program, writes a signature to memory, and the
+//! signature is compared against one produced by a reference simulator
+//! (Spike).  Here the RISSP executes at gate level and the reference is the
+//! [`riscv_emu::Emulator`].
+
+use riscv_emu::Emulator;
+
+use crate::processor::{ExecError, GateLevelCpu};
+use crate::Rissp;
+
+/// Outcome of one RISCOF comparison run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RiscofReport {
+    /// Cycles the gate-level core took (CPI = 1, so also instructions).
+    pub dut_cycles: u64,
+    /// Instructions the reference simulator retired.
+    pub ref_instructions: u64,
+    /// The (identical) signature both produced.
+    pub signature: Vec<u32>,
+}
+
+/// A RISCOF failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RiscofError {
+    /// The gate-level run faulted.
+    Dut(ExecError),
+    /// The reference simulator faulted.
+    Reference(String),
+    /// Both ran, but the signatures differ at word index `index`.
+    SignatureMismatch {
+        /// First differing signature word.
+        index: usize,
+        /// DUT's word at that index.
+        dut: u32,
+        /// Reference's word at that index.
+        reference: u32,
+    },
+}
+
+impl std::fmt::Display for RiscofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RiscofError::Dut(e) => write!(f, "gate-level DUT fault: {e}"),
+            RiscofError::Reference(e) => write!(f, "reference simulator fault: {e}"),
+            RiscofError::SignatureMismatch { index, dut, reference } => write!(
+                f,
+                "signature mismatch at word {index}: dut={dut:#010x} ref={reference:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RiscofError {}
+
+/// Runs `program` on the gate-level RISSP and on the reference simulator,
+/// then compares the memory signatures in `[sig_begin, sig_end)`.
+///
+/// # Errors
+///
+/// Returns [`RiscofError`] on any fault or on signature mismatch.
+pub fn run_compliance(
+    rissp: &Rissp,
+    program: &[u32],
+    base: u32,
+    sig_begin: u32,
+    sig_end: u32,
+    max_steps: u64,
+) -> Result<RiscofReport, RiscofError> {
+    let mut dut = GateLevelCpu::new(rissp, base);
+    dut.load_words(base, program);
+    let dut_cycles = dut.run(max_steps).map_err(RiscofError::Dut)?;
+
+    let mut reference = Emulator::with_entry(base);
+    reference.load_words(base, program);
+    let run = reference
+        .run(max_steps)
+        .map_err(|e| RiscofError::Reference(e.to_string()))?;
+
+    let dut_sig = dut.signature(sig_begin, sig_end);
+    let ref_sig = reference.signature(sig_begin, sig_end);
+    for (index, (d, r)) in dut_sig.iter().zip(&ref_sig).enumerate() {
+        if d != r {
+            return Err(RiscofError::SignatureMismatch { index, dut: *d, reference: *r });
+        }
+    }
+    Ok(RiscofReport { dut_cycles, ref_instructions: run.retired, signature: dut_sig })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::InstructionSubset;
+    use hwlib::HwLibrary;
+    use riscv_isa::asm;
+
+    #[test]
+    fn compliance_passes_for_store_heavy_program() {
+        let program = asm::assemble(
+            &asm::parse(
+                "
+                lui  a5, 0x1          # signature base 0x1000
+                addi a0, zero, 1
+                addi a1, zero, 0
+                loop:
+                add  a1, a1, a0
+                addi a0, a0, 1
+                slli a2, a0, 2
+                sw   a1, 0(a5)
+                addi a5, a5, 4
+                sltiu a3, a0, 10
+                bne  a3, zero, loop
+                halt: jal x0, halt
+                ",
+            )
+            .unwrap(),
+            0,
+        )
+        .unwrap();
+        let lib = HwLibrary::build_full();
+        let subset = InstructionSubset::from_words(&program);
+        let rissp = crate::Rissp::generate(&lib, &subset);
+        let report = run_compliance(&rissp, &program, 0, 0x1000, 0x1000 + 9 * 4, 10_000).unwrap();
+        assert_eq!(report.dut_cycles as u64 - 1, report.ref_instructions);
+        assert_eq!(report.signature[0], 1);
+        assert_eq!(report.signature[8], 45);
+    }
+
+    #[test]
+    fn mismatch_is_detected_for_wrong_subset_execution() {
+        // Run a program on a core missing one of its instructions: DUT fault.
+        let program = asm::assemble(
+            &asm::parse("addi a0, zero, 3\nxor a0, a0, a0\nhalt: jal x0, halt").unwrap(),
+            0,
+        )
+        .unwrap();
+        let lib = HwLibrary::build_full();
+        let subset = InstructionSubset::from_names(["addi", "jal"]);
+        let rissp = crate::Rissp::generate(&lib, &subset);
+        let err = run_compliance(&rissp, &program, 0, 0x1000, 0x1004, 100).unwrap_err();
+        assert!(matches!(err, RiscofError::Dut(_)), "{err}");
+    }
+}

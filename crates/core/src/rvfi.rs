@@ -1,0 +1,291 @@
+//! riscv-formal-style RVFI checking of the integrated RISSP (§3.4.2).
+//!
+//! The gate-level core implements the RISC-V Formal Interface: every retired
+//! instruction exposes PC, register traffic and memory traffic.  The checks
+//! here mirror riscv-formal's instruction/register/PC checkers, bounded to a
+//! trace prefix (the paper verifies "up to a specific depth"):
+//!
+//! * **insn check** — each retirement matches the golden instruction
+//!   semantics evaluated on the observed operands;
+//! * **reg check** — read ports return the last written value (checked by
+//!   replaying the trace through a shadow register file);
+//! * **PC check** — `next_pc` of retirement *n* equals `pc` of *n+1*.
+
+use riscv_emu::{RvfiRecord, RvfiTrace};
+use riscv_isa::semantics::{block_semantics, BlockInputs};
+use riscv_isa::{Instruction, REG_COUNT};
+
+use crate::processor::{ExecError, GateLevelCpu};
+use crate::Rissp;
+
+/// An RVFI property violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RvfiViolation {
+    /// Index of the retirement in the trace.
+    pub index: usize,
+    /// Which property failed.
+    pub property: String,
+}
+
+impl std::fmt::Display for RvfiViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RVFI violation at retirement {}: {}", self.index, self.property)
+    }
+}
+
+impl std::error::Error for RvfiViolation {}
+
+/// Checks an RVFI trace against the riscv-formal properties.
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn check_trace(trace: &RvfiTrace) -> Result<(), RvfiViolation> {
+    let mut shadow_rf = [0u32; REG_COUNT];
+    for (index, rec) in trace.records().iter().enumerate() {
+        // PC chaining.
+        if index + 1 < trace.len() {
+            let next = &trace.records()[index + 1];
+            if rec.next_pc != next.pc {
+                return Err(RvfiViolation {
+                    index,
+                    property: format!(
+                        "pc chain broken: next_pc={:#x} but following pc={:#x}",
+                        rec.next_pc, next.pc
+                    ),
+                });
+            }
+        }
+        // Register read consistency against the shadow RF.
+        check_read(index, rec, &shadow_rf, rec.rs1_addr, rec.rs1_data, "rs1")?;
+        check_read(index, rec, &shadow_rf, rec.rs2_addr, rec.rs2_data, "rs2")?;
+        // Instruction semantics.
+        let instr = Instruction::decode(rec.insn).map_err(|e| RvfiViolation {
+            index,
+            property: format!("retired word does not decode: {e}"),
+        })?;
+        let golden = block_semantics(
+            instr,
+            &BlockInputs {
+                pc: rec.pc,
+                insn: rec.insn,
+                rs1_data: rec.rs1_data,
+                rs2_data: rec.rs2_data,
+                dmem_rdata: rec.mem_rdata,
+            },
+        );
+        let observed = (
+            rec.next_pc,
+            rec.rd_we,
+            rec.rd_we.then_some((rec.rd_addr, rec.rd_wdata)),
+            rec.mem_wmask,
+            (rec.mem_wmask != 0).then_some((rec.mem_addr, rec.mem_wdata)),
+        );
+        let expected = (
+            golden.next_pc,
+            golden.rd_we,
+            golden.rd_we.then_some((golden.rd_addr, golden.rd_data)),
+            golden.dmem_wmask,
+            (golden.dmem_wmask != 0).then_some((golden.dmem_addr, golden.dmem_wdata)),
+        );
+        if observed != expected {
+            return Err(RvfiViolation {
+                index,
+                property: format!(
+                    "insn `{instr}` retired {observed:x?}, specification says {expected:x?}"
+                ),
+            });
+        }
+        if rec.rd_we {
+            if rec.rd_addr as usize >= REG_COUNT {
+                return Err(RvfiViolation {
+                    index,
+                    property: format!("rd_addr {} out of range", rec.rd_addr),
+                });
+            }
+            shadow_rf[rec.rd_addr as usize] = rec.rd_wdata;
+        }
+    }
+    Ok(())
+}
+
+fn check_read(
+    index: usize,
+    rec: &RvfiRecord,
+    shadow: &[u32; REG_COUNT],
+    addr: u8,
+    data: u32,
+    port: &str,
+) -> Result<(), RvfiViolation> {
+    let expected = shadow.get(addr as usize).copied().unwrap_or(0);
+    if data != expected {
+        return Err(RvfiViolation {
+            index,
+            property: format!(
+                "{port} read x{addr} returned {data:#x}, shadow RF holds {expected:#x} (pc={:#x})",
+                rec.pc
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Runs `program` on the gate-level core with tracing enabled and checks the
+/// trace to depth `max_steps`, additionally cross-checking against the
+/// reference simulator's trace.
+///
+/// # Errors
+///
+/// Returns a violation description on any failed property, execution fault,
+/// or divergence between the gate-level and reference traces.
+pub fn verify_bounded(
+    rissp: &Rissp,
+    program: &[u32],
+    base: u32,
+    max_steps: u64,
+) -> Result<usize, String> {
+    let mut dut = GateLevelCpu::new(rissp, base);
+    dut.enable_trace();
+    dut.load_words(base, program);
+    match dut.run(max_steps) {
+        Ok(_) | Err(ExecError::StepLimit { .. }) => {}
+        Err(e) => return Err(format!("gate-level fault: {e}")),
+    }
+    let dut_trace = dut.take_trace();
+    check_trace(&dut_trace).map_err(|e| e.to_string())?;
+
+    let mut reference = riscv_emu::Emulator::with_entry(base);
+    reference.enable_trace();
+    reference.load_words(base, program);
+    reference
+        .run(max_steps)
+        .map_err(|e| format!("reference fault: {e}"))?;
+    let ref_trace = reference.take_trace();
+
+    for (i, (d, r)) in dut_trace.records().iter().zip(ref_trace.records()).enumerate() {
+        if d != r {
+            return Err(format!(
+                "trace divergence at retirement {i}: dut={d:x?} ref={r:x?}"
+            ));
+        }
+    }
+    Ok(dut_trace.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::InstructionSubset;
+    use hwlib::HwLibrary;
+    use riscv_isa::asm;
+
+    #[test]
+    fn bounded_verification_passes_for_mixed_program() {
+        let program = asm::assemble(
+            &asm::parse(
+                "
+                addi a0, zero, -7
+                srai a1, a0, 1
+                sltu a2, a0, a1
+                sb   a0, 0x40(zero)
+                lbu  a3, 0x40(zero)
+                lh   a4, 0x40(zero)
+                halt: jal x0, halt
+                ",
+            )
+            .unwrap(),
+            0,
+        )
+        .unwrap();
+        let lib = HwLibrary::build_full();
+        let subset = InstructionSubset::from_words(&program);
+        let rissp = crate::Rissp::generate(&lib, &subset);
+        let depth = verify_bounded(&rissp, &program, 0, 100).unwrap();
+        assert!(depth >= 6);
+    }
+
+    #[test]
+    fn trace_checker_rejects_corrupted_writeback() {
+        let mut trace = RvfiTrace::new();
+        let addi = riscv_isa::Instruction::i(
+            riscv_isa::Mnemonic::Addi,
+            riscv_isa::Reg::X1,
+            riscv_isa::Reg::X0,
+            5,
+        );
+        trace.push(RvfiRecord {
+            pc: 0,
+            insn: addi.encode(),
+            rd_addr: 1,
+            rd_wdata: 6, // wrong: should be 5
+            rd_we: true,
+            next_pc: 4,
+            ..Default::default()
+        });
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.property.contains("specification"), "{err}");
+    }
+
+    #[test]
+    fn trace_checker_rejects_broken_pc_chain() {
+        let addi = riscv_isa::Instruction::i(
+            riscv_isa::Mnemonic::Addi,
+            riscv_isa::Reg::X1,
+            riscv_isa::Reg::X0,
+            5,
+        );
+        let rec = RvfiRecord {
+            pc: 0,
+            insn: addi.encode(),
+            rd_addr: 1,
+            rd_wdata: 5,
+            rd_we: true,
+            next_pc: 4,
+            ..Default::default()
+        };
+        let mut trace = RvfiTrace::new();
+        trace.push(rec);
+        trace.push(RvfiRecord { pc: 8, ..rec }); // gap: 4 != 8
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.property.contains("pc chain"), "{err}");
+    }
+
+    #[test]
+    fn trace_checker_rejects_stale_register_read() {
+        let addi = riscv_isa::Instruction::i(
+            riscv_isa::Mnemonic::Addi,
+            riscv_isa::Reg::X1,
+            riscv_isa::Reg::X0,
+            5,
+        );
+        let add = riscv_isa::Instruction::r(
+            riscv_isa::Mnemonic::Add,
+            riscv_isa::Reg::X2,
+            riscv_isa::Reg::X1,
+            riscv_isa::Reg::X0,
+        );
+        let mut trace = RvfiTrace::new();
+        trace.push(RvfiRecord {
+            pc: 0,
+            insn: addi.encode(),
+            rd_addr: 1,
+            rd_wdata: 5,
+            rd_we: true,
+            next_pc: 4,
+            ..Default::default()
+        });
+        trace.push(RvfiRecord {
+            pc: 4,
+            insn: add.encode(),
+            rs1_addr: 1,
+            rs1_data: 99, // stale: shadow RF says 5
+            rd_addr: 2,
+            rd_wdata: 99,
+            rd_we: true,
+            next_pc: 8,
+            ..Default::default()
+        });
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.property.contains("shadow RF"), "{err}");
+    }
+}

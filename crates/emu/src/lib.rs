@@ -1,0 +1,329 @@
+//! Reference RV32E instruction-set simulator.
+//!
+//! This crate is the reproduction's stand-in for Spike: the golden
+//! *architectural* model that RISSP gate-level execution is compared against
+//! (the paper's RISCOF flow, Section 3.4.2).  It executes programs using the
+//! golden semantics from [`riscv_isa::semantics`], records an RVFI-style
+//! trace, and can produce RISCOF-style memory signatures.
+//!
+//! # Examples
+//!
+//! ```
+//! use riscv_emu::{Emulator, HaltReason};
+//! use riscv_isa::asm;
+//!
+//! let program = asm::assemble(
+//!     &asm::parse("addi a0, zero, 21\nadd a0, a0, a0\nhalt: jal x0, halt").unwrap(),
+//!     0,
+//! ).unwrap();
+//! let mut emu = Emulator::new();
+//! emu.load_words(0, &program);
+//! let run = emu.run(10_000).unwrap();
+//! assert_eq!(run.halt, HaltReason::SelfLoop);
+//! assert_eq!(emu.state().regs[10], 42);
+//! ```
+
+mod memory;
+mod rvfi;
+
+pub use memory::SparseMemory;
+pub use rvfi::{RvfiRecord, RvfiTrace};
+
+use riscv_isa::semantics::{step, ArchState};
+use riscv_isa::{DecodeError, Instruction, Mnemonic};
+use std::collections::BTreeMap;
+
+/// Why a [`Emulator::run`] call stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The program reached an instruction that jumps to itself — the
+    /// baremetal halt convention used by all workloads in this repository.
+    SelfLoop,
+    /// The step budget was exhausted before the program halted.
+    StepLimit,
+}
+
+/// An execution error surfaced by the emulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// The PC points at a word that does not decode to a valid RV32E
+    /// instruction.
+    Decode {
+        /// PC of the faulting fetch.
+        pc: u32,
+        /// Underlying decode failure.
+        cause: DecodeError,
+    },
+    /// The PC is not 4-byte aligned.
+    MisalignedPc(u32),
+}
+
+impl std::fmt::Display for EmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmuError::Decode { pc, cause } => write!(f, "decode fault at pc={pc:#010x}: {cause}"),
+            EmuError::MisalignedPc(pc) => write!(f, "misaligned pc {pc:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Why execution stopped.
+    pub halt: HaltReason,
+    /// Retired instruction count (the halting self-loop instruction is not
+    /// counted).
+    pub retired: u64,
+    /// Dynamic execution counts per mnemonic.
+    pub dynamic_counts: BTreeMap<Mnemonic, u64>,
+}
+
+/// The reference simulator: an [`ArchState`] plus a sparse memory.
+#[derive(Debug, Clone, Default)]
+pub struct Emulator {
+    state: ArchState,
+    mem: SparseMemory,
+    trace: Option<RvfiTrace>,
+}
+
+impl Emulator {
+    /// Creates an emulator with `pc = 0` and empty memory.
+    pub fn new() -> Emulator {
+        Emulator::default()
+    }
+
+    /// Creates an emulator starting at `entry`.
+    pub fn with_entry(entry: u32) -> Emulator {
+        Emulator { state: ArchState::new(entry), ..Emulator::default() }
+    }
+
+    /// The architectural state.
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Mutable access to the architectural state (for test setup).
+    pub fn state_mut(&mut self) -> &mut ArchState {
+        &mut self.state
+    }
+
+    /// The backing memory.
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the backing memory.
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// Enables RVFI trace capture for subsequent steps.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(RvfiTrace::default());
+    }
+
+    /// Takes the captured trace, leaving capture enabled.
+    pub fn take_trace(&mut self) -> RvfiTrace {
+        self.trace.replace(RvfiTrace::default()).unwrap_or_default()
+    }
+
+    /// Copies `words` into memory starting at byte address `base`.
+    pub fn load_words(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.mem.store_word(base + (i as u32) * 4, w);
+        }
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// Returns `Ok(true)` if the instruction was a self-loop (halt), `Ok(false)`
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the PC is misaligned or the fetched word does not decode.
+    pub fn step(&mut self) -> Result<bool, EmuError> {
+        let pc = self.state.pc;
+        if pc % 4 != 0 {
+            return Err(EmuError::MisalignedPc(pc));
+        }
+        let word = self.mem.load_word(pc);
+        let instr = Instruction::decode(word).map_err(|cause| EmuError::Decode { pc, cause })?;
+        let rs1_data = self.state.read(instr.rs1);
+        let rs2_data = self.state.read(instr.rs2);
+        let out = step(&mut self.state, instr, &mut self.mem);
+        if let Some(trace) = &mut self.trace {
+            trace.push(RvfiRecord {
+                pc,
+                insn: word,
+                rs1_addr: out.rs1_addr,
+                rs2_addr: out.rs2_addr,
+                rs1_data,
+                rs2_data,
+                rd_addr: out.rd_addr,
+                rd_wdata: out.rd_data,
+                rd_we: out.rd_we,
+                next_pc: out.next_pc,
+                mem_addr: out.dmem_addr,
+                mem_rdata: if out.dmem_re { self.mem.load_word(out.dmem_addr) } else { 0 },
+                mem_wdata: out.dmem_wdata,
+                mem_wmask: out.dmem_wmask,
+            });
+        }
+        Ok(out.next_pc == pc)
+    }
+
+    /// Runs until the program halts (self-loop) or `max_steps` retire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmuError`] from [`Emulator::step`].
+    pub fn run(&mut self, max_steps: u64) -> Result<RunSummary, EmuError> {
+        let mut counts: BTreeMap<Mnemonic, u64> = BTreeMap::new();
+        let mut retired = 0;
+        for _ in 0..max_steps {
+            let pc = self.state.pc;
+            let word = self.mem.load_word(pc);
+            let halted = self.step()?;
+            if halted {
+                return Ok(RunSummary {
+                    halt: HaltReason::SelfLoop,
+                    retired,
+                    dynamic_counts: counts,
+                });
+            }
+            retired += 1;
+            if let Ok(i) = Instruction::decode(word) {
+                *counts.entry(i.mnemonic).or_default() += 1;
+            }
+        }
+        Ok(RunSummary { halt: HaltReason::StepLimit, retired, dynamic_counts: counts })
+    }
+
+    /// Reads the RISCOF-style signature: the words in `[begin, end)`.
+    ///
+    /// This mirrors the paper's integration verification where the RISSP's
+    /// signature region is compared against the reference simulator's.
+    pub fn signature(&self, begin: u32, end: u32) -> Vec<u32> {
+        (begin..end).step_by(4).map(|a| self.mem.load_word(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::asm;
+
+    fn run_asm(text: &str) -> Emulator {
+        let words = asm::assemble(&asm::parse(text).unwrap(), 0).unwrap();
+        let mut emu = Emulator::new();
+        emu.load_words(0, &words);
+        emu.run(1_000_000).unwrap();
+        emu
+    }
+
+    #[test]
+    fn factorial_by_repeated_addition() {
+        // 5! computed with adds only.
+        let emu = run_asm(
+            "
+            addi a0, zero, 1      # acc
+            addi a1, zero, 5      # n
+            outer: beq a1, zero, done
+            add  a2, zero, zero   # partial
+            add  a3, zero, a1     # counter
+            inner: beq a3, zero, next
+            add  a2, a2, a0
+            addi a3, a3, -1
+            jal  x0, inner
+            next: add a0, zero, a2
+            addi a1, a1, -1
+            jal  x0, outer
+            done: jal x0, done
+            ",
+        );
+        assert_eq!(emu.state().regs[10], 120);
+    }
+
+    #[test]
+    fn memory_byte_halfword_access() {
+        let emu = run_asm(
+            "
+            lui  a0, 0x1
+            addi a1, zero, -1
+            sw   a1, 0(a0)
+            addi a2, zero, 0x42
+            sb   a2, 1(a0)
+            lw   a3, 0(a0)
+            lh   a4, 0(a0)
+            lbu  a5, 1(a0)
+            halt: jal x0, halt
+            ",
+        );
+        assert_eq!(emu.state().regs[13], 0xffff_42ff);
+        assert_eq!(emu.state().regs[14], 0x0000_42ff); // 0x42ff is positive as i16
+        assert_eq!(emu.state().regs[15], 0x42);
+    }
+
+    #[test]
+    fn run_summary_counts() {
+        let words = asm::assemble(
+            &asm::parse("addi a0, zero, 3\naddi a0, a0, 4\nhalt: jal x0, halt").unwrap(),
+            0,
+        )
+        .unwrap();
+        let mut emu = Emulator::new();
+        emu.load_words(0, &words);
+        let run = emu.run(100).unwrap();
+        assert_eq!(run.halt, HaltReason::SelfLoop);
+        assert_eq!(run.retired, 2);
+        assert_eq!(run.dynamic_counts[&Mnemonic::Addi], 2);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let words =
+            asm::assemble(&asm::parse("loop: addi a0, a0, 1\njal x0, loop").unwrap(), 0).unwrap();
+        let mut emu = Emulator::new();
+        emu.load_words(0, &words);
+        let run = emu.run(11).unwrap();
+        assert_eq!(run.halt, HaltReason::StepLimit);
+        assert_eq!(run.retired, 11);
+    }
+
+    #[test]
+    fn decode_fault_reports_pc() {
+        let mut emu = Emulator::new();
+        emu.load_words(0, &[0xffff_ffff]);
+        let err = emu.run(10).unwrap_err();
+        assert!(matches!(err, EmuError::Decode { pc: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn signature_extraction() {
+        let mut emu = Emulator::new();
+        emu.memory_mut().store_word(0x100, 0xaaaa_bbbb);
+        emu.memory_mut().store_word(0x104, 0xcccc_dddd);
+        assert_eq!(emu.signature(0x100, 0x108), vec![0xaaaa_bbbb, 0xcccc_dddd]);
+    }
+
+    #[test]
+    fn trace_capture_records_writes() {
+        let words = asm::assemble(
+            &asm::parse("addi a0, zero, 9\nsw a0, 16(zero)\nhalt: jal x0, halt").unwrap(),
+            0,
+        )
+        .unwrap();
+        let mut emu = Emulator::new();
+        emu.enable_trace();
+        emu.load_words(0, &words);
+        emu.run(100).unwrap();
+        let trace = emu.take_trace();
+        assert_eq!(trace.records()[0].rd_wdata, 9);
+        assert_eq!(trace.records()[1].mem_addr, 16);
+        assert_eq!(trace.records()[1].mem_wmask, 0b1111);
+    }
+}

@@ -1,0 +1,122 @@
+//! Sparse, page-based byte-addressable memory.
+
+use riscv_isa::semantics::Memory;
+use std::collections::BTreeMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse memory of 4 KiB pages, allocated on first touch.
+///
+/// Reads of untouched memory return zero, which matches the behaviour the
+/// RISSP testbenches assume for uninitialised RAM.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: BTreeMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    /// Reads one byte.
+    pub fn load_byte(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page if needed.
+    pub fn store_byte(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads the aligned 32-bit little-endian word containing `addr`.
+    pub fn load_word(&self, addr: u32) -> u32 {
+        let base = addr & !3;
+        u32::from_le_bytes([
+            self.load_byte(base),
+            self.load_byte(base + 1),
+            self.load_byte(base + 2),
+            self.load_byte(base + 3),
+        ])
+    }
+
+    /// Writes the aligned 32-bit little-endian word containing `addr`.
+    pub fn store_word(&mut self, addr: u32, value: u32) {
+        let base = addr & !3;
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.store_byte(base + i as u32, b);
+        }
+    }
+
+    /// Number of resident pages (for diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl Memory for SparseMemory {
+    fn read_word(&mut self, addr: u32) -> u32 {
+        self.load_word(addr)
+    }
+
+    fn write_word(&mut self, addr: u32, data: u32, mask: u8) {
+        let base = addr & !3;
+        let bytes = data.to_le_bytes();
+        for lane in 0..4u32 {
+            if mask & (1 << lane) != 0 {
+                self.store_byte(base + lane, bytes[lane as usize]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.load_word(0xdead_0000), 0);
+        assert_eq!(mem.load_byte(42), 0);
+    }
+
+    #[test]
+    fn word_round_trip_little_endian() {
+        let mut mem = SparseMemory::new();
+        mem.store_word(0x1000, 0x0102_0304);
+        assert_eq!(mem.load_byte(0x1000), 0x04);
+        assert_eq!(mem.load_byte(0x1003), 0x01);
+        assert_eq!(mem.load_word(0x1000), 0x0102_0304);
+        // Unaligned addresses hit the containing aligned word.
+        assert_eq!(mem.load_word(0x1002), 0x0102_0304);
+    }
+
+    #[test]
+    fn masked_writes_touch_only_selected_lanes() {
+        let mut mem = SparseMemory::new();
+        mem.store_word(0, 0xffff_ffff);
+        Memory::write_word(&mut mem, 0, 0x0000_ab00, 0b0010);
+        assert_eq!(mem.load_word(0), 0xffff_abff);
+    }
+
+    #[test]
+    fn pages_allocate_lazily() {
+        let mut mem = SparseMemory::new();
+        assert_eq!(mem.resident_pages(), 0);
+        mem.store_byte(0, 1);
+        mem.store_byte(0x0000_0fff, 2);
+        assert_eq!(mem.resident_pages(), 1);
+        mem.store_byte(0x0000_1000, 3);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! RVFI-style retirement trace.
+//!
+//! The RISC-V Formal Interface (RVFI) is the contract `riscv-formal` uses to
+//! observe a core: one record per retired instruction carrying the PC, the
+//! register file traffic and the memory traffic.  Both the reference
+//! emulator and the gate-level RISSP emit this trace, and the `rissp` crate
+//! checks them against each other (the paper's processor-level formal
+//! verification, Section 3.4.2).
+
+/// One retired instruction's worth of observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RvfiRecord {
+    /// PC of the retired instruction.
+    pub pc: u32,
+    /// Raw instruction word.
+    pub insn: u32,
+    /// First read port address.
+    pub rs1_addr: u8,
+    /// Second read port address.
+    pub rs2_addr: u8,
+    /// Value observed on the first read port.
+    pub rs1_data: u32,
+    /// Value observed on the second read port.
+    pub rs2_data: u32,
+    /// Destination register address.
+    pub rd_addr: u8,
+    /// Value written to the destination register.
+    pub rd_wdata: u32,
+    /// Whether a register write-back happened.
+    pub rd_we: bool,
+    /// PC of the next instruction.
+    pub next_pc: u32,
+    /// Data memory address driven this cycle (0 when unused).
+    pub mem_addr: u32,
+    /// Data returned by memory for loads.
+    pub mem_rdata: u32,
+    /// Lane-aligned store data.
+    pub mem_wdata: u32,
+    /// Per-byte store mask (0 for non-stores).
+    pub mem_wmask: u8,
+}
+
+/// An ordered RVFI trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RvfiTrace {
+    records: Vec<RvfiRecord>,
+}
+
+impl RvfiTrace {
+    /// Creates an empty trace.
+    pub fn new() -> RvfiTrace {
+        RvfiTrace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: RvfiRecord) {
+        self.records.push(record);
+    }
+
+    /// The recorded retirements in order.
+    pub fn records(&self) -> &[RvfiRecord] {
+        &self.records
+    }
+
+    /// Number of retirements recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Checks intra-trace consistency: each record's `next_pc` must equal the
+    /// following record's `pc` (no retirement gaps).
+    ///
+    /// Returns the index of the first inconsistent pair, if any.
+    pub fn check_pc_chain(&self) -> Option<usize> {
+        self.records
+            .windows(2)
+            .position(|w| w[0].next_pc != w[1].pc)
+    }
+}
+
+impl FromIterator<RvfiRecord> for RvfiTrace {
+    fn from_iter<T: IntoIterator<Item = RvfiRecord>>(iter: T) -> Self {
+        RvfiTrace { records: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_chain_detects_gaps() {
+        let mut t = RvfiTrace::new();
+        t.push(RvfiRecord { pc: 0, next_pc: 4, ..Default::default() });
+        t.push(RvfiRecord { pc: 4, next_pc: 8, ..Default::default() });
+        assert_eq!(t.check_pc_chain(), None);
+        t.push(RvfiRecord { pc: 12, next_pc: 16, ..Default::default() });
+        assert_eq!(t.check_pc_chain(), Some(1));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: RvfiTrace =
+            (0..3).map(|i| RvfiRecord { pc: i * 4, ..Default::default() }).collect();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! FlexIC implementation flow: technology model, static timing analysis,
+//! synthesis frequency sweep, power estimation and physical implementation.
+//!
+//! The paper implements every processor in Pragmatic's 0.6 µm IGZO
+//! metal-oxide FlexIC process with a commercial EDA flow (§4.2–§4.3).
+//! This crate reproduces that flow over the gate-level netlists of the
+//! `netlist`/`rissp` crates:
+//!
+//! * [`tech`] — per-gate delay/leakage/switching-energy characterisation of
+//!   the FlexIC process (flip-flops cost ~10× a NAND2 in power, as §4.2.3
+//!   states);
+//! * [`sta`] — longest-register-to-register-path timing analysis;
+//! * [`sweep`] — the paper's exact frequency procedure: start at 100 kHz,
+//!   step 25 kHz until 3 MHz, keep points with positive slack (§4.2.1), and
+//!   average area/power across them (§4.2.2–§4.2.3);
+//! * [`power`] — activity-based power (toggle counts from gate-level
+//!   simulation of the actual workload);
+//! * [`physical`] — floorplan, clock-tree buffering and routing overhead at
+//!   the fixed 300 kHz implementation point of §4.3.
+
+pub mod physical;
+pub mod power;
+pub mod sta;
+pub mod sweep;
+pub mod tech;
+
+use netlist::stats::GateCounts;
+
+/// Technology-independent summary of a design, the common currency of the
+/// analysis passes.  Netlist-backed designs come from
+/// [`DesignMetrics::of_netlist`]; the Serv baseline provides one from its
+/// structural model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignMetrics {
+    /// Display name (e.g. `RISSP-crc32`).
+    pub name: String,
+    /// Combinational + sequential gate census.
+    pub counts: GateCounts,
+    /// Longest register-to-register path, in nanoseconds.
+    pub critical_path_ns: f64,
+    /// Average switching activity α (toggles per gate per cycle), measured
+    /// by gate-level simulation of the target workload.
+    pub activity: f64,
+    /// Average cycles per instruction (1 for single-cycle RISSPs, ≈32 for
+    /// the bit-serial Serv).
+    pub cpi: f64,
+}
+
+impl DesignMetrics {
+    /// Builds metrics for a netlist under a technology, with a measured (or
+    /// assumed) switching activity.
+    pub fn of_netlist(
+        name: impl Into<String>,
+        nl: &netlist::Netlist,
+        t: &tech::Tech,
+        activity: f64,
+    ) -> DesignMetrics {
+        DesignMetrics {
+            name: name.into(),
+            counts: GateCounts::of(nl),
+            critical_path_ns: sta::critical_path_ns(nl, t),
+            activity,
+            cpi: 1.0,
+        }
+    }
+
+    /// NAND2-equivalent area (Figure 7's metric).
+    pub fn nand2_area(&self) -> f64 {
+        self.counts.nand2_equivalent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{bus, Builder};
+
+    #[test]
+    fn metrics_of_a_small_netlist() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (s, _) = bus::add(&mut b, &x, &y);
+        b.output_bus("s", &s);
+        let nl = b.finish();
+        let t = tech::Tech::flexic_gen();
+        let m = DesignMetrics::of_netlist("adder", &nl, &t, 0.1);
+        assert!(m.nand2_area() > 10.0);
+        assert!(m.critical_path_ns > 0.0);
+        assert_eq!(m.cpi, 1.0);
+    }
+}

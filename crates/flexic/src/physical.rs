@@ -1,0 +1,130 @@
+//! Physical implementation: floorplan, clock tree and routing (§4.3).
+//!
+//! The paper takes the three extreme-edge RISSPs and both baselines through
+//! full FlexIC layouts at 300 kHz.  The decisive effect it reports is that
+//! clock-tree insertion penalises FF-heavy designs: Serv is *smaller* than
+//! RISSP-xgboost at synthesis but *larger* after physical implementation
+//! because 60 % of its cells are flip-flops needing clock buffers.  This
+//! module models exactly that mechanism: cell area + clock-buffer insertion
+//! (one buffer per fan-out group of FFs) + routing/utilisation overhead.
+
+use crate::power::total_power_mw;
+use crate::tech::Tech;
+use crate::DesignMetrics;
+
+/// The fixed implementation frequency of §4.3.
+pub const IMPL_FREQ_KHZ: f64 = 300.0;
+
+/// Cell area of one NAND2-equivalent in the 0.6 µm FlexIC process, µm².
+pub const UM2_PER_NAND2: f64 = 1350.0;
+/// Placement utilisation (cell area / core area).
+pub const UTILISATION: f64 = 0.62;
+/// Flip-flops driven per clock buffer.
+pub const FFS_PER_CLOCK_BUFFER: usize = 6;
+/// Clock buffer size, NAND2-equivalents.
+pub const CLOCK_BUFFER_NAND2: f64 = 5.0;
+/// Layout-area factor applied to flip-flop cells: clock routing keep-out,
+/// buffer staging and hold fixing inflate each FF's placed footprint well
+/// beyond its synthesis area — the mechanism by which the FF-heavy Serv,
+/// smaller than RISSP-xgboost at synthesis, comes out *larger* after
+/// physical implementation (Figure 10).
+pub const FF_LAYOUT_FACTOR: f64 = 2.0;
+/// Per-clock-buffer switching energy, pJ per cycle.
+pub const CLOCK_BUFFER_PJ: f64 = 7.0;
+/// I/O ring + power ring overhead added to each die edge, µm.
+pub const RING_UM: f64 = 180.0;
+
+/// A completed layout (one panel of Figure 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutResult {
+    /// Design name.
+    pub name: String,
+    /// Die width, µm.
+    pub die_w_um: f64,
+    /// Die height, µm.
+    pub die_h_um: f64,
+    /// Die area, mm².
+    pub die_area_mm2: f64,
+    /// Percentage of placed cell area that is flip-flops.
+    pub ff_pct: f64,
+    /// Inserted clock buffers.
+    pub clock_buffers: usize,
+    /// Total power at 300 kHz, mW (including the clock tree).
+    pub power_mw: f64,
+    /// Number of distinct instructions (annotated in Figure 10 for RISSPs;
+    /// `None` for Serv).
+    pub distinct_instructions: Option<usize>,
+}
+
+/// Runs floorplan + CTS + routing estimation for one design.
+pub fn implement(m: &DesignMetrics, t: &Tech, distinct_instructions: Option<usize>) -> LayoutResult {
+    // Clock tree: buffers inserted per group of FFs, recursively (a tree,
+    // so ~n/(k-1) total for fan-out k; one level is enough at these sizes).
+    let ffs = m.counts.dff;
+    let clock_buffers = ffs.div_ceil(FFS_PER_CLOCK_BUFFER);
+    let cts_nand2 = clock_buffers as f64 * CLOCK_BUFFER_NAND2;
+
+    let ff_synth_area = m.counts.dff as f64 * netlist::stats::nand2_weight::DFF;
+    let logic_area = m.nand2_area() - ff_synth_area;
+    let cell_nand2 = logic_area + ff_synth_area * FF_LAYOUT_FACTOR + cts_nand2;
+    let cell_um2 = cell_nand2 * UM2_PER_NAND2;
+    let core_um2 = cell_um2 / UTILISATION;
+    // Square floorplan plus the ring.
+    let core_edge = core_um2.sqrt();
+    let die_w = core_edge + 2.0 * RING_UM;
+    let die_h = core_edge + 2.0 * RING_UM;
+    let die_area_mm2 = die_w * die_h / 1e6;
+
+    // Figure 10 annotates the fraction of *placed* area that is flip-flops.
+    let ff_pct = 100.0 * (ff_synth_area * FF_LAYOUT_FACTOR) / cell_nand2;
+
+    // Power at 300 kHz: logic + FF clocking + the inserted clock buffers.
+    let base = total_power_mw(m, t, IMPL_FREQ_KHZ, 1.0);
+    let cts_mw = clock_buffers as f64 * CLOCK_BUFFER_PJ * 1e-12 * (IMPL_FREQ_KHZ * 1e3) * 1e3;
+    LayoutResult {
+        name: m.name.clone(),
+        die_w_um: die_w,
+        die_h_um: die_h,
+        die_area_mm2,
+        ff_pct,
+        clock_buffers,
+        power_mw: base + cts_mw,
+        distinct_instructions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::stats::GateCounts;
+
+    fn design(name: &str, nand: usize, dff: usize) -> DesignMetrics {
+        DesignMetrics {
+            name: name.into(),
+            counts: GateCounts { nand, dff, ..GateCounts::default() },
+            critical_path_ns: 500.0,
+            activity: 0.08,
+            cpi: 1.0,
+        }
+    }
+
+    #[test]
+    fn ff_heavy_designs_pay_a_clock_tree_penalty() {
+        // Equal synthesis area; the FF-heavy one must come out larger.
+        let ff_equiv = (1000.0 / netlist::stats::nand2_weight::DFF) as usize;
+        let logic = implement(&design("logic", 1000, 8), &Tech::flexic_gen(), None);
+        let ffy = implement(&design("ffy", 0, ff_equiv + 8), &Tech::flexic_gen(), None);
+        assert!(ffy.clock_buffers > logic.clock_buffers);
+        assert!(ffy.die_area_mm2 > logic.die_area_mm2);
+        assert!(ffy.power_mw > logic.power_mw);
+        assert!(ffy.ff_pct > 50.0 && logic.ff_pct < 20.0);
+    }
+
+    #[test]
+    fn die_dimensions_are_consistent() {
+        let l = implement(&design("d", 2500, 32), &Tech::flexic_gen(), Some(20));
+        assert!((l.die_w_um * l.die_h_um / 1e6 - l.die_area_mm2).abs() < 1e-9);
+        assert!(l.die_area_mm2 > 1.0, "{}", l.die_area_mm2);
+        assert_eq!(l.distinct_instructions, Some(20));
+    }
+}

@@ -1,0 +1,87 @@
+//! Activity-based power estimation (§4.2.3).
+//!
+//! Total power = leakage (∝ area) + combinational switching (α · E · f per
+//! gate) + flip-flop clocking (every FF's clock network toggles each cycle,
+//! costing ~10 NAND2 toggles — this is why the FF-heavy Serv consumes more
+//! power than the larger RISSP-RV32E in Figure 8).
+
+use crate::tech::Tech;
+use crate::DesignMetrics;
+use netlist::sim::Sim;
+
+/// Total power in mW for a design at frequency `freq_khz`, with `area_scale`
+/// accounting for synthesis upsizing near the timing wall.
+pub fn total_power_mw(m: &DesignMetrics, t: &Tech, freq_khz: f64, area_scale: f64) -> f64 {
+    let f_hz = freq_khz * 1e3;
+    let logic_nand2 = m.nand2_area() * area_scale;
+    let static_mw = logic_nand2 * t.leak_nw_per_nand2 * 1e-6;
+    // Combinational switching: α toggles/gate/cycle over the logic gates.
+    let logic_gates = (m.counts.logic_gates() - m.counts.dff) as f64 * area_scale;
+    let dyn_logic_mw = logic_gates * m.activity * t.switch_pj * 1e-12 * f_hz * 1e3;
+    // Sequential: every FF's clock pin ticks every cycle.
+    let dyn_ff_mw = m.counts.dff as f64 * t.dff_clock_pj * 1e-12 * f_hz * 1e3;
+    static_mw + dyn_logic_mw + dyn_ff_mw
+}
+
+/// Power with the default FlexIC technology (used by the sweep).
+pub fn average_power_mw(m: &DesignMetrics, freq_khz: f64, area_scale: f64) -> f64 {
+    total_power_mw(m, &Tech::flexic_gen(), freq_khz, area_scale)
+}
+
+/// Extracts the measured switching activity of a simulation run: toggles
+/// per gate per cycle, the α used in the dynamic-power term.
+pub fn measured_activity(sim: &Sim) -> f64 {
+    sim.average_activity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::stats::GateCounts;
+
+    fn design(nands: usize, dffs: usize, activity: f64) -> DesignMetrics {
+        DesignMetrics {
+            name: "d".into(),
+            counts: GateCounts { nand: nands, dff: dffs, ..GateCounts::default() },
+            critical_path_ns: 500.0,
+            activity,
+            cpi: 1.0,
+        }
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let m = design(2000, 32, 0.1);
+        let t = Tech::flexic_gen();
+        let p1 = total_power_mw(&m, &t, 300.0, 1.0);
+        let p2 = total_power_mw(&m, &t, 1500.0, 1.0);
+        assert!(p2 > p1);
+        // Static floor: power at DC would still be positive.
+        let p0 = total_power_mw(&m, &t, 0.0, 1.0);
+        assert!(p0 > 0.0);
+    }
+
+    #[test]
+    fn ff_heavy_designs_burn_more_power_at_same_gate_count() {
+        let t = Tech::flexic_gen();
+        // Same NAND2-equivalent area, very different FF fractions.
+        let logic_heavy = design(2000, 20, 0.1);
+        let ff_equiv = (2000.0 / netlist::stats::nand2_weight::DFF) as usize;
+        let ff_heavy = design(0, ff_equiv + 20, 0.1);
+        let p_logic = total_power_mw(&logic_heavy, &t, 1000.0, 1.0);
+        let p_ff = total_power_mw(&ff_heavy, &t, 1000.0, 1.0);
+        assert!(
+            p_ff > p_logic,
+            "FF-heavy {p_ff:.3} mW should exceed logic-heavy {p_logic:.3} mW"
+        );
+    }
+
+    #[test]
+    fn milliwatt_class_at_paper_operating_points() {
+        // A ~2500-NAND2 processor at ~1.5 MHz should land in the paper's
+        // 0.2–1.4 mW band.
+        let m = design(2500, 32, 0.08);
+        let p = average_power_mw(&m, 1500.0, 1.1);
+        assert!((0.1..=2.0).contains(&p), "{p} mW");
+    }
+}

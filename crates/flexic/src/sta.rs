@@ -1,0 +1,92 @@
+//! Static timing analysis over gate-level netlists.
+//!
+//! The longest combinational path determines the maximum clock frequency:
+//! for a single-cycle RISSP the loop is PC-flop → fetch → decode/execute →
+//! PC-flop, with the external IMEM/RF access charged as a fixed adder
+//! ([`crate::tech::Tech::external_ns`]).
+
+use crate::tech::Tech;
+use netlist::{Gate, Netlist};
+
+/// Arrival time of every net, ns (index = net id).
+pub fn arrival_times(nl: &Netlist, t: &Tech) -> Vec<f64> {
+    let mut at = vec![0.0f64; nl.len()];
+    for (id, gate) in nl.gates().iter().enumerate() {
+        let input_at = gate
+            .fanin()
+            .map(|f| at[f as usize])
+            .fold(0.0f64, f64::max);
+        at[id] = input_at + t.delay_of(gate);
+    }
+    at
+}
+
+/// Longest register-to-register (or input-to-output) combinational path in
+/// nanoseconds, including the flip-flop and external-access overheads.
+pub fn critical_path_ns(nl: &Netlist, t: &Tech) -> f64 {
+    let at = arrival_times(nl, t);
+    let mut worst = 0.0f64;
+    // Paths end at DFF data inputs …
+    for (_, gate) in nl.gates().iter().enumerate() {
+        if let Gate::Dff { d, .. } = gate {
+            worst = worst.max(at[*d as usize]);
+        }
+    }
+    // … and at output ports (which feed the external RF/memory).
+    for port in nl.outputs() {
+        for &net in &port.nets {
+            worst = worst.max(at[net as usize]);
+        }
+    }
+    worst + t.dff_overhead_ns + t.external_ns
+}
+
+/// Maximum clock frequency in kHz for the given critical path.
+pub fn fmax_khz(critical_path_ns: f64) -> f64 {
+    1e6 / critical_path_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{bus, Builder};
+
+    fn ripple_adder(width: usize) -> Netlist {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", width);
+        let y = b.input_bus("y", width);
+        let (s, _) = bus::add(&mut b, &x, &y);
+        b.output_bus("s", &s);
+        b.finish()
+    }
+
+    #[test]
+    fn wider_adders_have_longer_paths() {
+        let t = Tech::flexic_gen();
+        let cp8 = critical_path_ns(&ripple_adder(8), &t);
+        let cp32 = critical_path_ns(&ripple_adder(32), &t);
+        assert!(cp32 > cp8 + 10.0, "8-bit {cp8} vs 32-bit {cp32}");
+    }
+
+    #[test]
+    fn dff_feedback_paths_are_timed() {
+        // counter: ff -> ++ -> ff
+        let mut b = Builder::new();
+        let ffs: Vec<_> = (0..8).map(|_| b.dff(false)).collect();
+        let one = bus::constant(&mut b, 1, 8);
+        let (next, _) = bus::add(&mut b, &ffs, &one);
+        for (ff, d) in ffs.iter().zip(&next) {
+            b.connect_dff(*ff, *d);
+        }
+        b.output_bus("q", &ffs);
+        let nl = b.finish();
+        let t = Tech::flexic_gen();
+        let cp = critical_path_ns(&nl, &t);
+        assert!(cp > t.dff_overhead_ns + t.external_ns, "{cp}");
+    }
+
+    #[test]
+    fn fmax_inverts_period() {
+        assert!((fmax_khz(500.0) - 2000.0).abs() < 1e-9);
+    }
+}

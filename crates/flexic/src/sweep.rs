@@ -1,0 +1,141 @@
+//! The paper's frequency sweep (§4.2.1) and sweep-averaged metrics.
+//!
+//! "Starting at 100 kHz with significant positive slack, the frequency was
+//! incremented by 25 kHz steps until reaching 3 MHz … The highest frequency
+//! with positive slack is identified as the maximum."  Area and power
+//! (Figures 7 and 8) are averaged "across the range of frequencies with
+//! positive slack".
+
+use crate::power::average_power_mw;
+use crate::DesignMetrics;
+
+/// Sweep bounds from §4.2.1.
+pub const SWEEP_START_KHZ: u32 = 100;
+/// Step size between synthesis runs.
+pub const SWEEP_STEP_KHZ: u32 = 25;
+/// Upper bound where the paper's designs became over-constrained.
+pub const SWEEP_END_KHZ: u32 = 3000;
+
+/// One synthesis design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Target clock frequency, kHz.
+    pub freq_khz: u32,
+    /// Timing slack at this frequency, ns.
+    pub slack_ns: f64,
+    /// NAND2-equivalent area after synthesis effort at this target.
+    pub area_nand2: f64,
+    /// Total (static + dynamic) power, mW.
+    pub power_mw: f64,
+}
+
+/// Sweep summary for one design (one bar of Figures 6–8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Design name.
+    pub name: String,
+    /// All positive-slack points.
+    pub points: Vec<DesignPoint>,
+    /// Highest positive-slack frequency, kHz (Figure 6).
+    pub fmax_khz: u32,
+    /// Area averaged across positive-slack points (Figure 7).
+    pub avg_area_nand2: f64,
+    /// Power averaged across positive-slack points (Figure 8).
+    pub avg_power_mw: f64,
+}
+
+/// Synthesis-effort area model: approaching the timing wall, the optimiser
+/// upsizes and duplicates critical-path logic.  `x` is the fraction of the
+/// period consumed by the critical path.
+fn effort_area(base_area: f64, x: f64) -> f64 {
+    base_area * (1.0 + 0.28 * x.powi(4))
+}
+
+/// Runs the §4.2.1 sweep for one design.
+pub fn frequency_sweep(m: &DesignMetrics) -> SweepResult {
+    let mut points = Vec::new();
+    let base_area = m.nand2_area();
+    let mut f = SWEEP_START_KHZ;
+    while f <= SWEEP_END_KHZ {
+        let period_ns = 1e6 / f as f64;
+        let slack = period_ns - m.critical_path_ns;
+        if slack > 0.0 {
+            let x = m.critical_path_ns / period_ns;
+            let area = effort_area(base_area, x);
+            let power = average_power_mw(m, f as f64, area / base_area);
+            points.push(DesignPoint { freq_khz: f, slack_ns: slack, area_nand2: area, power_mw: power });
+        }
+        f += SWEEP_STEP_KHZ;
+    }
+    let fmax_khz = points.last().map(|p| p.freq_khz).unwrap_or(0);
+    let n = points.len().max(1) as f64;
+    let avg_area_nand2 = points.iter().map(|p| p.area_nand2).sum::<f64>() / n;
+    let avg_power_mw = points.iter().map(|p| p.power_mw).sum::<f64>() / n;
+    SweepResult { name: m.name.clone(), points, fmax_khz, avg_area_nand2, avg_power_mw }
+}
+
+/// Energy per instruction in nanojoules at the maximum frequency
+/// (Figure 9): `EPI = P(fmax) / fmax × CPI`.
+pub fn energy_per_instruction_nj(m: &DesignMetrics, sweep: &SweepResult) -> f64 {
+    let Some(at_fmax) = sweep.points.last() else { return f64::NAN };
+    let fmax_hz = at_fmax.freq_khz as f64 * 1e3;
+    let power_w = at_fmax.power_mw * 1e-3;
+    power_w / fmax_hz * m.cpi * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::stats::GateCounts;
+
+    fn fake_metrics(cp_ns: f64, dffs: usize) -> DesignMetrics {
+        let counts = GateCounts { nand: 1000, dff: dffs, ..GateCounts::default() };
+        DesignMetrics {
+            name: "fake".into(),
+            counts,
+            critical_path_ns: cp_ns,
+            activity: 0.08,
+            cpi: 1.0,
+        }
+    }
+
+    #[test]
+    fn fmax_matches_critical_path() {
+        // 600 ns path → fmax just below 1667 kHz, on the 25 kHz grid.
+        let m = fake_metrics(600.0, 32);
+        let s = frequency_sweep(&m);
+        assert!(s.fmax_khz <= 1666, "{}", s.fmax_khz);
+        assert!(s.fmax_khz >= 1640, "{}", s.fmax_khz);
+        // Grid alignment.
+        assert_eq!((s.fmax_khz - SWEEP_START_KHZ) % SWEEP_STEP_KHZ, 0);
+    }
+
+    #[test]
+    fn area_grows_towards_the_timing_wall() {
+        let m = fake_metrics(600.0, 32);
+        let s = frequency_sweep(&m);
+        let first = s.points.first().unwrap().area_nand2;
+        let last = s.points.last().unwrap().area_nand2;
+        assert!(last > first);
+        assert!(s.avg_area_nand2 > first && s.avg_area_nand2 < last);
+    }
+
+    #[test]
+    fn shorter_paths_reach_higher_frequencies() {
+        let fast = frequency_sweep(&fake_metrics(480.0, 32));
+        let slow = frequency_sweep(&fake_metrics(660.0, 32));
+        assert!(fast.fmax_khz > slow.fmax_khz);
+    }
+
+    #[test]
+    fn epi_scales_with_cpi() {
+        let m1 = fake_metrics(600.0, 32);
+        let mut m32 = fake_metrics(600.0, 32);
+        m32.cpi = 32.0;
+        let s1 = frequency_sweep(&m1);
+        let s32 = frequency_sweep(&m32);
+        let e1 = energy_per_instruction_nj(&m1, &s1);
+        let e32 = energy_per_instruction_nj(&m32, &s32);
+        assert!((e32 / e1 - 32.0).abs() < 1e-9);
+    }
+}

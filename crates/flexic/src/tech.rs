@@ -1,0 +1,98 @@
+//! FlexIC process characterisation (0.6 µm IGZO metal-oxide TFT).
+//!
+//! The constants below are calibrated so that the reproduction's processors
+//! land in the operating bands the paper reports for its process: RISSP
+//! maximum frequencies of 1.5–1.85 MHz, milliwatt-class total power at 3 V,
+//! and flip-flops consuming roughly ten times the power of a NAND2 gate
+//! (§4.2.3).  Relative behaviour between designs comes from the real
+//! netlists; only the absolute scale is calibrated.
+
+use netlist::Gate;
+
+/// Per-gate-class electrical characterisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tech {
+    /// Process name (reports print it).
+    pub name: &'static str,
+    /// Propagation delay of an inverter, ns.
+    pub delay_not_ns: f64,
+    /// Delay of NAND2/NOR2, ns.
+    pub delay_nand_ns: f64,
+    /// Delay of AND2/OR2, ns.
+    pub delay_and_ns: f64,
+    /// Delay of XOR2/XNOR2, ns.
+    pub delay_xor_ns: f64,
+    /// Delay of a 2:1 mux, ns.
+    pub delay_mux_ns: f64,
+    /// Flip-flop clock-to-Q plus setup, ns (charged once per cycle).
+    pub dff_overhead_ns: f64,
+    /// Fixed per-cycle overhead for the combinational instruction fetch and
+    /// register-file access outside the synthesised netlist, ns.
+    pub external_ns: f64,
+    /// Leakage per NAND2-equivalent of logic, nanowatts.
+    pub leak_nw_per_nand2: f64,
+    /// Switching energy per logic-gate toggle, picojoules.
+    pub switch_pj: f64,
+    /// Switching energy per flip-flop clock tick (clock + internal nodes),
+    /// picojoules — the 10× NAND2 factor of §4.2.3 lives here.
+    pub dff_clock_pj: f64,
+}
+
+impl Tech {
+    /// The calibrated FlexIC IGZO process model used throughout the
+    /// reproduction.
+    pub fn flexic_gen() -> Tech {
+        Tech {
+            name: "flexic-igzo-0.6um",
+            delay_not_ns: 1.7,
+            delay_nand_ns: 2.4,
+            delay_and_ns: 3.1,
+            delay_xor_ns: 5.4,
+            delay_mux_ns: 5.4,
+            dff_overhead_ns: 24.0,
+            external_ns: 60.0,
+            leak_nw_per_nand2: 20.0,
+            switch_pj: 1.2,
+            dff_clock_pj: 12.0,
+        }
+    }
+
+    /// Propagation delay of one gate, ns (zero for constants/inputs; DFF
+    /// outputs launch at zero — their overhead is charged per cycle).
+    pub fn delay_of(&self, gate: &Gate) -> f64 {
+        match gate {
+            Gate::Const(_) | Gate::Input(_) | Gate::Dff { .. } => 0.0,
+            Gate::Not(_) => self.delay_not_ns,
+            Gate::Nand(..) | Gate::Nor(..) => self.delay_nand_ns,
+            Gate::And(..) | Gate::Or(..) => self.delay_and_ns,
+            Gate::Xor(..) | Gate::Xnor(..) => self.delay_xor_ns,
+            Gate::Mux { .. } => self.delay_mux_ns,
+        }
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Tech::flexic_gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ff_power_is_roughly_ten_nand2_toggles() {
+        let t = Tech::flexic_gen();
+        let ratio = t.dff_clock_pj / t.switch_pj;
+        assert!((8.0..=12.0).contains(&ratio), "FF/NAND2 power ratio {ratio}");
+    }
+
+    #[test]
+    fn delays_order_sensibly() {
+        let t = Tech::flexic_gen();
+        assert!(t.delay_not_ns < t.delay_nand_ns);
+        assert!(t.delay_nand_ns < t.delay_xor_ns);
+        assert!(t.delay_of(&Gate::Const(false)) == 0.0);
+    }
+}

@@ -1,0 +1,528 @@
+//! A two-pass RV32E assembler, programmatic and textual.
+//!
+//! The compiler (`xcc`), the workloads and the retargeting tool all produce
+//! [`Item`] streams: a mix of labels and instructions whose branch/jump
+//! targets may be symbolic.  [`assemble`] resolves labels and emits machine
+//! words; [`parse`] additionally accepts the textual syntax used by macro
+//! files (Section 5 of the paper).
+//!
+//! ```
+//! use riscv_isa::asm;
+//! let program = asm::parse(
+//!     "start: addi x1, x0, 10\n\
+//!      loop:  addi x1, x1, -1\n\
+//!             bne  x1, x0, loop\n",
+//! ).unwrap();
+//! let words = asm::assemble(&program, 0).unwrap();
+//! assert_eq!(words.len(), 3);
+//! ```
+
+use crate::{Format, Instruction, Mnemonic, Reg};
+use std::collections::HashMap;
+
+/// An operand that is either a resolved immediate or a symbolic label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A concrete immediate (byte offset for branches/jumps).
+    Imm(i32),
+    /// A label whose PC-relative offset is resolved at assembly time.
+    Label(String),
+}
+
+impl From<i32> for Target {
+    fn from(v: i32) -> Target {
+        Target::Imm(v)
+    }
+}
+
+impl From<&str> for Target {
+    fn from(v: &str) -> Target {
+        Target::Label(v.to_string())
+    }
+}
+
+/// An instruction whose control-flow target may be symbolic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmInstr {
+    /// The operation.
+    pub mnemonic: Mnemonic,
+    /// Destination register.
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Immediate or label target.
+    pub target: Target,
+}
+
+impl AsmInstr {
+    /// Wraps a fully resolved [`Instruction`].
+    pub fn resolved(instr: Instruction) -> AsmInstr {
+        AsmInstr {
+            mnemonic: instr.mnemonic,
+            rd: instr.rd,
+            rs1: instr.rs1,
+            rs2: instr.rs2,
+            target: Target::Imm(instr.imm),
+        }
+    }
+}
+
+/// One element of an assembly stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A label definition at the current PC.
+    Label(String),
+    /// An instruction.
+    Instr(AsmInstr),
+    /// A literal 32-bit data word (`.word`).
+    Word(u32),
+}
+
+impl Item {
+    /// Convenience constructor for a resolved instruction item.
+    pub fn instr(instr: Instruction) -> Item {
+        Item::Instr(AsmInstr::resolved(instr))
+    }
+
+    /// Convenience constructor for a label item.
+    pub fn label(name: impl Into<String>) -> Item {
+        Item::Label(name.into())
+    }
+}
+
+/// Errors produced by [`assemble`] or [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch or jump target is out of encodable range.
+    TargetOutOfRange { mnemonic: Mnemonic, offset: i32 },
+    /// A parse error with line number and message.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::TargetOutOfRange { mnemonic, offset } => {
+                write!(f, "target offset {offset} out of range for `{mnemonic}`")
+            }
+            AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Resolves labels and encodes an assembly stream into machine words.
+///
+/// `base` is the byte address of the first emitted word; label offsets are
+/// PC-relative as the B/J encodings require.
+///
+/// # Errors
+///
+/// Returns an error for undefined or duplicate labels and for branch/jump
+/// offsets that do not fit their encodings.
+pub fn assemble(items: &[Item], base: u32) -> Result<Vec<u32>, AsmError> {
+    let instrs = resolve(items, base)?;
+    Ok(instrs
+        .iter()
+        .map(|w| match w {
+            ResolvedWord::Instr(i) => i.encode(),
+            ResolvedWord::Data(d) => *d,
+        })
+        .collect())
+}
+
+/// A resolved element: either an instruction or a literal data word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedWord {
+    /// An encoded instruction.
+    Instr(Instruction),
+    /// A literal data word.
+    Data(u32),
+}
+
+/// Resolves labels to concrete instructions without encoding them.
+///
+/// # Errors
+///
+/// Same conditions as [`assemble`].
+pub fn resolve(items: &[Item], base: u32) -> Result<Vec<ResolvedWord>, AsmError> {
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut pc = base;
+    for item in items {
+        match item {
+            Item::Label(name) => {
+                if labels.insert(name, pc).is_some() {
+                    return Err(AsmError::DuplicateLabel(name.clone()));
+                }
+            }
+            Item::Instr(_) | Item::Word(_) => pc = pc.wrapping_add(4),
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut pc = base;
+    for item in items {
+        match item {
+            Item::Label(_) => {}
+            Item::Word(w) => {
+                out.push(ResolvedWord::Data(*w));
+                pc = pc.wrapping_add(4);
+            }
+            Item::Instr(ai) => {
+                let imm = match &ai.target {
+                    Target::Imm(v) => *v,
+                    Target::Label(name) => {
+                        let addr = *labels
+                            .get(name.as_str())
+                            .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+                        addr.wrapping_sub(pc) as i32
+                    }
+                };
+                check_range(ai.mnemonic, imm)?;
+                let instr = Instruction {
+                    mnemonic: ai.mnemonic,
+                    rd: ai.rd,
+                    rs1: ai.rs1,
+                    rs2: ai.rs2,
+                    imm: if ai.mnemonic.format() == Format::U { imm & !0xfff } else { imm },
+                };
+                out.push(ResolvedWord::Instr(instr));
+                pc = pc.wrapping_add(4);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn check_range(m: Mnemonic, imm: i32) -> Result<(), AsmError> {
+    let ok = match m.format() {
+        Format::R => true,
+        Format::I => {
+            if m.funct7().is_some() {
+                (0..32).contains(&imm)
+            } else {
+                (-2048..=2047).contains(&imm)
+            }
+        }
+        Format::S => (-2048..=2047).contains(&imm),
+        Format::B => (-4096..=4094).contains(&imm) && imm % 2 == 0,
+        Format::U => true,
+        Format::J => (-1048576..=1048574).contains(&imm) && imm % 2 == 0,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(AsmError::TargetOutOfRange { mnemonic: m, offset: imm })
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let err = || AsmError::Parse { line, message: format!("bad register `{tok}`") };
+    if let Some(num) = tok.strip_prefix('x') {
+        let idx: usize = num.parse().map_err(|_| err())?;
+        return Reg::from_index(idx).ok_or_else(err);
+    }
+    Reg::ALL
+        .iter()
+        .copied()
+        .find(|r| r.abi_name() == tok)
+        .ok_or_else(err)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let err = || AsmError::Parse { line, message: format!("bad immediate `{tok}`") };
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| err())?
+    } else {
+        body.parse::<i64>().map_err(|_| err())?
+    };
+    let value = if neg { -value } else { value };
+    // Accept the full u32 range for hex literals (e.g. `.word 0xdeadbeef`).
+    if (i32::MIN as i64..=u32::MAX as i64).contains(&value) {
+        Ok(value as u32 as i32)
+    } else {
+        Err(err())
+    }
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
+    if tok.starts_with(|c: char| c.is_ascii_digit() || c == '-') {
+        Ok(Target::Imm(parse_imm(tok, line)?))
+    } else {
+        Ok(Target::Label(tok.to_string()))
+    }
+}
+
+/// Parses textual RV32E assembly into an [`Item`] stream.
+///
+/// Supported syntax: one instruction or `label:` per line, `#`/`;` comments,
+/// `lw rd, imm(rs1)` memory operands, symbolic branch/jump targets, `.word
+/// <value>` data directives, and `lui rd, <imm20>` (the immediate is the
+/// upper-20 value as in GNU as).
+///
+/// # Errors
+///
+/// Returns [`AsmError::Parse`] with a line number for malformed input.
+pub fn parse(text: &str) -> Result<Vec<Item>, AsmError> {
+    let mut items = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw_line;
+        if let Some(pos) = line.find(['#', ';']) {
+            line = &line[..pos];
+        }
+        let mut rest = line.trim();
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(AsmError::Parse {
+                    line: line_no,
+                    message: format!("bad label `{label}`"),
+                });
+            }
+            items.push(Item::Label(label.to_string()));
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(word) = rest.strip_prefix(".word") {
+            let tok = word.trim();
+            items.push(Item::Word(parse_imm(tok, line_no)? as u32));
+            continue;
+        }
+        items.push(Item::Instr(parse_instr(rest, line_no)?));
+    }
+    Ok(items)
+}
+
+fn parse_instr(text: &str, line: usize) -> Result<AsmInstr, AsmError> {
+    let err = |message: String| AsmError::Parse { line, message };
+    let (name, ops) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let mnemonic = Mnemonic::from_name(name.trim())
+        .ok_or_else(|| err(format!("unknown mnemonic `{name}`")))?;
+    let ops: Vec<&str> = ops
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let argc = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("`{name}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+    // Parses "imm(rs1)" memory operands.
+    let mem_operand = |tok: &str| -> Result<(i32, Reg), AsmError> {
+        let open = tok
+            .find('(')
+            .ok_or_else(|| err(format!("expected `imm(reg)`, got `{tok}`")))?;
+        let close = tok
+            .rfind(')')
+            .ok_or_else(|| err(format!("expected `imm(reg)`, got `{tok}`")))?;
+        let imm_part = tok[..open].trim();
+        let imm = if imm_part.is_empty() { 0 } else { parse_imm(imm_part, line)? };
+        let reg = parse_reg(tok[open + 1..close].trim(), line)?;
+        Ok((imm, reg))
+    };
+
+    let mut ai = AsmInstr {
+        mnemonic,
+        rd: Reg::X0,
+        rs1: Reg::X0,
+        rs2: Reg::X0,
+        target: Target::Imm(0),
+    };
+    match mnemonic.format() {
+        Format::R => {
+            argc(3)?;
+            ai.rd = parse_reg(ops[0], line)?;
+            ai.rs1 = parse_reg(ops[1], line)?;
+            ai.rs2 = parse_reg(ops[2], line)?;
+        }
+        Format::I if mnemonic.is_load() => {
+            argc(2)?;
+            ai.rd = parse_reg(ops[0], line)?;
+            let (imm, rs1) = mem_operand(ops[1])?;
+            ai.rs1 = rs1;
+            ai.target = Target::Imm(imm);
+        }
+        Format::I if mnemonic == Mnemonic::Jalr => {
+            // Accept both `jalr rd, imm(rs1)` and `jalr rd, rs1, imm`.
+            argc(2).or_else(|_| argc(3))?;
+            ai.rd = parse_reg(ops[0], line)?;
+            if ops.len() == 2 {
+                let (imm, rs1) = mem_operand(ops[1])?;
+                ai.rs1 = rs1;
+                ai.target = Target::Imm(imm);
+            } else {
+                ai.rs1 = parse_reg(ops[1], line)?;
+                ai.target = Target::Imm(parse_imm(ops[2], line)?);
+            }
+        }
+        Format::I => {
+            argc(3)?;
+            ai.rd = parse_reg(ops[0], line)?;
+            ai.rs1 = parse_reg(ops[1], line)?;
+            ai.target = Target::Imm(parse_imm(ops[2], line)?);
+        }
+        Format::S => {
+            argc(2)?;
+            ai.rs2 = parse_reg(ops[0], line)?;
+            let (imm, rs1) = mem_operand(ops[1])?;
+            ai.rs1 = rs1;
+            ai.target = Target::Imm(imm);
+        }
+        Format::B => {
+            argc(3)?;
+            ai.rs1 = parse_reg(ops[0], line)?;
+            ai.rs2 = parse_reg(ops[1], line)?;
+            ai.target = parse_target(ops[2], line)?;
+        }
+        Format::U => {
+            argc(2)?;
+            ai.rd = parse_reg(ops[0], line)?;
+            let imm20 = parse_imm(ops[1], line)?;
+            ai.target = Target::Imm(imm20 << 12);
+        }
+        Format::J => {
+            argc(2)?;
+            ai.rd = parse_reg(ops[0], line)?;
+            ai.target = parse_target(ops[1], line)?;
+        }
+    }
+    Ok(ai)
+}
+
+/// Disassembles machine words back into display strings (for reports).
+pub fn disassemble(words: &[u32]) -> Vec<String> {
+    words
+        .iter()
+        .map(|&w| match Instruction::decode(w) {
+            Ok(i) => i.to_string(),
+            Err(_) => format!(".word {w:#010x}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_resolution_backward_and_forward() {
+        let items = vec![
+            Item::label("top"),
+            Item::Instr(AsmInstr {
+                mnemonic: Mnemonic::Jal,
+                rd: Reg::X0,
+                rs1: Reg::X0,
+                rs2: Reg::X0,
+                target: "end".into(),
+            }),
+            Item::Instr(AsmInstr {
+                mnemonic: Mnemonic::Beq,
+                rd: Reg::X0,
+                rs1: Reg::X1,
+                rs2: Reg::X2,
+                target: "top".into(),
+            }),
+            Item::label("end"),
+            Item::instr(Instruction::i(Mnemonic::Addi, Reg::X1, Reg::X0, 1)),
+        ];
+        let words = assemble(&items, 0x80).unwrap();
+        let jal = Instruction::decode(words[0]).unwrap();
+        assert_eq!(jal.imm, 8); // 0x88 - 0x80
+        let beq = Instruction::decode(words[1]).unwrap();
+        assert_eq!(beq.imm, -4); // 0x80 - 0x84
+    }
+
+    #[test]
+    fn duplicate_and_undefined_labels_error() {
+        let dup = vec![Item::label("a"), Item::label("a")];
+        assert_eq!(assemble(&dup, 0), Err(AsmError::DuplicateLabel("a".into())));
+        let undef = vec![Item::Instr(AsmInstr {
+            mnemonic: Mnemonic::Jal,
+            rd: Reg::X0,
+            rs1: Reg::X0,
+            rs2: Reg::X0,
+            target: "nowhere".into(),
+        })];
+        assert_eq!(assemble(&undef, 0), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn range_checks() {
+        let too_far = vec![Item::instr(Instruction::i(Mnemonic::Addi, Reg::X1, Reg::X0, 4096))];
+        assert!(matches!(
+            assemble(&too_far, 0),
+            Err(AsmError::TargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_full_program() {
+        let text = "
+            # compute 5!
+            start:
+                addi a0, zero, 1
+                addi a1, zero, 5
+            loop:
+                beq  a1, zero, done
+                addi a1, a1, -1
+                jal  x0, loop
+            done:
+                sw   a0, 0(sp)
+                lw   a2, 0(sp)
+        ";
+        let items = parse(text).unwrap();
+        let words = assemble(&items, 0).unwrap();
+        assert_eq!(words.len(), 7);
+        let beq = Instruction::decode(words[2]).unwrap();
+        assert_eq!(beq.mnemonic, Mnemonic::Beq);
+        assert_eq!(beq.imm, 12);
+    }
+
+    #[test]
+    fn parse_mem_and_shift_and_lui() {
+        let items = parse("lw x1, -8(x2)\nslli x3, x4, 5\nlui x5, 0x12345\n.word 0xdeadbeef")
+            .unwrap();
+        let words = assemble(&items, 0).unwrap();
+        assert_eq!(Instruction::decode(words[0]).unwrap().imm, -8);
+        assert_eq!(Instruction::decode(words[1]).unwrap().imm, 5);
+        assert_eq!(Instruction::decode(words[2]).unwrap().imm, 0x12345 << 12);
+        assert_eq!(words[3], 0xdead_beef);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse("addi x1, x0, 1\nbogus x1, x2").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 2, .. }), "{e}");
+        let e = parse("addi x99, x0, 1").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }), "{e}");
+    }
+
+    #[test]
+    fn disassemble_round_trips_through_parse() {
+        let text = "addi x1, x2, 3\nand x4, x5, x6\nsb x7, 1(x8)";
+        let words = assemble(&parse(text).unwrap(), 0).unwrap();
+        let dis = disassemble(&words).join("\n");
+        let words2 = assemble(&parse(&dis).unwrap(), 0).unwrap();
+        assert_eq!(words, words2);
+    }
+}

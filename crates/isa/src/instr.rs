@@ -1,0 +1,391 @@
+//! Decoded instruction representation, encoding and decoding.
+
+use crate::mnemonic::{opcode, Format, Mnemonic, ALL_MNEMONICS};
+use crate::Reg;
+
+/// A decoded RV32E instruction.
+///
+/// Operands not used by the instruction's [`Format`] are ignored by
+/// [`Instruction::encode`] and are normalised to `Reg::X0` / `0` by the
+/// constructors so that `==` works structurally.
+///
+/// ```
+/// use riscv_isa::{Instruction, Mnemonic, Reg};
+/// let i = Instruction::i(Mnemonic::Addi, Reg::X5, Reg::X6, -4);
+/// assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// The operation.
+    pub mnemonic: Mnemonic,
+    /// Destination register (R/I/U/J formats).
+    pub rd: Reg,
+    /// First source register (R/I/S/B formats).
+    pub rs1: Reg,
+    /// Second source register (R/S/B formats).
+    pub rs2: Reg,
+    /// Sign-extended immediate (I/S/B/U/J formats); for U-type this is the
+    /// *pre-shift* upper-20 value in bits `[31:12]` semantics, stored here as
+    /// the full 32-bit value `imm20 << 12`.
+    pub imm: i32,
+}
+
+/// An error produced by [`Instruction::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode is not part of the RV32I/E base set.
+    UnknownOpcode(u32),
+    /// The opcode is known but the funct3/funct7 fields are invalid.
+    UnknownFunction(u32),
+    /// A register field addresses x16–x31, which do not exist in RV32E.
+    RegisterOutOfRange(u32),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(w) => write!(f, "unknown opcode in word {w:#010x}"),
+            DecodeError::UnknownFunction(w) => {
+                write!(f, "unknown funct3/funct7 in word {w:#010x}")
+            }
+            DecodeError::RegisterOutOfRange(w) => {
+                write!(f, "register above x15 in word {w:#010x} (RV32E)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn field(word: u32, lo: u32, len: u32) -> u32 {
+    (word >> lo) & ((1 << len) - 1)
+}
+
+impl Instruction {
+    /// Builds an R-type instruction.
+    pub fn r(mnemonic: Mnemonic, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction {
+        debug_assert_eq!(mnemonic.format(), Format::R);
+        Instruction { mnemonic, rd, rs1, rs2, imm: 0 }
+    }
+
+    /// Builds an I-type instruction (ALU-immediate, load, or `jalr`).
+    ///
+    /// For shift-immediates (`slli`/`srli`/`srai`) only the low five bits of
+    /// `imm` are significant.
+    pub fn i(mnemonic: Mnemonic, rd: Reg, rs1: Reg, imm: i32) -> Instruction {
+        debug_assert_eq!(mnemonic.format(), Format::I);
+        Instruction { mnemonic, rd, rs1, rs2: Reg::X0, imm }
+    }
+
+    /// Builds an S-type (store) instruction; `imm` is the address offset.
+    pub fn s(mnemonic: Mnemonic, rs1: Reg, rs2: Reg, imm: i32) -> Instruction {
+        debug_assert_eq!(mnemonic.format(), Format::S);
+        Instruction { mnemonic, rd: Reg::X0, rs1, rs2, imm }
+    }
+
+    /// Builds a B-type (branch) instruction; `imm` is the byte offset from
+    /// the branch's own PC (must be even).
+    pub fn b(mnemonic: Mnemonic, rs1: Reg, rs2: Reg, imm: i32) -> Instruction {
+        debug_assert_eq!(mnemonic.format(), Format::B);
+        Instruction { mnemonic, rd: Reg::X0, rs1, rs2, imm }
+    }
+
+    /// Builds a U-type instruction; `imm` must have its low 12 bits clear.
+    pub fn u(mnemonic: Mnemonic, rd: Reg, imm: i32) -> Instruction {
+        debug_assert_eq!(mnemonic.format(), Format::U);
+        Instruction { mnemonic, rd, rs1: Reg::X0, rs2: Reg::X0, imm: imm & !0xfff_i32 }
+    }
+
+    /// Builds a `jal`; `imm` is the byte offset from the jump's own PC.
+    pub fn j(mnemonic: Mnemonic, rd: Reg, imm: i32) -> Instruction {
+        debug_assert_eq!(mnemonic.format(), Format::J);
+        Instruction { mnemonic, rd, rs1: Reg::X0, rs2: Reg::X0, imm }
+    }
+
+    /// Encodes the instruction into its 32-bit RISC-V machine word.
+    pub fn encode(&self) -> u32 {
+        let m = self.mnemonic;
+        let opc = m.opcode();
+        let rd = self.rd.index() as u32;
+        let rs1 = self.rs1.index() as u32;
+        let rs2 = self.rs2.index() as u32;
+        let f3 = m.funct3().unwrap_or(0);
+        let imm = self.imm as u32;
+        match m.format() {
+            Format::R => {
+                opc | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20)
+                    | (m.funct7().unwrap() << 25)
+            }
+            Format::I => {
+                let imm12 = if m.funct7().is_some() {
+                    // Shift-immediate: shamt in [24:20], funct7 in [31:25].
+                    (imm & 0x1f) | (m.funct7().unwrap() << 5)
+                } else {
+                    imm & 0xfff
+                };
+                opc | (rd << 7) | (f3 << 12) | (rs1 << 15) | (imm12 << 20)
+            }
+            Format::S => {
+                let lo = imm & 0x1f;
+                let hi = (imm >> 5) & 0x7f;
+                opc | (lo << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) | (hi << 25)
+            }
+            Format::B => {
+                let b11 = (imm >> 11) & 1;
+                let b4_1 = (imm >> 1) & 0xf;
+                let b10_5 = (imm >> 5) & 0x3f;
+                let b12 = (imm >> 12) & 1;
+                opc | (b11 << 7)
+                    | (b4_1 << 8)
+                    | (f3 << 12)
+                    | (rs1 << 15)
+                    | (rs2 << 20)
+                    | (b10_5 << 25)
+                    | (b12 << 31)
+            }
+            Format::U => opc | (rd << 7) | (imm & 0xfffff000),
+            Format::J => {
+                let b19_12 = (imm >> 12) & 0xff;
+                let b11 = (imm >> 11) & 1;
+                let b10_1 = (imm >> 1) & 0x3ff;
+                let b20 = (imm >> 20) & 1;
+                opc | (rd << 7) | (b19_12 << 12) | (b11 << 20) | (b10_1 << 21) | (b20 << 31)
+            }
+        }
+    }
+
+    /// Decodes a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the word is not a valid RV32E base
+    /// instruction (unknown opcode, unknown function fields, or a register
+    /// above `x15`).
+    pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+        let opc = field(word, 0, 7);
+        let rd_i = field(word, 7, 5);
+        let f3 = field(word, 12, 3);
+        let rs1_i = field(word, 15, 5);
+        let rs2_i = field(word, 20, 5);
+        let f7 = field(word, 25, 7);
+
+        let mnemonic = ALL_MNEMONICS
+            .iter()
+            .copied()
+            .find(|m| {
+                if m.opcode() != opc {
+                    return false;
+                }
+                if let Some(mf3) = m.funct3() {
+                    if mf3 != f3 {
+                        return false;
+                    }
+                }
+                // funct7 only discriminates OP and shift-immediates.
+                match m.format() {
+                    Format::R => m.funct7() == Some(f7),
+                    Format::I if m.funct7().is_some() => m.funct7() == Some(f7),
+                    _ => true,
+                }
+            })
+            .ok_or({
+                if [
+                    opcode::LUI,
+                    opcode::AUIPC,
+                    opcode::JAL,
+                    opcode::JALR,
+                    opcode::BRANCH,
+                    opcode::LOAD,
+                    opcode::STORE,
+                    opcode::OP_IMM,
+                    opcode::OP,
+                ]
+                .contains(&opc)
+                {
+                    DecodeError::UnknownFunction(word)
+                } else {
+                    DecodeError::UnknownOpcode(word)
+                }
+            })?;
+
+        let reg = |i: u32, used: bool| -> Result<Reg, DecodeError> {
+            if !used {
+                return Ok(Reg::X0);
+            }
+            Reg::from_index(i as usize).ok_or(DecodeError::RegisterOutOfRange(word))
+        };
+        let fmt = mnemonic.format();
+        let rd = reg(rd_i, mnemonic.writes_rd())?;
+        let rs1 = reg(rs1_i, mnemonic.reads_rs1())?;
+        let rs2 = reg(rs2_i, mnemonic.reads_rs2())?;
+
+        let imm = match fmt {
+            Format::R => 0,
+            Format::I => {
+                if mnemonic.funct7().is_some() {
+                    rs2_i as i32 // shamt
+                } else {
+                    ((word as i32) >> 20) as i32
+                }
+            }
+            Format::S => {
+                let lo = field(word, 7, 5);
+                let hi = (word as i32) >> 25; // sign-extends
+                (hi << 5) | lo as i32
+            }
+            Format::B => {
+                let b12 = ((word as i32) >> 31) as i32; // sign
+                let b11 = field(word, 7, 1) as i32;
+                let b10_5 = field(word, 25, 6) as i32;
+                let b4_1 = field(word, 8, 4) as i32;
+                (b12 << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+            }
+            Format::U => (word & 0xfffff000) as i32,
+            Format::J => {
+                let b20 = ((word as i32) >> 31) as i32;
+                let b19_12 = field(word, 12, 8) as i32;
+                let b11 = field(word, 20, 1) as i32;
+                let b10_1 = field(word, 21, 10) as i32;
+                (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+            }
+        };
+
+        Ok(Instruction { mnemonic, rd, rs1, rs2, imm })
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.mnemonic;
+        match m.format() {
+            Format::R => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            Format::I if m.is_load() || m == Mnemonic::Jalr => {
+                write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1)
+            }
+            Format::I => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+            Format::S => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            Format::B => write!(f, "{m} {}, {}, {}", self.rs1, self.rs2, self.imm),
+            Format::U => write!(f, "{m} {}, {:#x}", self.rd, (self.imm as u32) >> 12),
+            Format::J => write!(f, "{m} {}, {}", self.rd, self.imm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instruction) {
+        let word = i.encode();
+        let back = Instruction::decode(word).unwrap_or_else(|e| panic!("{i}: {e}"));
+        assert_eq!(back, i, "word {word:#010x}");
+    }
+
+    #[test]
+    fn r_type_round_trip() {
+        for m in [
+            Mnemonic::Add,
+            Mnemonic::Sub,
+            Mnemonic::Sll,
+            Mnemonic::Slt,
+            Mnemonic::Sltu,
+            Mnemonic::Xor,
+            Mnemonic::Srl,
+            Mnemonic::Sra,
+            Mnemonic::Or,
+            Mnemonic::And,
+        ] {
+            round_trip(Instruction::r(m, Reg::X1, Reg::X15, Reg::X7));
+        }
+    }
+
+    #[test]
+    fn i_type_round_trip_extremes() {
+        for imm in [-2048, -1, 0, 1, 2047] {
+            round_trip(Instruction::i(Mnemonic::Addi, Reg::X3, Reg::X4, imm));
+            round_trip(Instruction::i(Mnemonic::Lw, Reg::X3, Reg::X4, imm));
+            round_trip(Instruction::i(Mnemonic::Jalr, Reg::X1, Reg::X4, imm));
+        }
+        for shamt in [0, 1, 15, 31] {
+            round_trip(Instruction::i(Mnemonic::Slli, Reg::X2, Reg::X2, shamt));
+            round_trip(Instruction::i(Mnemonic::Srai, Reg::X2, Reg::X2, shamt));
+            round_trip(Instruction::i(Mnemonic::Srli, Reg::X2, Reg::X2, shamt));
+        }
+    }
+
+    #[test]
+    fn s_b_round_trip_extremes() {
+        for imm in [-2048, -4, 0, 4, 2047] {
+            round_trip(Instruction::s(Mnemonic::Sw, Reg::X5, Reg::X6, imm));
+        }
+        for imm in [-4096, -2, 0, 2, 4094] {
+            round_trip(Instruction::b(Mnemonic::Beq, Reg::X5, Reg::X6, imm));
+            round_trip(Instruction::b(Mnemonic::Bgeu, Reg::X5, Reg::X6, imm));
+        }
+    }
+
+    #[test]
+    fn u_j_round_trip_extremes() {
+        for imm20 in [0u32, 1, 0x80000, 0xfffff] {
+            round_trip(Instruction::u(Mnemonic::Lui, Reg::X9, (imm20 << 12) as i32));
+            round_trip(Instruction::u(Mnemonic::Auipc, Reg::X9, (imm20 << 12) as i32));
+        }
+        for imm in [-1048576, -2, 0, 2, 1048574] {
+            round_trip(Instruction::j(Mnemonic::Jal, Reg::X1, imm));
+        }
+    }
+
+    #[test]
+    fn known_golden_encodings() {
+        // Cross-checked against the RISC-V spec / gnu assembler.
+        // addi x1, x2, 3  => 0x00310093
+        assert_eq!(Instruction::i(Mnemonic::Addi, Reg::X1, Reg::X2, 3).encode(), 0x0031_0093);
+        // add x3, x4, x5 => 0x005201b3
+        assert_eq!(
+            Instruction::r(Mnemonic::Add, Reg::X3, Reg::X4, Reg::X5).encode(),
+            0x0052_01b3
+        );
+        // sw x6, 8(x7) => 0x0063a423
+        assert_eq!(Instruction::s(Mnemonic::Sw, Reg::X7, Reg::X6, 8).encode(), 0x0063_a423);
+        // beq x8, x9, 16 => 0x00940863
+        assert_eq!(Instruction::b(Mnemonic::Beq, Reg::X8, Reg::X9, 16).encode(), 0x0094_0863);
+        // lui x10, 0x12345 => 0x12345537
+        assert_eq!(
+            Instruction::u(Mnemonic::Lui, Reg::X10, 0x12345 << 12).encode(),
+            0x1234_5537
+        );
+        // jal x1, 2048 => 0x001000ef
+        assert_eq!(Instruction::j(Mnemonic::Jal, Reg::X1, 2048).encode(), 0x0010_00ef);
+    }
+
+    #[test]
+    fn decode_rejects_rv32i_only_registers() {
+        // add x3, x20, x5 is valid RV32I but not RV32E.
+        let word = 0x0052_01b3 | (20 << 15);
+        assert_eq!(
+            Instruction::decode(word),
+            Err(DecodeError::RegisterOutOfRange(word))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode_and_funct() {
+        assert!(matches!(
+            Instruction::decode(0xffff_ffff),
+            Err(DecodeError::UnknownFunction(_)) | Err(DecodeError::UnknownOpcode(_))
+        ));
+        // System opcode (ecall) is not in the computational set.
+        assert_eq!(
+            Instruction::decode(0x0000_0073),
+            Err(DecodeError::UnknownOpcode(0x0000_0073))
+        );
+    }
+
+    #[test]
+    fn display_formats_reasonably() {
+        let i = Instruction::i(Mnemonic::Lw, Reg::X1, Reg::X2, -8);
+        assert_eq!(i.to_string(), "lw x1, -8(x2)");
+        let b = Instruction::b(Mnemonic::Bne, Reg::X3, Reg::X4, 12);
+        assert_eq!(b.to_string(), "bne x3, x4, 12");
+    }
+}

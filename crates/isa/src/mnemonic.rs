@@ -1,0 +1,363 @@
+//! Instruction mnemonics, formats and encoding constants for RV32I/E.
+
+/// The six RISC-V base instruction formats (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Format {
+    /// Register-register ALU operations.
+    R,
+    /// Register-immediate ALU operations, loads and `jalr`.
+    I,
+    /// Stores.
+    S,
+    /// Conditional branches.
+    B,
+    /// `lui` / `auipc`.
+    U,
+    /// `jal`.
+    J,
+}
+
+/// Every instruction of the RV32I/E base integer ISA covered by the paper's
+/// pre-verified hardware library.
+///
+/// The paper reports the RV32E ISA as "around 40 instructions"; the 37
+/// computational instructions below are the ones that appear in Table 3 and
+/// that the hardware library implements as discrete blocks (`fence`,
+/// `ecall` and `ebreak` are no-ops for a baremetal single-cycle core and are
+/// handled by the fetch unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mnemonic {
+    // U-type
+    Lui,
+    Auipc,
+    // J-type
+    Jal,
+    // I-type jump
+    Jalr,
+    // B-type
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    // I-type loads
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+    // S-type stores
+    Sb,
+    Sh,
+    Sw,
+    // I-type ALU
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    // R-type ALU
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+}
+
+/// All mnemonics in a stable, deterministic order.
+pub const ALL_MNEMONICS: [Mnemonic; 37] = [
+    Mnemonic::Lui,
+    Mnemonic::Auipc,
+    Mnemonic::Jal,
+    Mnemonic::Jalr,
+    Mnemonic::Beq,
+    Mnemonic::Bne,
+    Mnemonic::Blt,
+    Mnemonic::Bge,
+    Mnemonic::Bltu,
+    Mnemonic::Bgeu,
+    Mnemonic::Lb,
+    Mnemonic::Lh,
+    Mnemonic::Lw,
+    Mnemonic::Lbu,
+    Mnemonic::Lhu,
+    Mnemonic::Sb,
+    Mnemonic::Sh,
+    Mnemonic::Sw,
+    Mnemonic::Addi,
+    Mnemonic::Slti,
+    Mnemonic::Sltiu,
+    Mnemonic::Xori,
+    Mnemonic::Ori,
+    Mnemonic::Andi,
+    Mnemonic::Slli,
+    Mnemonic::Srli,
+    Mnemonic::Srai,
+    Mnemonic::Add,
+    Mnemonic::Sub,
+    Mnemonic::Sll,
+    Mnemonic::Slt,
+    Mnemonic::Sltu,
+    Mnemonic::Xor,
+    Mnemonic::Srl,
+    Mnemonic::Sra,
+    Mnemonic::Or,
+    Mnemonic::And,
+];
+
+/// Opcode constants (bits `[6:0]` of the encoding).
+pub(crate) mod opcode {
+    pub const LUI: u32 = 0b0110111;
+    pub const AUIPC: u32 = 0b0010111;
+    pub const JAL: u32 = 0b1101111;
+    pub const JALR: u32 = 0b1100111;
+    pub const BRANCH: u32 = 0b1100011;
+    pub const LOAD: u32 = 0b0000011;
+    pub const STORE: u32 = 0b0100011;
+    pub const OP_IMM: u32 = 0b0010011;
+    pub const OP: u32 = 0b0110011;
+}
+
+impl Mnemonic {
+    /// The instruction format of this mnemonic.
+    pub fn format(self) -> Format {
+        use Mnemonic::*;
+        match self {
+            Lui | Auipc => Format::U,
+            Jal => Format::J,
+            Jalr | Lb | Lh | Lw | Lbu | Lhu | Addi | Slti | Sltiu | Xori | Ori | Andi | Slli
+            | Srli | Srai => Format::I,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => Format::B,
+            Sb | Sh | Sw => Format::S,
+            Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And => Format::R,
+        }
+    }
+
+    /// The major opcode (bits `[6:0]`).
+    pub fn opcode(self) -> u32 {
+        use Mnemonic::*;
+        match self {
+            Lui => opcode::LUI,
+            Auipc => opcode::AUIPC,
+            Jal => opcode::JAL,
+            Jalr => opcode::JALR,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => opcode::BRANCH,
+            Lb | Lh | Lw | Lbu | Lhu => opcode::LOAD,
+            Sb | Sh | Sw => opcode::STORE,
+            Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai => opcode::OP_IMM,
+            Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And => opcode::OP,
+        }
+    }
+
+    /// The `funct3` field, or `None` for formats without one (U/J).
+    pub fn funct3(self) -> Option<u32> {
+        use Mnemonic::*;
+        Some(match self {
+            Lui | Auipc | Jal => return None,
+            Jalr => 0b000,
+            Beq => 0b000,
+            Bne => 0b001,
+            Blt => 0b100,
+            Bge => 0b101,
+            Bltu => 0b110,
+            Bgeu => 0b111,
+            Lb => 0b000,
+            Lh => 0b001,
+            Lw => 0b010,
+            Lbu => 0b100,
+            Lhu => 0b101,
+            Sb => 0b000,
+            Sh => 0b001,
+            Sw => 0b010,
+            Addi => 0b000,
+            Slti => 0b010,
+            Sltiu => 0b011,
+            Xori => 0b100,
+            Ori => 0b110,
+            Andi => 0b111,
+            Slli => 0b001,
+            Srli => 0b101,
+            Srai => 0b101,
+            Add => 0b000,
+            Sub => 0b000,
+            Sll => 0b001,
+            Slt => 0b010,
+            Sltu => 0b011,
+            Xor => 0b100,
+            Srl => 0b101,
+            Sra => 0b101,
+            Or => 0b110,
+            And => 0b111,
+        })
+    }
+
+    /// The `funct7` field for R-type instructions and shift-immediates, or
+    /// `None` when the encoding does not constrain bits `[31:25]`.
+    pub fn funct7(self) -> Option<u32> {
+        use Mnemonic::*;
+        match self {
+            Add | Sll | Slt | Sltu | Xor | Srl | Or | And | Slli | Srli => Some(0b0000000),
+            Sub | Sra | Srai => Some(0b0100000),
+            _ => None,
+        }
+    }
+
+    /// The lowercase assembly spelling of the mnemonic.
+    pub fn name(self) -> &'static str {
+        use Mnemonic::*;
+        match self {
+            Lui => "lui",
+            Auipc => "auipc",
+            Jal => "jal",
+            Jalr => "jalr",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Lb => "lb",
+            Lh => "lh",
+            Lw => "lw",
+            Lbu => "lbu",
+            Lhu => "lhu",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Addi => "addi",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Xori => "xori",
+            Ori => "ori",
+            Andi => "andi",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Add => "add",
+            Sub => "sub",
+            Sll => "sll",
+            Slt => "slt",
+            Sltu => "sltu",
+            Xor => "xor",
+            Srl => "srl",
+            Sra => "sra",
+            Or => "or",
+            And => "and",
+        }
+    }
+
+    /// Parses a lowercase assembly mnemonic.
+    pub fn from_name(name: &str) -> Option<Mnemonic> {
+        ALL_MNEMONICS.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// True for `lb/lh/lw/lbu/lhu`.
+    pub fn is_load(self) -> bool {
+        self.opcode() == opcode::LOAD
+    }
+
+    /// True for `sb/sh/sw`.
+    pub fn is_store(self) -> bool {
+        self.opcode() == opcode::STORE
+    }
+
+    /// True for conditional branches.
+    pub fn is_branch(self) -> bool {
+        self.opcode() == opcode::BRANCH
+    }
+
+    /// True for `jal`/`jalr`.
+    pub fn is_jump(self) -> bool {
+        matches!(self, Mnemonic::Jal | Mnemonic::Jalr)
+    }
+
+    /// True when the instruction writes a destination register.
+    pub fn writes_rd(self) -> bool {
+        !matches!(self.format(), Format::B | Format::S)
+    }
+
+    /// True when the instruction reads `rs1`.
+    pub fn reads_rs1(self) -> bool {
+        !matches!(self.format(), Format::U | Format::J)
+    }
+
+    /// True when the instruction reads `rs2`.
+    pub fn reads_rs2(self) -> bool {
+        matches!(self.format(), Format::R | Format::S | Format::B)
+    }
+}
+
+impl std::fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_mnemonics_has_no_duplicates() {
+        let mut v = ALL_MNEMONICS.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 37);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for m in ALL_MNEMONICS {
+            assert_eq!(Mnemonic::from_name(m.name()), Some(m), "{m}");
+        }
+        assert_eq!(Mnemonic::from_name("mul"), None);
+    }
+
+    #[test]
+    fn funct3_present_exactly_when_format_has_it() {
+        for m in ALL_MNEMONICS {
+            let has = m.funct3().is_some();
+            let expect = !matches!(m.format(), Format::U | Format::J);
+            assert_eq!(has, expect, "{m}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        // (opcode, funct3, funct7) triples must uniquely identify mnemonics.
+        let mut keys: Vec<_> = ALL_MNEMONICS
+            .iter()
+            .map(|m| (m.opcode(), m.funct3(), m.funct7()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), ALL_MNEMONICS.len());
+    }
+
+    #[test]
+    fn format_predicates_are_consistent() {
+        for m in ALL_MNEMONICS {
+            if m.is_store() {
+                assert!(!m.writes_rd(), "{m}");
+                assert!(m.reads_rs2(), "{m}");
+            }
+            if m.is_branch() {
+                assert!(!m.writes_rd(), "{m}");
+            }
+            if m.is_load() {
+                assert!(m.writes_rd(), "{m}");
+                assert!(!m.reads_rs2(), "{m}");
+            }
+        }
+    }
+}

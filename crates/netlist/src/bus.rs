@@ -1,0 +1,349 @@
+//! Word-level combinational building blocks.
+//!
+//! Buses are `&[NetId]` slices, LSB first.  These helpers are the vocabulary
+//! the instruction hardware blocks are written in: ripple-carry adders,
+//! barrel shifters, comparators and wide multiplexers, all expressed through
+//! the folding [`Builder`] so constant operands melt away.
+
+use crate::{Builder, NetId};
+
+/// Builds a constant bus of `width` bits holding `value`.
+pub fn constant(b: &mut Builder, value: u32, width: usize) -> Vec<NetId> {
+    (0..width).map(|i| b.constant((value >> i) & 1 == 1)).collect()
+}
+
+/// Bitwise NOT of a bus.
+pub fn not(b: &mut Builder, a: &[NetId]) -> Vec<NetId> {
+    a.iter().map(|&x| b.not(x)).collect()
+}
+
+/// Bitwise AND of two equal-width buses.
+///
+/// # Panics
+///
+/// Panics on width mismatch (as do all two-operand helpers here).
+pub fn and(b: &mut Builder, x: &[NetId], y: &[NetId]) -> Vec<NetId> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&p, &q)| b.and(p, q)).collect()
+}
+
+/// Bitwise OR of two equal-width buses.
+pub fn or(b: &mut Builder, x: &[NetId], y: &[NetId]) -> Vec<NetId> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&p, &q)| b.or(p, q)).collect()
+}
+
+/// Bitwise XOR of two equal-width buses.
+pub fn xor(b: &mut Builder, x: &[NetId], y: &[NetId]) -> Vec<NetId> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&p, &q)| b.xor(p, q)).collect()
+}
+
+/// Bus-wide 2:1 mux: `sel ? y : x`.
+pub fn mux(b: &mut Builder, sel: NetId, x: &[NetId], y: &[NetId]) -> Vec<NetId> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&p, &q)| b.mux(sel, p, q)).collect()
+}
+
+/// Ripple-carry addition; returns `(sum, carry_out)`.
+pub fn add(b: &mut Builder, x: &[NetId], y: &[NetId]) -> (Vec<NetId>, NetId) {
+    let zero = b.zero();
+    add_with_carry(b, x, y, zero)
+}
+
+/// Ripple-carry addition with carry-in; returns `(sum, carry_out)`.
+pub fn add_with_carry(
+    b: &mut Builder,
+    x: &[NetId],
+    y: &[NetId],
+    carry_in: NetId,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(x.len(), y.len());
+    let mut carry = carry_in;
+    let mut sum = Vec::with_capacity(x.len());
+    for (&p, &q) in x.iter().zip(y) {
+        let pxq = b.xor(p, q);
+        let s = b.xor(pxq, carry);
+        let t1 = b.and(p, q);
+        let t2 = b.and(pxq, carry);
+        carry = b.or(t1, t2);
+        sum.push(s);
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `x - y`; returns `(difference, carry_out)`
+/// where `carry_out == 1` means no borrow (i.e. `x >= y` unsigned).
+pub fn sub(b: &mut Builder, x: &[NetId], y: &[NetId]) -> (Vec<NetId>, NetId) {
+    let ny = not(b, y);
+    let one = b.one();
+    add_with_carry(b, x, &ny, one)
+}
+
+/// Equality comparison of two buses.
+pub fn eq(b: &mut Builder, x: &[NetId], y: &[NetId]) -> NetId {
+    assert_eq!(x.len(), y.len());
+    let bits = xor(b, x, y);
+    let any = tree_or(b, &bits);
+    b.not(any)
+}
+
+/// Unsigned `x < y`.
+pub fn lt_unsigned(b: &mut Builder, x: &[NetId], y: &[NetId]) -> NetId {
+    let (_, carry) = sub(b, x, y);
+    b.not(carry)
+}
+
+/// Signed `x < y` (two's complement).
+pub fn lt_signed(b: &mut Builder, x: &[NetId], y: &[NetId]) -> NetId {
+    assert!(!x.is_empty());
+    let (diff, carry) = sub(b, x, y);
+    let _ = diff;
+    let sx = *x.last().unwrap();
+    let sy = *y.last().unwrap();
+    // Signs differ: x < y iff x is negative.  Signs equal: unsigned borrow.
+    let borrow = b.not(carry);
+    let signs_differ = b.xor(sx, sy);
+    b.mux(signs_differ, borrow, sx)
+}
+
+/// OR-reduction of a bus as a balanced tree.
+pub fn tree_or(b: &mut Builder, bits: &[NetId]) -> NetId {
+    match bits.len() {
+        0 => b.zero(),
+        1 => bits[0],
+        n => {
+            let (lo, hi) = bits.split_at(n / 2);
+            let l = tree_or(b, lo);
+            let r = tree_or(b, hi);
+            b.or(l, r)
+        }
+    }
+}
+
+/// AND-reduction of a bus as a balanced tree.
+pub fn tree_and(b: &mut Builder, bits: &[NetId]) -> NetId {
+    match bits.len() {
+        0 => b.one(),
+        1 => bits[0],
+        n => {
+            let (lo, hi) = bits.split_at(n / 2);
+            let l = tree_and(b, lo);
+            let r = tree_and(b, hi);
+            b.and(l, r)
+        }
+    }
+}
+
+/// Zero-extends (or truncates) a bus to `width`.
+pub fn zext(b: &mut Builder, a: &[NetId], width: usize) -> Vec<NetId> {
+    let mut out: Vec<NetId> = a.iter().copied().take(width).collect();
+    while out.len() < width {
+        out.push(b.zero());
+    }
+    out
+}
+
+/// Sign-extends (or truncates) a bus to `width`.
+///
+/// # Panics
+///
+/// Panics on an empty source bus.
+pub fn sext(b: &mut Builder, a: &[NetId], width: usize) -> Vec<NetId> {
+    assert!(!a.is_empty());
+    let _ = b;
+    let sign = *a.last().unwrap();
+    let mut out: Vec<NetId> = a.iter().copied().take(width).collect();
+    while out.len() < width {
+        out.push(sign);
+    }
+    out
+}
+
+/// Shift direction and fill for [`barrel_shift`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftKind {
+    /// Logical left (`<<`).
+    LeftLogical,
+    /// Logical right (`>>` with zero fill).
+    RightLogical,
+    /// Arithmetic right (`>>` replicating the sign bit).
+    RightArithmetic,
+}
+
+/// Barrel shifter: shifts `value` by the 5-bit amount `shamt` (LSB first).
+///
+/// Built as log₂(width) mux stages, the same structure synthesis produces
+/// for a `<<`/`>>` operator.
+///
+/// # Panics
+///
+/// Panics unless `shamt` has exactly 5 bits and `value` has 32.
+pub fn barrel_shift(
+    b: &mut Builder,
+    value: &[NetId],
+    shamt: &[NetId],
+    kind: ShiftKind,
+) -> Vec<NetId> {
+    assert_eq!(value.len(), 32, "barrel shifter is 32-bit");
+    assert_eq!(shamt.len(), 5, "shift amount is 5 bits");
+    let fill = match kind {
+        ShiftKind::LeftLogical | ShiftKind::RightLogical => b.zero(),
+        ShiftKind::RightArithmetic => *value.last().unwrap(),
+    };
+    let mut cur: Vec<NetId> = value.to_vec();
+    for (stage, &sel) in shamt.iter().enumerate() {
+        let amount = 1usize << stage;
+        let shifted: Vec<NetId> = (0..32)
+            .map(|i| match kind {
+                ShiftKind::LeftLogical => {
+                    if i >= amount {
+                        cur[i - amount]
+                    } else {
+                        fill
+                    }
+                }
+                ShiftKind::RightLogical | ShiftKind::RightArithmetic => {
+                    if i + amount < 32 {
+                        cur[i + amount]
+                    } else {
+                        fill
+                    }
+                }
+            })
+            .collect();
+        cur = mux(b, sel, &cur, &shifted);
+    }
+    cur
+}
+
+/// One-hot decoder: `n`-bit input to `2^n` select lines.
+pub fn decode(b: &mut Builder, a: &[NetId]) -> Vec<NetId> {
+    let mut lines = vec![b.one()];
+    for &bit in a {
+        let nbit = b.not(bit);
+        let mut next = Vec::with_capacity(lines.len() * 2);
+        for &line in &lines {
+            next.push(b.and(line, nbit));
+        }
+        for &line in &lines {
+            next.push(b.and(line, bit));
+        }
+        lines = next;
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+
+    fn eval2(
+        width: usize,
+        f: impl Fn(&mut Builder, &[NetId], &[NetId]) -> Vec<NetId>,
+        a: u32,
+        c: u32,
+    ) -> u32 {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", width);
+        let y = b.input_bus("y", width);
+        let out = f(&mut b, &x, &y);
+        b.output_bus("out", &out);
+        let nl = b.finish();
+        let mut sim = Sim::new(&nl);
+        sim.set_bus("x", a);
+        sim.set_bus("y", c);
+        sim.eval();
+        sim.get_bus("out")
+    }
+
+    #[test]
+    fn adder_matches_wrapping_add() {
+        for (a, c) in [(0, 0), (1, 1), (0xffff_ffff, 1), (0x8000_0000, 0x8000_0000), (123, 456)] {
+            let got = eval2(32, |b, x, y| add(b, x, y).0, a, c);
+            assert_eq!(got, a.wrapping_add(c), "{a} + {c}");
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub() {
+        for (a, c) in [(0, 1), (5, 3), (0, 0xffff_ffff), (0x8000_0000, 1)] {
+            let got = eval2(32, |b, x, y| sub(b, x, y).0, a, c);
+            assert_eq!(got, a.wrapping_sub(c), "{a} - {c}");
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        let lt_u = |a: u32, c: u32| eval2(32, |b, x, y| vec![lt_unsigned(b, x, y)], a, c);
+        assert_eq!(lt_u(1, 2), 1);
+        assert_eq!(lt_u(2, 1), 0);
+        assert_eq!(lt_u(0xffff_ffff, 0), 0);
+        let lt_s = |a: u32, c: u32| eval2(32, |b, x, y| vec![lt_signed(b, x, y)], a, c);
+        assert_eq!(lt_s(0xffff_ffff, 0), 1); // -1 < 0
+        assert_eq!(lt_s(0, 0xffff_ffff), 0);
+        assert_eq!(lt_s(0x8000_0000, 0x7fff_ffff), 1); // INT_MIN < INT_MAX
+        let eq_f = |a: u32, c: u32| eval2(32, |b, x, y| vec![eq(b, x, y)], a, c);
+        assert_eq!(eq_f(7, 7), 1);
+        assert_eq!(eq_f(7, 8), 0);
+    }
+
+    #[test]
+    fn barrel_shifts_match_rust_semantics() {
+        for kind in [ShiftKind::LeftLogical, ShiftKind::RightLogical, ShiftKind::RightArithmetic] {
+            for value in [0u32, 1, 0x8000_0001, 0xdead_beef] {
+                for sh in [0u32, 1, 5, 16, 31] {
+                    let mut b = Builder::new();
+                    let v = b.input_bus("v", 32);
+                    let s = b.input_bus("s", 5);
+                    let out = barrel_shift(&mut b, &v, &s, kind);
+                    b.output_bus("out", &out);
+                    let nl = b.finish();
+                    let mut sim = Sim::new(&nl);
+                    sim.set_bus("v", value);
+                    sim.set_bus("s", sh);
+                    sim.eval();
+                    let want = match kind {
+                        ShiftKind::LeftLogical => value << sh,
+                        ShiftKind::RightLogical => value >> sh,
+                        ShiftKind::RightArithmetic => ((value as i32) >> sh) as u32,
+                    };
+                    assert_eq!(sim.get_bus("out"), want, "{kind:?} {value:#x} >> {sh}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let mut b = Builder::new();
+        let a = b.input_bus("a", 3);
+        let lines = decode(&mut b, &a);
+        assert_eq!(lines.len(), 8);
+        b.output_bus("lines", &lines);
+        let nl = b.finish();
+        for v in 0..8 {
+            let mut sim = Sim::new(&nl);
+            sim.set_bus("a", v);
+            sim.eval();
+            assert_eq!(sim.get_bus("lines"), 1 << v);
+        }
+    }
+
+    #[test]
+    fn extension_helpers() {
+        let mut b = Builder::new();
+        let a = b.input_bus("a", 4);
+        let z = zext(&mut b, &a, 8);
+        let s = sext(&mut b, &a, 8);
+        b.output_bus("z", &z);
+        b.output_bus("s", &s);
+        let nl = b.finish();
+        let mut sim = Sim::new(&nl);
+        sim.set_bus("a", 0b1010);
+        sim.eval();
+        assert_eq!(sim.get_bus("z"), 0b0000_1010);
+        assert_eq!(sim.get_bus("s"), 0b1111_1010);
+    }
+}

@@ -1,0 +1,247 @@
+//! Two-phase gate-level simulator with switching-activity capture.
+//!
+//! Evaluation exploits the arena's topological order: one linear pass
+//! settles all combinational logic, then [`Sim::step`] latches every DFF.
+//! Toggle counts accumulate per net and feed the dynamic-power model in the
+//! `flexic` crate (the paper's power numbers are activity-based).
+
+use crate::{Gate, NetId, Netlist};
+
+/// Simulator for one netlist (owns a copy of the structure).
+#[derive(Debug, Clone)]
+pub struct Sim {
+    netlist: Netlist,
+    values: Vec<bool>,
+    ff_state: Vec<bool>,
+    input_values: Vec<bool>,
+    toggles: Vec<u64>,
+    cycles: u64,
+}
+
+impl Sim {
+    /// Creates a simulator with DFFs at their reset values and inputs at 0.
+    pub fn new(netlist: &Netlist) -> Sim {
+        let ff_state = netlist
+            .gates()
+            .iter()
+            .map(|g| match g {
+                Gate::Dff { init, .. } => *init,
+                _ => false,
+            })
+            .collect();
+        let input_count = netlist.inputs().iter().map(|p| p.nets.len()).sum();
+        Sim {
+            values: vec![false; netlist.len()],
+            ff_state,
+            input_values: vec![false; input_count],
+            toggles: vec![0; netlist.len()],
+            cycles: 0,
+            netlist: netlist.clone(),
+        }
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Drives the named input port with the low bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn set_bus(&mut self, port: &str, value: u32) {
+        self.set_bus_u64(port, value as u64);
+    }
+
+    /// Drives the named input port with the low bits of a 64-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn set_bus_u64(&mut self, port: &str, value: u64) {
+        let port = self
+            .netlist
+            .input(port)
+            .unwrap_or_else(|| panic!("no input port `{port}`"));
+        for (i, &net) in port.nets.iter().enumerate() {
+            match self.netlist.gates()[net as usize] {
+                Gate::Input(idx) => self.input_values[idx as usize] = (value >> i) & 1 == 1,
+                ref g => panic!("net {net} is not an input: {g:?}"),
+            }
+        }
+    }
+
+    /// Settles all combinational logic for the current inputs and FF state.
+    pub fn eval(&mut self) {
+        for (id, gate) in self.netlist.gates().iter().enumerate() {
+            let v = match *gate {
+                Gate::Const(v) => v,
+                Gate::Input(idx) => self.input_values[idx as usize],
+                Gate::Not(x) => !self.values[x as usize],
+                Gate::And(x, y) => self.values[x as usize] && self.values[y as usize],
+                Gate::Or(x, y) => self.values[x as usize] || self.values[y as usize],
+                Gate::Xor(x, y) => self.values[x as usize] ^ self.values[y as usize],
+                Gate::Nand(x, y) => !(self.values[x as usize] && self.values[y as usize]),
+                Gate::Nor(x, y) => !(self.values[x as usize] || self.values[y as usize]),
+                Gate::Xnor(x, y) => !(self.values[x as usize] ^ self.values[y as usize]),
+                Gate::Mux { sel, a, b } => {
+                    if self.values[sel as usize] {
+                        self.values[b as usize]
+                    } else {
+                        self.values[a as usize]
+                    }
+                }
+                Gate::Dff { .. } => self.ff_state[id],
+            };
+            if self.values[id] != v {
+                self.toggles[id] += 1;
+                self.values[id] = v;
+            }
+        }
+    }
+
+    /// Clock edge: latches every DFF's `d` into its state.
+    ///
+    /// Call after [`Sim::eval`] has settled the cycle's logic.
+    pub fn step(&mut self) {
+        for id in 0..self.netlist.len() {
+            if let Gate::Dff { d, .. } = self.netlist.gates()[id] {
+                self.ff_state[id] = self.values[d as usize];
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// Reads a single net's settled value.
+    pub fn get(&self, net: NetId) -> bool {
+        self.values[net as usize]
+    }
+
+    /// Forces the stored state of a DFF (e.g. to set a reset PC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a DFF.
+    pub fn set_ff(&mut self, net: NetId, value: bool) {
+        assert!(
+            self.netlist.gates()[net as usize].is_dff(),
+            "net {net} is not a DFF"
+        );
+        self.ff_state[net as usize] = value;
+    }
+
+    /// Reads up to 32 bits of the named output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn get_bus(&self, port: &str) -> u32 {
+        self.get_bus_u64(port) as u32
+    }
+
+    /// Reads up to 64 bits of the named output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn get_bus_u64(&self, port: &str) -> u64 {
+        let port = self
+            .netlist
+            .output(port)
+            .unwrap_or_else(|| panic!("no output port `{port}`"));
+        port.nets
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &n)| acc | ((self.get(n) as u64) << i))
+    }
+
+    /// Total toggles per net since construction.
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Clock cycles stepped so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Average switching activity (toggles per gate per cycle) — the α
+    /// factor of the dynamic power model.
+    pub fn average_activity(&self) -> f64 {
+        if self.cycles == 0 || self.toggles.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.toggles.iter().sum();
+        total as f64 / (self.toggles.len() as f64 * self.cycles as f64)
+    }
+
+    /// Convenience: construct, drive inputs, settle, and read one output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named port is missing.
+    pub fn evaluate_once(netlist: &Netlist, inputs: &[(&str, u64)], output: &str) -> u64 {
+        let mut sim = Sim::new(netlist);
+        for (name, value) in inputs {
+            sim.set_bus_u64(name, *value);
+        }
+        sim.eval();
+        sim.get_bus_u64(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn counter_counts() {
+        // 4-bit counter: ff += 1 each cycle.
+        let mut b = Builder::new();
+        let ffs: Vec<NetId> = (0..4).map(|_| b.dff(false)).collect();
+        let one = crate::bus::constant(&mut b, 1, 4);
+        let (next, _) = crate::bus::add(&mut b, &ffs, &one);
+        for (ff, d) in ffs.iter().zip(&next) {
+            b.connect_dff(*ff, *d);
+        }
+        b.output_bus("count", &ffs);
+        let nl = b.finish();
+        let mut sim = Sim::new(&nl);
+        for expected in 0..20u32 {
+            sim.eval();
+            assert_eq!(sim.get_bus("count"), expected % 16);
+            sim.step();
+        }
+        assert_eq!(sim.cycles(), 20);
+    }
+
+    #[test]
+    fn toggles_accumulate() {
+        let mut b = Builder::new();
+        let x = b.input("x");
+        let nx = b.not(x);
+        b.output("y", nx);
+        let nl = b.finish();
+        let mut sim = Sim::new(&nl);
+        for i in 0..10 {
+            sim.set_bus("x", i & 1);
+            sim.eval();
+            sim.step();
+        }
+        assert!(sim.average_activity() > 0.0);
+        assert!(sim.toggles().iter().sum::<u64>() >= 9);
+    }
+
+    #[test]
+    fn evaluate_once_helper() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let z = crate::bus::xor(&mut b, &x, &y);
+        b.output_bus("z", &z);
+        let nl = b.finish();
+        assert_eq!(Sim::evaluate_once(&nl, &[("x", 0xf0), ("y", 0x3c)], "z"), 0xcc);
+    }
+}

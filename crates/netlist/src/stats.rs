@@ -1,0 +1,157 @@
+//! Gate counting in NAND2 equivalents.
+//!
+//! The paper reports processor area as "NAND2-equivalent gatecounts"
+//! (Figure 7).  The weights below are the conventional standard-cell area
+//! ratios for a 2-input-gate library; the FlexIC technology model in the
+//! `flexic` crate attaches delay and power to the same categories.
+
+use crate::{Gate, Netlist};
+
+/// Per-kind gate counts of a netlist.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounts {
+    /// Inverters.
+    pub not: usize,
+    /// AND2 gates.
+    pub and: usize,
+    /// OR2 gates.
+    pub or: usize,
+    /// XOR2 gates.
+    pub xor: usize,
+    /// NAND2 gates.
+    pub nand: usize,
+    /// NOR2 gates.
+    pub nor: usize,
+    /// XNOR2 gates.
+    pub xnor: usize,
+    /// 2:1 muxes.
+    pub mux: usize,
+    /// D flip-flops.
+    pub dff: usize,
+    /// Constants and input pins (zero area).
+    pub zero_area: usize,
+}
+
+/// NAND2-equivalent area weights per gate category.
+pub mod nand2_weight {
+    /// Inverter.
+    pub const NOT: f64 = 0.67;
+    /// AND2 / OR2 (NAND/NOR plus an inverter).
+    pub const AND_OR: f64 = 1.33;
+    /// NAND2 / NOR2.
+    pub const NAND_NOR: f64 = 1.0;
+    /// XOR2 / XNOR2.
+    pub const XOR: f64 = 2.33;
+    /// 2:1 mux.
+    pub const MUX: f64 = 2.33;
+    /// D flip-flop (the paper notes FFs dominate Serv's area/power).
+    pub const DFF: f64 = 7.67;
+}
+
+impl GateCounts {
+    /// Counts the gates of `netlist`.
+    pub fn of(netlist: &Netlist) -> GateCounts {
+        let mut c = GateCounts::default();
+        for g in netlist.gates() {
+            match g {
+                Gate::Const(_) | Gate::Input(_) => c.zero_area += 1,
+                Gate::Not(_) => c.not += 1,
+                Gate::And(..) => c.and += 1,
+                Gate::Or(..) => c.or += 1,
+                Gate::Xor(..) => c.xor += 1,
+                Gate::Nand(..) => c.nand += 1,
+                Gate::Nor(..) => c.nor += 1,
+                Gate::Xnor(..) => c.xnor += 1,
+                Gate::Mux { .. } => c.mux += 1,
+                Gate::Dff { .. } => c.dff += 1,
+            }
+        }
+        c
+    }
+
+    /// Total gates with non-zero area.
+    pub fn logic_gates(&self) -> usize {
+        self.not + self.and + self.or + self.xor + self.nand + self.nor + self.xnor + self.mux
+            + self.dff
+    }
+
+    /// NAND2-equivalent area (the paper's Figure 7 metric).
+    pub fn nand2_equivalent(&self) -> f64 {
+        use nand2_weight::*;
+        self.not as f64 * NOT
+            + (self.and + self.or) as f64 * AND_OR
+            + (self.nand + self.nor) as f64 * NAND_NOR
+            + (self.xor + self.xnor) as f64 * XOR
+            + self.mux as f64 * MUX
+            + self.dff as f64 * DFF
+    }
+
+    /// Fraction of NAND2-equivalent area contributed by flip-flops
+    /// (Figure 10 annotates this per layout).
+    pub fn ff_area_fraction(&self) -> f64 {
+        let total = self.nand2_equivalent();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.dff as f64 * nand2_weight::DFF / total
+    }
+}
+
+impl std::fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "not={} and={} or={} xor={} nand={} nor={} xnor={} mux={} dff={} (NAND2eq {:.0})",
+            self.not,
+            self.and,
+            self.or,
+            self.xor,
+            self.nand,
+            self.nor,
+            self.xnor,
+            self.mux,
+            self.dff,
+            self.nand2_equivalent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bus, Builder};
+
+    #[test]
+    fn counts_and_area_of_small_adder() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 4);
+        let y = b.input_bus("y", 4);
+        let (sum, _) = bus::add(&mut b, &x, &y);
+        b.output_bus("sum", &sum);
+        let nl = b.finish();
+        let counts = GateCounts::of(&nl);
+        assert!(counts.xor >= 7, "{counts}");
+        assert!(counts.nand2_equivalent() > 10.0);
+        assert_eq!(counts.dff, 0);
+        assert_eq!(counts.ff_area_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ff_fraction_reflects_dffs() {
+        let mut b = Builder::new();
+        let x = b.input("x");
+        let ff = b.dff(false);
+        b.connect_dff(ff, x);
+        b.output("q", ff);
+        let nl = b.finish();
+        let counts = GateCounts::of(&nl);
+        assert_eq!(counts.dff, 1);
+        assert_eq!(counts.ff_area_fraction(), 1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let counts = GateCounts::default();
+        assert!(!counts.to_string().is_empty());
+    }
+}

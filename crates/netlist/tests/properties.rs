@@ -1,0 +1,122 @@
+//! Property-based tests on the netlist substrate's core invariants.
+
+use netlist::sim::Sim;
+use netlist::{bus, Builder, Gate, Netlist};
+use proptest::prelude::*;
+
+/// Builds a random combinational circuit from a recipe of byte opcodes.
+fn circuit_from_recipe(recipe: &[u8]) -> Netlist {
+    let mut b = Builder::new();
+    let inputs = b.input_bus("in", 8);
+    let mut nets = inputs.clone();
+    for chunk in recipe.chunks(3) {
+        let (op, i, j) = (chunk[0] % 7, chunk.get(1).copied().unwrap_or(0), chunk.get(2).copied().unwrap_or(1));
+        let x = nets[i as usize % nets.len()];
+        let y = nets[j as usize % nets.len()];
+        let n = match op {
+            0 => b.and(x, y),
+            1 => b.or(x, y),
+            2 => b.xor(x, y),
+            3 => b.nand(x, y),
+            4 => b.nor(x, y),
+            5 => b.not(x),
+            _ => b.mux(x, y, nets[(i as usize + 1) % nets.len()]),
+        };
+        nets.push(n);
+    }
+    let out: Vec<_> = nets.iter().rev().take(8).copied().collect();
+    b.output_bus("out", &out);
+    b.finish()
+}
+
+proptest! {
+    /// The synthesis pass preserves behaviour on arbitrary random circuits.
+    #[test]
+    fn synthesize_preserves_random_circuits(
+        recipe in proptest::collection::vec(any::<u8>(), 3..120),
+        seed in any::<u64>(),
+    ) {
+        let nl = circuit_from_recipe(&recipe);
+        let (opt, report) = netlist::opt::synthesize(&nl);
+        prop_assert!(report.gates_after <= report.gates_before);
+        prop_assert!(netlist::opt::check_equivalence(&nl, &opt, 24, seed).is_ok());
+    }
+
+    /// Gate ids are always topologically ordered (fan-in < gate id).
+    #[test]
+    fn construction_order_is_topological(
+        recipe in proptest::collection::vec(any::<u8>(), 3..90),
+    ) {
+        let nl = circuit_from_recipe(&recipe);
+        for (id, gate) in nl.gates().iter().enumerate() {
+            for f in gate.fanin() {
+                prop_assert!((f as usize) < id);
+            }
+        }
+    }
+
+    /// The ripple adder is associative with constants folded through.
+    #[test]
+    fn adder_chain_matches_u32(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
+        let mut bld = Builder::new();
+        let x = bld.input_bus("x", 32);
+        let y = bld.input_bus("y", 32);
+        let z = bus::constant(&mut bld, c, 32);
+        let (s1, _) = bus::add(&mut bld, &x, &y);
+        let (s2, _) = bus::add(&mut bld, &s1, &z);
+        bld.output_bus("out", &s2);
+        let nl = bld.finish();
+        let mut sim = Sim::new(&nl);
+        sim.set_bus("x", a);
+        sim.set_bus("y", b);
+        sim.eval();
+        prop_assert_eq!(sim.get_bus("out"), a.wrapping_add(b).wrapping_add(c));
+    }
+
+    /// `lt_signed`/`lt_unsigned` agree with Rust comparisons everywhere.
+    #[test]
+    fn comparisons_match_rust(a in any::<u32>(), b in any::<u32>()) {
+        let mut bld = Builder::new();
+        let x = bld.input_bus("x", 32);
+        let y = bld.input_bus("y", 32);
+        let lts = bus::lt_signed(&mut bld, &x, &y);
+        let ltu = bus::lt_unsigned(&mut bld, &x, &y);
+        let eq = bus::eq(&mut bld, &x, &y);
+        bld.output_bus("o", &[lts, ltu, eq]);
+        let nl = bld.finish();
+        let mut sim = Sim::new(&nl);
+        sim.set_bus("x", a);
+        sim.set_bus("y", b);
+        sim.eval();
+        let o = sim.get_bus("o");
+        prop_assert_eq!(o & 1, ((a as i32) < (b as i32)) as u32);
+        prop_assert_eq!((o >> 1) & 1, (a < b) as u32);
+        prop_assert_eq!((o >> 2) & 1, (a == b) as u32);
+    }
+
+    /// Stuck-at mutation changes the gate census by at most one gate kind,
+    /// and `with_gate_replaced` never breaks topological order.
+    #[test]
+    fn mutation_preserves_topology(
+        recipe in proptest::collection::vec(any::<u8>(), 6..60),
+        pick in any::<usize>(),
+    ) {
+        let nl = circuit_from_recipe(&recipe);
+        // Only mutate non-input gates.
+        let candidates: Vec<_> = nl
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !matches!(g, Gate::Input(_) | Gate::Const(_)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let target = candidates[pick % candidates.len()];
+        let mutant = nl.with_gate_replaced(target, Gate::Const(true));
+        for (id, gate) in mutant.gates().iter().enumerate() {
+            for f in gate.fanin() {
+                prop_assert!((f as usize) < id);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Candidate macro templates for every instruction outside the minimal
+//! subset.
+//!
+//! Templates are textual assembly with placeholders (`{rd}`, `{rs1}`,
+//! `{rs2}`, `{imm}`, `{target}`, `{L}` for a unique label prefix, plus
+//! derived constants).  Each pool intentionally contains
+//! plausible-but-wrong variants alongside the correct macro — they stand in
+//! for the LLM's failure modes, and the verification loop must reject them
+//! (Section 5: "if the LLM generates a macro that cannot be functionally
+//! verified, the macro is rejected, and another macro is requested").
+//!
+//! Conventions: macros may clobber `x3`/`x4` and the 16 bytes below `sp`.
+
+use riscv_isa::asm::{AsmInstr, Target};
+use riscv_isa::Mnemonic;
+
+/// Returns the candidate template pool for an unsupported mnemonic.
+///
+/// The pool is never empty for the 25 mnemonics outside
+/// [`crate::minimal_subset`].
+pub fn candidates(m: Mnemonic) -> &'static [&'static str] {
+    use Mnemonic::*;
+    match m {
+        Sub => &[
+            // Wrong: off-by-one (forgets the +1 of two's complement).
+            "xori x3, {rs2}, -1\nadd {rd}, {rs1}, x3\n",
+            // Correct.
+            "xori x3, {rs2}, -1\naddi x3, x3, 1\nadd {rd}, {rs1}, x3\n",
+        ],
+        Or => &[
+            // Wrong: produces ~(a|b).
+            "xori x3, {rs1}, -1\nxori x4, {rs2}, -1\nand {rd}, x3, x4\n",
+            // Correct: De Morgan.
+            "xori x3, {rs1}, -1\nxori x4, {rs2}, -1\nand x3, x3, x4\nxori {rd}, x3, -1\n",
+        ],
+        Xor => &[
+            // Wrong: drops one negation.
+            "xori x3, {rs2}, -1\nand x3, {rs1}, x3\nxori x4, {rs1}, -1\nand x4, x4, {rs2}\nand x3, x3, x4\nxori {rd}, x3, -1\n",
+            // Correct: (a & ~b) | (~a & b) with the OR by De Morgan.
+            "xori x3, {rs2}, -1\nand x3, {rs1}, x3\nxori x4, {rs1}, -1\nand x4, x4, {rs2}\nxori x3, x3, -1\nxori x4, x4, -1\nand x3, x3, x4\nxori {rd}, x3, -1\n",
+        ],
+        Slt => &[
+            // Wrong: inverted polarity.
+            "addi x3, x0, 1\nblt {rs1}, {rs2}, {L}d\naddi x3, x0, 1\n{L}d: add {rd}, x0, x3\n",
+            // Correct.
+            "addi x3, x0, 0\nblt {rs1}, {rs2}, {L}t\njal x0, {L}d\n{L}t: addi x3, x0, 1\n{L}d: add {rd}, x0, x3\n",
+        ],
+        Sltu => &[
+            "addi x3, x0, 0\nbltu {rs1}, {rs2}, {L}t\njal x0, {L}d\n{L}t: addi x3, x0, 1\n{L}d: add {rd}, x0, x3\n",
+        ],
+        Slti => &[
+            "addi x4, x0, {imm}\naddi x3, x0, 0\nblt {rs1}, x4, {L}t\njal x0, {L}d\n{L}t: addi x3, x0, 1\n{L}d: add {rd}, x0, x3\n",
+        ],
+        Sltiu => &[
+            "addi x4, x0, {imm}\naddi x3, x0, 0\nbltu {rs1}, x4, {L}t\njal x0, {L}d\n{L}t: addi x3, x0, 1\n{L}d: add {rd}, x0, x3\n",
+        ],
+        Andi => &["addi x4, x0, {imm}\nand {rd}, {rs1}, x4\n"],
+        Ori => &[
+            "addi x4, x0, {imm}\nxori x3, {rs1}, -1\nxori x4, x4, -1\nand x3, x3, x4\nxori {rd}, x3, -1\n",
+        ],
+        Xori => &[], // in the subset
+        Slli => &["addi x3, x0, {imm}\nsll {rd}, {rs1}, x3\n"],
+        Srai => &["addi x3, x0, {imm}\nsra {rd}, {rs1}, x3\n"],
+        Srli => &[
+            // Correct only for shamt == 0.
+            "add {rd}, x0, {rs1}\n",
+            // Wrong: plain sra leaks sign bits.
+            "addi x3, x0, {imm}\nsra {rd}, {rs1}, x3\n",
+            // Correct for shamt > 0: sra then mask off the sign copies.
+            "addi x3, x0, {imm}\nsra x3, {rs1}, x3\naddi x4, x0, {imm32m}\nsw x3, -4(sp)\naddi x3, x0, 1\nsll x3, x3, x4\naddi x3, x3, -1\nlw x4, -4(sp)\nand {rd}, x3, x4\n",
+        ],
+        Srl => &[
+            // Wrong: ignores the n == 0 case (mask becomes 0).
+            "addi x4, x0, 31\nand x4, {rs2}, x4\nsra x3, {rs1}, x4\nsw x3, -4(sp)\nxori x3, x4, -1\naddi x3, x3, 33\naddi x4, x0, 1\nsll x4, x4, x3\naddi x4, x4, -1\nlw x3, -4(sp)\nand {rd}, x3, x4\n",
+            // Correct.
+            "addi x4, x0, 31\nand x4, {rs2}, x4\nsra x3, {rs1}, x4\nblt x0, x4, {L}m\njal x0, {L}d\n{L}m: sw x3, -4(sp)\nxori x3, x4, -1\naddi x3, x3, 33\naddi x4, x0, 1\nsll x4, x4, x3\naddi x4, x4, -1\nlw x3, -4(sp)\nand x3, x3, x4\n{L}d: add {rd}, x0, x3\n",
+        ],
+        Beq => &[
+            // Wrong: only half the comparison.
+            "blt {rs1}, {rs2}, {L}f\njal x0, {target}\n{L}f:\n",
+            // Correct: equal iff neither is less than the other.
+            "blt {rs1}, {rs2}, {L}f\nblt {rs2}, {rs1}, {L}f\njal x0, {target}\n{L}f:\n",
+        ],
+        Bne => &[
+            "blt {rs1}, {rs2}, {L}t\nblt {rs2}, {rs1}, {L}t\njal x0, {L}f\n{L}t: jal x0, {target}\n{L}f:\n",
+        ],
+        Bge => &[
+            // Wrong: swapped polarity.
+            "blt {rs1}, {rs2}, {L}t\njal x0, {L}f\n{L}t: jal x0, {target}\n{L}f:\n",
+            // Correct: rs1 >= rs2 unless rs1 < rs2.
+            "blt {rs1}, {rs2}, {L}f\njal x0, {target}\n{L}f:\n",
+        ],
+        Bgeu => &["bltu {rs1}, {rs2}, {L}f\njal x0, {target}\n{L}f:\n"],
+        Lui => &[
+            // Wrong: 11-bit chunking misplaces the bits.
+            "addi x3, x0, {lui_hi}\naddi x4, x0, 11\nsll x3, x3, x4\naddi x3, x3, {lui_lo}\naddi x4, x0, 12\nsll x3, x3, x4\nadd {rd}, x0, x3\n",
+            // Correct: two 10-bit chunks then << 12.
+            "addi x3, x0, {lui_hi}\naddi x4, x0, 10\nsll x3, x3, x4\naddi x3, x3, {lui_lo}\naddi x4, x0, 12\nsll x3, x3, x4\nadd {rd}, x0, x3\n",
+        ],
+        Auipc => &[
+            // Correct: capture PC with a fall-through jal, then add the
+            // upper immediate built as for lui.
+            "jal x3, {L}n\n{L}n: addi x3, x3, -4\nsw x3, -4(sp)\naddi x3, x0, {lui_hi}\naddi x4, x0, 10\nsll x3, x3, x4\naddi x3, x3, {lui_lo}\naddi x4, x0, 12\nsll x3, x3, x4\nlw x4, -4(sp)\nadd {rd}, x3, x4\n",
+        ],
+        Lb => &[
+            "addi x3, {rs1}, {imm}\naddi x4, x0, -4\nand x4, x3, x4\nlw x4, 0(x4)\nsw x4, -4(sp)\naddi x4, x0, 3\nand x3, x3, x4\naddi x4, x0, 3\nsll x3, x3, x4\nxori x3, x3, -1\naddi x3, x3, 25\nlw x4, -4(sp)\nsll x4, x4, x3\naddi x3, x0, 24\nsra {rd}, x4, x3\n",
+        ],
+        Lbu => &[
+            // Wrong: forgets the 0xff mask, so negative words leak sign bits.
+            "addi x3, {rs1}, {imm}\naddi x4, x0, -4\nand x4, x3, x4\nlw x4, 0(x4)\nsw x4, -4(sp)\naddi x4, x0, 3\nand x3, x3, x4\naddi x4, x0, 3\nsll x3, x3, x4\nlw x4, -4(sp)\nsra {rd}, x4, x3\n",
+            // Correct.
+            "addi x3, {rs1}, {imm}\naddi x4, x0, -4\nand x4, x3, x4\nlw x4, 0(x4)\nsw x4, -4(sp)\naddi x4, x0, 3\nand x3, x3, x4\naddi x4, x0, 3\nsll x3, x3, x4\nlw x4, -4(sp)\nsra x4, x4, x3\naddi x3, x0, 255\nand {rd}, x4, x3\n",
+        ],
+        Lh => &[
+            "addi x3, {rs1}, {imm}\naddi x4, x0, -4\nand x4, x3, x4\nlw x4, 0(x4)\nsw x4, -4(sp)\naddi x4, x0, 2\nand x3, x3, x4\naddi x4, x0, 3\nsll x3, x3, x4\nxori x3, x3, -1\naddi x3, x3, 17\nlw x4, -4(sp)\nsll x4, x4, x3\naddi x3, x0, 16\nsra {rd}, x4, x3\n",
+        ],
+        Lhu => &[
+            "addi x3, {rs1}, {imm}\naddi x4, x0, -4\nand x4, x3, x4\nlw x4, 0(x4)\nsw x4, -4(sp)\naddi x4, x0, 2\nand x3, x3, x4\naddi x4, x0, 3\nsll x3, x3, x4\nlw x4, -4(sp)\nsra x4, x4, x3\nsw x4, -4(sp)\naddi x3, x0, 16\naddi x4, x0, 1\nsll x4, x4, x3\naddi x4, x4, -1\nlw x3, -4(sp)\nand {rd}, x3, x4\n",
+        ],
+        Sb => &[
+            "addi x3, {rs1}, {imm}\nsw x3, -8(sp)\naddi x4, x0, -4\nand x4, x3, x4\nsw x4, -12(sp)\nlw x4, 0(x4)\nsw x4, -16(sp)\naddi x4, x0, 3\nand x3, x3, x4\naddi x4, x0, 3\nsll x3, x3, x4\nsw x3, -8(sp)\naddi x4, x0, 255\nsll x4, x4, x3\nxori x4, x4, -1\nlw x3, -16(sp)\nand x3, x3, x4\nsw x3, -16(sp)\naddi x4, x0, 255\nand x4, {rs2}, x4\nlw x3, -8(sp)\nsll x4, x4, x3\nlw x3, -16(sp)\nxori x3, x3, -1\nxori x4, x4, -1\nand x3, x3, x4\nxori x3, x3, -1\nlw x4, -12(sp)\nsw x3, 0(x4)\n",
+        ],
+        Sh => &[
+            "addi x3, {rs1}, {imm}\naddi x4, x0, -4\nand x4, x3, x4\nsw x4, -12(sp)\nlw x4, 0(x4)\nsw x4, -16(sp)\naddi x4, x0, 2\nand x3, x3, x4\naddi x4, x0, 3\nsll x3, x3, x4\nsw x3, -8(sp)\naddi x4, x0, 16\naddi x3, x0, 1\nsll x3, x3, x4\naddi x3, x3, -1\nlw x4, -8(sp)\nsll x3, x3, x4\nxori x3, x3, -1\nlw x4, -16(sp)\nand x4, x4, x3\nsw x4, -16(sp)\naddi x4, x0, 16\naddi x3, x0, 1\nsll x3, x3, x4\naddi x3, x3, -1\nand x3, {rs2}, x3\nlw x4, -8(sp)\nsll x3, x3, x4\nlw x4, -16(sp)\nxori x3, x3, -1\nxori x4, x4, -1\nand x3, x3, x4\nxori x3, x3, -1\nlw x4, -12(sp)\nsw x3, 0(x4)\n",
+        ],
+        // Subset members need no macro.
+        Addi | Add | And | Sll | Sra | Jal | Jalr | Blt | Bltu | Lw | Sw => &[],
+    }
+}
+
+/// Substitutes placeholders in a template for a concrete instruction site.
+pub fn instantiate(template: &str, ai: &AsmInstr, site: usize) -> String {
+    let imm = match &ai.target {
+        Target::Imm(v) => *v,
+        Target::Label(_) => 0,
+    };
+    let target = match &ai.target {
+        Target::Label(name) => name.clone(),
+        Target::Imm(_) => format!("__rt{site}_imm_target"),
+    };
+    let v = imm as u32;
+    let upper20 = v >> 12;
+    template
+        .replace("{rd}", &ai.rd.to_string())
+        .replace("{rs1}", &ai.rs1.to_string())
+        .replace("{rs2}", &ai.rs2.to_string())
+        .replace("{imm32m}", &(32 - (imm & 31)).to_string())
+        .replace("{imm}", &imm.to_string())
+        .replace("{lui_hi}", &(upper20 >> 10).to_string())
+        .replace("{lui_lo}", &(upper20 & 0x3ff).to_string())
+        .replace("{target}", &target)
+        .replace("{L}", &format!("__rt{site}_"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::asm;
+    use riscv_isa::Reg;
+
+    #[test]
+    fn every_non_subset_mnemonic_has_candidates() {
+        let subset = crate::minimal_subset();
+        for m in riscv_isa::ALL_MNEMONICS {
+            if subset.contains(m) {
+                continue;
+            }
+            assert!(!candidates(m).is_empty(), "{m} has no macro candidates");
+        }
+    }
+
+    #[test]
+    fn templates_parse_after_instantiation() {
+        let subset = crate::minimal_subset();
+        for m in riscv_isa::ALL_MNEMONICS {
+            if subset.contains(m) {
+                continue;
+            }
+            let ai = AsmInstr {
+                mnemonic: m,
+                rd: Reg::X7,
+                rs1: Reg::X8,
+                rs2: Reg::X9,
+                target: if m.is_branch() {
+                    Target::Label("somewhere".into())
+                } else if m.funct7().is_some() && m.format() == riscv_isa::Format::I {
+                    Target::Imm(5) // shamt
+                } else {
+                    Target::Imm(16)
+                },
+            };
+            for (i, t) in candidates(m).iter().enumerate() {
+                let text = instantiate(t, &ai, 1);
+                let parsed = asm::parse(&text)
+                    .unwrap_or_else(|e| panic!("{m} candidate {i}: {e}\n{text}"));
+                // Expansions must only use subset instructions.
+                for item in &parsed {
+                    if let riscv_isa::asm::Item::Instr(x) = item {
+                        assert!(subset.contains(x.mnemonic), "{m} candidate {i} uses {}", x.mnemonic);
+                    }
+                }
+            }
+        }
+    }
+}

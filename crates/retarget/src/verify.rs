@@ -1,0 +1,291 @@
+//! Functional verification of synthesised macros (the right half of
+//! Figure 11): every candidate expansion is executed against the original
+//! instruction's architectural semantics on randomised and corner-case
+//! operands; any divergence rejects the candidate.
+
+use riscv_emu::{Emulator, SparseMemory};
+use riscv_isa::asm::{AsmInstr, Item, Target};
+use riscv_isa::semantics::{step, ArchState};
+use riscv_isa::{Instruction, REG_COUNT};
+
+const SP_VALUE: u32 = 0x8000;
+/// Bytes below `sp` a macro may scribble on.
+const SCRATCH_BYTES: u32 = 16;
+const BASE: u32 = 0x0010_0000;
+
+/// Why a candidate was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyFailure {
+    /// Description of the divergence.
+    pub reason: String,
+    /// Register file the failing sample started from.
+    pub regs: [u32; REG_COUNT],
+}
+
+impl std::fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "macro rejected: {}", self.reason)
+    }
+}
+
+impl std::error::Error for VerifyFailure {}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state >> 12;
+    *state ^= *state << 25;
+    *state ^= *state >> 27;
+    state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Checks that `expansion` reproduces `ai`'s architectural semantics.
+///
+/// The expansion runs in an emulator sandbox; the original instruction runs
+/// through the golden semantics.  Register files must match afterwards
+/// (x3/x4 exempt — documented macro scratch), memory effects must match,
+/// and for branches the expansion must reach the "taken" sink exactly when
+/// the original branch is taken.
+///
+/// # Errors
+///
+/// Returns the first diverging sample.
+pub fn verify_expansion(
+    ai: &AsmInstr,
+    expansion: &[Item],
+    samples: usize,
+    seed: u64,
+) -> Result<(), VerifyFailure> {
+    // Local labels defined inside the expansion.
+    let local: std::collections::HashSet<&str> = expansion
+        .iter()
+        .filter_map(|i| match i {
+            Item::Label(name) => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    // Rewrite external targets (the real branch destination) to the local
+    // "taken" sink so the sandbox can observe the outcome.
+    let mut prog: Vec<Item> = expansion
+        .iter()
+        .map(|i| match i {
+            Item::Instr(x) => {
+                let mut x = x.clone();
+                if let Target::Label(name) = &x.target {
+                    if !local.contains(name.as_str()) {
+                        x.target = Target::Label("__verify_taken".into());
+                    }
+                }
+                Item::Instr(x)
+            }
+            other => other.clone(),
+        })
+        .collect();
+    prog.push(Item::Label("__verify_fall".into()));
+    prog.push(Item::Word(0x0000_0013)); // nop landing pad
+    prog.push(Item::Label("__verify_taken".into()));
+    prog.push(Item::Word(0x0000_0013));
+
+    let resolved = riscv_isa::asm::assemble(&prog, BASE)
+        .map_err(|e| VerifyFailure { reason: format!("assembly: {e}"), regs: [0; REG_COUNT] })?;
+    let n_words = resolved.len() as u32;
+    let taken_addr = BASE + (n_words - 1) * 4;
+    let fall_addr = taken_addr - 4;
+
+    let imm = match &ai.target {
+        Target::Imm(v) => *v,
+        // Label branches: the offset itself is immaterial to the sandbox —
+        // only taken/not-taken is observed.  Use a representative offset.
+        Target::Label(_) => 64,
+    };
+    let instr = Instruction {
+        mnemonic: ai.mnemonic,
+        rd: ai.rd,
+        rs1: ai.rs1,
+        rs2: ai.rs2,
+        imm,
+    };
+    // Canonicalise operand fields the format does not use (rs1/rs2 for
+    // U/J formats and so on) so the golden semantics sees a well-formed
+    // instruction.
+    let instr = Instruction::decode(instr.encode()).expect("canonical encoding");
+
+    let corner = [0u32, 1, 2, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff, 0xabcd_0123];
+    let mut state = seed | 1;
+    for k in 0..samples {
+        let mut regs = [0u32; REG_COUNT];
+        for (i, r) in regs.iter_mut().enumerate().skip(1) {
+            *r = if k < corner.len() * corner.len() && (i == ai.rs1.index() || i == ai.rs2.index())
+            {
+                // Corner grid for the operand registers on early samples.
+                let a = corner[k % corner.len()];
+                let b = corner[(k / corner.len()) % corner.len()];
+                if i == ai.rs1.index() {
+                    a
+                } else {
+                    b
+                }
+            } else {
+                xorshift(&mut state) as u32
+            };
+        }
+        regs[0] = 0;
+        regs[2] = SP_VALUE;
+        // Memory accesses of the original instruction land here; only
+        // memory instructions get a preload (a stray preload could land on
+        // the sandbox code itself).
+        let is_mem = ai.mnemonic.is_load() || ai.mnemonic.is_store();
+        let access_addr = regs[ai.rs1.index()].wrapping_add(imm as u32);
+        let preload = xorshift(&mut state) as u32;
+
+        // Golden run.
+        // The expansion's first instruction sits at the original
+        // instruction's address, so the golden PC is the sandbox base
+        // (auipc's macro captures its own PC via `jal`).
+        let mut golden_state = ArchState { pc: BASE, regs };
+        let mut golden_mem = SparseMemory::new();
+        if is_mem {
+            golden_mem.store_word(access_addr & !3, preload);
+        }
+        let out = step(&mut golden_state, instr, &mut golden_mem);
+        let golden_taken = instr.mnemonic.is_branch() && out.next_pc != BASE + 4;
+
+        // Sandbox run.
+        let mut emu = Emulator::with_entry(BASE);
+        emu.load_words(BASE, &resolved);
+        if is_mem {
+            emu.memory_mut().store_word(access_addr & !3, preload);
+        }
+        emu.state_mut().regs = regs;
+        let mut landed = None;
+        for _ in 0..600 {
+            let pc = emu.state().pc;
+            if pc == fall_addr || pc == taken_addr {
+                landed = Some(pc);
+                break;
+            }
+            if emu.step().map_err(|e| VerifyFailure {
+                reason: format!("sandbox fault: {e}"),
+                regs,
+            })? {
+                break;
+            }
+        }
+        let Some(landed) = landed else {
+            return Err(VerifyFailure { reason: "expansion did not terminate".into(), regs });
+        };
+
+        // Control-flow outcome.
+        let dut_taken = landed == taken_addr;
+        if dut_taken != golden_taken {
+            return Err(VerifyFailure {
+                reason: format!("branch outcome: golden taken={golden_taken}, macro taken={dut_taken}"),
+                regs,
+            });
+        }
+        // Register file (x3/x4 are declared scratch).
+        for i in 0..REG_COUNT {
+            if i == 3 || i == 4 {
+                continue;
+            }
+            if emu.state().regs[i] != golden_state.regs[i] {
+                return Err(VerifyFailure {
+                    reason: format!(
+                        "x{i}: macro {:#x}, specification {:#x}",
+                        emu.state().regs[i],
+                        golden_state.regs[i]
+                    ),
+                    regs,
+                });
+            }
+        }
+        // Memory effect at the access word (and the scratch exemption).
+        let golden_word = golden_mem.load_word(access_addr & !3);
+        let dut_word = emu.memory().load_word(access_addr & !3);
+        let in_scratch = access_addr >= SP_VALUE - SCRATCH_BYTES && access_addr < SP_VALUE;
+        let in_code = (BASE..BASE + n_words * 4).contains(&(access_addr & !3));
+        if is_mem && !in_scratch && !in_code && dut_word != golden_word {
+            return Err(VerifyFailure {
+                reason: format!(
+                    "memory at {:#x}: macro {dut_word:#x}, specification {golden_word:#x}",
+                    access_addr & !3
+                ),
+                regs,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macros;
+    use riscv_isa::{Mnemonic, Reg};
+
+    fn site(m: Mnemonic, rd: Reg, rs1: Reg, rs2: Reg, target: Target) -> AsmInstr {
+        AsmInstr { mnemonic: m, rd, rs1, rs2, target }
+    }
+
+    #[test]
+    fn correct_macros_verify_for_all_unsupported_mnemonics() {
+        let subset = crate::minimal_subset();
+        for m in riscv_isa::ALL_MNEMONICS {
+            if subset.contains(m) {
+                continue;
+            }
+            let target = if m.is_branch() {
+                Target::Label("far_away".into())
+            } else if m.funct7().is_some() && m.format() == riscv_isa::Format::I {
+                Target::Imm(7)
+            } else if m.format() == riscv_isa::Format::U {
+                Target::Imm(0x12345 << 12)
+            } else {
+                Target::Imm(24)
+            };
+            let ai = site(m, Reg::X7, Reg::X8, Reg::X9, target);
+            let pool = macros::candidates(m);
+            let verified = pool.iter().any(|t| {
+                let text = macros::instantiate(t, &ai, 99);
+                match riscv_isa::asm::parse(&text) {
+                    Ok(items) => verify_expansion(&ai, &items, 80, 0x51ed).is_ok(),
+                    Err(_) => false,
+                }
+            });
+            assert!(verified, "{m}: no candidate verified");
+        }
+    }
+
+    #[test]
+    fn wrong_sub_macro_is_rejected() {
+        let ai = site(Mnemonic::Sub, Reg::X7, Reg::X8, Reg::X9, Target::Imm(0));
+        let wrong = macros::instantiate(macros::candidates(Mnemonic::Sub)[0], &ai, 1);
+        let items = riscv_isa::asm::parse(&wrong).unwrap();
+        assert!(verify_expansion(&ai, &items, 40, 1).is_err());
+    }
+
+    #[test]
+    fn wrong_beq_macro_is_rejected() {
+        let ai = site(
+            Mnemonic::Beq,
+            Reg::X0,
+            Reg::X8,
+            Reg::X9,
+            Target::Label("t".into()),
+        );
+        let wrong = macros::instantiate(macros::candidates(Mnemonic::Beq)[0], &ai, 2);
+        let items = riscv_isa::asm::parse(&wrong).unwrap();
+        assert!(verify_expansion(&ai, &items, 60, 2).is_err());
+    }
+
+    #[test]
+    fn zero_shift_srli_needs_the_mv_candidate() {
+        let ai = site(Mnemonic::Srli, Reg::X7, Reg::X8, Reg::X0, Target::Imm(0));
+        // The masking template fails for shamt 0; the mv template passes.
+        let pool = macros::candidates(Mnemonic::Srli);
+        let mv = macros::instantiate(pool[0], &ai, 3);
+        let items = riscv_isa::asm::parse(&mv).unwrap();
+        verify_expansion(&ai, &items, 40, 3).unwrap();
+        let masked = macros::instantiate(pool[2], &ai, 4);
+        let items = riscv_isa::asm::parse(&masked).unwrap();
+        assert!(verify_expansion(&ai, &items, 40, 4).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! The three extreme-edge applications of §4.
+//!
+//! * `armpit` — malodour classification with two decision trees (one per
+//!   gender), as in the FlexIC deployment of Ozer et al. (Nature Comms '23).
+//! * `xgboost` — a gradient-boosted decision-stump ensemble extracted for
+//!   the Pima Indians diabetes dataset (binary classification).
+//! * `af_detect` — the APPT atrial-fibrillation detector: R-peak detection,
+//!   RR/ΔRR intervals, and a Bloom-filter binary predictor (Ozer et al.,
+//!   FLEPS '24).
+
+use crate::{Category, Workload};
+use xcc::ast::build::*;
+use xcc::ast::{BinOp, DataObject, Function, Program};
+
+fn w(name: &'static str, program: Program) -> Workload {
+    Workload { name, category: Category::ExtremeEdge, program }
+}
+
+/// `armpit`: two depth-3 decision trees over 8 odour-sensor features,
+/// classifying malodour intensity per gender.
+pub fn armpit() -> Workload {
+    // classify(base): walks the tree at `base` for the feature vector at
+    // `ap_feat`.  Nodes are 4 words: [feature, threshold, left, right];
+    // leaves have feature == -1 and the class in `threshold`.
+    // params 0=base; locals 1=node 2=feat 3=thr
+    let classify = Function {
+        name: "classify",
+        params: 1,
+        locals: 4,
+        body: vec![
+            set(1, c(0)),
+            while_(
+                c(1),
+                vec![
+                    set(2, lw(add(v(0), shl(v(1), c(4))))),
+                    set(3, lw(add(v(0), add(shl(v(1), c(4)), c(4))))),
+                    if_(eq(v(2), c(-1)), vec![ret(v(3))]),
+                    if_else(
+                        lt(lw(add(ga("ap_feat"), shl(v(2), c(2)))), v(3)),
+                        vec![set(1, lw(add(v(0), add(shl(v(1), c(4)), c(8)))))],
+                        vec![set(1, lw(add(v(0), add(shl(v(1), c(4)), c(12)))))],
+                    ),
+                ],
+            ),
+            ret(c(0)),
+        ],
+    };
+    // main: classify 8 sensor vectors with both trees; pack the scores.
+    // locals: 0=trial 1=i 2=male 3=female 4=acc
+    let tree = |leaf_bias: i32| -> Vec<u32> {
+        // Seven nodes: a full depth-3 tree.  Encoded as i32 words.
+        let nodes: Vec<i32> = vec![
+            0, 120, 1, 2, // node 0: feat0 < 120 ?
+            2, 80, 3, 4, // node 1
+            5, 200, 5, 6, // node 2
+            -1, leaf_bias, 0, 0, // node 3 (leaf)
+            -1, leaf_bias + 1, 0, 0, // node 4
+            -1, leaf_bias + 2, 0, 0, // node 5
+            -1, leaf_bias + 3, 0, 0, // node 6
+        ];
+        nodes.into_iter().map(|x| x as u32).collect()
+    };
+    let sensors: Vec<u32> = crate::lcg_words(0xa9a9, 64).iter().map(|x| x % 256).collect();
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 5,
+        body: vec![
+            set(4, c(0)),
+            for_(
+                0,
+                c(0),
+                c(8),
+                vec![
+                    // Load this trial's 8 features into ap_feat.
+                    for_(
+                        1,
+                        c(0),
+                        c(8),
+                        vec![sw(
+                            add(ga("ap_feat"), shl(v(1), c(2))),
+                            lw(add(ga("ap_raw"), shl(add(shl(v(0), c(3)), v(1)), c(2)))),
+                        )],
+                    ),
+                    set(2, call("classify", vec![ga("ap_tree_m")])),
+                    set(3, call("classify", vec![ga("ap_tree_f")])),
+                    set(4, add(v(4), add(shl(v(2), c(4)), v(3)))),
+                ],
+            ),
+            ret(v(4)),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "ap_raw", words: sensors },
+        DataObject { name: "ap_feat", words: vec![0; 8] },
+        DataObject { name: "ap_tree_m", words: tree(0) },
+        DataObject { name: "ap_tree_f", words: tree(4) },
+    ];
+    w("armpit", Program { functions: vec![classify, main], data })
+}
+
+/// `xgboost`: a boosted decision-stump ensemble over the Pima diabetes
+/// features (8 attributes), summing per-tree scores and thresholding.
+pub fn xgboost() -> Workload {
+    // Stumps: [feature, threshold, score_if_less, score_if_geq] × 12.
+    let stumps: Vec<i32> = vec![
+        1, 130, -20, 35, // glucose
+        5, 30, -10, 22, // BMI
+        7, 40, -8, 18, // age
+        0, 6, -5, 12, // pregnancies
+        6, 50, -6, 14, // pedigree (scaled)
+        2, 80, 4, -9, // blood pressure
+        3, 25, -3, 7, // skin thickness
+        4, 120, -4, 11, // insulin
+        1, 160, -15, 28, // glucose again (boosting)
+        5, 38, -7, 16, //
+        7, 52, -5, 12, //
+        1, 100, -12, 9,
+    ];
+    // 16 patients × 8 attributes.
+    let patients: Vec<u32> = crate::lcg_words(0x9b0c, 128)
+        .iter()
+        .enumerate()
+        .map(|(i, x)| match i % 8 {
+            0 => x % 12,
+            1 => 70 + x % 130,
+            2 => 50 + x % 60,
+            3 => 10 + x % 40,
+            4 => x % 300,
+            5 => 18 + x % 35,
+            6 => x % 100,
+            _ => 21 + x % 60,
+        })
+        .collect();
+    // main: locals 0=p 1=t 2=score 3=feat 4=pos
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 5,
+        body: vec![
+            set(4, c(0)),
+            for_(
+                0,
+                c(0),
+                c(16),
+                vec![
+                    set(2, c(0)),
+                    for_(
+                        1,
+                        c(0),
+                        c(12),
+                        vec![
+                            set(3, lw(add(ga("xg_p"), shl(add(shl(v(0), c(3)), lw(add(ga("xg_s"), shl(shl(v(1), c(2)), c(2))))), c(2))))),
+                            if_else(
+                                lt(v(3), lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(4))))),
+                                vec![set(2, add(v(2), lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(8))))))],
+                                vec![set(2, add(v(2), lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(12))))))],
+                            ),
+                        ],
+                    ),
+                    // Positive ensemble score ⇒ diabetic.
+                    if_(bin(BinOp::GtS, v(2), c(0)), vec![set(4, add(v(4), c(1)))]),
+                    set(4, xor(v(4), shl(and(v(2), c(0xff)), c(8)))),
+                ],
+            ),
+            ret(add(v(4), c(1))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "xg_s", words: stumps.into_iter().map(|x| x as u32).collect() },
+        DataObject { name: "xg_p", words: patients },
+    ];
+    w("xgboost", Program { functions: vec![main], data })
+}
+
+/// `af_detect`: the APPT pipeline — R-peak detection on a synthetic ECG,
+/// RR and ΔRR intervals, then a Bloom-filter presence predictor.
+pub fn af_detect() -> Workload {
+    // Synthetic ECG: baseline noise with peaks of irregular spacing (AF-ish).
+    let ecg: Vec<u32> = {
+        let mut samples = vec![40u32; 256];
+        let peaks = [20usize, 55, 84, 121, 147, 186, 210, 241];
+        for (k, &p) in peaks.iter().enumerate() {
+            samples[p] = 200 + (k as u32 * 7) % 30;
+            samples[p - 1] = 120;
+            samples[p + 1] = 110;
+        }
+        samples
+    };
+    // bloom_hash(x, salt): params 0,1; locals 2
+    let bloom_hash = Function {
+        name: "bloom_hash",
+        params: 2,
+        locals: 3,
+        body: vec![
+            set(2, xor(v(0), shl(v(1), c(3)))),
+            set(2, xor(v(2), shr(v(2), c(5)))),
+            set(2, add(v(2), shl(v(2), c(2)))),
+            ret(and(v(2), c(127))),
+        ],
+    };
+    // main: locals 0=i 1=val 2=lastpeak 3=rr 4=lastrr 5=drr 6=h 7=af 8=word 9=bit
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 10,
+        body: vec![
+            set(2, c(-1)),
+            set(4, c(0)),
+            set(7, c(0)),
+            for_(
+                0,
+                c(1),
+                c(255),
+                vec![
+                    set(1, lw(add(ga("af_ecg"), shl(v(0), c(2))))),
+                    // R peak: above threshold and a local maximum.
+                    if_(
+                        and(
+                            bin(BinOp::GtS, v(1), c(100)),
+                            and(
+                                bin(BinOp::GeS, v(1), lw(add(ga("af_ecg"), shl(sub(v(0), c(1)), c(2))))),
+                                bin(BinOp::GtS, v(1), lw(add(ga("af_ecg"), shl(add(v(0), c(1)), c(2))))),
+                            ),
+                        ),
+                        vec![
+                            if_(
+                                bin(BinOp::GeS, v(2), c(0)),
+                                vec![
+                                    set(3, sub(v(0), v(2))),
+                                    if_(
+                                        ne(v(4), c(0)),
+                                        vec![
+                                            set(5, sub(v(3), v(4))),
+                                            if_(lt(v(5), c(0)), vec![set(5, sub(c(0), v(5)))]),
+                                            // Bloom filter: set bit for (rr, drr).
+                                            set(6, call("bloom_hash", vec![v(3), v(5)])),
+                                            set(8, shr(v(6), c(5))),
+                                            set(9, and(v(6), c(31))),
+                                            sw(
+                                                add(ga("af_bloom"), shl(v(8), c(2))),
+                                                or(lw(add(ga("af_bloom"), shl(v(8), c(2)))), shl(c(1), v(9))),
+                                            ),
+                                            // Irregular rhythm votes for AF.
+                                            if_(bin(BinOp::GtS, v(5), c(6)), vec![set(7, add(v(7), c(1)))]),
+                                        ],
+                                    ),
+                                    set(4, v(3)),
+                                ],
+                            ),
+                            set(2, v(0)),
+                        ],
+                    ),
+                ],
+            ),
+            // Decision: AF if enough irregular intervals; fold bloom words.
+            set(6, c(0)),
+            for_(0, c(0), c(4), vec![set(6, xor(v(6), lw(add(ga("af_bloom"), shl(v(0), c(2))))))]),
+            ret(add(shl(v(7), c(16)), xor(v(6), bin(BinOp::GtS, v(7), c(3))))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "af_ecg", words: ecg },
+        DataObject { name: "af_bloom", words: vec![0; 4] },
+    ];
+    w("af_detect", Program { functions: vec![bloom_hash, main], data })
+}
+
+/// The three extreme-edge applications.
+pub fn all() -> Vec<Workload> {
+    vec![armpit(), xgboost(), af_detect()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcc::OptLevel;
+
+    #[test]
+    fn af_detect_flags_irregular_rhythm() {
+        // The synthetic ECG has 8 peaks with irregular spacing: expect
+        // several ΔRR > 6 votes (high halfword of the checksum).
+        let r = af_detect().run_reference(OptLevel::O2);
+        let votes = r >> 16;
+        assert!(votes >= 3, "only {votes} irregularity votes");
+    }
+
+    #[test]
+    fn armpit_classifies_all_trials() {
+        let r = armpit().run_reference(OptLevel::O2);
+        assert_ne!(r, 0);
+    }
+
+    #[test]
+    fn xgboost_produces_stable_scores() {
+        let a = xgboost().run_reference(OptLevel::O1);
+        let b = xgboost().run_reference(OptLevel::O3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xgboost_subset_is_small() {
+        // The paper's xgboost RISSP uses only 12 distinct instructions; ours
+        // should also be the smallest of the three extreme-edge apps.
+        let count = |w: &Workload| {
+            let image = w.compile(OptLevel::O2).unwrap();
+            image
+                .words
+                .iter()
+                .filter_map(|&x| riscv_isa::Instruction::decode(x).ok())
+                .map(|i| i.mnemonic)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        };
+        let xg = count(&xgboost());
+        let af = count(&af_detect());
+        assert!(xg <= af, "xgboost {xg} vs af_detect {af}");
+    }
+}

@@ -1,0 +1,621 @@
+//! Embench workloads, first half: `aha-mont64` … `nettle-sha256`.
+//!
+//! Each function reproduces the algorithmic core of the corresponding
+//! Embench benchmark (the paper compiles them for RV32E baremetal).  Input
+//! data is deterministic; `main` returns a checksum.
+
+use crate::{lcg_words, Category, Workload};
+use xcc::ast::build::*;
+use xcc::ast::{BinOp, DataObject, Function, Program};
+
+fn w(name: &'static str, program: Program) -> Workload {
+    Workload { name, category: Category::Embench, program }
+}
+
+/// Packs signed 16-bit samples into little-endian words.
+fn pack_halfwords(vals: &[i16]) -> Vec<u32> {
+    vals.chunks(2)
+        .map(|c| {
+            let lo = c[0] as u16 as u32;
+            let hi = c.get(1).map(|&v| v as u16 as u32).unwrap_or(0);
+            lo | (hi << 16)
+        })
+        .collect()
+}
+
+/// `aha-mont64`: modular multiply-accumulate chains (Montgomery-style
+/// arithmetic kernel).
+pub fn aha_mont64() -> Workload {
+    // locals: 0=acc 1=i 2=sum
+    let m = 65521;
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 3,
+        body: vec![
+            set(0, c(1)),
+            set(2, c(0)),
+            for_(
+                1,
+                c(0),
+                c(40),
+                vec![
+                    set(0, bin(BinOp::RemU, add(mul(v(0), v(0)), c(12345)), c(m))),
+                    set(2, xor(v(2), add(v(0), v(1)))),
+                ],
+            ),
+            ret(v(2)),
+        ],
+    };
+    w("aha-mont64", Program { functions: vec![main], data: vec![] })
+}
+
+/// `crc32`: bitwise CRC-32 over a 64-byte buffer.
+pub fn crc32() -> Workload {
+    // locals: 0=crc 1=i 2=byte 3=j 4=mask
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 5,
+        body: vec![
+            set(0, c(-1)),
+            for_(
+                1,
+                c(0),
+                c(64),
+                vec![
+                    set(2, lbu(add(ga("crcbuf"), v(1)))),
+                    set(0, xor(v(0), v(2))),
+                    for_(
+                        3,
+                        c(0),
+                        c(8),
+                        vec![
+                            set(4, sub(c(0), and(v(0), c(1)))),
+                            set(0, xor(shr(v(0), c(1)), and(c(0xedb8_8320u32 as i32), v(4)))),
+                        ],
+                    ),
+                ],
+            ),
+            ret(xor(v(0), c(-1))),
+        ],
+    };
+    let data = vec![DataObject { name: "crcbuf", words: lcg_words(0xc3c3, 16) }];
+    w("crc32", Program { functions: vec![main], data })
+}
+
+/// `cubic`: fixed-point (Q8) Newton iteration for cube roots.
+pub fn cubic() -> Workload {
+    // locals: 0=sum 1=i 2=a 3=x 4=it 5=x2 6=x3 7=num 8=den
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 9,
+        body: vec![
+            set(0, c(0)),
+            for_(
+                1,
+                c(1),
+                c(8),
+                vec![
+                    set(2, shl(v(1), c(8))),
+                    set(3, add(v(2), c(64))),
+                    for_(
+                        4,
+                        c(0),
+                        c(10),
+                        vec![
+                            set(5, sar(mul(v(3), v(3)), c(8))),
+                            set(6, sar(mul(v(5), v(3)), c(8))),
+                            set(7, sub(v(6), v(2))),
+                            set(8, add(add(v(5), v(5)), v(5))),
+                            if_(
+                                ne(v(8), c(0)),
+                                vec![set(3, sub(v(3), bin(BinOp::DivS, shl(v(7), c(8)), v(8))))],
+                            ),
+                        ],
+                    ),
+                    set(0, add(v(0), v(3))),
+                ],
+            ),
+            ret(v(0)),
+        ],
+    };
+    w("cubic", Program { functions: vec![main], data: vec![] })
+}
+
+/// `edn`: FIR filter over a 16-bit signal (halfword memory traffic).
+pub fn edn() -> Workload {
+    // locals: 0=n 1=k 2=acc 3=x 4=c 5=sum
+    let taps: Vec<i16> = vec![3, -5, 7, 11, -13, 17, 19, -23];
+    let signal: Vec<i16> = (0..64).map(|i| ((i * 37 + 11) % 251 - 125) as i16).collect();
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 6,
+        body: vec![
+            set(5, c(0)),
+            for_(
+                0,
+                c(8),
+                c(64),
+                vec![
+                    set(2, c(0)),
+                    for_(
+                        1,
+                        c(0),
+                        c(8),
+                        vec![
+                            set(3, lh(add(ga("edn_x"), shl(sub(v(0), v(1)), c(1))))),
+                            set(4, lh(add(ga("edn_c"), shl(v(1), c(1))))),
+                            set(2, add(v(2), mul(v(3), v(4)))),
+                        ],
+                    ),
+                    sh(add(ga("edn_y"), shl(v(0), c(1))), sar(v(2), c(6))),
+                    set(5, add(v(5), sar(v(2), c(6)))),
+                ],
+            ),
+            ret(xor(v(5), c(0x5a5a))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "edn_x", words: pack_halfwords(&signal) },
+        DataObject { name: "edn_c", words: pack_halfwords(&taps) },
+        DataObject { name: "edn_y", words: vec![0; 32] },
+    ];
+    w("edn", Program { functions: vec![main], data })
+}
+
+/// `huffbench`: frequency counting and prefix-style bit packing.
+pub fn huffbench() -> Workload {
+    // locals: 0=i 1=sym 2=acc 3=bits 4=f 5=len
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 6,
+        body: vec![
+            // Count nibble frequencies into freq[16].
+            for_(0, c(0), c(16), vec![sw(add(ga("hfreq"), shl(v(0), c(2))), c(0))]),
+            for_(
+                0,
+                c(0),
+                c(96),
+                vec![
+                    set(1, and(lbu(add(ga("hbuf"), v(0))), c(15))),
+                    sw(
+                        add(ga("hfreq"), shl(v(1), c(2))),
+                        add(lw(add(ga("hfreq"), shl(v(1), c(2)))), c(1)),
+                    ),
+                ],
+            ),
+            // Encode: common symbols get short codes.
+            set(2, c(0)),
+            set(3, c(0)),
+            for_(
+                0,
+                c(0),
+                c(96),
+                vec![
+                    set(1, and(lbu(add(ga("hbuf"), v(0))), c(15))),
+                    set(4, lw(add(ga("hfreq"), shl(v(1), c(2))))),
+                    if_else(
+                        bin(BinOp::GtS, v(4), c(8)),
+                        vec![set(5, c(3))],
+                        vec![set(5, c(6))],
+                    ),
+                    set(2, xor(v(2), shl(v(1), and(v(3), c(31))))),
+                    set(3, add(v(3), v(5))),
+                ],
+            ),
+            ret(add(v(2), v(3))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "hbuf", words: lcg_words(0x4f4f, 24) },
+        DataObject { name: "hfreq", words: vec![0; 16] },
+    ];
+    w("huffbench", Program { functions: vec![main], data })
+}
+
+/// `matmult-int`: 8×8 integer matrix multiplication.
+pub fn matmult_int() -> Workload {
+    // locals: 0=i 1=j 2=k 3=acc 4=a 5=b 6=sum
+    let a: Vec<u32> = lcg_words(0xaaaa, 64).iter().map(|x| x % 31).collect();
+    let b: Vec<u32> = lcg_words(0xbbbb, 64).iter().map(|x| x % 29).collect();
+    let idx = |m: xcc::ast::Expr, row, col| {
+        add(m, shl(add(shl(row, c(3)), col), c(2))) // m + 4*(8*row+col)
+    };
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 7,
+        body: vec![
+            set(6, c(0)),
+            for_(
+                0,
+                c(0),
+                c(8),
+                vec![for_(
+                    1,
+                    c(0),
+                    c(8),
+                    vec![
+                        set(3, c(0)),
+                        for_(
+                            2,
+                            c(0),
+                            c(8),
+                            vec![
+                                set(4, lw(idx(ga("mma"), v(0), v(2)))),
+                                set(5, lw(idx(ga("mmb"), v(2), v(1)))),
+                                set(3, add(v(3), mul(v(4), v(5)))),
+                            ],
+                        ),
+                        sw(idx(ga("mmc"), v(0), v(1)), v(3)),
+                        set(6, add(v(6), v(3))),
+                    ],
+                )],
+            ),
+            ret(v(6)),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "mma", words: a },
+        DataObject { name: "mmb", words: b },
+        DataObject { name: "mmc", words: vec![0; 64] },
+    ];
+    w("matmult-int", Program { functions: vec![main], data })
+}
+
+/// `md5sum`: MD5-style mixing rounds over a 16-word block.
+pub fn md5sum() -> Workload {
+    // locals: 0=a 1=b 2=c 3=d 4=i 5=f 6=wv 7=tmp
+    let k: Vec<u32> = lcg_words(0x3141, 16);
+    let block: Vec<u32> = lcg_words(0x2718, 16);
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 8,
+        body: vec![
+            set(0, c(0x6745_2301u32 as i32)),
+            set(1, c(0xefcd_ab89u32 as i32)),
+            set(2, c(0x98ba_dcfeu32 as i32)),
+            set(3, c(0x1032_5476u32 as i32)),
+            for_(
+                4,
+                c(0),
+                c(32),
+                vec![
+                    // f = (b & c) | (~b & d)
+                    set(5, or(and(v(1), v(2)), and(xor(v(1), c(-1)), v(3)))),
+                    set(6, lw(add(ga("md5w"), shl(and(v(4), c(15)), c(2))))),
+                    set(
+                        7,
+                        add(add(v(0), v(5)), add(v(6), lw(add(ga("md5k"), shl(and(v(4), c(15)), c(2)))))),
+                    ),
+                    // a = b + rotl(tmp, 7)
+                    set(0, add(v(1), or(shl(v(7), c(7)), shr(v(7), c(25))))),
+                    // rotate registers (a,b,c,d) <- (d,a,b,c)
+                    set(7, v(3)),
+                    set(3, v(2)),
+                    set(2, v(1)),
+                    set(1, v(0)),
+                    set(0, v(7)),
+                ],
+            ),
+            ret(xor(xor(v(0), v(1)), xor(v(2), v(3)))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "md5w", words: block },
+        DataObject { name: "md5k", words: k },
+    ];
+    w("md5sum", Program { functions: vec![main], data })
+}
+
+/// `minver`: 3×3 fixed-point (Q8) matrix inversion via the adjugate.
+pub fn minver() -> Workload {
+    // m in Q8. locals: 0=det 1=i 2=sum 3=t
+    // Helper det2(a,b,c,d) = (a*d - b*c) >> 8.
+    let det2 = Function {
+        name: "det2",
+        params: 4,
+        locals: 4,
+        body: vec![ret(sar(sub(mul(v(0), v(3)), mul(v(1), v(2))), c(8)))],
+    };
+    let m = |i: i32| lw(add(ga("mv_m"), c(i * 4)));
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 4,
+        body: vec![
+            // det = m0*det2(m4,m5,m7,m8) - m1*det2(m3,m5,m6,m8) + m2*det2(m3,m4,m6,m7), Q8.
+            set(
+                0,
+                sar(
+                    add(
+                        sub(
+                            mul(m(0), call("det2", vec![m(4), m(5), m(7), m(8)])),
+                            mul(m(1), call("det2", vec![m(3), m(5), m(6), m(8)])),
+                        ),
+                        mul(m(2), call("det2", vec![m(3), m(4), m(6), m(7)])),
+                    ),
+                    c(8),
+                ),
+            ),
+            if_(eq(v(0), c(0)), vec![ret(c(0xdead))]),
+            // Cofactor sum: adj entries divided by det.
+            set(2, c(0)),
+            set(3, call("det2", vec![m(4), m(5), m(7), m(8)])),
+            set(2, add(v(2), bin(BinOp::DivS, shl(v(3), c(8)), v(0)))),
+            set(3, call("det2", vec![m(0), m(2), m(6), m(8)])),
+            set(2, add(v(2), bin(BinOp::DivS, shl(v(3), c(8)), v(0)))),
+            set(3, call("det2", vec![m(0), m(1), m(3), m(4)])),
+            set(2, add(v(2), bin(BinOp::DivS, shl(v(3), c(8)), v(0)))),
+            ret(add(v(2), v(0))),
+        ],
+    };
+    // Q8 matrix with a comfortably non-zero determinant.
+    let mat: Vec<u32> = [4 << 8, 1 << 8, 2 << 8, 0, 3 << 8, 1 << 8, 1 << 8, 0, 2 << 8]
+        .iter()
+        .map(|&x| x as u32)
+        .collect();
+    let data = vec![DataObject { name: "mv_m", words: mat }];
+    w("minver", Program { functions: vec![det2, main], data })
+}
+
+/// `nbody`: fixed-point gravitational toy integrator (no multiplies,
+/// matching the paper's mul-free instruction list for nbody).
+pub fn nbody() -> Workload {
+    // locals: 0=step 1=i 2=j 3=dx 4=f 5=sum
+    let pos: Vec<u32> = vec![(10 << 8) as u32, (60 << 8) as u32, (200 << 8) as u32];
+    let idx = |g: &'static str, i| add(ga(g), shl(i, c(2)));
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 6,
+        body: vec![
+            for_(
+                0,
+                c(0),
+                c(16),
+                vec![
+                    for_(
+                        1,
+                        c(0),
+                        c(3),
+                        vec![for_(
+                            2,
+                            c(0),
+                            c(3),
+                            vec![if_(
+                                ne(v(1), v(2)),
+                                vec![
+                                    set(3, sub(lw(idx("nb_p", v(2))), lw(idx("nb_p", v(1))))),
+                                    set(4, sar(v(3), c(5))),
+                                    sw(idx("nb_v", v(1)), add(lw(idx("nb_v", v(1))), v(4))),
+                                ],
+                            )],
+                        )],
+                    ),
+                    for_(
+                        1,
+                        c(0),
+                        c(3),
+                        vec![sw(
+                            idx("nb_p", v(1)),
+                            add(lw(idx("nb_p", v(1))), sar(lw(idx("nb_v", v(1))), c(3))),
+                        )],
+                    ),
+                ],
+            ),
+            set(5, c(0)),
+            for_(1, c(0), c(3), vec![set(5, add(v(5), lw(idx("nb_p", v(1)))))]),
+            for_(1, c(0), c(3), vec![set(5, xor(v(5), lw(idx("nb_v", v(1)))))]),
+            ret(v(5)),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "nb_p", words: pos },
+        DataObject { name: "nb_v", words: vec![0; 3] },
+    ];
+    w("nbody", Program { functions: vec![main], data })
+}
+
+/// `nettle-aes`: S-box substitution + key mixing rounds on a 16-byte state.
+pub fn nettle_aes() -> Workload {
+    // locals: 0=r 1=i 2=t
+    // A bijective 256-entry S-box: affine-ish permutation computed host-side.
+    let sbox: Vec<u32> = {
+        let bytes: Vec<u8> = (0..256u32)
+            .map(|i| {
+                let x = i as u8;
+                x.rotate_left(1) ^ x.wrapping_mul(17) ^ 0x63
+            })
+            .collect();
+        bytes
+            .chunks(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    };
+    let key: Vec<u32> = lcg_words(0xa5e5, 8);
+    let state: Vec<u32> = lcg_words(0x1001, 4);
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 3,
+        body: vec![
+            for_(
+                0,
+                c(0),
+                c(4),
+                vec![for_(
+                    1,
+                    c(0),
+                    c(16),
+                    vec![
+                        set(
+                            2,
+                            xor(
+                                lbu(add(ga("aes_st"), v(1))),
+                                lbu(add(ga("aes_key"), and(add(shl(v(0), c(4)), v(1)), c(31)))),
+                            ),
+                        ),
+                        sb(add(ga("aes_st"), v(1)), lbu(add(ga("aes_sbox"), v(2)))),
+                    ],
+                )],
+            ),
+            // Fold the state into a checksum.
+            set(2, c(0)),
+            for_(
+                1,
+                c(0),
+                c(4),
+                vec![set(2, xor(v(2), lw(add(ga("aes_st"), shl(v(1), c(2))))))],
+            ),
+            ret(v(2)),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "aes_sbox", words: sbox },
+        DataObject { name: "aes_key", words: key },
+        DataObject { name: "aes_st", words: state },
+    ];
+    w("nettle-aes", Program { functions: vec![main], data })
+}
+
+/// `nettle-sha256`: the SHA-256 compression structure (24 rounds).
+pub fn nettle_sha256() -> Workload {
+    // ror helper: params 0=x 1=n; locals 2
+    let ror = Function {
+        name: "ror32",
+        params: 2,
+        locals: 2,
+        body: vec![ret(or(shr(v(0), v(1)), shl(v(0), sub(c(32), v(1)))))],
+    };
+    // locals: 0=a 1=b 2=c 3=e 4=t 5=w 6=s1 7=ch
+    let kconst: Vec<u32> = lcg_words(0x6a09, 24);
+    let wdata: Vec<u32> = lcg_words(0xbb67, 24);
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 8,
+        body: vec![
+            set(0, c(0x6a09_e667u32 as i32)),
+            set(1, c(0xbb67_ae85u32 as i32)),
+            set(2, c(0x3c6e_f372u32 as i32)),
+            set(3, c(0x510e_527fu32 as i32)),
+            for_(
+                4,
+                c(0),
+                c(24),
+                vec![
+                    set(5, lw(add(ga("shaw"), shl(v(4), c(2))))),
+                    set(
+                        6,
+                        xor(
+                            xor(call("ror32", vec![v(3), c(6)]), call("ror32", vec![v(3), c(11)])),
+                            call("ror32", vec![v(3), c(25)]),
+                        ),
+                    ),
+                    set(7, xor(and(v(3), v(0)), and(xor(v(3), c(-1)), v(1)))),
+                    set(
+                        5,
+                        add(
+                            add(v(5), lw(add(ga("shak"), shl(v(4), c(2))))),
+                            add(v(6), v(7)),
+                        ),
+                    ),
+                    set(3, add(v(2), v(5))),
+                    set(2, v(1)),
+                    set(1, v(0)),
+                    set(0, add(v(5), call("ror32", vec![v(0), c(2)]))),
+                ],
+            ),
+            ret(xor(xor(v(0), v(1)), xor(v(2), v(3)))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "shak", words: kconst },
+        DataObject { name: "shaw", words: wdata },
+    ];
+    w("nettle-sha256", Program { functions: vec![ror, main], data })
+}
+
+/// The first eleven Embench workloads, in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        aha_mont64(),
+        crc32(),
+        cubic(),
+        edn(),
+        huffbench(),
+        matmult_int(),
+        md5sum(),
+        minver(),
+        nbody(),
+        nettle_aes(),
+        nettle_sha256(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcc::OptLevel;
+
+    #[test]
+    fn crc32_matches_host_computation() {
+        // Host-side golden CRC-32 over the same bytes.
+        let words = lcg_words(0xc3c3, 16);
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut crc = 0xffff_ffffu32;
+        for &b in &bytes {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            }
+        }
+        crc = !crc;
+        assert_eq!(crc32().run_reference(OptLevel::O2), crc);
+    }
+
+    #[test]
+    fn matmult_matches_host_computation() {
+        let a: Vec<u32> = lcg_words(0xaaaa, 64).iter().map(|x| x % 31).collect();
+        let b: Vec<u32> = lcg_words(0xbbbb, 64).iter().map(|x| x % 29).collect();
+        let mut sum = 0u32;
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut acc = 0u32;
+                for k in 0..8 {
+                    acc = acc.wrapping_add(a[i * 8 + k].wrapping_mul(b[k * 8 + j]));
+                }
+                sum = sum.wrapping_add(acc);
+            }
+        }
+        assert_eq!(matmult_int().run_reference(OptLevel::O1), sum);
+    }
+
+    #[test]
+    fn cubic_converges_to_cube_roots() {
+        // Σ cube-root(i) for i in 1..8 in Q8 ≈ Σ i^(1/3) * 256.
+        let got = cubic().run_reference(OptLevel::O2) as f64 / 256.0;
+        let want: f64 = (1..8).map(|i| (i as f64).cbrt()).sum();
+        assert!((got - want).abs() < 0.3, "got {got}, want ≈ {want}");
+    }
+
+    #[test]
+    fn sha256_like_uses_rotations() {
+        let image = nettle_sha256().compile(OptLevel::O1).unwrap();
+        let subset: std::collections::BTreeSet<_> = image
+            .words
+            .iter()
+            .filter_map(|&w| riscv_isa::Instruction::decode(w).ok())
+            .map(|i| i.mnemonic)
+            .collect();
+        assert!(subset.contains(&riscv_isa::Mnemonic::Srl));
+        assert!(subset.contains(&riscv_isa::Mnemonic::Sll));
+    }
+}

@@ -1,0 +1,700 @@
+//! Embench workloads, second half: `nsichneu` … `wikisort`.
+
+use crate::{lcg_words, Category, Workload};
+use xcc::ast::build::*;
+use xcc::ast::{BinOp, DataObject, Function, Program};
+
+fn w(name: &'static str, program: Program) -> Workload {
+    Workload { name, category: Category::Embench, program }
+}
+
+/// `nsichneu`: a large Petri-net style token machine — long chains of
+/// guarded updates on word-sized places (branch-heavy, no byte traffic).
+pub fn nsichneu() -> Workload {
+    // locals: 0=iter 1=p0 2=p1 3=p2 4=p3 5=fired
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 6,
+        body: vec![
+            set(1, c(3)),
+            set(2, c(0)),
+            set(3, c(5)),
+            set(4, c(0)),
+            set(5, c(0)),
+            for_(
+                0,
+                c(0),
+                c(200),
+                vec![
+                    // T1: p0 && p2 -> p1
+                    if_(
+                        and(bin(BinOp::GtS, v(1), c(0)), bin(BinOp::GtS, v(3), c(0))),
+                        vec![
+                            set(1, sub(v(1), c(1))),
+                            set(3, sub(v(3), c(1))),
+                            set(2, add(v(2), c(2))),
+                            set(5, add(v(5), c(1))),
+                        ],
+                    ),
+                    // T2: p1 -> p3
+                    if_(
+                        bin(BinOp::GtS, v(2), c(1)),
+                        vec![
+                            set(2, sub(v(2), c(2))),
+                            set(4, add(v(4), c(1))),
+                            set(5, add(v(5), c(1))),
+                        ],
+                    ),
+                    // T3: p3 -> p0, p2 (refill)
+                    if_(
+                        bin(BinOp::GtS, v(4), c(2)),
+                        vec![
+                            set(4, sub(v(4), c(3))),
+                            set(1, add(v(1), c(2))),
+                            set(3, add(v(3), c(2))),
+                            set(5, add(v(5), c(1))),
+                        ],
+                    ),
+                ],
+            ),
+            ret(add(shl(v(5), c(8)), add(add(v(1), v(2)), add(v(3), v(4))))),
+        ],
+    };
+    w("nsichneu", Program { functions: vec![main], data: vec![] })
+}
+
+/// `picojpeg`: 8-point integer DCT butterflies with byte I/O and clamping.
+pub fn picojpeg() -> Workload {
+    // locals: 0=blk 1=i 2=a 3=b 4=t 5=sum
+    let pixels: Vec<u32> = lcg_words(0x1e61, 16); // 64 bytes = one 8×8 block
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 6,
+        body: vec![
+            set(5, c(0)),
+            for_(
+                0,
+                c(0),
+                c(8),
+                vec![
+                    // Butterfly pass over row `blk` (stride 8 bytes).
+                    for_(
+                        1,
+                        c(0),
+                        c(4),
+                        vec![
+                            set(2, lb(add(ga("jpg_in"), add(shl(v(0), c(3)), v(1))))),
+                            set(
+                                3,
+                                lb(add(ga("jpg_in"), add(shl(v(0), c(3)), sub(c(7), v(1))))),
+                            ),
+                            set(4, add(v(2), v(3))),
+                            // Scale and clamp to [-128, 127].
+                            set(4, sar(add(v(4), shl(v(2), c(1))), c(2))),
+                            if_(bin(BinOp::GtS, v(4), c(127)), vec![set(4, c(127))]),
+                            if_(lt(v(4), c(-128)), vec![set(4, c(-128))]),
+                            sb(add(ga("jpg_out"), add(shl(v(0), c(3)), v(1))), v(4)),
+                            set(5, add(v(5), and(v(4), c(0xff)))),
+                        ],
+                    ),
+                ],
+            ),
+            ret(add(v(5), c(1))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "jpg_in", words: pixels },
+        DataObject { name: "jpg_out", words: vec![0; 16] },
+    ];
+    w("picojpeg", Program { functions: vec![main], data })
+}
+
+/// `primecount`: trial-division prime counting below 200.
+pub fn primecount() -> Workload {
+    // locals: 0=n 1=d 2=isp 3=count
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 4,
+        body: vec![
+            set(3, c(0)),
+            for_(
+                0,
+                c(2),
+                c(200),
+                vec![
+                    set(2, c(1)),
+                    set(1, c(2)),
+                    while_(
+                        and(
+                            bin(BinOp::LeS, mul(v(1), v(1)), v(0)),
+                            ne(v(2), c(0)),
+                        ),
+                        vec![
+                            if_(eq(bin(BinOp::RemU, v(0), v(1)), c(0)), vec![set(2, c(0))]),
+                            set(1, add(v(1), c(1))),
+                        ],
+                    ),
+                    if_(ne(v(2), c(0)), vec![set(3, add(v(3), c(1)))]),
+                ],
+            ),
+            ret(v(3)),
+        ],
+    };
+    w("primecount", Program { functions: vec![main], data: vec![] })
+}
+
+/// `qrduino`: GF(2⁸) Reed–Solomon style polynomial arithmetic.
+pub fn qrduino() -> Workload {
+    // gf_mul(a, b): params 0,1; locals 2=res 3=i
+    let gf_mul = Function {
+        name: "gf_mul",
+        params: 2,
+        locals: 4,
+        body: vec![
+            set(2, c(0)),
+            set(3, c(0)),
+            while_(
+                lt(v(3), c(8)),
+                vec![
+                    if_(ne(and(v(1), c(1)), c(0)), vec![set(2, xor(v(2), v(0)))]),
+                    set(0, shl(v(0), c(1))),
+                    if_(
+                        ne(and(v(0), c(0x100)), c(0)),
+                        vec![set(0, xor(v(0), c(0x11d)))],
+                    ),
+                    set(1, shr(v(1), c(1))),
+                    set(3, add(v(3), c(1))),
+                ],
+            ),
+            ret(and(v(2), c(0xff))),
+        ],
+    };
+    // main: RS parity over a 16-byte message with generator byte 0x1d.
+    // locals: 0=i 1=j 2=fb 3=acc
+    let msg: Vec<u32> = lcg_words(0x9d9d, 4);
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 4,
+        body: vec![
+            for_(0, c(0), c(8), vec![sb(add(ga("qr_par"), v(0)), c(0))]),
+            for_(
+                0,
+                c(0),
+                c(16),
+                vec![
+                    set(2, xor(lbu(add(ga("qr_msg"), v(0))), lbu(ga("qr_par")))),
+                    for_(
+                        1,
+                        c(0),
+                        c(7),
+                        vec![sb(
+                            add(ga("qr_par"), v(1)),
+                            xor(
+                                lbu(add(ga("qr_par"), add(v(1), c(1)))),
+                                call("gf_mul", vec![c(0x1d), v(2)]),
+                            ),
+                        )],
+                    ),
+                    sb(add(ga("qr_par"), c(7)), call("gf_mul", vec![c(0x2d), v(2)])),
+                ],
+            ),
+            set(3, c(0)),
+            for_(0, c(0), c(8), vec![set(3, add(shl(v(3), c(4)), lbu(add(ga("qr_par"), v(0)))))]),
+            ret(v(3)),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "qr_msg", words: msg },
+        DataObject { name: "qr_par", words: vec![0; 2] },
+    ];
+    w("qrduino", Program { functions: vec![gf_mul, main], data })
+}
+
+/// `sglib-combined`: container-library operations — insertion sort on an
+/// array plus an array-encoded linked-list walk.
+pub fn sglib_combined() -> Workload {
+    // locals: 0=i 1=j 2=key 3=acc 4=node
+    let vals: Vec<u32> = lcg_words(0x5a55, 16).iter().map(|x| x % 1000).collect();
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 5,
+        body: vec![
+            // Insertion sort of arr[16].
+            for_(
+                0,
+                c(1),
+                c(16),
+                vec![
+                    set(2, lw(add(ga("sg_arr"), shl(v(0), c(2))))),
+                    set(1, sub(v(0), c(1))),
+                    while_(
+                        and(
+                            bin(BinOp::GeS, v(1), c(0)),
+                            bin(BinOp::GtS, lw(add(ga("sg_arr"), shl(v(1), c(2)))), v(2)),
+                        ),
+                        vec![
+                            sw(
+                                add(ga("sg_arr"), shl(add(v(1), c(1)), c(2))),
+                                lw(add(ga("sg_arr"), shl(v(1), c(2)))),
+                            ),
+                            set(1, sub(v(1), c(1))),
+                        ],
+                    ),
+                    sw(add(ga("sg_arr"), shl(add(v(1), c(1)), c(2))), v(2)),
+                ],
+            ),
+            // Linked list: next[i] = (i + 3) % 16 walk, 16 hops, summing.
+            set(3, c(0)),
+            set(4, c(0)),
+            for_(
+                0,
+                c(0),
+                c(16),
+                vec![
+                    set(3, add(v(3), lw(add(ga("sg_arr"), shl(v(4), c(2)))))),
+                    set(4, and(add(v(4), c(3)), c(15))),
+                ],
+            ),
+            // Checksum: sorted-order signature + walk sum.
+            set(2, c(0)),
+            for_(
+                0,
+                c(1),
+                c(16),
+                vec![if_(
+                    bin(
+                        BinOp::GtS,
+                        lw(add(ga("sg_arr"), shl(sub(v(0), c(1)), c(2)))),
+                        lw(add(ga("sg_arr"), shl(v(0), c(2)))),
+                    ),
+                    vec![set(2, add(v(2), c(1)))],
+                )],
+            ),
+            ret(add(shl(v(2), c(16)), v(3))),
+        ],
+    };
+    let data = vec![DataObject { name: "sg_arr", words: vals }];
+    w("sglib-combined", Program { functions: vec![main], data })
+}
+
+/// `slre`: a tiny regular-expression matcher (`a+b*c` style patterns over a
+/// byte string).
+pub fn slre() -> Workload {
+    // match_at(pos): returns end position if "ab*c" matches at pos, else -1.
+    // params 0=pos; locals 1=p
+    let match_at = Function {
+        name: "match_at",
+        params: 1,
+        locals: 2,
+        body: vec![
+            if_(ne(lbu(add(ga("re_s"), v(0))), c('a' as i32)), vec![ret(c(-1))]),
+            set(1, add(v(0), c(1))),
+            while_(
+                eq(lbu(add(ga("re_s"), v(1))), c('b' as i32)),
+                vec![set(1, add(v(1), c(1)))],
+            ),
+            if_(ne(lbu(add(ga("re_s"), v(1))), c('c' as i32)), vec![ret(c(-1))]),
+            ret(add(v(1), c(1))),
+        ],
+    };
+    // main: count matches and sum end positions over the string.
+    // locals: 0=i 1=r 2=count 3=acc
+    let text = b"xabbbcabcaxbcabbcxxabbbbcz";
+    let mut bytes = text.to_vec();
+    while bytes.len() % 4 != 0 {
+        bytes.push(0);
+    }
+    let words: Vec<u32> = bytes
+        .chunks(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let n = text.len() as i32;
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 4,
+        body: vec![
+            set(2, c(0)),
+            set(3, c(0)),
+            for_(
+                0,
+                c(0),
+                c(n),
+                vec![
+                    set(1, call("match_at", vec![v(0)])),
+                    if_(
+                        bin(BinOp::GeS, v(1), c(0)),
+                        vec![set(2, add(v(2), c(1))), set(3, add(v(3), v(1)))],
+                    ),
+                ],
+            ),
+            ret(add(shl(v(2), c(8)), v(3))),
+        ],
+    };
+    let data = vec![DataObject { name: "re_s", words }];
+    w("slre", Program { functions: vec![match_at, main], data })
+}
+
+/// `st`: statistics kernel — mean, variance and correlation in fixed point.
+pub fn st() -> Workload {
+    // locals: 0=i 1=sumx 2=sumy 3=sxx 4=sxy 5=x 6=y
+    let xs: Vec<u32> = (0..32u32).map(|i| (i * 7 + 3) % 64).collect();
+    let ys: Vec<u32> = (0..32u32).map(|i| (i * 13 + 5) % 64).collect();
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 7,
+        body: vec![
+            set(1, c(0)),
+            set(2, c(0)),
+            set(3, c(0)),
+            set(4, c(0)),
+            for_(
+                0,
+                c(0),
+                c(32),
+                vec![
+                    set(5, lw(add(ga("st_x"), shl(v(0), c(2))))),
+                    set(6, lw(add(ga("st_y"), shl(v(0), c(2))))),
+                    set(1, add(v(1), v(5))),
+                    set(2, add(v(2), v(6))),
+                    set(3, add(v(3), mul(v(5), v(5)))),
+                    set(4, add(v(4), mul(v(5), v(6)))),
+                ],
+            ),
+            // var = (sxx - sumx²/n)/n ; cov = (sxy - sumx*sumy/n)/n
+            set(5, bin(BinOp::DivS, sub(v(3), bin(BinOp::DivS, mul(v(1), v(1)), c(32))), c(32))),
+            set(6, bin(BinOp::DivS, sub(v(4), bin(BinOp::DivS, mul(v(1), v(2)), c(32))), c(32))),
+            ret(add(add(shl(v(5), c(8)), v(6)), add(v(1), v(2)))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "st_x", words: xs },
+        DataObject { name: "st_y", words: ys },
+    ];
+    w("st", Program { functions: vec![main], data })
+}
+
+/// `statemate`: a car-window controller state machine (dense byte-level
+/// branching, no arithmetic beyond counters).
+pub fn statemate() -> Workload {
+    // States: 0=idle 1=up 2=down 3=blocked. Events drive transitions.
+    // locals: 0=i 1=state 2=ev 3=upcnt 4=downcnt 5=blkcnt
+    let events: Vec<u32> = lcg_words(0x57a7, 16);
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 6,
+        body: vec![
+            set(1, c(0)),
+            set(3, c(0)),
+            set(4, c(0)),
+            set(5, c(0)),
+            for_(
+                0,
+                c(0),
+                c(64),
+                vec![
+                    set(2, and(lbu(add(ga("sm_ev"), v(0))), c(3))),
+                    if_else(
+                        eq(v(1), c(0)),
+                        vec![
+                            if_(eq(v(2), c(1)), vec![set(1, c(1))]),
+                            if_(eq(v(2), c(2)), vec![set(1, c(2))]),
+                        ],
+                        vec![if_else(
+                            eq(v(1), c(1)),
+                            vec![
+                                set(3, add(v(3), c(1))),
+                                if_(eq(v(2), c(0)), vec![set(1, c(0))]),
+                                if_(eq(v(2), c(3)), vec![set(1, c(3))]),
+                            ],
+                            vec![if_else(
+                                eq(v(1), c(2)),
+                                vec![
+                                    set(4, add(v(4), c(1))),
+                                    if_(eq(v(2), c(0)), vec![set(1, c(0))]),
+                                ],
+                                vec![
+                                    set(5, add(v(5), c(1))),
+                                    if_(eq(v(2), c(2)), vec![set(1, c(0))]),
+                                ],
+                            )],
+                        )],
+                    ),
+                ],
+            ),
+            ret(add(add(shl(v(3), c(16)), shl(v(4), c(8))), add(v(5), v(1)))),
+        ],
+    };
+    let data = vec![DataObject { name: "sm_ev", words: events }];
+    w("statemate", Program { functions: vec![main], data })
+}
+
+/// `tarfind`: scan a tar-like archive for records whose name starts with a
+/// marker byte (byte compares and record skipping).
+pub fn tarfind() -> Workload {
+    // Records of 32 bytes: byte 0 = tag, byte 1 = payload length in words.
+    // locals: 0=off 1=tag 2=found 3=acc
+    let mut bytes = Vec::new();
+    for i in 0..12u8 {
+        let mut rec = vec![if i % 3 == 0 { b'T' } else { b'x' }, i];
+        rec.extend((0..30).map(|j| (i.wrapping_mul(7).wrapping_add(j)) & 0x7f));
+        bytes.extend(rec);
+    }
+    let words: Vec<u32> = bytes
+        .chunks(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 4,
+        body: vec![
+            set(0, c(0)),
+            set(2, c(0)),
+            set(3, c(0)),
+            while_(
+                lt(v(0), c(12 * 32)),
+                vec![
+                    set(1, lbu(add(ga("tar_buf"), v(0)))),
+                    if_(
+                        eq(v(1), c(b'T' as i32)),
+                        vec![
+                            set(2, add(v(2), c(1))),
+                            set(3, add(v(3), lbu(add(ga("tar_buf"), add(v(0), c(1)))))),
+                        ],
+                    ),
+                    set(0, add(v(0), c(32))),
+                ],
+            ),
+            ret(add(shl(v(2), c(8)), v(3))),
+        ],
+    };
+    let data = vec![DataObject { name: "tar_buf", words }];
+    w("tarfind", Program { functions: vec![main], data })
+}
+
+/// `ud`: LU decomposition (Doolittle) of a 4×4 integer matrix in Q8.
+pub fn ud() -> Workload {
+    // locals: 0=i 1=j 2=k 3=acc 4=t
+    let at = |g: &'static str, row: xcc::ast::Expr, col: xcc::ast::Expr| {
+        lw(add(ga(g), shl(add(shl(row, c(2)), col), c(2))))
+    };
+    let store =
+        |g: &'static str, row: xcc::ast::Expr, col: xcc::ast::Expr, val: xcc::ast::Expr| {
+            sw(add(ga(g), shl(add(shl(row, c(2)), col), c(2))), val)
+        };
+    // A diagonally dominant Q8 matrix.
+    let a: Vec<u32> = [
+        8, 1, 2, 1, //
+        1, 9, 1, 2, //
+        2, 1, 7, 1, //
+        1, 2, 1, 6,
+    ]
+    .iter()
+    .map(|&x: &i32| (x << 8) as u32)
+    .collect();
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 5,
+        body: vec![
+            // In-place Doolittle: for i, for j>i: L(j,i)=A(j,i)/A(i,i);
+            // row_j -= L * row_i.
+            for_(
+                0,
+                c(0),
+                c(4),
+                vec![for_(
+                    1,
+                    c(0),
+                    c(4),
+                    vec![if_(
+                        bin(BinOp::GtS, v(1), v(0)),
+                        vec![
+                            set(
+                                4,
+                                bin(BinOp::DivS, shl(at("ud_a", v(1), v(0)), c(8)), at("ud_a", v(0), v(0))),
+                            ),
+                            for_(
+                                2,
+                                c(0),
+                                c(4),
+                                vec![store(
+                                    "ud_a",
+                                    v(1),
+                                    v(2),
+                                    sub(at("ud_a", v(1), v(2)), sar(mul(v(4), at("ud_a", v(0), v(2))), c(8))),
+                                )],
+                            ),
+                            store("ud_l", v(1), v(0), v(4)),
+                        ],
+                    )],
+                )],
+            ),
+            // Checksum: diagonal of U plus sum of L.
+            set(3, c(0)),
+            for_(0, c(0), c(4), vec![set(3, add(v(3), at("ud_a", v(0), v(0))))]),
+            for_(
+                0,
+                c(0),
+                c(4),
+                vec![for_(1, c(0), c(4), vec![set(3, xor(v(3), at("ud_l", v(0), v(1))))])],
+            ),
+            ret(v(3)),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "ud_a", words: a },
+        DataObject { name: "ud_l", words: vec![0; 16] },
+    ];
+    w("ud", Program { functions: vec![main], data })
+}
+
+/// `wikisort`: bottom-up merge sort of a 32-element array with a scratch
+/// buffer.
+pub fn wikisort() -> Workload {
+    // locals: 0=width 1=lo 2=mid 3=hi 4=i 5=j 6=k 7=t
+    let vals: Vec<u32> = lcg_words(0x0131, 32).iter().map(|x| x % 10_000).collect();
+    let at = |g: &'static str, i: xcc::ast::Expr| lw(add(ga(g), shl(i, c(2))));
+    let put = |g: &'static str, i: xcc::ast::Expr, val: xcc::ast::Expr| {
+        sw(add(ga(g), shl(i, c(2))), val)
+    };
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: 8,
+        body: vec![
+            set(0, c(1)),
+            while_(
+                lt(v(0), c(32)),
+                vec![
+                    set(1, c(0)),
+                    while_(
+                        lt(v(1), c(32)),
+                        vec![
+                            set(2, add(v(1), v(0))),
+                            set(3, add(v(1), shl(v(0), c(1)))),
+                            if_(bin(BinOp::GtS, v(2), c(32)), vec![set(2, c(32))]),
+                            if_(bin(BinOp::GtS, v(3), c(32)), vec![set(3, c(32))]),
+                            // Merge [lo,mid) and [mid,hi) into scratch.
+                            set(4, v(1)),
+                            set(5, v(2)),
+                            set(6, v(1)),
+                            while_(
+                                lt(v(6), v(3)),
+                                vec![
+                                    if_else(
+                                        and(
+                                            lt(v(4), v(2)),
+                                            or(
+                                                bin(BinOp::GeS, v(5), v(3)),
+                                                bin(
+                                                    BinOp::LeS,
+                                                    at("ws_a", v(4)),
+                                                    at("ws_a", v(5)),
+                                                ),
+                                            ),
+                                        ),
+                                        vec![
+                                            put("ws_b", v(6), at("ws_a", v(4))),
+                                            set(4, add(v(4), c(1))),
+                                        ],
+                                        vec![
+                                            put("ws_b", v(6), at("ws_a", v(5))),
+                                            set(5, add(v(5), c(1))),
+                                        ],
+                                    ),
+                                    set(6, add(v(6), c(1))),
+                                ],
+                            ),
+                            // Copy back.
+                            set(6, v(1)),
+                            while_(
+                                lt(v(6), v(3)),
+                                vec![put("ws_a", v(6), at("ws_b", v(6))), set(6, add(v(6), c(1)))],
+                            ),
+                            set(1, add(v(1), shl(v(0), c(1)))),
+                        ],
+                    ),
+                    set(0, shl(v(0), c(1))),
+                ],
+            ),
+            // Verify sortedness and fold a checksum.
+            set(7, c(0)),
+            for_(
+                4,
+                c(1),
+                c(32),
+                vec![if_(
+                    bin(BinOp::GtS, at("ws_a", sub(v(4), c(1))), at("ws_a", v(4))),
+                    vec![set(7, add(v(7), c(1)))],
+                )],
+            ),
+            ret(add(shl(add(v(7), c(1)), c(16)), at("ws_a", c(31)))),
+        ],
+    };
+    let data = vec![
+        DataObject { name: "ws_a", words: vals },
+        DataObject { name: "ws_b", words: vec![0; 32] },
+    ];
+    w("wikisort", Program { functions: vec![main], data })
+}
+
+/// The remaining eleven Embench workloads, in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        nsichneu(),
+        picojpeg(),
+        primecount(),
+        qrduino(),
+        sglib_combined(),
+        slre(),
+        st(),
+        statemate(),
+        tarfind(),
+        ud(),
+        wikisort(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcc::OptLevel;
+
+    #[test]
+    fn primecount_is_exact() {
+        // 46 primes below 200.
+        assert_eq!(primecount().run_reference(OptLevel::O2), 46);
+    }
+
+    #[test]
+    fn wikisort_sorts() {
+        // High half-word = inversion count + 1, so 1 << 16 means sorted.
+        let r = wikisort().run_reference(OptLevel::O1);
+        assert_eq!(r >> 16, 1, "array not sorted: {r:#x}");
+    }
+
+    #[test]
+    fn slre_counts_matches() {
+        // "xabbbcabcaxbcabbcxxabbbbcz": matches at 1 (abbbc), 6 (abc),
+        // 13 (abbc), 19 (abbbbc) → 4 matches.
+        let r = slre().run_reference(OptLevel::O2);
+        assert_eq!(r >> 8, 4, "match count wrong: {r:#x}");
+    }
+
+    #[test]
+    fn tarfind_finds_tagged_records() {
+        // Records 0, 3, 6, 9 are tagged 'T'.
+        let r = tarfind().run_reference(OptLevel::O0);
+        assert_eq!(r >> 8, 4);
+        assert_eq!(r & 0xff, (0 + 3 + 6 + 9) as u32);
+    }
+}

@@ -1,0 +1,193 @@
+//! The evaluation workloads of the paper (§4): the 22 Embench benchmarks
+//! plus the three extreme-edge applications (*armpit*, *xgboost*,
+//! *af_detect*), re-implemented in the `xcc` eDSL and compiled to RV32E.
+//!
+//! Every workload is a full baremetal program whose `main` returns a
+//! checksum in `a0`.  Correctness is established differentially: all five
+//! optimisation levels must produce the same checksum, and the gate-level
+//! RISSP must reproduce the reference emulator's run exactly (the paper's
+//! RISCOF flow).
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::{all, by_name};
+//! assert_eq!(all().len(), 25);
+//! let crc = by_name("crc32").unwrap();
+//! let image = crc.compile(xcc::OptLevel::O2).unwrap();
+//! assert!(image.code_bytes() > 0);
+//! ```
+
+mod edge;
+mod embench_a;
+mod embench_b;
+
+use riscv_emu::{Emulator, HaltReason};
+use xcc::ast::Program;
+use xcc::{compile, CompileError, CompiledProgram, OptLevel};
+
+/// Which suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// One of the 22 Embench-style embedded benchmarks.
+    Embench,
+    /// One of the three extreme-edge applications of §4.
+    ExtremeEdge,
+}
+
+/// A benchmark program plus metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The paper's benchmark name.
+    pub name: &'static str,
+    /// Suite membership.
+    pub category: Category,
+    /// The source program.
+    pub program: Program,
+}
+
+impl Workload {
+    /// Compiles the workload at the given optimisation level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] (would indicate a bug in the workload).
+    pub fn compile(&self, level: OptLevel) -> Result<CompiledProgram, CompileError> {
+        compile(&self.program, level)
+    }
+
+    /// Runs the workload on the reference emulator and returns `a0`
+    /// (the checksum `main` computes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if compilation or emulation fails, or if the program does not
+    /// halt within the step budget — all indicate workload bugs.
+    pub fn run_reference(&self, level: OptLevel) -> u32 {
+        let image = self.compile(level).unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        let mut emu = Emulator::new();
+        image.load(&mut emu);
+        let summary = emu.run(80_000_000).unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        assert_eq!(summary.halt, HaltReason::SelfLoop, "{} did not halt", self.name);
+        emu.state().regs[10]
+    }
+}
+
+/// All 25 workloads in the paper's order (Embench alphabetical, then the
+/// extreme-edge applications).
+pub fn all() -> Vec<Workload> {
+    let mut v = embench_a::all();
+    v.extend(embench_b::all());
+    v.extend(edge::all());
+    v
+}
+
+/// Looks up a workload by its paper name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The three extreme-edge applications only.
+pub fn extreme_edge() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.category == Category::ExtremeEdge).collect()
+}
+
+/// Deterministic pseudo-random words for workload input data (xorshift32).
+pub(crate) fn lcg_words(seed: u32, n: usize) -> Vec<u32> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        let expected = [
+            "aha-mont64",
+            "crc32",
+            "cubic",
+            "edn",
+            "huffbench",
+            "matmult-int",
+            "md5sum",
+            "minver",
+            "nbody",
+            "nettle-aes",
+            "nettle-sha256",
+            "nsichneu",
+            "picojpeg",
+            "primecount",
+            "qrduino",
+            "sglib-combined",
+            "slre",
+            "st",
+            "statemate",
+            "tarfind",
+            "ud",
+            "wikisort",
+            "armpit",
+            "xgboost",
+            "af_detect",
+        ];
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn extreme_edge_subset() {
+        let ee = extreme_edge();
+        assert_eq!(ee.len(), 3);
+        assert!(ee.iter().all(|w| w.category == Category::ExtremeEdge));
+    }
+
+    #[test]
+    fn every_workload_compiles_at_every_level() {
+        for w in all() {
+            for level in OptLevel::ALL {
+                w.compile(level).unwrap_or_else(|e| panic!("{} {level}: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn checksums_agree_across_optimisation_levels() {
+        // Differential correctness: -O0 through -Oz must agree.
+        for w in all() {
+            let baseline = w.run_reference(OptLevel::O0);
+            for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz] {
+                let got = w.run_reference(level);
+                assert_eq!(got, baseline, "{} diverges at {level}", w.name);
+            }
+            assert_ne!(baseline, 0, "{}: trivial checksum", w.name);
+        }
+    }
+
+    #[test]
+    fn distinct_instruction_counts_land_in_papers_band() {
+        // §4.1: applications use 9–32 distinct instructions (24–86 % of ISA).
+        for w in all() {
+            let image = w.compile(OptLevel::O2).unwrap();
+            let mut set = std::collections::BTreeSet::new();
+            for word in &image.words {
+                if let Ok(i) = riscv_isa::Instruction::decode(*word) {
+                    set.insert(i.mnemonic);
+                }
+            }
+            assert!(
+                (9..=34).contains(&set.len()),
+                "{}: {} distinct instructions",
+                w.name,
+                set.len()
+            );
+        }
+    }
+}

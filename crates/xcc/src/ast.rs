@@ -1,0 +1,396 @@
+//! The `xcc` source language: a small, C-like AST built as a Rust eDSL.
+//!
+//! The paper compiles C benchmarks with `riscv32-unknown-elf-gcc`; this
+//! repository's workloads are written directly against this AST and compiled
+//! by `xcc`, whose optimisation levels mirror gcc's `-O0/-O1/-O2/-O3/-Oz`
+//! in the ways that matter for instruction-subset profiling (register
+//! allocation, constant folding, strength reduction, inlining, unrolling).
+//!
+//! All values are 32-bit; signedness is a property of the operator, as in
+//! RISC-V itself.  Memory is byte-addressed with explicit load/store widths
+//! so workloads exercise the full `lb/lh/lw/lbu/lhu/sb/sh/sw` family.
+
+/// A local variable slot within a function (parameters come first).
+pub type VarId = usize;
+
+/// Load/store access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// 8-bit access (`lb`/`lbu`/`sb`).
+    Byte,
+    /// 16-bit access (`lh`/`lhu`/`sh`).
+    Half,
+    /// 32-bit access (`lw`/`sw`).
+    Word,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+    /// Logical not (`x == 0`).
+    Not,
+}
+
+/// Binary operators; comparison results are 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (lowered to `__mulsi3` — RV32E has no M
+    /// extension).
+    Mul,
+    /// Signed division (lowered to `__divsi3`).
+    DivS,
+    /// Unsigned division (lowered to `__udivsi3`, or a shift for powers of
+    /// two at `-O2`).
+    DivU,
+    /// Signed remainder (lowered to `__modsi3`).
+    RemS,
+    /// Unsigned remainder (lowered to `__umodsi3`, or a mask at `-O2`).
+    RemU,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift.
+    Shl,
+    /// Logical right shift.
+    ShrU,
+    /// Arithmetic right shift.
+    ShrS,
+    /// Equality (0/1).
+    Eq,
+    /// Inequality (0/1).
+    Ne,
+    /// Signed less-than.
+    LtS,
+    /// Unsigned less-than.
+    LtU,
+    /// Signed greater-or-equal.
+    GeS,
+    /// Unsigned greater-or-equal.
+    GeU,
+    /// Signed less-or-equal.
+    LeS,
+    /// Signed greater-than.
+    GtS,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i32),
+    /// Read a local variable.
+    Var(VarId),
+    /// Address of a named global data object.
+    GlobalAddr(&'static str),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Memory load from a byte address.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Sign-extend sub-word loads.
+        signed: bool,
+        /// Byte address.
+        addr: Box<Expr>,
+    },
+    /// Direct call returning a value (void calls use [`Stmt::Expr`]).
+    Call(&'static str, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var = expr;`
+    Assign(VarId, Expr),
+    /// `*(width*)addr = value;`
+    Store {
+        /// Access width.
+        width: Width,
+        /// Byte address.
+        addr: Expr,
+        /// Value (low bits stored for sub-word widths).
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }` — `cond != 0` is true.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (may be empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Counted loop `for (var = from; var < to; var++)`, fully analysable
+    /// for `-O3` unrolling.
+    For {
+        /// Induction variable.
+        var: VarId,
+        /// Inclusive start.
+        from: Expr,
+        /// Exclusive end.
+        to: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Return from the function.
+    Return(Option<Expr>),
+    /// Evaluate for side effects (calls).
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: &'static str,
+    /// Number of parameters (the first `params` [`VarId`]s).
+    pub params: usize,
+    /// Total local slots, parameters included.
+    pub locals: usize,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A static data object placed in the data segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataObject {
+    /// Symbol name referenced by [`Expr::GlobalAddr`].
+    pub name: &'static str,
+    /// Initial contents (words); zero-fill by sizing with zeros.
+    pub words: Vec<u32>,
+}
+
+/// A whole program: functions plus static data, with `main` as entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// All functions; must include `main`.
+    pub functions: Vec<Function>,
+    /// Static data objects.
+    pub data: Vec<DataObject>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Expression construction helpers used by the workloads.
+pub mod build {
+    use super::*;
+
+    /// Integer literal.
+    pub fn c(v: i32) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Variable reference.
+    pub fn v(id: VarId) -> Expr {
+        Expr::Var(id)
+    }
+
+    /// Address of a global.
+    pub fn ga(name: &'static str) -> Expr {
+        Expr::GlobalAddr(name)
+    }
+
+    /// Binary operation.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Mul, a, b)
+    }
+
+    /// `a & b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::And, a, b)
+    }
+
+    /// `a | b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Or, a, b)
+    }
+
+    /// `a ^ b`.
+    pub fn xor(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Xor, a, b)
+    }
+
+    /// `a << b`.
+    pub fn shl(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Shl, a, b)
+    }
+
+    /// `a >> b` (logical).
+    pub fn shr(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::ShrU, a, b)
+    }
+
+    /// `a >> b` (arithmetic).
+    pub fn sar(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::ShrS, a, b)
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Eq, a, b)
+    }
+
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Ne, a, b)
+    }
+
+    /// Signed `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::LtS, a, b)
+    }
+
+    /// Unsigned `a < b`.
+    pub fn ltu(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::LtU, a, b)
+    }
+
+    /// Signed `a >= b`.
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::GeS, a, b)
+    }
+
+    /// Word load.
+    pub fn lw(addr: Expr) -> Expr {
+        Expr::Load { width: Width::Word, signed: false, addr: Box::new(addr) }
+    }
+
+    /// Unsigned byte load.
+    pub fn lbu(addr: Expr) -> Expr {
+        Expr::Load { width: Width::Byte, signed: false, addr: Box::new(addr) }
+    }
+
+    /// Signed byte load.
+    pub fn lb(addr: Expr) -> Expr {
+        Expr::Load { width: Width::Byte, signed: true, addr: Box::new(addr) }
+    }
+
+    /// Unsigned halfword load.
+    pub fn lhu(addr: Expr) -> Expr {
+        Expr::Load { width: Width::Half, signed: false, addr: Box::new(addr) }
+    }
+
+    /// Signed halfword load.
+    pub fn lh(addr: Expr) -> Expr {
+        Expr::Load { width: Width::Half, signed: true, addr: Box::new(addr) }
+    }
+
+    /// Call expression.
+    pub fn call(name: &'static str, args: Vec<Expr>) -> Expr {
+        Expr::Call(name, args)
+    }
+
+    /// Word store statement.
+    pub fn sw(addr: Expr, value: Expr) -> Stmt {
+        Stmt::Store { width: Width::Word, addr, value }
+    }
+
+    /// Byte store statement.
+    pub fn sb(addr: Expr, value: Expr) -> Stmt {
+        Stmt::Store { width: Width::Byte, addr, value }
+    }
+
+    /// Halfword store statement.
+    pub fn sh(addr: Expr, value: Expr) -> Stmt {
+        Stmt::Store { width: Width::Half, addr, value }
+    }
+
+    /// Assignment statement.
+    pub fn set(var: VarId, e: Expr) -> Stmt {
+        Stmt::Assign(var, e)
+    }
+
+    /// If-then statement.
+    pub fn if_(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then_body, else_body: vec![] }
+    }
+
+    /// If-then-else statement.
+    pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then_body, else_body }
+    }
+
+    /// While statement.
+    pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::While { cond, body }
+    }
+
+    /// Counted-for statement.
+    pub fn for_(var: VarId, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var, from, to, body }
+    }
+
+    /// Return statement.
+    pub fn ret(e: Expr) -> Stmt {
+        Stmt::Return(Some(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn builders_construct_expected_shapes() {
+        let e = add(v(0), c(1));
+        assert_eq!(e, Expr::Bin(BinOp::Add, Box::new(Expr::Var(0)), Box::new(Expr::Const(1))));
+        let s = sw(ga("buf"), v(2));
+        assert!(matches!(s, Stmt::Store { width: Width::Word, .. }));
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let p = Program {
+            functions: vec![Function { name: "main", params: 0, locals: 1, body: vec![] }],
+            data: vec![],
+        };
+        assert!(p.function("main").is_some());
+        assert!(p.function("missing").is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Compiler runtime support functions (the libgcc stand-ins).
+//!
+//! RV32E has no M extension, so `*`, `/` and `%` lower to calls of the
+//! shift-and-add/subtract routines below — exactly what gcc emits as
+//! `__mulsi3`, `__divsi3`, `__udivsi3`, `__modsi3` and `__umodsi3` when
+//! libgcc is linked for rv32e.  They are written in the `xcc` AST itself
+//! and compiled with the same pipeline as user code.
+
+use crate::ast::build::*;
+use crate::ast::{BinOp, Expr, Function, Stmt};
+
+/// `__mulsi3(a, b)` — 32-bit wrapping multiply (works for both signs).
+pub fn mulsi3() -> Function {
+    // v0=a v1=b v2=res
+    Function {
+        name: "__mulsi3",
+        params: 2,
+        locals: 3,
+        body: vec![
+            set(2, c(0)),
+            while_(
+                ne(v(1), c(0)),
+                vec![
+                    if_(and(v(1), c(1)), vec![set(2, add(v(2), v(0)))]),
+                    set(0, shl(v(0), c(1))),
+                    set(1, shr(v(1), c(1))),
+                ],
+            ),
+            ret(v(2)),
+        ],
+    }
+}
+
+/// `__udivsi3(n, d)` — unsigned division; returns 0 for division by zero.
+pub fn udivsi3() -> Function {
+    // v0=n v1=d v2=q v3=r v4=i v5=bit
+    Function {
+        name: "__udivsi3",
+        params: 2,
+        locals: 6,
+        body: vec![
+            set(2, c(0)),
+            set(3, c(0)),
+            if_(eq(v(1), c(0)), vec![ret(c(0))]),
+            set(4, c(31)),
+            while_(
+                bin(BinOp::GeS, v(4), c(0)),
+                vec![
+                    set(5, and(shr(v(0), v(4)), c(1))),
+                    set(3, or(shl(v(3), c(1)), v(5))),
+                    if_(
+                        bin(BinOp::GeU, v(3), v(1)),
+                        vec![
+                            set(3, sub(v(3), v(1))),
+                            set(2, or(v(2), shl(c(1), v(4)))),
+                        ],
+                    ),
+                    set(4, sub(v(4), c(1))),
+                ],
+            ),
+            ret(v(2)),
+        ],
+    }
+}
+
+/// `__umodsi3(n, d)` — unsigned remainder; returns `n` for division by zero.
+pub fn umodsi3() -> Function {
+    Function {
+        name: "__umodsi3",
+        params: 2,
+        locals: 6,
+        body: vec![
+            set(3, c(0)),
+            if_(eq(v(1), c(0)), vec![ret(v(0))]),
+            set(4, c(31)),
+            while_(
+                bin(BinOp::GeS, v(4), c(0)),
+                vec![
+                    set(5, and(shr(v(0), v(4)), c(1))),
+                    set(3, or(shl(v(3), c(1)), v(5))),
+                    if_(bin(BinOp::GeU, v(3), v(1)), vec![set(3, sub(v(3), v(1)))]),
+                    set(4, sub(v(4), c(1))),
+                ],
+            ),
+            ret(v(3)),
+        ],
+    }
+}
+
+/// `__divsi3(a, b)` — signed division truncating toward zero.
+pub fn divsi3() -> Function {
+    // v0=a v1=b v2=sign v3=q
+    Function {
+        name: "__divsi3",
+        params: 2,
+        locals: 4,
+        body: vec![
+            set(2, c(0)),
+            if_(lt(v(0), c(0)), vec![set(0, sub(c(0), v(0))), set(2, xor(v(2), c(1)))]),
+            if_(lt(v(1), c(0)), vec![set(1, sub(c(0), v(1))), set(2, xor(v(2), c(1)))]),
+            set(3, call("__udivsi3", vec![v(0), v(1)])),
+            if_(ne(v(2), c(0)), vec![set(3, sub(c(0), v(3)))]),
+            ret(v(3)),
+        ],
+    }
+}
+
+/// `__modsi3(a, b)` — signed remainder with the sign of the dividend.
+pub fn modsi3() -> Function {
+    Function {
+        name: "__modsi3",
+        params: 2,
+        locals: 4,
+        body: vec![
+            set(2, c(0)),
+            if_(lt(v(0), c(0)), vec![set(0, sub(c(0), v(0))), set(2, c(1))]),
+            if_(lt(v(1), c(0)), vec![set(1, sub(c(0), v(1)))]),
+            set(3, call("__umodsi3", vec![v(0), v(1)])),
+            if_(ne(v(2), c(0)), vec![set(3, sub(c(0), v(3)))]),
+            ret(v(3)),
+        ],
+    }
+}
+
+/// All builtins by name, with the builtins *they* call.
+pub fn all() -> Vec<(Function, &'static [&'static str])> {
+    vec![
+        (mulsi3(), &[]),
+        (udivsi3(), &[]),
+        (umodsi3(), &[]),
+        (divsi3(), &["__udivsi3"]),
+        (modsi3(), &["__umodsi3"]),
+    ]
+}
+
+/// Expression helper re-exported for workloads that want a raw remainder.
+pub fn rem_u(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::RemU, a, b)
+}
+
+/// Expression helper for unsigned division.
+pub fn div_u(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::DivU, a, b)
+}
+
+/// Statement helper: no-op placeholder (useful in generated tables).
+pub fn nop() -> Stmt {
+    Stmt::Expr(Expr::Const(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_shapes() {
+        for (f, _) in all() {
+            assert!(f.params == 2);
+            assert!(f.locals >= f.params);
+            assert!(!f.body.is_empty());
+            assert!(f.name.starts_with("__"));
+        }
+    }
+}

@@ -1,0 +1,936 @@
+//! RV32E code generation: lowering, register allocation and emission.
+//!
+//! Calling convention (ILP32E-flavoured, internal to `xcc`):
+//!
+//! * `x1`=ra, `x2`=sp; arguments in `a0–a3` (x10–x13), result in `a0`;
+//! * `x5`/`x6` are expression scratch (caller-clobbered);
+//! * the allocatable pool `{x7, x8, x9, x14, x15}` is callee-saved — every
+//!   function saves exactly the pool registers it uses in its prologue, so
+//!   values allocated to the pool survive calls;
+//! * each frame reserves a fixed expression-spill area, the spilled-local
+//!   area, the saved registers and `ra`.
+//!
+//! At `-O0` no local is register-allocated (every access goes through the
+//! stack, as gcc does); at `-O1` and above a linear-scan allocator maps
+//! locals onto the pool with loop-aware live intervals.
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp, VarId, Width};
+use crate::opt::OptLevel;
+use riscv_isa::asm::{AsmInstr, Item, Target};
+use riscv_isa::{Instruction, Mnemonic, Reg};
+use std::collections::HashMap;
+
+const T0: Reg = Reg::X5;
+const T1: Reg = Reg::X6;
+const RA: Reg = Reg::X1;
+const SP: Reg = Reg::X2;
+const A0: Reg = Reg::X10;
+const ARG_REGS: [Reg; 4] = [Reg::X10, Reg::X11, Reg::X12, Reg::X13];
+const POOL: [Reg; 5] = [Reg::X7, Reg::X8, Reg::X9, Reg::X14, Reg::X15];
+/// Expression-stack slots reserved in every frame.
+const TEMP_SLOTS: i32 = 16;
+
+/// A code-generation failure (all are programmer errors in the workload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// A called function does not exist in the program.
+    UnknownFunction(String),
+    /// More than four arguments are not supported.
+    TooManyArgs(String),
+    /// Expression nesting exceeded the reserved spill area.
+    ExprTooDeep(String),
+    /// A referenced global has no data object.
+    UnknownGlobal(String),
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            CodegenError::TooManyArgs(n) => write!(f, "more than 4 args in call to `{n}`"),
+            CodegenError::ExprTooDeep(n) => write!(f, "expression too deep in `{n}`"),
+            CodegenError::UnknownGlobal(n) => write!(f, "unknown global `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+// ---------------------------------------------------------------------------
+// Pre-codegen lowering.
+// ---------------------------------------------------------------------------
+
+/// Rewrites `Mul`/`Div`/`Rem` into libcalls (RV32E has no M extension) and
+/// desugars `For` into `While`.
+pub fn lower(program: &Program) -> Program {
+    let mut p = program.clone();
+    for f in &mut p.functions {
+        f.body = lower_body(std::mem::take(&mut f.body));
+    }
+    p
+}
+
+fn lower_body(body: Vec<Stmt>) -> Vec<Stmt> {
+    body.into_iter().map(lower_stmt).collect()
+}
+
+fn lower_stmt(s: Stmt) -> Stmt {
+    match s {
+        Stmt::Assign(v, e) => Stmt::Assign(v, lower_expr(e)),
+        Stmt::Store { width, addr, value } => {
+            Stmt::Store { width, addr: lower_expr(addr), value: lower_expr(value) }
+        }
+        Stmt::If { cond, then_body, else_body } => Stmt::If {
+            cond: lower_expr(cond),
+            then_body: lower_body(then_body),
+            else_body: lower_body(else_body),
+        },
+        Stmt::While { cond, body } => {
+            Stmt::While { cond: lower_expr(cond), body: lower_body(body) }
+        }
+        Stmt::For { var, from, to, body } => {
+            // for (v = from; v < to; v++) { body }
+            let mut wbody = lower_body(body);
+            wbody.push(Stmt::Assign(
+                var,
+                Expr::Bin(BinOp::Add, Box::new(Expr::Var(var)), Box::new(Expr::Const(1))),
+            ));
+            Stmt::While {
+                cond: Expr::Bin(
+                    BinOp::LtS,
+                    Box::new(Expr::Var(var)),
+                    Box::new(lower_expr(to.clone())),
+                ),
+                body: wbody,
+            }
+            .prefixed(Stmt::Assign(var, lower_expr(from)))
+        }
+        Stmt::Return(e) => Stmt::Return(e.map(lower_expr)),
+        Stmt::Expr(e) => Stmt::Expr(lower_expr(e)),
+    }
+}
+
+impl Stmt {
+    /// Packs `first; self` into a no-op `If` so lowering can return a single
+    /// statement.  (`if (1) { first; self }` — folded away in emission.)
+    fn prefixed(self, first: Stmt) -> Stmt {
+        Stmt::If { cond: Expr::Const(1), then_body: vec![first, self], else_body: vec![] }
+    }
+}
+
+fn lower_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Un(op, a) => Expr::Un(op, Box::new(lower_expr(*a))),
+        Expr::Bin(op, a, b) => {
+            let (a, b) = (lower_expr(*a), lower_expr(*b));
+            let libcall = |name| Expr::Call(name, vec![a.clone(), b.clone()]);
+            match op {
+                BinOp::Mul => libcall("__mulsi3"),
+                BinOp::DivS => libcall("__divsi3"),
+                BinOp::DivU => libcall("__udivsi3"),
+                BinOp::RemS => libcall("__modsi3"),
+                BinOp::RemU => libcall("__umodsi3"),
+                _ => Expr::Bin(op, Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Load { width, signed, addr } => {
+            Expr::Load { width, signed, addr: Box::new(lower_expr(*addr)) }
+        }
+        Expr::Call(name, args) => {
+            Expr::Call(name, args.into_iter().map(lower_expr).collect())
+        }
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Register allocation.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Intervals {
+    /// var → (first, last) access positions.
+    ranges: HashMap<VarId, (u32, u32)>,
+    /// (start, end) spans of loops, with accesses inside.
+    loops: Vec<(u32, u32)>,
+    accesses: Vec<(VarId, u32)>,
+    pos: u32,
+}
+
+impl Intervals {
+    fn touch(&mut self, v: VarId) {
+        let pos = self.pos;
+        self.accesses.push((v, pos));
+        let entry = self.ranges.entry(v).or_insert((pos, pos));
+        entry.0 = entry.0.min(pos);
+        entry.1 = entry.1.max(pos);
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Var(v) => self.touch(*v),
+            Expr::Un(_, a) => self.expr(a),
+            Expr::Bin(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Load { addr, .. } => self.expr(addr),
+            Expr::Call(_, args) => args.iter().for_each(|a| self.expr(a)),
+            _ => {}
+        }
+    }
+
+    fn body(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.pos += 1;
+            match s {
+                Stmt::Assign(v, e) => {
+                    self.expr(e);
+                    self.touch(*v);
+                }
+                Stmt::Store { addr, value, .. } => {
+                    self.expr(addr);
+                    self.expr(value);
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    self.expr(cond);
+                    self.body(then_body);
+                    self.body(else_body);
+                }
+                Stmt::While { cond, body } | Stmt::For { to: cond, body, .. } => {
+                    let start = self.pos;
+                    self.expr(cond);
+                    if let Stmt::For { var, from, .. } = s {
+                        self.expr(from);
+                        self.touch(*var);
+                    }
+                    self.body(body);
+                    self.loops.push((start, self.pos));
+                }
+                Stmt::Return(Some(e)) | Stmt::Expr(e) => self.expr(e),
+                Stmt::Return(None) => {}
+            }
+        }
+    }
+
+    fn finish(mut self) -> HashMap<VarId, (u32, u32)> {
+        // Any variable touched inside a loop is live across the whole loop.
+        for &(s, e) in &self.loops {
+            for &(v, pos) in &self.accesses {
+                if pos >= s && pos <= e {
+                    let r = self.ranges.get_mut(&v).expect("touched var has range");
+                    r.0 = r.0.min(s);
+                    r.1 = r.1.max(e);
+                }
+            }
+        }
+        self.ranges
+    }
+}
+
+/// Where a local lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Home {
+    Reg(Reg),
+    /// Index into the spilled-local area.
+    Slot(usize),
+}
+
+fn allocate(f: &Function, level: OptLevel) -> (HashMap<VarId, Home>, usize) {
+    let mut homes = HashMap::new();
+    if !level.allocate_registers() {
+        for v in 0..f.locals {
+            homes.insert(v, Home::Slot(v));
+        }
+        return (homes, f.locals);
+    }
+    let mut iv = Intervals::default();
+    // Parameters are live from position 0.
+    for p in 0..f.params {
+        iv.touch(p);
+    }
+    iv.pos = 1;
+    iv.body(&f.body);
+    let ranges = iv.finish();
+    let mut intervals: Vec<(VarId, u32, u32)> =
+        ranges.iter().map(|(&v, &(s, e))| (v, s, e)).collect();
+    intervals.sort_by_key(|&(v, s, _)| (s, v));
+
+    let mut active: Vec<(u32, Reg, VarId)> = Vec::new(); // (end, reg, var)
+    let mut free: Vec<Reg> = POOL.to_vec();
+    let mut slots = 0usize;
+    for (v, s, e) in intervals {
+        active.retain(|&(end, reg, _)| {
+            if end < s {
+                free.push(reg);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(reg) = free.pop() {
+            homes.insert(v, Home::Reg(reg));
+            active.push((e, reg, v));
+        } else {
+            // Spill the interval that ends last (classic linear scan).
+            active.sort_by_key(|&(end, _, _)| end);
+            let &(last_end, reg, victim) = active.last().expect("pool exhausted ⇒ active");
+            if last_end > e {
+                active.pop();
+                homes.insert(victim, Home::Slot(slots));
+                slots += 1;
+                homes.insert(v, Home::Reg(reg));
+                active.push((e, reg, v));
+            } else {
+                homes.insert(v, Home::Slot(slots));
+                slots += 1;
+            }
+        }
+    }
+    // Locals never accessed get slots (harmless).
+    for v in 0..f.locals {
+        homes.entry(v).or_insert_with(|| {
+            let h = Home::Slot(slots);
+            slots += 1;
+            h
+        });
+    }
+    (homes, slots)
+}
+
+// ---------------------------------------------------------------------------
+// Emission.
+// ---------------------------------------------------------------------------
+
+/// An evaluated expression's location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Imm(i32),
+    /// A stable register (variable home or x0) — never clobbered by
+    /// expression evaluation.
+    Stable(Reg),
+    /// The scratch accumulator `T0`.
+    Scratch,
+}
+
+struct FnEmitter<'a> {
+    items: Vec<Item>,
+    homes: HashMap<VarId, Home>,
+    fname: &'static str,
+    labels: u32,
+    /// Expression-stack depth (compile-time).
+    esp: i32,
+    max_esp: i32,
+    globals: &'a HashMap<&'static str, u32>,
+    functions: &'a [&'static str],
+    spill_base: i32,
+    epilogue: String,
+}
+
+impl<'a> FnEmitter<'a> {
+    fn label(&mut self, hint: &str) -> String {
+        self.labels += 1;
+        format!(".L{}_{}_{}", self.fname, hint, self.labels)
+    }
+
+    fn emit(&mut self, i: Instruction) {
+        self.items.push(Item::instr(i));
+    }
+
+    fn emit_to_label(&mut self, m: Mnemonic, rd: Reg, rs1: Reg, rs2: Reg, label: &str) {
+        self.items.push(Item::Instr(AsmInstr {
+            mnemonic: m,
+            rd,
+            rs1,
+            rs2,
+            target: Target::Label(label.to_string()),
+        }));
+    }
+
+    fn jump(&mut self, label: &str) {
+        self.emit_to_label(Mnemonic::Jal, Reg::X0, Reg::X0, Reg::X0, label);
+    }
+
+    /// Loads a 32-bit constant into `rd`.
+    fn li(&mut self, rd: Reg, value: i32) {
+        if (-2048..=2047).contains(&value) {
+            self.emit(Instruction::i(Mnemonic::Addi, rd, Reg::X0, value));
+        } else {
+            let lo = (value << 20) >> 20; // low 12, sign-extended
+            let hi = value.wrapping_sub(lo);
+            self.emit(Instruction::u(Mnemonic::Lui, rd, hi));
+            if lo != 0 {
+                self.emit(Instruction::i(Mnemonic::Addi, rd, rd, lo));
+            }
+        }
+    }
+
+    fn mv(&mut self, rd: Reg, rs: Reg) {
+        if rd != rs {
+            self.emit(Instruction::i(Mnemonic::Addi, rd, rs, 0));
+        }
+    }
+
+    /// Materialises a value into a register, using `scratch` if needed.
+    fn reg_of(&mut self, v: Val, scratch: Reg) -> Reg {
+        match v {
+            Val::Imm(0) => Reg::X0,
+            Val::Imm(k) => {
+                self.li(scratch, k);
+                scratch
+            }
+            Val::Stable(r) => r,
+            Val::Scratch => T0,
+        }
+    }
+
+    fn push_t0(&mut self) -> Result<(), CodegenError> {
+        if self.esp >= TEMP_SLOTS {
+            return Err(CodegenError::ExprTooDeep(self.fname.to_string()));
+        }
+        self.emit(Instruction::s(Mnemonic::Sw, SP, T0, self.esp * 4));
+        self.esp += 1;
+        self.max_esp = self.max_esp.max(self.esp);
+        Ok(())
+    }
+
+    fn pop(&mut self, rd: Reg) {
+        self.esp -= 1;
+        let esp = self.esp;
+        self.emit(Instruction::i(Mnemonic::Lw, rd, SP, esp * 4));
+    }
+
+    fn slot_offset(&self, slot: usize) -> i32 {
+        self.spill_base + (slot as i32) * 4
+    }
+
+    /// True when evaluating `e` emits no instructions that clobber T0/T1.
+    fn is_leaf(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Const(_) | Expr::GlobalAddr(_) => true,
+            Expr::Var(v) => matches!(self.homes[v], Home::Reg(_)),
+            _ => false,
+        }
+    }
+
+    /// True when evaluating `e` *as an address* leaves T0 untouched
+    /// (leaf bases and `leaf + small-const` addressing forms).
+    fn is_leaf_addr(&self, e: &Expr) -> bool {
+        let leaf_base = |e: &Expr| {
+            matches!(e, Expr::GlobalAddr(_)) || self.is_leaf(e)
+        };
+        if leaf_base(e) {
+            return true;
+        }
+        if let Expr::Bin(BinOp::Add, a, b) = e {
+            if let Expr::Const(k) = **b {
+                return (-2048..=2047).contains(&k) && leaf_base(a);
+            }
+            if let Expr::Const(k) = **a {
+                return (-2048..=2047).contains(&k) && leaf_base(b);
+            }
+        }
+        false
+    }
+
+    // -- expression evaluation ---------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> Result<Val, CodegenError> {
+        match e {
+            Expr::Const(k) => Ok(Val::Imm(*k)),
+            Expr::GlobalAddr(name) => {
+                let addr = *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownGlobal(name.to_string()))?;
+                Ok(Val::Imm(addr as i32))
+            }
+            Expr::Var(v) => match self.homes[v] {
+                Home::Reg(r) => Ok(Val::Stable(r)),
+                Home::Slot(s) => {
+                    let off = self.slot_offset(s);
+                    self.emit(Instruction::i(Mnemonic::Lw, T0, SP, off));
+                    Ok(Val::Scratch)
+                }
+            },
+            Expr::Un(op, a) => {
+                let va = self.eval(a)?;
+                let r = self.reg_of(va, T0);
+                match op {
+                    UnOp::Neg => self.emit(Instruction::r(Mnemonic::Sub, T0, Reg::X0, r)),
+                    UnOp::BitNot => self.emit(Instruction::i(Mnemonic::Xori, T0, r, -1)),
+                    UnOp::Not => self.emit(Instruction::i(Mnemonic::Sltiu, T0, r, 1)),
+                }
+                Ok(Val::Scratch)
+            }
+            Expr::Bin(op, a, b) => self.eval_bin(*op, a, b, T0).map(|_| Val::Scratch),
+            Expr::Load { width, signed, addr } => {
+                let (base, off) = self.eval_address(addr, T0)?;
+                let m = match (width, signed) {
+                    (Width::Byte, true) => Mnemonic::Lb,
+                    (Width::Byte, false) => Mnemonic::Lbu,
+                    (Width::Half, true) => Mnemonic::Lh,
+                    (Width::Half, false) => Mnemonic::Lhu,
+                    (Width::Word, _) => Mnemonic::Lw,
+                };
+                self.emit(Instruction::i(m, T0, base, off));
+                Ok(Val::Scratch)
+            }
+            Expr::Call(name, args) => {
+                self.eval_call(name, args)?;
+                self.mv(T0, A0);
+                Ok(Val::Scratch)
+            }
+        }
+    }
+
+    /// Splits an address expression into (base register, 12-bit offset),
+    /// materialising constant bases into `scratch`.
+    fn eval_address(&mut self, addr: &Expr, scratch: Reg) -> Result<(Reg, i32), CodegenError> {
+        // Peel `base + const` into an addressing-mode offset.
+        if let Expr::Bin(BinOp::Add, a, b) = addr {
+            if let Expr::Const(k) = **b {
+                if (-2048..=2047).contains(&k) {
+                    let va = self.eval(a)?;
+                    return Ok((self.reg_of(va, scratch), k));
+                }
+            }
+            if let Expr::Const(k) = **a {
+                if (-2048..=2047).contains(&k) {
+                    let vb = self.eval(b)?;
+                    return Ok((self.reg_of(vb, scratch), k));
+                }
+            }
+        }
+        let v = self.eval(addr)?;
+        Ok((self.reg_of(v, scratch), 0))
+    }
+
+    /// Emits `dest = a op b` for non-libcall operators.
+    fn eval_bin(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        dest: Reg,
+    ) -> Result<(), CodegenError> {
+        debug_assert!(
+            !matches!(op, BinOp::Mul | BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU),
+            "mul/div must be lowered to libcalls before codegen"
+        );
+        // Immediate forms.
+        let imm_mnemonic = |op: BinOp| -> Option<Mnemonic> {
+            Some(match op {
+                BinOp::Add => Mnemonic::Addi,
+                BinOp::And => Mnemonic::Andi,
+                BinOp::Or => Mnemonic::Ori,
+                BinOp::Xor => Mnemonic::Xori,
+                BinOp::LtS => Mnemonic::Slti,
+                BinOp::LtU => Mnemonic::Sltiu,
+                BinOp::Shl => Mnemonic::Slli,
+                BinOp::ShrU => Mnemonic::Srli,
+                BinOp::ShrS => Mnemonic::Srai,
+                _ => return None,
+            })
+        };
+        if let Expr::Const(k) = *b {
+            let imm_ok = match op {
+                BinOp::Shl | BinOp::ShrU | BinOp::ShrS => (0..32).contains(&k),
+                BinOp::Sub => (-2047..=2048).contains(&k),
+                _ => (-2048..=2047).contains(&k),
+            };
+            if imm_ok {
+                if op == BinOp::Sub {
+                    let va = self.eval(a)?;
+                    let r = self.reg_of(va, T0);
+                    self.emit(Instruction::i(Mnemonic::Addi, dest, r, -k));
+                    return Ok(());
+                }
+                if let Some(m) = imm_mnemonic(op) {
+                    let va = self.eval(a)?;
+                    let r = self.reg_of(va, T0);
+                    self.emit(Instruction::i(m, dest, r, k));
+                    return Ok(());
+                }
+                // Comparison immediates.
+                match op {
+                    BinOp::Eq => {
+                        let va = self.eval(a)?;
+                        let r = self.reg_of(va, T0);
+                        if k == 0 {
+                            self.emit(Instruction::i(Mnemonic::Sltiu, dest, r, 1));
+                        } else {
+                            self.emit(Instruction::i(Mnemonic::Xori, dest, r, k));
+                            self.emit(Instruction::i(Mnemonic::Sltiu, dest, dest, 1));
+                        }
+                        return Ok(());
+                    }
+                    BinOp::Ne => {
+                        let va = self.eval(a)?;
+                        let r = self.reg_of(va, T0);
+                        if k == 0 {
+                            self.emit(Instruction::r(Mnemonic::Sltu, dest, Reg::X0, r));
+                        } else {
+                            self.emit(Instruction::i(Mnemonic::Xori, dest, r, k));
+                            self.emit(Instruction::r(Mnemonic::Sltu, dest, Reg::X0, dest));
+                        }
+                        return Ok(());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // General register-register path.
+        let va = self.eval(a)?;
+        let va = if va == Val::Scratch && !self.is_leaf(b) {
+            self.push_t0()?;
+            None // stacked
+        } else {
+            Some(va)
+        };
+        let vb = self.eval(b)?;
+        let (r1, r2) = match va {
+            Some(v) => {
+                let r2 = self.reg_of(vb, T1);
+                // If the right operand landed in T0, materialise the left
+                // one into T1 so it is not clobbered.
+                let r1 = self.reg_of(v, if r2 == T0 { T1 } else { T0 });
+                (r1, r2)
+            }
+            None => {
+                // Left operand is on the expression stack.
+                let r2 = match vb {
+                    Val::Scratch => {
+                        self.mv(T1, T0);
+                        T1
+                    }
+                    other => self.reg_of(other, T1),
+                };
+                self.pop(T0);
+                (T0, r2)
+            }
+        };
+        let rr = |m: Mnemonic| Instruction::r(m, dest, r1, r2);
+        match op {
+            BinOp::Add => self.emit(rr(Mnemonic::Add)),
+            BinOp::Sub => self.emit(rr(Mnemonic::Sub)),
+            BinOp::And => self.emit(rr(Mnemonic::And)),
+            BinOp::Or => self.emit(rr(Mnemonic::Or)),
+            BinOp::Xor => self.emit(rr(Mnemonic::Xor)),
+            BinOp::Shl => self.emit(rr(Mnemonic::Sll)),
+            BinOp::ShrU => self.emit(rr(Mnemonic::Srl)),
+            BinOp::ShrS => self.emit(rr(Mnemonic::Sra)),
+            BinOp::LtS => self.emit(rr(Mnemonic::Slt)),
+            BinOp::LtU => self.emit(rr(Mnemonic::Sltu)),
+            BinOp::GeS => {
+                self.emit(rr(Mnemonic::Slt));
+                self.emit(Instruction::i(Mnemonic::Xori, dest, dest, 1));
+            }
+            BinOp::GeU => {
+                self.emit(rr(Mnemonic::Sltu));
+                self.emit(Instruction::i(Mnemonic::Xori, dest, dest, 1));
+            }
+            BinOp::GtS => self.emit(Instruction::r(Mnemonic::Slt, dest, r2, r1)),
+            BinOp::LeS => {
+                self.emit(Instruction::r(Mnemonic::Slt, dest, r2, r1));
+                self.emit(Instruction::i(Mnemonic::Xori, dest, dest, 1));
+            }
+            BinOp::Eq => {
+                self.emit(rr(Mnemonic::Xor));
+                self.emit(Instruction::i(Mnemonic::Sltiu, dest, dest, 1));
+            }
+            BinOp::Ne => {
+                self.emit(rr(Mnemonic::Xor));
+                self.emit(Instruction::r(Mnemonic::Sltu, dest, Reg::X0, dest));
+            }
+            BinOp::Mul | BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU => {
+                unreachable!("lowered before codegen")
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_call(&mut self, name: &str, args: &[Expr]) -> Result<(), CodegenError> {
+        if !self.functions.contains(&name) {
+            return Err(CodegenError::UnknownFunction(name.to_string()));
+        }
+        if args.len() > ARG_REGS.len() {
+            return Err(CodegenError::TooManyArgs(name.to_string()));
+        }
+        // Evaluate each argument and park it on the expression stack, then
+        // pop into the argument registers in reverse.
+        for a in args {
+            let v = self.eval(a)?;
+            let r = self.reg_of(v, T0);
+            self.mv(T0, r);
+            self.push_t0()?;
+        }
+        for (i, _) in args.iter().enumerate().rev() {
+            self.pop(ARG_REGS[i]);
+        }
+        self.emit_to_label(Mnemonic::Jal, RA, Reg::X0, Reg::X0, name);
+        Ok(())
+    }
+
+    /// Evaluates `e` directly into `dest` (a stable register).
+    fn eval_into(&mut self, dest: Reg, e: &Expr) -> Result<(), CodegenError> {
+        match e {
+            Expr::Const(k) => {
+                self.li(dest, *k);
+                Ok(())
+            }
+            Expr::Bin(op, a, b)
+                if !matches!(
+                    op,
+                    BinOp::Mul | BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU
+                ) =>
+            {
+                self.eval_bin(*op, a, b, dest)
+            }
+            Expr::Call(name, args) => {
+                self.eval_call(name, args)?;
+                self.mv(dest, A0);
+                Ok(())
+            }
+            other => {
+                let v = self.eval(other)?;
+                match v {
+                    Val::Imm(k) => self.li(dest, k),
+                    Val::Stable(r) => self.mv(dest, r),
+                    Val::Scratch => self.mv(dest, T0),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CodegenError> {
+        match s {
+            Stmt::Assign(v, e) => match self.homes[v] {
+                Home::Reg(r) => self.eval_into(r, e),
+                Home::Slot(slot) => {
+                    let val = self.eval(e)?;
+                    let r = self.reg_of(val, T0);
+                    let off = self.slot_offset(slot);
+                    self.emit(Instruction::s(Mnemonic::Sw, SP, r, off));
+                    Ok(())
+                }
+            },
+            Stmt::Store { width, addr, value } => {
+                let m = match width {
+                    Width::Byte => Mnemonic::Sb,
+                    Width::Half => Mnemonic::Sh,
+                    Width::Word => Mnemonic::Sw,
+                };
+                let vv = self.eval(value)?;
+                let vv = if vv == Val::Scratch && !self.is_leaf_addr(addr) {
+                    self.push_t0()?;
+                    None
+                } else {
+                    Some(vv)
+                };
+                // When the value sits un-pushed in T0, the (leaf) address
+                // must materialise through T1 to avoid clobbering it.
+                let addr_scratch = if vv == Some(Val::Scratch) { T1 } else { T0 };
+                let (base, off) = self.eval_address(addr, addr_scratch)?;
+                let data = match vv {
+                    Some(v) => {
+                        let data_scratch = if base == T1 { T0 } else { T1 };
+                        self.reg_of(v, data_scratch)
+                    }
+                    None => {
+                        self.pop(T1);
+                        T1
+                    }
+                };
+                self.emit(Instruction::s(m, base, data, off));
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                if matches!(cond, Expr::Const(k) if *k != 0) && else_body.is_empty() {
+                    // Lowering artifact: `if (1) { .. }` — emit body directly.
+                    for s in then_body {
+                        self.stmt(s)?;
+                    }
+                    return Ok(());
+                }
+                let else_l = self.label("else");
+                let end_l = self.label("endif");
+                self.branch_if_false(cond, &else_l)?;
+                for s in then_body {
+                    self.stmt(s)?;
+                }
+                if else_body.is_empty() {
+                    self.items.push(Item::label(else_l));
+                } else {
+                    self.jump(&end_l);
+                    self.items.push(Item::label(else_l));
+                    for s in else_body {
+                        self.stmt(s)?;
+                    }
+                    self.items.push(Item::label(end_l));
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.label("while");
+                let end = self.label("wend");
+                self.items.push(Item::label(head.clone()));
+                self.branch_if_false(cond, &end)?;
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.jump(&head);
+                self.items.push(Item::label(end));
+                Ok(())
+            }
+            Stmt::For { .. } => unreachable!("For is desugared by lower()"),
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.eval_into(A0, e)?;
+                }
+                let epilogue = self.epilogue.clone();
+                self.jump(&epilogue);
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                let _ = self.eval(e)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Emits a conditional branch to `label` taken when `cond` is false,
+    /// fusing comparisons into RISC-V branch instructions.
+    fn branch_if_false(&mut self, cond: &Expr, label: &str) -> Result<(), CodegenError> {
+        if let Expr::Bin(op, a, b) = cond {
+            // Branch on the *negation* of the comparison.
+            let fused = match op {
+                BinOp::Eq => Some((Mnemonic::Bne, false)),
+                BinOp::Ne => Some((Mnemonic::Beq, false)),
+                BinOp::LtS => Some((Mnemonic::Bge, false)),
+                BinOp::LtU => Some((Mnemonic::Bgeu, false)),
+                BinOp::GeS => Some((Mnemonic::Blt, false)),
+                BinOp::GeU => Some((Mnemonic::Bltu, false)),
+                // a <= b  ⇔  !(b < a): branch when b < a.
+                BinOp::LeS => Some((Mnemonic::Blt, true)),
+                // a > b  ⇔  b < a: branch (false) when b >= a.
+                BinOp::GtS => Some((Mnemonic::Bge, true)),
+                _ => None,
+            };
+            if let Some((m, swapped)) = fused {
+                let va = self.eval(a)?;
+                let va = if va == Val::Scratch && !self.is_leaf(b) {
+                    self.push_t0()?;
+                    None
+                } else {
+                    Some(va)
+                };
+                let vb = self.eval(b)?;
+                let (r1, r2) = match va {
+                    Some(v) => {
+                        let r2 = self.reg_of(vb, T1);
+                        (self.reg_of(v, if r2 == T0 { T1 } else { T0 }), r2)
+                    }
+                    None => {
+                        let r2 = match vb {
+                            Val::Scratch => {
+                                self.mv(T1, T0);
+                                T1
+                            }
+                            other => self.reg_of(other, T1),
+                        };
+                        self.pop(T0);
+                        (T0, r2)
+                    }
+                };
+                let (r1, r2) = if swapped { (r2, r1) } else { (r1, r2) };
+                self.emit_to_label(m, Reg::X0, r1, r2, label);
+                return Ok(());
+            }
+        }
+        let v = self.eval(cond)?;
+        match v {
+            Val::Imm(0) => self.jump(label),
+            Val::Imm(_) => {} // always true: fall through
+            other => {
+                let r = self.reg_of(other, T0);
+                self.emit_to_label(Mnemonic::Beq, Reg::X0, r, Reg::X0, label);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Emits one function, returning its items.
+pub fn emit_function(
+    f: &Function,
+    level: OptLevel,
+    globals: &HashMap<&'static str, u32>,
+    functions: &[&'static str],
+) -> Result<Vec<Item>, CodegenError> {
+    let (homes, spill_slots) = allocate(f, level);
+    // Pool registers actually used.
+    let mut used_pool: Vec<Reg> = homes
+        .values()
+        .filter_map(|h| match h {
+            Home::Reg(r) => Some(*r),
+            Home::Slot(_) => None,
+        })
+        .collect();
+    used_pool.sort();
+    used_pool.dedup();
+
+    let saved = used_pool.len() as i32 + 1; // + ra
+    let frame = (TEMP_SLOTS + spill_slots as i32 + saved) * 4;
+    let spill_base = TEMP_SLOTS * 4;
+    let epilogue = format!(".L{}_ret", f.name);
+
+    let mut em = FnEmitter {
+        items: vec![Item::label(f.name)],
+        homes,
+        fname: f.name,
+        labels: 0,
+        esp: 0,
+        max_esp: 0,
+        globals,
+        functions,
+        spill_base,
+        epilogue: epilogue.clone(),
+    };
+
+    // Prologue.
+    em.emit(Instruction::i(Mnemonic::Addi, SP, SP, -frame));
+    em.emit(Instruction::s(Mnemonic::Sw, SP, RA, frame - 4));
+    for (i, r) in used_pool.iter().enumerate() {
+        em.emit(Instruction::s(Mnemonic::Sw, SP, *r, frame - 8 - 4 * i as i32));
+    }
+    // Park parameters in their homes.
+    for p in 0..f.params {
+        let home = em.homes[&p];
+        match home {
+            Home::Reg(r) => em.mv(r, ARG_REGS[p]),
+            Home::Slot(s) => {
+                let off = em.slot_offset(s);
+                em.emit(Instruction::s(Mnemonic::Sw, SP, ARG_REGS[p], off));
+            }
+        }
+    }
+
+    for s in &f.body {
+        em.stmt(s)?;
+    }
+
+    // Epilogue.
+    em.items.push(Item::label(epilogue));
+    for (i, r) in used_pool.iter().enumerate() {
+        em.emit(Instruction::i(Mnemonic::Lw, *r, SP, frame - 8 - 4 * i as i32));
+    }
+    em.emit(Instruction::i(Mnemonic::Lw, RA, SP, frame - 4));
+    em.emit(Instruction::i(Mnemonic::Addi, SP, SP, frame));
+    em.emit(Instruction::i(Mnemonic::Jalr, Reg::X0, RA, 0));
+    debug_assert_eq!(em.esp, 0, "{}: unbalanced expression stack", f.name);
+    Ok(em.items)
+}

@@ -1,0 +1,408 @@
+//! `xcc` — a small optimising C-like compiler targeting RV32E.
+//!
+//! The paper profiles applications compiled with
+//! `riscv32-unknown-elf-gcc` at `-O0/-O1/-O2/-O3/-Oz` (§4.1, Figure 5); this
+//! crate is the reproduction's compiler.  Programs are written in the
+//! [`ast`] eDSL, optimised by the level-dependent pipeline in [`opt`], and
+//! lowered to RV32E machine code by [`codegen`] with the runtime support
+//! routines of [`builtins`] linked in on demand.
+//!
+//! The resulting [`CompiledProgram`] is a baremetal image: `_start` sets up
+//! the stack, calls `main`, and parks in the self-loop halt the whole
+//! repository uses as its termination convention.
+//!
+//! # Examples
+//!
+//! ```
+//! use xcc::ast::build::*;
+//! use xcc::ast::{Function, Program};
+//! use xcc::{compile, OptLevel};
+//!
+//! let program = Program {
+//!     functions: vec![Function {
+//!         name: "main",
+//!         params: 0,
+//!         locals: 2,
+//!         body: vec![set(0, c(6)), set(1, mul(v(0), c(7))), ret(v(1))],
+//!     }],
+//!     data: vec![],
+//! };
+//! let image = compile(&program, OptLevel::O2).unwrap();
+//! let mut emu = riscv_emu::Emulator::new();
+//! image.load(&mut emu);
+//! emu.run(100_000).unwrap();
+//! assert_eq!(emu.state().regs[10], 42); // a0 = main's return value
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod codegen;
+pub mod opt;
+
+pub use codegen::CodegenError;
+pub use opt::OptLevel;
+
+use ast::{DataObject, Program};
+use riscv_isa::asm::{self, AsmError, Item};
+use std::collections::{HashMap, HashSet};
+
+/// Base address of the static data segment.
+pub const DATA_BASE: u32 = 0x0001_0000;
+/// Initial stack pointer (grows downward).
+pub const STACK_TOP: u32 = 0x0004_0000;
+/// Code base address (the reset PC).
+pub const CODE_BASE: u32 = 0;
+
+/// A compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program has no `main`.
+    NoMain,
+    /// Code generation failed.
+    Codegen(CodegenError),
+    /// Assembly/label resolution failed.
+    Asm(AsmError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::NoMain => write!(f, "program has no `main` function"),
+            CompileError::Codegen(e) => write!(f, "codegen: {e}"),
+            CompileError::Asm(e) => write!(f, "assembler: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> Self {
+        CompileError::Codegen(e)
+    }
+}
+
+impl From<AsmError> for CompileError {
+    fn from(e: AsmError) -> Self {
+        CompileError::Asm(e)
+    }
+}
+
+/// A fully linked baremetal image.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The assembly stream (labels + instructions), for inspection and for
+    /// the retargeting tool.
+    pub items: Vec<Item>,
+    /// Encoded code words, based at [`CODE_BASE`].
+    pub words: Vec<u32>,
+    /// Data segments: `(address, words)`.
+    pub data_segments: Vec<(u32, Vec<u32>)>,
+    /// Global symbol addresses (data objects).
+    pub globals: HashMap<&'static str, u32>,
+    /// The optimisation level used.
+    pub opt_level: OptLevel,
+}
+
+impl CompiledProgram {
+    /// Loads code and data into a reference emulator.
+    pub fn load(&self, emu: &mut riscv_emu::Emulator) {
+        emu.load_words(CODE_BASE, &self.words);
+        for (base, words) in &self.data_segments {
+            emu.load_words(*base, words);
+        }
+    }
+
+    /// Code size in bytes (Figure 5's y-axis).
+    pub fn code_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// The address of a global data object.
+    pub fn global(&self, name: &str) -> Option<u32> {
+        self.globals.get(name).copied()
+    }
+}
+
+/// Lays out data objects from [`DATA_BASE`].
+fn layout_data(data: &[DataObject]) -> (HashMap<&'static str, u32>, Vec<(u32, Vec<u32>)>) {
+    let mut globals = HashMap::new();
+    let mut segments = Vec::new();
+    let mut cursor = DATA_BASE;
+    for obj in data {
+        globals.insert(obj.name, cursor);
+        segments.push((cursor, obj.words.clone()));
+        cursor += (obj.words.len() as u32) * 4;
+        // Keep objects word-aligned with a small guard gap.
+        cursor = (cursor + 7) & !3;
+    }
+    (globals, segments)
+}
+
+/// Compiles `program` at `level` into a linked baremetal image.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for missing `main`, codegen failures (unknown
+/// calls/globals, >4 args) or assembly failures (range overflows).
+pub fn compile(program: &Program, level: OptLevel) -> Result<CompiledProgram, CompileError> {
+    if program.function("main").is_none() {
+        return Err(CompileError::NoMain);
+    }
+    let optimised = opt::optimize(program, level);
+    let lowered = codegen::lower(&optimised);
+
+    // Link in the builtins reachable from user code.
+    let builtin_defs = builtins::all();
+    let mut linked = lowered.clone();
+    let mut known: HashSet<&'static str> = linked.functions.iter().map(|f| f.name).collect();
+    loop {
+        let mut called: HashSet<&'static str> = HashSet::new();
+        for f in &linked.functions {
+            called.extend(opt::calls_of(f));
+        }
+        let missing: Vec<&'static str> = called.difference(&known).copied().collect();
+        if missing.is_empty() {
+            break;
+        }
+        let mut progress = false;
+        for (def, _) in &builtin_defs {
+            if missing.contains(&def.name) {
+                // Builtins go through the same codegen (they contain no
+                // mul/div themselves, so no further lowering is needed).
+                linked.functions.push(def.clone());
+                known.insert(def.name);
+                progress = true;
+            }
+        }
+        if !progress {
+            // A genuinely unknown function: let codegen report it.
+            break;
+        }
+    }
+
+    let (globals, data_segments) = layout_data(&linked.data);
+    let function_names: Vec<&'static str> = linked.functions.iter().map(|f| f.name).collect();
+
+    // _start: sp = STACK_TOP; call main; halt self-loop.
+    let mut items = asm::parse(&format!(
+        "_start:\n lui sp, {:#x}\n jal ra, main\n__halt: jal x0, __halt\n",
+        STACK_TOP >> 12
+    ))
+    .expect("startup stub parses");
+    // main first so short programs stay compact, then the rest.
+    let mut funcs: Vec<&ast::Function> = linked.functions.iter().collect();
+    funcs.sort_by_key(|f| (f.name != "main", f.name));
+    for f in funcs {
+        items.extend(codegen::emit_function(f, level, &globals, &function_names)?);
+    }
+    let words = asm::assemble(&items, CODE_BASE)?;
+    Ok(CompiledProgram { items, words, data_segments, globals, opt_level: level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ast::build::*;
+    use ast::{BinOp, Function, Program, Stmt};
+    use riscv_emu::Emulator;
+
+    fn run(program: &Program, level: OptLevel) -> (u32, CompiledProgram) {
+        let image = compile(program, level).unwrap_or_else(|e| panic!("{level}: {e}"));
+        let mut emu = Emulator::new();
+        image.load(&mut emu);
+        let summary = emu.run(5_000_000).unwrap_or_else(|e| panic!("{level}: {e}"));
+        assert_eq!(summary.halt, riscv_emu::HaltReason::SelfLoop, "{level}");
+        (emu.state().regs[10], image)
+    }
+
+    fn main_only(locals: usize, body: Vec<Stmt>) -> Program {
+        Program {
+            functions: vec![Function { name: "main", params: 0, locals, body }],
+            data: vec![],
+        }
+    }
+
+    #[test]
+    fn arithmetic_is_correct_at_every_level() {
+        // main: sum of i*i for i in 0..10, minus 100/7.
+        let p = main_only(
+            3,
+            vec![
+                set(0, c(0)),
+                for_(1, c(0), c(10), vec![set(0, add(v(0), mul(v(1), v(1))))]),
+                set(2, bin(BinOp::DivS, c(100), c(7))),
+                ret(sub(v(0), v(2))),
+            ],
+        );
+        for level in OptLevel::ALL {
+            let (result, _) = run(&p, level);
+            assert_eq!(result as i32, 285 - 14, "{level}");
+        }
+    }
+
+    #[test]
+    fn signed_division_and_remainder() {
+        let cases: [(i32, i32); 6] = [(7, 2), (-7, 2), (7, -2), (-7, -2), (0, 5), (100, 9)];
+        for (a, b) in cases {
+            let p = main_only(
+                2,
+                vec![
+                    set(0, bin(BinOp::DivS, c(a), c(b))),
+                    set(1, bin(BinOp::RemS, c(a), c(b))),
+                    ret(add(mul(v(0), c(1000)), bin(BinOp::And, v(1), c(0xff)))),
+                ],
+            );
+            // O0 avoids folding so the libcalls actually execute.
+            let (result, _) = run(&p, OptLevel::O0);
+            let want = (a / b).wrapping_mul(1000) + ((a % b) & 0xff);
+            assert_eq!(result as i32, want, "{a}/{b}");
+        }
+    }
+
+    #[test]
+    fn memory_widths_and_globals() {
+        let p = Program {
+            functions: vec![Function {
+                name: "main",
+                params: 0,
+                locals: 2,
+                body: vec![
+                    sw(ga("buf"), c(-1)),
+                    sb(add(ga("buf"), c(1)), c(0x42)),
+                    sh(add(ga("buf"), c(4)), c(0x1234)),
+                    set(0, lw(ga("buf"))),
+                    set(1, lbu(add(ga("buf"), c(1)))),
+                    ret(add(v(0), v(1))),
+                ],
+            }],
+            data: vec![DataObject { name: "buf", words: vec![0, 0] }],
+        };
+        for level in OptLevel::ALL {
+            let (result, image) = run(&p, level);
+            assert_eq!(result, 0xffff_42ffu32.wrapping_add(0x42), "{level}");
+            let mut emu = Emulator::new();
+            image.load(&mut emu);
+            emu.run(100_000).unwrap();
+            let buf = image.global("buf").unwrap();
+            assert_eq!(emu.memory().load_word(buf + 4) & 0xffff, 0x1234);
+        }
+    }
+
+    #[test]
+    fn calls_preserve_registers_across_levels() {
+        let callee = Function {
+            name: "clobber",
+            params: 1,
+            locals: 4,
+            body: vec![
+                set(1, c(111)),
+                set(2, c(222)),
+                set(3, add(v(1), v(2))),
+                ret(add(v(0), v(3))),
+            ],
+        };
+        let main = Function {
+            name: "main",
+            params: 0,
+            locals: 4,
+            body: vec![
+                set(0, c(10)),
+                set(1, c(20)),
+                set(2, call("clobber", vec![c(1)])),
+                // v0/v1 must survive the call.
+                ret(add(add(v(0), v(1)), v(2))),
+            ],
+        };
+        let p = Program { functions: vec![callee, main], data: vec![] };
+        for level in OptLevel::ALL {
+            let (result, _) = run(&p, level);
+            assert_eq!(result, 10 + 20 + 334, "{level}");
+        }
+    }
+
+    #[test]
+    fn deep_expressions_spill_correctly() {
+        // A right-deep chain forcing expression-stack traffic.
+        let mut e = c(1);
+        for i in 2..=9 {
+            e = add(shl(c(i), c(1)), e);
+        }
+        let p = main_only(1, vec![set(0, e), ret(v(0))]);
+        let want: i32 = (2..=9).map(|i| i * 2).sum::<i32>() + 1;
+        let (result, _) = run(&p, OptLevel::O0);
+        assert_eq!(result as i32, want);
+    }
+
+    #[test]
+    fn opt_levels_change_code_size_in_the_expected_direction() {
+        // A workload with inlinable helpers, constant loops and mults.
+        let helper = Function {
+            name: "step",
+            params: 1,
+            locals: 2,
+            body: vec![set(1, mul(v(0), c(12))), ret(add(v(1), c(3)))],
+        };
+        let main = Function {
+            name: "main",
+            params: 0,
+            locals: 3,
+            body: vec![
+                set(0, c(0)),
+                for_(1, c(0), c(8), vec![set(0, add(v(0), call("step", vec![v(1)])))]),
+                ret(v(0)),
+            ],
+        };
+        let p = Program { functions: vec![helper, main], data: vec![] };
+        let sizes: HashMap<OptLevel, usize> = OptLevel::ALL
+            .iter()
+            .map(|&l| {
+                let (result, image) = run(&p, l);
+                let want: i32 = (0..8).map(|i| i * 12 + 3).sum();
+                assert_eq!(result as i32, want, "{l}");
+                (l, image.code_bytes())
+            })
+            .collect();
+        assert!(sizes[&OptLevel::O0] > sizes[&OptLevel::O1], "{sizes:?}");
+        assert!(sizes[&OptLevel::O3] > sizes[&OptLevel::O2], "unroll grows code: {sizes:?}");
+        assert!(sizes[&OptLevel::Oz] <= sizes[&OptLevel::O2], "{sizes:?}");
+    }
+
+    #[test]
+    fn distinct_instruction_sets_stay_in_the_papers_band() {
+        let p = main_only(
+            2,
+            vec![
+                set(0, c(0)),
+                for_(1, c(0), c(20), vec![set(0, add(v(0), mul(v(1), c(3))))]),
+                ret(v(0)),
+            ],
+        );
+        for level in OptLevel::ALL {
+            let image = compile(&p, level).unwrap();
+            let mut set: HashSet<riscv_isa::Mnemonic> = HashSet::new();
+            for w in &image.words {
+                if let Ok(i) = riscv_isa::Instruction::decode(*w) {
+                    set.insert(i.mnemonic);
+                }
+            }
+            let n = set.len();
+            assert!((5..=32).contains(&n), "{level}: {n}");
+        }
+    }
+
+    #[test]
+    fn missing_main_is_reported() {
+        let p = Program { functions: vec![], data: vec![] };
+        assert_eq!(compile(&p, OptLevel::O1).unwrap_err(), CompileError::NoMain);
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let p = main_only(1, vec![set(0, call("nope", vec![]))]);
+        assert!(matches!(
+            compile(&p, OptLevel::O1),
+            Err(CompileError::Codegen(CodegenError::UnknownFunction(_)))
+        ));
+    }
+}

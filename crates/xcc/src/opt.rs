@@ -1,0 +1,725 @@
+//! AST-level optimisation passes.
+//!
+//! Each gcc optimisation level the paper profiles (Figure 5) maps to a pass
+//! pipeline here:
+//!
+//! | level | passes |
+//! |-------|--------|
+//! | `-O0` | none (and codegen keeps every local on the stack) |
+//! | `-O1` | constant folding + register allocation |
+//! | `-O2` | `-O1` + strength reduction + small-function inlining |
+//! | `-O3` | `-O2` + aggressive inlining + full unrolling of short counted loops |
+//! | `-Oz` | folding + strength reduction only (size-first: no inlining, no unrolling) |
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp, VarId};
+use std::collections::HashMap;
+
+/// Optimisation level, mirroring the gcc flags of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// No optimisation; locals live on the stack.
+    O0,
+    /// Folding and register allocation.
+    O1,
+    /// `-O1` plus strength reduction and small inlining.
+    O2,
+    /// `-O2` plus aggressive inlining and loop unrolling.
+    O3,
+    /// Optimise for size.
+    Oz,
+}
+
+impl OptLevel {
+    /// All levels in Figure 5's order.
+    pub const ALL: [OptLevel; 5] =
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz];
+
+    /// The flag spelling used in reports (`-O0` … `-Oz`).
+    pub fn flag(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+            OptLevel::Oz => "-Oz",
+        }
+    }
+
+    /// Whether codegen should allocate locals to registers.
+    pub fn allocate_registers(self) -> bool {
+        self != OptLevel::O0
+    }
+
+    fn fold(self) -> bool {
+        self != OptLevel::O0
+    }
+
+    fn strength_reduce(self) -> bool {
+        matches!(self, OptLevel::O2 | OptLevel::O3 | OptLevel::Oz)
+    }
+
+    fn inline_limit(self) -> usize {
+        match self {
+            OptLevel::O2 => 4,
+            OptLevel::O3 => 16,
+            _ => 0,
+        }
+    }
+
+    fn unroll_limit(self) -> usize {
+        match self {
+            OptLevel::O3 => 16,
+            _ => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.flag())
+    }
+}
+
+/// Runs the pass pipeline for `level` over the whole program.
+pub fn optimize(program: &Program, level: OptLevel) -> Program {
+    let mut p = program.clone();
+    if level.fold() {
+        for f in &mut p.functions {
+            fold_body(&mut f.body);
+        }
+    }
+    if level.strength_reduce() {
+        for f in &mut p.functions {
+            reduce_body(&mut f.body);
+        }
+        if level.fold() {
+            for f in &mut p.functions {
+                fold_body(&mut f.body);
+            }
+        }
+    }
+    if level.inline_limit() > 0 {
+        p = inline_functions(&p, level.inline_limit());
+    }
+    if level.unroll_limit() > 0 {
+        for f in &mut p.functions {
+            unroll_body(&mut f.body, level.unroll_limit());
+        }
+    }
+    p
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding.
+// ---------------------------------------------------------------------------
+
+fn fold_body(body: &mut [Stmt]) {
+    for s in body {
+        match s {
+            Stmt::Assign(_, e) | Stmt::Return(Some(e)) | Stmt::Expr(e) => fold_expr(e),
+            Stmt::Store { addr, value, .. } => {
+                fold_expr(addr);
+                fold_expr(value);
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                fold_expr(cond);
+                fold_body(then_body);
+                fold_body(else_body);
+            }
+            Stmt::While { cond, body } => {
+                fold_expr(cond);
+                fold_body(body);
+            }
+            Stmt::For { from, to, body, .. } => {
+                fold_expr(from);
+                fold_expr(to);
+                fold_body(body);
+            }
+            Stmt::Return(None) => {}
+        }
+    }
+}
+
+/// Folds constant sub-expressions in place.
+pub fn fold_expr(e: &mut Expr) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::GlobalAddr(_) => {}
+        Expr::Un(op, inner) => {
+            fold_expr(inner);
+            if let Expr::Const(v) = **inner {
+                *e = Expr::Const(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::BitNot => !v,
+                    UnOp::Not => (v == 0) as i32,
+                });
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            fold_expr(a);
+            fold_expr(b);
+            if let (Expr::Const(x), Expr::Const(y)) = (&**a, &**b) {
+                if let Some(v) = eval_const(*op, *x, *y) {
+                    *e = Expr::Const(v);
+                    return;
+                }
+            }
+            // Identity simplifications.
+            match (&*op, &**a, &**b) {
+                (BinOp::Add, _, Expr::Const(0)) | (BinOp::Sub, _, Expr::Const(0)) => {
+                    *e = (**a).clone();
+                }
+                (BinOp::Add, Expr::Const(0), _) => *e = (**b).clone(),
+                (BinOp::Mul, _, Expr::Const(1)) => *e = (**a).clone(),
+                (BinOp::Mul, Expr::Const(1), _) => *e = (**b).clone(),
+                (BinOp::Mul, _, Expr::Const(0)) | (BinOp::Mul, Expr::Const(0), _) => {
+                    *e = Expr::Const(0);
+                }
+                (BinOp::Shl | BinOp::ShrU | BinOp::ShrS, _, Expr::Const(0)) => {
+                    *e = (**a).clone();
+                }
+                _ => {}
+            }
+        }
+        Expr::Load { addr, .. } => fold_expr(addr),
+        Expr::Call(_, args) => args.iter_mut().for_each(fold_expr),
+    }
+}
+
+/// Evaluates a binary operator over constants (compile-time semantics match
+/// the RV32E run-time semantics exactly).
+pub fn eval_const(op: BinOp, x: i32, y: i32) -> Option<i32> {
+    let (ux, uy) = (x as u32, y as u32);
+    Some(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::DivS => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::DivU => {
+            if uy == 0 {
+                return None;
+            }
+            (ux / uy) as i32
+        }
+        BinOp::RemS => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::RemU => {
+            if uy == 0 {
+                return None;
+            }
+            (ux % uy) as i32
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => ((ux) << (uy & 31)) as i32,
+        BinOp::ShrU => (ux >> (uy & 31)) as i32,
+        BinOp::ShrS => x >> (uy & 31),
+        BinOp::Eq => (x == y) as i32,
+        BinOp::Ne => (x != y) as i32,
+        BinOp::LtS => (x < y) as i32,
+        BinOp::LtU => (ux < uy) as i32,
+        BinOp::GeS => (x >= y) as i32,
+        BinOp::GeU => (ux >= uy) as i32,
+        BinOp::LeS => (x <= y) as i32,
+        BinOp::GtS => (x > y) as i32,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Strength reduction.
+// ---------------------------------------------------------------------------
+
+fn reduce_body(body: &mut [Stmt]) {
+    for s in body {
+        match s {
+            Stmt::Assign(_, e) | Stmt::Return(Some(e)) | Stmt::Expr(e) => reduce_expr(e),
+            Stmt::Store { addr, value, .. } => {
+                reduce_expr(addr);
+                reduce_expr(value);
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                reduce_expr(cond);
+                reduce_body(then_body);
+                reduce_body(else_body);
+            }
+            Stmt::While { cond, body } => {
+                reduce_expr(cond);
+                reduce_body(body);
+            }
+            Stmt::For { from, to, body, .. } => {
+                reduce_expr(from);
+                reduce_expr(to);
+                reduce_body(body);
+            }
+            Stmt::Return(None) => {}
+        }
+    }
+}
+
+/// Rewrites multiplications/divisions by suitable constants into shift/add
+/// forms (gcc's `-O2` strength reduction).
+pub fn reduce_expr(e: &mut Expr) {
+    // Recurse first so nested constants are already reduced.
+    match e {
+        Expr::Un(_, inner) => reduce_expr(inner),
+        Expr::Bin(_, a, b) => {
+            reduce_expr(a);
+            reduce_expr(b);
+        }
+        Expr::Load { addr, .. } => reduce_expr(addr),
+        Expr::Call(_, args) => args.iter_mut().for_each(reduce_expr),
+        _ => {}
+    }
+    let Expr::Bin(op, a, b) = e else { return };
+    let (konst, other) = match (&**a, &**b) {
+        (_, Expr::Const(k)) => (*k, (**a).clone()),
+        (Expr::Const(k), _) if *op == BinOp::Mul => (*k, (**b).clone()),
+        _ => return,
+    };
+    match op {
+        BinOp::Mul => {
+            if let Some(replacement) = mul_by_const(other, konst) {
+                *e = replacement;
+            }
+        }
+        BinOp::DivU if konst > 0 && (konst as u32).is_power_of_two() => {
+            *e = Expr::Bin(
+                BinOp::ShrU,
+                Box::new(other),
+                Box::new(Expr::Const((konst as u32).trailing_zeros() as i32)),
+            );
+        }
+        BinOp::RemU if konst > 0 && (konst as u32).is_power_of_two() => {
+            *e = Expr::Bin(BinOp::And, Box::new(other), Box::new(Expr::Const(konst - 1)));
+        }
+        _ => {}
+    }
+}
+
+/// Builds `x * k` out of shifts and adds when `k` decomposes into at most
+/// three power-of-two terms.
+fn mul_by_const(x: Expr, k: i32) -> Option<Expr> {
+    if k == 0 {
+        return Some(Expr::Const(0));
+    }
+    if k == 1 {
+        return Some(x);
+    }
+    let (mag, negate) = if k < 0 { (k.unsigned_abs(), true) } else { (k as u32, false) };
+    let ones = mag.count_ones();
+    if ones > 3 {
+        return None;
+    }
+    let mut terms: Vec<u32> = (0..32).filter(|i| mag & (1 << i) != 0).collect();
+    terms.reverse();
+    let shifted = |sh: u32| -> Expr {
+        if sh == 0 {
+            x.clone()
+        } else {
+            Expr::Bin(BinOp::Shl, Box::new(x.clone()), Box::new(Expr::Const(sh as i32)))
+        }
+    };
+    let mut acc = shifted(terms[0]);
+    for &t in &terms[1..] {
+        acc = Expr::Bin(BinOp::Add, Box::new(acc), Box::new(shifted(t)));
+    }
+    if negate {
+        acc = Expr::Bin(BinOp::Sub, Box::new(Expr::Const(0)), Box::new(acc));
+    }
+    Some(acc)
+}
+
+// ---------------------------------------------------------------------------
+// Inlining.
+// ---------------------------------------------------------------------------
+
+fn stmt_count(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            Stmt::If { then_body, else_body, .. } => {
+                1 + stmt_count(then_body) + stmt_count(else_body)
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => 1 + stmt_count(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+fn calls_in_body(body: &[Stmt], out: &mut Vec<&'static str>) {
+    fn expr(e: &Expr, out: &mut Vec<&'static str>) {
+        match e {
+            Expr::Call(name, args) => {
+                out.push(name);
+                args.iter().for_each(|a| expr(a, out));
+            }
+            Expr::Un(_, a) => expr(a, out),
+            Expr::Bin(_, a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            Expr::Load { addr, .. } => expr(addr, out),
+            _ => {}
+        }
+    }
+    for s in body {
+        match s {
+            Stmt::Assign(_, e) | Stmt::Return(Some(e)) | Stmt::Expr(e) => expr(e, out),
+            Stmt::Store { addr, value, .. } => {
+                expr(addr, out);
+                expr(value, out);
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                expr(cond, out);
+                calls_in_body(then_body, out);
+                calls_in_body(else_body, out);
+            }
+            Stmt::While { cond, body } => {
+                expr(cond, out);
+                calls_in_body(body, out);
+            }
+            Stmt::For { from, to, body, .. } => {
+                expr(from, out);
+                expr(to, out);
+                calls_in_body(body, out);
+            }
+            Stmt::Return(None) => {}
+        }
+    }
+}
+
+/// Direct calls made by a function (with repetition).
+pub fn calls_of(f: &Function) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    calls_in_body(&f.body, &mut out);
+    out
+}
+
+/// A function is inline-eligible when it is small, non-recursive and its
+/// only `Return` is the final top-level statement.
+fn inlinable(f: &Function, limit: usize) -> bool {
+    if stmt_count(&f.body) > limit || f.name == "main" {
+        return false;
+    }
+    if calls_of(f).contains(&f.name) {
+        return false;
+    }
+    fn has_return(body: &[Stmt]) -> bool {
+        body.iter().any(|s| match s {
+            Stmt::Return(_) => true,
+            Stmt::If { then_body, else_body, .. } => has_return(then_body) || has_return(else_body),
+            Stmt::While { body, .. } | Stmt::For { body, .. } => has_return(body),
+            _ => false,
+        })
+    }
+    // Returns allowed only as the final top-level statement.
+    let (last, rest) = match f.body.split_last() {
+        Some(x) => x,
+        None => return true,
+    };
+    if has_return(rest) {
+        return false;
+    }
+    match last {
+        Stmt::Return(_) => true,
+        other => !has_return(std::slice::from_ref(other)),
+    }
+}
+
+fn remap_expr(e: &Expr, offset: usize) -> Expr {
+    match e {
+        Expr::Var(v) => Expr::Var(v + offset),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(remap_expr(a, offset))),
+        Expr::Bin(op, a, b) => {
+            Expr::Bin(*op, Box::new(remap_expr(a, offset)), Box::new(remap_expr(b, offset)))
+        }
+        Expr::Load { width, signed, addr } => Expr::Load {
+            width: *width,
+            signed: *signed,
+            addr: Box::new(remap_expr(addr, offset)),
+        },
+        Expr::Call(name, args) => {
+            Expr::Call(name, args.iter().map(|a| remap_expr(a, offset)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+fn remap_body(body: &[Stmt], offset: usize) -> Vec<Stmt> {
+    body.iter()
+        .map(|s| match s {
+            Stmt::Assign(v, e) => Stmt::Assign(v + offset, remap_expr(e, offset)),
+            Stmt::Store { width, addr, value } => Stmt::Store {
+                width: *width,
+                addr: remap_expr(addr, offset),
+                value: remap_expr(value, offset),
+            },
+            Stmt::If { cond, then_body, else_body } => Stmt::If {
+                cond: remap_expr(cond, offset),
+                then_body: remap_body(then_body, offset),
+                else_body: remap_body(else_body, offset),
+            },
+            Stmt::While { cond, body } => {
+                Stmt::While { cond: remap_expr(cond, offset), body: remap_body(body, offset) }
+            }
+            Stmt::For { var, from, to, body } => Stmt::For {
+                var: var + offset,
+                from: remap_expr(from, offset),
+                to: remap_expr(to, offset),
+                body: remap_body(body, offset),
+            },
+            Stmt::Return(e) => Stmt::Return(e.as_ref().map(|e| remap_expr(e, offset))),
+            Stmt::Expr(e) => Stmt::Expr(remap_expr(e, offset)),
+        })
+        .collect()
+}
+
+/// Inlines eligible callees at statement-level call sites:
+/// `Assign(v, Call(..))` and `Expr(Call(..))`.
+pub fn inline_functions(program: &Program, limit: usize) -> Program {
+    let eligible: HashMap<&'static str, Function> = program
+        .functions
+        .iter()
+        .filter(|f| inlinable(f, limit))
+        .map(|f| (f.name, f.clone()))
+        .collect();
+    let mut p = program.clone();
+    for f in &mut p.functions {
+        let mut locals = f.locals;
+        f.body = inline_body(&f.body, &eligible, &mut locals, f.name);
+        f.locals = locals;
+    }
+    p
+}
+
+fn inline_body(
+    body: &[Stmt],
+    eligible: &HashMap<&'static str, Function>,
+    locals: &mut usize,
+    host: &str,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in body {
+        match s {
+            Stmt::Assign(v, Expr::Call(name, args)) if eligible.contains_key(name) && *name != host => {
+                let callee = &eligible[name];
+                out.extend(expand_call(callee, args, Some(*v), locals));
+            }
+            Stmt::Expr(Expr::Call(name, args)) if eligible.contains_key(name) && *name != host => {
+                let callee = &eligible[name];
+                out.extend(expand_call(callee, args, None, locals));
+            }
+            Stmt::If { cond, then_body, else_body } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_body: inline_body(then_body, eligible, locals, host),
+                else_body: inline_body(else_body, eligible, locals, host),
+            }),
+            Stmt::While { cond, body } => out.push(Stmt::While {
+                cond: cond.clone(),
+                body: inline_body(body, eligible, locals, host),
+            }),
+            Stmt::For { var, from, to, body } => out.push(Stmt::For {
+                var: *var,
+                from: from.clone(),
+                to: to.clone(),
+                body: inline_body(body, eligible, locals, host),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+fn expand_call(
+    callee: &Function,
+    args: &[Expr],
+    result: Option<VarId>,
+    locals: &mut usize,
+) -> Vec<Stmt> {
+    let offset = *locals;
+    *locals += callee.locals;
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        out.push(Stmt::Assign(offset + i, a.clone()));
+    }
+    let mut body = remap_body(&callee.body, offset);
+    // Replace the (single, trailing) Return with an assignment.
+    if let Some(Stmt::Return(e)) = body.last().cloned() {
+        body.pop();
+        if let (Some(v), Some(e)) = (result, e) {
+            body.push(Stmt::Assign(v, e));
+        }
+    }
+    out.extend(body);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Loop unrolling.
+// ---------------------------------------------------------------------------
+
+fn unroll_body(body: &mut Vec<Stmt>, limit: usize) {
+    let mut out = Vec::with_capacity(body.len());
+    for s in body.drain(..) {
+        match s {
+            Stmt::For { var, from: Expr::Const(lo), to: Expr::Const(hi), mut body }
+                if hi >= lo && ((hi - lo) as usize) <= limit =>
+            {
+                unroll_body(&mut body, limit);
+                for i in lo..hi {
+                    out.push(Stmt::Assign(var, Expr::Const(i)));
+                    out.extend(body.iter().cloned());
+                }
+                out.push(Stmt::Assign(var, Expr::Const(hi)));
+            }
+            Stmt::For { var, from, to, mut body } => {
+                unroll_body(&mut body, limit);
+                out.push(Stmt::For { var, from, to, body });
+            }
+            Stmt::While { cond, mut body } => {
+                unroll_body(&mut body, limit);
+                out.push(Stmt::While { cond, body });
+            }
+            Stmt::If { cond, mut then_body, mut else_body } => {
+                unroll_body(&mut then_body, limit);
+                unroll_body(&mut else_body, limit);
+                out.push(Stmt::If { cond, then_body, else_body });
+            }
+            other => out.push(other),
+        }
+    }
+    *body = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+
+    #[test]
+    fn folding_collapses_constants() {
+        let mut e = add(c(2), mul(c(3), c(4)));
+        fold_expr(&mut e);
+        assert_eq!(e, Expr::Const(14));
+        let mut e = add(v(0), c(0));
+        fold_expr(&mut e);
+        assert_eq!(e, Expr::Var(0));
+    }
+
+    #[test]
+    fn folding_matches_riscv_wrapping() {
+        let mut e = add(c(i32::MAX), c(1));
+        fold_expr(&mut e);
+        assert_eq!(e, Expr::Const(i32::MIN));
+        let mut e = bin(BinOp::ShrU, c(-1), c(28));
+        fold_expr(&mut e);
+        assert_eq!(e, Expr::Const(0xf));
+    }
+
+    #[test]
+    fn strength_reduction_rewrites_mul_by_pow2() {
+        let mut e = mul(v(0), c(8));
+        reduce_expr(&mut e);
+        assert_eq!(e, shl(v(0), c(3)));
+        // 10 = 8 + 2 → (x<<3) + (x<<1)
+        let mut e = mul(v(0), c(10));
+        reduce_expr(&mut e);
+        assert_eq!(e, add(shl(v(0), c(3)), shl(v(0), c(1))));
+        // Dense constants stay as calls.
+        let mut e = mul(v(0), c(0x7777));
+        reduce_expr(&mut e);
+        assert!(matches!(e, Expr::Bin(BinOp::Mul, ..)));
+    }
+
+    #[test]
+    fn strength_reduction_divides_by_pow2() {
+        let mut e = bin(BinOp::DivU, v(1), c(16));
+        reduce_expr(&mut e);
+        assert_eq!(e, shr(v(1), c(4)));
+        let mut e = bin(BinOp::RemU, v(1), c(16));
+        reduce_expr(&mut e);
+        assert_eq!(e, and(v(1), c(15)));
+    }
+
+    #[test]
+    fn inlining_splices_small_functions() {
+        let callee = Function {
+            name: "double",
+            params: 1,
+            locals: 1,
+            body: vec![Stmt::Return(Some(add(v(0), v(0))))],
+        };
+        let caller = Function {
+            name: "main",
+            params: 0,
+            locals: 2,
+            body: vec![set(0, c(21)), set(1, call("double", vec![v(0)])), ret(v(1))],
+        };
+        let p = Program { functions: vec![callee, caller], data: vec![] };
+        let inlined = inline_functions(&p, 4);
+        let main = inlined.function("main").unwrap();
+        assert!(calls_of(main).is_empty(), "call not inlined: {:?}", main.body);
+        assert!(main.locals > 2, "callee frame not added");
+    }
+
+    #[test]
+    fn recursive_functions_are_not_inlined() {
+        let rec = Function {
+            name: "f",
+            params: 1,
+            locals: 1,
+            body: vec![Stmt::Return(Some(call("f", vec![v(0)])))],
+        };
+        let caller = Function {
+            name: "main",
+            params: 0,
+            locals: 1,
+            body: vec![set(0, call("f", vec![c(1)]))],
+        };
+        let p = Program { functions: vec![rec, caller], data: vec![] };
+        let inlined = inline_functions(&p, 100);
+        assert_eq!(calls_of(inlined.function("main").unwrap()), vec!["f"]);
+    }
+
+    #[test]
+    fn unrolling_expands_short_counted_loops() {
+        let mut body = vec![for_(0, c(0), c(4), vec![set(1, add(v(1), v(0)))])];
+        unroll_body(&mut body, 16);
+        // 4 × (assign i, body) + final assign = 9 statements.
+        assert_eq!(body.len(), 9);
+        assert!(body.iter().all(|s| !matches!(s, Stmt::For { .. })));
+        // Long loops survive.
+        let mut body = vec![for_(0, c(0), c(100), vec![set(1, v(0))])];
+        unroll_body(&mut body, 16);
+        assert!(matches!(body[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn optimize_pipeline_is_level_dependent() {
+        let f = Function {
+            name: "main",
+            params: 0,
+            locals: 2,
+            body: vec![set(0, mul(v(1), c(12)))],
+        };
+        let p = Program { functions: vec![f], data: vec![] };
+        let o0 = optimize(&p, OptLevel::O0);
+        assert!(matches!(
+            o0.function("main").unwrap().body[0],
+            Stmt::Assign(_, Expr::Bin(BinOp::Mul, ..))
+        ));
+        let o2 = optimize(&p, OptLevel::O2);
+        assert!(matches!(
+            o2.function("main").unwrap().body[0],
+            Stmt::Assign(_, Expr::Bin(BinOp::Add, ..))
+        ));
+    }
+}

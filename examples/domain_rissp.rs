@@ -1,0 +1,58 @@
+//! Domain example: one RISSP for a *domain* of applications (§3.1: "an
+//! application or a set of applications in a specific domain").
+//!
+//! Builds the union subset of the three extreme-edge applications and
+//! generates a single domain RISSP that runs all of them, comparing its
+//! cost against the three per-application cores and the full-ISA baseline.
+//!
+//! ```sh
+//! cargo run --release --example domain_rissp
+//! ```
+
+use hwlib::HwLibrary;
+use netlist::stats::GateCounts;
+use rissp::processor::GateLevelCpu;
+use rissp::profile::InstructionSubset;
+use rissp::Rissp;
+use xcc::OptLevel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = HwLibrary::build_full();
+    let mut union = InstructionSubset::new();
+    let mut images = Vec::new();
+    for w in workloads::extreme_edge() {
+        let image = w.compile(OptLevel::O2)?;
+        let subset = InstructionSubset::from_words(&image.words);
+        println!("{:<10} uses {:>2} distinct instructions", w.name, subset.len());
+        union = union.union(&subset);
+        images.push((w.name, image));
+    }
+    println!("domain subset: {} distinct instructions: {union}", union.len());
+
+    let domain = Rissp::generate(&library, &union);
+    let full = Rissp::generate_full_isa(&library);
+    let domain_area = GateCounts::of(&domain.core).nand2_equivalent();
+    let full_area = GateCounts::of(&full.core).nand2_equivalent();
+    println!(
+        "domain RISSP: {:.0} NAND2-equivalents ({:.0}% smaller than RISSP-RV32E's {:.0})",
+        domain_area,
+        100.0 * (1.0 - domain_area / full_area),
+        full_area
+    );
+
+    // Every application in the domain must run on the shared core.
+    for (name, image) in &images {
+        let mut cpu = GateLevelCpu::new(&domain, 0);
+        cpu.load_words(0, &image.words);
+        for (base, words) in &image.data_segments {
+            cpu.load_words(*base, words);
+        }
+        let mut emu = riscv_emu::Emulator::new();
+        image.load(&mut emu);
+        emu.run(100_000_000)?;
+        let cycles = cpu.run(100_000_000)?;
+        assert_eq!(cpu.reg(10), emu.state().regs[10], "{name} diverged");
+        println!("  {name:<10} ran on the domain RISSP: {cycles} cycles, checksum OK");
+    }
+    Ok(())
+}

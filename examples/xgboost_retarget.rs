@@ -1,0 +1,68 @@
+//! Domain example: a software update for a long-lasting extreme-edge device
+//! (Section 5 of the paper).
+//!
+//! A RISSP for `xgboost` has been "fabricated" with the minimal
+//! 12-instruction subset.  The application is later recompiled; the new
+//! binary uses instructions the chip lacks.  The retargeting tool rewrites
+//! it with verified macros, and we prove at gate level that the retargeted
+//! binary runs on the minimal-subset RISSP with the original behaviour.
+//!
+//! ```sh
+//! cargo run --release --example xgboost_retarget
+//! ```
+
+use hwlib::HwLibrary;
+use retarget::{minimal_subset, Retargeter};
+use rissp::processor::GateLevelCpu;
+use rissp::profile::InstructionSubset;
+use rissp::Rissp;
+use xcc::OptLevel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = workloads::by_name("xgboost").expect("xgboost is built in");
+    let image = workload.compile(OptLevel::O2)?;
+    let before = InstructionSubset::from_words(&image.words);
+    println!("recompiled xgboost uses {} distinct instructions: {before}", before.len());
+
+    let target = minimal_subset();
+    println!("fabricated RISSP supports only {}: {target}", target.len());
+
+    // Retarget with the verify-reject-retry loop.
+    let mut tool = Retargeter::new(target.clone(), 0x5eed);
+    let report = tool.retarget(&image.items)?;
+    println!(
+        "retargeted: {} → {} bytes (+{:.1} %), {} sites expanded, ≤{} synthesis attempts per macro",
+        report.bytes_before,
+        report.bytes_after,
+        100.0 * report.size_increase(),
+        report.expanded_sites,
+        report.attempts.values().max().copied().unwrap_or(0)
+    );
+    let after = InstructionSubset::from_words(&report.words);
+    println!("distinct instructions after retargeting: {} ({after})", after.len());
+
+    // The decisive test: run the retargeted binary on the gate-level RISSP
+    // that only implements the minimal subset.
+    let library = HwLibrary::build_full();
+    let rissp = Rissp::generate(&library, &target);
+    let mut cpu = GateLevelCpu::new(&rissp, 0);
+    cpu.load_words(0, &report.words);
+    for (base, words) in &image.data_segments {
+        cpu.load_words(*base, words);
+    }
+    let cycles = cpu.run(50_000_000)?;
+
+    // Reference result from the original binary.
+    let mut emu = riscv_emu::Emulator::new();
+    image.load(&mut emu);
+    emu.run(50_000_000)?;
+
+    println!(
+        "gate-level run on the minimal-subset RISSP: {} cycles, checksum {:#x}",
+        cycles,
+        cpu.reg(10)
+    );
+    assert_eq!(cpu.reg(10), emu.state().regs[10], "behaviour must be preserved");
+    println!("checksum matches the original binary — software update deployed.");
+    Ok(())
+}

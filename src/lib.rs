@@ -1,0 +1,27 @@
+//! Facade crate for the RISSP reproduction workspace.
+//!
+//! Re-exports the member crates so the examples and integration tests can
+//! use one coherent namespace.  See the individual crates for the real
+//! functionality:
+//!
+//! * [`riscv_isa`] — RV32E ISA, assembler, golden semantics
+//! * [`riscv_emu`] — reference simulator (Spike substitute)
+//! * [`netlist`] — gate-level IR + synthesis passes
+//! * [`hwlib`] — pre-verified instruction hardware block library (Step 0)
+//! * [`rissp`] — subset profiling, ModularEX, RISSP generation (Steps 1–3)
+//! * [`flexic`] — FlexIC technology, STA, sweep, power, physical flow
+//! * [`serv_model`] — the bit-serial Serv baseline
+//! * [`xcc`] — the RV32E optimising compiler
+//! * [`workloads`] — the 25 evaluation applications
+//! * [`retarget`] — Section 5 macro retargeting with verification
+
+pub use flexic;
+pub use hwlib;
+pub use netlist;
+pub use retarget;
+pub use riscv_emu;
+pub use riscv_isa;
+pub use rissp;
+pub use serv_model;
+pub use workloads;
+pub use xcc;

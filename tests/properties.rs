@@ -1,0 +1,134 @@
+//! Property-based tests over the repository's core invariants (proptest).
+
+use proptest::prelude::*;
+use riscv_isa::asm::{self, Item};
+use riscv_isa::semantics::{block_semantics, BlockInputs};
+use riscv_isa::{Instruction, Mnemonic, Reg, ALL_MNEMONICS};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    (0usize..ALL_MNEMONICS.len(), arb_reg(), arb_reg(), arb_reg(), any::<i32>()).prop_map(
+        |(mi, rd, rs1, rs2, raw_imm)| {
+            let m = ALL_MNEMONICS[mi];
+            match m.format() {
+                riscv_isa::Format::R => Instruction::r(m, rd, rs1, rs2),
+                riscv_isa::Format::I => {
+                    let imm = if m.funct7().is_some() {
+                        raw_imm.rem_euclid(32)
+                    } else {
+                        (raw_imm % 2048).clamp(-2048, 2047)
+                    };
+                    Instruction::i(m, rd, rs1, imm)
+                }
+                riscv_isa::Format::S => Instruction::s(m, rs1, rs2, (raw_imm % 2048).clamp(-2048, 2047)),
+                riscv_isa::Format::B => Instruction::b(m, rs1, rs2, (raw_imm % 2048) * 2),
+                riscv_isa::Format::U => Instruction::u(m, rd, raw_imm & !0xfff),
+                riscv_isa::Format::J => Instruction::j(m, rd, (raw_imm % 262144) * 2),
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Encode/decode is a bijection over well-formed instructions.
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instruction()) {
+        let word = instr.encode();
+        prop_assert_eq!(Instruction::decode(word), Ok(instr));
+    }
+
+    /// The golden semantics never writes x0 and never drives memory writes
+    /// for non-stores.
+    #[test]
+    fn semantics_invariants(
+        instr in arb_instruction(),
+        pc in any::<u32>(),
+        rs1 in any::<u32>(),
+        rs2 in any::<u32>(),
+        rdata in any::<u32>(),
+    ) {
+        let pc = pc & !3;
+        let out = block_semantics(instr, &BlockInputs {
+            pc, insn: instr.encode(), rs1_data: rs1, rs2_data: rs2, dmem_rdata: rdata,
+        });
+        if out.rd_addr == 0 {
+            prop_assert!(!out.rd_we);
+        }
+        if !instr.mnemonic.is_store() {
+            prop_assert_eq!(out.dmem_wmask, 0);
+        }
+        if !instr.mnemonic.is_branch() && !instr.mnemonic.is_jump() {
+            prop_assert_eq!(out.next_pc, pc.wrapping_add(4));
+        }
+        // Branch targets are even (B/J immediates have bit 0 clear).
+        prop_assert_eq!(out.next_pc & 1, 0);
+    }
+
+    /// Disassembly of any valid instruction re-parses to the same encoding.
+    #[test]
+    fn disassemble_reparse(instr in arb_instruction()) {
+        let text = instr.to_string();
+        let items = asm::parse(&text).unwrap();
+        prop_assert_eq!(items.len(), 1);
+        if let Item::Instr(_) = &items[0] {
+            let words = asm::assemble(&items, 0).unwrap();
+            prop_assert_eq!(words[0], instr.encode());
+        }
+    }
+
+    /// The xcc constant folder agrees with the emulator on every operator.
+    #[test]
+    fn fold_matches_execution(a in any::<i32>(), b in any::<i32>()) {
+        use xcc::ast::BinOp;
+        for op in [BinOp::Add, BinOp::Sub, BinOp::And, BinOp::Or, BinOp::Xor,
+                   BinOp::Shl, BinOp::ShrU, BinOp::ShrS, BinOp::LtS, BinOp::LtU,
+                   BinOp::Eq, BinOp::Ne] {
+            let Some(folded) = xcc::opt::eval_const(op, a, b) else { continue };
+            // Execute the same operation through the compiler + emulator.
+            use xcc::ast::build::*;
+            use xcc::ast::{Function, Program};
+            let p = Program {
+                functions: vec![Function {
+                    name: "main", params: 0, locals: 1,
+                    body: vec![set(0, bin(op, c(a), c(b))), ret(v(0))],
+                }],
+                data: vec![],
+            };
+            // -O0 performs no folding, so the ALU actually executes it.
+            let image = xcc::compile(&p, xcc::OptLevel::O0).unwrap();
+            let mut emu = riscv_emu::Emulator::new();
+            image.load(&mut emu);
+            emu.run(500_000).unwrap();
+            prop_assert_eq!(emu.state().regs[10], folded as u32, "{:?} {} {}", op, a, b);
+        }
+    }
+
+    /// Netlist synthesis preserves combinational behaviour on random adder
+    /// trees (sampled equivalence).
+    #[test]
+    fn synthesis_preserves_behaviour(seed in any::<u64>()) {
+        let mut b = netlist::Builder::new();
+        let x = b.input_bus("x", 16);
+        let y = b.input_bus("y", 16);
+        let (s, _) = netlist::bus::add(&mut b, &x, &y);
+        let (d, _) = netlist::bus::sub(&mut b, &s, &y);
+        b.output_bus("out", &d);
+        let nl = b.finish();
+        let (opt, _) = netlist::opt::synthesize(&nl);
+        prop_assert!(netlist::opt::check_equivalence(&nl, &opt, 32, seed).is_ok());
+    }
+}
+
+/// Mutation coverage sanity on a sampled set of blocks: the architecture
+/// testbench kills every observable single-gate mutant.
+#[test]
+fn mutation_coverage_holds_for_sampled_blocks() {
+    for m in [Mnemonic::Add, Mnemonic::Lw, Mnemonic::Sh, Mnemonic::Jal, Mnemonic::Sltu] {
+        let block = hwlib::HwLibrary::build_full().block(m).clone();
+        let report = hwlib::mutate::mutation_coverage(&block, 15, 0xfeed);
+        assert_eq!(report.killed, report.observable, "{m}: {report:?}");
+    }
+}

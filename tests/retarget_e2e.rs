@@ -1,0 +1,68 @@
+//! Integration: Section 5 retargeting applied to compiler output and
+//! validated on gate-level minimal-subset hardware.
+
+use hwlib::HwLibrary;
+use retarget::{minimal_subset, Retargeter};
+use rissp::processor::GateLevelCpu;
+use rissp::profile::InstructionSubset;
+use rissp::Rissp;
+use xcc::OptLevel;
+
+/// armpit retargeted to the minimal subset runs, on a gate-level RISSP that
+/// only implements those 12 instructions, to the same checksum.
+#[test]
+fn retargeted_armpit_runs_on_minimal_subset_hardware() {
+    let w = workloads::by_name("armpit").unwrap();
+    let image = w.compile(OptLevel::O2).unwrap();
+    let mut tool = Retargeter::new(minimal_subset(), 0xd00d);
+    let report = tool.retarget(&image.items).unwrap();
+
+    // Static guarantee: nothing outside the subset survives.
+    let remaining = InstructionSubset::from_words(&report.words);
+    for m in remaining.iter() {
+        assert!(minimal_subset().contains(m), "{m} survived retargeting");
+    }
+
+    // Dynamic guarantee on the gates.
+    let library = HwLibrary::build_full();
+    let rissp = Rissp::generate(&library, &minimal_subset());
+    let mut cpu = GateLevelCpu::new(&rissp, 0);
+    cpu.load_words(0, &report.words);
+    for (base, words) in &image.data_segments {
+        cpu.load_words(*base, words);
+    }
+    cpu.run(50_000_000).unwrap();
+
+    let mut emu = riscv_emu::Emulator::new();
+    image.load(&mut emu);
+    emu.run(50_000_000).unwrap();
+    assert_eq!(cpu.reg(10), emu.state().regs[10]);
+}
+
+/// Retargeting is idempotent: a program already inside the subset is
+/// returned byte-for-byte.
+#[test]
+fn retargeting_subset_programs_is_identity() {
+    let w = workloads::by_name("armpit").unwrap();
+    let image = w.compile(OptLevel::O2).unwrap();
+    let mut tool = Retargeter::new(minimal_subset(), 0xabc);
+    let first = tool.retarget(&image.items).unwrap();
+    let mut tool2 = Retargeter::new(minimal_subset(), 0xdef);
+    let second = tool2.retarget(&first.items).unwrap();
+    assert_eq!(second.expanded_sites, 0);
+    assert_eq!(first.words, second.words);
+}
+
+/// Macro synthesis attempt counts stay under the paper's bound of ten for
+/// all three extreme-edge applications.
+#[test]
+fn synthesis_attempts_bounded_for_edge_apps() {
+    for w in workloads::extreme_edge() {
+        let image = w.compile(OptLevel::O2).unwrap();
+        let mut tool = Retargeter::new(minimal_subset(), 0x1ee7);
+        let report = tool.retarget(&image.items).unwrap();
+        for (m, n) in &report.attempts {
+            assert!(*n < 10, "{}: {m} took {n} attempts", w.name);
+        }
+    }
+}
