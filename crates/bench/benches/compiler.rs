@@ -7,7 +7,9 @@ fn bench(c: &mut Criterion) {
     let w = workloads::by_name("nettle-sha256").expect("workload");
     let mut g = c.benchmark_group("compiler");
     for level in OptLevel::ALL {
-        g.bench_function(level.flag(), |b| b.iter(|| w.compile(level).expect("compiles")));
+        g.bench_function(level.flag(), |b| {
+            b.iter(|| w.compile(level).expect("compiles"))
+        });
     }
     g.finish();
 }

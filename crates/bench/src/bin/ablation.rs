@@ -13,10 +13,10 @@ use bench::header;
 use flexic::{sta, tech::Tech};
 use hwlib::HwLibrary;
 use netlist::stats::GateCounts;
+use riscv_isa::Mnemonic;
 use rissp::processor::build_core;
 use rissp::profile::InstructionSubset;
 use rissp::Rissp;
-use riscv_isa::Mnemonic;
 
 fn main() {
     header("Ablation — synthesis, subset scaling, switch overhead");
@@ -27,7 +27,9 @@ fn main() {
     println!("1) redundancy removal by synthesis (§3.3):");
     for names in [
         vec!["addi", "add", "jal"],
-        vec!["addi", "add", "sub", "and", "or", "xor", "jal", "beq", "lw", "sw"],
+        vec![
+            "addi", "add", "sub", "and", "or", "xor", "jal", "beq", "lw", "sw",
+        ],
         Vec::new(), // full ISA
     ] {
         let subset = if names.is_empty() {
@@ -52,13 +54,61 @@ fn main() {
     println!();
     println!("2) incremental cost per instruction group:");
     let groups: [(&str, Vec<Mnemonic>); 7] = [
-        ("control (jal/jalr/beq/bne)", vec![Mnemonic::Jal, Mnemonic::Jalr, Mnemonic::Beq, Mnemonic::Bne]),
-        ("add/sub", vec![Mnemonic::Add, Mnemonic::Addi, Mnemonic::Sub]),
-        ("logic", vec![Mnemonic::And, Mnemonic::Andi, Mnemonic::Or, Mnemonic::Ori, Mnemonic::Xor, Mnemonic::Xori]),
-        ("compares", vec![Mnemonic::Slt, Mnemonic::Slti, Mnemonic::Sltu, Mnemonic::Sltiu, Mnemonic::Blt, Mnemonic::Bge, Mnemonic::Bltu, Mnemonic::Bgeu]),
+        (
+            "control (jal/jalr/beq/bne)",
+            vec![Mnemonic::Jal, Mnemonic::Jalr, Mnemonic::Beq, Mnemonic::Bne],
+        ),
+        (
+            "add/sub",
+            vec![Mnemonic::Add, Mnemonic::Addi, Mnemonic::Sub],
+        ),
+        (
+            "logic",
+            vec![
+                Mnemonic::And,
+                Mnemonic::Andi,
+                Mnemonic::Or,
+                Mnemonic::Ori,
+                Mnemonic::Xor,
+                Mnemonic::Xori,
+            ],
+        ),
+        (
+            "compares",
+            vec![
+                Mnemonic::Slt,
+                Mnemonic::Slti,
+                Mnemonic::Sltu,
+                Mnemonic::Sltiu,
+                Mnemonic::Blt,
+                Mnemonic::Bge,
+                Mnemonic::Bltu,
+                Mnemonic::Bgeu,
+            ],
+        ),
         ("word memory", vec![Mnemonic::Lw, Mnemonic::Sw]),
-        ("sub-word memory", vec![Mnemonic::Lb, Mnemonic::Lbu, Mnemonic::Lh, Mnemonic::Lhu, Mnemonic::Sb, Mnemonic::Sh]),
-        ("shifts", vec![Mnemonic::Sll, Mnemonic::Slli, Mnemonic::Srl, Mnemonic::Srli, Mnemonic::Sra, Mnemonic::Srai]),
+        (
+            "sub-word memory",
+            vec![
+                Mnemonic::Lb,
+                Mnemonic::Lbu,
+                Mnemonic::Lh,
+                Mnemonic::Lhu,
+                Mnemonic::Sb,
+                Mnemonic::Sh,
+            ],
+        ),
+        (
+            "shifts",
+            vec![
+                Mnemonic::Sll,
+                Mnemonic::Slli,
+                Mnemonic::Srl,
+                Mnemonic::Srli,
+                Mnemonic::Sra,
+                Mnemonic::Srai,
+            ],
+        ),
     ];
     let mut subset = InstructionSubset::new();
     let mut prev_area = 0.0;
@@ -81,7 +131,10 @@ fn main() {
     // 3. Switch overhead: ModularEX vs the sum of its standalone blocks.
     println!();
     println!("3) ModularEX switch overhead vs standalone blocks:");
-    for names in [vec!["add", "sub"], vec!["add", "sub", "xor", "and", "lw", "sw", "beq", "jal"]] {
+    for names in [
+        vec!["add", "sub"],
+        vec!["add", "sub", "xor", "and", "lw", "sw", "beq", "jal"],
+    ] {
         let subset = InstructionSubset::from_names(names.iter().copied());
         let mex = rissp::modularex::build_modularex(&lib, &subset);
         let mex_area = GateCounts::of(&mex).nand2_equivalent();

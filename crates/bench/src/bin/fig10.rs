@@ -37,12 +37,19 @@ fn main() {
             l.ff_pct,
             l.power_mw,
             l.clock_buffers,
-            l.distinct_instructions.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
+            l.distinct_instructions
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
 
     println!();
-    let area = |name: &str| layouts.iter().find(|l| l.name.contains(name)).map(|l| l.die_area_mm2);
+    let area = |name: &str| {
+        layouts
+            .iter()
+            .find(|l| l.name.contains(name))
+            .map(|l| l.die_area_mm2)
+    };
     let (Some(rv), Some(af), Some(ap), Some(xg), Some(sv)) = (
         area("RV32E"),
         area("af_detect"),
@@ -53,9 +60,18 @@ fn main() {
         return;
     };
     println!("summary vs paper (§4.3):");
-    println!("  af_detect vs RV32E: {:.0}% smaller (paper: 8 %)", 100.0 * (1.0 - af / rv));
-    println!("  armpit   vs RV32E: {:.0}% smaller (paper: ~35 %)", 100.0 * (1.0 - ap / rv));
-    println!("  xgboost  vs RV32E: {:.0}% smaller (paper: ~42 %)", 100.0 * (1.0 - xg / rv));
+    println!(
+        "  af_detect vs RV32E: {:.0}% smaller (paper: 8 %)",
+        100.0 * (1.0 - af / rv)
+    );
+    println!(
+        "  armpit   vs RV32E: {:.0}% smaller (paper: ~35 %)",
+        100.0 * (1.0 - ap / rv)
+    );
+    println!(
+        "  xgboost  vs RV32E: {:.0}% smaller (paper: ~42 %)",
+        100.0 * (1.0 - xg / rv)
+    );
     println!(
         "  xgboost  vs Serv : {:.0}% smaller after layout (paper: ~11 %, the clock-tree flip)",
         100.0 * (1.0 - xg / sv)

@@ -10,14 +10,11 @@ use xcc::OptLevel;
 
 fn main() {
     header("Figure 12 — LLM-style retargeting to the 12-instruction minimal subset");
-    println!(
-        "minimal subset: {}",
-        minimal_subset().names().join(", ")
-    );
+    println!("minimal subset: {}", minimal_subset().names().join(", "));
     println!();
     println!(
-        "{:<12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}  {}",
-        "app", "size(B)", "retgt(B)", "growth", "#ins", "#ins'", "sites", "checksum ok"
+        "{:<12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}  checksum ok",
+        "app", "size(B)", "retgt(B)", "growth", "#ins", "#ins'", "sites"
     );
     for name in ["armpit", "xgboost", "af_detect"] {
         let w = workloads::by_name(name).expect("edge app");
@@ -49,7 +46,11 @@ fn main() {
             before_distinct,
             after_distinct,
             report.expanded_sites,
-            if original == rewritten { "yes" } else { "NO — MISMATCH" }
+            if original == rewritten {
+                "yes"
+            } else {
+                "NO — MISMATCH"
+            }
         );
         assert_eq!(original, rewritten, "{name}: retargeted binary diverged");
         let max_attempts = report.attempts.values().max().copied().unwrap_or(0);

@@ -27,8 +27,13 @@ fn main() {
         let epi = energy_per_instruction_nj(&d.metrics, &sweep);
         println!(
             "{:<22} {:>4} {:>10} {:>12.0} {:>11.3} {:>8.1} {:>10.3}",
-            d.name, d.distinct, sweep.fmax_khz, sweep.avg_area_nand2, sweep.avg_power_mw,
-            d.metrics.cpi, epi
+            d.name,
+            d.distinct,
+            sweep.fmax_khz,
+            sweep.avg_area_nand2,
+            sweep.avg_power_mw,
+            d.metrics.cpi,
+            epi
         );
         risp_results.push((d, sweep, epi));
     }
@@ -38,8 +43,13 @@ fn main() {
     let rv32e_epi = energy_per_instruction_nj(&rv32e.metrics, &rv32e_sweep);
     println!(
         "{:<22} {:>4} {:>10} {:>12.0} {:>11.3} {:>8.1} {:>10.3}",
-        rv32e.name, rv32e.distinct, rv32e_sweep.fmax_khz, rv32e_sweep.avg_area_nand2,
-        rv32e_sweep.avg_power_mw, rv32e.metrics.cpi, rv32e_epi
+        rv32e.name,
+        rv32e.distinct,
+        rv32e_sweep.fmax_khz,
+        rv32e_sweep.avg_area_nand2,
+        rv32e_sweep.avg_power_mw,
+        rv32e.metrics.cpi,
+        rv32e_epi
     );
 
     let serv = characterise_serv(&workloads::by_name("crc32").expect("crc32"));
@@ -47,18 +57,33 @@ fn main() {
     let serv_epi = energy_per_instruction_nj(&serv.metrics, &serv_sweep);
     println!(
         "{:<22} {:>4} {:>10} {:>12.0} {:>11.3} {:>8.1} {:>10.3}",
-        serv.name, serv.distinct, serv_sweep.fmax_khz, serv_sweep.avg_area_nand2,
-        serv_sweep.avg_power_mw, serv.metrics.cpi, serv_epi
+        serv.name,
+        serv.distinct,
+        serv_sweep.fmax_khz,
+        serv_sweep.avg_area_nand2,
+        serv_sweep.avg_power_mw,
+        serv.metrics.cpi,
+        serv_epi
     );
 
     println!();
     println!("summary vs paper:");
-    let areas: Vec<f64> = risp_results.iter().map(|(_, s, _)| s.avg_area_nand2).collect();
-    let powers: Vec<f64> = risp_results.iter().map(|(_, s, _)| s.avg_power_mw).collect();
-    let area_red_min = 100.0 * (1.0 - areas.iter().cloned().fold(f64::MIN, f64::max) / rv32e_sweep.avg_area_nand2);
-    let area_red_max = 100.0 * (1.0 - areas.iter().cloned().fold(f64::MAX, f64::min) / rv32e_sweep.avg_area_nand2);
-    let pow_red_min = 100.0 * (1.0 - powers.iter().cloned().fold(f64::MIN, f64::max) / rv32e_sweep.avg_power_mw);
-    let pow_red_max = 100.0 * (1.0 - powers.iter().cloned().fold(f64::MAX, f64::min) / rv32e_sweep.avg_power_mw);
+    let areas: Vec<f64> = risp_results
+        .iter()
+        .map(|(_, s, _)| s.avg_area_nand2)
+        .collect();
+    let powers: Vec<f64> = risp_results
+        .iter()
+        .map(|(_, s, _)| s.avg_power_mw)
+        .collect();
+    let area_red_min =
+        100.0 * (1.0 - areas.iter().cloned().fold(f64::MIN, f64::max) / rv32e_sweep.avg_area_nand2);
+    let area_red_max =
+        100.0 * (1.0 - areas.iter().cloned().fold(f64::MAX, f64::min) / rv32e_sweep.avg_area_nand2);
+    let pow_red_min =
+        100.0 * (1.0 - powers.iter().cloned().fold(f64::MIN, f64::max) / rv32e_sweep.avg_power_mw);
+    let pow_red_max =
+        100.0 * (1.0 - powers.iter().cloned().fold(f64::MAX, f64::min) / rv32e_sweep.avg_power_mw);
     println!(
         "  Fig 7: RISSP area reduction vs RV32E: {area_red_min:.0}%–{area_red_max:.0}%  (paper: 8–43 %)"
     );

@@ -18,7 +18,14 @@ use xcc::OptLevel;
 
 fn usage() -> ! {
     eprintln!("usage: rissp_gen --workload <name> | --subset <m1,m2,...> [--opt O0|O1|O2|O3|Oz]");
-    eprintln!("workloads: {}", workloads::all().iter().map(|w| w.name).collect::<Vec<_>>().join(", "));
+    eprintln!(
+        "workloads: {}",
+        workloads::all()
+            .iter()
+            .map(|w| w.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     std::process::exit(2)
 }
 

@@ -19,7 +19,14 @@ fn main() {
     );
     println!();
     let lib = HwLibrary::build_full();
-    for fmt in [Format::B, Format::R, Format::I, Format::S, Format::U, Format::J] {
+    for fmt in [
+        Format::B,
+        Format::R,
+        Format::I,
+        Format::S,
+        Format::U,
+        Format::J,
+    ] {
         let members: Vec<_> = ALL_MNEMONICS.iter().filter(|m| m.format() == fmt).collect();
         println!("{fmt:?}-type ({} blocks):", members.len());
         for m in members {

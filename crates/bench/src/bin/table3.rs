@@ -9,6 +9,11 @@ fn main() {
     for w in workloads::all() {
         let image = w.compile(OptLevel::O2).expect("compiles");
         let subset = distinct_of(&image.words);
-        println!("{:<16} ({:>2}) [{}]", w.name, subset.len(), subset.names().join(", "));
+        println!(
+            "{:<16} ({:>2}) [{}]",
+            w.name,
+            subset.len(),
+            subset.names().join(", ")
+        );
     }
 }

@@ -43,7 +43,7 @@ pub fn characterise_workload(lib: &HwLibrary, w: &Workload, t: &Tech) -> Charact
         cpu.load_words(*base, words);
     }
     let _ = cpu.run(ACTIVITY_CYCLES);
-    let activity = cpu.sim().average_activity();
+    let activity = flexic::power::measured_activity(cpu.sim());
     CharacterisedDesign {
         name: format!("RISSP-{}", w.name),
         distinct: subset.len(),
@@ -64,7 +64,7 @@ pub fn characterise_rv32e(lib: &HwLibrary, t: &Tech) -> CharacterisedDesign {
         cpu.load_words(*base, words);
     }
     let _ = cpu.run(ACTIVITY_CYCLES);
-    let activity = cpu.sim().average_activity();
+    let activity = flexic::power::measured_activity(cpu.sim());
     CharacterisedDesign {
         name: "RISSP-RV32E".into(),
         distinct: riscv_isa::ALL_MNEMONICS.len(),

@@ -73,10 +73,17 @@ impl Rissp {
     ///
     /// Panics if `subset` is empty.
     pub fn generate(library: &HwLibrary, subset: &InstructionSubset) -> Rissp {
-        assert!(!subset.is_empty(), "cannot generate a RISSP for an empty subset");
+        assert!(
+            !subset.is_empty(),
+            "cannot generate a RISSP for an empty subset"
+        );
         let unoptimised = processor::build_core(library, subset);
         let (core, synth) = synthesize(&unoptimised);
-        Rissp { subset: subset.clone(), core, synth }
+        Rissp {
+            subset: subset.clone(),
+            core,
+            synth,
+        }
     }
 
     /// Generates the application-independent baseline supporting the full
@@ -94,8 +101,9 @@ mod tests {
     #[test]
     fn generation_shrinks_with_subset_size() {
         let lib = HwLibrary::build_full();
-        let small: InstructionSubset =
-            [Mnemonic::Addi, Mnemonic::Add, Mnemonic::Jal].into_iter().collect();
+        let small: InstructionSubset = [Mnemonic::Addi, Mnemonic::Add, Mnemonic::Jal]
+            .into_iter()
+            .collect();
         let rissp_small = Rissp::generate(&lib, &small);
         let rissp_full = Rissp::generate_full_isa(&lib);
         assert!(

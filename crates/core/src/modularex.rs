@@ -93,8 +93,9 @@ mod tests {
     #[test]
     fn switch_routes_the_selected_block() {
         let lib = HwLibrary::build_full();
-        let subset: InstructionSubset =
-            [Mnemonic::Add, Mnemonic::Sub, Mnemonic::Xor].into_iter().collect();
+        let subset: InstructionSubset = [Mnemonic::Add, Mnemonic::Sub, Mnemonic::Xor]
+            .into_iter()
+            .collect();
         let mex = build_modularex(&lib, &subset);
         let add = Instruction::r(Mnemonic::Add, Reg::X1, Reg::X2, Reg::X3);
         let sim = drive_and_eval(&mex, add, 40, 2);

@@ -9,7 +9,7 @@
 //! them to execute real programs through the gates.
 
 use hwlib::{ports, HwLibrary};
-use netlist::sim::Sim;
+use netlist::compiled::CompiledSim;
 use netlist::{Builder, NetId, Netlist};
 use riscv_emu::{RvfiRecord, RvfiTrace, SparseMemory};
 use riscv_isa::semantics::Memory as _;
@@ -104,9 +104,14 @@ impl std::error::Error for ExecError {}
 
 /// Gate-level single-cycle CPU: the synthesised core netlist driven cycle by
 /// cycle, with behavioural register file and unified memory attached.
+///
+/// The cycle loop runs on the compiled bit-parallel backend
+/// ([`CompiledSim`]): the core netlist is levelized and lowered to a flat
+/// op stream once at construction, then every fetch/decode/execute settle
+/// is a dense, branch-predictable sweep instead of a `match` per gate.
 #[derive(Debug, Clone)]
 pub struct GateLevelCpu {
-    sim: Sim,
+    sim: CompiledSim,
     rf: [u32; riscv_isa::REG_COUNT],
     mem: SparseMemory,
     cycles: u64,
@@ -116,8 +121,13 @@ pub struct GateLevelCpu {
 impl GateLevelCpu {
     /// Creates a CPU over `rissp`'s core with the PC forced to `entry`.
     pub fn new(rissp: &crate::Rissp, entry: u32) -> GateLevelCpu {
-        let mut sim = Sim::new(&rissp.core);
-        let pc_port = rissp.core.output("pc").expect("core exposes pc").nets.clone();
+        let mut sim = CompiledSim::new(&rissp.core);
+        let pc_port = rissp
+            .core
+            .output("pc")
+            .expect("core exposes pc")
+            .nets
+            .clone();
         for (i, net) in pc_port.iter().enumerate() {
             sim.set_ff(*net, (entry >> i) & 1 == 1);
         }
@@ -175,8 +185,8 @@ impl GateLevelCpu {
         self.cycles
     }
 
-    /// The gate-level simulator (for activity/power extraction).
-    pub fn sim(&self) -> &Sim {
+    /// The gate-level simulation backend (for activity/power extraction).
+    pub fn sim(&self) -> &CompiledSim {
         &self.sim
     }
 
@@ -214,7 +224,11 @@ impl GateLevelCpu {
         // Phase 3: data memory read (combinational DMEM read).
         let dmem_re = self.sim.get_bus(ports::DMEM_RE) != 0;
         let dmem_addr = self.sim.get_bus(ports::DMEM_ADDR);
-        let rdata = if dmem_re { self.mem.load_word(dmem_addr) } else { 0 };
+        let rdata = if dmem_re {
+            self.mem.load_word(dmem_addr)
+        } else {
+            0
+        };
         self.sim.set_bus(ports::DMEM_RDATA, rdata);
         self.sim.eval();
 
@@ -271,12 +285,17 @@ impl GateLevelCpu {
                 return Ok(self.cycles);
             }
         }
-        Err(ExecError::StepLimit { cycles: self.cycles })
+        Err(ExecError::StepLimit {
+            cycles: self.cycles,
+        })
     }
 
     /// Reads the RISCOF-style signature region `[begin, end)`.
     pub fn signature(&self, begin: u32, end: u32) -> Vec<u32> {
-        (begin..end).step_by(4).map(|a| self.mem.load_word(a)).collect()
+        (begin..end)
+            .step_by(4)
+            .map(|a| self.mem.load_word(a))
+            .collect()
     }
 }
 
@@ -337,8 +356,9 @@ mod tests {
     #[test]
     fn unsupported_instruction_faults() {
         let lib = HwLibrary::build_full();
-        let subset: InstructionSubset =
-            [riscv_isa::Mnemonic::Addi, riscv_isa::Mnemonic::Jal].into_iter().collect();
+        let subset: InstructionSubset = [riscv_isa::Mnemonic::Addi, riscv_isa::Mnemonic::Jal]
+            .into_iter()
+            .collect();
         let rissp = Rissp::generate(&lib, &subset);
         let mut cpu = GateLevelCpu::new(&rissp, 0);
         // `xor` is not in the subset.

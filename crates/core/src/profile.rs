@@ -90,7 +90,9 @@ impl InstructionSubset {
 
 impl FromIterator<Mnemonic> for InstructionSubset {
     fn from_iter<T: IntoIterator<Item = Mnemonic>>(iter: T) -> Self {
-        InstructionSubset { set: iter.into_iter().collect() }
+        InstructionSubset {
+            set: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -120,8 +122,10 @@ pub struct StaticProfile {
 impl StaticProfile {
     /// Profiles a binary image.
     pub fn of_words(words: &[u32]) -> StaticProfile {
-        let static_instructions =
-            words.iter().filter(|&&w| Instruction::decode(w).is_ok()).count();
+        let static_instructions = words
+            .iter()
+            .filter(|&&w| Instruction::decode(w).is_ok())
+            .count();
         StaticProfile {
             subset: InstructionSubset::from_words(words),
             static_instructions,
@@ -168,7 +172,10 @@ mod tests {
         assert_eq!(subset.len(), 12); // the paper's xgboost subset
         assert_eq!(
             subset.names(),
-            vec!["addi", "andi", "bge", "blt", "jal", "jalr", "lui", "lw", "srli", "sw", "xor", "xori"]
+            vec![
+                "addi", "andi", "bge", "blt", "jal", "jalr", "lui", "lw", "srli", "sw", "xor",
+                "xori"
+            ]
         );
     }
 

@@ -45,7 +45,11 @@ impl std::fmt::Display for RiscofError {
         match self {
             RiscofError::Dut(e) => write!(f, "gate-level DUT fault: {e}"),
             RiscofError::Reference(e) => write!(f, "reference simulator fault: {e}"),
-            RiscofError::SignatureMismatch { index, dut, reference } => write!(
+            RiscofError::SignatureMismatch {
+                index,
+                dut,
+                reference,
+            } => write!(
                 f,
                 "signature mismatch at word {index}: dut={dut:#010x} ref={reference:#010x}"
             ),
@@ -83,10 +87,18 @@ pub fn run_compliance(
     let ref_sig = reference.signature(sig_begin, sig_end);
     for (index, (d, r)) in dut_sig.iter().zip(&ref_sig).enumerate() {
         if d != r {
-            return Err(RiscofError::SignatureMismatch { index, dut: *d, reference: *r });
+            return Err(RiscofError::SignatureMismatch {
+                index,
+                dut: *d,
+                reference: *r,
+            });
         }
     }
-    Ok(RiscofReport { dut_cycles, ref_instructions: run.retired, signature: dut_sig })
+    Ok(RiscofReport {
+        dut_cycles,
+        ref_instructions: run.retired,
+        signature: dut_sig,
+    })
 }
 
 #[cfg(test)]

@@ -29,7 +29,11 @@ pub struct RvfiViolation {
 
 impl std::fmt::Display for RvfiViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RVFI violation at retirement {}: {}", self.index, self.property)
+        write!(
+            f,
+            "RVFI violation at retirement {}: {}",
+            self.index, self.property
+        )
     }
 }
 
@@ -162,7 +166,12 @@ pub fn verify_bounded(
         .map_err(|e| format!("reference fault: {e}"))?;
     let ref_trace = reference.take_trace();
 
-    for (i, (d, r)) in dut_trace.records().iter().zip(ref_trace.records()).enumerate() {
+    for (i, (d, r)) in dut_trace
+        .records()
+        .iter()
+        .zip(ref_trace.records())
+        .enumerate()
+    {
         if d != r {
             return Err(format!(
                 "trace divergence at retirement {i}: dut={d:x?} ref={r:x?}"

@@ -97,7 +97,10 @@ impl Emulator {
 
     /// Creates an emulator starting at `entry`.
     pub fn with_entry(entry: u32) -> Emulator {
-        Emulator { state: ArchState::new(entry), ..Emulator::default() }
+        Emulator {
+            state: ArchState::new(entry),
+            ..Emulator::default()
+        }
     }
 
     /// The architectural state.
@@ -147,7 +150,7 @@ impl Emulator {
     /// Fails when the PC is misaligned or the fetched word does not decode.
     pub fn step(&mut self) -> Result<bool, EmuError> {
         let pc = self.state.pc;
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return Err(EmuError::MisalignedPc(pc));
         }
         let word = self.mem.load_word(pc);
@@ -168,7 +171,11 @@ impl Emulator {
                 rd_we: out.rd_we,
                 next_pc: out.next_pc,
                 mem_addr: out.dmem_addr,
-                mem_rdata: if out.dmem_re { self.mem.load_word(out.dmem_addr) } else { 0 },
+                mem_rdata: if out.dmem_re {
+                    self.mem.load_word(out.dmem_addr)
+                } else {
+                    0
+                },
                 mem_wdata: out.dmem_wdata,
                 mem_wmask: out.dmem_wmask,
             });
@@ -200,7 +207,11 @@ impl Emulator {
                 *counts.entry(i.mnemonic).or_default() += 1;
             }
         }
-        Ok(RunSummary { halt: HaltReason::StepLimit, retired, dynamic_counts: counts })
+        Ok(RunSummary {
+            halt: HaltReason::StepLimit,
+            retired,
+            dynamic_counts: counts,
+        })
     }
 
     /// Reads the RISCOF-style signature: the words in `[begin, end)`.
@@ -208,7 +219,10 @@ impl Emulator {
     /// This mirrors the paper's integration verification where the RISSP's
     /// signature region is compared against the reference simulator's.
     pub fn signature(&self, begin: u32, end: u32) -> Vec<u32> {
-        (begin..end).step_by(4).map(|a| self.mem.load_word(a)).collect()
+        (begin..end)
+            .step_by(4)
+            .map(|a| self.mem.load_word(a))
+            .collect()
     }
 }
 
@@ -285,8 +299,11 @@ mod tests {
 
     #[test]
     fn step_limit_reported() {
-        let words =
-            asm::assemble(&asm::parse("loop: addi a0, a0, 1\njal x0, loop").unwrap(), 0).unwrap();
+        let words = asm::assemble(
+            &asm::parse("loop: addi a0, a0, 1\njal x0, loop").unwrap(),
+            0,
+        )
+        .unwrap();
         let mut emu = Emulator::new();
         emu.load_words(0, &words);
         let run = emu.run(11).unwrap();

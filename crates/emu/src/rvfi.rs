@@ -85,7 +85,9 @@ impl RvfiTrace {
 
 impl FromIterator<RvfiRecord> for RvfiTrace {
     fn from_iter<T: IntoIterator<Item = RvfiRecord>>(iter: T) -> Self {
-        RvfiTrace { records: iter.into_iter().collect() }
+        RvfiTrace {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -96,17 +98,33 @@ mod tests {
     #[test]
     fn pc_chain_detects_gaps() {
         let mut t = RvfiTrace::new();
-        t.push(RvfiRecord { pc: 0, next_pc: 4, ..Default::default() });
-        t.push(RvfiRecord { pc: 4, next_pc: 8, ..Default::default() });
+        t.push(RvfiRecord {
+            pc: 0,
+            next_pc: 4,
+            ..Default::default()
+        });
+        t.push(RvfiRecord {
+            pc: 4,
+            next_pc: 8,
+            ..Default::default()
+        });
         assert_eq!(t.check_pc_chain(), None);
-        t.push(RvfiRecord { pc: 12, next_pc: 16, ..Default::default() });
+        t.push(RvfiRecord {
+            pc: 12,
+            next_pc: 16,
+            ..Default::default()
+        });
         assert_eq!(t.check_pc_chain(), Some(1));
     }
 
     #[test]
     fn collects_from_iterator() {
-        let t: RvfiTrace =
-            (0..3).map(|i| RvfiRecord { pc: i * 4, ..Default::default() }).collect();
+        let t: RvfiTrace = (0..3)
+            .map(|i| RvfiRecord {
+                pc: i * 4,
+                ..Default::default()
+            })
+            .collect();
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
     }

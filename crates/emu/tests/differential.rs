@@ -8,6 +8,7 @@ use riscv_isa::{Instruction, Mnemonic, Reg};
 
 /// Random straight-line ALU programs: the emulator must agree with a pure
 /// Rust interpretation of the same operations.
+#[allow(clippy::needless_range_loop)] // `i` doubles as register index and value seed
 fn interp(ops: &[(u8, u8, u8, u8, i8)]) -> ([u32; 16], Vec<Instruction>) {
     let mut regs = [0u32; 16];
     let mut instrs = Vec::new();
@@ -21,7 +22,11 @@ fn interp(ops: &[(u8, u8, u8, u8, i8)]) -> ([u32; 16], Vec<Instruction>) {
         let v = regs[i] as i32;
         let lo = (v << 20) >> 20;
         let hi = v.wrapping_sub(lo);
-        seed_items.push(Instruction::u(Mnemonic::Lui, Reg::from_index(i).unwrap(), hi));
+        seed_items.push(Instruction::u(
+            Mnemonic::Lui,
+            Reg::from_index(i).unwrap(),
+            hi,
+        ));
         seed_items.push(Instruction::i(
             Mnemonic::Addi,
             Reg::from_index(i).unwrap(),

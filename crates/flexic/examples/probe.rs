@@ -8,19 +8,41 @@ fn main() {
     let t = Tech::flexic_gen();
     for (name, subset) in [
         ("RV32E", InstructionSubset::full_isa()),
-        ("xgboost-ish", InstructionSubset::from_names(["addi","andi","bge","blt","jal","jalr","lui","lw","srli","sw","xor","xori"])),
-        ("armpit-ish", InstructionSubset::from_names(["add","addi","andi","beq","bge","blt","bne","jal","jalr","lbu","lui","lw","slli","sltiu","sw"])),
+        (
+            "xgboost-ish",
+            InstructionSubset::from_names([
+                "addi", "andi", "bge", "blt", "jal", "jalr", "lui", "lw", "srli", "sw", "xor",
+                "xori",
+            ]),
+        ),
+        (
+            "armpit-ish",
+            InstructionSubset::from_names([
+                "add", "addi", "andi", "beq", "bge", "blt", "bne", "jal", "jalr", "lbu", "lui",
+                "lw", "slli", "sltiu", "sw",
+            ]),
+        ),
     ] {
         let r = Rissp::generate(&lib, &subset);
         let counts = GateCounts::of(&r.core);
         let cp = sta::critical_path_ns(&r.core, &t);
-        println!("{name}: gates={} nand2eq={:.0} dff={} ff%={:.1} cp={:.0}ns fmax={:.0}kHz",
-            counts.logic_gates(), counts.nand2_equivalent(), counts.dff,
-            100.0*counts.ff_area_fraction(), cp, 1e6/cp);
+        println!(
+            "{name}: gates={} nand2eq={:.0} dff={} ff%={:.1} cp={:.0}ns fmax={:.0}kHz",
+            counts.logic_gates(),
+            counts.nand2_equivalent(),
+            counts.dff,
+            100.0 * counts.ff_area_fraction(),
+            cp,
+            1e6 / cp
+        );
         let m = DesignMetrics::of_netlist(name, &r.core, &t, 0.08);
         let s = flexic::sweep::frequency_sweep(&m);
-        println!("   fmax_grid={} avg_area={:.0} avg_power={:.3}mW epi={:.3}nJ",
-            s.fmax_khz, s.avg_area_nand2, s.avg_power_mw,
-            flexic::sweep::energy_per_instruction_nj(&m, &s));
+        println!(
+            "   fmax_grid={} avg_area={:.0} avg_power={:.3}mW epi={:.3}nJ",
+            s.fmax_khz,
+            s.avg_area_nand2,
+            s.avg_power_mw,
+            flexic::sweep::energy_per_instruction_nj(&m, &s)
+        );
     }
 }

@@ -57,7 +57,11 @@ pub struct LayoutResult {
 }
 
 /// Runs floorplan + CTS + routing estimation for one design.
-pub fn implement(m: &DesignMetrics, t: &Tech, distinct_instructions: Option<usize>) -> LayoutResult {
+pub fn implement(
+    m: &DesignMetrics,
+    t: &Tech,
+    distinct_instructions: Option<usize>,
+) -> LayoutResult {
     // Clock tree: buffers inserted per group of FFs, recursively (a tree,
     // so ~n/(k-1) total for fan-out k; one level is enough at these sizes).
     let ffs = m.counts.dff;
@@ -101,7 +105,11 @@ mod tests {
     fn design(name: &str, nand: usize, dff: usize) -> DesignMetrics {
         DesignMetrics {
             name: name.into(),
-            counts: GateCounts { nand, dff, ..GateCounts::default() },
+            counts: GateCounts {
+                nand,
+                dff,
+                ..GateCounts::default()
+            },
             critical_path_ns: 500.0,
             activity: 0.08,
             cpi: 1.0,

@@ -7,7 +7,7 @@
 
 use crate::tech::Tech;
 use crate::DesignMetrics;
-use netlist::sim::Sim;
+use netlist::sim::SimBackend;
 
 /// Total power in mW for a design at frequency `freq_khz`, with `area_scale`
 /// accounting for synthesis upsizing near the timing wall.
@@ -29,8 +29,10 @@ pub fn average_power_mw(m: &DesignMetrics, freq_khz: f64, area_scale: f64) -> f6
 }
 
 /// Extracts the measured switching activity of a simulation run: toggles
-/// per gate per cycle, the α used in the dynamic-power term.
-pub fn measured_activity(sim: &Sim) -> f64 {
+/// per gate per cycle (per stimulus lane), the α used in the dynamic-power
+/// term. Works with any [`SimBackend`] — interpreted or compiled — since
+/// the compiled backend's popcount toggle accounting is exact.
+pub fn measured_activity<S: SimBackend + ?Sized>(sim: &S) -> f64 {
     sim.average_activity()
 }
 
@@ -42,7 +44,11 @@ mod tests {
     fn design(nands: usize, dffs: usize, activity: f64) -> DesignMetrics {
         DesignMetrics {
             name: "d".into(),
-            counts: GateCounts { nand: nands, dff: dffs, ..GateCounts::default() },
+            counts: GateCounts {
+                nand: nands,
+                dff: dffs,
+                ..GateCounts::default()
+            },
             critical_path_ns: 500.0,
             activity,
             cpi: 1.0,

@@ -12,10 +12,7 @@ use netlist::{Gate, Netlist};
 pub fn arrival_times(nl: &Netlist, t: &Tech) -> Vec<f64> {
     let mut at = vec![0.0f64; nl.len()];
     for (id, gate) in nl.gates().iter().enumerate() {
-        let input_at = gate
-            .fanin()
-            .map(|f| at[f as usize])
-            .fold(0.0f64, f64::max);
+        let input_at = gate.fanin().map(|f| at[f as usize]).fold(0.0f64, f64::max);
         at[id] = input_at + t.delay_of(gate);
     }
     at
@@ -27,7 +24,7 @@ pub fn critical_path_ns(nl: &Netlist, t: &Tech) -> f64 {
     let at = arrival_times(nl, t);
     let mut worst = 0.0f64;
     // Paths end at DFF data inputs …
-    for (_, gate) in nl.gates().iter().enumerate() {
+    for gate in nl.gates().iter() {
         if let Gate::Dff { d, .. } = gate {
             worst = worst.max(at[*d as usize]);
         }

@@ -63,7 +63,12 @@ pub fn frequency_sweep(m: &DesignMetrics) -> SweepResult {
             let x = m.critical_path_ns / period_ns;
             let area = effort_area(base_area, x);
             let power = average_power_mw(m, f as f64, area / base_area);
-            points.push(DesignPoint { freq_khz: f, slack_ns: slack, area_nand2: area, power_mw: power });
+            points.push(DesignPoint {
+                freq_khz: f,
+                slack_ns: slack,
+                area_nand2: area,
+                power_mw: power,
+            });
         }
         f += SWEEP_STEP_KHZ;
     }
@@ -71,13 +76,21 @@ pub fn frequency_sweep(m: &DesignMetrics) -> SweepResult {
     let n = points.len().max(1) as f64;
     let avg_area_nand2 = points.iter().map(|p| p.area_nand2).sum::<f64>() / n;
     let avg_power_mw = points.iter().map(|p| p.power_mw).sum::<f64>() / n;
-    SweepResult { name: m.name.clone(), points, fmax_khz, avg_area_nand2, avg_power_mw }
+    SweepResult {
+        name: m.name.clone(),
+        points,
+        fmax_khz,
+        avg_area_nand2,
+        avg_power_mw,
+    }
 }
 
 /// Energy per instruction in nanojoules at the maximum frequency
 /// (Figure 9): `EPI = P(fmax) / fmax × CPI`.
 pub fn energy_per_instruction_nj(m: &DesignMetrics, sweep: &SweepResult) -> f64 {
-    let Some(at_fmax) = sweep.points.last() else { return f64::NAN };
+    let Some(at_fmax) = sweep.points.last() else {
+        return f64::NAN;
+    };
     let fmax_hz = at_fmax.freq_khz as f64 * 1e3;
     let power_w = at_fmax.power_mw * 1e-3;
     power_w / fmax_hz * m.cpi * 1e9
@@ -89,7 +102,11 @@ mod tests {
     use netlist::stats::GateCounts;
 
     fn fake_metrics(cp_ns: f64, dffs: usize) -> DesignMetrics {
-        let counts = GateCounts { nand: 1000, dff: dffs, ..GateCounts::default() };
+        let counts = GateCounts {
+            nand: 1000,
+            dff: dffs,
+            ..GateCounts::default()
+        };
         DesignMetrics {
             name: "fake".into(),
             counts,

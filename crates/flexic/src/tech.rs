@@ -85,7 +85,10 @@ mod tests {
     fn ff_power_is_roughly_ten_nand2_toggles() {
         let t = Tech::flexic_gen();
         let ratio = t.dff_clock_pj / t.switch_pj;
-        assert!((8.0..=12.0).contains(&ratio), "FF/NAND2 power ratio {ratio}");
+        assert!(
+            (8.0..=12.0).contains(&ratio),
+            "FF/NAND2 power ratio {ratio}"
+        );
     }
 
     #[test]

@@ -73,8 +73,13 @@ pub mod ports {
     pub const DMEM_RE: &str = "dmem_re";
 
     /// All input ports with widths, in declaration order.
-    pub const INPUTS: [(&str, usize); 5] =
-        [(PC, 32), (INSN, 32), (RS1_DATA, 32), (RS2_DATA, 32), (DMEM_RDATA, 32)];
+    pub const INPUTS: [(&str, usize); 5] = [
+        (PC, 32),
+        (INSN, 32),
+        (RS1_DATA, 32),
+        (RS2_DATA, 32),
+        (DMEM_RDATA, 32),
+    ];
     /// All output ports with widths, in declaration order.
     pub const OUTPUTS: [(&str, usize); 11] = [
         (SEL, 1),
@@ -114,7 +119,15 @@ impl HwLibrary {
     pub fn build_full() -> HwLibrary {
         let blocks = ALL_MNEMONICS
             .iter()
-            .map(|&m| (m, InstrBlock { mnemonic: m, netlist: blocks::build_block(m) }))
+            .map(|&m| {
+                (
+                    m,
+                    InstrBlock {
+                        mnemonic: m,
+                        netlist: blocks::build_block(m),
+                    },
+                )
+            })
             .collect();
         HwLibrary { blocks }
     }

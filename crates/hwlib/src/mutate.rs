@@ -120,7 +120,11 @@ pub fn mutants_of(block: &InstrBlock, limit: usize, seed: u64) -> Vec<Mutant> {
                     _ => return None,
                 },
             };
-            Some(Mutant { net, mutation, netlist: nl.with_gate_replaced(net, mutated) })
+            Some(Mutant {
+                net,
+                mutation,
+                netlist: nl.with_gate_replaced(net, mutated),
+            })
         })
         .collect()
 }
@@ -128,7 +132,10 @@ pub fn mutants_of(block: &InstrBlock, limit: usize, seed: u64) -> Vec<Mutant> {
 /// MCY's observability filter: does the mutant differ from the original on
 /// any of `probes` random input vectors?
 pub fn is_observable(original: &InstrBlock, mutant: &Mutant, probes: &[BlockInputs]) -> bool {
-    let faulty = InstrBlock { mnemonic: original.mnemonic, netlist: mutant.netlist.clone() };
+    let faulty = InstrBlock {
+        mnemonic: original.mnemonic,
+        netlist: mutant.netlist.clone(),
+    };
     probes
         .iter()
         .any(|p| run_hw_block(original, p) != run_hw_block(&faulty, p))
@@ -151,7 +158,10 @@ pub fn mutation_coverage(block: &InstrBlock, limit: usize, seed: u64) -> Coverag
             continue;
         }
         observable += 1;
-        let faulty = InstrBlock { mnemonic: block.mnemonic, netlist: mutant.netlist.clone() };
+        let faulty = InstrBlock {
+            mnemonic: block.mnemonic,
+            netlist: mutant.netlist.clone(),
+        };
         let caught = vectors.iter().any(|v| {
             let instr = riscv_isa::Instruction::decode(v.insn).expect("vector decodes");
             let golden = riscv_isa::semantics::block_semantics(instr, v);
@@ -161,7 +171,11 @@ pub fn mutation_coverage(block: &InstrBlock, limit: usize, seed: u64) -> Coverag
             killed += 1;
         }
     }
-    CoverageReport { generated, observable, killed }
+    CoverageReport {
+        generated,
+        observable,
+        killed,
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +185,10 @@ mod tests {
     use riscv_isa::Mnemonic;
 
     fn block(m: Mnemonic) -> InstrBlock {
-        InstrBlock { mnemonic: m, netlist: build_block(m) }
+        InstrBlock {
+            mnemonic: m,
+            netlist: build_block(m),
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!   (no spurious memory writes, x0 suppression, decode selectivity).
 
 use crate::{ports, InstrBlock};
-use netlist::sim::Sim;
+use netlist::compiled::{CompiledSim, MAX_LANES};
+use netlist::sim::{Sim, SimBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use riscv_isa::semantics::{block_semantics, BlockInputs, BlockOutputs};
@@ -63,7 +64,7 @@ pub fn run_hw_block(block: &InstrBlock, inputs: &BlockInputs) -> BlockOutputs {
     read_outputs(&sim)
 }
 
-fn drive(sim: &mut Sim, inputs: &BlockInputs) {
+fn drive<S: SimBackend>(sim: &mut S, inputs: &BlockInputs) {
     sim.set_bus(ports::PC, inputs.pc);
     sim.set_bus(ports::INSN, inputs.insn);
     sim.set_bus(ports::RS1_DATA, inputs.rs1_data);
@@ -71,19 +72,51 @@ fn drive(sim: &mut Sim, inputs: &BlockInputs) {
     sim.set_bus(ports::DMEM_RDATA, inputs.dmem_rdata);
 }
 
+fn drive_chunk(sim: &mut CompiledSim, chunk: &[BlockInputs]) {
+    // One transposed write per port (ports resolve once per chunk).
+    let field = |f: fn(&BlockInputs) -> u32| chunk.iter().map(|i| f(i) as u64).collect::<Vec<_>>();
+    sim.set_bus_lanes(ports::PC, &field(|i| i.pc));
+    sim.set_bus_lanes(ports::INSN, &field(|i| i.insn));
+    sim.set_bus_lanes(ports::RS1_DATA, &field(|i| i.rs1_data));
+    sim.set_bus_lanes(ports::RS2_DATA, &field(|i| i.rs2_data));
+    sim.set_bus_lanes(ports::DMEM_RDATA, &field(|i| i.dmem_rdata));
+}
+
 fn read_outputs(sim: &Sim) -> BlockOutputs {
+    read_outputs_lane(sim, 0)
+}
+
+fn read_outputs_lane<S: SimBackend>(sim: &S, lane: usize) -> BlockOutputs {
     BlockOutputs {
-        next_pc: sim.get_bus(ports::NEXT_PC),
-        rs1_addr: sim.get_bus(ports::RS1_ADDR) as u8,
-        rs2_addr: sim.get_bus(ports::RS2_ADDR) as u8,
-        rd_addr: sim.get_bus(ports::RD_ADDR) as u8,
-        rd_data: sim.get_bus(ports::RD_DATA),
-        rd_we: sim.get_bus(ports::RD_WE) != 0,
-        dmem_addr: sim.get_bus(ports::DMEM_ADDR),
-        dmem_wdata: sim.get_bus(ports::DMEM_WDATA),
-        dmem_wmask: sim.get_bus(ports::DMEM_WMASK) as u8,
-        dmem_re: sim.get_bus(ports::DMEM_RE) != 0,
+        next_pc: sim.get_bus_lane(ports::NEXT_PC, lane) as u32,
+        rs1_addr: sim.get_bus_lane(ports::RS1_ADDR, lane) as u8,
+        rs2_addr: sim.get_bus_lane(ports::RS2_ADDR, lane) as u8,
+        rd_addr: sim.get_bus_lane(ports::RD_ADDR, lane) as u8,
+        rd_data: sim.get_bus_lane(ports::RD_DATA, lane) as u32,
+        rd_we: sim.get_bus_lane(ports::RD_WE, lane) != 0,
+        dmem_addr: sim.get_bus_lane(ports::DMEM_ADDR, lane) as u32,
+        dmem_wdata: sim.get_bus_lane(ports::DMEM_WDATA, lane) as u32,
+        dmem_wmask: sim.get_bus_lane(ports::DMEM_WMASK, lane) as u8,
+        dmem_re: sim.get_bus_lane(ports::DMEM_RE, lane) != 0,
     }
+}
+
+/// Evaluates `vectors` through a compiled block simulation, packing
+/// [`MAX_LANES`] stimuli per settle, then hands the settled simulation,
+/// each vector's global index, and its lane to `check` in order.
+fn run_batched(
+    sim: &mut CompiledSim,
+    vectors: &[BlockInputs],
+    mut check: impl FnMut(&CompiledSim, usize, usize, &BlockInputs) -> Result<(), VerifyError>,
+) -> Result<(), VerifyError> {
+    for (chunk_idx, chunk) in vectors.chunks(MAX_LANES).enumerate() {
+        drive_chunk(sim, chunk);
+        sim.eval();
+        for (lane, inputs) in chunk.iter().enumerate() {
+            check(sim, chunk_idx * MAX_LANES + lane, lane, inputs)?;
+        }
+    }
+    Ok(())
 }
 
 /// Generates a random, valid instruction of the given mnemonic.
@@ -140,19 +173,16 @@ pub fn arch_test_vectors(m: Mnemonic) -> Vec<BlockInputs> {
     vectors
 }
 
-fn compare(
-    block: &InstrBlock,
+fn golden_check(
+    mnemonic: Mnemonic,
     inputs: &BlockInputs,
+    hw: &BlockOutputs,
 ) -> Result<(), VerifyError> {
     let instr = Instruction::decode(inputs.insn).expect("vector insn must decode");
     let golden = block_semantics(instr, inputs);
-    let hw = run_hw_block(block, inputs);
-    if hw != golden {
+    if *hw != golden {
         return Err(VerifyError {
-            property: format!(
-                "{}: hardware {hw:?} differs from specification {golden:?}",
-                block.mnemonic
-            ),
+            property: format!("{mnemonic}: hardware {hw:?} differs from specification {golden:?}"),
             inputs: *inputs,
         });
     }
@@ -162,14 +192,18 @@ fn compare(
 /// Functional verification: runs the full architecture-test vector set for
 /// the block's instruction through the netlist and the golden semantics.
 ///
+/// The block is compiled once and the vectors are driven [`MAX_LANES`] per
+/// settle through the bit-parallel backend.
+///
 /// # Errors
 ///
 /// Returns the first mismatching vector.
 pub fn functional_verify(block: &InstrBlock) -> Result<(), VerifyError> {
-    for inputs in arch_test_vectors(block.mnemonic) {
-        compare(block, &inputs)?;
-    }
-    Ok(())
+    let mut sim = CompiledSim::with_lanes(&block.netlist, MAX_LANES);
+    let vectors = arch_test_vectors(block.mnemonic);
+    run_batched(&mut sim, &vectors, |sim, _index, lane, inputs| {
+        golden_check(block.mnemonic, inputs, &read_outputs_lane(sim, lane))
+    })
 }
 
 /// Formal verification: seeded random equivalence over the block's full
@@ -190,19 +224,28 @@ pub fn functional_verify(block: &InstrBlock) -> Result<(), VerifyError> {
 pub fn formal_verify(block: &InstrBlock, samples: usize, seed: u64) -> Result<(), VerifyError> {
     let m = block.mnemonic;
     let mut rng = StdRng::seed_from_u64(seed ^ (m as u64) << 32);
-    for _ in 0..samples {
-        let instr = random_instruction(m, &mut rng);
-        let inputs = BlockInputs {
-            pc: rng.gen::<u32>() & !3,
-            insn: instr.encode(),
-            rs1_data: rng.gen(),
-            rs2_data: rng.gen(),
-            dmem_rdata: rng.gen(),
-        };
+    let mut sim = CompiledSim::with_lanes(&block.netlist, MAX_LANES);
+    // 64 random stimulus vectors settle per eval: the whole random sweep
+    // costs `samples / 64` passes over the compiled op stream.
+    let vectors: Vec<BlockInputs> = (0..samples)
+        .map(|_| {
+            let instr = random_instruction(m, &mut rng);
+            BlockInputs {
+                pc: rng.gen::<u32>() & !3,
+                insn: instr.encode(),
+                rs1_data: rng.gen(),
+                rs2_data: rng.gen(),
+                dmem_rdata: rng.gen(),
+            }
+        })
+        .collect();
+    run_batched(&mut sim, &vectors, |sim, _index, lane, inputs| {
+        let instr = Instruction::decode(inputs.insn).expect("vector insn must decode");
+        let hw = read_outputs_lane(sim, lane);
         // Specification equivalence.
-        compare(block, &inputs)?;
+        golden_check(m, inputs, &hw)?;
         // Interface assertions on the raw hardware outputs.
-        let hw = run_hw_block(block, &inputs);
+        let inputs = *inputs;
         if !m.is_store() && hw.dmem_wmask != 0 {
             return Err(VerifyError {
                 property: format!("{m}: non-store drove dmem_wmask"),
@@ -210,13 +253,22 @@ pub fn formal_verify(block: &InstrBlock, samples: usize, seed: u64) -> Result<()
             });
         }
         if !m.is_load() && hw.dmem_re {
-            return Err(VerifyError { property: format!("{m}: non-load drove dmem_re"), inputs });
+            return Err(VerifyError {
+                property: format!("{m}: non-load drove dmem_re"),
+                inputs,
+            });
         }
         if !m.writes_rd() && hw.rd_we {
-            return Err(VerifyError { property: format!("{m}: unexpected rd_we"), inputs });
+            return Err(VerifyError {
+                property: format!("{m}: unexpected rd_we"),
+                inputs,
+            });
         }
         if instr.rd == Reg::X0 && hw.rd_we {
-            return Err(VerifyError { property: format!("{m}: write-back to x0"), inputs });
+            return Err(VerifyError {
+                property: format!("{m}: write-back to x0"),
+                inputs,
+            });
         }
         if !m.is_branch() && !m.is_jump() && hw.next_pc != inputs.pc.wrapping_add(4) {
             return Err(VerifyError {
@@ -224,42 +276,42 @@ pub fn formal_verify(block: &InstrBlock, samples: usize, seed: u64) -> Result<()
                 inputs,
             });
         }
-        let sel = sel_of(block, &inputs);
-        if !sel {
+        if sim.get_bus_lane(ports::SEL, lane) == 0 {
             return Err(VerifyError {
                 property: format!("{m}: sel deasserted for own encoding"),
                 inputs,
             });
         }
-    }
-    // Decode selectivity against every other instruction in the ISA.
-    for other in ALL_MNEMONICS {
-        if other == m {
-            continue;
-        }
-        let instr = random_instruction(other, &mut rng);
-        let inputs = BlockInputs {
-            pc: 0,
-            insn: instr.encode(),
-            rs1_data: rng.gen(),
-            rs2_data: rng.gen(),
-            dmem_rdata: rng.gen(),
-        };
-        if sel_of(block, &inputs) {
+        Ok(())
+    })?;
+    // Decode selectivity against every other instruction in the ISA — all
+    // foreign encodings batched into lanes as well.
+    let others: Vec<Mnemonic> = ALL_MNEMONICS
+        .into_iter()
+        .filter(|&other| other != m)
+        .collect();
+    let foreign_vectors: Vec<BlockInputs> = others
+        .iter()
+        .map(|&other| {
+            let instr = random_instruction(other, &mut rng);
+            BlockInputs {
+                pc: 0,
+                insn: instr.encode(),
+                rs1_data: rng.gen(),
+                rs2_data: rng.gen(),
+                dmem_rdata: rng.gen(),
+            }
+        })
+        .collect();
+    run_batched(&mut sim, &foreign_vectors, |sim, index, lane, inputs| {
+        if sim.get_bus_lane(ports::SEL, lane) != 0 {
             return Err(VerifyError {
-                property: format!("{m}: sel asserted for `{other}` encoding"),
-                inputs,
+                property: format!("{m}: sel asserted for `{}` encoding", others[index]),
+                inputs: *inputs,
             });
         }
-    }
-    Ok(())
-}
-
-fn sel_of(block: &InstrBlock, inputs: &BlockInputs) -> bool {
-    let mut sim = Sim::new(&block.netlist);
-    drive(&mut sim, inputs);
-    sim.eval();
-    sim.get_bus(ports::SEL) != 0
+        Ok(())
+    })
 }
 
 #[cfg(test)]
@@ -268,7 +320,10 @@ mod tests {
     use crate::blocks::build_block;
 
     fn block(m: Mnemonic) -> InstrBlock {
-        InstrBlock { mnemonic: m, netlist: build_block(m) }
+        InstrBlock {
+            mnemonic: m,
+            netlist: build_block(m),
+        }
     }
 
     #[test]
@@ -290,7 +345,10 @@ mod tests {
         // Pass the `sub` netlist off as the `add` block: the specification
         // equivalence must fail (decode `sel` also differs, but the compare
         // runs first on add encodings where sub produces wrong rd_data).
-        let wrong = InstrBlock { mnemonic: Mnemonic::Add, netlist: build_block(Mnemonic::Sub) };
+        let wrong = InstrBlock {
+            mnemonic: Mnemonic::Add,
+            netlist: build_block(Mnemonic::Sub),
+        };
         assert!(functional_verify(&wrong).is_err());
     }
 

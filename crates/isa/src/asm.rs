@@ -193,7 +193,11 @@ pub fn resolve(items: &[Item], base: u32) -> Result<Vec<ResolvedWord>, AsmError>
                     rd: ai.rd,
                     rs1: ai.rs1,
                     rs2: ai.rs2,
-                    imm: if ai.mnemonic.format() == Format::U { imm & !0xfff } else { imm },
+                    imm: if ai.mnemonic.format() == Format::U {
+                        imm & !0xfff
+                    } else {
+                        imm
+                    },
                 };
                 out.push(ResolvedWord::Instr(instr));
                 pc = pc.wrapping_add(4);
@@ -221,12 +225,18 @@ fn check_range(m: Mnemonic, imm: i32) -> Result<(), AsmError> {
     if ok {
         Ok(())
     } else {
-        Err(AsmError::TargetOutOfRange { mnemonic: m, offset: imm })
+        Err(AsmError::TargetOutOfRange {
+            mnemonic: m,
+            offset: imm,
+        })
     }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
-    let err = || AsmError::Parse { line, message: format!("bad register `{tok}`") };
+    let err = || AsmError::Parse {
+        line,
+        message: format!("bad register `{tok}`"),
+    };
     if let Some(num) = tok.strip_prefix('x') {
         let idx: usize = num.parse().map_err(|_| err())?;
         return Reg::from_index(idx).ok_or_else(err);
@@ -239,7 +249,10 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
 }
 
 fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
-    let err = || AsmError::Parse { line, message: format!("bad immediate `{tok}`") };
+    let err = || AsmError::Parse {
+        line,
+        message: format!("bad immediate `{tok}`"),
+    };
     let (neg, body) = match tok.strip_prefix('-') {
         Some(rest) => (true, rest),
         None => (false, tok),
@@ -324,7 +337,10 @@ fn parse_instr(text: &str, line: usize) -> Result<AsmInstr, AsmError> {
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(format!("`{name}` expects {n} operands, got {}", ops.len())))
+            Err(err(format!(
+                "`{name}` expects {n} operands, got {}",
+                ops.len()
+            )))
         }
     };
     // Parses "imm(rs1)" memory operands.
@@ -336,7 +352,11 @@ fn parse_instr(text: &str, line: usize) -> Result<AsmInstr, AsmError> {
             .rfind(')')
             .ok_or_else(|| err(format!("expected `imm(reg)`, got `{tok}`")))?;
         let imm_part = tok[..open].trim();
-        let imm = if imm_part.is_empty() { 0 } else { parse_imm(imm_part, line)? };
+        let imm = if imm_part.is_empty() {
+            0
+        } else {
+            parse_imm(imm_part, line)?
+        };
         let reg = parse_reg(tok[open + 1..close].trim(), line)?;
         Ok((imm, reg))
     };
@@ -463,12 +483,20 @@ mod tests {
             rs2: Reg::X0,
             target: "nowhere".into(),
         })];
-        assert_eq!(assemble(&undef, 0), Err(AsmError::UndefinedLabel("nowhere".into())));
+        assert_eq!(
+            assemble(&undef, 0),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
     }
 
     #[test]
     fn range_checks() {
-        let too_far = vec![Item::instr(Instruction::i(Mnemonic::Addi, Reg::X1, Reg::X0, 4096))];
+        let too_far = vec![Item::instr(Instruction::i(
+            Mnemonic::Addi,
+            Reg::X1,
+            Reg::X0,
+            4096,
+        ))];
         assert!(matches!(
             assemble(&too_far, 0),
             Err(AsmError::TargetOutOfRange { .. })
@@ -500,8 +528,8 @@ mod tests {
 
     #[test]
     fn parse_mem_and_shift_and_lui() {
-        let items = parse("lw x1, -8(x2)\nslli x3, x4, 5\nlui x5, 0x12345\n.word 0xdeadbeef")
-            .unwrap();
+        let items =
+            parse("lw x1, -8(x2)\nslli x3, x4, 5\nlui x5, 0x12345\n.word 0xdeadbeef").unwrap();
         let words = assemble(&items, 0).unwrap();
         assert_eq!(Instruction::decode(words[0]).unwrap().imm, -8);
         assert_eq!(Instruction::decode(words[1]).unwrap().imm, 5);

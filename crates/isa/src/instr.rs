@@ -65,7 +65,13 @@ impl Instruction {
     /// Builds an R-type instruction.
     pub fn r(mnemonic: Mnemonic, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction {
         debug_assert_eq!(mnemonic.format(), Format::R);
-        Instruction { mnemonic, rd, rs1, rs2, imm: 0 }
+        Instruction {
+            mnemonic,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
     }
 
     /// Builds an I-type instruction (ALU-immediate, load, or `jalr`).
@@ -74,32 +80,62 @@ impl Instruction {
     /// `imm` are significant.
     pub fn i(mnemonic: Mnemonic, rd: Reg, rs1: Reg, imm: i32) -> Instruction {
         debug_assert_eq!(mnemonic.format(), Format::I);
-        Instruction { mnemonic, rd, rs1, rs2: Reg::X0, imm }
+        Instruction {
+            mnemonic,
+            rd,
+            rs1,
+            rs2: Reg::X0,
+            imm,
+        }
     }
 
     /// Builds an S-type (store) instruction; `imm` is the address offset.
     pub fn s(mnemonic: Mnemonic, rs1: Reg, rs2: Reg, imm: i32) -> Instruction {
         debug_assert_eq!(mnemonic.format(), Format::S);
-        Instruction { mnemonic, rd: Reg::X0, rs1, rs2, imm }
+        Instruction {
+            mnemonic,
+            rd: Reg::X0,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// Builds a B-type (branch) instruction; `imm` is the byte offset from
     /// the branch's own PC (must be even).
     pub fn b(mnemonic: Mnemonic, rs1: Reg, rs2: Reg, imm: i32) -> Instruction {
         debug_assert_eq!(mnemonic.format(), Format::B);
-        Instruction { mnemonic, rd: Reg::X0, rs1, rs2, imm }
+        Instruction {
+            mnemonic,
+            rd: Reg::X0,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// Builds a U-type instruction; `imm` must have its low 12 bits clear.
     pub fn u(mnemonic: Mnemonic, rd: Reg, imm: i32) -> Instruction {
         debug_assert_eq!(mnemonic.format(), Format::U);
-        Instruction { mnemonic, rd, rs1: Reg::X0, rs2: Reg::X0, imm: imm & !0xfff_i32 }
+        Instruction {
+            mnemonic,
+            rd,
+            rs1: Reg::X0,
+            rs2: Reg::X0,
+            imm: imm & !0xfff_i32,
+        }
     }
 
     /// Builds a `jal`; `imm` is the byte offset from the jump's own PC.
     pub fn j(mnemonic: Mnemonic, rd: Reg, imm: i32) -> Instruction {
         debug_assert_eq!(mnemonic.format(), Format::J);
-        Instruction { mnemonic, rd, rs1: Reg::X0, rs2: Reg::X0, imm }
+        Instruction {
+            mnemonic,
+            rd,
+            rs1: Reg::X0,
+            rs2: Reg::X0,
+            imm,
+        }
     }
 
     /// Encodes the instruction into its 32-bit RISC-V machine word.
@@ -113,7 +149,10 @@ impl Instruction {
         let imm = self.imm as u32;
         match m.format() {
             Format::R => {
-                opc | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20)
+                opc | (rd << 7)
+                    | (f3 << 12)
+                    | (rs1 << 15)
+                    | (rs2 << 20)
                     | (m.funct7().unwrap() << 25)
             }
             Format::I => {
@@ -225,7 +264,7 @@ impl Instruction {
                 if mnemonic.funct7().is_some() {
                     rs2_i as i32 // shamt
                 } else {
-                    ((word as i32) >> 20) as i32
+                    (word as i32) >> 20
                 }
             }
             Format::S => {
@@ -234,7 +273,7 @@ impl Instruction {
                 (hi << 5) | lo as i32
             }
             Format::B => {
-                let b12 = ((word as i32) >> 31) as i32; // sign
+                let b12 = (word as i32) >> 31; // sign
                 let b11 = field(word, 7, 1) as i32;
                 let b10_5 = field(word, 25, 6) as i32;
                 let b4_1 = field(word, 8, 4) as i32;
@@ -242,7 +281,7 @@ impl Instruction {
             }
             Format::U => (word & 0xfffff000) as i32,
             Format::J => {
-                let b20 = ((word as i32) >> 31) as i32;
+                let b20 = (word as i32) >> 31;
                 let b19_12 = field(word, 12, 8) as i32;
                 let b11 = field(word, 20, 1) as i32;
                 let b10_1 = field(word, 21, 10) as i32;
@@ -250,7 +289,13 @@ impl Instruction {
             }
         };
 
-        Ok(Instruction { mnemonic, rd, rs1, rs2, imm })
+        Ok(Instruction {
+            mnemonic,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        })
     }
 }
 
@@ -328,7 +373,11 @@ mod tests {
     fn u_j_round_trip_extremes() {
         for imm20 in [0u32, 1, 0x80000, 0xfffff] {
             round_trip(Instruction::u(Mnemonic::Lui, Reg::X9, (imm20 << 12) as i32));
-            round_trip(Instruction::u(Mnemonic::Auipc, Reg::X9, (imm20 << 12) as i32));
+            round_trip(Instruction::u(
+                Mnemonic::Auipc,
+                Reg::X9,
+                (imm20 << 12) as i32,
+            ));
         }
         for imm in [-1048576, -2, 0, 2, 1048574] {
             round_trip(Instruction::j(Mnemonic::Jal, Reg::X1, imm));
@@ -339,23 +388,35 @@ mod tests {
     fn known_golden_encodings() {
         // Cross-checked against the RISC-V spec / gnu assembler.
         // addi x1, x2, 3  => 0x00310093
-        assert_eq!(Instruction::i(Mnemonic::Addi, Reg::X1, Reg::X2, 3).encode(), 0x0031_0093);
+        assert_eq!(
+            Instruction::i(Mnemonic::Addi, Reg::X1, Reg::X2, 3).encode(),
+            0x0031_0093
+        );
         // add x3, x4, x5 => 0x005201b3
         assert_eq!(
             Instruction::r(Mnemonic::Add, Reg::X3, Reg::X4, Reg::X5).encode(),
             0x0052_01b3
         );
         // sw x6, 8(x7) => 0x0063a423
-        assert_eq!(Instruction::s(Mnemonic::Sw, Reg::X7, Reg::X6, 8).encode(), 0x0063_a423);
+        assert_eq!(
+            Instruction::s(Mnemonic::Sw, Reg::X7, Reg::X6, 8).encode(),
+            0x0063_a423
+        );
         // beq x8, x9, 16 => 0x00940863
-        assert_eq!(Instruction::b(Mnemonic::Beq, Reg::X8, Reg::X9, 16).encode(), 0x0094_0863);
+        assert_eq!(
+            Instruction::b(Mnemonic::Beq, Reg::X8, Reg::X9, 16).encode(),
+            0x0094_0863
+        );
         // lui x10, 0x12345 => 0x12345537
         assert_eq!(
             Instruction::u(Mnemonic::Lui, Reg::X10, 0x12345 << 12).encode(),
             0x1234_5537
         );
         // jal x1, 2048 => 0x001000ef
-        assert_eq!(Instruction::j(Mnemonic::Jal, Reg::X1, 2048).encode(), 0x0010_00ef);
+        assert_eq!(
+            Instruction::j(Mnemonic::Jal, Reg::X1, 2048).encode(),
+            0x0010_00ef
+        );
     }
 
     #[test]

@@ -93,9 +93,21 @@ pub fn block_semantics(instr: Instruction, inputs: &BlockInputs) -> BlockOutputs
 
     let mut out = BlockOutputs {
         next_pc: seq_pc,
-        rs1_addr: if m.reads_rs1() { instr.rs1.index() as u8 } else { 0 },
-        rs2_addr: if m.reads_rs2() { instr.rs2.index() as u8 } else { 0 },
-        rd_addr: if m.writes_rd() { instr.rd.index() as u8 } else { 0 },
+        rs1_addr: if m.reads_rs1() {
+            instr.rs1.index() as u8
+        } else {
+            0
+        },
+        rs2_addr: if m.reads_rs2() {
+            instr.rs2.index() as u8
+        } else {
+            0
+        },
+        rd_addr: if m.writes_rd() {
+            instr.rd.index() as u8
+        } else {
+            0
+        },
         ..BlockOutputs::default()
     };
 
@@ -218,7 +230,10 @@ pub struct ArchState {
 impl ArchState {
     /// A reset hart with `pc = entry` and all registers zero.
     pub fn new(entry: u32) -> ArchState {
-        ArchState { pc: entry, regs: [0; crate::REG_COUNT] }
+        ArchState {
+            pc: entry,
+            regs: [0; crate::REG_COUNT],
+        }
     }
 
     /// Reads a register (`x0` reads as zero by construction).
@@ -320,7 +335,10 @@ mod tests {
     #[test]
     fn branch_taken_and_not_taken() {
         let beq = Instruction::b(Mnemonic::Beq, Reg::X2, Reg::X3, -8);
-        assert_eq!(exec1(beq, 5, 5).next_pc, 0x100u32.wrapping_add(-8i32 as u32));
+        assert_eq!(
+            exec1(beq, 5, 5).next_pc,
+            0x100u32.wrapping_add(-8i32 as u32)
+        );
         assert_eq!(exec1(beq, 5, 6).next_pc, 0x104);
         let bgeu = Instruction::b(Mnemonic::Bgeu, Reg::X2, Reg::X3, 16);
         assert_eq!(exec1(bgeu, 1, 0xffff_ffff).next_pc, 0x104);
@@ -406,9 +424,17 @@ mod tests {
         let mut mem = Flat(vec![0; 16]);
         let mut st = ArchState::new(0);
         st.write(Reg::X2, 0x1234);
-        step(&mut st, Instruction::s(Mnemonic::Sw, Reg::X0, Reg::X2, 8), &mut mem);
+        step(
+            &mut st,
+            Instruction::s(Mnemonic::Sw, Reg::X0, Reg::X2, 8),
+            &mut mem,
+        );
         assert_eq!(mem.0[2], 0x1234);
-        step(&mut st, Instruction::i(Mnemonic::Lw, Reg::X3, Reg::X0, 8), &mut mem);
+        step(
+            &mut st,
+            Instruction::i(Mnemonic::Lw, Reg::X3, Reg::X0, 8),
+            &mut mem,
+        );
         assert_eq!(st.read(Reg::X3), 0x1234);
         assert_eq!(st.pc, 8);
     }

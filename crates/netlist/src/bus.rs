@@ -9,7 +9,9 @@ use crate::{Builder, NetId};
 
 /// Builds a constant bus of `width` bits holding `value`.
 pub fn constant(b: &mut Builder, value: u32, width: usize) -> Vec<NetId> {
-    (0..width).map(|i| b.constant((value >> i) & 1 == 1)).collect()
+    (0..width)
+        .map(|i| b.constant((value >> i) & 1 == 1))
+        .collect()
 }
 
 /// Bitwise NOT of a bus.
@@ -260,7 +262,13 @@ mod tests {
 
     #[test]
     fn adder_matches_wrapping_add() {
-        for (a, c) in [(0, 0), (1, 1), (0xffff_ffff, 1), (0x8000_0000, 0x8000_0000), (123, 456)] {
+        for (a, c) in [
+            (0, 0),
+            (1, 1),
+            (0xffff_ffff, 1),
+            (0x8000_0000, 0x8000_0000),
+            (123, 456),
+        ] {
             let got = eval2(32, |b, x, y| add(b, x, y).0, a, c);
             assert_eq!(got, a.wrapping_add(c), "{a} + {c}");
         }
@@ -291,7 +299,11 @@ mod tests {
 
     #[test]
     fn barrel_shifts_match_rust_semantics() {
-        for kind in [ShiftKind::LeftLogical, ShiftKind::RightLogical, ShiftKind::RightArithmetic] {
+        for kind in [
+            ShiftKind::LeftLogical,
+            ShiftKind::RightLogical,
+            ShiftKind::RightArithmetic,
+        ] {
             for value in [0u32, 1, 0x8000_0001, 0xdead_beef] {
                 for sh in [0u32, 1, 5, 16, 31] {
                     let mut b = Builder::new();

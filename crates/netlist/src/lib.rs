@@ -10,8 +10,13 @@
 //! * [`Netlist`] — flat arena of [`Gate`]s with named input/output ports.
 //! * [`bus`] — word-level combinators (adders, barrel shifters, muxes)
 //!   used by the instruction hardware blocks.
-//! * [`sim`] — event-free two-phase simulator with toggle counting (the
+//! * [`sim`] — the [`sim::SimBackend`] abstraction plus the interpreted
+//!   reference backend, event-free and two-phase with toggle counting (the
 //!   activity numbers feed the FlexIC power model).
+//! * [`level`] — levelization and compilation of a netlist into a flat,
+//!   structure-of-arrays op stream.
+//! * [`compiled`] — the compiled backend: 64 stimulus lanes per eval, one
+//!   `u64` word per net, exact popcount toggle accounting.
 //! * [`opt`] — "synthesis": re-cons, constant-fold and sweep a netlist.
 //! * [`stats`] — NAND2-equivalent gate counting exactly as the paper's
 //!   area numbers are reported.
@@ -35,9 +40,14 @@
 //! ```
 
 pub mod bus;
+pub mod compiled;
+pub mod level;
 pub mod opt;
 pub mod sim;
 pub mod stats;
+
+pub use compiled::CompiledSim;
+pub use sim::{Sim, SimBackend};
 
 use std::collections::HashMap;
 
@@ -182,7 +192,10 @@ impl Netlist {
     /// (a fan-in net id must be smaller than `id`).
     pub fn with_gate_replaced(&self, id: NetId, gate: Gate) -> Netlist {
         for f in gate.fanin() {
-            assert!(f < id, "replacement fan-in {f} breaks topological order at {id}");
+            assert!(
+                f < id,
+                "replacement fan-in {f} breaks topological order at {id}"
+            );
         }
         let mut clone = self.clone();
         clone.gates[id as usize] = gate;
@@ -277,7 +290,10 @@ impl Builder {
         let nets: Vec<NetId> = (0..width as u32)
             .map(|i| self.push(Gate::Input(base + i)))
             .collect();
-        self.netlist.inputs.push(Port { name: name.to_string(), nets: nets.clone() });
+        self.netlist.inputs.push(Port {
+            name: name.to_string(),
+            nets: nets.clone(),
+        });
         nets
     }
 
@@ -296,7 +312,10 @@ impl Builder {
             self.netlist.output(name).is_none(),
             "duplicate output port `{name}`"
         );
-        self.netlist.outputs.push(Port { name: name.to_string(), nets: nets.to_vec() });
+        self.netlist.outputs.push(Port {
+            name: name.to_string(),
+            nets: nets.to_vec(),
+        });
     }
 
     /// Inverter with folding (`!!x = x`, `!const`).
@@ -406,7 +425,10 @@ impl Builder {
     pub fn dff(&mut self, init: bool) -> NetId {
         // DFFs are never hash-consed: each is distinct state.
         let id = self.netlist.gates.len() as NetId;
-        self.netlist.gates.push(Gate::Dff { d: UNCONNECTED, init });
+        self.netlist.gates.push(Gate::Dff {
+            d: UNCONNECTED,
+            init,
+        });
         id
     }
 

@@ -1,13 +1,113 @@
-//! Two-phase gate-level simulator with switching-activity capture.
+//! Two-phase gate-level simulation: the [`SimBackend`] abstraction and the
+//! interpreted reference backend [`Sim`].
 //!
 //! Evaluation exploits the arena's topological order: one linear pass
-//! settles all combinational logic, then [`Sim::step`] latches every DFF.
-//! Toggle counts accumulate per net and feed the dynamic-power model in the
-//! `flexic` crate (the paper's power numbers are activity-based).
+//! settles all combinational logic, then [`SimBackend::step`] latches every
+//! DFF. Toggle counts accumulate per net and feed the dynamic-power model
+//! in the `flexic` crate (the paper's power numbers are activity-based).
+//!
+//! Two backends implement the trait:
+//! * [`Sim`] — the one-gate-at-a-time interpreter below, single-lane;
+//! * [`crate::compiled::CompiledSim`] — a compiled op-stream backend that
+//!   evaluates up to 64 stimulus lanes per pass (`u64` bit-vector per net).
 
 use crate::{Gate, NetId, Netlist};
 
-/// Simulator for one netlist (owns a copy of the structure).
+/// A gate-level simulation engine over one [`Netlist`].
+///
+/// A backend owns per-net values, DFF state, and switching-activity
+/// counters. Backends may evaluate several independent stimulus *lanes* per
+/// pass; lane 0 is the scalar view, and the single-lane entry points
+/// ([`SimBackend::set_bus_u64`], [`SimBackend::get_bus_u64`], …) drive and
+/// read lane 0 while broadcasting writes to every lane, so scalar callers
+/// behave identically on every backend.
+pub trait SimBackend {
+    /// The simulated netlist.
+    fn netlist(&self) -> &Netlist;
+
+    /// Number of independent stimulus lanes evaluated per pass.
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    /// Drives the named input port with the low bits of `value` on every
+    /// lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    fn set_bus_u64(&mut self, port: &str, value: u64);
+
+    /// Drives one lane of the named input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or `lane >= lanes()`.
+    fn set_bus_lane(&mut self, port: &str, lane: usize, value: u64);
+
+    /// Drives the named input port with the low bits of `value` (all lanes).
+    fn set_bus(&mut self, port: &str, value: u32) {
+        self.set_bus_u64(port, value as u64);
+    }
+
+    /// Settles all combinational logic for the current inputs and FF state.
+    fn eval(&mut self);
+
+    /// Clock edge: latches every DFF's `d` into its state. Call after
+    /// [`SimBackend::eval`] has settled the cycle's logic.
+    fn step(&mut self);
+
+    /// Reads a single net's settled value on one lane.
+    fn get_lane(&self, net: NetId, lane: usize) -> bool;
+
+    /// Reads a single net's settled value (lane 0).
+    fn get(&self, net: NetId) -> bool {
+        self.get_lane(net, 0)
+    }
+
+    /// Reads up to 64 bits of the named output port on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    fn get_bus_lane(&self, port: &str, lane: usize) -> u64;
+
+    /// Reads up to 64 bits of the named output port (lane 0).
+    fn get_bus_u64(&self, port: &str) -> u64 {
+        self.get_bus_lane(port, 0)
+    }
+
+    /// Reads up to 32 bits of the named output port (lane 0).
+    fn get_bus(&self, port: &str) -> u32 {
+        self.get_bus_u64(port) as u32
+    }
+
+    /// Forces the stored state of a DFF on every lane (e.g. a reset PC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a DFF.
+    fn set_ff(&mut self, net: NetId, value: bool);
+
+    /// Total toggles per net since construction, summed over active lanes.
+    fn toggles(&self) -> &[u64];
+
+    /// Clock cycles stepped so far.
+    fn cycles(&self) -> u64;
+
+    /// Average switching activity (toggles per gate per cycle per lane) —
+    /// the α factor of the dynamic power model.
+    fn average_activity(&self) -> f64 {
+        let (cycles, toggles) = (self.cycles(), self.toggles());
+        if cycles == 0 || toggles.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = toggles.iter().sum();
+        total as f64 / (toggles.len() as f64 * cycles as f64 * self.lanes() as f64)
+    }
+}
+
+/// Interpreted simulator for one netlist (owns a copy of the structure).
 #[derive(Debug, Clone)]
 pub struct Sim {
     netlist: Netlist,
@@ -16,6 +116,7 @@ pub struct Sim {
     input_values: Vec<bool>,
     toggles: Vec<u64>,
     cycles: u64,
+    primed: bool,
 }
 
 impl Sim {
@@ -36,6 +137,7 @@ impl Sim {
             input_values: vec![false; input_count],
             toggles: vec![0; netlist.len()],
             cycles: 0,
+            primed: false,
             netlist: netlist.clone(),
         }
     }
@@ -98,6 +200,14 @@ impl Sim {
                 self.toggles[id] += 1;
                 self.values[id] = v;
             }
+        }
+        if !self.primed {
+            // The all-false reset state is arbitrary, so the transitions of
+            // the very first settle are initialization, not switching —
+            // counting them would skew `average_activity` and every power
+            // number derived from it.
+            self.toggles.iter_mut().for_each(|t| *t = 0);
+            self.primed = true;
         }
     }
 
@@ -191,6 +301,55 @@ impl Sim {
     }
 }
 
+impl SimBackend for Sim {
+    fn netlist(&self) -> &Netlist {
+        Sim::netlist(self)
+    }
+
+    fn set_bus_u64(&mut self, port: &str, value: u64) {
+        Sim::set_bus_u64(self, port, value);
+    }
+
+    fn set_bus_lane(&mut self, port: &str, lane: usize, value: u64) {
+        assert_eq!(lane, 0, "interpreted backend has a single lane");
+        Sim::set_bus_u64(self, port, value);
+    }
+
+    fn eval(&mut self) {
+        Sim::eval(self);
+    }
+
+    fn step(&mut self) {
+        Sim::step(self);
+    }
+
+    fn get_lane(&self, net: NetId, lane: usize) -> bool {
+        assert_eq!(lane, 0, "interpreted backend has a single lane");
+        Sim::get(self, net)
+    }
+
+    fn get_bus_lane(&self, port: &str, lane: usize) -> u64 {
+        assert_eq!(lane, 0, "interpreted backend has a single lane");
+        Sim::get_bus_u64(self, port)
+    }
+
+    fn set_ff(&mut self, net: NetId, value: bool) {
+        Sim::set_ff(self, net, value);
+    }
+
+    fn toggles(&self) -> &[u64] {
+        Sim::toggles(self)
+    }
+
+    fn cycles(&self) -> u64 {
+        Sim::cycles(self)
+    }
+
+    fn average_activity(&self) -> f64 {
+        Sim::average_activity(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +394,28 @@ mod tests {
     }
 
     #[test]
+    fn first_eval_does_not_count_reset_transients() {
+        // Regression: `values` starts all-false, so the first settle used to
+        // count initialization as switching and skew average_activity().
+        let mut b = Builder::new();
+        let x = b.input("x");
+        let nx = b.not(x); // settles to 1 on the first eval
+        let one = b.one(); // Const(true): 0 -> 1 on the first eval
+        let y = b.and(nx, one);
+        b.output("y", y);
+        let nl = b.finish();
+        let mut sim = Sim::new(&nl);
+        for _ in 0..10 {
+            sim.set_bus("x", 0);
+            sim.eval();
+            sim.step();
+        }
+        // Constant stimulus: zero genuine switching over 10 cycles.
+        assert_eq!(sim.toggles().iter().sum::<u64>(), 0);
+        assert_eq!(sim.average_activity(), 0.0);
+    }
+
+    #[test]
     fn evaluate_once_helper() {
         let mut b = Builder::new();
         let x = b.input_bus("x", 8);
@@ -242,6 +423,9 @@ mod tests {
         let z = crate::bus::xor(&mut b, &x, &y);
         b.output_bus("z", &z);
         let nl = b.finish();
-        assert_eq!(Sim::evaluate_once(&nl, &[("x", 0xf0), ("y", 0x3c)], "z"), 0xcc);
+        assert_eq!(
+            Sim::evaluate_once(&nl, &[("x", 0xf0), ("y", 0x3c)], "z"),
+            0xcc
+        );
     }
 }

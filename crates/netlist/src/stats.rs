@@ -71,7 +71,14 @@ impl GateCounts {
 
     /// Total gates with non-zero area.
     pub fn logic_gates(&self) -> usize {
-        self.not + self.and + self.or + self.xor + self.nand + self.nor + self.xnor + self.mux
+        self.not
+            + self.and
+            + self.or
+            + self.xor
+            + self.nand
+            + self.nor
+            + self.xnor
+            + self.mux
             + self.dff
     }
 

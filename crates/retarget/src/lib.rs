@@ -66,7 +66,10 @@ impl std::fmt::Display for RetargetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RetargetError::NoValidMacro { mnemonic, attempts } => {
-                write!(f, "no valid macro for `{mnemonic}` after {attempts} attempts")
+                write!(
+                    f,
+                    "no valid macro for `{mnemonic}` after {attempts} attempts"
+                )
             }
             RetargetError::ReservedRegister(i) => {
                 write!(f, "instruction `{i}` uses reserved scratch registers")
@@ -126,7 +129,12 @@ impl Retargeter {
     /// Creates a tool targeting `subset`; `seed` drives the stochastic
     /// candidate generator.
     pub fn new(subset: InstructionSubset, seed: u64) -> Retargeter {
-        Retargeter { subset, seed, macro_cache: BTreeMap::new(), site_counter: 0 }
+        Retargeter {
+            subset,
+            seed,
+            macro_cache: BTreeMap::new(),
+            site_counter: 0,
+        }
     }
 
     /// The target subset.
@@ -141,8 +149,11 @@ impl Retargeter {
     ///
     /// See [`RetargetError`].
     pub fn retarget(&mut self, items: &[Item]) -> Result<RetargetReport, RetargetError> {
-        let bytes_before =
-            items.iter().filter(|i| !matches!(i, Item::Label(_))).count() * 4;
+        let bytes_before = items
+            .iter()
+            .filter(|i| !matches!(i, Item::Label(_)))
+            .count()
+            * 4;
         let mut out: Vec<Item> = Vec::new();
         let mut expanded_sites = 0;
         let mut attempts: BTreeMap<Mnemonic, usize> = BTreeMap::new();
@@ -197,13 +208,18 @@ impl Retargeter {
         for idx in order {
             tried += 1;
             let text = macros::instantiate(candidates[idx], ai, site);
-            let Ok(parsed) = riscv_isa::asm::parse(&text) else { continue };
+            let Ok(parsed) = riscv_isa::asm::parse(&text) else {
+                continue;
+            };
             if verify_expansion(ai, &parsed, 96, self.seed ^ site as u64).is_ok() {
                 self.macro_cache.insert(ai.mnemonic, idx);
                 return Ok((parsed, tried));
             }
         }
-        Err(RetargetError::NoValidMacro { mnemonic: ai.mnemonic, attempts: tried })
+        Err(RetargetError::NoValidMacro {
+            mnemonic: ai.mnemonic,
+            attempts: tried,
+        })
     }
 }
 

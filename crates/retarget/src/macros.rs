@@ -191,12 +191,16 @@ mod tests {
             };
             for (i, t) in candidates(m).iter().enumerate() {
                 let text = instantiate(t, &ai, 1);
-                let parsed = asm::parse(&text)
-                    .unwrap_or_else(|e| panic!("{m} candidate {i}: {e}\n{text}"));
+                let parsed =
+                    asm::parse(&text).unwrap_or_else(|e| panic!("{m} candidate {i}: {e}\n{text}"));
                 // Expansions must only use subset instructions.
                 for item in &parsed {
                     if let riscv_isa::asm::Item::Instr(x) = item {
-                        assert!(subset.contains(x.mnemonic), "{m} candidate {i} uses {}", x.mnemonic);
+                        assert!(
+                            subset.contains(x.mnemonic),
+                            "{m} candidate {i} uses {}",
+                            x.mnemonic
+                        );
                     }
                 }
             }

@@ -84,8 +84,10 @@ pub fn verify_expansion(
     prog.push(Item::Label("__verify_taken".into()));
     prog.push(Item::Word(0x0000_0013));
 
-    let resolved = riscv_isa::asm::assemble(&prog, BASE)
-        .map_err(|e| VerifyFailure { reason: format!("assembly: {e}"), regs: [0; REG_COUNT] })?;
+    let resolved = riscv_isa::asm::assemble(&prog, BASE).map_err(|e| VerifyFailure {
+        reason: format!("assembly: {e}"),
+        regs: [0; REG_COUNT],
+    })?;
     let n_words = resolved.len() as u32;
     let taken_addr = BASE + (n_words - 1) * 4;
     let fall_addr = taken_addr - 4;
@@ -108,7 +110,15 @@ pub fn verify_expansion(
     // instruction.
     let instr = Instruction::decode(instr.encode()).expect("canonical encoding");
 
-    let corner = [0u32, 1, 2, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff, 0xabcd_0123];
+    let corner = [
+        0u32,
+        1,
+        2,
+        0x7fff_ffff,
+        0x8000_0000,
+        0xffff_ffff,
+        0xabcd_0123,
+    ];
     let mut state = seed | 1;
     for k in 0..samples {
         let mut regs = [0u32; REG_COUNT];
@@ -170,14 +180,19 @@ pub fn verify_expansion(
             }
         }
         let Some(landed) = landed else {
-            return Err(VerifyFailure { reason: "expansion did not terminate".into(), regs });
+            return Err(VerifyFailure {
+                reason: "expansion did not terminate".into(),
+                regs,
+            });
         };
 
         // Control-flow outcome.
         let dut_taken = landed == taken_addr;
         if dut_taken != golden_taken {
             return Err(VerifyFailure {
-                reason: format!("branch outcome: golden taken={golden_taken}, macro taken={dut_taken}"),
+                reason: format!(
+                    "branch outcome: golden taken={golden_taken}, macro taken={dut_taken}"
+                ),
                 regs,
             });
         }
@@ -200,7 +215,7 @@ pub fn verify_expansion(
         // Memory effect at the access word (and the scratch exemption).
         let golden_word = golden_mem.load_word(access_addr & !3);
         let dut_word = emu.memory().load_word(access_addr & !3);
-        let in_scratch = access_addr >= SP_VALUE - SCRATCH_BYTES && access_addr < SP_VALUE;
+        let in_scratch = (SP_VALUE - SCRATCH_BYTES..SP_VALUE).contains(&access_addr);
         let in_code = (BASE..BASE + n_words * 4).contains(&(access_addr & !3));
         if is_mem && !in_scratch && !in_code && dut_word != golden_word {
             return Err(VerifyFailure {
@@ -222,7 +237,13 @@ mod tests {
     use riscv_isa::{Mnemonic, Reg};
 
     fn site(m: Mnemonic, rd: Reg, rs1: Reg, rs2: Reg, target: Target) -> AsmInstr {
-        AsmInstr { mnemonic: m, rd, rs1, rs2, target }
+        AsmInstr {
+            mnemonic: m,
+            rd,
+            rs1,
+            rs2,
+            target,
+        }
     }
 
     #[test]

@@ -92,7 +92,12 @@ impl ServTiming {
     /// # Errors
     ///
     /// Propagates emulator faults (invalid instructions).
-    pub fn run(&self, code: &[u32], data: &[(u32, Vec<u32>)], max_instructions: u64) -> Result<ServRun, EmuError> {
+    pub fn run(
+        &self,
+        code: &[u32],
+        data: &[(u32, Vec<u32>)],
+        max_instructions: u64,
+    ) -> Result<ServRun, EmuError> {
         let mut emu = Emulator::new();
         emu.load_words(0, code);
         for (base, words) in data {
@@ -103,7 +108,8 @@ impl ServTiming {
         for _ in 0..max_instructions {
             let pc = emu.state().pc;
             let word = emu.memory().load_word(pc);
-            let instr = Instruction::decode(word).map_err(|cause| EmuError::Decode { pc, cause })?;
+            let instr =
+                Instruction::decode(word).map_err(|cause| EmuError::Decode { pc, cause })?;
             let halted = emu.step()?;
             if halted {
                 break;
@@ -111,7 +117,10 @@ impl ServTiming {
             cycles += cycles_for(&instr);
             instructions += 1;
         }
-        Ok(ServRun { cycles, instructions })
+        Ok(ServRun {
+            cycles,
+            instructions,
+        })
     }
 
     /// Convenience: run and assert the program halted, returning the CPI.
@@ -126,7 +135,11 @@ impl ServTiming {
             emu.load_words(*base, words);
         }
         let summary = emu.run(80_000_000).expect("serv workload must execute");
-        assert_eq!(summary.halt, HaltReason::SelfLoop, "serv workload must halt");
+        assert_eq!(
+            summary.halt,
+            HaltReason::SelfLoop,
+            "serv workload must halt"
+        );
         let run = self
             .run(code, data, summary.retired + 10)
             .expect("serv timing run");

@@ -13,7 +13,11 @@ use xcc::ast::build::*;
 use xcc::ast::{BinOp, DataObject, Function, Program};
 
 fn w(name: &'static str, program: Program) -> Workload {
-    Workload { name, category: Category::ExtremeEdge, program }
+    Workload {
+        name,
+        category: Category::ExtremeEdge,
+        program,
+    }
 }
 
 /// `armpit`: two depth-3 decision trees over 8 odour-sensor features,
@@ -50,17 +54,41 @@ pub fn armpit() -> Workload {
     let tree = |leaf_bias: i32| -> Vec<u32> {
         // Seven nodes: a full depth-3 tree.  Encoded as i32 words.
         let nodes: Vec<i32> = vec![
-            0, 120, 1, 2, // node 0: feat0 < 120 ?
-            2, 80, 3, 4, // node 1
-            5, 200, 5, 6, // node 2
-            -1, leaf_bias, 0, 0, // node 3 (leaf)
-            -1, leaf_bias + 1, 0, 0, // node 4
-            -1, leaf_bias + 2, 0, 0, // node 5
-            -1, leaf_bias + 3, 0, 0, // node 6
+            0,
+            120,
+            1,
+            2, // node 0: feat0 < 120 ?
+            2,
+            80,
+            3,
+            4, // node 1
+            5,
+            200,
+            5,
+            6, // node 2
+            -1,
+            leaf_bias,
+            0,
+            0, // node 3 (leaf)
+            -1,
+            leaf_bias + 1,
+            0,
+            0, // node 4
+            -1,
+            leaf_bias + 2,
+            0,
+            0, // node 5
+            -1,
+            leaf_bias + 3,
+            0,
+            0, // node 6
         ];
         nodes.into_iter().map(|x| x as u32).collect()
     };
-    let sensors: Vec<u32> = crate::lcg_words(0xa9a9, 64).iter().map(|x| x % 256).collect();
+    let sensors: Vec<u32> = crate::lcg_words(0xa9a9, 64)
+        .iter()
+        .map(|x| x % 256)
+        .collect();
     let main = Function {
         name: "main",
         params: 0,
@@ -91,12 +119,30 @@ pub fn armpit() -> Workload {
         ],
     };
     let data = vec![
-        DataObject { name: "ap_raw", words: sensors },
-        DataObject { name: "ap_feat", words: vec![0; 8] },
-        DataObject { name: "ap_tree_m", words: tree(0) },
-        DataObject { name: "ap_tree_f", words: tree(4) },
+        DataObject {
+            name: "ap_raw",
+            words: sensors,
+        },
+        DataObject {
+            name: "ap_feat",
+            words: vec![0; 8],
+        },
+        DataObject {
+            name: "ap_tree_m",
+            words: tree(0),
+        },
+        DataObject {
+            name: "ap_tree_f",
+            words: tree(4),
+        },
     ];
-    w("armpit", Program { functions: vec![classify, main], data })
+    w(
+        "armpit",
+        Program {
+            functions: vec![classify, main],
+            data,
+        },
+    )
 }
 
 /// `xgboost`: a boosted decision-stump ensemble over the Pima diabetes
@@ -150,11 +196,38 @@ pub fn xgboost() -> Workload {
                         c(0),
                         c(12),
                         vec![
-                            set(3, lw(add(ga("xg_p"), shl(add(shl(v(0), c(3)), lw(add(ga("xg_s"), shl(shl(v(1), c(2)), c(2))))), c(2))))),
+                            set(
+                                3,
+                                lw(add(
+                                    ga("xg_p"),
+                                    shl(
+                                        add(
+                                            shl(v(0), c(3)),
+                                            lw(add(ga("xg_s"), shl(shl(v(1), c(2)), c(2)))),
+                                        ),
+                                        c(2),
+                                    ),
+                                )),
+                            ),
                             if_else(
-                                lt(v(3), lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(4))))),
-                                vec![set(2, add(v(2), lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(8))))))],
-                                vec![set(2, add(v(2), lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(12))))))],
+                                lt(
+                                    v(3),
+                                    lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(4)))),
+                                ),
+                                vec![set(
+                                    2,
+                                    add(
+                                        v(2),
+                                        lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(8)))),
+                                    ),
+                                )],
+                                vec![set(
+                                    2,
+                                    add(
+                                        v(2),
+                                        lw(add(ga("xg_s"), add(shl(shl(v(1), c(2)), c(2)), c(12)))),
+                                    ),
+                                )],
                             ),
                         ],
                     ),
@@ -167,10 +240,22 @@ pub fn xgboost() -> Workload {
         ],
     };
     let data = vec![
-        DataObject { name: "xg_s", words: stumps.into_iter().map(|x| x as u32).collect() },
-        DataObject { name: "xg_p", words: patients },
+        DataObject {
+            name: "xg_s",
+            words: stumps.into_iter().map(|x| x as u32).collect(),
+        },
+        DataObject {
+            name: "xg_p",
+            words: patients,
+        },
     ];
-    w("xgboost", Program { functions: vec![main], data })
+    w(
+        "xgboost",
+        Program {
+            functions: vec![main],
+            data,
+        },
+    )
 }
 
 /// `af_detect`: the APPT pipeline — R-peak detection on a synthetic ECG,
@@ -219,8 +304,16 @@ pub fn af_detect() -> Workload {
                         and(
                             bin(BinOp::GtS, v(1), c(100)),
                             and(
-                                bin(BinOp::GeS, v(1), lw(add(ga("af_ecg"), shl(sub(v(0), c(1)), c(2))))),
-                                bin(BinOp::GtS, v(1), lw(add(ga("af_ecg"), shl(add(v(0), c(1)), c(2))))),
+                                bin(
+                                    BinOp::GeS,
+                                    v(1),
+                                    lw(add(ga("af_ecg"), shl(sub(v(0), c(1)), c(2)))),
+                                ),
+                                bin(
+                                    BinOp::GtS,
+                                    v(1),
+                                    lw(add(ga("af_ecg"), shl(add(v(0), c(1)), c(2)))),
+                                ),
                             ),
                         ),
                         vec![
@@ -239,10 +332,16 @@ pub fn af_detect() -> Workload {
                                             set(9, and(v(6), c(31))),
                                             sw(
                                                 add(ga("af_bloom"), shl(v(8), c(2))),
-                                                or(lw(add(ga("af_bloom"), shl(v(8), c(2)))), shl(c(1), v(9))),
+                                                or(
+                                                    lw(add(ga("af_bloom"), shl(v(8), c(2)))),
+                                                    shl(c(1), v(9)),
+                                                ),
                                             ),
                                             // Irregular rhythm votes for AF.
-                                            if_(bin(BinOp::GtS, v(5), c(6)), vec![set(7, add(v(7), c(1)))]),
+                                            if_(
+                                                bin(BinOp::GtS, v(5), c(6)),
+                                                vec![set(7, add(v(7), c(1)))],
+                                            ),
                                         ],
                                     ),
                                     set(4, v(3)),
@@ -255,15 +354,35 @@ pub fn af_detect() -> Workload {
             ),
             // Decision: AF if enough irregular intervals; fold bloom words.
             set(6, c(0)),
-            for_(0, c(0), c(4), vec![set(6, xor(v(6), lw(add(ga("af_bloom"), shl(v(0), c(2))))))]),
-            ret(add(shl(v(7), c(16)), xor(v(6), bin(BinOp::GtS, v(7), c(3))))),
+            for_(
+                0,
+                c(0),
+                c(4),
+                vec![set(6, xor(v(6), lw(add(ga("af_bloom"), shl(v(0), c(2))))))],
+            ),
+            ret(add(
+                shl(v(7), c(16)),
+                xor(v(6), bin(BinOp::GtS, v(7), c(3))),
+            )),
         ],
     };
     let data = vec![
-        DataObject { name: "af_ecg", words: ecg },
-        DataObject { name: "af_bloom", words: vec![0; 4] },
+        DataObject {
+            name: "af_ecg",
+            words: ecg,
+        },
+        DataObject {
+            name: "af_bloom",
+            words: vec![0; 4],
+        },
     ];
-    w("af_detect", Program { functions: vec![bloom_hash, main], data })
+    w(
+        "af_detect",
+        Program {
+            functions: vec![bloom_hash, main],
+            data,
+        },
+    )
 }
 
 /// The three extreme-edge applications.

@@ -9,7 +9,11 @@ use xcc::ast::build::*;
 use xcc::ast::{BinOp, DataObject, Function, Program};
 
 fn w(name: &'static str, program: Program) -> Workload {
-    Workload { name, category: Category::Embench, program }
+    Workload {
+        name,
+        category: Category::Embench,
+        program,
+    }
 }
 
 /// Packs signed 16-bit samples into little-endian words.
@@ -47,7 +51,13 @@ pub fn aha_mont64() -> Workload {
             ret(v(2)),
         ],
     };
-    w("aha-mont64", Program { functions: vec![main], data: vec![] })
+    w(
+        "aha-mont64",
+        Program {
+            functions: vec![main],
+            data: vec![],
+        },
+    )
 }
 
 /// `crc32`: bitwise CRC-32 over a 64-byte buffer.
@@ -80,8 +90,17 @@ pub fn crc32() -> Workload {
             ret(xor(v(0), c(-1))),
         ],
     };
-    let data = vec![DataObject { name: "crcbuf", words: lcg_words(0xc3c3, 16) }];
-    w("crc32", Program { functions: vec![main], data })
+    let data = vec![DataObject {
+        name: "crcbuf",
+        words: lcg_words(0xc3c3, 16),
+    }];
+    w(
+        "crc32",
+        Program {
+            functions: vec![main],
+            data,
+        },
+    )
 }
 
 /// `cubic`: fixed-point (Q8) Newton iteration for cube roots.
@@ -121,14 +140,22 @@ pub fn cubic() -> Workload {
             ret(v(0)),
         ],
     };
-    w("cubic", Program { functions: vec![main], data: vec![] })
+    w(
+        "cubic",
+        Program {
+            functions: vec![main],
+            data: vec![],
+        },
+    )
 }
 
 /// `edn`: FIR filter over a 16-bit signal (halfword memory traffic).
 pub fn edn() -> Workload {
     // locals: 0=n 1=k 2=acc 3=x 4=c 5=sum
     let taps: Vec<i16> = vec![3, -5, 7, 11, -13, 17, 19, -23];
-    let signal: Vec<i16> = (0..64).map(|i| ((i * 37 + 11) % 251 - 125) as i16).collect();
+    let signal: Vec<i16> = (0..64)
+        .map(|i| ((i * 37 + 11) % 251 - 125) as i16)
+        .collect();
     let main = Function {
         name: "main",
         params: 0,
@@ -159,11 +186,26 @@ pub fn edn() -> Workload {
         ],
     };
     let data = vec![
-        DataObject { name: "edn_x", words: pack_halfwords(&signal) },
-        DataObject { name: "edn_c", words: pack_halfwords(&taps) },
-        DataObject { name: "edn_y", words: vec![0; 32] },
+        DataObject {
+            name: "edn_x",
+            words: pack_halfwords(&signal),
+        },
+        DataObject {
+            name: "edn_c",
+            words: pack_halfwords(&taps),
+        },
+        DataObject {
+            name: "edn_y",
+            words: vec![0; 32],
+        },
     ];
-    w("edn", Program { functions: vec![main], data })
+    w(
+        "edn",
+        Program {
+            functions: vec![main],
+            data,
+        },
+    )
 }
 
 /// `huffbench`: frequency counting and prefix-style bit packing.
@@ -175,7 +217,12 @@ pub fn huffbench() -> Workload {
         locals: 6,
         body: vec![
             // Count nibble frequencies into freq[16].
-            for_(0, c(0), c(16), vec![sw(add(ga("hfreq"), shl(v(0), c(2))), c(0))]),
+            for_(
+                0,
+                c(0),
+                c(16),
+                vec![sw(add(ga("hfreq"), shl(v(0), c(2))), c(0))],
+            ),
             for_(
                 0,
                 c(0),
@@ -211,10 +258,22 @@ pub fn huffbench() -> Workload {
         ],
     };
     let data = vec![
-        DataObject { name: "hbuf", words: lcg_words(0x4f4f, 24) },
-        DataObject { name: "hfreq", words: vec![0; 16] },
+        DataObject {
+            name: "hbuf",
+            words: lcg_words(0x4f4f, 24),
+        },
+        DataObject {
+            name: "hfreq",
+            words: vec![0; 16],
+        },
     ];
-    w("huffbench", Program { functions: vec![main], data })
+    w(
+        "huffbench",
+        Program {
+            functions: vec![main],
+            data,
+        },
+    )
 }
 
 /// `matmult-int`: 8×8 integer matrix multiplication.
@@ -260,11 +319,26 @@ pub fn matmult_int() -> Workload {
         ],
     };
     let data = vec![
-        DataObject { name: "mma", words: a },
-        DataObject { name: "mmb", words: b },
-        DataObject { name: "mmc", words: vec![0; 64] },
+        DataObject {
+            name: "mma",
+            words: a,
+        },
+        DataObject {
+            name: "mmb",
+            words: b,
+        },
+        DataObject {
+            name: "mmc",
+            words: vec![0; 64],
+        },
     ];
-    w("matmult-int", Program { functions: vec![main], data })
+    w(
+        "matmult-int",
+        Program {
+            functions: vec![main],
+            data,
+        },
+    )
 }
 
 /// `md5sum`: MD5-style mixing rounds over a 16-word block.
@@ -291,7 +365,10 @@ pub fn md5sum() -> Workload {
                     set(6, lw(add(ga("md5w"), shl(and(v(4), c(15)), c(2))))),
                     set(
                         7,
-                        add(add(v(0), v(5)), add(v(6), lw(add(ga("md5k"), shl(and(v(4), c(15)), c(2)))))),
+                        add(
+                            add(v(0), v(5)),
+                            add(v(6), lw(add(ga("md5k"), shl(and(v(4), c(15)), c(2))))),
+                        ),
                     ),
                     // a = b + rotl(tmp, 7)
                     set(0, add(v(1), or(shl(v(7), c(7)), shr(v(7), c(25))))),
@@ -307,10 +384,22 @@ pub fn md5sum() -> Workload {
         ],
     };
     let data = vec![
-        DataObject { name: "md5w", words: block },
-        DataObject { name: "md5k", words: k },
+        DataObject {
+            name: "md5w",
+            words: block,
+        },
+        DataObject {
+            name: "md5k",
+            words: k,
+        },
     ];
-    w("md5sum", Program { functions: vec![main], data })
+    w(
+        "md5sum",
+        Program {
+            functions: vec![main],
+            data,
+        },
+    )
 }
 
 /// `minver`: 3×3 fixed-point (Q8) matrix inversion via the adjugate.
@@ -360,8 +449,17 @@ pub fn minver() -> Workload {
         .iter()
         .map(|&x| x as u32)
         .collect();
-    let data = vec![DataObject { name: "mv_m", words: mat }];
-    w("minver", Program { functions: vec![det2, main], data })
+    let data = vec![DataObject {
+        name: "mv_m",
+        words: mat,
+    }];
+    w(
+        "minver",
+        Program {
+            functions: vec![det2, main],
+            data,
+        },
+    )
 }
 
 /// `nbody`: fixed-point gravitational toy integrator (no multiplies,
@@ -410,16 +508,38 @@ pub fn nbody() -> Workload {
                 ],
             ),
             set(5, c(0)),
-            for_(1, c(0), c(3), vec![set(5, add(v(5), lw(idx("nb_p", v(1)))))]),
-            for_(1, c(0), c(3), vec![set(5, xor(v(5), lw(idx("nb_v", v(1)))))]),
+            for_(
+                1,
+                c(0),
+                c(3),
+                vec![set(5, add(v(5), lw(idx("nb_p", v(1)))))],
+            ),
+            for_(
+                1,
+                c(0),
+                c(3),
+                vec![set(5, xor(v(5), lw(idx("nb_v", v(1)))))],
+            ),
             ret(v(5)),
         ],
     };
     let data = vec![
-        DataObject { name: "nb_p", words: pos },
-        DataObject { name: "nb_v", words: vec![0; 3] },
+        DataObject {
+            name: "nb_p",
+            words: pos,
+        },
+        DataObject {
+            name: "nb_v",
+            words: vec![0; 3],
+        },
     ];
-    w("nbody", Program { functions: vec![main], data })
+    w(
+        "nbody",
+        Program {
+            functions: vec![main],
+            data,
+        },
+    )
 }
 
 /// `nettle-aes`: S-box substitution + key mixing rounds on a 16-byte state.
@@ -477,11 +597,26 @@ pub fn nettle_aes() -> Workload {
         ],
     };
     let data = vec![
-        DataObject { name: "aes_sbox", words: sbox },
-        DataObject { name: "aes_key", words: key },
-        DataObject { name: "aes_st", words: state },
+        DataObject {
+            name: "aes_sbox",
+            words: sbox,
+        },
+        DataObject {
+            name: "aes_key",
+            words: key,
+        },
+        DataObject {
+            name: "aes_st",
+            words: state,
+        },
     ];
-    w("nettle-aes", Program { functions: vec![main], data })
+    w(
+        "nettle-aes",
+        Program {
+            functions: vec![main],
+            data,
+        },
+    )
 }
 
 /// `nettle-sha256`: the SHA-256 compression structure (24 rounds).
@@ -514,7 +649,10 @@ pub fn nettle_sha256() -> Workload {
                     set(
                         6,
                         xor(
-                            xor(call("ror32", vec![v(3), c(6)]), call("ror32", vec![v(3), c(11)])),
+                            xor(
+                                call("ror32", vec![v(3), c(6)]),
+                                call("ror32", vec![v(3), c(11)]),
+                            ),
                             call("ror32", vec![v(3), c(25)]),
                         ),
                     ),
@@ -536,10 +674,22 @@ pub fn nettle_sha256() -> Workload {
         ],
     };
     let data = vec![
-        DataObject { name: "shak", words: kconst },
-        DataObject { name: "shaw", words: wdata },
+        DataObject {
+            name: "shak",
+            words: kconst,
+        },
+        DataObject {
+            name: "shaw",
+            words: wdata,
+        },
     ];
-    w("nettle-sha256", Program { functions: vec![ror, main], data })
+    w(
+        "nettle-sha256",
+        Program {
+            functions: vec![ror, main],
+            data,
+        },
+    )
 }
 
 /// The first eleven Embench workloads, in the paper's order.

@@ -64,11 +64,20 @@ impl Workload {
     /// Panics if compilation or emulation fails, or if the program does not
     /// halt within the step budget — all indicate workload bugs.
     pub fn run_reference(&self, level: OptLevel) -> u32 {
-        let image = self.compile(level).unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        let image = self
+            .compile(level)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
         let mut emu = Emulator::new();
         image.load(&mut emu);
-        let summary = emu.run(80_000_000).unwrap_or_else(|e| panic!("{}: {e}", self.name));
-        assert_eq!(summary.halt, HaltReason::SelfLoop, "{} did not halt", self.name);
+        let summary = emu
+            .run(80_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        assert_eq!(
+            summary.halt,
+            HaltReason::SelfLoop,
+            "{} did not halt",
+            self.name
+        );
         emu.state().regs[10]
     }
 }
@@ -89,7 +98,10 @@ pub fn by_name(name: &str) -> Option<Workload> {
 
 /// The three extreme-edge applications only.
 pub fn extreme_edge() -> Vec<Workload> {
-    all().into_iter().filter(|w| w.category == Category::ExtremeEdge).collect()
+    all()
+        .into_iter()
+        .filter(|w| w.category == Category::ExtremeEdge)
+        .collect()
 }
 
 /// Deterministic pseudo-random words for workload input data (xorshift32).
@@ -153,7 +165,8 @@ mod tests {
     fn every_workload_compiles_at_every_level() {
         for w in all() {
             for level in OptLevel::ALL {
-                w.compile(level).unwrap_or_else(|e| panic!("{} {level}: {e}", w.name));
+                w.compile(level)
+                    .unwrap_or_else(|e| panic!("{} {level}: {e}", w.name));
             }
         }
     }

@@ -297,27 +297,47 @@ pub mod build {
 
     /// Word load.
     pub fn lw(addr: Expr) -> Expr {
-        Expr::Load { width: Width::Word, signed: false, addr: Box::new(addr) }
+        Expr::Load {
+            width: Width::Word,
+            signed: false,
+            addr: Box::new(addr),
+        }
     }
 
     /// Unsigned byte load.
     pub fn lbu(addr: Expr) -> Expr {
-        Expr::Load { width: Width::Byte, signed: false, addr: Box::new(addr) }
+        Expr::Load {
+            width: Width::Byte,
+            signed: false,
+            addr: Box::new(addr),
+        }
     }
 
     /// Signed byte load.
     pub fn lb(addr: Expr) -> Expr {
-        Expr::Load { width: Width::Byte, signed: true, addr: Box::new(addr) }
+        Expr::Load {
+            width: Width::Byte,
+            signed: true,
+            addr: Box::new(addr),
+        }
     }
 
     /// Unsigned halfword load.
     pub fn lhu(addr: Expr) -> Expr {
-        Expr::Load { width: Width::Half, signed: false, addr: Box::new(addr) }
+        Expr::Load {
+            width: Width::Half,
+            signed: false,
+            addr: Box::new(addr),
+        }
     }
 
     /// Signed halfword load.
     pub fn lh(addr: Expr) -> Expr {
-        Expr::Load { width: Width::Half, signed: true, addr: Box::new(addr) }
+        Expr::Load {
+            width: Width::Half,
+            signed: true,
+            addr: Box::new(addr),
+        }
     }
 
     /// Call expression.
@@ -327,17 +347,29 @@ pub mod build {
 
     /// Word store statement.
     pub fn sw(addr: Expr, value: Expr) -> Stmt {
-        Stmt::Store { width: Width::Word, addr, value }
+        Stmt::Store {
+            width: Width::Word,
+            addr,
+            value,
+        }
     }
 
     /// Byte store statement.
     pub fn sb(addr: Expr, value: Expr) -> Stmt {
-        Stmt::Store { width: Width::Byte, addr, value }
+        Stmt::Store {
+            width: Width::Byte,
+            addr,
+            value,
+        }
     }
 
     /// Halfword store statement.
     pub fn sh(addr: Expr, value: Expr) -> Stmt {
-        Stmt::Store { width: Width::Half, addr, value }
+        Stmt::Store {
+            width: Width::Half,
+            addr,
+            value,
+        }
     }
 
     /// Assignment statement.
@@ -347,12 +379,20 @@ pub mod build {
 
     /// If-then statement.
     pub fn if_(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
-        Stmt::If { cond, then_body, else_body: vec![] }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body: vec![],
+        }
     }
 
     /// If-then-else statement.
     pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
-        Stmt::If { cond, then_body, else_body }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        }
     }
 
     /// While statement.
@@ -362,7 +402,12 @@ pub mod build {
 
     /// Counted-for statement.
     pub fn for_(var: VarId, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
-        Stmt::For { var, from, to, body }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        }
     }
 
     /// Return statement.
@@ -379,15 +424,29 @@ mod tests {
     #[test]
     fn builders_construct_expected_shapes() {
         let e = add(v(0), c(1));
-        assert_eq!(e, Expr::Bin(BinOp::Add, Box::new(Expr::Var(0)), Box::new(Expr::Const(1))));
+        assert_eq!(
+            e,
+            Expr::Bin(BinOp::Add, Box::new(Expr::Var(0)), Box::new(Expr::Const(1)))
+        );
         let s = sw(ga("buf"), v(2));
-        assert!(matches!(s, Stmt::Store { width: Width::Word, .. }));
+        assert!(matches!(
+            s,
+            Stmt::Store {
+                width: Width::Word,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn program_function_lookup() {
         let p = Program {
-            functions: vec![Function { name: "main", params: 0, locals: 1, body: vec![] }],
+            functions: vec![Function {
+                name: "main",
+                params: 0,
+                locals: 1,
+                body: vec![],
+            }],
             data: vec![],
         };
         assert!(p.function("main").is_some());

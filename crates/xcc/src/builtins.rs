@@ -50,10 +50,7 @@ pub fn udivsi3() -> Function {
                     set(3, or(shl(v(3), c(1)), v(5))),
                     if_(
                         bin(BinOp::GeU, v(3), v(1)),
-                        vec![
-                            set(3, sub(v(3), v(1))),
-                            set(2, or(v(2), shl(c(1), v(4)))),
-                        ],
+                        vec![set(3, sub(v(3), v(1))), set(2, or(v(2), shl(c(1), v(4))))],
                     ),
                     set(4, sub(v(4), c(1))),
                 ],
@@ -96,8 +93,14 @@ pub fn divsi3() -> Function {
         locals: 4,
         body: vec![
             set(2, c(0)),
-            if_(lt(v(0), c(0)), vec![set(0, sub(c(0), v(0))), set(2, xor(v(2), c(1)))]),
-            if_(lt(v(1), c(0)), vec![set(1, sub(c(0), v(1))), set(2, xor(v(2), c(1)))]),
+            if_(
+                lt(v(0), c(0)),
+                vec![set(0, sub(c(0), v(0))), set(2, xor(v(2), c(1)))],
+            ),
+            if_(
+                lt(v(1), c(0)),
+                vec![set(1, sub(c(0), v(1))), set(2, xor(v(2), c(1)))],
+            ),
             set(3, call("__udivsi3", vec![v(0), v(1)])),
             if_(ne(v(2), c(0)), vec![set(3, sub(c(0), v(3)))]),
             ret(v(3)),

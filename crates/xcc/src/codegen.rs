@@ -77,23 +77,39 @@ fn lower_body(body: Vec<Stmt>) -> Vec<Stmt> {
 fn lower_stmt(s: Stmt) -> Stmt {
     match s {
         Stmt::Assign(v, e) => Stmt::Assign(v, lower_expr(e)),
-        Stmt::Store { width, addr, value } => {
-            Stmt::Store { width, addr: lower_expr(addr), value: lower_expr(value) }
-        }
-        Stmt::If { cond, then_body, else_body } => Stmt::If {
+        Stmt::Store { width, addr, value } => Stmt::Store {
+            width,
+            addr: lower_expr(addr),
+            value: lower_expr(value),
+        },
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
             cond: lower_expr(cond),
             then_body: lower_body(then_body),
             else_body: lower_body(else_body),
         },
-        Stmt::While { cond, body } => {
-            Stmt::While { cond: lower_expr(cond), body: lower_body(body) }
-        }
-        Stmt::For { var, from, to, body } => {
+        Stmt::While { cond, body } => Stmt::While {
+            cond: lower_expr(cond),
+            body: lower_body(body),
+        },
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
             // for (v = from; v < to; v++) { body }
             let mut wbody = lower_body(body);
             wbody.push(Stmt::Assign(
                 var,
-                Expr::Bin(BinOp::Add, Box::new(Expr::Var(var)), Box::new(Expr::Const(1))),
+                Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Var(var)),
+                    Box::new(Expr::Const(1)),
+                ),
             ));
             Stmt::While {
                 cond: Expr::Bin(
@@ -114,7 +130,11 @@ impl Stmt {
     /// Packs `first; self` into a no-op `If` so lowering can return a single
     /// statement.  (`if (1) { first; self }` — folded away in emission.)
     fn prefixed(self, first: Stmt) -> Stmt {
-        Stmt::If { cond: Expr::Const(1), then_body: vec![first, self], else_body: vec![] }
+        Stmt::If {
+            cond: Expr::Const(1),
+            then_body: vec![first, self],
+            else_body: vec![],
+        }
     }
 }
 
@@ -133,12 +153,16 @@ fn lower_expr(e: Expr) -> Expr {
                 _ => Expr::Bin(op, Box::new(a), Box::new(b)),
             }
         }
-        Expr::Load { width, signed, addr } => {
-            Expr::Load { width, signed, addr: Box::new(lower_expr(*addr)) }
-        }
-        Expr::Call(name, args) => {
-            Expr::Call(name, args.into_iter().map(lower_expr).collect())
-        }
+        Expr::Load {
+            width,
+            signed,
+            addr,
+        } => Expr::Load {
+            width,
+            signed,
+            addr: Box::new(lower_expr(*addr)),
+        },
+        Expr::Call(name, args) => Expr::Call(name, args.into_iter().map(lower_expr).collect()),
         other => other,
     }
 }
@@ -192,7 +216,11 @@ impl Intervals {
                     self.expr(addr);
                     self.expr(value);
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     self.expr(cond);
                     self.body(then_body);
                     self.body(else_body);
@@ -416,9 +444,7 @@ impl<'a> FnEmitter<'a> {
     /// True when evaluating `e` *as an address* leaves T0 untouched
     /// (leaf bases and `leaf + small-const` addressing forms).
     fn is_leaf_addr(&self, e: &Expr) -> bool {
-        let leaf_base = |e: &Expr| {
-            matches!(e, Expr::GlobalAddr(_)) || self.is_leaf(e)
-        };
+        let leaf_base = |e: &Expr| matches!(e, Expr::GlobalAddr(_)) || self.is_leaf(e);
         if leaf_base(e) {
             return true;
         }
@@ -464,7 +490,11 @@ impl<'a> FnEmitter<'a> {
                 Ok(Val::Scratch)
             }
             Expr::Bin(op, a, b) => self.eval_bin(*op, a, b, T0).map(|_| Val::Scratch),
-            Expr::Load { width, signed, addr } => {
+            Expr::Load {
+                width,
+                signed,
+                addr,
+            } => {
                 let (base, off) = self.eval_address(addr, T0)?;
                 let m = match (width, signed) {
                     (Width::Byte, true) => Mnemonic::Lb,
@@ -507,15 +537,12 @@ impl<'a> FnEmitter<'a> {
     }
 
     /// Emits `dest = a op b` for non-libcall operators.
-    fn eval_bin(
-        &mut self,
-        op: BinOp,
-        a: &Expr,
-        b: &Expr,
-        dest: Reg,
-    ) -> Result<(), CodegenError> {
+    fn eval_bin(&mut self, op: BinOp, a: &Expr, b: &Expr, dest: Reg) -> Result<(), CodegenError> {
         debug_assert!(
-            !matches!(op, BinOp::Mul | BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU),
+            !matches!(
+                op,
+                BinOp::Mul | BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU
+            ),
             "mul/div must be lowered to libcalls before codegen"
         );
         // Immediate forms.
@@ -748,7 +775,11 @@ impl<'a> FnEmitter<'a> {
                 self.emit(Instruction::s(m, base, data, off));
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if matches!(cond, Expr::Const(k) if *k != 0) && else_body.is_empty() {
                     // Lowering artifact: `if (1) { .. }` — emit body directly.
                     for s in then_body {
@@ -905,16 +936,28 @@ pub fn emit_function(
     em.emit(Instruction::i(Mnemonic::Addi, SP, SP, -frame));
     em.emit(Instruction::s(Mnemonic::Sw, SP, RA, frame - 4));
     for (i, r) in used_pool.iter().enumerate() {
-        em.emit(Instruction::s(Mnemonic::Sw, SP, *r, frame - 8 - 4 * i as i32));
+        em.emit(Instruction::s(
+            Mnemonic::Sw,
+            SP,
+            *r,
+            frame - 8 - 4 * i as i32,
+        ));
     }
     // Park parameters in their homes.
-    for p in 0..f.params {
+    assert!(
+        f.params <= ARG_REGS.len(),
+        "function `{}` has {} params; at most {} are supported",
+        f.name,
+        f.params,
+        ARG_REGS.len()
+    );
+    for (p, &arg) in ARG_REGS.iter().enumerate().take(f.params) {
         let home = em.homes[&p];
         match home {
-            Home::Reg(r) => em.mv(r, ARG_REGS[p]),
+            Home::Reg(r) => em.mv(r, arg),
             Home::Slot(s) => {
                 let off = em.slot_offset(s);
-                em.emit(Instruction::s(Mnemonic::Sw, SP, ARG_REGS[p], off));
+                em.emit(Instruction::s(Mnemonic::Sw, SP, arg, off));
             }
         }
     }
@@ -926,7 +969,12 @@ pub fn emit_function(
     // Epilogue.
     em.items.push(Item::label(epilogue));
     for (i, r) in used_pool.iter().enumerate() {
-        em.emit(Instruction::i(Mnemonic::Lw, *r, SP, frame - 8 - 4 * i as i32));
+        em.emit(Instruction::i(
+            Mnemonic::Lw,
+            *r,
+            SP,
+            frame - 8 - 4 * i as i32,
+        ));
     }
     em.emit(Instruction::i(Mnemonic::Lw, RA, SP, frame - 4));
     em.emit(Instruction::i(Mnemonic::Addi, SP, SP, frame));

@@ -125,6 +125,7 @@ impl CompiledProgram {
 }
 
 /// Lays out data objects from [`DATA_BASE`].
+#[allow(clippy::type_complexity)]
 fn layout_data(data: &[DataObject]) -> (HashMap<&'static str, u32>, Vec<(u32, Vec<u32>)>) {
     let mut globals = HashMap::new();
     let mut segments = Vec::new();
@@ -197,7 +198,13 @@ pub fn compile(program: &Program, level: OptLevel) -> Result<CompiledProgram, Co
         items.extend(codegen::emit_function(f, level, &globals, &function_names)?);
     }
     let words = asm::assemble(&items, CODE_BASE)?;
-    Ok(CompiledProgram { items, words, data_segments, globals, opt_level: level })
+    Ok(CompiledProgram {
+        items,
+        words,
+        data_segments,
+        globals,
+        opt_level: level,
+    })
 }
 
 #[cfg(test)]
@@ -211,14 +218,21 @@ mod tests {
         let image = compile(program, level).unwrap_or_else(|e| panic!("{level}: {e}"));
         let mut emu = Emulator::new();
         image.load(&mut emu);
-        let summary = emu.run(5_000_000).unwrap_or_else(|e| panic!("{level}: {e}"));
+        let summary = emu
+            .run(5_000_000)
+            .unwrap_or_else(|e| panic!("{level}: {e}"));
         assert_eq!(summary.halt, riscv_emu::HaltReason::SelfLoop, "{level}");
         (emu.state().regs[10], image)
     }
 
     fn main_only(locals: usize, body: Vec<Stmt>) -> Program {
         Program {
-            functions: vec![Function { name: "main", params: 0, locals, body }],
+            functions: vec![Function {
+                name: "main",
+                params: 0,
+                locals,
+                body,
+            }],
             data: vec![],
         }
     }
@@ -276,7 +290,10 @@ mod tests {
                     ret(add(v(0), v(1))),
                 ],
             }],
-            data: vec![DataObject { name: "buf", words: vec![0, 0] }],
+            data: vec![DataObject {
+                name: "buf",
+                words: vec![0, 0],
+            }],
         };
         for level in OptLevel::ALL {
             let (result, image) = run(&p, level);
@@ -314,7 +331,10 @@ mod tests {
                 ret(add(add(v(0), v(1)), v(2))),
             ],
         };
-        let p = Program { functions: vec![callee, main], data: vec![] };
+        let p = Program {
+            functions: vec![callee, main],
+            data: vec![],
+        };
         for level in OptLevel::ALL {
             let (result, _) = run(&p, level);
             assert_eq!(result, 10 + 20 + 334, "{level}");
@@ -349,11 +369,19 @@ mod tests {
             locals: 3,
             body: vec![
                 set(0, c(0)),
-                for_(1, c(0), c(8), vec![set(0, add(v(0), call("step", vec![v(1)])))]),
+                for_(
+                    1,
+                    c(0),
+                    c(8),
+                    vec![set(0, add(v(0), call("step", vec![v(1)])))],
+                ),
                 ret(v(0)),
             ],
         };
-        let p = Program { functions: vec![helper, main], data: vec![] };
+        let p = Program {
+            functions: vec![helper, main],
+            data: vec![],
+        };
         let sizes: HashMap<OptLevel, usize> = OptLevel::ALL
             .iter()
             .map(|&l| {
@@ -364,7 +392,10 @@ mod tests {
             })
             .collect();
         assert!(sizes[&OptLevel::O0] > sizes[&OptLevel::O1], "{sizes:?}");
-        assert!(sizes[&OptLevel::O3] > sizes[&OptLevel::O2], "unroll grows code: {sizes:?}");
+        assert!(
+            sizes[&OptLevel::O3] > sizes[&OptLevel::O2],
+            "unroll grows code: {sizes:?}"
+        );
         assert!(sizes[&OptLevel::Oz] <= sizes[&OptLevel::O2], "{sizes:?}");
     }
 
@@ -393,7 +424,10 @@ mod tests {
 
     #[test]
     fn missing_main_is_reported() {
-        let p = Program { functions: vec![], data: vec![] };
+        let p = Program {
+            functions: vec![],
+            data: vec![],
+        };
         assert_eq!(compile(&p, OptLevel::O1).unwrap_err(), CompileError::NoMain);
     }
 

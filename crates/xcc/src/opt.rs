@@ -31,8 +31,13 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels in Figure 5's order.
-    pub const ALL: [OptLevel; 5] =
-        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz];
+    pub const ALL: [OptLevel; 5] = [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::Oz,
+    ];
 
     /// The flag spelling used in reports (`-O0` … `-Oz`).
     pub fn flag(self) -> &'static str {
@@ -121,7 +126,11 @@ fn fold_body(body: &mut [Stmt]) {
                 fold_expr(addr);
                 fold_expr(value);
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 fold_expr(cond);
                 fold_body(then_body);
                 fold_body(else_body);
@@ -246,7 +255,11 @@ fn reduce_body(body: &mut [Stmt]) {
                 reduce_expr(addr);
                 reduce_expr(value);
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 reduce_expr(cond);
                 reduce_body(then_body);
                 reduce_body(else_body);
@@ -299,7 +312,11 @@ pub fn reduce_expr(e: &mut Expr) {
             );
         }
         BinOp::RemU if konst > 0 && (konst as u32).is_power_of_two() => {
-            *e = Expr::Bin(BinOp::And, Box::new(other), Box::new(Expr::Const(konst - 1)));
+            *e = Expr::Bin(
+                BinOp::And,
+                Box::new(other),
+                Box::new(Expr::Const(konst - 1)),
+            );
         }
         _ => {}
     }
@@ -314,7 +331,11 @@ fn mul_by_const(x: Expr, k: i32) -> Option<Expr> {
     if k == 1 {
         return Some(x);
     }
-    let (mag, negate) = if k < 0 { (k.unsigned_abs(), true) } else { (k as u32, false) };
+    let (mag, negate) = if k < 0 {
+        (k.unsigned_abs(), true)
+    } else {
+        (k as u32, false)
+    };
     let ones = mag.count_ones();
     if ones > 3 {
         return None;
@@ -325,7 +346,11 @@ fn mul_by_const(x: Expr, k: i32) -> Option<Expr> {
         if sh == 0 {
             x.clone()
         } else {
-            Expr::Bin(BinOp::Shl, Box::new(x.clone()), Box::new(Expr::Const(sh as i32)))
+            Expr::Bin(
+                BinOp::Shl,
+                Box::new(x.clone()),
+                Box::new(Expr::Const(sh as i32)),
+            )
         }
     };
     let mut acc = shifted(terms[0]);
@@ -345,9 +370,11 @@ fn mul_by_const(x: Expr, k: i32) -> Option<Expr> {
 fn stmt_count(body: &[Stmt]) -> usize {
     body.iter()
         .map(|s| match s {
-            Stmt::If { then_body, else_body, .. } => {
-                1 + stmt_count(then_body) + stmt_count(else_body)
-            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => 1 + stmt_count(then_body) + stmt_count(else_body),
             Stmt::While { body, .. } | Stmt::For { body, .. } => 1 + stmt_count(body),
             _ => 1,
         })
@@ -377,7 +404,11 @@ fn calls_in_body(body: &[Stmt], out: &mut Vec<&'static str>) {
                 expr(addr, out);
                 expr(value, out);
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 expr(cond, out);
                 calls_in_body(then_body, out);
                 calls_in_body(else_body, out);
@@ -415,7 +446,11 @@ fn inlinable(f: &Function, limit: usize) -> bool {
     fn has_return(body: &[Stmt]) -> bool {
         body.iter().any(|s| match s {
             Stmt::Return(_) => true,
-            Stmt::If { then_body, else_body, .. } => has_return(then_body) || has_return(else_body),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => has_return(then_body) || has_return(else_body),
             Stmt::While { body, .. } | Stmt::For { body, .. } => has_return(body),
             _ => false,
         })
@@ -438,10 +473,16 @@ fn remap_expr(e: &Expr, offset: usize) -> Expr {
     match e {
         Expr::Var(v) => Expr::Var(v + offset),
         Expr::Un(op, a) => Expr::Un(*op, Box::new(remap_expr(a, offset))),
-        Expr::Bin(op, a, b) => {
-            Expr::Bin(*op, Box::new(remap_expr(a, offset)), Box::new(remap_expr(b, offset)))
-        }
-        Expr::Load { width, signed, addr } => Expr::Load {
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(remap_expr(a, offset)),
+            Box::new(remap_expr(b, offset)),
+        ),
+        Expr::Load {
+            width,
+            signed,
+            addr,
+        } => Expr::Load {
             width: *width,
             signed: *signed,
             addr: Box::new(remap_expr(addr, offset)),
@@ -462,15 +503,25 @@ fn remap_body(body: &[Stmt], offset: usize) -> Vec<Stmt> {
                 addr: remap_expr(addr, offset),
                 value: remap_expr(value, offset),
             },
-            Stmt::If { cond, then_body, else_body } => Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
                 cond: remap_expr(cond, offset),
                 then_body: remap_body(then_body, offset),
                 else_body: remap_body(else_body, offset),
             },
-            Stmt::While { cond, body } => {
-                Stmt::While { cond: remap_expr(cond, offset), body: remap_body(body, offset) }
-            }
-            Stmt::For { var, from, to, body } => Stmt::For {
+            Stmt::While { cond, body } => Stmt::While {
+                cond: remap_expr(cond, offset),
+                body: remap_body(body, offset),
+            },
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => Stmt::For {
                 var: var + offset,
                 from: remap_expr(from, offset),
                 to: remap_expr(to, offset),
@@ -509,7 +560,9 @@ fn inline_body(
     let mut out = Vec::new();
     for s in body {
         match s {
-            Stmt::Assign(v, Expr::Call(name, args)) if eligible.contains_key(name) && *name != host => {
+            Stmt::Assign(v, Expr::Call(name, args))
+                if eligible.contains_key(name) && *name != host =>
+            {
                 let callee = &eligible[name];
                 out.extend(expand_call(callee, args, Some(*v), locals));
             }
@@ -517,7 +570,11 @@ fn inline_body(
                 let callee = &eligible[name];
                 out.extend(expand_call(callee, args, None, locals));
             }
-            Stmt::If { cond, then_body, else_body } => out.push(Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => out.push(Stmt::If {
                 cond: cond.clone(),
                 then_body: inline_body(then_body, eligible, locals, host),
                 else_body: inline_body(else_body, eligible, locals, host),
@@ -526,7 +583,12 @@ fn inline_body(
                 cond: cond.clone(),
                 body: inline_body(body, eligible, locals, host),
             }),
-            Stmt::For { var, from, to, body } => out.push(Stmt::For {
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => out.push(Stmt::For {
                 var: *var,
                 from: from.clone(),
                 to: to.clone(),
@@ -570,9 +632,12 @@ fn unroll_body(body: &mut Vec<Stmt>, limit: usize) {
     let mut out = Vec::with_capacity(body.len());
     for s in body.drain(..) {
         match s {
-            Stmt::For { var, from: Expr::Const(lo), to: Expr::Const(hi), mut body }
-                if hi >= lo && ((hi - lo) as usize) <= limit =>
-            {
+            Stmt::For {
+                var,
+                from: Expr::Const(lo),
+                to: Expr::Const(hi),
+                mut body,
+            } if hi >= lo && ((hi - lo) as usize) <= limit => {
                 unroll_body(&mut body, limit);
                 for i in lo..hi {
                     out.push(Stmt::Assign(var, Expr::Const(i)));
@@ -580,18 +645,36 @@ fn unroll_body(body: &mut Vec<Stmt>, limit: usize) {
                 }
                 out.push(Stmt::Assign(var, Expr::Const(hi)));
             }
-            Stmt::For { var, from, to, mut body } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                mut body,
+            } => {
                 unroll_body(&mut body, limit);
-                out.push(Stmt::For { var, from, to, body });
+                out.push(Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                });
             }
             Stmt::While { cond, mut body } => {
                 unroll_body(&mut body, limit);
                 out.push(Stmt::While { cond, body });
             }
-            Stmt::If { cond, mut then_body, mut else_body } => {
+            Stmt::If {
+                cond,
+                mut then_body,
+                mut else_body,
+            } => {
                 unroll_body(&mut then_body, limit);
                 unroll_body(&mut else_body, limit);
-                out.push(Stmt::If { cond, then_body, else_body });
+                out.push(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                });
             }
             other => out.push(other),
         }
@@ -663,10 +746,17 @@ mod tests {
             locals: 2,
             body: vec![set(0, c(21)), set(1, call("double", vec![v(0)])), ret(v(1))],
         };
-        let p = Program { functions: vec![callee, caller], data: vec![] };
+        let p = Program {
+            functions: vec![callee, caller],
+            data: vec![],
+        };
         let inlined = inline_functions(&p, 4);
         let main = inlined.function("main").unwrap();
-        assert!(calls_of(main).is_empty(), "call not inlined: {:?}", main.body);
+        assert!(
+            calls_of(main).is_empty(),
+            "call not inlined: {:?}",
+            main.body
+        );
         assert!(main.locals > 2, "callee frame not added");
     }
 
@@ -684,7 +774,10 @@ mod tests {
             locals: 1,
             body: vec![set(0, call("f", vec![c(1)]))],
         };
-        let p = Program { functions: vec![rec, caller], data: vec![] };
+        let p = Program {
+            functions: vec![rec, caller],
+            data: vec![],
+        };
         let inlined = inline_functions(&p, 100);
         assert_eq!(calls_of(inlined.function("main").unwrap()), vec!["f"]);
     }
@@ -710,7 +803,10 @@ mod tests {
             locals: 2,
             body: vec![set(0, mul(v(1), c(12)))],
         };
-        let p = Program { functions: vec![f], data: vec![] };
+        let p = Program {
+            functions: vec![f],
+            data: vec![],
+        };
         let o0 = optimize(&p, OptLevel::O0);
         assert!(matches!(
             o0.function("main").unwrap().body[0],

@@ -28,11 +28,7 @@ const SAFE_OPS: [BinOp; 12] = [
 /// A small random expression over locals 0..4 with bounded depth.
 fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
     if depth == 0 {
-        prop_oneof![
-            (-4096i32..4096).prop_map(c),
-            (0usize..4).prop_map(v),
-        ]
-        .boxed()
+        prop_oneof![(-4096i32..4096).prop_map(c), (0usize..4).prop_map(v),].boxed()
     } else {
         let sub = arb_expr(depth - 1);
         prop_oneof![
@@ -42,9 +38,7 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
                 // Mask shift amounts so behaviour is defined.
                 let op = SAFE_OPS[op];
                 match op {
-                    BinOp::Shl | BinOp::ShrU | BinOp::ShrS => {
-                        bin(op, a, and(b, c(31)))
-                    }
+                    BinOp::Shl | BinOp::ShrU | BinOp::ShrS => bin(op, a, and(b, c(31))),
                     _ => bin(op, a, b),
                 }
             }),
@@ -58,9 +52,8 @@ fn arb_body() -> impl Strategy<Value = Vec<Stmt>> {
     proptest::collection::vec(
         prop_oneof![
             ((0usize..4), arb_expr(2)).prop_map(|(var, e)| set(var, e)),
-            (arb_expr(1), (0usize..4), arb_expr(1)).prop_map(|(cond, var, e)| {
-                if_(cond, vec![set(var, e)])
-            }),
+            (arb_expr(1), (0usize..4), arb_expr(1))
+                .prop_map(|(cond, var, e)| { if_(cond, vec![set(var, e)]) }),
             // Counted loop with a small constant bound: always terminates.
             ((0i32..6), (0usize..4), arb_expr(1)).prop_map(|(n, var, e)| {
                 // Loop variable is local 4 (never used by arb_expr).

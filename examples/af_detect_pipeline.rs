@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // with the folded Bloom-filter state.
     println!(
         "APPT detector finished: checksum {checksum:#010x} → {}",
-        if checksum >> 16 > 3 { "atrial fibrillation suspected" } else { "normal rhythm" }
+        if checksum >> 16 > 3 {
+            "atrial fibrillation suspected"
+        } else {
+            "normal rhythm"
+        }
     );
 
     // FlexIC synthesis point (Figures 6–8 for this one design).

@@ -23,11 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for w in workloads::extreme_edge() {
         let image = w.compile(OptLevel::O2)?;
         let subset = InstructionSubset::from_words(&image.words);
-        println!("{:<10} uses {:>2} distinct instructions", w.name, subset.len());
+        println!(
+            "{:<10} uses {:>2} distinct instructions",
+            w.name,
+            subset.len()
+        );
         union = union.union(&subset);
         images.push((w.name, image));
     }
-    println!("domain subset: {} distinct instructions: {union}", union.len());
+    println!(
+        "domain subset: {} distinct instructions: {union}",
+        union.len()
+    );
 
     let domain = Rissp::generate(&library, &union);
     let full = Rissp::generate_full_isa(&library);

@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cpu = GateLevelCpu::new(&rissp, 0);
     cpu.load_words(0, &program);
     let cycles = cpu.run(10_000)?;
-    println!("gate-level run: {} cycles (CPI = 1), result = {}", cycles, cpu.reg(10));
+    println!(
+        "gate-level run: {} cycles (CPI = 1), result = {}",
+        cycles,
+        cpu.reg(10)
+    );
     assert_eq!(cpu.reg(10), (1..=10).map(|i| i * i).sum::<u32>());
 
     // 5. RISCOF-style check against the reference simulator.

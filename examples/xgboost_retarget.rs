@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = workloads::by_name("xgboost").expect("xgboost is built in");
     let image = workload.compile(OptLevel::O2)?;
     let before = InstructionSubset::from_words(&image.words);
-    println!("recompiled xgboost uses {} distinct instructions: {before}", before.len());
+    println!(
+        "recompiled xgboost uses {} distinct instructions: {before}",
+        before.len()
+    );
 
     let target = minimal_subset();
     println!("fabricated RISSP supports only {}: {target}", target.len());
@@ -39,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.attempts.values().max().copied().unwrap_or(0)
     );
     let after = InstructionSubset::from_words(&report.words);
-    println!("distinct instructions after retargeting: {} ({after})", after.len());
+    println!(
+        "distinct instructions after retargeting: {} ({after})",
+        after.len()
+    );
 
     // The decisive test: run the retargeted binary on the gate-level RISSP
     // that only implements the minimal subset.
@@ -62,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cycles,
         cpu.reg(10)
     );
-    assert_eq!(cpu.reg(10), emu.state().regs[10], "behaviour must be preserved");
+    assert_eq!(
+        cpu.reg(10),
+        emu.state().regs[10],
+        "behaviour must be preserved"
+    );
     println!("checksum matches the original binary — software update deployed.");
     Ok(())
 }

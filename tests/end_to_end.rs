@@ -27,7 +27,9 @@ fn extreme_edge_apps_run_on_their_risps() {
         image.load(&mut emu);
         let run = emu.run(100_000_000).unwrap();
         assert_eq!(run.halt, riscv_emu::HaltReason::SelfLoop, "{}", w.name);
-        let cycles = cpu.run(100_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let cycles = cpu
+            .run(100_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(cpu.reg(10), emu.state().regs[10], "{} checksum", w.name);
         // Single-cycle: cycles == retired instructions (+ the halting jal).
         assert_eq!(cycles, run.retired + 1, "{} CPI must be 1", w.name);
@@ -79,7 +81,10 @@ fn subset_violation_is_detected_not_misexecuted() {
     let mut cpu = GateLevelCpu::new(&rissp, 0);
     cpu.load_words(0, &foreign);
     let err = cpu.run(10).unwrap_err();
-    assert!(matches!(err, rissp::processor::ExecError::Unsupported { pc: 0, .. }), "{err}");
+    assert!(
+        matches!(err, rissp::processor::ExecError::Unsupported { pc: 0, .. }),
+        "{err}"
+    );
 }
 
 /// The full evaluation relationships of §4.2 hold on freshly generated

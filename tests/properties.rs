@@ -10,8 +10,14 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 }
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    (0usize..ALL_MNEMONICS.len(), arb_reg(), arb_reg(), arb_reg(), any::<i32>()).prop_map(
-        |(mi, rd, rs1, rs2, raw_imm)| {
+    (
+        0usize..ALL_MNEMONICS.len(),
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        any::<i32>(),
+    )
+        .prop_map(|(mi, rd, rs1, rs2, raw_imm)| {
             let m = ALL_MNEMONICS[mi];
             match m.format() {
                 riscv_isa::Format::R => Instruction::r(m, rd, rs1, rs2),
@@ -23,13 +29,14 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
                     };
                     Instruction::i(m, rd, rs1, imm)
                 }
-                riscv_isa::Format::S => Instruction::s(m, rs1, rs2, (raw_imm % 2048).clamp(-2048, 2047)),
+                riscv_isa::Format::S => {
+                    Instruction::s(m, rs1, rs2, (raw_imm % 2048).clamp(-2048, 2047))
+                }
                 riscv_isa::Format::B => Instruction::b(m, rs1, rs2, (raw_imm % 2048) * 2),
                 riscv_isa::Format::U => Instruction::u(m, rd, raw_imm & !0xfff),
                 riscv_isa::Format::J => Instruction::j(m, rd, (raw_imm % 262144) * 2),
             }
-        },
-    )
+        })
 }
 
 proptest! {
@@ -126,7 +133,13 @@ proptest! {
 /// testbench kills every observable single-gate mutant.
 #[test]
 fn mutation_coverage_holds_for_sampled_blocks() {
-    for m in [Mnemonic::Add, Mnemonic::Lw, Mnemonic::Sh, Mnemonic::Jal, Mnemonic::Sltu] {
+    for m in [
+        Mnemonic::Add,
+        Mnemonic::Lw,
+        Mnemonic::Sh,
+        Mnemonic::Jal,
+        Mnemonic::Sltu,
+    ] {
         let block = hwlib::HwLibrary::build_full().block(m).clone();
         let report = hwlib::mutate::mutation_coverage(&block, 15, 0xfeed);
         assert_eq!(report.killed, report.observable, "{m}: {report:?}");

@@ -1,0 +1,147 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset this workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints the mean, min, and max
+//! wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like upstream criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also sizes the timing batch for very fast closures).
+        let warmup = Instant::now();
+        black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let n_samples = self.samples.capacity();
+        for _ in 0..n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            return;
+        }
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!(
+            "{id:<40} time: [{min:>12?} {mean:>12?} {max:>12?}]  ({} samples x {} iters)",
+            self.samples.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _c: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,163 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the API this workspace uses: the [`proptest!`]
+//! macro (with an optional `#![proptest_config(..)]` header), the
+//! [`strategy::Strategy`] trait with `prop_map`/`boxed`, [`any`],
+//! [`collection::vec`], [`prop_oneof!`], and the `prop_assert*` family.
+//! Each property runs a fixed number of deterministic pseudo-random cases;
+//! there is no shrinking — a failure reports the case index and message.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies over containers.
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-stop import for tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `Config::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config = $config;
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__pt_config,
+                |__pt_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __pt_rng);)+
+                    let __pt_out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __pt_out
+                },
+            );
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pt_a, __pt_b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pt_a == *__pt_b,
+            "assertion failed: `{:?}` == `{:?}`",
+            __pt_a,
+            __pt_b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pt_a, __pt_b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pt_a == *__pt_b,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __pt_a,
+            __pt_b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pt_a, __pt_b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pt_a != *__pt_b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __pt_a,
+            __pt_b
+        );
+    }};
+}
+
+/// Discards the current case (does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,90 @@
+//! The case-running loop behind the [`proptest!`](crate::proptest) macro.
+
+use crate::strategy::TestRng;
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Config { cases }
+    }
+}
+
+impl Config {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not failed.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing-case error.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded-case marker.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure. Seeds derive from the property name and case index, so runs are
+/// deterministic and a reported failing case can be re-run exactly.
+pub fn run(
+    name: &str,
+    config: &Config,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = fnv1a(name.as_bytes());
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = config.cases as u64 * 16 + 256;
+    while accepted < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            // Overwhelmingly rejected by prop_assume!: give up quietly, as
+            // upstream proptest's "too many local rejects" would.
+            eprintln!(
+                "proptest `{name}`: giving up after {attempt} attempts ({accepted} cases ran)"
+            );
+            break;
+        }
+        let mut rng = TestRng::seed_from_u64(base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case #{attempt} (seed {base:#x}): {msg}")
+            }
+        }
+    }
+}
