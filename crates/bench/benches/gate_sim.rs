@@ -1,13 +1,15 @@
 //! Criterion bench: gate-level execution throughput of a generated RISSP.
 //!
 //! Measures the interpreted baseline against the compiled bit-parallel
-//! backend on the same crc32 core, both per-settle (scalar) and with 64
-//! stimulus lanes packed per settle, so the `SimBackend` speedup is a
-//! number rather than an assertion.
+//! backend and the multi-threaded sharded backend on the same crc32 core:
+//! per-settle (scalar), with 64 stimulus lanes packed per settle, and with
+//! 4 shards x 64 lanes on 1 and 4 threads — so both the `SimBackend`
+//! speedup and the thread-scaling are numbers rather than assertions.
+//! Per-vector throughput = settles x lanes / time.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hwlib::HwLibrary;
-use netlist::{CompiledSim, Sim};
+use netlist::{CompiledSim, ShardPolicy, ShardedSim, Sim};
 use rissp::{processor::GateLevelCpu, profile::InstructionSubset, Rissp};
 use xcc::OptLevel;
 
@@ -74,6 +76,42 @@ fn bench(c: &mut Criterion) {
             wide.cycles()
         })
     });
+
+    // Sharded backend: 4 shards x 64 lanes = 256 vectors per settle, the
+    // whole EVALS-settle schedule batched inside one thread scope via
+    // `par_shards` (shard s's lane l carries global vector s*64 + l, so
+    // 1-thread and 4-thread runs do bit-identical work). Per-vector
+    // throughput here is over 4x the vectors of `settle_compiled_64_lanes`.
+    for threads in [1, 4] {
+        let mut sharded = ShardedSim::with_policy(
+            core,
+            ShardPolicy {
+                shards: 4,
+                lanes_per_shard: 64,
+                threads,
+            },
+        );
+        g.bench_function(
+            format!("settle_sharded_4x64_lanes_{threads}_threads"),
+            |b| {
+                b.iter(|| {
+                    sharded.par_shards(|shard, sim| {
+                        let mut stimuli = [0u64; 64];
+                        for i in 0..EVALS {
+                            for (lane, s) in stimuli.iter_mut().enumerate() {
+                                let vector = (i * 256 + shard * 64 + lane) as u64;
+                                *s = black_box(0x0000_0113u64 ^ vector << 7);
+                            }
+                            sim.set_bus_lanes("insn", &stimuli);
+                            sim.eval();
+                            sim.step();
+                        }
+                    });
+                    sharded.cycles()
+                })
+            },
+        );
+    }
     g.finish();
 }
 

@@ -9,8 +9,9 @@
 use flexic::tech::Tech;
 use flexic::DesignMetrics;
 use hwlib::HwLibrary;
+use netlist::compiled::MAX_LANES;
 use netlist::stats::GateCounts;
-use rissp::processor::GateLevelCpu;
+use rissp::processor::{BatchedGateLevelCpu, GateLevelCpu};
 use rissp::profile::InstructionSubset;
 use rissp::Rissp;
 use serv_model::{serv_gate_counts, ServTiming, SERV_ACTIVITY, SERV_CRITICAL_PATH_NS};
@@ -19,6 +20,38 @@ use xcc::OptLevel;
 
 /// Gate-level simulation window used for switching-activity measurement.
 pub const ACTIVITY_CYCLES: u64 = 1500;
+
+/// Parses a `--threads N` (or `--threads=N`) knob from the process
+/// arguments; defaults to 1 so the figure binaries stay single-threaded
+/// unless asked. Thread counts only change wall-clock time, never results
+/// — characterisation is deterministic per workload. An explicit but
+/// unusable value (not a number, or zero) aborts instead of silently
+/// running single-threaded.
+pub fn threads_from_args() -> usize {
+    let parse = |v: &str| -> usize {
+        match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: `--threads {v}` is not a positive integer");
+                std::process::exit(2);
+            }
+        }
+    };
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let Some(v) = args.next() else {
+                eprintln!("error: `--threads` needs a value");
+                std::process::exit(2);
+            };
+            return parse(&v);
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return parse(v);
+        }
+    }
+    1
+}
 
 /// A fully characterised design: the RISSP plus its FlexIC metrics.
 pub struct CharacterisedDesign {
@@ -51,25 +84,85 @@ pub fn characterise_workload(lib: &HwLibrary, w: &Workload, t: &Tech) -> Charact
     }
 }
 
-/// Builds the `RISSP-RV32E` full-ISA baseline, exercised with a generic
-/// mixed workload for activity.
+/// Builds the `RISSP-RV32E` full-ISA baseline. Its activity is measured by
+/// one batched gate-level run: the full evaluation suite executes on a
+/// single 64-lane core simulation, one workload per lane with per-lane
+/// memory and register-file models. The α is normalised by the *committed*
+/// cycle total (lanes that halt early stop contributing both toggles and
+/// cycles), so it is the cycle-weighted average of the per-workload scalar
+/// α values — methodologically identical to [`characterise_workload`],
+/// just over the whole suite instead of one representative workload.
 pub fn characterise_rv32e(lib: &HwLibrary, t: &Tech) -> CharacterisedDesign {
     let rissp = Rissp::generate_full_isa(lib);
-    // Activity from a representative workload (crc32 exercises the core).
-    let w = workloads::by_name("crc32").expect("crc32 exists");
-    let image = w.compile(OptLevel::O2).expect("compiles");
-    let mut cpu = GateLevelCpu::new(&rissp, 0);
-    cpu.load_words(0, &image.words);
-    for (base, words) in &image.data_segments {
-        cpu.load_words(*base, words);
+    let suite = workloads::all();
+    assert!(
+        suite.len() <= MAX_LANES,
+        "evaluation suite ({} workloads) no longer fits one 64-lane batch — chunk it",
+        suite.len()
+    );
+    let images: Vec<_> = suite
+        .iter()
+        .map(|w| w.compile(OptLevel::O2).expect("workload compiles"))
+        .collect();
+    let entries = vec![0u32; images.len()];
+    let mut cpu = BatchedGateLevelCpu::new(&rissp, &entries);
+    for (lane, image) in images.iter().enumerate() {
+        cpu.load_words(lane, 0, &image.words);
+        for (base, words) in &image.data_segments {
+            cpu.load_words(lane, *base, words);
+        }
     }
     let _ = cpu.run(ACTIVITY_CYCLES);
-    let activity = flexic::power::measured_activity(cpu.sim());
+    let activity = flexic::power::activity_from_counts(
+        cpu.sim().toggles().iter().sum(),
+        cpu.sim().toggles().len(),
+        cpu.committed_cycles(),
+        1,
+    );
     CharacterisedDesign {
         name: "RISSP-RV32E".into(),
         distinct: riscv_isa::ALL_MNEMONICS.len(),
         metrics: DesignMetrics::of_netlist("RISSP-RV32E", &rissp.core, t, activity),
     }
+}
+
+/// Characterises several workloads, splitting them over `threads` scoped
+/// threads (each workload's RISSP generation and gate-level activity run
+/// is independent). Results are returned in input order and are identical
+/// for every thread count — the knob only changes wall-clock time.
+pub fn characterise_workloads(
+    lib: &HwLibrary,
+    ws: &[Workload],
+    t: &Tech,
+    threads: usize,
+) -> Vec<CharacterisedDesign> {
+    let threads = threads.clamp(1, ws.len().max(1));
+    if threads <= 1 {
+        return ws
+            .iter()
+            .map(|w| characterise_workload(lib, w, t))
+            .collect();
+    }
+    let chunk = ws.len().div_ceil(threads);
+    let mut results = Vec::with_capacity(ws.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ws
+            .chunks(chunk)
+            .map(|group| {
+                scope.spawn(move || {
+                    group
+                        .iter()
+                        .map(|w| characterise_workload(lib, w, t))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        // Join in spawn order: output order matches input order.
+        for h in handles {
+            results.extend(h.join().expect("characterisation thread panicked"));
+        }
+    });
+    results
 }
 
 /// Builds the Serv baseline's metrics; its CPI is measured by running the

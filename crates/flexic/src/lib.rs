@@ -17,6 +17,46 @@
 //!   simulation of the actual workload);
 //! * [`physical`] — floorplan, clock-tree buffering and routing overhead at
 //!   the fixed 300 kHz implementation point of §4.3.
+//!
+//! # Examples
+//!
+//! The full netlist-to-power pipeline: build a design, measure its
+//! switching activity by gate-level simulation (any `netlist::SimBackend`
+//! works — the backends' toggle accounting is bit-identical, see
+//! `docs/simulation.md`), then evaluate the FlexIC power model:
+//!
+//! ```
+//! use flexic::tech::Tech;
+//! use flexic::DesignMetrics;
+//! use netlist::{bus, Builder, CompiledSim};
+//!
+//! // An 8-bit accumulator: acc' = acc + x.
+//! let mut b = Builder::new();
+//! let x = b.input_bus("x", 8);
+//! let acc: Vec<_> = (0..8).map(|_| b.dff(false)).collect();
+//! let (next, _) = bus::add(&mut b, &acc, &x);
+//! for (ff, d) in acc.iter().zip(&next) {
+//!     b.connect_dff(*ff, *d);
+//! }
+//! b.output_bus("acc", &acc);
+//! let nl = b.finish();
+//!
+//! // Simulate a workload and extract the α activity factor.
+//! let mut sim = CompiledSim::new(&nl);
+//! for i in 0..100u32 {
+//!     sim.set_bus("x", i * 37);
+//!     sim.eval();
+//!     sim.step();
+//! }
+//! let activity = flexic::power::measured_activity(&sim);
+//! assert!(activity > 0.0);
+//!
+//! // Characterise the design and evaluate power at 300 kHz.
+//! let t = Tech::flexic_gen();
+//! let m = DesignMetrics::of_netlist("accumulator", &nl, &t, activity);
+//! let p = flexic::power::total_power_mw(&m, &t, 300.0, 1.0);
+//! assert!(p > 0.0);
+//! ```
 
 pub mod physical;
 pub mod power;

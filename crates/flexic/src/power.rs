@@ -30,10 +30,28 @@ pub fn average_power_mw(m: &DesignMetrics, freq_khz: f64, area_scale: f64) -> f6
 
 /// Extracts the measured switching activity of a simulation run: toggles
 /// per gate per cycle (per stimulus lane), the α used in the dynamic-power
-/// term. Works with any [`SimBackend`] — interpreted or compiled — since
-/// the compiled backend's popcount toggle accounting is exact.
+/// term. Works with any [`SimBackend`] — interpreted, compiled, or sharded
+/// — since the compiled popcount toggle accounting is exact and sharded
+/// merging is an exact sum (see `docs/simulation.md`).
+///
+/// For multi-lane runs (e.g. `rissp`'s `BatchedGateLevelCpu` with one
+/// workload per lane) this is the per-lane average: the merged toggle
+/// total divided by `gates * cycles * lanes`.
 pub fn measured_activity<S: SimBackend + ?Sized>(sim: &S) -> f64 {
     sim.average_activity()
+}
+
+/// The α activity factor from raw accounting quantities: `toggle_total`
+/// switching events observed over `gates` nets, `cycles` clock cycles and
+/// `lanes` stimulus lanes. This is the exact formula every backend's
+/// `average_activity` implements; it is exposed so flows that merge toggle
+/// counts themselves (per-shard, per-lane, or across runs) can reduce them
+/// to an α without a live simulator.
+pub fn activity_from_counts(toggle_total: u64, gates: usize, cycles: u64, lanes: usize) -> f64 {
+    if gates == 0 || cycles == 0 || lanes == 0 {
+        return 0.0;
+    }
+    toggle_total as f64 / (gates as f64 * cycles as f64 * lanes as f64)
 }
 
 #[cfg(test)]
@@ -80,6 +98,32 @@ mod tests {
             p_ff > p_logic,
             "FF-heavy {p_ff:.3} mW should exceed logic-heavy {p_logic:.3} mW"
         );
+    }
+
+    #[test]
+    fn activity_from_counts_matches_backend_accounting() {
+        use netlist::{Builder, CompiledSim, SimBackend};
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 4);
+        b.output_bus("y", &x);
+        let nl = b.finish();
+        let mut sim = CompiledSim::with_lanes(&nl, 8);
+        for i in 0..10u64 {
+            for lane in 0..8 {
+                sim.set_bus_lane("x", lane, i * (lane as u64 + 1));
+            }
+            sim.eval();
+            sim.step();
+        }
+        let direct = sim.average_activity();
+        let from_counts = activity_from_counts(
+            sim.toggles().iter().sum(),
+            sim.toggles().len(),
+            SimBackend::cycles(&sim),
+            sim.lanes(),
+        );
+        assert!((direct - from_counts).abs() < 1e-15);
+        assert_eq!(activity_from_counts(100, 0, 10, 1), 0.0);
     }
 
     #[test]

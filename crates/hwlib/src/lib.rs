@@ -168,10 +168,27 @@ impl HwLibrary {
     ///
     /// Returns the first failing block and a description of the failure.
     pub fn verify_all(&self, samples: usize, seed: u64) -> Result<(), (Mnemonic, String)> {
+        self.verify_all_with(samples, seed, netlist::ShardPolicy::single())
+    }
+
+    /// [`HwLibrary::verify_all`] under an explicit shard policy: each
+    /// block's vector sweeps settle `policy.total_lanes()` stimuli at a
+    /// time across `policy.threads` threads. Verdicts are independent of
+    /// the thread count (see `docs/simulation.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing block and a description of the failure.
+    pub fn verify_all_with(
+        &self,
+        samples: usize,
+        seed: u64,
+        policy: netlist::ShardPolicy,
+    ) -> Result<(), (Mnemonic, String)> {
         for block in self.iter() {
-            verify::functional_verify(block)
+            verify::functional_verify_with(block, policy)
                 .map_err(|e| (block.mnemonic, format!("functional: {e}")))?;
-            verify::formal_verify(block, samples, seed)
+            verify::formal_verify_with(block, samples, seed, policy)
                 .map_err(|e| (block.mnemonic, format!("formal: {e}")))?;
         }
         Ok(())

@@ -8,7 +8,8 @@
 //!   (no spurious memory writes, x0 suppression, decode selectivity).
 
 use crate::{ports, InstrBlock};
-use netlist::compiled::{CompiledSim, MAX_LANES};
+use netlist::compiled::CompiledSim;
+use netlist::sharded::{ShardPolicy, ShardedSim};
 use netlist::sim::{Sim, SimBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,7 +74,7 @@ fn drive<S: SimBackend>(sim: &mut S, inputs: &BlockInputs) {
 }
 
 fn drive_chunk(sim: &mut CompiledSim, chunk: &[BlockInputs]) {
-    // One transposed write per port (ports resolve once per chunk).
+    // One transposed write per port (ports resolve once per shard chunk).
     let field = |f: fn(&BlockInputs) -> u32| chunk.iter().map(|i| f(i) as u64).collect::<Vec<_>>();
     sim.set_bus_lanes(ports::PC, &field(|i| i.pc));
     sim.set_bus_lanes(ports::INSN, &field(|i| i.insn));
@@ -101,22 +102,52 @@ fn read_outputs_lane<S: SimBackend>(sim: &S, lane: usize) -> BlockOutputs {
     }
 }
 
-/// Evaluates `vectors` through a compiled block simulation, packing
-/// [`MAX_LANES`] stimuli per settle, then hands the settled simulation,
-/// each vector's global index, and its lane to `check` in order.
+/// Evaluates `vectors` through a sharded block simulation: each settle
+/// packs `sim.lanes()` stimuli (64 per shard) and the *whole sweep* —
+/// driving, evaluation, and the per-lane `check` calls — runs inside one
+/// thread scope via [`ShardedSim::par_shards`], so both the settles and
+/// the golden-model comparisons parallelise and thread-spawn cost is paid
+/// once per sweep, not once per settle. Shard `s` owns the lane range
+/// `[s * 64, (s + 1) * 64)` of every chunk and stops at its first failing
+/// vector; the smallest global index across shards wins, so the returned
+/// error is exactly the one a sequential sweep would hit first, at any
+/// thread count.
 fn run_batched(
-    sim: &mut CompiledSim,
+    sim: &mut ShardedSim,
     vectors: &[BlockInputs],
-    mut check: impl FnMut(&CompiledSim, usize, usize, &BlockInputs) -> Result<(), VerifyError>,
+    check: impl Fn(&CompiledSim, usize, usize, &BlockInputs) -> Result<(), VerifyError> + Sync,
 ) -> Result<(), VerifyError> {
-    for (chunk_idx, chunk) in vectors.chunks(MAX_LANES).enumerate() {
-        drive_chunk(sim, chunk);
-        sim.eval();
-        for (lane, inputs) in chunk.iter().enumerate() {
-            check(sim, chunk_idx * MAX_LANES + lane, lane, inputs)?;
-        }
+    let lanes_per_shard = sim.lanes_per_shard();
+    let width = sim.shard_count() * lanes_per_shard;
+    let earliest = sim
+        .par_shards(|shard, s| {
+            let mut first: Option<(usize, VerifyError)> = None;
+            'chunks: for (chunk_idx, chunk) in vectors.chunks(width).enumerate() {
+                let lo = (shard * lanes_per_shard).min(chunk.len());
+                let hi = ((shard + 1) * lanes_per_shard).min(chunk.len());
+                let slice = &chunk[lo..hi];
+                if slice.is_empty() {
+                    continue; // the final partial chunk may not reach this shard
+                }
+                drive_chunk(s, slice);
+                s.eval();
+                for (lane, inputs) in slice.iter().enumerate() {
+                    let index = chunk_idx * width + lo + lane;
+                    if let Err(e) = check(s, index, lane, inputs) {
+                        first = Some((index, e));
+                        break 'chunks;
+                    }
+                }
+            }
+            first
+        })
+        .into_iter()
+        .flatten()
+        .min_by_key(|(index, _)| *index);
+    match earliest {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Generates a random, valid instruction of the given mnemonic.
@@ -192,14 +223,27 @@ fn golden_check(
 /// Functional verification: runs the full architecture-test vector set for
 /// the block's instruction through the netlist and the golden semantics.
 ///
-/// The block is compiled once and the vectors are driven [`MAX_LANES`] per
-/// settle through the bit-parallel backend.
+/// The block is compiled once and the vectors are driven 64 per settle
+/// through the bit-parallel backend. Delegates to
+/// [`functional_verify_with`] with a single-shard policy; pass a wider
+/// [`ShardPolicy`] to settle `shards * 64` vectors at a time across
+/// threads.
 ///
 /// # Errors
 ///
 /// Returns the first mismatching vector.
 pub fn functional_verify(block: &InstrBlock) -> Result<(), VerifyError> {
-    let mut sim = CompiledSim::with_lanes(&block.netlist, MAX_LANES);
+    functional_verify_with(block, ShardPolicy::single())
+}
+
+/// [`functional_verify`] under an explicit shard policy. The verdict (and
+/// the vector any error reports) is independent of `policy.threads`.
+///
+/// # Errors
+///
+/// Returns the first mismatching vector.
+pub fn functional_verify_with(block: &InstrBlock, policy: ShardPolicy) -> Result<(), VerifyError> {
+    let mut sim = ShardedSim::with_policy(&block.netlist, policy);
     let vectors = arch_test_vectors(block.mnemonic);
     run_batched(&mut sim, &vectors, |sim, _index, lane, inputs| {
         golden_check(block.mnemonic, inputs, &read_outputs_lane(sim, lane))
@@ -222,11 +266,29 @@ pub fn functional_verify(block: &InstrBlock) -> Result<(), VerifyError> {
 ///
 /// Returns the first violated property.
 pub fn formal_verify(block: &InstrBlock, samples: usize, seed: u64) -> Result<(), VerifyError> {
+    formal_verify_with(block, samples, seed, ShardPolicy::single())
+}
+
+/// [`formal_verify`] under an explicit shard policy: each settle packs
+/// `policy.total_lanes()` random vectors and the shards evaluate on
+/// `policy.threads` scoped threads. The stimulus sequence depends only on
+/// `seed`, so for a fixed policy shape the verdict is deterministic and
+/// independent of the thread count.
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn formal_verify_with(
+    block: &InstrBlock,
+    samples: usize,
+    seed: u64,
+    policy: ShardPolicy,
+) -> Result<(), VerifyError> {
     let m = block.mnemonic;
     let mut rng = StdRng::seed_from_u64(seed ^ (m as u64) << 32);
-    let mut sim = CompiledSim::with_lanes(&block.netlist, MAX_LANES);
-    // 64 random stimulus vectors settle per eval: the whole random sweep
-    // costs `samples / 64` passes over the compiled op stream.
+    let mut sim = ShardedSim::with_policy(&block.netlist, policy);
+    // One random stimulus vector per lane settles per eval: the whole
+    // random sweep costs `samples / total_lanes` passes per shard.
     let vectors: Vec<BlockInputs> = (0..samples)
         .map(|_| {
             let instr = random_instruction(m, &mut rng);
@@ -350,6 +412,40 @@ mod tests {
             netlist: build_block(Mnemonic::Sub),
         };
         assert!(functional_verify(&wrong).is_err());
+    }
+
+    #[test]
+    fn sharded_verification_matches_single_shard() {
+        // 4 shards x 64 lanes = 256 vectors per settle; neither the shard
+        // fan-out nor the thread count may change a verdict.
+        for threads in [1, 2] {
+            let policy = ShardPolicy {
+                shards: 4,
+                lanes_per_shard: 64,
+                threads,
+            };
+            for m in [Mnemonic::Add, Mnemonic::Lw, Mnemonic::Beq] {
+                functional_verify_with(&block(m), policy).unwrap_or_else(|e| panic!("{m}: {e}"));
+                formal_verify_with(&block(m), 256, 0xf00d, policy)
+                    .unwrap_or_else(|e| panic!("{m}: {e}"));
+            }
+        }
+        // A failing block reports the same first vector under every policy.
+        let wrong = InstrBlock {
+            mnemonic: Mnemonic::Add,
+            netlist: build_block(Mnemonic::Sub),
+        };
+        let single = functional_verify(&wrong).unwrap_err();
+        let sharded = functional_verify_with(
+            &wrong,
+            ShardPolicy {
+                shards: 4,
+                lanes_per_shard: 64,
+                threads: 2,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(single, sharded);
     }
 
     #[test]

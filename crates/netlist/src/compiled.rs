@@ -16,15 +16,21 @@
 use crate::level::{OpCode, Program};
 use crate::sim::SimBackend;
 use crate::{Gate, NetId, Netlist};
+use std::sync::Arc;
 
 /// Maximum stimulus lanes per evaluation (bits of the value word).
 pub const MAX_LANES: usize = 64;
 
 /// Compiled bit-parallel simulator for one netlist.
+///
+/// The immutable structure (netlist + compiled program) is behind [`Arc`],
+/// so cloning a `CompiledSim` — e.g. [`crate::sharded::ShardedSim`]
+/// fanning out shards — shares it and only duplicates the per-lane
+/// value/FF/toggle arrays.
 #[derive(Debug, Clone)]
 pub struct CompiledSim {
-    netlist: Netlist,
-    prog: Program,
+    netlist: Arc<Netlist>,
+    prog: Arc<Program>,
     /// Per-net lane words.
     values: Vec<u64>,
     /// Per-DFF stored lane words (indexed by net id; non-DFF slots unused).
@@ -89,8 +95,8 @@ impl CompiledSim {
                 (1u64 << lanes) - 1
             },
             primed: false,
-            prog,
-            netlist: netlist.clone(),
+            prog: Arc::new(prog),
+            netlist: Arc::new(netlist.clone()),
         }
     }
 
@@ -301,6 +307,26 @@ impl CompiledSim {
             "net {net} is not a DFF"
         );
         self.ff_state[net as usize] = broadcast(value);
+    }
+
+    /// Forces the stored state of a DFF on one lane only (e.g. a per-lane
+    /// reset PC when every lane runs a different program).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a DFF or `lane >= lanes`.
+    pub fn set_ff_lane(&mut self, net: NetId, lane: usize, value: bool) {
+        assert!(
+            lane < self.lanes,
+            "lane {lane} out of range (lanes = {})",
+            self.lanes
+        );
+        assert!(
+            self.netlist.gates()[net as usize].is_dff(),
+            "net {net} is not a DFF"
+        );
+        let word = &mut self.ff_state[net as usize];
+        *word = (*word & !(1u64 << lane)) | ((value as u64) << lane);
     }
 
     /// Total toggles per net since construction (summed over active lanes).

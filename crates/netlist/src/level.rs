@@ -5,10 +5,11 @@
 //! past its deepest fan-in) and produces a level-major evaluation order.
 //! [`Program::compile`] then lowers the netlist to a dense, branch-friendly
 //! opcode stream in structure-of-arrays layout: one opcode byte plus up to
-//! three operand net indices per op. The stream is what [`CompiledSim`]
-//! (crate::compiled) executes 64 stimulus lanes at a time; the level
-//! boundaries are retained so future backends can evaluate each level's ops
-//! in parallel.
+//! three operand net indices per op. The stream is what
+//! [`crate::compiled::CompiledSim`] executes 64 stimulus lanes at a time;
+//! the level boundaries are retained so parallel backends (e.g.
+//! [`crate::sharded::ShardedSim`]'s shards, or a future per-level
+//! evaluator) can exploit the recorded level structure.
 
 use crate::{Gate, NetId, Netlist};
 

@@ -17,14 +17,25 @@
 //!   structure-of-arrays op stream.
 //! * [`compiled`] — the compiled backend: 64 stimulus lanes per eval, one
 //!   `u64` word per net, exact popcount toggle accounting.
+//! * [`sharded`] — the multi-threaded backend: N independent compiled
+//!   shards over disjoint stimulus lanes, merged bit-identically
+//!   regardless of thread count.
 //! * [`opt`] — "synthesis": re-cons, constant-fold and sweep a netlist.
 //! * [`stats`] — NAND2-equivalent gate counting exactly as the paper's
 //!   area numbers are reported.
 //!
+//! The semantics every backend must honour — settle/step phases, lane
+//! packing, the first-eval toggle rule, popcount accounting, and the
+//! determinism guarantees — are specified in `docs/simulation.md` at the
+//! repository root.
+//!
 //! # Examples
 //!
+//! Build a netlist, simulate it on the interpreted backend, and read the
+//! toggle counts that feed the power model:
+//!
 //! ```
-//! use netlist::{Builder, bus};
+//! use netlist::{Builder, bus, SimBackend};
 //!
 //! let mut b = Builder::new();
 //! let a = b.input_bus("a", 8);
@@ -37,16 +48,42 @@
 //! sim.set_bus("b", 100);
 //! sim.eval();
 //! assert_eq!(sim.get_bus("sum"), (200 + 100) & 0xff);
+//! sim.step();
+//! // Change the stimulus: switching activity accumulates per net.
+//! sim.set_bus("a", 0x55);
+//! sim.eval();
+//! assert!(sim.toggles().iter().sum::<u64>() > 0);
+//! ```
+//!
+//! The compiled and sharded backends produce bit-identical results behind
+//! the same [`SimBackend`] trait:
+//!
+//! ```
+//! use netlist::{Builder, CompiledSim, ShardedSim, SimBackend, sharded::ShardPolicy};
+//!
+//! let mut b = Builder::new();
+//! let x = b.input_bus("x", 4);
+//! b.output_bus("y", &x);
+//! let nl = b.finish();
+//! let mut wide = CompiledSim::with_lanes(&nl, 64);
+//! let mut sharded = ShardedSim::with_policy(&nl, ShardPolicy { shards: 2, lanes_per_shard: 64, threads: 2 });
+//! wide.set_bus("x", 0b1010);
+//! SimBackend::set_bus(&mut sharded, "x", 0b1010);
+//! wide.eval();
+//! sharded.eval();
+//! assert_eq!(wide.get_bus_lane("y", 63), sharded.get_bus_lane("y", 127));
 //! ```
 
 pub mod bus;
 pub mod compiled;
 pub mod level;
 pub mod opt;
+pub mod sharded;
 pub mod sim;
 pub mod stats;
 
 pub use compiled::CompiledSim;
+pub use sharded::{ShardPolicy, ShardedSim};
 pub use sim::{Sim, SimBackend};
 
 use std::collections::HashMap;

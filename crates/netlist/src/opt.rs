@@ -9,7 +9,7 @@
 //! output or DFF.  [`check_equivalence`] is the stand-in for the
 //! equivalence checking synthesis tools run after optimisation.
 
-use crate::compiled::{CompiledSim, MAX_LANES};
+use crate::sharded::{ShardPolicy, ShardedSim};
 use crate::{Builder, Gate, NetId, Netlist};
 use std::collections::HashMap;
 
@@ -222,8 +222,11 @@ pub fn sweep(netlist: &Netlist) -> Netlist {
 /// equivalence checking synthesis tools perform after optimisation.
 ///
 /// Both netlists are compiled once and the random vectors are packed 64 per
-/// evaluation (one stimulus per [`CompiledSim`] lane), so the input sweep
+/// evaluation (one stimulus per compiled-backend lane), so the input sweep
 /// costs `samples / 64` settles per netlist instead of `samples`.
+/// Delegates to [`check_equivalence_with`] with a single-shard policy; pass
+/// a wider [`ShardPolicy`] to drive `shards * 64` vectors per settle across
+/// threads.
 ///
 /// Returns `Ok(())` after `samples` agreeing random vectors, or the first
 /// disagreeing `(port, input_assignment)` pair.
@@ -237,6 +240,28 @@ pub fn check_equivalence(
     b: &Netlist,
     samples: usize,
     seed: u64,
+) -> Result<(), (String, Vec<(String, u64)>)> {
+    check_equivalence_with(a, b, samples, seed, ShardPolicy::single())
+}
+
+/// [`check_equivalence`] with an explicit shard policy: each settle packs
+/// `policy.total_lanes()` random vectors (64 per shard) and the shards of
+/// both netlists evaluate on `policy.threads` scoped threads.
+///
+/// The random vector sequence depends only on `seed` and
+/// `policy.total_lanes()` — never on the thread count — so the verdict is
+/// deterministic for a fixed policy shape.
+///
+/// # Errors
+///
+/// Returns the name of the first output port that diverged plus the input
+/// vector that exposed it.
+pub fn check_equivalence_with(
+    a: &Netlist,
+    b: &Netlist,
+    samples: usize,
+    seed: u64,
+    policy: ShardPolicy,
 ) -> Result<(), (String, Vec<(String, u64)>)> {
     assert_eq!(
         a.inputs()
@@ -257,14 +282,16 @@ pub fn check_equivalence(
         state ^= state >> 27;
         state.wrapping_mul(0x2545_f491_4f6c_dd1d)
     };
-    let mut sa = CompiledSim::with_lanes(a, MAX_LANES);
-    let mut sb = CompiledSim::with_lanes(b, MAX_LANES);
+    let mut sa = ShardedSim::with_policy(a, policy);
+    let mut sb = ShardedSim::with_policy(b, policy);
+    let width = policy.total_lanes();
+    let lanes_per_shard = policy.lanes_per_shard;
     let mut remaining = samples;
     // values[port index][lane], allocated once — port names are recovered
     // from `a.inputs()` order only on the rare mismatch.
-    let mut values: Vec<Vec<u64>> = vec![vec![0; MAX_LANES]; a.inputs().len()];
+    let mut values: Vec<Vec<u64>> = vec![vec![0; width]; a.inputs().len()];
     while remaining > 0 {
-        let lanes = remaining.min(MAX_LANES);
+        let lanes = remaining.min(width);
         for (port, port_values) in a.inputs().iter().zip(values.iter_mut()) {
             let mask = if port.nets.len() >= 64 {
                 u64::MAX
@@ -283,29 +310,36 @@ pub fn check_equivalence(
             let Some(port_b) = b.output(&port.name) else {
                 continue;
             };
-            // Word-compare across all lanes at once (numeric equality: the
-            // common bits must match and the wider port's extra bits must be
-            // zero); only on a mismatch do we pay for per-lane
-            // reconstruction of the failing assignment.
-            let lane_mask = if lanes == MAX_LANES {
-                u64::MAX
-            } else {
-                (1u64 << lanes) - 1
-            };
+            // Word-compare shard by shard across all active lanes at once
+            // (numeric equality: the common bits must match and the wider
+            // port's extra bits must be zero); only on a mismatch do we pay
+            // for per-lane reconstruction of the failing assignment.
             let common = port.nets.len().min(port_b.nets.len());
-            let diverged =
-                port.nets[..common]
-                    .iter()
-                    .zip(&port_b.nets[..common])
-                    .any(|(&net_a, &net_b)| {
-                        (sa.lane_word(net_a) ^ sb.lane_word(net_b)) & lane_mask != 0
-                    })
-                    || port.nets[common..]
+            let diverged = sa.shards().iter().zip(sb.shards()).enumerate().any(
+                |(shard, (shard_a, shard_b))| {
+                    let active = lanes
+                        .saturating_sub(shard * lanes_per_shard)
+                        .min(lanes_per_shard);
+                    if active == 0 {
+                        return false;
+                    }
+                    let lane_mask = if active >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << active) - 1
+                    };
+                    port.nets[..common].iter().zip(&port_b.nets[..common]).any(
+                        |(&net_a, &net_b)| {
+                            (shard_a.lane_word(net_a) ^ shard_b.lane_word(net_b)) & lane_mask != 0
+                        },
+                    ) || port.nets[common..]
                         .iter()
-                        .any(|&n| sa.lane_word(n) & lane_mask != 0)
-                    || port_b.nets[common..]
-                        .iter()
-                        .any(|&n| sb.lane_word(n) & lane_mask != 0);
+                        .any(|&n| shard_a.lane_word(n) & lane_mask != 0)
+                        || port_b.nets[common..]
+                            .iter()
+                            .any(|&n| shard_b.lane_word(n) & lane_mask != 0)
+                },
+            );
             if diverged {
                 for lane in 0..lanes {
                     if sa.get_bus_lane(&port.name, lane) != sb.get_bus_lane(&port.name, lane) {
@@ -388,6 +422,39 @@ mod tests {
             b.finish()
         };
         assert!(check_equivalence(&good, &bad, 100, 7).is_err());
+    }
+
+    #[test]
+    fn sharded_equivalence_check_matches_single_shard_verdicts() {
+        let good = adder_with_waste();
+        let (opt, _) = synthesize(&good);
+        let bad = {
+            let mut b = Builder::new();
+            let x = b.input_bus("x", 8);
+            let y = b.input_bus("y", 8);
+            let (diff, _) = bus::sub(&mut b, &x, &y);
+            b.output_bus("sum", &diff);
+            b.finish()
+        };
+        for threads in [1, 2, 4] {
+            let policy = ShardPolicy {
+                shards: 4,
+                lanes_per_shard: 64,
+                threads,
+            };
+            // 4x64 = 256 vectors per settle; the verdicts must not depend
+            // on the thread count.
+            check_equivalence_with(&good, &opt, 500, 42, policy).unwrap();
+            assert!(check_equivalence_with(&good, &bad, 100, 7, policy).is_err());
+        }
+        // A sample count that does not divide the lane width exercises the
+        // partial final round (per-shard lane masks).
+        let policy = ShardPolicy {
+            shards: 3,
+            lanes_per_shard: 64,
+            threads: 2,
+        };
+        check_equivalence_with(&good, &opt, 130, 9, policy).unwrap();
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Property-based tests on the netlist substrate's core invariants,
-//! including cross-backend equivalence between the interpreted [`Sim`] and
-//! the compiled 64-lane [`CompiledSim`].
+//! including cross-backend equivalence between the interpreted [`Sim`],
+//! the compiled 64-lane [`CompiledSim`], and the multi-threaded
+//! [`ShardedSim`] at 1, 2 and 4 threads. These tests enforce the backend
+//! contract written down in `docs/simulation.md`: identical outputs, FF
+//! state, and exact toggle counts for identical per-lane stimulus,
+//! independent of backend and thread count.
 
 use netlist::sim::Sim;
-use netlist::{bus, Builder, CompiledSim, Gate, Netlist, SimBackend};
+use netlist::{bus, Builder, CompiledSim, Gate, Netlist, ShardPolicy, ShardedSim, SimBackend};
 use proptest::prelude::*;
 
 /// Builds a random combinational circuit from a recipe of byte opcodes.
@@ -191,6 +195,168 @@ proptest! {
                 "lane {} (stimulus {:#x})", lane, s
             );
         }
+    }
+
+    /// Sim vs CompiledSim vs ShardedSim at 1, 2, and 4 threads: identical
+    /// outputs, FF state, and exact toggle counts on random sequential
+    /// netlists over random stimulus sequences (`docs/simulation.md`
+    /// § "Determinism guarantees"). Each sharded lane replays the scalar
+    /// run, so its merged per-net counts are exactly `shards *
+    /// lanes_per_shard` times the interpreted reference's.
+    #[test]
+    fn sharded_backend_matches_interpreter_and_compiled(
+        recipe in proptest::collection::vec(any::<u8>(), 6..100),
+        stimuli in proptest::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        let mut int = Sim::new(&nl);
+        let mut comp = CompiledSim::new(&nl);
+        let mut shardeds: Vec<ShardedSim> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                ShardedSim::with_policy(
+                    &nl,
+                    ShardPolicy { shards: 4, lanes_per_shard: 2, threads },
+                )
+            })
+            .collect();
+        for &s in &stimuli {
+            int.set_bus("in", s as u32);
+            comp.set_bus("in", s as u32);
+            int.eval();
+            comp.eval();
+            for sim in &mut shardeds {
+                SimBackend::set_bus(sim, "in", s as u32);
+                sim.eval();
+                for lane in 0..8 {
+                    prop_assert_eq!(
+                        sim.get_bus_lane("out", lane),
+                        int.get_bus_u64("out"),
+                        "out lane {} ({} threads)", lane, sim.thread_count()
+                    );
+                    prop_assert_eq!(
+                        sim.get_bus_lane("state", lane),
+                        int.get_bus_u64("state"),
+                        "state lane {} ({} threads)", lane, sim.thread_count()
+                    );
+                }
+                sim.step();
+            }
+            prop_assert_eq!(int.get_bus("out"), comp.get_bus("out"));
+            prop_assert_eq!(int.get_bus("state"), comp.get_bus("state"));
+            int.step();
+            comp.step();
+        }
+        prop_assert_eq!(int.toggles(), comp.toggles());
+        let expected: Vec<u64> = int.toggles().iter().map(|&t| 8 * t).collect();
+        for sim in &shardeds {
+            prop_assert_eq!(
+                sim.toggles(), &expected[..],
+                "merged toggles diverged at {} threads", sim.thread_count()
+            );
+            prop_assert_eq!(sim.cycles(), SimBackend::cycles(&int));
+            let (ai, a_s) = (int.average_activity(), SimBackend::average_activity(sim));
+            prop_assert!((ai - a_s).abs() < 1e-12, "activity {} != {}", ai, a_s);
+        }
+    }
+
+    /// Sharded lane independence: distinct per-lane stimulus across two
+    /// 64-lane shards reproduces 128 scalar interpreted runs, and the
+    /// thread count never changes a bit of it.
+    #[test]
+    fn sharded_lanes_match_scalar_runs(
+        recipe in proptest::collection::vec(any::<u8>(), 3..90),
+        base in any::<u64>(),
+    ) {
+        let nl = circuit_from_recipe(&recipe);
+        let stimuli: Vec<u32> = (0..128u64)
+            .map(|lane| (base.wrapping_mul(lane * 2 + 1) >> 8) as u32 & 0xff)
+            .collect();
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        let mut merged: Vec<Vec<u64>> = Vec::new();
+        for threads in [1usize, 2] {
+            let mut sharded = ShardedSim::with_policy(
+                &nl,
+                ShardPolicy { shards: 2, lanes_per_shard: 64, threads },
+            );
+            let values: Vec<u64> = stimuli.iter().map(|&s| s as u64).collect();
+            sharded.set_bus_lanes("in", &values);
+            sharded.eval();
+            let outs: Vec<u64> = (0..128)
+                .map(|lane| sharded.get_bus_lane("out", lane))
+                .collect();
+            runs.push(outs);
+            merged.push(sharded.toggles().to_vec());
+        }
+        prop_assert_eq!(&runs[0], &runs[1], "outputs depend on thread count");
+        prop_assert_eq!(&merged[0], &merged[1], "toggles depend on thread count");
+        for (lane, &s) in stimuli.iter().enumerate() {
+            let mut int = Sim::new(&nl);
+            int.set_bus("in", s);
+            int.eval();
+            prop_assert_eq!(
+                runs[0][lane],
+                int.get_bus_u64("out"),
+                "lane {} (stimulus {:#x})", lane, s
+            );
+        }
+    }
+
+    /// Shard merging is an exact sum: a sharded run over distinct per-lane
+    /// sequences produces per-net toggle counts equal to the elementwise
+    /// sum of one standalone CompiledSim per shard fed the same lanes.
+    #[test]
+    fn sharded_toggles_are_sum_of_shard_references(
+        recipe in proptest::collection::vec(any::<u8>(), 6..80),
+        stimuli in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        const SHARDS: usize = 3;
+        const LANES: usize = 2;
+        let mut sharded = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy { shards: SHARDS, lanes_per_shard: LANES, threads: 2 },
+        );
+        let mut refs: Vec<CompiledSim> =
+            (0..SHARDS).map(|_| CompiledSim::with_lanes(&nl, LANES)).collect();
+        for (t, &s) in stimuli.iter().enumerate() {
+            for global in 0..SHARDS * LANES {
+                // A distinct, deterministic stimulus per lane per settle.
+                let v = (s as u64)
+                    .wrapping_mul(global as u64 * 2 + 3)
+                    .wrapping_add(t as u64);
+                sharded.set_bus_lane("in", global, v & 0xff);
+                refs[global / LANES].set_bus_lane("in", global % LANES, v & 0xff);
+            }
+            sharded.eval();
+            for r in &mut refs {
+                r.eval();
+            }
+            for global in 0..SHARDS * LANES {
+                let r = &refs[global / LANES];
+                prop_assert_eq!(
+                    sharded.get_bus_lane("out", global),
+                    r.get_bus_lane("out", global % LANES),
+                    "out lane {}", global
+                );
+                prop_assert_eq!(
+                    sharded.get_bus_lane("state", global),
+                    r.get_bus_lane("state", global % LANES),
+                    "state lane {}", global
+                );
+            }
+            sharded.step();
+            for r in &mut refs {
+                r.step();
+            }
+        }
+        let mut sum = vec![0u64; nl.len()];
+        for r in &refs {
+            for (acc, &t) in sum.iter_mut().zip(r.toggles()) {
+                *acc += t;
+            }
+        }
+        prop_assert_eq!(sharded.toggles(), &sum[..]);
     }
 
     /// Stuck-at mutation changes the gate census by at most one gate kind,

@@ -2,8 +2,9 @@
 //!
 //! Supports the subset of the API this workspace uses: the [`proptest!`]
 //! macro (with an optional `#![proptest_config(..)]` header), the
-//! [`strategy::Strategy`] trait with `prop_map`/`boxed`, [`any`],
-//! [`collection::vec`], [`prop_oneof!`], and the `prop_assert*` family.
+//! [`strategy::Strategy`] trait with `prop_map`/`boxed`,
+//! [`strategy::any`], [`collection::vec`], [`prop_oneof!`], and the
+//! `prop_assert*` family.
 //! Each property runs a fixed number of deterministic pseudo-random cases;
 //! there is no shrinking — a failure reports the case index and message.
 

@@ -108,7 +108,7 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     }
 }
 
-/// Uniform choice between type-erased strategies (see [`prop_oneof!`]).
+/// Uniform choice between type-erased strategies (see [`crate::prop_oneof!`]).
 pub struct OneOf<T>(Vec<BoxedStrategy<T>>);
 
 impl<T> Clone for OneOf<T> {
