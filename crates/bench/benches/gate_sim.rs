@@ -6,11 +6,18 @@
 //! 4 shards x 64 lanes on 1 and 4 threads — so both the `SimBackend`
 //! speedup and the thread-scaling are numbers rather than assertions.
 //! Per-vector throughput = settles x lanes / time.
+//!
+//! The `settle_sparse_*` / `settle_dense_*` pairs compare the full-sweep
+//! evaluator against the event-driven one (`EvalMode`) on low-activity
+//! and maximum-activity stimulus schedules; each sparse run also prints
+//! its measured ops/settle and levels-skipped counters so the README
+//! numbers are reproducible.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hwlib::HwLibrary;
-use netlist::{CompiledSim, ShardPolicy, ShardedSim, Sim};
+use netlist::{CompiledSim, EvalMode, ShardPolicy, ShardedSim, Sim};
 use rissp::{processor::GateLevelCpu, profile::InstructionSubset, Rissp};
+use std::sync::Arc;
 use xcc::OptLevel;
 
 const EVALS: usize = 200;
@@ -21,11 +28,14 @@ fn bench(c: &mut Criterion) {
     let image = w.compile(OptLevel::O2).expect("compiles");
     let subset = InstructionSubset::from_words(&image.words);
     let rissp = Rissp::generate(&lib, &subset);
+    // One shared core handle: every simulator construction below recompiles
+    // but never re-clones the gate arena.
+    let core_arc = Arc::new(rissp.core.clone());
     let mut g = c.benchmark_group("gate_sim");
     g.sample_size(10);
     g.bench_function("crc32_500_cycles", |b| {
         b.iter(|| {
-            let mut cpu = GateLevelCpu::new(&rissp, 0);
+            let mut cpu = GateLevelCpu::with_core_arc(core_arc.clone(), 0);
             cpu.load_words(0, &image.words);
             for (base, words) in &image.data_segments {
                 cpu.load_words(*base, words);
@@ -50,7 +60,12 @@ fn bench(c: &mut Criterion) {
             interpreted.cycles()
         })
     });
+    // The `settle_compiled*` and `settle_sharded*` rows quantify lane
+    // packing and sharding against the interpreted baseline, so they pin
+    // the full-sweep evaluator; the event-driven delta is measured by the
+    // dedicated `settle_sparse_*`/`settle_dense_*` rows below.
     let mut compiled = CompiledSim::new(core);
+    compiled.set_eval_mode(EvalMode::FullSweep);
     g.bench_function("settle_compiled", |b| {
         b.iter(|| {
             for i in 0..EVALS {
@@ -62,6 +77,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     let mut wide = CompiledSim::with_lanes(core, 64);
+    wide.set_eval_mode(EvalMode::FullSweep);
     let mut stimuli = [0u64; 64];
     g.bench_function("settle_compiled_64_lanes", |b| {
         b.iter(|| {
@@ -76,6 +92,74 @@ fn bench(c: &mut Criterion) {
             wide.cycles()
         })
     });
+
+    // Event-driven vs full-sweep evaluation. Sparse schedule: the packed
+    // stimulus changes only every 8th settle (and there is no clock edge),
+    // so 7 of 8 settles are fully quiescent — the low-activity shape of a
+    // polling cycle loop. Dense schedule: all 64 lanes change every settle
+    // plus a clock edge — the worst case for gating, where `Auto` must
+    // fall back to full sweeps and stay regression-free.
+    for (name, mode) in [
+        ("settle_sparse_full_sweep", EvalMode::FullSweep),
+        ("settle_sparse_event", EvalMode::EventDriven),
+    ] {
+        let mut sim = CompiledSim::with_lanes_arc(core_arc.clone(), 64);
+        sim.set_eval_mode(mode);
+        let mut stimuli = [0u64; 64];
+        // The epoch persists across criterion iterations so every 8th
+        // settle drives genuinely fresh words (an index-derived stimulus
+        // would repeat byte-identically from the second iteration on and
+        // the compare-before-write setters would never dirty anything).
+        let mut epoch = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for i in 0..EVALS {
+                    if i % 8 == 0 {
+                        epoch += 1;
+                        for (lane, s) in stimuli.iter_mut().enumerate() {
+                            *s = black_box(0x0000_0113u64 ^ (epoch * 64 + lane as u64) << 7);
+                        }
+                        sim.set_bus_lanes("insn", &stimuli);
+                    }
+                    sim.eval();
+                }
+                sim.get_bus_lane("next_pc", 0)
+            })
+        });
+        let st = sim.eval_stats();
+        eprintln!(
+            "{name}: {:.1} ops/settle over {} settles ({} levels skipped, {} full sweeps)",
+            st.ops_executed as f64 / st.settles as f64,
+            st.settles,
+            st.levels_skipped,
+            st.full_sweeps,
+        );
+    }
+    for (name, mode) in [
+        ("settle_dense_full_sweep", EvalMode::FullSweep),
+        ("settle_dense_auto", EvalMode::Auto),
+    ] {
+        let mut sim = CompiledSim::with_lanes_arc(core_arc.clone(), 64);
+        sim.set_eval_mode(mode);
+        let mut stimuli = [0u64; 64];
+        // Persistent epoch: every settle of every iteration drives fresh
+        // words (see the sparse benches above).
+        let mut epoch = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for _ in 0..EVALS {
+                    epoch += 1;
+                    for (lane, s) in stimuli.iter_mut().enumerate() {
+                        *s = black_box(0x0000_0113u64 ^ (epoch * 64 + lane as u64) << 7);
+                    }
+                    sim.set_bus_lanes("insn", &stimuli);
+                    sim.eval();
+                    sim.step();
+                }
+                sim.cycles()
+            })
+        });
+    }
 
     // Sharded backend: 4 shards x 64 lanes = 256 vectors per settle, the
     // whole EVALS-settle schedule batched inside one thread scope via

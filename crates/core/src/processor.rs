@@ -21,6 +21,7 @@ use netlist::{Builder, NetId, Netlist};
 use riscv_emu::{RvfiRecord, RvfiTrace, SparseMemory};
 use riscv_isa::semantics::Memory as _;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::modularex::build_modularex;
 use crate::profile::InstructionSubset;
@@ -128,13 +129,20 @@ pub struct GateLevelCpu {
 impl GateLevelCpu {
     /// Creates a CPU over `rissp`'s core with the PC forced to `entry`.
     pub fn new(rissp: &crate::Rissp, entry: u32) -> GateLevelCpu {
-        let mut sim = CompiledSim::new(&rissp.core);
-        let pc_port = rissp
-            .core
-            .output("pc")
-            .expect("core exposes pc")
-            .nets
-            .clone();
+        GateLevelCpu::with_core_arc(Arc::new(rissp.core.clone()), entry)
+    }
+
+    /// Like [`GateLevelCpu::new`] but over a shared core netlist handle:
+    /// constructing many CPUs from one core (e.g. a bench loop, or a
+    /// characterisation sweep) compiles each time but never re-clones the
+    /// gate arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not expose the core's `pc` output port.
+    pub fn with_core_arc(core: Arc<Netlist>, entry: u32) -> GateLevelCpu {
+        let pc_port = core.output("pc").expect("core exposes pc").nets.clone();
+        let mut sim = CompiledSim::new_arc(core);
         for (i, net) in pc_port.iter().enumerate() {
             sim.set_ff(*net, (entry >> i) & 1 == 1);
         }
@@ -363,19 +371,25 @@ impl BatchedGateLevelCpu {
     ///
     /// Panics if `entries` is empty or holds more than 64 lanes.
     pub fn new(rissp: &crate::Rissp, entries: &[u32]) -> BatchedGateLevelCpu {
+        BatchedGateLevelCpu::with_core_arc(Arc::new(rissp.core.clone()), entries)
+    }
+
+    /// Like [`BatchedGateLevelCpu::new`] but over a shared core netlist
+    /// handle (no deep clone of the gate arena per construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, holds more than 64 lanes, or the
+    /// netlist does not expose the core's `pc` output port.
+    pub fn with_core_arc(core: Arc<Netlist>, entries: &[u32]) -> BatchedGateLevelCpu {
         assert!(
             (1..=MAX_LANES).contains(&entries.len()),
             "lane count must be in 1..=64, got {}",
             entries.len()
         );
         let lanes = entries.len();
-        let mut sim = CompiledSim::with_lanes(&rissp.core, lanes);
-        let pc_nets = rissp
-            .core
-            .output("pc")
-            .expect("core exposes pc")
-            .nets
-            .clone();
+        let pc_nets = core.output("pc").expect("core exposes pc").nets.clone();
+        let mut sim = CompiledSim::with_lanes_arc(core, lanes);
         for (lane, &entry) in entries.iter().enumerate() {
             for (i, net) in pc_nets.iter().enumerate() {
                 sim.set_ff_lane(*net, lane, (entry >> i) & 1 == 1);

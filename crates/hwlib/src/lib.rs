@@ -186,9 +186,13 @@ impl HwLibrary {
         policy: netlist::ShardPolicy,
     ) -> Result<(), (Mnemonic, String)> {
         for block in self.iter() {
-            verify::functional_verify_with(block, policy)
+            // One shared handle per block: both verification sweeps (and
+            // every shard inside them) reuse it instead of deep-cloning
+            // the netlist again.
+            let netlist = std::sync::Arc::new(block.netlist.clone());
+            verify::functional_verify_arc(block.mnemonic, netlist.clone(), policy)
                 .map_err(|e| (block.mnemonic, format!("functional: {e}")))?;
-            verify::formal_verify_with(block, samples, seed, policy)
+            verify::formal_verify_arc(block.mnemonic, netlist, samples, seed, policy)
                 .map_err(|e| (block.mnemonic, format!("formal: {e}")))?;
         }
         Ok(())

@@ -11,10 +11,12 @@ use crate::{ports, InstrBlock};
 use netlist::compiled::CompiledSim;
 use netlist::sharded::{ShardPolicy, ShardedSim};
 use netlist::sim::{Sim, SimBackend};
+use netlist::Netlist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use riscv_isa::semantics::{block_semantics, BlockInputs, BlockOutputs};
 use riscv_isa::{Format, Instruction, Mnemonic, Reg, ALL_MNEMONICS};
+use std::sync::Arc;
 
 /// A verification failure: which check tripped and on which inputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,10 +245,26 @@ pub fn functional_verify(block: &InstrBlock) -> Result<(), VerifyError> {
 ///
 /// Returns the first mismatching vector.
 pub fn functional_verify_with(block: &InstrBlock, policy: ShardPolicy) -> Result<(), VerifyError> {
-    let mut sim = ShardedSim::with_policy(&block.netlist, policy);
-    let vectors = arch_test_vectors(block.mnemonic);
+    functional_verify_arc(block.mnemonic, Arc::new(block.netlist.clone()), policy)
+}
+
+/// [`functional_verify_with`] over a shared netlist handle: the shard
+/// fan-out reuses the caller's [`Arc`] instead of deep-cloning the
+/// netlist. This is the hot path for sweeps (e.g.
+/// `HwLibrary::verify_all_with`) that verify one block several ways.
+///
+/// # Errors
+///
+/// Returns the first mismatching vector.
+pub fn functional_verify_arc(
+    mnemonic: Mnemonic,
+    netlist: Arc<Netlist>,
+    policy: ShardPolicy,
+) -> Result<(), VerifyError> {
+    let mut sim = ShardedSim::with_policy_arc(netlist, policy);
+    let vectors = arch_test_vectors(mnemonic);
     run_batched(&mut sim, &vectors, |sim, _index, lane, inputs| {
-        golden_check(block.mnemonic, inputs, &read_outputs_lane(sim, lane))
+        golden_check(mnemonic, inputs, &read_outputs_lane(sim, lane))
     })
 }
 
@@ -284,9 +302,30 @@ pub fn formal_verify_with(
     seed: u64,
     policy: ShardPolicy,
 ) -> Result<(), VerifyError> {
-    let m = block.mnemonic;
+    formal_verify_arc(
+        block.mnemonic,
+        Arc::new(block.netlist.clone()),
+        samples,
+        seed,
+        policy,
+    )
+}
+
+/// [`formal_verify_with`] over a shared netlist handle (see
+/// [`functional_verify_arc`] for why).
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn formal_verify_arc(
+    m: Mnemonic,
+    netlist: Arc<Netlist>,
+    samples: usize,
+    seed: u64,
+    policy: ShardPolicy,
+) -> Result<(), VerifyError> {
     let mut rng = StdRng::seed_from_u64(seed ^ (m as u64) << 32);
-    let mut sim = ShardedSim::with_policy(&block.netlist, policy);
+    let mut sim = ShardedSim::with_policy_arc(netlist, policy);
     // One random stimulus vector per lane settles per eval: the whole
     // random sweep costs `samples / total_lanes` passes per shard.
     let vectors: Vec<BlockInputs> = (0..samples)

@@ -12,14 +12,56 @@
 //! interpreted [`crate::sim::Sim`] (same values, same toggle counts, same
 //! cycle semantics) that trades a one-time compile for a much tighter,
 //! branch-predictable eval loop.
+//!
+//! # Event-driven evaluation
+//!
+//! By default ([`EvalMode::Auto`]) `eval` is *activity-gated*: the
+//! simulator tracks which input/FF words were dirtied since the last
+//! settle and which nets changed a destination word during the current
+//! settle (the `diff != 0` toggle test computes this for free), and skips
+//! work at two granularities — a whole level when none of its dirt
+//! sources (fan-in levels plus the input-fed/FF-fed sources, recorded at
+//! compile time in [`Program::level_deps`]) changed, and a single op when
+//! none of its operand nets changed this settle. Skipping is bit-exact:
+//! skipped work would recompute exactly the values it already holds (and
+//! accumulate zero toggles), so results and per-net toggle counts are
+//! identical to a full sweep in every mode. When the dirty fraction is
+//! high the evaluator falls back to plain full sweeps for a while so
+//! dense stimuli never pay the gating overhead; see `docs/simulation.md`
+//! § "Event-driven evaluation".
 
 use crate::level::{OpCode, Program};
-use crate::sim::SimBackend;
+use crate::sim::{port_bit, EvalStats, SimBackend};
 use crate::{Gate, NetId, Netlist};
 use std::sync::Arc;
 
 /// Maximum stimulus lanes per evaluation (bits of the value word).
 pub const MAX_LANES: usize = 64;
+
+/// How [`CompiledSim::eval`] sweeps the op stream. Every mode produces
+/// bit-identical values and toggle counts; the mode only changes how much
+/// work a settle performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Event-driven with a dense-stimulus fallback: settles run
+    /// level-skipping, but when a settle executes nearly every level the
+    /// next [`AUTO_DENSE_BACKOFF`] settles use plain full sweeps before
+    /// probing the event-driven path again.
+    #[default]
+    Auto,
+    /// Always sweep every op (the pre-event-driven behavior).
+    FullSweep,
+    /// Always run the level-skipping evaluator (no dense fallback).
+    EventDriven,
+}
+
+/// Full-sweep settles an [`EvalMode::Auto`] simulator runs after a settle
+/// that executed more than ⅞ of the scheduled ops anyway.
+pub const AUTO_DENSE_BACKOFF: u32 = 32;
+
+/// Dirty fraction (executed ops / scheduled ops) above which
+/// [`EvalMode::Auto`] falls back to full sweeps, as a numerator over 8.
+const AUTO_DENSE_THRESHOLD_EIGHTHS: usize = 7;
 
 /// Compiled bit-parallel simulator for one netlist.
 ///
@@ -45,6 +87,28 @@ pub struct CompiledSim {
     /// False until the first eval settles arbitrary reset state; that first
     /// pass's pseudo-toggles are discarded so activity numbers start clean.
     primed: bool,
+    mode: EvalMode,
+    /// True when a `set_bus*` call changed an input word since the last
+    /// settle — level 0's `Input` ops may publish new values.
+    inputs_dirty: bool,
+    /// True when `step`/`set_ff*` left a stored FF word different from the
+    /// published one — level 0's `DffOut` ops may publish new values.
+    ffs_dirty: bool,
+    /// Scratch bitset (stride `prog.dep_stride`): dirt sources (levels +
+    /// the input-fed/FF-fed bits) that changed a destination word during
+    /// the current settle.
+    changed_levels: Vec<u64>,
+    /// Per-net change stamps: `changed_stamp[net] == settle_id` iff the
+    /// net's word changed during the current settle. Stamps avoid an
+    /// O(nets) clear per settle; a wrapped stale stamp can only cause a
+    /// spurious (exact, value-preserving) re-execution.
+    changed_stamp: Vec<u32>,
+    /// Current settle's stamp (incremented by every `eval`).
+    settle_id: u32,
+    /// Remaining full-sweep settles before [`EvalMode::Auto`] re-probes
+    /// the event-driven path.
+    dense_backoff: u32,
+    stats: EvalStats,
 }
 
 fn broadcast(bit: bool) -> u64 {
@@ -61,17 +125,38 @@ impl CompiledSim {
         CompiledSim::with_lanes(netlist, 1)
     }
 
-    /// Compiles `netlist` for `lanes` parallel stimulus lanes.
+    /// Like [`CompiledSim::new`], but shares an already-owned netlist
+    /// instead of deep-cloning it.
+    pub fn new_arc(netlist: Arc<Netlist>) -> CompiledSim {
+        CompiledSim::with_lanes_arc(netlist, 1)
+    }
+
+    /// Compiles `netlist` for `lanes` parallel stimulus lanes. Thin
+    /// wrapper over [`CompiledSim::with_lanes_arc`] that clones the
+    /// netlist once; callers that already hold an [`Arc<Netlist>`] should
+    /// use the `_arc` constructor to share it instead.
     ///
     /// # Panics
     ///
     /// Panics unless `1 <= lanes <= 64`.
     pub fn with_lanes(netlist: &Netlist, lanes: usize) -> CompiledSim {
+        CompiledSim::with_lanes_arc(Arc::new(netlist.clone()), lanes)
+    }
+
+    /// Compiles the shared `netlist` for `lanes` parallel stimulus lanes
+    /// without copying the netlist structure: the [`Arc`] is stored as-is,
+    /// so fanning out many simulators over one netlist (shards, repeated
+    /// CPU constructions) pays for the gate arena once.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lanes <= 64`.
+    pub fn with_lanes_arc(netlist: Arc<Netlist>, lanes: usize) -> CompiledSim {
         assert!(
             (1..=MAX_LANES).contains(&lanes),
             "lanes must be in 1..=64, got {lanes}"
         );
-        let prog = Program::compile(netlist);
+        let prog = Program::compile(&netlist);
         let mut values = vec![0u64; prog.net_count];
         for &(net, v) in &prog.consts {
             values[net as usize] = broadcast(v);
@@ -95,8 +180,16 @@ impl CompiledSim {
                 (1u64 << lanes) - 1
             },
             primed: false,
+            mode: EvalMode::Auto,
+            inputs_dirty: true,
+            ffs_dirty: true,
+            changed_levels: vec![0u64; prog.dep_stride],
+            changed_stamp: vec![0u32; prog.net_count],
+            settle_id: 0,
+            dense_backoff: 0,
+            stats: EvalStats::default(),
             prog: Arc::new(prog),
-            netlist: Arc::new(netlist.clone()),
+            netlist,
         }
     }
 
@@ -105,12 +198,37 @@ impl CompiledSim {
         &self.prog
     }
 
+    /// The shared netlist handle (cloning it is free — see
+    /// [`CompiledSim::with_lanes_arc`]).
+    pub fn netlist_arc(&self) -> &Arc<Netlist> {
+        &self.netlist
+    }
+
+    /// How [`CompiledSim::eval`] sweeps the op stream (results are
+    /// mode-independent; see [`EvalMode`]).
+    pub fn eval_mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Selects the evaluation strategy. Purely a performance knob: values
+    /// and toggle counts are bit-identical in every mode.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.mode = mode;
+        self.dense_backoff = 0;
+    }
+
+    /// Work counters for this simulator's settles (diagnostic only).
+    pub fn eval_stats(&self) -> EvalStats {
+        self.stats
+    }
+
     /// The raw lane word of one net (bit `l` = lane `l`'s value).
     pub fn lane_word(&self, net: NetId) -> u64 {
         self.values[net as usize]
     }
 
     /// Drives one lane of the named input port with `value`'s low bits.
+    /// Port bits at and beyond 64 are driven to 0.
     ///
     /// # Panics
     ///
@@ -130,7 +248,11 @@ impl CompiledSim {
             match self.netlist.gates()[net as usize] {
                 Gate::Input(idx) => {
                     let word = &mut self.input_values[idx as usize];
-                    *word = (*word & !(1u64 << lane)) | (((value >> i) & 1) << lane);
+                    let new = (*word & !(1u64 << lane)) | (port_bit(value, i) << lane);
+                    if *word != new {
+                        *word = new;
+                        self.inputs_dirty = true;
+                    }
                 }
                 ref g => panic!("net {net} is not an input: {g:?}"),
             }
@@ -164,16 +286,20 @@ impl CompiledSim {
                 Gate::Input(idx) => {
                     let mut word = self.input_values[idx as usize];
                     for (lane, &v) in values.iter().enumerate() {
-                        word = (word & !(1u64 << lane)) | (((v >> i) & 1) << lane);
+                        word = (word & !(1u64 << lane)) | (port_bit(v, i) << lane);
                     }
-                    self.input_values[idx as usize] = word;
+                    if self.input_values[idx as usize] != word {
+                        self.input_values[idx as usize] = word;
+                        self.inputs_dirty = true;
+                    }
                 }
                 ref g => panic!("net {net} is not an input: {g:?}"),
             }
         }
     }
 
-    /// Drives the named input port identically on every lane.
+    /// Drives the named input port identically on every lane. Port bits at
+    /// and beyond 64 are driven to 0.
     ///
     /// # Panics
     ///
@@ -186,7 +312,11 @@ impl CompiledSim {
         for (i, &net) in port.nets.iter().enumerate() {
             match self.netlist.gates()[net as usize] {
                 Gate::Input(idx) => {
-                    self.input_values[idx as usize] = broadcast((value >> i) & 1 == 1);
+                    let word = broadcast(port_bit(value, i) == 1);
+                    if self.input_values[idx as usize] != word {
+                        self.input_values[idx as usize] = word;
+                        self.inputs_dirty = true;
+                    }
                 }
                 ref g => panic!("net {net} is not an input: {g:?}"),
             }
@@ -198,16 +328,64 @@ impl CompiledSim {
         self.set_bus_u64(port, value as u64);
     }
 
-    /// Settles all combinational logic: one forward sweep of the op stream.
+    /// Settles all combinational logic for the current inputs and FF state.
+    ///
+    /// Depending on [`CompiledSim::eval_mode`] this is either one full
+    /// forward sweep of the op stream or an event-driven sweep that skips
+    /// levels whose fan-in did not change; both produce bit-identical
+    /// values and toggle counts. The very first settle is always a full
+    /// sweep (the all-zero reset words must be replaced everywhere).
     pub fn eval(&mut self) {
-        let n = self.prog.len();
-        let ops = &self.prog.opcodes[..n];
-        let pa = &self.prog.a[..n];
-        let pb = &self.prog.b[..n];
-        let pc = &self.prog.c[..n];
-        let pd = &self.prog.dst[..n];
+        let event = self.primed
+            && match self.mode {
+                EvalMode::FullSweep => false,
+                EvalMode::EventDriven => true,
+                EvalMode::Auto => {
+                    if self.dense_backoff > 0 {
+                        self.dense_backoff -= 1;
+                        false
+                    } else {
+                        true
+                    }
+                }
+            };
+        // A fresh stamp per settle: "changed this settle" comparisons never
+        // need an O(nets) clear.
+        self.settle_id = self.settle_id.wrapping_add(1);
+        if event {
+            self.eval_event();
+        } else {
+            self.eval_full();
+        }
+        self.stats.settles += 1;
+        // The settle consumed all external dirtiness: values now reflect
+        // the current input words and stored FF state.
+        self.inputs_dirty = false;
+        self.ffs_dirty = false;
+        if !self.primed {
+            // The pre-first-eval state is arbitrary (all-zero words), so the
+            // transitions of the first settle are not real switching.
+            self.toggles.iter_mut().for_each(|t| *t = 0);
+            self.primed = true;
+        }
+    }
+
+    /// Executes ops `range` of the stream; returns true when any
+    /// destination word changed on an active lane.
+    ///
+    /// The operand arrays are sliced to the range up front so the hot
+    /// loop's stream indexing is bounds-check free.
+    #[inline]
+    fn exec_range(&mut self, range: std::ops::Range<usize>) -> bool {
+        let n = range.len();
+        let ops = &self.prog.opcodes[range.clone()][..n];
+        let pa = &self.prog.a[range.clone()][..n];
+        let pb = &self.prog.b[range.clone()][..n];
+        let pc = &self.prog.c[range.clone()][..n];
+        let pd = &self.prog.dst[range][..n];
         let values = &mut self.values[..];
         let mask = self.lane_mask;
+        let mut changed = false;
         for i in 0..n {
             let v = match ops[i] {
                 OpCode::Input => self.input_values[pa[i] as usize],
@@ -228,21 +406,194 @@ impl CompiledSim {
             let diff = (values[d] ^ v) & mask;
             if diff != 0 {
                 self.toggles[d] += diff.count_ones() as u64;
+                changed = true;
             }
             values[d] = v;
         }
-        if !self.primed {
-            // The pre-first-eval state is arbitrary (all-zero words), so the
-            // transitions of the first settle are not real switching.
-            self.toggles.iter_mut().for_each(|t| *t = 0);
-            self.primed = true;
+        changed
+    }
+
+    /// One unconditional forward sweep of the whole op stream.
+    fn eval_full(&mut self) {
+        let n = self.prog.len();
+        self.exec_range(0..n);
+        self.stats.full_sweeps += 1;
+        self.stats.ops_executed += n as u64;
+    }
+
+    /// Executes level 0 — exactly the Input/DffOut ops — and reports which
+    /// of the two external dirt sources actually changed a published word:
+    /// `(input-fed nets changed, FF-fed nets changed)`.
+    fn exec_level0(&mut self, range: std::ops::Range<usize>) -> (bool, bool) {
+        let n = range.len();
+        let ops = &self.prog.opcodes[range.clone()][..n];
+        let pa = &self.prog.a[range.clone()][..n];
+        let pd = &self.prog.dst[range][..n];
+        let mask = self.lane_mask;
+        let (mut in_changed, mut ff_changed) = (false, false);
+        for i in 0..n {
+            let (v, is_input) = match ops[i] {
+                OpCode::Input => (self.input_values[pa[i] as usize], true),
+                OpCode::DffOut => (self.ff_state[pd[i] as usize], false),
+                op => unreachable!("level 0 holds only Input/DffOut ops, found {op:?}"),
+            };
+            let d = pd[i] as usize;
+            let diff = (self.values[d] ^ v) & mask;
+            if diff != 0 {
+                self.toggles[d] += diff.count_ones() as u64;
+                self.changed_stamp[d] = self.settle_id;
+                if is_input {
+                    in_changed = true;
+                } else {
+                    ff_changed = true;
+                }
+            }
+            self.values[d] = v;
+        }
+        (in_changed, ff_changed)
+    }
+
+    /// Executes one dirty level (`level >= 1`) with per-op gating: an op
+    /// runs only when one of its operand nets carries the current settle's
+    /// change stamp — a skipped op's fan-in is bit-identical to the
+    /// previous settle, so its output already holds the settled value.
+    /// Returns `(ops executed, any destination changed)`.
+    fn exec_level_gated(&mut self, range: std::ops::Range<usize>) -> (u64, bool) {
+        let n = range.len();
+        let ops = &self.prog.opcodes[range.clone()][..n];
+        let pa = &self.prog.a[range.clone()][..n];
+        let pb = &self.prog.b[range.clone()][..n];
+        let pc = &self.prog.c[range.clone()][..n];
+        let pd = &self.prog.dst[range][..n];
+        let values = &mut self.values[..];
+        let stamp = &mut self.changed_stamp[..];
+        let cur = self.settle_id;
+        let mask = self.lane_mask;
+        let mut executed = 0u64;
+        let mut changed = false;
+        for i in 0..n {
+            let v = match ops[i] {
+                OpCode::Not => {
+                    let a = pa[i] as usize;
+                    if stamp[a] != cur {
+                        continue;
+                    }
+                    !values[a]
+                }
+                OpCode::Mux => {
+                    let (a, b, c) = (pa[i] as usize, pb[i] as usize, pc[i] as usize);
+                    if stamp[a] != cur && stamp[b] != cur && stamp[c] != cur {
+                        continue;
+                    }
+                    let sel = values[c];
+                    (sel & values[b]) | (!sel & values[a])
+                }
+                op => {
+                    let (a, b) = (pa[i] as usize, pb[i] as usize);
+                    if stamp[a] != cur && stamp[b] != cur {
+                        continue;
+                    }
+                    let (x, y) = (values[a], values[b]);
+                    match op {
+                        OpCode::And => x & y,
+                        OpCode::Or => x | y,
+                        OpCode::Xor => x ^ y,
+                        OpCode::Nand => !(x & y),
+                        OpCode::Nor => !(x | y),
+                        OpCode::Xnor => !(x ^ y),
+                        _ => unreachable!("Input/DffOut ops live in level 0, found {op:?}"),
+                    }
+                }
+            };
+            executed += 1;
+            let d = pd[i] as usize;
+            let diff = (values[d] ^ v) & mask;
+            if diff != 0 {
+                self.toggles[d] += diff.count_ones() as u64;
+                stamp[d] = cur;
+                changed = true;
+            }
+            values[d] = v;
+        }
+        (executed, changed)
+    }
+
+    /// Event-driven settle, two tiers of exact skipping:
+    ///
+    /// 1. **Whole levels** — a level is skipped outright when none of its
+    ///    dirt sources ([`Program::level_deps`]) changed: level 0 when no
+    ///    input or stored FF word was dirtied since the last settle, any
+    ///    later level when no fan-in level (nor the input-fed/FF-fed
+    ///    source it reads) changed a published word during *this* settle.
+    /// 2. **Per op** — inside a dirty level, an op executes only when one
+    ///    of its operand nets carries the current settle's change stamp
+    ///    ([`CompiledSim::exec_level_gated`]).
+    ///
+    /// Both tiers are bit-exact: skipped work would recompute values that
+    /// are already settled and accumulate zero toggles.
+    fn eval_event(&mut self) {
+        let levels = self.prog.levels();
+        self.changed_levels.iter_mut().for_each(|w| *w = 0);
+        let mut ops_run = 0u64;
+        for level in 0..levels {
+            let range = self.prog.level_ops(level);
+            if range.is_empty() {
+                continue; // constants-only level: nothing scheduled
+            }
+            if level == 0 {
+                if !self.inputs_dirty && !self.ffs_dirty {
+                    self.stats.levels_skipped += 1;
+                    continue;
+                }
+                ops_run += range.len() as u64;
+                let (in_changed, ff_changed) = self.exec_level0(range);
+                // Bits `levels` / `levels + 1`: the input-fed and FF-fed
+                // dirt sources (`Program::dep_bit_inputs`/`dep_bit_ffs`).
+                for (changed, bit) in [(in_changed, levels), (ff_changed, levels + 1)] {
+                    if changed {
+                        self.changed_levels[bit / 64] |= 1u64 << (bit % 64);
+                    }
+                }
+                continue;
+            }
+            let dirty = self
+                .prog
+                .level_dep_set(level)
+                .iter()
+                .zip(self.changed_levels.iter())
+                .any(|(d, c)| d & c != 0);
+            if !dirty {
+                self.stats.levels_skipped += 1;
+                continue;
+            }
+            let (executed, changed) = self.exec_level_gated(range);
+            ops_run += executed;
+            if changed {
+                self.changed_levels[level / 64] |= 1u64 << (level % 64);
+            }
+        }
+        self.stats.ops_executed += ops_run;
+        // Dense stimulus: when nearly every op ran anyway, the gating
+        // bookkeeping is pure overhead — fall back to plain full sweeps
+        // for a while before probing the event-driven path again.
+        if self.mode == EvalMode::Auto
+            && ops_run * 8 > self.prog.len() as u64 * AUTO_DENSE_THRESHOLD_EIGHTHS as u64
+        {
+            self.dense_backoff = AUTO_DENSE_BACKOFF;
         }
     }
 
     /// Clock edge: latches every DFF's `d` word into its state.
     pub fn step(&mut self) {
         for &(ff, d) in &self.prog.dffs {
-            self.ff_state[ff as usize] = self.values[d as usize];
+            let next = self.values[d as usize];
+            // The FF output publishes the *stored* word on the next settle,
+            // so level 0 only needs re-evaluation when the newly latched
+            // word differs from the currently published one.
+            if self.values[ff as usize] != next {
+                self.ffs_dirty = true;
+            }
+            self.ff_state[ff as usize] = next;
         }
         self.cycles += 1;
     }
@@ -266,7 +617,9 @@ impl CompiledSim {
         self.get_lane(net, 0)
     }
 
-    /// Reads up to 64 bits of the named output port on one lane.
+    /// Reads up to 64 bits of the named output port on one lane. Port bits
+    /// at and beyond 64 do not fit in the result and read as 0 (they are
+    /// simply not included).
     ///
     /// # Panics
     ///
@@ -281,9 +634,13 @@ impl CompiledSim {
             .netlist
             .output(port)
             .unwrap_or_else(|| panic!("no output port `{port}`"));
-        port.nets.iter().enumerate().fold(0u64, |acc, (i, &n)| {
-            acc | (((self.values[n as usize] >> lane) & 1) << i)
-        })
+        port.nets
+            .iter()
+            .take(64)
+            .enumerate()
+            .fold(0u64, |acc, (i, &n)| {
+                acc | (((self.values[n as usize] >> lane) & 1) << i)
+            })
     }
 
     /// Reads the named output port on lane 0.
@@ -306,7 +663,11 @@ impl CompiledSim {
             self.netlist.gates()[net as usize].is_dff(),
             "net {net} is not a DFF"
         );
-        self.ff_state[net as usize] = broadcast(value);
+        let word = broadcast(value);
+        if self.values[net as usize] != word {
+            self.ffs_dirty = true;
+        }
+        self.ff_state[net as usize] = word;
     }
 
     /// Forces the stored state of a DFF on one lane only (e.g. a per-lane
@@ -327,6 +688,9 @@ impl CompiledSim {
         );
         let word = &mut self.ff_state[net as usize];
         *word = (*word & !(1u64 << lane)) | ((value as u64) << lane);
+        if *word != self.values[net as usize] {
+            self.ffs_dirty = true;
+        }
     }
 
     /// Total toggles per net since construction (summed over active lanes).
@@ -396,6 +760,10 @@ impl SimBackend for CompiledSim {
 
     fn average_activity(&self) -> f64 {
         CompiledSim::average_activity(self)
+    }
+
+    fn eval_stats(&self) -> EvalStats {
+        CompiledSim::eval_stats(self)
     }
 }
 
@@ -488,6 +856,177 @@ mod tests {
         }
         assert_eq!(sim.toggles().iter().sum::<u64>(), 0);
         assert_eq!(sim.average_activity(), 0.0);
+    }
+
+    #[test]
+    fn event_driven_skips_settled_levels_and_stays_exact() {
+        // 4-bit counter with an 8-bit adder bolted on: plenty of levels.
+        let mut b = Builder::new();
+        let ffs: Vec<NetId> = (0..4).map(|_| b.dff(false)).collect();
+        let one = crate::bus::constant(&mut b, 1, 4);
+        let (next, _) = crate::bus::add(&mut b, &ffs, &one);
+        for (ff, d) in ffs.iter().zip(&next) {
+            b.connect_dff(*ff, *d);
+        }
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (sum, _) = crate::bus::add(&mut b, &x, &y);
+        b.output_bus("sum", &sum);
+        b.output_bus("count", &ffs);
+        let nl = b.finish();
+
+        let mut full = CompiledSim::new(&nl);
+        full.set_eval_mode(EvalMode::FullSweep);
+        let mut event = CompiledSim::new(&nl);
+        event.set_eval_mode(EvalMode::EventDriven);
+        for cycle in 0..30u32 {
+            // The adder inputs only change every 10th settle: the cone
+            // between changes is quiescent and must be skipped.
+            let (a, c) = ((cycle / 10) * 37, (cycle / 10) * 11 + 1);
+            for sim in [&mut full, &mut event] {
+                sim.set_bus("x", a);
+                sim.set_bus("y", c);
+                sim.eval();
+                sim.step();
+            }
+            assert_eq!(event.get_bus("sum"), full.get_bus("sum"), "cycle {cycle}");
+            assert_eq!(
+                event.get_bus("count"),
+                full.get_bus("count"),
+                "cycle {cycle}"
+            );
+        }
+        assert_eq!(event.toggles(), full.toggles(), "exact toggle counts");
+        let (fs, es) = (full.eval_stats(), event.eval_stats());
+        assert_eq!(fs.settles, 30);
+        assert_eq!(fs.full_sweeps, 30);
+        assert_eq!(fs.levels_skipped, 0);
+        assert_eq!(es.settles, 30);
+        assert_eq!(es.full_sweeps, 1, "only the priming settle sweeps");
+        // The adder cone is quiescent between the every-10th-settle input
+        // changes, so per-op gating must strip most of its work even
+        // though the counter keeps its levels nominally dirty.
+        assert!(
+            es.ops_executed * 2 < fs.ops_executed,
+            "event-driven must execute far fewer ops ({} vs {})",
+            es.ops_executed,
+            fs.ops_executed
+        );
+    }
+
+    #[test]
+    fn idempotent_evals_skip_everything() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (sum, _) = crate::bus::add(&mut b, &x, &y);
+        b.output_bus("sum", &sum);
+        let nl = b.finish();
+        let mut sim = CompiledSim::with_lanes(&nl, 64);
+        sim.set_eval_mode(EvalMode::EventDriven);
+        sim.set_bus("x", 170);
+        sim.set_bus("y", 85);
+        sim.eval(); // priming full sweep
+        let after_first = sim.eval_stats();
+        sim.set_bus("x", 170); // identical stimulus: no input word changes
+        sim.eval();
+        sim.eval();
+        let stats = sim.eval_stats();
+        assert_eq!(sim.get_bus("sum"), 255);
+        assert_eq!(
+            stats.ops_executed, after_first.ops_executed,
+            "settled netlist must execute zero ops"
+        );
+        assert_eq!(stats.settles, 3);
+        assert!(
+            stats.levels_skipped > 0,
+            "idempotent settles must skip whole levels: {stats:?}"
+        );
+        assert_eq!(sim.toggles().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn auto_mode_falls_back_to_full_sweeps_on_dense_stimulus() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (sum, _) = crate::bus::add(&mut b, &x, &y);
+        b.output_bus("sum", &sum);
+        let nl = b.finish();
+        let mut sim = CompiledSim::with_lanes(&nl, 64);
+        assert_eq!(sim.eval_mode(), EvalMode::Auto);
+        for i in 0..8u64 {
+            // Every lane changes every settle: maximally dense stimulus.
+            for lane in 0..64 {
+                sim.set_bus_lane("x", lane, i * 67 + lane as u64);
+                sim.set_bus_lane("y", lane, i * 31 + lane as u64 * 3);
+            }
+            sim.eval();
+        }
+        let stats = sim.eval_stats();
+        // Settle 0 primes (full); settle 1 probes event-driven, detects the
+        // dense stimulus, and the remaining settles fall back to full.
+        assert!(
+            stats.full_sweeps >= 7,
+            "dense stimulus must fall back to full sweeps: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn wide_ports_drive_and_read_without_shift_overflow() {
+        // Regression: ports wider than 64 bits used to compute
+        // `value >> i` / `<< i` with `i >= 64` — a panic in debug and a
+        // silently wrapped shift in release. Bits at and beyond 64 now
+        // drive as 0 and are not included in `u64` reads.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 70);
+        let notx: Vec<NetId> = x.iter().map(|&n| b.not(n)).collect();
+        b.output_bus("y", &x);
+        b.output_bus("ny", &notx);
+        let nl = b.finish();
+        let mut sim = CompiledSim::with_lanes(&nl, 2);
+        sim.set_bus_u64("x", u64::MAX);
+        sim.eval();
+        // All 64 driveable bits read back; bits 64..70 were driven to 0.
+        assert_eq!(sim.get_bus_lane("y", 0), u64::MAX);
+        for (i, &n) in x.iter().enumerate() {
+            assert_eq!(sim.get_lane(n, 0), i < 64, "bit {i}");
+        }
+        // The inverted port's low 64 bits are 0; bits 64+ are 1 but do not
+        // fit in (and must not corrupt) the u64 read.
+        assert_eq!(sim.get_bus_lane("ny", 0), 0);
+        // The per-lane and batched writers follow the same rule.
+        sim.set_bus_lane("x", 1, 0xdead_beef);
+        sim.set_bus_lanes("x", &[0x1234]);
+        sim.eval();
+        assert_eq!(sim.get_bus_lane("y", 0), 0x1234);
+        assert_eq!(sim.get_bus_lane("y", 1), 0xdead_beef);
+    }
+
+    #[test]
+    fn arc_constructors_share_one_netlist() {
+        let mut b = Builder::new();
+        let x = b.input("x");
+        b.output("y", x);
+        let nl = std::sync::Arc::new(b.finish());
+        // Regression: `with_lanes` used to deep-clone the netlist into a
+        // fresh Arc on every construction; the `_arc` constructors share
+        // the caller's allocation.
+        let a = CompiledSim::with_lanes_arc(nl.clone(), 2);
+        let c = CompiledSim::new_arc(nl.clone());
+        assert!(std::sync::Arc::ptr_eq(a.netlist_arc(), &nl));
+        assert!(std::sync::Arc::ptr_eq(c.netlist_arc(), &nl));
+        let sharded = crate::sharded::ShardedSim::with_policy_arc(
+            nl.clone(),
+            crate::sharded::ShardPolicy {
+                shards: 3,
+                lanes_per_shard: 4,
+                threads: 1,
+            },
+        );
+        for shard in sharded.shards() {
+            assert!(std::sync::Arc::ptr_eq(shard.netlist_arc(), &nl));
+        }
     }
 
     #[test]

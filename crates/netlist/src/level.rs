@@ -10,8 +10,29 @@
 //! the level boundaries are retained so parallel backends (e.g.
 //! [`crate::sharded::ShardedSim`]'s shards, or a future per-level
 //! evaluator) can exploit the recorded level structure.
+//!
+//! Compilation also records per-level *fan-in level sets*
+//! ([`Program::level_deps`]): for each level, a bitset over the earlier
+//! levels whose nets feed it. This is what lets
+//! [`crate::compiled::CompiledSim`]'s event-driven evaluation skip a whole
+//! level when none of its fan-in levels changed a value word during the
+//! current settle (see `docs/simulation.md` § "Event-driven evaluation").
 
 use crate::{Gate, NetId, Netlist};
+
+/// Converts an op-stream size to the `u32` index space the compiled arrays
+/// use, panicking with an actionable message instead of silently
+/// truncating when a netlist is too large.
+fn checked_u32(n: usize, what: &str) -> u32 {
+    u32::try_from(n).unwrap_or_else(|_| {
+        panic!(
+            "netlist too large to compile: {n} {what} exceed the u32 index \
+             space of the compiled op stream ({} max); shard the design or \
+             widen the Program index type",
+            u32::MAX
+        )
+    })
+}
 
 /// ASAP levelization of a netlist.
 #[derive(Debug, Clone)]
@@ -37,6 +58,9 @@ impl Levelized {
 /// id is smaller than the gate's id), so a single forward pass suffices.
 pub fn levelize(netlist: &Netlist) -> Levelized {
     let gates = netlist.gates();
+    // The counting sort below and the compiled op stream index nets with
+    // u32; reject oversized arenas up front instead of wrapping.
+    checked_u32(gates.len(), "nets");
     let mut depth = vec![0u32; gates.len()];
     let mut max_level = 0u32;
     for (id, gate) in gates.iter().enumerate() {
@@ -119,6 +143,26 @@ pub struct Program {
     pub c: Vec<u32>,
     /// Op-stream offsets of each level (`len = levels + 1`).
     pub bounds: Vec<u32>,
+    /// Per-level fan-in *dirt source* sets, flattened:
+    /// `level_deps[l * dep_stride .. (l + 1) * dep_stride]` is a bitset
+    /// (bit `k` = word `k / 64`, bit `k % 64`) over the sources whose
+    /// change forces level `l` to re-evaluate:
+    ///
+    /// * bit `k < levels` — some op in level `l` reads a net computed in
+    ///   level `k`. Level-0 nets are published from external words and get
+    ///   the two dedicated bits below instead, so bit 0 is never set.
+    /// * bit `levels` ([`Program::dep_bit_inputs`]) — some op reads a net
+    ///   published from a primary-input word ([`OpCode::Input`]).
+    /// * bit `levels + 1` ([`Program::dep_bit_ffs`]) — some op reads a net
+    ///   published from a stored FF word ([`OpCode::DffOut`]).
+    ///
+    /// Splitting level 0 by source kind is what lets a cycle loop skip
+    /// input-fed cones when only flip-flops changed (and vice versa).
+    /// Constant nets are excluded entirely: they can never change.
+    pub level_deps: Vec<u64>,
+    /// Bitset words per level in [`Program::level_deps`]
+    /// (`(levels + 2).div_ceil(64)`).
+    pub dep_stride: usize,
     /// Constant nets and their fixed values (preset at reset, never executed).
     pub consts: Vec<(NetId, bool)>,
     /// `(ff net, d net)` pairs latched by a clock edge.
@@ -134,6 +178,10 @@ impl Program {
     pub fn compile(netlist: &Netlist) -> Program {
         let lev = levelize(netlist);
         let gates = netlist.gates();
+        let levels = lev.levels();
+        // Two extra dirt-source bits past the per-level ones: "input-fed"
+        // and "FF-fed" (see the `level_deps` docs).
+        let dep_stride = (levels + 2).div_ceil(64);
         let mut p = Program {
             opcodes: Vec::with_capacity(gates.len()),
             dst: Vec::with_capacity(gates.len()),
@@ -141,13 +189,15 @@ impl Program {
             b: Vec::with_capacity(gates.len()),
             c: Vec::with_capacity(gates.len()),
             bounds: Vec::with_capacity(lev.bounds.len()),
+            level_deps: vec![0u64; levels * dep_stride],
+            dep_stride,
             consts: Vec::new(),
             dffs: Vec::new(),
             net_count: gates.len(),
             input_count: netlist.inputs().iter().map(|port| port.nets.len()).sum(),
         };
         p.bounds.push(0);
-        for level in 0..lev.levels() {
+        for level in 0..levels {
             for &id in &lev.order[lev.bounds[level] as usize..lev.bounds[level + 1] as usize] {
                 let (op, a, b, c) = match gates[id as usize] {
                     Gate::Const(v) => {
@@ -168,13 +218,26 @@ impl Program {
                         (OpCode::DffOut, 0, 0, 0)
                     }
                 };
+                // Record which dirt sources feed this level. Constant
+                // fan-ins are skipped (preset at reset, can never change);
+                // level-0 fan-ins resolve to the input-fed or FF-fed
+                // source bit depending on what publishes them.
+                for f in gates[id as usize].fanin() {
+                    let dep = match gates[f as usize] {
+                        Gate::Const(_) => continue,
+                        Gate::Input(_) => levels,
+                        Gate::Dff { .. } => levels + 1,
+                        _ => lev.depth[f as usize] as usize,
+                    };
+                    p.level_deps[level * dep_stride + dep / 64] |= 1u64 << (dep % 64);
+                }
                 p.opcodes.push(op);
                 p.dst.push(id);
                 p.a.push(a);
                 p.b.push(b);
                 p.c.push(c);
             }
-            p.bounds.push(p.opcodes.len() as u32);
+            p.bounds.push(checked_u32(p.opcodes.len(), "ops"));
         }
         p
     }
@@ -197,6 +260,24 @@ impl Program {
     /// The op index range of one level.
     pub fn level_ops(&self, level: usize) -> std::ops::Range<usize> {
         self.bounds[level] as usize..self.bounds[level + 1] as usize
+    }
+
+    /// [`Program::level_deps`] bit index of the "a primary-input word
+    /// changed" dirt source.
+    pub fn dep_bit_inputs(&self) -> usize {
+        self.levels()
+    }
+
+    /// [`Program::level_deps`] bit index of the "a stored FF word changed"
+    /// dirt source.
+    pub fn dep_bit_ffs(&self) -> usize {
+        self.levels() + 1
+    }
+
+    /// The dirt-source set of one level, as a `dep_stride`-word bitset
+    /// slice (see [`Program::level_deps`] for the bit layout).
+    pub fn level_dep_set(&self, level: usize) -> &[u64] {
+        &self.level_deps[level * self.dep_stride..(level + 1) * self.dep_stride]
     }
 }
 
@@ -244,6 +325,59 @@ mod tests {
             seen[id as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn level_deps_cover_exactly_the_fanin_sources() {
+        let nl = sample();
+        let lev = levelize(&nl);
+        let p = Program::compile(&nl);
+        assert_eq!(p.dep_stride, (p.levels() + 2).div_ceil(64));
+        assert_eq!(p.level_deps.len(), p.levels() * p.dep_stride);
+        // Reconstruct the expected sets straight from the gate arena.
+        let gates = nl.gates();
+        for level in 0..p.levels() {
+            let deps = p.level_dep_set(level);
+            let mut expect = vec![0u64; p.dep_stride];
+            for i in p.level_ops(level) {
+                for f in gates[p.dst[i] as usize].fanin() {
+                    let d = match gates[f as usize] {
+                        Gate::Const(_) => continue,
+                        Gate::Input(_) => p.dep_bit_inputs(),
+                        Gate::Dff { .. } => p.dep_bit_ffs(),
+                        _ => lev.depth[f as usize] as usize,
+                    };
+                    expect[d / 64] |= 1u64 << (d % 64);
+                }
+            }
+            assert_eq!(deps, &expect[..], "level {level}");
+            // Net fan-ins are strictly earlier levels, and never level 0
+            // (level-0 nets resolve to the external dirt-source bits).
+            assert_eq!(deps[0] & 1, 0, "level {level} claims a level-0 net");
+            for k in level..p.levels() {
+                assert_eq!(deps[k / 64] & (1 << (k % 64)), 0, "level {level} dep {k}");
+            }
+        }
+        // Level 0 itself reads only external words: an all-empty set.
+        assert!(p.level_dep_set(0).iter().all(|&w| w == 0));
+        // The sample circuit's level 1 reads inputs (and/or) but no FFs;
+        // the xor level reads the FF output.
+        assert_ne!(
+            p.level_dep_set(1)[p.dep_bit_inputs() / 64] & (1 << (p.dep_bit_inputs() % 64)),
+            0
+        );
+        let ff_reader = (1..p.levels())
+            .any(|l| p.level_dep_set(l)[p.dep_bit_ffs() / 64] & (1 << (p.dep_bit_ffs() % 64)) != 0);
+        assert!(ff_reader, "some level must read the DFF output");
+    }
+
+    #[test]
+    #[should_panic(expected = "netlist too large to compile")]
+    fn oversized_op_streams_are_rejected_not_truncated() {
+        // Regression for the silent `as u32` truncation: the checked
+        // conversion must panic with an actionable message instead of
+        // wrapping when a netlist exceeds the u32 index space.
+        let _ = checked_u32(u32::MAX as usize + 1, "ops");
     }
 
     #[test]

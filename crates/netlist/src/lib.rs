@@ -14,9 +14,11 @@
 //!   reference backend, event-free and two-phase with toggle counting (the
 //!   activity numbers feed the FlexIC power model).
 //! * [`level`] — levelization and compilation of a netlist into a flat,
-//!   structure-of-arrays op stream.
+//!   structure-of-arrays op stream with per-level fan-in metadata.
 //! * [`compiled`] — the compiled backend: 64 stimulus lanes per eval, one
-//!   `u64` word per net, exact popcount toggle accounting.
+//!   `u64` word per net, exact popcount toggle accounting, and
+//!   event-driven level skipping on low-activity stimulus
+//!   ([`compiled::EvalMode`]).
 //! * [`sharded`] — the multi-threaded backend: N independent compiled
 //!   shards over disjoint stimulus lanes, merged bit-identically
 //!   regardless of thread count.
@@ -82,9 +84,9 @@ pub mod sharded;
 pub mod sim;
 pub mod stats;
 
-pub use compiled::CompiledSim;
+pub use compiled::{CompiledSim, EvalMode};
 pub use sharded::{ShardPolicy, ShardedSim};
-pub use sim::{Sim, SimBackend};
+pub use sim::{EvalStats, Sim, SimBackend};
 
 use std::collections::HashMap;
 

@@ -26,10 +26,11 @@
 //!   amortising spawn cost over many settles. This is what `hwlib`'s
 //!   verification sweeps and the `gate_sim` bench use.
 
-use crate::compiled::{CompiledSim, MAX_LANES};
-use crate::sim::SimBackend;
+use crate::compiled::{CompiledSim, EvalMode, MAX_LANES};
+use crate::sim::{EvalStats, SimBackend};
 use crate::{NetId, Netlist};
 use std::cell::OnceCell;
+use std::sync::Arc;
 
 /// How a stimulus batch is split into shards and scheduled onto threads.
 ///
@@ -103,18 +104,40 @@ impl ShardedSim {
         ShardedSim::with_policy(netlist, ShardPolicy::threads(threads))
     }
 
-    /// Compiles `netlist` under an explicit shard policy.
+    /// Like [`ShardedSim::new`], but shares an already-owned netlist
+    /// instead of deep-cloning it.
+    pub fn new_arc(netlist: Arc<Netlist>, threads: usize) -> ShardedSim {
+        ShardedSim::with_policy_arc(netlist, ShardPolicy::threads(threads))
+    }
+
+    /// Compiles `netlist` under an explicit shard policy. Thin wrapper
+    /// over [`ShardedSim::with_policy_arc`] that clones the netlist once;
+    /// callers that already hold an [`Arc<Netlist>`] should pass it to the
+    /// `_arc` constructor so the shard fan-out shares their copy.
     ///
     /// # Panics
     ///
     /// Panics if `policy.shards == 0`, `policy.threads == 0`, or
     /// `policy.lanes_per_shard` is outside `1..=64`.
     pub fn with_policy(netlist: &Netlist, policy: ShardPolicy) -> ShardedSim {
+        ShardedSim::with_policy_arc(Arc::new(netlist.clone()), policy)
+    }
+
+    /// Compiles the shared `netlist` under an explicit shard policy
+    /// without copying the netlist structure: every shard holds the same
+    /// [`Arc`], so the gate arena exists once regardless of shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.shards == 0`, `policy.threads == 0`, or
+    /// `policy.lanes_per_shard` is outside `1..=64`.
+    pub fn with_policy_arc(netlist: Arc<Netlist>, policy: ShardPolicy) -> ShardedSim {
         assert!(policy.shards >= 1, "policy needs at least one shard");
         assert!(policy.threads >= 1, "policy needs at least one thread");
         // Shards are identical at reset: levelize/compile once, clone the
-        // rest (a clone copies the arrays but skips recompilation).
-        let first = CompiledSim::with_lanes(netlist, policy.lanes_per_shard);
+        // rest (a clone copies the per-lane arrays but shares the compiled
+        // program and the netlist Arc).
+        let first = CompiledSim::with_lanes_arc(netlist, policy.lanes_per_shard);
         let shards = vec![first; policy.shards];
         ShardedSim {
             shards,
@@ -122,6 +145,23 @@ impl ShardedSim {
             threads: policy.threads.min(policy.shards),
             merged_toggles: OnceCell::new(),
         }
+    }
+
+    /// Selects every shard's evaluation strategy ([`EvalMode`]). Purely a
+    /// performance knob: results are bit-identical in every mode.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        for s in &mut self.shards {
+            s.set_eval_mode(mode);
+        }
+    }
+
+    /// Merged work counters: the elementwise sum of every shard's
+    /// [`CompiledSim::eval_stats`].
+    pub fn eval_stats(&self) -> EvalStats {
+        self.shards
+            .iter()
+            .map(|s| s.eval_stats())
+            .fold(EvalStats::default(), EvalStats::merge)
     }
 
     /// The simulated netlist.
@@ -349,6 +389,10 @@ impl SimBackend for ShardedSim {
 
     fn cycles(&self) -> u64 {
         ShardedSim::cycles(self)
+    }
+
+    fn eval_stats(&self) -> EvalStats {
+        ShardedSim::eval_stats(self)
     }
 }
 

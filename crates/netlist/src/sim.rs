@@ -13,6 +13,50 @@
 
 use crate::{Gate, NetId, Netlist};
 
+/// Bit `i` of `value` as a 0/1 word, where bits at and beyond 64 read as 0:
+/// ports wider than 64 bits have their high bits driven to 0 through the
+/// `u64` bus API instead of overflowing the shift (`docs/simulation.md`
+/// § "Lane packing"). Shared by every backend so the rule cannot diverge.
+pub(crate) fn port_bit(value: u64, i: usize) -> u64 {
+    if i < 64 {
+        (value >> i) & 1
+    } else {
+        0
+    }
+}
+
+/// Work counters for a backend's settles.
+///
+/// Purely diagnostic: the counters never influence simulation results —
+/// they let benches and tests assert that an optimisation (e.g. the
+/// compiled backend's event-driven level skipping, `docs/simulation.md`
+/// § "Event-driven evaluation") actually engaged, and quantify how many
+/// ops a stimulus schedule really executed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Total `eval()` calls.
+    pub settles: u64,
+    /// Settles evaluated by an unconditional sweep of every op/gate.
+    pub full_sweeps: u64,
+    /// Ops (gates) actually executed, summed over all settles.
+    pub ops_executed: u64,
+    /// Whole levels skipped by event-driven evaluation (0 for backends
+    /// that always sweep).
+    pub levels_skipped: u64,
+}
+
+impl EvalStats {
+    /// Elementwise sum (merging counters across shards/backends).
+    pub fn merge(self, other: EvalStats) -> EvalStats {
+        EvalStats {
+            settles: self.settles + other.settles,
+            full_sweeps: self.full_sweeps + other.full_sweeps,
+            ops_executed: self.ops_executed + other.ops_executed,
+            levels_skipped: self.levels_skipped + other.levels_skipped,
+        }
+    }
+}
+
 /// A gate-level simulation engine over one [`Netlist`].
 ///
 /// A backend owns per-net values, DFF state, and switching-activity
@@ -105,6 +149,13 @@ pub trait SimBackend {
         let total: u64 = toggles.iter().sum();
         total as f64 / (toggles.len() as f64 * cycles as f64 * self.lanes() as f64)
     }
+
+    /// Work counters for this backend's settles ([`EvalStats`]). Purely
+    /// diagnostic — results never depend on how much work a settle
+    /// skipped. Backends that do not track work report all-zero counters.
+    fn eval_stats(&self) -> EvalStats {
+        EvalStats::default()
+    }
 }
 
 /// Interpreted simulator for one netlist (owns a copy of the structure).
@@ -117,6 +168,7 @@ pub struct Sim {
     toggles: Vec<u64>,
     cycles: u64,
     primed: bool,
+    stats: EvalStats,
 }
 
 impl Sim {
@@ -138,6 +190,7 @@ impl Sim {
             toggles: vec![0; netlist.len()],
             cycles: 0,
             primed: false,
+            stats: EvalStats::default(),
             netlist: netlist.clone(),
         }
     }
@@ -157,6 +210,8 @@ impl Sim {
     }
 
     /// Drives the named input port with the low bits of a 64-bit value.
+    /// Port bits at and beyond 64 are driven to 0 (same rule as the
+    /// compiled backend's bus helpers).
     ///
     /// # Panics
     ///
@@ -168,7 +223,7 @@ impl Sim {
             .unwrap_or_else(|| panic!("no input port `{port}`"));
         for (i, &net) in port.nets.iter().enumerate() {
             match self.netlist.gates()[net as usize] {
-                Gate::Input(idx) => self.input_values[idx as usize] = (value >> i) & 1 == 1,
+                Gate::Input(idx) => self.input_values[idx as usize] = port_bit(value, i) == 1,
                 ref g => panic!("net {net} is not an input: {g:?}"),
             }
         }
@@ -201,6 +256,9 @@ impl Sim {
                 self.values[id] = v;
             }
         }
+        self.stats.settles += 1;
+        self.stats.full_sweeps += 1;
+        self.stats.ops_executed += self.netlist.len() as u64;
         if !self.primed {
             // The all-false reset state is arbitrary, so the transitions of
             // the very first settle are initialization, not switching —
@@ -250,7 +308,8 @@ impl Sim {
         self.get_bus_u64(port) as u32
     }
 
-    /// Reads up to 64 bits of the named output port.
+    /// Reads up to 64 bits of the named output port. Port bits at and
+    /// beyond 64 do not fit in the result and read as 0.
     ///
     /// # Panics
     ///
@@ -262,8 +321,15 @@ impl Sim {
             .unwrap_or_else(|| panic!("no output port `{port}`"));
         port.nets
             .iter()
+            .take(64)
             .enumerate()
             .fold(0u64, |acc, (i, &n)| acc | ((self.get(n) as u64) << i))
+    }
+
+    /// Work counters for this simulator's settles (the interpreted
+    /// backend always sweeps every gate).
+    pub fn eval_stats(&self) -> EvalStats {
+        self.stats
     }
 
     /// Total toggles per net since construction.
@@ -348,6 +414,10 @@ impl SimBackend for Sim {
     fn average_activity(&self) -> f64 {
         Sim::average_activity(self)
     }
+
+    fn eval_stats(&self) -> EvalStats {
+        Sim::eval_stats(self)
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +483,41 @@ mod tests {
         // Constant stimulus: zero genuine switching over 10 cycles.
         assert_eq!(sim.toggles().iter().sum::<u64>(), 0);
         assert_eq!(sim.average_activity(), 0.0);
+    }
+
+    #[test]
+    fn wide_ports_drive_and_read_without_shift_overflow() {
+        // Regression: same rule as the compiled backend — port bits at and
+        // beyond 64 drive as 0 and are not included in u64 reads, instead
+        // of overflowing `value >> i` / `<< i`.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 70);
+        b.output_bus("y", &x);
+        let nl = b.finish();
+        let mut sim = Sim::new(&nl);
+        sim.set_bus_u64("x", u64::MAX);
+        sim.eval();
+        assert_eq!(sim.get_bus_u64("y"), u64::MAX);
+        for (i, &n) in x.iter().enumerate() {
+            assert_eq!(sim.get(n), i < 64, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn eval_stats_count_full_sweeps() {
+        let mut b = Builder::new();
+        let x = b.input("x");
+        let nx = b.not(x);
+        b.output("y", nx);
+        let nl = b.finish();
+        let mut sim = Sim::new(&nl);
+        sim.eval();
+        sim.eval();
+        let stats = SimBackend::eval_stats(&sim);
+        assert_eq!(stats.settles, 2);
+        assert_eq!(stats.full_sweeps, 2);
+        assert_eq!(stats.ops_executed, 2 * nl.len() as u64);
+        assert_eq!(stats.levels_skipped, 0);
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Property-based tests on the netlist substrate's core invariants,
 //! including cross-backend equivalence between the interpreted [`Sim`],
-//! the compiled 64-lane [`CompiledSim`], and the multi-threaded
-//! [`ShardedSim`] at 1, 2 and 4 threads. These tests enforce the backend
-//! contract written down in `docs/simulation.md`: identical outputs, FF
-//! state, and exact toggle counts for identical per-lane stimulus,
-//! independent of backend and thread count.
+//! the compiled 64-lane [`CompiledSim`] (in full-sweep, event-driven, and
+//! auto evaluation modes), and the multi-threaded [`ShardedSim`] at 1, 2
+//! and 4 threads. These tests enforce the backend contract written down
+//! in `docs/simulation.md`: identical outputs, FF state, and exact toggle
+//! counts for identical per-lane stimulus, independent of backend, thread
+//! count, and evaluation mode.
 
 use netlist::sim::Sim;
-use netlist::{bus, Builder, CompiledSim, Gate, Netlist, ShardPolicy, ShardedSim, SimBackend};
+use netlist::{
+    bus, Builder, CompiledSim, EvalMode, Gate, Netlist, ShardPolicy, ShardedSim, SimBackend,
+};
 use proptest::prelude::*;
 
 /// Builds a random combinational circuit from a recipe of byte opcodes.
@@ -357,6 +360,117 @@ proptest! {
             }
         }
         prop_assert_eq!(sharded.toggles(), &sum[..]);
+    }
+
+    /// Event-driven evaluation is bit-identical to the full sweep, the
+    /// interpreter, and the sharded backend — outputs, FF state, and exact
+    /// per-net toggle sums — on random sequential netlists under both
+    /// sparse stimulus (the same value re-driven most settles) and dense
+    /// stimulus (a fresh value every settle).
+    #[test]
+    fn event_driven_matches_every_backend_sparse_and_dense(
+        recipe in proptest::collection::vec(any::<u8>(), 6..120),
+        stimuli in proptest::collection::vec(any::<u8>(), 2..24),
+        sparse in any::<bool>(),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        let mut int = Sim::new(&nl);
+        let mut full = CompiledSim::new(&nl);
+        full.set_eval_mode(EvalMode::FullSweep);
+        let mut event = CompiledSim::new(&nl);
+        event.set_eval_mode(EvalMode::EventDriven);
+        let mut auto_mode = CompiledSim::new(&nl); // EvalMode::Auto default
+        let mut sharded = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy { shards: 2, lanes_per_shard: 2, threads: 2 },
+        );
+        sharded.set_eval_mode(EvalMode::EventDriven);
+        for (t, &s) in stimuli.iter().enumerate() {
+            // Sparse schedules only change the stimulus every 4th settle
+            // (re-driving an identical value dirties nothing).
+            let v = if sparse {
+                stimuli[t - t % 4] as u32
+            } else {
+                s as u32
+            };
+            int.set_bus("in", v);
+            full.set_bus("in", v);
+            event.set_bus("in", v);
+            auto_mode.set_bus("in", v);
+            SimBackend::set_bus(&mut sharded, "in", v);
+            int.eval();
+            full.eval();
+            event.eval();
+            auto_mode.eval();
+            sharded.eval();
+            for port in ["out", "state"] {
+                let want = int.get_bus_u64(port);
+                prop_assert_eq!(full.get_bus_u64(port), want, "full {} settle {}", port, t);
+                prop_assert_eq!(event.get_bus_u64(port), want, "event {} settle {}", port, t);
+                prop_assert_eq!(auto_mode.get_bus_u64(port), want, "auto {} settle {}", port, t);
+                for lane in 0..4 {
+                    prop_assert_eq!(
+                        sharded.get_bus_lane(port, lane), want,
+                        "sharded {} lane {} settle {}", port, lane, t
+                    );
+                }
+            }
+            int.step();
+            full.step();
+            event.step();
+            auto_mode.step();
+            sharded.step();
+        }
+        prop_assert_eq!(int.toggles(), full.toggles());
+        prop_assert_eq!(event.toggles(), full.toggles(), "event-driven toggle counts diverged");
+        prop_assert_eq!(auto_mode.toggles(), full.toggles(), "auto-mode toggle counts diverged");
+        let merged: Vec<u64> = int.toggles().iter().map(|&t| 4 * t).collect();
+        prop_assert_eq!(sharded.toggles(), &merged[..]);
+        // The gated path may only ever do less work than the full sweep.
+        prop_assert!(event.eval_stats().ops_executed <= full.eval_stats().ops_executed);
+    }
+
+    /// Sparse 64-lane stimulus — one lane flips per settle, and every
+    /// third settle re-drives identical values — matches the full sweep
+    /// bit-for-bit on every lane with exact toggle counts, and the
+    /// re-driven settles provably skip whole levels.
+    #[test]
+    fn event_driven_sparse_lane_flips_match_full_sweep(
+        recipe in proptest::collection::vec(any::<u8>(), 3..100),
+        base in any::<u64>(),
+    ) {
+        let nl = circuit_from_recipe(&recipe);
+        let mut full = CompiledSim::with_lanes(&nl, 64);
+        full.set_eval_mode(EvalMode::FullSweep);
+        let mut event = CompiledSim::with_lanes(&nl, 64);
+        event.set_eval_mode(EvalMode::EventDriven);
+        for settle in 0..32usize {
+            if settle % 3 != 2 {
+                // Flip one lane's stimulus; all other lanes keep theirs.
+                let lane = (base as usize + settle * 7) % 64;
+                let v = (base.wrapping_mul(settle as u64 * 2 + 3) >> 5) & 0xff;
+                full.set_bus_lane("in", lane, v);
+                event.set_bus_lane("in", lane, v);
+            }
+            // On `settle % 3 == 2` nothing is driven: the event-driven
+            // settle is fully quiescent.
+            full.eval();
+            event.eval();
+            for lane in 0..64 {
+                prop_assert_eq!(
+                    event.get_bus_lane("out", lane),
+                    full.get_bus_lane("out", lane),
+                    "lane {} settle {}", lane, settle
+                );
+            }
+        }
+        prop_assert_eq!(event.toggles(), full.toggles(), "exact toggle counts");
+        let (es, fs) = (event.eval_stats(), full.eval_stats());
+        prop_assert!(es.ops_executed <= fs.ops_executed);
+        prop_assert!(
+            es.levels_skipped > 0,
+            "quiescent settles must skip whole levels: {:?}", es
+        );
     }
 
     /// Stuck-at mutation changes the gate census by at most one gate kind,
