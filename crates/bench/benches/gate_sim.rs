@@ -15,7 +15,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hwlib::HwLibrary;
-use netlist::{CompiledSim, EvalMode, ShardPolicy, ShardedSim, Sim};
+use netlist::{CompiledSim, EvalMode, ShardPolicy, ShardSchedule, ShardedSim, Sim};
 use rissp::{processor::GateLevelCpu, profile::InstructionSubset, Rissp};
 use std::sync::Arc;
 use xcc::OptLevel;
@@ -92,6 +92,31 @@ fn bench(c: &mut Criterion) {
             wide.cycles()
         })
     });
+
+    // Intra-netlist parallel level evaluation: the same 64-lane full-sweep
+    // schedule with each level's ops split across scoped worker threads
+    // (`EvalPolicy::par_levels`). Results are bit-identical to
+    // `settle_compiled_64_lanes`; on the 1-CPU dev container these rows
+    // measure the barrier overhead rather than a speedup (see README).
+    for threads in [2, 4] {
+        let mut par = CompiledSim::with_lanes_arc(core_arc.clone(), 64);
+        par.set_eval_mode(EvalMode::FullSweep);
+        par.par_levels(threads);
+        let mut stimuli = [0u64; 64];
+        g.bench_function(format!("settle_compiled_64_lanes_par{threads}"), |b| {
+            b.iter(|| {
+                for i in 0..EVALS {
+                    for (lane, s) in stimuli.iter_mut().enumerate() {
+                        *s = black_box(0x0000_0113u64 ^ ((i * 64 + lane) as u64) << 7);
+                    }
+                    par.set_bus_lanes("insn", &stimuli);
+                    par.eval();
+                    par.step();
+                }
+                par.cycles()
+            })
+        });
+    }
 
     // Event-driven vs full-sweep evaluation. Sparse schedule: the packed
     // stimulus changes only every 8th settle (and there is no clock edge),
@@ -173,6 +198,7 @@ fn bench(c: &mut Criterion) {
                 shards: 4,
                 lanes_per_shard: 64,
                 threads,
+                ..ShardPolicy::single()
             },
         );
         g.bench_function(
@@ -195,6 +221,47 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+    }
+
+    // Work-stealing vs the deprecated static scheduler on a deliberately
+    // uneven load: shard s settles (s + 1) * EVALS / 4 times, so static
+    // chunking pins the heavy shards while stealing rebalances. Results
+    // are bit-identical; only wall clock may differ.
+    #[allow(deprecated)] // the static row is the regression reference
+    for (name, schedule) in [
+        (
+            "settle_uneven_8_shards_stealing",
+            ShardSchedule::WorkStealing,
+        ),
+        ("settle_uneven_8_shards_static", ShardSchedule::Static),
+    ] {
+        let mut sharded = ShardedSim::with_policy_arc(
+            core_arc.clone(),
+            ShardPolicy {
+                shards: 8,
+                lanes_per_shard: 64,
+                threads: 4,
+                schedule,
+                ..ShardPolicy::single()
+            },
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                sharded.par_shards(|shard, sim| {
+                    let mut stimuli = [0u64; 64];
+                    for i in 0..(shard + 1) * EVALS / 4 {
+                        for (lane, s) in stimuli.iter_mut().enumerate() {
+                            let vector = (i * 512 + shard * 64 + lane) as u64;
+                            *s = black_box(0x0000_0113u64 ^ vector << 7);
+                        }
+                        sim.set_bus_lanes("insn", &stimuli);
+                        sim.eval();
+                        sim.step();
+                    }
+                });
+                black_box(sharded.toggles()[0])
+            })
+        });
     }
     g.finish();
 }

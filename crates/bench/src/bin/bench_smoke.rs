@@ -1,0 +1,306 @@
+//! Quick, machine-readable gate-simulation throughput probe for the CI
+//! perf-trajectory job.
+//!
+//! Runs a small fixed settle schedule on the crc32 RISSP core through the
+//! interesting backend × thread-count configurations and writes one JSON
+//! report (`BENCH_pr.json` by default): ops/settle and settles/sec per
+//! configuration. CI uploads the report as an artifact on every PR and
+//! diffs it against the checked-in `BENCH_baseline.json` with a *soft*
+//! threshold — regressions emit `::warning::` annotations but never fail
+//! the job, because the shared 1–2 CPU runners are far too noisy for a
+//! hard gate. The value is the trajectory: every PR leaves a comparable
+//! number behind.
+//!
+//! ```text
+//! bench_smoke [--out BENCH_pr.json] [--check-against BENCH_baseline.json]
+//!             [--settles 200]
+//! ```
+//!
+//! The report format is intentionally line-oriented (one config per line)
+//! so the checker can parse its own output without a JSON dependency.
+
+use netlist::sim::SimBackend;
+use netlist::{CompiledSim, EvalMode, ShardPolicy, ShardSchedule, ShardedSim, Sim};
+use rissp::profile::InstructionSubset;
+use rissp::Rissp;
+use std::sync::Arc;
+use std::time::Instant;
+use xcc::OptLevel;
+
+/// Fraction of the baseline's settles/sec below which a configuration is
+/// flagged. Generous on purpose: shared CI runners jitter by 2x and the
+/// gate is advisory (warn, never fail).
+const SOFT_THRESHOLD: f64 = 0.5;
+
+/// One measured configuration.
+struct Row {
+    name: &'static str,
+    backend: &'static str,
+    threads: usize,
+    lanes: usize,
+    ops_per_settle: f64,
+    settles_per_sec: f64,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_smoke [--out PATH] [--check-against PATH] [--settles N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out = String::from("BENCH_pr.json");
+    let mut baseline: Option<String> = None;
+    let mut settles: u64 = 200;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--check-against" => baseline = Some(args.next().unwrap_or_else(|| usage())),
+            "--settles" => {
+                settles = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    eprintln!("bench_smoke: building crc32 RISSP core...");
+    let lib = hwlib::HwLibrary::build_full();
+    let w = workloads::by_name("crc32").expect("crc32 workload");
+    let image = w.compile(OptLevel::O2).expect("crc32 compiles");
+    let subset = InstructionSubset::from_words(&image.words);
+    let rissp = Rissp::generate(&lib, &subset);
+    let core = Arc::new(rissp.core.clone());
+
+    let rows = measure(&core, settles);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str("  \"generated_by\": \"bench_smoke\",\n");
+    json.push_str(&format!("  \"settles_per_config\": {settles},\n"));
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
+             \"lanes\": {}, \"ops_per_settle\": {:.1}, \"settles_per_sec\": {:.1}}}{comma}\n",
+            r.name, r.backend, r.threads, r.lanes, r.ops_per_settle, r.settles_per_sec
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("bench_smoke: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "{:<28} {:>8} {:>6} {:>14} {:>14}",
+        "config", "threads", "lanes", "ops/settle", "settles/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>8} {:>6} {:>14.1} {:>14.1}",
+            r.name, r.threads, r.lanes, r.ops_per_settle, r.settles_per_sec
+        );
+    }
+    eprintln!("bench_smoke: wrote {out}");
+
+    if let Some(path) = baseline {
+        check_against(&rows, &path);
+    }
+}
+
+/// Runs every configuration for `settles` timed settles (after a short
+/// warmup) and returns the measured rows.
+fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // Interpreted reference: the scalar one-gate-at-a-time baseline.
+    {
+        let mut sim = Sim::new(core);
+        let f = time_settles(settles, |i| {
+            sim.set_bus("insn", 0x0000_0113 ^ (i as u32) << 7);
+            sim.eval();
+            sim.step();
+        });
+        rows.push(row("interpreted_1_lane", "Sim", 1, 1, &sim, f));
+    }
+
+    // Compiled full sweep, scalar and 64-lane.
+    for (name, lanes) in [("compiled_1_lane", 1), ("compiled_64_lanes", 64)] {
+        let mut sim = CompiledSim::with_lanes_arc(core.clone(), lanes);
+        sim.set_eval_mode(EvalMode::FullSweep);
+        let f = time_settles(settles, |i| {
+            sim.set_bus("insn", 0x0000_0113 ^ (i as u32) << 7);
+            sim.eval();
+            sim.step();
+        });
+        rows.push(row(name, "CompiledSim", 1, lanes, &sim, f));
+    }
+
+    // Intra-netlist parallel level evaluation (the par_levels axis).
+    for threads in [2usize, 4] {
+        let mut sim = CompiledSim::with_lanes_arc(core.clone(), 64);
+        sim.set_eval_mode(EvalMode::FullSweep);
+        sim.par_levels(threads);
+        let f = time_settles(settles, |i| {
+            sim.set_bus("insn", 0x0000_0113 ^ (i as u32) << 7);
+            sim.eval();
+            sim.step();
+        });
+        let name = if threads == 2 {
+            "compiled_64_lanes_par2"
+        } else {
+            "compiled_64_lanes_par4"
+        };
+        rows.push(row(name, "CompiledSim", threads, 64, &sim, f));
+    }
+
+    // Event-driven sparse schedule: stimulus changes every 8th settle.
+    {
+        let mut sim = CompiledSim::with_lanes_arc(core.clone(), 64);
+        sim.set_eval_mode(EvalMode::EventDriven);
+        let f = time_settles(settles, |i| {
+            if i % 8 == 0 {
+                sim.set_bus("insn", 0x0000_0113 ^ (i as u32) << 7);
+            }
+            sim.eval();
+        });
+        rows.push(row("event_driven_sparse", "CompiledSim", 1, 64, &sim, f));
+    }
+
+    // Sharded: work-stealing (default) vs the deprecated static
+    // scheduler, 4 shards x 64 lanes on 2 threads.
+    #[allow(deprecated)] // the static row is the trajectory reference
+    let schedules = [
+        ("sharded_4x64_stealing_2t", ShardSchedule::WorkStealing),
+        ("sharded_4x64_static_2t", ShardSchedule::Static),
+    ];
+    for (name, schedule) in schedules {
+        let mut sim = ShardedSim::with_policy_arc(
+            core.clone(),
+            ShardPolicy {
+                shards: 4,
+                lanes_per_shard: 64,
+                threads: 2,
+                schedule,
+                ..ShardPolicy::single()
+            },
+        );
+        let f = time_settles(settles, |i| {
+            sim.set_bus("insn", 0x0000_0113 ^ (i as u32) << 7);
+            sim.eval();
+            sim.step();
+        });
+        rows.push(row(name, "ShardedSim", 2, 256, &sim, f));
+    }
+
+    rows
+}
+
+/// Times `settles` invocations of `step` (plus an untimed 8-settle
+/// warmup, which also absorbs the priming full sweep) and returns
+/// settles/sec.
+fn time_settles(settles: u64, mut step: impl FnMut(u64)) -> f64 {
+    for i in 0..8 {
+        step(i);
+    }
+    let start = Instant::now();
+    for i in 8..8 + settles {
+        step(i);
+    }
+    settles as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn row(
+    name: &'static str,
+    backend: &'static str,
+    threads: usize,
+    lanes: usize,
+    sim: &dyn SimBackend,
+    settles_per_sec: f64,
+) -> Row {
+    let st = sim.eval_stats();
+    Row {
+        name,
+        backend,
+        threads,
+        lanes,
+        ops_per_settle: st.ops_executed as f64 / st.settles.max(1) as f64,
+        settles_per_sec,
+    }
+}
+
+/// Parses the `(name, settles_per_sec)` pairs out of a bench_smoke
+/// report. Line-oriented on purpose: one config object per line, fields
+/// in a fixed order, so a substring scan is sufficient and exact for the
+/// format this binary writes.
+fn parse_rows(text: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(name) =
+            field(line, "\"name\": \"").map(|v| v.split('"').next().unwrap_or("").to_string())
+        else {
+            continue;
+        };
+        let Some(sps) = field(line, "\"settles_per_sec\": ")
+            .and_then(|v| v.trim_end_matches(['}', ',', ' ']).parse::<f64>().ok())
+        else {
+            continue;
+        };
+        rows.push((name, sps));
+    }
+    rows
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.find(key).map(|i| &line[i + key.len()..])
+}
+
+/// Diffs the fresh rows against a baseline report. Soft gate: prints a
+/// GitHub `::warning::` annotation per regressed configuration and a
+/// comparison table, but always exits 0 — the 1-CPU runners are too noisy
+/// for a hard perf gate, and new configurations simply have no baseline
+/// yet.
+fn check_against(rows: &[Row], path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("::warning::bench-smoke: no baseline at {path} ({e}); skipping diff");
+            return;
+        }
+    };
+    let baseline = parse_rows(&text);
+    println!(
+        "\n{:<28} {:>14} {:>14} {:>8}",
+        "config", "baseline s/s", "pr s/s", "ratio"
+    );
+    for r in rows {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) else {
+            println!(
+                "{:<28} {:>14} {:>14.1} {:>8}",
+                r.name, "-", r.settles_per_sec, "new"
+            );
+            continue;
+        };
+        let ratio = r.settles_per_sec / base.max(1e-9);
+        println!(
+            "{:<28} {:>14.1} {:>14.1} {:>8.2}",
+            r.name, base, r.settles_per_sec, ratio
+        );
+        if ratio < SOFT_THRESHOLD {
+            println!(
+                "::warning::bench-smoke: {} settles/sec regressed to {:.0}% of baseline \
+                 ({:.1} vs {:.1}); advisory only — shared runners are noisy",
+                r.name,
+                ratio * 100.0,
+                r.settles_per_sec,
+                base
+            );
+        }
+    }
+}

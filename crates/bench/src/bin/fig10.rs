@@ -1,7 +1,9 @@
 //! Figure 10: full physical implementation at 300 kHz of the three
 //! extreme-edge RISSPs plus the two baselines — die dimensions, area,
 //! flip-flop fraction and power. Pass `--threads N` to characterise the
-//! edge applications on N threads (results are thread-count independent).
+//! edge applications on N threads and settle the RV32E baseline's batched
+//! run with N-way parallel level evaluation (results are thread-count
+//! independent).
 
 use bench::{
     characterise_rv32e, characterise_serv, characterise_workloads, header, threads_from_args,
@@ -17,7 +19,7 @@ fn main() {
     let threads = threads_from_args();
 
     let mut layouts = Vec::new();
-    let rv32e = characterise_rv32e(&lib, &t);
+    let rv32e = characterise_rv32e(&lib, &t, threads);
     layouts.push(implement(&rv32e.metrics, &t, None));
     let edge: Vec<_> = ["af_detect", "armpit", "xgboost"]
         .into_iter()

@@ -16,7 +16,7 @@
 //! their exact sum (`docs/simulation.md` § "Toggle accounting").
 
 use hwlib::{ports, HwLibrary};
-use netlist::compiled::{CompiledSim, MAX_LANES};
+use netlist::compiled::{CompiledSim, EvalPolicy, MAX_LANES};
 use netlist::{Builder, NetId, Netlist};
 use riscv_emu::{RvfiRecord, RvfiTrace, SparseMemory};
 use riscv_isa::semantics::Memory as _;
@@ -203,6 +203,15 @@ impl GateLevelCpu {
     /// The gate-level simulation backend (for activity/power extraction).
     pub fn sim(&self) -> &CompiledSim {
         &self.sim
+    }
+
+    /// Selects the core simulation's intra-settle parallelism
+    /// ([`EvalPolicy`]). Purely a performance knob — architectural state,
+    /// cycle counts, and exact toggle counts are bit-identical for every
+    /// policy; on small cores the widest-level cap usually keeps the
+    /// settle sequential anyway.
+    pub fn set_eval_policy(&mut self, policy: EvalPolicy) {
+        self.sim.set_eval_policy(policy);
     }
 
     /// The current PC (settles the netlist to read the flops).
@@ -454,6 +463,15 @@ impl BatchedGateLevelCpu {
     /// The shared gate-level simulation (for merged activity extraction).
     pub fn sim(&self) -> &CompiledSim {
         &self.sim
+    }
+
+    /// Selects the batched core simulation's intra-settle parallelism
+    /// ([`EvalPolicy`]): each fetch/decode/execute settle splits its
+    /// levels across the policy's worker threads. Purely a performance
+    /// knob — per-lane architectural state and exact toggle counts are
+    /// bit-identical for every policy.
+    pub fn set_eval_policy(&mut self, policy: EvalPolicy) {
+        self.sim.set_eval_policy(policy);
     }
 
     /// True when no lane is still running.

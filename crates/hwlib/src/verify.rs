@@ -419,6 +419,7 @@ pub fn formal_verify_arc(
 mod tests {
     use super::*;
     use crate::blocks::build_block;
+    use netlist::sharded::ShardSchedule;
 
     fn block(m: Mnemonic) -> InstrBlock {
         InstrBlock {
@@ -462,6 +463,7 @@ mod tests {
                 shards: 4,
                 lanes_per_shard: 64,
                 threads,
+                ..ShardPolicy::single()
             };
             for m in [Mnemonic::Add, Mnemonic::Lw, Mnemonic::Beq] {
                 functional_verify_with(&block(m), policy).unwrap_or_else(|e| panic!("{m}: {e}"));
@@ -481,10 +483,44 @@ mod tests {
                 shards: 4,
                 lanes_per_shard: 64,
                 threads: 2,
+                ..ShardPolicy::single()
             },
         )
         .unwrap_err();
         assert_eq!(single, sharded);
+    }
+
+    #[test]
+    fn verification_is_schedule_and_par_level_independent() {
+        // The scheduler (work-stealing vs deprecated static) and the
+        // intra-shard parallel level evaluation are pure performance
+        // knobs: verdicts and first failing vectors cannot move.
+        #[allow(deprecated)] // pins the deprecated scheduler as reference
+        let schedules = [ShardSchedule::WorkStealing, ShardSchedule::Static];
+        for schedule in schedules {
+            for par_levels in [1, 2] {
+                let policy = ShardPolicy {
+                    shards: 3,
+                    lanes_per_shard: 64,
+                    threads: 2,
+                    schedule,
+                    par_levels,
+                };
+                functional_verify_with(&block(Mnemonic::Xor), policy)
+                    .unwrap_or_else(|e| panic!("{schedule:?}/{par_levels}: {e}"));
+                formal_verify_with(&block(Mnemonic::Sw), 192, 0xf00d, policy)
+                    .unwrap_or_else(|e| panic!("{schedule:?}/{par_levels}: {e}"));
+                let wrong = InstrBlock {
+                    mnemonic: Mnemonic::Add,
+                    netlist: build_block(Mnemonic::Sub),
+                };
+                assert_eq!(
+                    functional_verify_with(&wrong, policy).unwrap_err(),
+                    functional_verify(&wrong).unwrap_err(),
+                    "{schedule:?}/{par_levels} moved the first failing vector"
+                );
+            }
+        }
     }
 
     #[test]

@@ -29,11 +29,26 @@
 //! high the evaluator falls back to plain full sweeps for a while so
 //! dense stimuli never pay the gating overhead; see `docs/simulation.md`
 //! § "Event-driven evaluation".
+//!
+//! # Parallel level evaluation
+//!
+//! [`EvalPolicy`] adds a third, intra-netlist parallel axis on top of the
+//! 64 stimulus lanes and the shard threads: with
+//! [`CompiledSim::par_levels`]`(n)` each level's op range is split into
+//! contiguous chunks evaluated by `n` scoped worker threads, with a
+//! barrier between levels. Every op writes a distinct destination net, so
+//! the per-chunk value/toggle/change-stamp writes are disjoint and the
+//! post-barrier merge is exact by construction — values **and** per-net
+//! toggle counts stay bit-identical to the sequential sweep in every
+//! [`EvalMode`] (clean chunks skip per-thread in the event-driven path,
+//! and the dense-fallback heuristic aggregates ops-executed across
+//! threads). See `docs/simulation.md` § "Parallel level evaluation".
 
-use crate::level::{OpCode, Program};
+use crate::level::{par_chunk, OpCode, Program};
 use crate::sim::{port_bit, EvalStats, SimBackend};
 use crate::{Gate, NetId, Netlist};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Barrier};
 
 /// Maximum stimulus lanes per evaluation (bits of the value word).
 pub const MAX_LANES: usize = 64;
@@ -62,6 +77,60 @@ pub const AUTO_DENSE_BACKOFF: u32 = 32;
 /// Dirty fraction (executed ops / scheduled ops) above which
 /// [`EvalMode::Auto`] falls back to full sweeps, as a numerator over 8.
 const AUTO_DENSE_THRESHOLD_EIGHTHS: usize = 7;
+
+/// Default minimum scheduled ops a level needs before [`EvalPolicy`]
+/// splits it across worker threads: below this the per-level barrier
+/// handshake dominates and the level runs whole on worker 0.
+pub const PAR_LEVEL_MIN_OPS: usize = 256;
+
+/// Intra-settle parallelism policy for [`CompiledSim::eval`]: how many
+/// scoped worker threads split each level's op range into contiguous
+/// chunks, and how wide a level must be to be worth splitting.
+///
+/// Purely a performance knob — settled values, FF state, and exact
+/// per-net toggle counts are bit-identical for every `threads` value in
+/// every [`EvalMode`] (the property tests in
+/// `crates/netlist/tests/properties.rs` enforce this; the mechanism is
+/// described in `docs/simulation.md` § "Parallel level evaluation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalPolicy {
+    /// Worker threads per settle (the calling thread is worker 0;
+    /// `1` means fully sequential evaluation with zero threading cost).
+    pub threads: usize,
+    /// Minimum scheduled ops a level needs before it is split; smaller
+    /// levels execute whole on worker 0 while the other workers wait at
+    /// the level barrier.
+    pub min_par_ops: usize,
+}
+
+impl EvalPolicy {
+    /// Sequential evaluation on the calling thread (the default).
+    pub fn seq() -> EvalPolicy {
+        EvalPolicy {
+            threads: 1,
+            min_par_ops: PAR_LEVEL_MIN_OPS,
+        }
+    }
+
+    /// Splits each sufficiently wide level across `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn par_levels(threads: usize) -> EvalPolicy {
+        assert!(threads >= 1, "eval policy needs at least one thread");
+        EvalPolicy {
+            threads,
+            min_par_ops: PAR_LEVEL_MIN_OPS,
+        }
+    }
+}
+
+impl Default for EvalPolicy {
+    fn default() -> EvalPolicy {
+        EvalPolicy::seq()
+    }
+}
 
 /// Compiled bit-parallel simulator for one netlist.
 ///
@@ -108,7 +177,219 @@ pub struct CompiledSim {
     /// Remaining full-sweep settles before [`EvalMode::Auto`] re-probes
     /// the event-driven path.
     dense_backoff: u32,
+    /// Intra-settle parallelism knob ([`CompiledSim::set_eval_policy`]).
+    policy: EvalPolicy,
+    /// `policy.threads` capped by how many useful chunks the widest level
+    /// can yield (spawning workers that could never receive a chunk is
+    /// pure cost); cached by `set_eval_policy` — a pure function of the
+    /// immutable program and the policy, so never computed per settle.
+    par_threads: usize,
     stats: EvalStats,
+}
+
+/// Raw, `Sync` view of one simulator's per-net arrays, handed to the
+/// per-level worker chunks of a parallel settle.
+///
+/// # Safety contract
+///
+/// Sharing these pointers across worker threads is sound because of three
+/// structural facts, which every caller of the `exec_chunk_*` functions
+/// must preserve:
+///
+/// 1. **Disjoint writes.** Each scheduled op writes exactly one
+///    destination net (`values[dst]`, `toggles[dst]`, `stamp[dst]`), each
+///    net is computed by exactly one op, and the chunks handed to the
+///    workers partition a level's op range — so no two threads ever write
+///    the same index during one level.
+/// 2. **Reads see only earlier levels.** An op's operand nets live in
+///    strictly earlier levels (ASAP levelization), so within a level no
+///    chunk reads an index any chunk writes.
+/// 3. **Barrier edges order levels.** A `Barrier::wait` separates
+///    consecutive levels, so writes of level `l` happen-before reads of
+///    level `l + 1`.
+struct NetArrays {
+    values: *mut u64,
+    toggles: *mut u64,
+    stamp: *mut u32,
+}
+
+// SAFETY: see the struct-level contract — all concurrent access through
+// these pointers is index-disjoint or ordered by a barrier edge.
+unsafe impl Sync for NetArrays {}
+
+/// Executes ops `range` of the stream unconditionally; returns true when
+/// any destination word changed on an active lane.
+///
+/// The operand arrays are sliced to the range up front so the hot loop's
+/// stream indexing is bounds-check free.
+///
+/// # Safety
+///
+/// `range` must lie within the op stream, and the caller must uphold the
+/// [`NetArrays`] contract: no other thread may concurrently touch any net
+/// index this chunk writes, and all operand nets must already hold their
+/// settled values for this settle.
+unsafe fn exec_chunk_full(
+    prog: &Program,
+    arrays: &NetArrays,
+    inputs: &[u64],
+    ffs: &[u64],
+    mask: u64,
+    range: std::ops::Range<usize>,
+) -> bool {
+    let n = range.len();
+    let ops = &prog.opcodes[range.clone()][..n];
+    let pa = &prog.a[range.clone()][..n];
+    let pb = &prog.b[range.clone()][..n];
+    let pc = &prog.c[range.clone()][..n];
+    let pd = &prog.dst[range][..n];
+    let values = arrays.values;
+    let mut changed = false;
+    for i in 0..n {
+        let v = match ops[i] {
+            OpCode::Input => inputs[pa[i] as usize],
+            OpCode::Not => !*values.add(pa[i] as usize),
+            OpCode::And => *values.add(pa[i] as usize) & *values.add(pb[i] as usize),
+            OpCode::Or => *values.add(pa[i] as usize) | *values.add(pb[i] as usize),
+            OpCode::Xor => *values.add(pa[i] as usize) ^ *values.add(pb[i] as usize),
+            OpCode::Nand => !(*values.add(pa[i] as usize) & *values.add(pb[i] as usize)),
+            OpCode::Nor => !(*values.add(pa[i] as usize) | *values.add(pb[i] as usize)),
+            OpCode::Xnor => !(*values.add(pa[i] as usize) ^ *values.add(pb[i] as usize)),
+            OpCode::Mux => {
+                let sel = *values.add(pc[i] as usize);
+                (sel & *values.add(pb[i] as usize)) | (!sel & *values.add(pa[i] as usize))
+            }
+            OpCode::DffOut => ffs[pd[i] as usize],
+        };
+        let d = pd[i] as usize;
+        let diff = (*values.add(d) ^ v) & mask;
+        if diff != 0 {
+            *arrays.toggles.add(d) += diff.count_ones() as u64;
+            changed = true;
+        }
+        *values.add(d) = v;
+    }
+    changed
+}
+
+/// Executes a chunk of level 0 — exactly the Input/DffOut ops — stamping
+/// changed nets and reporting which of the two external dirt sources
+/// actually changed a published word: `(input-fed changed, FF-fed
+/// changed)`.
+///
+/// # Safety
+///
+/// Same contract as [`exec_chunk_full`]; additionally `cur` must be the
+/// current settle's stamp.
+unsafe fn exec_chunk_level0(
+    prog: &Program,
+    arrays: &NetArrays,
+    inputs: &[u64],
+    ffs: &[u64],
+    mask: u64,
+    cur: u32,
+    range: std::ops::Range<usize>,
+) -> (bool, bool) {
+    let n = range.len();
+    let ops = &prog.opcodes[range.clone()][..n];
+    let pa = &prog.a[range.clone()][..n];
+    let pd = &prog.dst[range][..n];
+    let (mut in_changed, mut ff_changed) = (false, false);
+    for i in 0..n {
+        let (v, is_input) = match ops[i] {
+            OpCode::Input => (inputs[pa[i] as usize], true),
+            OpCode::DffOut => (ffs[pd[i] as usize], false),
+            op => unreachable!("level 0 holds only Input/DffOut ops, found {op:?}"),
+        };
+        let d = pd[i] as usize;
+        let diff = (*arrays.values.add(d) ^ v) & mask;
+        if diff != 0 {
+            *arrays.toggles.add(d) += diff.count_ones() as u64;
+            *arrays.stamp.add(d) = cur;
+            if is_input {
+                in_changed = true;
+            } else {
+                ff_changed = true;
+            }
+        }
+        *arrays.values.add(d) = v;
+    }
+    (in_changed, ff_changed)
+}
+
+/// Executes a chunk of one dirty level (`level >= 1`) with per-op gating:
+/// an op runs only when one of its operand nets carries the current
+/// settle's change stamp — a skipped op's fan-in is bit-identical to the
+/// previous settle, so its output already holds the settled value.
+/// Returns `(ops executed, any destination changed)`.
+///
+/// # Safety
+///
+/// Same contract as [`exec_chunk_full`]; additionally every operand net's
+/// change stamp for this settle must already be final (they are — operand
+/// nets live in earlier levels, sealed by the level barrier).
+unsafe fn exec_chunk_gated(
+    prog: &Program,
+    arrays: &NetArrays,
+    mask: u64,
+    cur: u32,
+    range: std::ops::Range<usize>,
+) -> (u64, bool) {
+    let n = range.len();
+    let ops = &prog.opcodes[range.clone()][..n];
+    let pa = &prog.a[range.clone()][..n];
+    let pb = &prog.b[range.clone()][..n];
+    let pc = &prog.c[range.clone()][..n];
+    let pd = &prog.dst[range][..n];
+    let values = arrays.values;
+    let stamp = arrays.stamp;
+    let mut executed = 0u64;
+    let mut changed = false;
+    for i in 0..n {
+        let v = match ops[i] {
+            OpCode::Not => {
+                let a = pa[i] as usize;
+                if *stamp.add(a) != cur {
+                    continue;
+                }
+                !*values.add(a)
+            }
+            OpCode::Mux => {
+                let (a, b, c) = (pa[i] as usize, pb[i] as usize, pc[i] as usize);
+                if *stamp.add(a) != cur && *stamp.add(b) != cur && *stamp.add(c) != cur {
+                    continue;
+                }
+                let sel = *values.add(c);
+                (sel & *values.add(b)) | (!sel & *values.add(a))
+            }
+            op => {
+                let (a, b) = (pa[i] as usize, pb[i] as usize);
+                if *stamp.add(a) != cur && *stamp.add(b) != cur {
+                    continue;
+                }
+                let (x, y) = (*values.add(a), *values.add(b));
+                match op {
+                    OpCode::And => x & y,
+                    OpCode::Or => x | y,
+                    OpCode::Xor => x ^ y,
+                    OpCode::Nand => !(x & y),
+                    OpCode::Nor => !(x | y),
+                    OpCode::Xnor => !(x ^ y),
+                    _ => unreachable!("Input/DffOut ops live in level 0, found {op:?}"),
+                }
+            }
+        };
+        executed += 1;
+        let d = pd[i] as usize;
+        let diff = (*values.add(d) ^ v) & mask;
+        if diff != 0 {
+            *arrays.toggles.add(d) += diff.count_ones() as u64;
+            *stamp.add(d) = cur;
+            changed = true;
+        }
+        *values.add(d) = v;
+    }
+    (executed, changed)
 }
 
 fn broadcast(bit: bool) -> u64 {
@@ -187,6 +468,8 @@ impl CompiledSim {
             changed_stamp: vec![0u32; prog.net_count],
             settle_id: 0,
             dense_backoff: 0,
+            policy: EvalPolicy::seq(),
+            par_threads: 1,
             stats: EvalStats::default(),
             prog: Arc::new(prog),
             netlist,
@@ -215,6 +498,50 @@ impl CompiledSim {
     pub fn set_eval_mode(&mut self, mode: EvalMode) {
         self.mode = mode;
         self.dense_backoff = 0;
+    }
+
+    /// The intra-settle parallelism policy ([`EvalPolicy`]).
+    pub fn eval_policy(&self) -> EvalPolicy {
+        self.policy
+    }
+
+    /// Selects the intra-settle parallelism policy. Purely a performance
+    /// knob: values and exact per-net toggle counts are bit-identical for
+    /// every thread count in every [`EvalMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.threads == 0`.
+    pub fn set_eval_policy(&mut self, policy: EvalPolicy) {
+        assert!(policy.threads >= 1, "eval policy needs at least one thread");
+        self.policy = policy;
+        // The capped worker count is a pure function of the (immutable)
+        // program and the policy: compute it once here, not per settle.
+        self.par_threads = if policy.threads <= 1 {
+            1
+        } else {
+            let useful = self
+                .prog
+                .max_level_ops()
+                .div_ceil(policy.min_par_ops.max(1));
+            policy.threads.min(useful.max(1))
+        };
+    }
+
+    /// Convenience for [`CompiledSim::set_eval_policy`]: split each
+    /// sufficiently wide level across `threads` scoped worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn par_levels(&mut self, threads: usize) {
+        self.set_eval_policy(EvalPolicy::par_levels(threads));
+    }
+
+    /// Worker threads a settle will actually use (cached by
+    /// [`CompiledSim::set_eval_policy`]).
+    fn par_threads(&self) -> usize {
+        self.par_threads
     }
 
     /// Work counters for this simulator's settles (diagnostic only).
@@ -352,10 +679,12 @@ impl CompiledSim {
         // A fresh stamp per settle: "changed this settle" comparisons never
         // need an O(nets) clear.
         self.settle_id = self.settle_id.wrapping_add(1);
-        if event {
-            self.eval_event();
-        } else {
-            self.eval_full();
+        let threads = self.par_threads();
+        match (event, threads > 1) {
+            (true, true) => self.eval_event_par(threads),
+            (true, false) => self.eval_event(),
+            (false, true) => self.eval_full_par(threads),
+            (false, false) => self.eval_full(),
         }
         self.stats.settles += 1;
         // The settle consumed all external dirtiness: values now reflect
@@ -370,152 +699,34 @@ impl CompiledSim {
         }
     }
 
-    /// Executes ops `range` of the stream; returns true when any
-    /// destination word changed on an active lane.
-    ///
-    /// The operand arrays are sliced to the range up front so the hot
-    /// loop's stream indexing is bounds-check free.
-    #[inline]
-    fn exec_range(&mut self, range: std::ops::Range<usize>) -> bool {
-        let n = range.len();
-        let ops = &self.prog.opcodes[range.clone()][..n];
-        let pa = &self.prog.a[range.clone()][..n];
-        let pb = &self.prog.b[range.clone()][..n];
-        let pc = &self.prog.c[range.clone()][..n];
-        let pd = &self.prog.dst[range][..n];
-        let values = &mut self.values[..];
-        let mask = self.lane_mask;
-        let mut changed = false;
-        for i in 0..n {
-            let v = match ops[i] {
-                OpCode::Input => self.input_values[pa[i] as usize],
-                OpCode::Not => !values[pa[i] as usize],
-                OpCode::And => values[pa[i] as usize] & values[pb[i] as usize],
-                OpCode::Or => values[pa[i] as usize] | values[pb[i] as usize],
-                OpCode::Xor => values[pa[i] as usize] ^ values[pb[i] as usize],
-                OpCode::Nand => !(values[pa[i] as usize] & values[pb[i] as usize]),
-                OpCode::Nor => !(values[pa[i] as usize] | values[pb[i] as usize]),
-                OpCode::Xnor => !(values[pa[i] as usize] ^ values[pb[i] as usize]),
-                OpCode::Mux => {
-                    let sel = values[pc[i] as usize];
-                    (sel & values[pb[i] as usize]) | (!sel & values[pa[i] as usize])
-                }
-                OpCode::DffOut => self.ff_state[pd[i] as usize],
-            };
-            let d = pd[i] as usize;
-            let diff = (values[d] ^ v) & mask;
-            if diff != 0 {
-                self.toggles[d] += diff.count_ones() as u64;
-                changed = true;
-            }
-            values[d] = v;
+    /// The raw array view the chunk executors operate on. The returned
+    /// pointers alias `self`'s arrays; see [`NetArrays`] for the rules.
+    fn net_arrays(&mut self) -> NetArrays {
+        NetArrays {
+            values: self.values.as_mut_ptr(),
+            toggles: self.toggles.as_mut_ptr(),
+            stamp: self.changed_stamp.as_mut_ptr(),
         }
-        changed
     }
 
     /// One unconditional forward sweep of the whole op stream.
     fn eval_full(&mut self) {
         let n = self.prog.len();
-        self.exec_range(0..n);
+        let arrays = self.net_arrays();
+        // SAFETY: `&mut self` is exclusive — no other thread can touch the
+        // arrays — and `0..n` is the whole (valid) op stream.
+        unsafe {
+            exec_chunk_full(
+                &self.prog,
+                &arrays,
+                &self.input_values,
+                &self.ff_state,
+                self.lane_mask,
+                0..n,
+            );
+        }
         self.stats.full_sweeps += 1;
         self.stats.ops_executed += n as u64;
-    }
-
-    /// Executes level 0 — exactly the Input/DffOut ops — and reports which
-    /// of the two external dirt sources actually changed a published word:
-    /// `(input-fed nets changed, FF-fed nets changed)`.
-    fn exec_level0(&mut self, range: std::ops::Range<usize>) -> (bool, bool) {
-        let n = range.len();
-        let ops = &self.prog.opcodes[range.clone()][..n];
-        let pa = &self.prog.a[range.clone()][..n];
-        let pd = &self.prog.dst[range][..n];
-        let mask = self.lane_mask;
-        let (mut in_changed, mut ff_changed) = (false, false);
-        for i in 0..n {
-            let (v, is_input) = match ops[i] {
-                OpCode::Input => (self.input_values[pa[i] as usize], true),
-                OpCode::DffOut => (self.ff_state[pd[i] as usize], false),
-                op => unreachable!("level 0 holds only Input/DffOut ops, found {op:?}"),
-            };
-            let d = pd[i] as usize;
-            let diff = (self.values[d] ^ v) & mask;
-            if diff != 0 {
-                self.toggles[d] += diff.count_ones() as u64;
-                self.changed_stamp[d] = self.settle_id;
-                if is_input {
-                    in_changed = true;
-                } else {
-                    ff_changed = true;
-                }
-            }
-            self.values[d] = v;
-        }
-        (in_changed, ff_changed)
-    }
-
-    /// Executes one dirty level (`level >= 1`) with per-op gating: an op
-    /// runs only when one of its operand nets carries the current settle's
-    /// change stamp — a skipped op's fan-in is bit-identical to the
-    /// previous settle, so its output already holds the settled value.
-    /// Returns `(ops executed, any destination changed)`.
-    fn exec_level_gated(&mut self, range: std::ops::Range<usize>) -> (u64, bool) {
-        let n = range.len();
-        let ops = &self.prog.opcodes[range.clone()][..n];
-        let pa = &self.prog.a[range.clone()][..n];
-        let pb = &self.prog.b[range.clone()][..n];
-        let pc = &self.prog.c[range.clone()][..n];
-        let pd = &self.prog.dst[range][..n];
-        let values = &mut self.values[..];
-        let stamp = &mut self.changed_stamp[..];
-        let cur = self.settle_id;
-        let mask = self.lane_mask;
-        let mut executed = 0u64;
-        let mut changed = false;
-        for i in 0..n {
-            let v = match ops[i] {
-                OpCode::Not => {
-                    let a = pa[i] as usize;
-                    if stamp[a] != cur {
-                        continue;
-                    }
-                    !values[a]
-                }
-                OpCode::Mux => {
-                    let (a, b, c) = (pa[i] as usize, pb[i] as usize, pc[i] as usize);
-                    if stamp[a] != cur && stamp[b] != cur && stamp[c] != cur {
-                        continue;
-                    }
-                    let sel = values[c];
-                    (sel & values[b]) | (!sel & values[a])
-                }
-                op => {
-                    let (a, b) = (pa[i] as usize, pb[i] as usize);
-                    if stamp[a] != cur && stamp[b] != cur {
-                        continue;
-                    }
-                    let (x, y) = (values[a], values[b]);
-                    match op {
-                        OpCode::And => x & y,
-                        OpCode::Or => x | y,
-                        OpCode::Xor => x ^ y,
-                        OpCode::Nand => !(x & y),
-                        OpCode::Nor => !(x | y),
-                        OpCode::Xnor => !(x ^ y),
-                        _ => unreachable!("Input/DffOut ops live in level 0, found {op:?}"),
-                    }
-                }
-            };
-            executed += 1;
-            let d = pd[i] as usize;
-            let diff = (values[d] ^ v) & mask;
-            if diff != 0 {
-                self.toggles[d] += diff.count_ones() as u64;
-                stamp[d] = cur;
-                changed = true;
-            }
-            values[d] = v;
-        }
-        (executed, changed)
     }
 
     /// Event-driven settle, two tiers of exact skipping:
@@ -534,6 +745,8 @@ impl CompiledSim {
     fn eval_event(&mut self) {
         let levels = self.prog.levels();
         self.changed_levels.iter_mut().for_each(|w| *w = 0);
+        let cur = self.settle_id;
+        let arrays = self.net_arrays();
         let mut ops_run = 0u64;
         for level in 0..levels {
             let range = self.prog.level_ops(level);
@@ -546,7 +759,18 @@ impl CompiledSim {
                     continue;
                 }
                 ops_run += range.len() as u64;
-                let (in_changed, ff_changed) = self.exec_level0(range);
+                // SAFETY: `&mut self` is exclusive; the range is level 0.
+                let (in_changed, ff_changed) = unsafe {
+                    exec_chunk_level0(
+                        &self.prog,
+                        &arrays,
+                        &self.input_values,
+                        &self.ff_state,
+                        self.lane_mask,
+                        cur,
+                        range,
+                    )
+                };
                 // Bits `levels` / `levels + 1`: the input-fed and FF-fed
                 // dirt sources (`Program::dep_bit_inputs`/`dep_bit_ffs`).
                 for (changed, bit) in [(in_changed, levels), (ff_changed, levels + 1)] {
@@ -566,7 +790,10 @@ impl CompiledSim {
                 self.stats.levels_skipped += 1;
                 continue;
             }
-            let (executed, changed) = self.exec_level_gated(range);
+            // SAFETY: `&mut self` is exclusive; all earlier levels have
+            // already executed, so operand values and stamps are final.
+            let (executed, changed) =
+                unsafe { exec_chunk_gated(&self.prog, &arrays, self.lane_mask, cur, range) };
             ops_run += executed;
             if changed {
                 self.changed_levels[level / 64] |= 1u64 << (level % 64);
@@ -576,11 +803,175 @@ impl CompiledSim {
         // Dense stimulus: when nearly every op ran anyway, the gating
         // bookkeeping is pure overhead — fall back to plain full sweeps
         // for a while before probing the event-driven path again.
+        self.auto_dense_check(ops_run);
+    }
+
+    /// Applies [`EvalMode::Auto`]'s dense-stimulus fallback decision for a
+    /// settle that executed `ops_run` ops (aggregated across all worker
+    /// threads in a parallel settle, so the heuristic sees the same number
+    /// the sequential evaluator would).
+    fn auto_dense_check(&mut self, ops_run: u64) {
         if self.mode == EvalMode::Auto
             && ops_run * 8 > self.prog.len() as u64 * AUTO_DENSE_THRESHOLD_EIGHTHS as u64
         {
             self.dense_backoff = AUTO_DENSE_BACKOFF;
         }
+    }
+
+    /// Parallel full sweep: each level's op range is split into contiguous
+    /// chunks across `threads` scoped workers, one barrier per level (the
+    /// next level's reads must see this level's writes). Bit-identical to
+    /// [`CompiledSim::eval_full`] — chunks partition the same op stream
+    /// and every op writes its own destination net.
+    fn eval_full_par(&mut self, threads: usize) {
+        let arrays = self.net_arrays();
+        let prog = &*self.prog;
+        let (inputs, ffs) = (&self.input_values[..], &self.ff_state[..]);
+        let mask = self.lane_mask;
+        let min_ops = self.policy.min_par_ops;
+        let barrier = Barrier::new(threads);
+        let worker = |tid: usize| {
+            for level in 0..prog.levels() {
+                let range = prog.level_ops(level);
+                if range.is_empty() {
+                    continue; // deterministic: every worker skips it
+                }
+                let chunk = par_chunk(range, tid, threads, min_ops);
+                if !chunk.is_empty() {
+                    // SAFETY: chunks partition the level (disjoint dst
+                    // writes), operands live in earlier levels, and the
+                    // barrier below orders consecutive levels.
+                    unsafe { exec_chunk_full(prog, &arrays, inputs, ffs, mask, chunk) };
+                }
+                barrier.wait();
+            }
+        };
+        std::thread::scope(|scope| {
+            for tid in 1..threads {
+                let w = &worker;
+                scope.spawn(move || w(tid));
+            }
+            worker(0);
+        });
+        self.stats.full_sweeps += 1;
+        self.stats.ops_executed += self.prog.len() as u64;
+    }
+
+    /// Parallel event-driven settle. Same two exact skipping tiers as
+    /// [`CompiledSim::eval_event`], composed with the per-level chunk
+    /// parallelism of [`CompiledSim::eval_full_par`]:
+    ///
+    /// * Every worker replays the whole-level skip decisions on a private
+    ///   copy of the dirt-source bitset. The decisions only read state
+    ///   sealed by a barrier, so all copies agree — skipped levels cost no
+    ///   barrier at all.
+    /// * A dirty level runs two barriers: *execute* (workers evaluate
+    ///   their chunks with per-op gating, writing disjoint
+    ///   value/toggle/stamp entries, and publish per-chunk `(ops executed,
+    ///   changed)` into per-thread slots) and *merge* (every worker reads
+    ///   all slots and folds them into its private dirt set — the slots
+    ///   may not be rewritten before everyone has read them).
+    /// * Per-thread ops-executed counts merge into the same total the
+    ///   sequential gated sweep would compute (gating depends only on
+    ///   sealed stamps), so [`EvalStats`] and the [`EvalMode::Auto`] dense
+    ///   fallback are thread-count independent.
+    fn eval_event_par(&mut self, threads: usize) {
+        let arrays = self.net_arrays();
+        let prog = &*self.prog;
+        let (inputs, ffs) = (&self.input_values[..], &self.ff_state[..]);
+        let mask = self.lane_mask;
+        let cur = self.settle_id;
+        let min_ops = self.policy.min_par_ops;
+        let (inputs_dirty, ffs_dirty) = (self.inputs_dirty, self.ffs_dirty);
+        let levels = prog.levels();
+        let stride = prog.dep_stride;
+        let barrier = Barrier::new(threads);
+        // Per-thread result slots for the level being executed. Each
+        // worker stores its own slot *before* the execute barrier; all
+        // workers read every slot between the execute and merge barriers;
+        // the next level's stores happen only after the merge barrier —
+        // so stores and loads of the same slot are never concurrent.
+        let execd: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+        let flag_a: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+        let flag_b: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+        let run = |tid: usize| -> (u64, u64) {
+            // Private dirt-source set: deterministic decisions, no sharing.
+            let mut changed_levels = vec![0u64; stride];
+            let mut ops_run = 0u64;
+            let mut skipped = 0u64;
+            for level in 0..levels {
+                let range = prog.level_ops(level);
+                if range.is_empty() {
+                    continue;
+                }
+                if level == 0 {
+                    if !inputs_dirty && !ffs_dirty {
+                        skipped += 1;
+                        continue;
+                    }
+                    ops_run += range.len() as u64;
+                    let chunk = par_chunk(range, tid, threads, min_ops);
+                    let (in_c, ff_c) = if chunk.is_empty() {
+                        (false, false)
+                    } else {
+                        // SAFETY: chunks partition level 0; see NetArrays.
+                        unsafe { exec_chunk_level0(prog, &arrays, inputs, ffs, mask, cur, chunk) }
+                    };
+                    flag_a[tid].store(in_c, Relaxed);
+                    flag_b[tid].store(ff_c, Relaxed);
+                    barrier.wait(); // execute done: slots + stamps sealed
+                    for (bit, flags) in [(levels, &flag_a), (levels + 1, &flag_b)] {
+                        if flags.iter().any(|f| f.load(Relaxed)) {
+                            changed_levels[bit / 64] |= 1u64 << (bit % 64);
+                        }
+                    }
+                    barrier.wait(); // merge done: slots may be reused
+                    continue;
+                }
+                let dirty = prog
+                    .level_dep_set(level)
+                    .iter()
+                    .zip(changed_levels.iter())
+                    .any(|(d, c)| d & c != 0);
+                if !dirty {
+                    skipped += 1;
+                    continue;
+                }
+                let chunk = par_chunk(range, tid, threads, min_ops);
+                let (executed, changed) = if chunk.is_empty() {
+                    (0, false)
+                } else {
+                    // SAFETY: chunks partition the level; operand values
+                    // and stamps were sealed by earlier-level barriers.
+                    unsafe { exec_chunk_gated(prog, &arrays, mask, cur, chunk) }
+                };
+                execd[tid].store(executed, Relaxed);
+                flag_a[tid].store(changed, Relaxed);
+                barrier.wait(); // execute done
+                let mut any = false;
+                for t in 0..threads {
+                    ops_run += execd[t].load(Relaxed);
+                    any |= flag_a[t].load(Relaxed);
+                }
+                if any {
+                    changed_levels[level / 64] |= 1u64 << (level % 64);
+                }
+                barrier.wait(); // merge done
+            }
+            (ops_run, skipped)
+        };
+        let (ops_run, skipped) = std::thread::scope(|scope| {
+            for tid in 1..threads {
+                let r = &run;
+                scope.spawn(move || {
+                    r(tid);
+                });
+            }
+            run(0)
+        });
+        self.stats.ops_executed += ops_run;
+        self.stats.levels_skipped += skipped;
+        self.auto_dense_check(ops_run);
     }
 
     /// Clock edge: latches every DFF's `d` word into its state.
@@ -764,6 +1155,10 @@ impl SimBackend for CompiledSim {
 
     fn eval_stats(&self) -> EvalStats {
         CompiledSim::eval_stats(self)
+    }
+
+    fn set_eval_policy(&mut self, policy: EvalPolicy) {
+        CompiledSim::set_eval_policy(self, policy);
     }
 }
 
@@ -1022,11 +1417,143 @@ mod tests {
                 shards: 3,
                 lanes_per_shard: 4,
                 threads: 1,
+                ..crate::sharded::ShardPolicy::single()
             },
         );
         for shard in sharded.shards() {
             assert!(std::sync::Arc::ptr_eq(shard.netlist_arc(), &nl));
         }
+    }
+
+    /// A mixed sequential/combinational circuit wide enough that several
+    /// levels hold multiple ops, so par-level chunking genuinely splits.
+    fn par_test_circuit() -> Netlist {
+        let mut b = Builder::new();
+        let ffs: Vec<NetId> = (0..6).map(|i| b.dff(i % 2 == 0)).collect();
+        let one = crate::bus::constant(&mut b, 1, 6);
+        let (next, _) = crate::bus::add(&mut b, &ffs, &one);
+        for (ff, d) in ffs.iter().zip(&next) {
+            b.connect_dff(*ff, *d);
+        }
+        let x = b.input_bus("x", 16);
+        let y = b.input_bus("y", 16);
+        let (sum, _) = crate::bus::add(&mut b, &x, &y);
+        let xo = crate::bus::xor(&mut b, &sum, &x);
+        b.output_bus("sum", &xo);
+        b.output_bus("count", &ffs);
+        b.finish()
+    }
+
+    /// Runs one stimulus schedule (sparse-ish: inputs change every 3rd
+    /// settle) and returns (per-settle output reads, toggles, stats).
+    fn run_schedule(mut sim: CompiledSim) -> (Vec<(u64, u64)>, Vec<u64>, EvalStats) {
+        let mut outs = Vec::new();
+        for cycle in 0..40u64 {
+            if cycle % 3 == 0 {
+                sim.set_bus_u64("x", cycle.wrapping_mul(0x9e37) & 0xffff);
+                sim.set_bus_u64("y", cycle.wrapping_mul(0x79b9) & 0xffff);
+            }
+            sim.eval();
+            outs.push((sim.get_bus_u64("sum"), sim.get_bus_u64("count")));
+            sim.step();
+        }
+        let toggles = sim.toggles().to_vec();
+        let stats = sim.eval_stats();
+        (outs, toggles, stats)
+    }
+
+    #[test]
+    fn parallel_levels_are_bit_identical_in_every_mode() {
+        let nl = par_test_circuit();
+        for mode in [EvalMode::FullSweep, EvalMode::EventDriven, EvalMode::Auto] {
+            let mut seq = CompiledSim::with_lanes(&nl, 64);
+            seq.set_eval_mode(mode);
+            let reference = run_schedule(seq);
+            for threads in [2usize, 3, 4] {
+                let mut par = CompiledSim::with_lanes(&nl, 64);
+                par.set_eval_mode(mode);
+                // min_par_ops: 1 forces real chunk splits on this small
+                // netlist (the default threshold would run it sequentially).
+                par.set_eval_policy(EvalPolicy {
+                    threads,
+                    min_par_ops: 1,
+                });
+                let parallel = run_schedule(par);
+                assert_eq!(parallel.0, reference.0, "outputs {mode:?} x{threads}");
+                assert_eq!(parallel.1, reference.1, "toggles {mode:?} x{threads}");
+                // EvalStats coherence: the aggregated per-thread work
+                // counters equal the sequential evaluator's exactly.
+                assert_eq!(parallel.2, reference.2, "stats {mode:?} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_auto_dense_fallback_aggregates_across_threads() {
+        // Adder-only circuit (no quiescent FF cone): fresh per-lane values
+        // every settle keep nearly every op dirty, as in
+        // `auto_mode_falls_back_to_full_sweeps_on_dense_stimulus`.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (sum, _) = crate::bus::add(&mut b, &x, &y);
+        b.output_bus("sum", &sum);
+        let nl = b.finish();
+        let run_dense = |threads: usize| {
+            let mut sim = CompiledSim::with_lanes(&nl, 64);
+            if threads > 1 {
+                sim.set_eval_policy(EvalPolicy {
+                    threads,
+                    min_par_ops: 1,
+                });
+            }
+            for i in 0..8u64 {
+                for lane in 0..64 {
+                    sim.set_bus_lane("x", lane, i * 67 + lane as u64);
+                    sim.set_bus_lane("y", lane, i * 31 + lane as u64 * 3);
+                }
+                sim.eval();
+                sim.step();
+            }
+            sim.eval_stats()
+        };
+        let seq = run_dense(1);
+        assert!(
+            seq.full_sweeps >= 7,
+            "dense stimulus must fall back: {seq:?}"
+        );
+        for threads in [2, 4] {
+            assert_eq!(
+                run_dense(threads),
+                seq,
+                "the dense-fallback decision must aggregate ops across threads"
+            );
+        }
+    }
+
+    #[test]
+    fn par_threads_cap_spawns_no_useless_workers() {
+        let mut b = Builder::new();
+        let x = b.input("x");
+        let nx = b.not(x);
+        b.output("y", nx);
+        let nl = b.finish();
+        let mut sim = CompiledSim::new(&nl);
+        // 64 requested threads on a 2-op netlist: the widest level bounds
+        // the useful worker count, so the settle runs sequentially.
+        sim.par_levels(64);
+        assert_eq!(sim.par_threads(), 1);
+        sim.set_bus("x", 1);
+        sim.eval();
+        assert_eq!(sim.get_bus("y"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_thread_eval_policy_rejected() {
+        let nl = par_test_circuit();
+        let mut sim = CompiledSim::new(&nl);
+        sim.par_levels(0);
     }
 
     #[test]

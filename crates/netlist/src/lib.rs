@@ -68,7 +68,7 @@
 //! b.output_bus("y", &x);
 //! let nl = b.finish();
 //! let mut wide = CompiledSim::with_lanes(&nl, 64);
-//! let mut sharded = ShardedSim::with_policy(&nl, ShardPolicy { shards: 2, lanes_per_shard: 64, threads: 2 });
+//! let mut sharded = ShardedSim::with_policy(&nl, ShardPolicy { shards: 2, lanes_per_shard: 64, threads: 2, ..ShardPolicy::single() });
 //! wide.set_bus("x", 0b1010);
 //! SimBackend::set_bus(&mut sharded, "x", 0b1010);
 //! wide.eval();
@@ -84,9 +84,27 @@ pub mod sharded;
 pub mod sim;
 pub mod stats;
 
-pub use compiled::{CompiledSim, EvalMode};
-pub use sharded::{ShardPolicy, ShardedSim};
+pub use compiled::{CompiledSim, EvalMode, EvalPolicy};
+pub use sharded::{ShardPolicy, ShardSchedule, ShardedSim};
 pub use sim::{EvalStats, Sim, SimBackend};
+
+/// Thread-count override from the `GATE_SIM_THREADS` environment
+/// variable, used by [`ShardPolicy::auto`] and the CI thread-matrix (the
+/// property tests read it so the parallel paths run with real concurrency
+/// when CI sets it). Returns `None` when unset; a set but unusable value
+/// (not a number, or zero) panics so a typo'd CI matrix cannot silently
+/// test the wrong shape.
+///
+/// # Panics
+///
+/// Panics if the variable is set to anything but a positive integer.
+pub fn env_threads() -> Option<usize> {
+    let v = std::env::var("GATE_SIM_THREADS").ok()?;
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => panic!("GATE_SIM_THREADS={v} is not a positive integer"),
+    }
+}
 
 use std::collections::HashMap;
 

@@ -441,6 +441,7 @@ mod tests {
                 shards: 4,
                 lanes_per_shard: 64,
                 threads,
+                ..ShardPolicy::single()
             };
             // 4x64 = 256 vectors per settle; the verdicts must not depend
             // on the thread count.
@@ -453,8 +454,20 @@ mod tests {
             shards: 3,
             lanes_per_shard: 64,
             threads: 2,
+            ..ShardPolicy::single()
         };
         check_equivalence_with(&good, &opt, 130, 9, policy).unwrap();
+        // The scheduler and intra-shard parallel level evaluation are pure
+        // performance knobs: same verdicts under the deprecated static
+        // scheduler and with par-level workers inside each shard.
+        #[allow(deprecated)] // pins the deprecated scheduler as reference
+        let static_policy = ShardPolicy {
+            schedule: crate::sharded::ShardSchedule::Static,
+            par_levels: 2,
+            ..policy
+        };
+        check_equivalence_with(&good, &opt, 130, 9, static_policy).unwrap();
+        assert!(check_equivalence_with(&good, &bad, 100, 7, static_policy).is_err());
     }
 
     #[test]

@@ -26,17 +26,45 @@
 //!   amortising spawn cost over many settles. This is what `hwlib`'s
 //!   verification sweeps and the `gate_sim` bench use.
 
-use crate::compiled::{CompiledSim, EvalMode, MAX_LANES};
+use crate::compiled::{CompiledSim, EvalMode, EvalPolicy, MAX_LANES};
 use crate::sim::{EvalStats, SimBackend};
 use crate::{NetId, Netlist};
 use std::cell::OnceCell;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// How a batch of shards is scheduled onto the worker threads of one
+/// [`ShardedSim::par_shards`] scope.
+///
+/// Purely a scheduling knob: shards are disjoint and results are written
+/// back in shard order, so every schedule produces bit-identical results
+/// (property-tested in `crates/netlist/tests/properties.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShardSchedule {
+    /// Threads pull the next unclaimed shard from a shared queue the
+    /// moment they finish their current one, so uneven per-shard loads
+    /// (e.g. one shard's schedule settling far more than the others') no
+    /// longer serialize on the slowest statically-assigned thread.
+    #[default]
+    WorkStealing,
+    /// The pre-work-stealing scheduler: shards are split into
+    /// `ceil(shards / threads)`-sized contiguous chunks, one thread each.
+    #[deprecated(
+        since = "0.1.0",
+        note = "static chunking serializes uneven shard loads on the \
+                slowest thread; use ShardSchedule::WorkStealing (the \
+                default). Kept reachable so the determinism property \
+                tests can pin both schedulers against each other."
+    )]
+    Static,
+}
 
 /// How a stimulus batch is split into shards and scheduled onto threads.
 ///
-/// `shards * lanes_per_shard` is the total lane count; `threads` only
-/// controls how many OS threads evaluate those shards and never affects
-/// results.
+/// `shards * lanes_per_shard` is the total lane count; `threads`,
+/// `schedule`, and `par_levels` only control how those shards evaluate
+/// (how many OS threads, how shards are handed to them, and how many
+/// additional workers split each level *inside* a shard settle) and never
+/// affect results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPolicy {
     /// Number of independent [`CompiledSim`] shards.
@@ -45,6 +73,13 @@ pub struct ShardPolicy {
     pub lanes_per_shard: usize,
     /// Worker threads to spread shards over (clamped to the shard count).
     pub threads: usize,
+    /// How shards are handed to the worker threads.
+    pub schedule: ShardSchedule,
+    /// Intra-shard parallel level evaluation: every shard settles with
+    /// [`EvalPolicy::par_levels`]`(par_levels)` workers (1 = sequential
+    /// shard settles). Multiplies with `threads`, so keep
+    /// `threads * par_levels` within the physical core budget.
+    pub par_levels: usize,
 }
 
 impl ShardPolicy {
@@ -55,6 +90,8 @@ impl ShardPolicy {
             shards: 1,
             lanes_per_shard: MAX_LANES,
             threads: 1,
+            schedule: ShardSchedule::default(),
+            par_levels: 1,
         }
     }
 
@@ -64,14 +101,19 @@ impl ShardPolicy {
             shards: n.max(1),
             lanes_per_shard: MAX_LANES,
             threads: n.max(1),
+            ..ShardPolicy::single()
         }
     }
 
-    /// One full-width shard per available CPU (at least one).
+    /// One full-width shard per thread, honouring the `GATE_SIM_THREADS`
+    /// environment override ([`crate::env_threads`]) first and falling
+    /// back to one per available CPU (at least one).
     pub fn auto() -> ShardPolicy {
-        let n = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
+        let n = crate::env_threads().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
         ShardPolicy::threads(n)
     }
 
@@ -94,6 +136,7 @@ pub struct ShardedSim {
     shards: Vec<CompiledSim>,
     lanes_per_shard: usize,
     threads: usize,
+    schedule: ShardSchedule,
     /// Merged per-net toggle counts, rebuilt lazily after each eval.
     merged_toggles: OnceCell<Vec<u64>>,
 }
@@ -134,15 +177,21 @@ impl ShardedSim {
     pub fn with_policy_arc(netlist: Arc<Netlist>, policy: ShardPolicy) -> ShardedSim {
         assert!(policy.shards >= 1, "policy needs at least one shard");
         assert!(policy.threads >= 1, "policy needs at least one thread");
+        assert!(
+            policy.par_levels >= 1,
+            "policy needs at least one par-level worker"
+        );
         // Shards are identical at reset: levelize/compile once, clone the
         // rest (a clone copies the per-lane arrays but shares the compiled
         // program and the netlist Arc).
-        let first = CompiledSim::with_lanes_arc(netlist, policy.lanes_per_shard);
+        let mut first = CompiledSim::with_lanes_arc(netlist, policy.lanes_per_shard);
+        first.set_eval_policy(EvalPolicy::par_levels(policy.par_levels));
         let shards = vec![first; policy.shards];
         ShardedSim {
             shards,
             lanes_per_shard: policy.lanes_per_shard,
             threads: policy.threads.min(policy.shards),
+            schedule: policy.schedule,
             merged_toggles: OnceCell::new(),
         }
     }
@@ -153,6 +202,22 @@ impl ShardedSim {
         for s in &mut self.shards {
             s.set_eval_mode(mode);
         }
+    }
+
+    /// Selects every shard's intra-settle parallelism ([`EvalPolicy`]).
+    /// Purely a performance knob: results are bit-identical for every
+    /// policy. Each shard settle then uses `policy.threads` workers *in
+    /// addition to* the shard threads, so keep the product within the
+    /// physical core budget.
+    pub fn set_eval_policy(&mut self, policy: EvalPolicy) {
+        for s in &mut self.shards {
+            s.set_eval_policy(policy);
+        }
+    }
+
+    /// How shards are handed to the worker threads.
+    pub fn schedule(&self) -> ShardSchedule {
+        self.schedule
     }
 
     /// Merged work counters: the elementwise sum of every shard's
@@ -214,6 +279,12 @@ impl ShardedSim {
     /// disjoint, so any interleaving produces identical state — but keep
     /// shards in *cycle lockstep* (equal [`CompiledSim::step`] counts) if
     /// you later read [`ShardedSim::cycles`] or activity.
+    ///
+    /// Under the default [`ShardSchedule::WorkStealing`] the threads pull
+    /// shards from a shared queue, so uneven per-shard loads rebalance
+    /// automatically; results are written back by shard index either way,
+    /// so `f`'s return values (and all shard state) are independent of the
+    /// schedule and the thread count.
     pub fn par_shards<R, F>(&mut self, f: F) -> Vec<R>
     where
         F: Fn(usize, &mut CompiledSim) -> R + Sync,
@@ -229,6 +300,65 @@ impl ShardedSim {
                 .map(|(i, s)| f(i, s))
                 .collect();
         }
+        #[allow(deprecated)] // the deprecated static path stays reachable
+        match self.schedule {
+            ShardSchedule::WorkStealing => self.par_shards_stealing(threads, f),
+            ShardSchedule::Static => self.par_shards_static(threads, f),
+        }
+    }
+
+    /// [`ShardedSim::par_shards`] under [`ShardSchedule::WorkStealing`]:
+    /// each worker pops the lowest unclaimed shard index from a shared
+    /// queue when it becomes idle. The pop order is nondeterministic; the
+    /// work and the results are not — each `(index, shard)` pair is
+    /// processed exactly once by exactly one thread, and the results are
+    /// sorted back into shard order before returning.
+    fn par_shards_stealing<R, F>(&mut self, threads: usize, f: F) -> Vec<R>
+    where
+        F: Fn(usize, &mut CompiledSim) -> R + Sync,
+        R: Send,
+    {
+        let count = self.shards.len();
+        // The queue hands out disjoint `&mut CompiledSim`s: the iterator
+        // yields each shard exactly once, so claiming is a short lock
+        // (next + unlock), never held across `f`.
+        let queue = Mutex::new(self.shards.iter_mut().enumerate());
+        let mut results: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (queue, f) = (&queue, &f);
+                    scope.spawn(move || {
+                        let mut claimed = Vec::new();
+                        loop {
+                            let next = queue.lock().expect("shard queue poisoned").next();
+                            let Some((i, s)) = next else { break };
+                            claimed.push((i, f(i, s)));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        results.sort_by_key(|(i, _)| *i);
+        debug_assert_eq!(results.len(), count, "every shard claimed exactly once");
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// [`ShardedSim::par_shards`] under the deprecated
+    /// [`ShardSchedule::Static`]: shards are split into contiguous
+    /// `ceil(shards / threads)`-sized chunks, one thread each, so one
+    /// overloaded chunk serializes the whole scope on its thread. Kept so
+    /// the determinism property tests can pin both schedulers against
+    /// each other.
+    fn par_shards_static<R, F>(&mut self, threads: usize, f: F) -> Vec<R>
+    where
+        F: Fn(usize, &mut CompiledSim) -> R + Sync,
+        R: Send,
+    {
         let chunk = self.shards.len().div_ceil(threads);
         let mut results: Vec<R> = Vec::with_capacity(self.shards.len());
         std::thread::scope(|scope| {
@@ -394,6 +524,10 @@ impl SimBackend for ShardedSim {
     fn eval_stats(&self) -> EvalStats {
         ShardedSim::eval_stats(self)
     }
+
+    fn set_eval_policy(&mut self, policy: EvalPolicy) {
+        ShardedSim::set_eval_policy(self, policy);
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +559,7 @@ mod tests {
                     shards: 4,
                     lanes_per_shard: 1,
                     threads,
+                    ..ShardPolicy::single()
                 },
             );
             for _ in 0..20 {
@@ -448,6 +583,78 @@ mod tests {
     }
 
     #[test]
+    fn work_stealing_matches_static_on_uneven_loads() {
+        // Deliberately uneven per-shard loads: shard i settles (i + 1) * 4
+        // times inside one par_shards scope. Under static chunking the
+        // heavy shards pin their thread; stealing rebalances — but state,
+        // toggles, and results must be bit-identical either way, at every
+        // thread count.
+        let nl = counter(5);
+        #[allow(deprecated)] // pins the deprecated scheduler as reference
+        let schedules = [ShardSchedule::WorkStealing, ShardSchedule::Static];
+        let run = |schedule: ShardSchedule, threads: usize| {
+            let mut sim = ShardedSim::with_policy(
+                &nl,
+                ShardPolicy {
+                    shards: 6,
+                    lanes_per_shard: 2,
+                    threads,
+                    schedule,
+                    ..ShardPolicy::single()
+                },
+            );
+            let settles = sim.par_shards(|i, s| {
+                for _ in 0..(i + 1) * 4 {
+                    s.eval();
+                    s.step();
+                }
+                s.cycles()
+            });
+            (settles, sim.toggles().to_vec())
+        };
+        let reference = run(schedules[1], 1);
+        assert_eq!(
+            reference.0,
+            vec![4, 8, 12, 16, 20, 24],
+            "per-shard settle counts are genuinely uneven"
+        );
+        for schedule in schedules {
+            for threads in [1, 2, 3, 4, 6] {
+                assert_eq!(
+                    run(schedule, threads),
+                    reference,
+                    "{schedule:?} x{threads} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_queue_claims_every_shard_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let nl = counter(3);
+        let mut sim = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy {
+                shards: 9,
+                lanes_per_shard: 1,
+                threads: 3,
+                ..ShardPolicy::single()
+            },
+        );
+        assert_eq!(sim.schedule(), ShardSchedule::WorkStealing);
+        let claims = AtomicUsize::new(0);
+        let indices = sim.par_shards(|i, _| {
+            claims.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        // Results come back in shard order even though claim order is a
+        // race, and no shard is processed twice or dropped.
+        assert_eq!(indices, (0..9).collect::<Vec<_>>());
+        assert_eq!(claims.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
     fn results_are_identical_across_thread_counts() {
         let nl = counter(6);
         let run = |threads: usize| {
@@ -457,6 +664,7 @@ mod tests {
                     shards: 3,
                     lanes_per_shard: 2,
                     threads,
+                    ..ShardPolicy::single()
                 },
             );
             for _ in 0..13 {
@@ -487,6 +695,7 @@ mod tests {
                 shards: 2,
                 lanes_per_shard: 4,
                 threads: 2,
+                ..ShardPolicy::single()
             },
         );
         assert_eq!(SimBackend::lanes(&sim), 8);
@@ -515,6 +724,7 @@ mod tests {
                 shards: 5,
                 lanes_per_shard: 1,
                 threads: 3,
+                ..ShardPolicy::single()
             },
         );
         // Each shard runs a different number of settles inside one scope.
@@ -546,6 +756,7 @@ mod tests {
                 shards: 1,
                 lanes_per_shard: 1,
                 threads: 1,
+                ..ShardPolicy::single()
             },
         );
         for _ in 0..17 {
@@ -569,6 +780,7 @@ mod tests {
                 shards: 2,
                 lanes_per_shard: 2,
                 threads: 1,
+                ..ShardPolicy::single()
             },
         );
         let _ = sim.get_bus_lane("count", 4);
@@ -584,6 +796,7 @@ mod tests {
                 shards: 0,
                 lanes_per_shard: 1,
                 threads: 1,
+                ..ShardPolicy::single()
             },
         );
     }

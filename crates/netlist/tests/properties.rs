@@ -9,9 +9,24 @@
 
 use netlist::sim::Sim;
 use netlist::{
-    bus, Builder, CompiledSim, EvalMode, Gate, Netlist, ShardPolicy, ShardedSim, SimBackend,
+    bus, Builder, CompiledSim, EvalMode, EvalPolicy, Gate, Netlist, ShardPolicy, ShardSchedule,
+    ShardedSim, SimBackend,
 };
 use proptest::prelude::*;
+
+/// The thread counts the parallel-evaluation properties sweep. Without
+/// an override: 1, 2, and 4. When the CI thread-matrix sets
+/// `GATE_SIM_THREADS=n`, the sweep becomes exactly `{1, n}` — the
+/// sequential reference plus the matrix's thread count — so each matrix
+/// leg runs a genuinely different (and cheaper) schedule instead of
+/// re-running the default superset three times.
+fn property_threads() -> Vec<usize> {
+    match netlist::env_threads() {
+        None => vec![1, 2, 4],
+        Some(1) => vec![1],
+        Some(n) => vec![1, n],
+    }
+}
 
 /// Builds a random combinational circuit from a recipe of byte opcodes.
 fn circuit_from_recipe(recipe: &[u8]) -> Netlist {
@@ -219,7 +234,7 @@ proptest! {
             .map(|&threads| {
                 ShardedSim::with_policy(
                     &nl,
-                    ShardPolicy { shards: 4, lanes_per_shard: 2, threads },
+                    ShardPolicy { shards: 4, lanes_per_shard: 2, threads, ..ShardPolicy::single() },
                 )
             })
             .collect();
@@ -280,7 +295,7 @@ proptest! {
         for threads in [1usize, 2] {
             let mut sharded = ShardedSim::with_policy(
                 &nl,
-                ShardPolicy { shards: 2, lanes_per_shard: 64, threads },
+                ShardPolicy { shards: 2, lanes_per_shard: 64, threads, ..ShardPolicy::single() },
             );
             let values: Vec<u64> = stimuli.iter().map(|&s| s as u64).collect();
             sharded.set_bus_lanes("in", &values);
@@ -318,7 +333,7 @@ proptest! {
         const LANES: usize = 2;
         let mut sharded = ShardedSim::with_policy(
             &nl,
-            ShardPolicy { shards: SHARDS, lanes_per_shard: LANES, threads: 2 },
+            ShardPolicy { shards: SHARDS, lanes_per_shard: LANES, threads: 2, ..ShardPolicy::single() },
         );
         let mut refs: Vec<CompiledSim> =
             (0..SHARDS).map(|_| CompiledSim::with_lanes(&nl, LANES)).collect();
@@ -382,7 +397,7 @@ proptest! {
         let mut auto_mode = CompiledSim::new(&nl); // EvalMode::Auto default
         let mut sharded = ShardedSim::with_policy(
             &nl,
-            ShardPolicy { shards: 2, lanes_per_shard: 2, threads: 2 },
+            ShardPolicy { shards: 2, lanes_per_shard: 2, threads: 2, ..ShardPolicy::single() },
         );
         sharded.set_eval_mode(EvalMode::EventDriven);
         for (t, &s) in stimuli.iter().enumerate() {
@@ -471,6 +486,138 @@ proptest! {
             es.levels_skipped > 0,
             "quiescent settles must skip whole levels: {:?}", es
         );
+    }
+
+    /// Parallel level evaluation is bit-identical to the sequential sweep
+    /// — outputs, FF state, exact per-net toggle counts, *and* the
+    /// [`netlist::EvalStats`] work counters — on random sequential
+    /// netlists, for every thread count, in both pinned-full-sweep and
+    /// Auto evaluation modes (`docs/simulation.md` § "Parallel level
+    /// evaluation"). Stats coherence is the strong form of the merge rule:
+    /// the aggregated per-thread ops-executed equals the sequential
+    /// count in pinned mode, and Auto's levels-skipped (and its dense
+    /// fallback, which feeds back into full_sweeps) are thread-count
+    /// independent.
+    #[test]
+    fn parallel_levels_match_sequential_in_every_mode(
+        recipe in proptest::collection::vec(any::<u8>(), 6..120),
+        stimuli in proptest::collection::vec(any::<u8>(), 2..20),
+        sparse in any::<bool>(),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        for mode in [EvalMode::FullSweep, EvalMode::Auto] {
+            let run = |threads: usize| {
+                let mut sim = CompiledSim::with_lanes(&nl, 64);
+                sim.set_eval_mode(mode);
+                // min_par_ops: 1 forces genuine chunk splits on these
+                // small random circuits.
+                sim.set_eval_policy(EvalPolicy { threads, min_par_ops: 1 });
+                let mut outs = Vec::new();
+                for (t, &s) in stimuli.iter().enumerate() {
+                    let v = if sparse { stimuli[t - t % 4] } else { s };
+                    sim.set_bus("in", v as u32);
+                    sim.eval();
+                    outs.push((sim.get_bus_u64("out"), sim.get_bus_u64("state")));
+                    sim.step();
+                }
+                (outs, sim.toggles().to_vec(), sim.eval_stats())
+            };
+            let reference = run(1);
+            for threads in property_threads() {
+                let par = run(threads);
+                prop_assert_eq!(&par.0, &reference.0, "outputs {:?} x{}", mode, threads);
+                prop_assert_eq!(&par.1, &reference.1, "toggles {:?} x{}", mode, threads);
+                prop_assert_eq!(par.2, reference.2, "eval stats {:?} x{}", mode, threads);
+            }
+        }
+    }
+
+    /// Work-stealing determinism: deliberately uneven per-shard loads
+    /// (shard `i` settles `(i + 1) * 3` times inside one `par_shards`
+    /// scope) produce identical per-net toggle sums and per-shard results
+    /// across 1/2/4 stealing threads — and identical to the deprecated
+    /// static scheduler, which the policy flag keeps reachable precisely
+    /// for this pin.
+    #[test]
+    fn work_stealing_is_deterministic_on_uneven_shard_loads(
+        recipe in proptest::collection::vec(any::<u8>(), 6..80),
+        base in any::<u8>(),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        #[allow(deprecated)] // the static path is the pinned reference
+        let schedules = [ShardSchedule::WorkStealing, ShardSchedule::Static];
+        let run = |schedule: ShardSchedule, threads: usize| {
+            let mut sim = ShardedSim::with_policy(
+                &nl,
+                ShardPolicy {
+                    shards: 5,
+                    lanes_per_shard: 2,
+                    threads,
+                    schedule,
+                    ..ShardPolicy::single()
+                },
+            );
+            let cycles = sim.par_shards(|i, s| {
+                for settle in 0..(i + 1) * 3 {
+                    s.set_bus("in", (base as u32 + settle as u32 * 17 + i as u32) & 0xff);
+                    s.eval();
+                    s.step();
+                }
+                s.cycles()
+            });
+            (cycles, sim.toggles().to_vec())
+        };
+        let reference = run(schedules[1], 1);
+        prop_assert_eq!(&reference.0, &vec![3, 6, 9, 12, 15], "loads are uneven");
+        for schedule in schedules {
+            for threads in property_threads() {
+                prop_assert_eq!(
+                    run(schedule, threads),
+                    reference.clone(),
+                    "{:?} x{} diverged", schedule, threads
+                );
+            }
+        }
+    }
+
+    /// The three parallelism axes compose: a sharded run whose shards
+    /// settle with intra-shard parallel levels (`ShardPolicy::par_levels`)
+    /// under work stealing reproduces the interpreted reference exactly,
+    /// lanes, toggles and all.
+    #[test]
+    fn sharded_par_levels_compose_with_interpreter(
+        recipe in proptest::collection::vec(any::<u8>(), 6..80),
+        stimuli in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        let mut int = Sim::new(&nl);
+        let mut sharded = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy {
+                shards: 2,
+                lanes_per_shard: 2,
+                threads: 2,
+                par_levels: 2,
+                ..ShardPolicy::single()
+            },
+        );
+        // Small random circuits need the split threshold lowered for the
+        // par-level axis to actually engage.
+        sharded.set_eval_policy(EvalPolicy { threads: 2, min_par_ops: 1 });
+        for &s in &stimuli {
+            int.set_bus("in", s as u32);
+            SimBackend::set_bus(&mut sharded, "in", s as u32);
+            int.eval();
+            sharded.eval();
+            for lane in 0..4 {
+                prop_assert_eq!(sharded.get_bus_lane("out", lane), int.get_bus_u64("out"));
+                prop_assert_eq!(sharded.get_bus_lane("state", lane), int.get_bus_u64("state"));
+            }
+            int.step();
+            sharded.step();
+        }
+        let expected: Vec<u64> = int.toggles().iter().map(|&t| 4 * t).collect();
+        prop_assert_eq!(sharded.toggles(), &expected[..]);
     }
 
     /// Stuck-at mutation changes the gate census by at most one gate kind,
