@@ -94,16 +94,23 @@ fn bench(c: &mut Criterion) {
     });
 
     // Intra-netlist parallel level evaluation: the same 64-lane full-sweep
-    // schedule with each level's ops split across scoped worker threads
-    // (`EvalPolicy::par_levels`). Results are bit-identical to
-    // `settle_compiled_64_lanes`; on the 1-CPU dev container these rows
-    // measure the barrier overhead rather than a speedup (see README).
-    for threads in [2, 4] {
+    // schedule with each wide level's ops split across worker threads
+    // (`EvalPolicy::par_levels`). The `par{2,4}` rows pin the scoped
+    // predecessor (a fresh thread::scope per settle); the `pool{2,4}`
+    // rows run the identical schedule on the persistent worker pool.
+    // Results are bit-identical to `settle_compiled_64_lanes`; on the
+    // 1-CPU dev container the rows measure the per-settle dispatch
+    // overhead each runtime pays rather than a speedup (see README).
+    for (threads, use_pool) in [(2, false), (4, false), (2, true), (4, true)] {
         let mut par = CompiledSim::with_lanes_arc(core_arc.clone(), 64);
         par.set_eval_mode(EvalMode::FullSweep);
-        par.par_levels(threads);
+        par.set_eval_policy(netlist::EvalPolicy {
+            use_pool,
+            ..netlist::EvalPolicy::par_levels(threads)
+        });
         let mut stimuli = [0u64; 64];
-        g.bench_function(format!("settle_compiled_64_lanes_par{threads}"), |b| {
+        let kind = if use_pool { "pool" } else { "par" };
+        g.bench_function(format!("settle_compiled_64_lanes_{kind}{threads}"), |b| {
             b.iter(|| {
                 for i in 0..EVALS {
                     for (lane, s) in stimuli.iter_mut().enumerate() {

@@ -20,7 +20,7 @@
 //! so the checker can parse its own output without a JSON dependency.
 
 use netlist::sim::SimBackend;
-use netlist::{CompiledSim, EvalMode, ShardPolicy, ShardSchedule, ShardedSim, Sim};
+use netlist::{CompiledSim, EvalMode, EvalPolicy, ShardPolicy, ShardSchedule, ShardedSim, Sim};
 use rissp::profile::InstructionSubset;
 use rissp::Rissp;
 use std::sync::Arc;
@@ -31,6 +31,17 @@ use xcc::OptLevel;
 /// flagged. Generous on purpose: shared CI runners jitter by 2x and the
 /// gate is advisory (warn, never fail).
 const SOFT_THRESHOLD: f64 = 0.5;
+
+/// Same-run pooled-vs-scoped pairs: each pooled configuration is flagged
+/// if it comes in slower than its scoped predecessor *in the same run*
+/// (so runner speed cancels out). The persistent pool exists precisely
+/// to beat the per-settle `thread::scope` spawn, so pooled < scoped is a
+/// regression signal worth a `::warning::` even on a noisy runner.
+const POOLED_VS_SCOPED: [(&str, &str); 3] = [
+    ("compiled_64_lanes_pool2", "compiled_64_lanes_par2"),
+    ("compiled_64_lanes_pool4", "compiled_64_lanes_par4"),
+    ("sharded_4x64_pool_2t", "sharded_4x64_stealing_2t"),
+];
 
 /// One measured configuration.
 struct Row {
@@ -109,8 +120,40 @@ fn main() {
     }
     eprintln!("bench_smoke: wrote {out}");
 
+    check_pooled_vs_scoped(&rows);
     if let Some(path) = baseline {
         check_against(&rows, &path);
+    }
+}
+
+/// Same-run soft gate: warn when a pooled configuration is slower than
+/// its scoped predecessor. Comparing within one run cancels runner
+/// speed, so unlike the baseline diff this comparison is meaningful even
+/// on a noisy shared machine — but it stays advisory (warn, exit 0) all
+/// the same.
+fn check_pooled_vs_scoped(rows: &[Row]) {
+    let speed = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.settles_per_sec)
+    };
+    println!(
+        "\n{:<28} {:>14} {:>14} {:>8}",
+        "pooled vs scoped", "scoped s/s", "pooled s/s", "speedup"
+    );
+    for (pooled, scoped) in POOLED_VS_SCOPED {
+        let (Some(p), Some(s)) = (speed(pooled), speed(scoped)) else {
+            continue;
+        };
+        let ratio = p / s.max(1e-9);
+        println!("{pooled:<28} {s:>14.1} {p:>14.1} {ratio:>7.2}x");
+        if ratio < 1.0 {
+            println!(
+                "::warning::bench-smoke: pooled config {pooled} is slower than its \
+                 scoped predecessor {scoped} ({p:.1} vs {s:.1} settles/sec); the \
+                 persistent pool should always win — advisory only"
+            );
+        }
     }
 }
 
@@ -142,21 +185,29 @@ fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
         rows.push(row(name, "CompiledSim", 1, lanes, &sim, f));
     }
 
-    // Intra-netlist parallel level evaluation (the par_levels axis).
-    for threads in [2usize, 4] {
+    // Intra-netlist parallel level evaluation (the par_levels axis):
+    // the scoped-thread predecessor rows (a fresh thread::scope per
+    // settle) and the persistent-pool rows, same schedule, so the
+    // pooled-vs-scoped comparison below measures exactly the per-settle
+    // spawn tax the pool exists to kill.
+    let par_rows = [
+        ("compiled_64_lanes_par2", 2usize, false),
+        ("compiled_64_lanes_par4", 4, false),
+        ("compiled_64_lanes_pool2", 2, true),
+        ("compiled_64_lanes_pool4", 4, true),
+    ];
+    for (name, threads, use_pool) in par_rows {
         let mut sim = CompiledSim::with_lanes_arc(core.clone(), 64);
         sim.set_eval_mode(EvalMode::FullSweep);
-        sim.par_levels(threads);
+        sim.set_eval_policy(EvalPolicy {
+            use_pool,
+            ..EvalPolicy::par_levels(threads)
+        });
         let f = time_settles(settles, |i| {
             sim.set_bus("insn", 0x0000_0113 ^ (i as u32) << 7);
             sim.eval();
             sim.step();
         });
-        let name = if threads == 2 {
-            "compiled_64_lanes_par2"
-        } else {
-            "compiled_64_lanes_par4"
-        };
         rows.push(row(name, "CompiledSim", threads, 64, &sim, f));
     }
 
@@ -173,14 +224,20 @@ fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
         rows.push(row("event_driven_sparse", "CompiledSim", 1, 64, &sim, f));
     }
 
-    // Sharded: work-stealing (default) vs the deprecated static
-    // scheduler, 4 shards x 64 lanes on 2 threads.
+    // Sharded: pooled work-stealing (default) vs the scoped-thread
+    // stealing fallback vs the deprecated static scheduler, 4 shards x
+    // 64 lanes on 2 threads.
     #[allow(deprecated)] // the static row is the trajectory reference
     let schedules = [
-        ("sharded_4x64_stealing_2t", ShardSchedule::WorkStealing),
-        ("sharded_4x64_static_2t", ShardSchedule::Static),
+        ("sharded_4x64_pool_2t", ShardSchedule::WorkStealing, true),
+        (
+            "sharded_4x64_stealing_2t",
+            ShardSchedule::WorkStealing,
+            false,
+        ),
+        ("sharded_4x64_static_2t", ShardSchedule::Static, false),
     ];
-    for (name, schedule) in schedules {
+    for (name, schedule, use_pool) in schedules {
         let mut sim = ShardedSim::with_policy_arc(
             core.clone(),
             ShardPolicy {
@@ -188,6 +245,7 @@ fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
                 lanes_per_shard: 64,
                 threads: 2,
                 schedule,
+                use_pool,
                 ..ShardPolicy::single()
             },
         );

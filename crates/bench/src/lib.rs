@@ -122,14 +122,16 @@ pub fn characterise_rv32e(lib: &HwLibrary, t: &Tech, threads: usize) -> Characte
     if threads > 1 {
         // Raised split threshold: par-level workers only engage when a
         // level is wide enough that the chunked sweep can plausibly beat
-        // the per-settle scope + per-level barrier cost (~0.5–1 ms, see
-        // the README's par rows). The RV32E core's levels are far below
-        // this, so today the policy resolves to a sequential settle — the
-        // knob is plumbed through for the large-netlist regime it
-        // targets, without silently slowing the small-core case ~100x.
+        // the per-level barrier handshakes. The RV32E core's levels are
+        // far below this, so today the policy resolves to a sequential
+        // settle — the knob is plumbed through for the large-netlist
+        // regime it targets, without silently slowing the small-core
+        // case. (Settles run on the persistent worker pool, so the old
+        // per-settle thread::scope spawn tax is gone either way.)
         cpu.set_eval_policy(EvalPolicy {
             threads,
             min_par_ops: PAR_LEVEL_BREAK_EVEN_OPS,
+            ..EvalPolicy::seq()
         });
     }
     for (lane, image) in images.iter().enumerate() {

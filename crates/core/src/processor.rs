@@ -209,7 +209,10 @@ impl GateLevelCpu {
     /// ([`EvalPolicy`]). Purely a performance knob — architectural state,
     /// cycle counts, and exact toggle counts are bit-identical for every
     /// policy; on small cores the widest-level cap usually keeps the
-    /// settle sequential anyway.
+    /// settle sequential anyway. Parallel settles run on the persistent
+    /// worker pool, whose spin-then-park workers stay hot across the
+    /// back-to-back settles of a cycle loop — the cost of asking for
+    /// threads is a few atomics per settle, not a thread spawn.
     pub fn set_eval_policy(&mut self, policy: EvalPolicy) {
         self.sim.set_eval_policy(policy);
     }
@@ -467,9 +470,10 @@ impl BatchedGateLevelCpu {
 
     /// Selects the batched core simulation's intra-settle parallelism
     /// ([`EvalPolicy`]): each fetch/decode/execute settle splits its
-    /// levels across the policy's worker threads. Purely a performance
-    /// knob — per-lane architectural state and exact toggle counts are
-    /// bit-identical for every policy.
+    /// wide levels across the policy's worker threads on the persistent
+    /// worker pool (workers stay hot between consecutive settles of the
+    /// run loop). Purely a performance knob — per-lane architectural
+    /// state and exact toggle counts are bit-identical for every policy.
     pub fn set_eval_policy(&mut self, policy: EvalPolicy) {
         self.sim.set_eval_policy(policy);
     }

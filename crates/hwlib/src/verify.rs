@@ -491,20 +491,22 @@ mod tests {
     }
 
     #[test]
-    fn verification_is_schedule_and_par_level_independent() {
-        // The scheduler (work-stealing vs deprecated static) and the
+    fn verification_is_schedule_pool_and_par_level_independent() {
+        // The scheduler (work-stealing vs deprecated static), the
+        // persistent worker pool vs its scoped-thread fallback, and the
         // intra-shard parallel level evaluation are pure performance
         // knobs: verdicts and first failing vectors cannot move.
         #[allow(deprecated)] // pins the deprecated scheduler as reference
         let schedules = [ShardSchedule::WorkStealing, ShardSchedule::Static];
         for schedule in schedules {
-            for par_levels in [1, 2] {
+            for (par_levels, use_pool) in [(1, true), (1, false), (2, true)] {
                 let policy = ShardPolicy {
                     shards: 3,
                     lanes_per_shard: 64,
                     threads: 2,
                     schedule,
                     par_levels,
+                    use_pool,
                 };
                 functional_verify_with(&block(Mnemonic::Xor), policy)
                     .unwrap_or_else(|e| panic!("{schedule:?}/{par_levels}: {e}"));
@@ -517,7 +519,8 @@ mod tests {
                 assert_eq!(
                     functional_verify_with(&wrong, policy).unwrap_err(),
                     functional_verify(&wrong).unwrap_err(),
-                    "{schedule:?}/{par_levels} moved the first failing vector"
+                    "{schedule:?}/{par_levels}/pool={use_pool} moved the \
+                     first failing vector"
                 );
             }
         }

@@ -34,21 +34,33 @@
 //!
 //! [`EvalPolicy`] adds a third, intra-netlist parallel axis on top of the
 //! 64 stimulus lanes and the shard threads: with
-//! [`CompiledSim::par_levels`]`(n)` each level's op range is split into
-//! contiguous chunks evaluated by `n` scoped worker threads, with a
-//! barrier between levels. Every op writes a distinct destination net, so
-//! the per-chunk value/toggle/change-stamp writes are disjoint and the
-//! post-barrier merge is exact by construction — values **and** per-net
-//! toggle counts stay bit-identical to the sequential sweep in every
-//! [`EvalMode`] (clean chunks skip per-thread in the event-driven path,
-//! and the dense-fallback heuristic aggregates ops-executed across
-//! threads). See `docs/simulation.md` § "Parallel level evaluation".
+//! [`CompiledSim::par_levels`]`(n)` each sufficiently wide level's op
+//! range is split into contiguous chunks evaluated by `n` worker threads,
+//! with barrier edges ordering cross-thread reads. Every op writes a
+//! distinct destination net, so the per-chunk value/toggle/change-stamp
+//! writes are disjoint and the post-barrier merge is exact by
+//! construction — values **and** per-net toggle counts stay bit-identical
+//! to the sequential sweep in every [`EvalMode`] (clean chunks skip
+//! per-thread in the event-driven path, and the dense-fallback heuristic
+//! aggregates ops-executed across threads). See `docs/simulation.md`
+//! § "Parallel level evaluation".
+//!
+//! Parallel settles run on the process-wide persistent
+//! [`crate::pool::WorkerPool`] by default (acquired lazily by
+//! [`CompiledSim::set_eval_policy`], shared with every other simulator,
+//! released when the policy goes sequential or the simulator drops), so
+//! consecutive settles reuse hot parked workers instead of paying a
+//! `std::thread::scope` spawn each. Scoped threads remain as the fallback
+//! ([`EvalPolicy::use_pool`] `= false`, `GATE_SIM_POOL=0`, or a settle
+//! issued from inside another pool job) and produce bit-identical
+//! results.
 
 use crate::level::{par_chunk, OpCode, Program};
+use crate::pool::{self, SpinBarrier, WorkerPool};
 use crate::sim::{port_bit, EvalStats, SimBackend};
 use crate::{Gate, NetId, Netlist};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// Maximum stimulus lanes per evaluation (bits of the value word).
 pub const MAX_LANES: usize = 64;
@@ -101,6 +113,13 @@ pub struct EvalPolicy {
     /// levels execute whole on worker 0 while the other workers wait at
     /// the level barrier.
     pub min_par_ops: usize,
+    /// Run parallel settles on the persistent shared
+    /// [`crate::pool::WorkerPool`] (the default) instead of spawning a
+    /// fresh `std::thread::scope` per settle. Purely a performance knob —
+    /// both paths are bit-identical — kept switchable so benches can
+    /// measure the pool against its scoped predecessor and as an escape
+    /// hatch (`GATE_SIM_POOL=0` forces it off globally).
+    pub use_pool: bool,
 }
 
 impl EvalPolicy {
@@ -109,10 +128,12 @@ impl EvalPolicy {
         EvalPolicy {
             threads: 1,
             min_par_ops: PAR_LEVEL_MIN_OPS,
+            use_pool: true,
         }
     }
 
-    /// Splits each sufficiently wide level across `threads` workers.
+    /// Splits each sufficiently wide level across `threads` workers on
+    /// the persistent shared worker pool.
     ///
     /// # Panics
     ///
@@ -121,7 +142,21 @@ impl EvalPolicy {
         assert!(threads >= 1, "eval policy needs at least one thread");
         EvalPolicy {
             threads,
-            min_par_ops: PAR_LEVEL_MIN_OPS,
+            ..EvalPolicy::seq()
+        }
+    }
+
+    /// Like [`EvalPolicy::par_levels`] but on per-settle scoped threads —
+    /// the pre-pool execution model, kept reachable so benches and the
+    /// determinism property tests can pin the pool against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn par_levels_scoped(threads: usize) -> EvalPolicy {
+        EvalPolicy {
+            use_pool: false,
+            ..EvalPolicy::par_levels(threads)
         }
     }
 }
@@ -184,6 +219,16 @@ pub struct CompiledSim {
     /// pure cost); cached by `set_eval_policy` — a pure function of the
     /// immutable program and the policy, so never computed per settle.
     par_threads: usize,
+    /// Per-level split decisions under the current policy (`true` when a
+    /// full sweep chunks the level across workers, `false` when worker 0
+    /// runs it whole). Cached by `set_eval_policy` so the full-sweep
+    /// worker can elide barriers around runs of unsplit levels instead of
+    /// paying one per level; empty when `par_threads == 1`.
+    par_split: Arc<Vec<bool>>,
+    /// Handle on the persistent worker pool, held while the policy wants
+    /// pooled threads. Dropping the last handle process-wide joins the
+    /// pool's workers.
+    pool: Option<Arc<WorkerPool>>,
     stats: EvalStats,
 }
 
@@ -470,6 +515,8 @@ impl CompiledSim {
             dense_backoff: 0,
             policy: EvalPolicy::seq(),
             par_threads: 1,
+            par_split: Arc::new(Vec::new()),
+            pool: None,
             stats: EvalStats::default(),
             prog: Arc::new(prog),
             netlist,
@@ -525,6 +572,25 @@ impl CompiledSim {
                 .max_level_ops()
                 .div_ceil(policy.min_par_ops.max(1));
             policy.threads.min(useful.max(1))
+        };
+        // So are the per-level split decisions the full-sweep worker uses
+        // to place its barrier edges.
+        self.par_split = if self.par_threads > 1 {
+            let min_ops = policy.min_par_ops.max(1);
+            Arc::new(
+                (0..self.prog.levels())
+                    .map(|l| self.prog.level_ops(l).len() >= min_ops)
+                    .collect(),
+            )
+        } else {
+            Arc::new(Vec::new())
+        };
+        // Hold the shared pool for as long as the policy wants pooled
+        // workers; releasing the last handle process-wide joins them.
+        self.pool = if self.par_threads > 1 && policy.use_pool && pool::env_pool_enabled() {
+            Some(WorkerPool::shared(self.par_threads - 1))
+        } else {
+            None
         };
     }
 
@@ -818,41 +884,63 @@ impl CompiledSim {
         }
     }
 
-    /// Parallel full sweep: each level's op range is split into contiguous
-    /// chunks across `threads` scoped workers, one barrier per level (the
-    /// next level's reads must see this level's writes). Bit-identical to
-    /// [`CompiledSim::eval_full`] — chunks partition the same op stream
+    /// Parallel full sweep: every level wide enough to split
+    /// (`par_split`, cached by [`CompiledSim::set_eval_policy`]) is
+    /// chunked contiguously across `threads` workers; narrower levels run
+    /// whole on worker 0. Barrier edges are placed only where values
+    /// actually cross threads — before a split level whenever anything
+    /// was written since the last edge, and before worker 0 reads chunk
+    /// results — so a schedule dominated by narrow levels pays a handful
+    /// of barriers per settle instead of one per level. Bit-identical to
+    /// [`CompiledSim::eval_full`]: chunks partition the same op stream
     /// and every op writes its own destination net.
     fn eval_full_par(&mut self, threads: usize) {
         let arrays = self.net_arrays();
         let prog = &*self.prog;
         let (inputs, ffs) = (&self.input_values[..], &self.ff_state[..]);
         let mask = self.lane_mask;
-        let min_ops = self.policy.min_par_ops;
-        let barrier = Barrier::new(threads);
-        let worker = |tid: usize| {
+        let split = Arc::clone(&self.par_split);
+        let worker = move |tid: usize, barrier: &SpinBarrier| {
+            // The barrier bookkeeping is a pure function of the (shared)
+            // split table, so every worker schedules the same edges.
+            let mut pending_seq = false; // unsplit writes since last edge
+            let mut pending_chunks = false; // chunk writes since last edge
             for level in 0..prog.levels() {
                 let range = prog.level_ops(level);
                 if range.is_empty() {
-                    continue; // deterministic: every worker skips it
+                    continue; // constants-only level: nothing scheduled
                 }
-                let chunk = par_chunk(range, tid, threads, min_ops);
-                if !chunk.is_empty() {
-                    // SAFETY: chunks partition the level (disjoint dst
-                    // writes), operands live in earlier levels, and the
-                    // barrier below orders consecutive levels.
-                    unsafe { exec_chunk_full(prog, &arrays, inputs, ffs, mask, chunk) };
+                if split[level] {
+                    if pending_seq || pending_chunks {
+                        barrier.wait(threads); // seal writes chunks will read
+                        pending_seq = false;
+                    }
+                    let chunk = par_chunk(range, tid, threads, 1);
+                    if !chunk.is_empty() {
+                        // SAFETY: chunks partition the level (disjoint dst
+                        // writes), operands live in earlier levels, and
+                        // the barrier edges order cross-thread access.
+                        unsafe { exec_chunk_full(prog, &arrays, inputs, ffs, mask, chunk) };
+                    }
+                    pending_chunks = true;
+                } else {
+                    if pending_chunks {
+                        barrier.wait(threads); // seal chunks worker 0 reads
+                        pending_chunks = false;
+                    }
+                    if tid == 0 {
+                        // SAFETY: only worker 0 touches unsplit levels,
+                        // and the edge above sealed any chunk operands.
+                        unsafe { exec_chunk_full(prog, &arrays, inputs, ffs, mask, range) };
+                    }
+                    pending_seq = true;
                 }
-                barrier.wait();
             }
+            // Trailing writes are sealed by the job completion latch (or
+            // the scope join): the caller reads only after every worker
+            // has finished, so no closing barrier is needed.
         };
-        std::thread::scope(|scope| {
-            for tid in 1..threads {
-                let w = &worker;
-                scope.spawn(move || w(tid));
-            }
-            worker(0);
-        });
+        pool::dispatch(self.pool.as_deref(), threads, worker);
         self.stats.full_sweeps += 1;
         self.stats.ops_executed += self.prog.len() as u64;
     }
@@ -885,7 +973,6 @@ impl CompiledSim {
         let (inputs_dirty, ffs_dirty) = (self.inputs_dirty, self.ffs_dirty);
         let levels = prog.levels();
         let stride = prog.dep_stride;
-        let barrier = Barrier::new(threads);
         // Per-thread result slots for the level being executed. Each
         // worker stores its own slot *before* the execute barrier; all
         // workers read every slot between the execute and merge barriers;
@@ -894,7 +981,7 @@ impl CompiledSim {
         let execd: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
         let flag_a: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
         let flag_b: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
-        let run = |tid: usize| -> (u64, u64) {
+        let run = |tid: usize, barrier: &SpinBarrier| -> (u64, u64) {
             // Private dirt-source set: deterministic decisions, no sharing.
             let mut changed_levels = vec![0u64; stride];
             let mut ops_run = 0u64;
@@ -919,13 +1006,13 @@ impl CompiledSim {
                     };
                     flag_a[tid].store(in_c, Relaxed);
                     flag_b[tid].store(ff_c, Relaxed);
-                    barrier.wait(); // execute done: slots + stamps sealed
+                    barrier.wait(threads); // execute done: slots + stamps sealed
                     for (bit, flags) in [(levels, &flag_a), (levels + 1, &flag_b)] {
                         if flags.iter().any(|f| f.load(Relaxed)) {
                             changed_levels[bit / 64] |= 1u64 << (bit % 64);
                         }
                     }
-                    barrier.wait(); // merge done: slots may be reused
+                    barrier.wait(threads); // merge done: slots may be reused
                     continue;
                 }
                 let dirty = prog
@@ -947,7 +1034,7 @@ impl CompiledSim {
                 };
                 execd[tid].store(executed, Relaxed);
                 flag_a[tid].store(changed, Relaxed);
-                barrier.wait(); // execute done
+                barrier.wait(threads); // execute done
                 let mut any = false;
                 for t in 0..threads {
                     ops_run += execd[t].load(Relaxed);
@@ -956,19 +1043,22 @@ impl CompiledSim {
                 if any {
                     changed_levels[level / 64] |= 1u64 << (level % 64);
                 }
-                barrier.wait(); // merge done
+                barrier.wait(threads); // merge done
             }
             (ops_run, skipped)
         };
-        let (ops_run, skipped) = std::thread::scope(|scope| {
-            for tid in 1..threads {
-                let r = &run;
-                scope.spawn(move || {
-                    r(tid);
-                });
+        // Every worker computes identical (ops_run, skipped) totals — the
+        // merge barriers fold all per-chunk slots into every private copy
+        // — so worker 0 publishing its pair loses nothing.
+        let (out_ops, out_skipped) = (AtomicU64::new(0), AtomicU64::new(0));
+        pool::dispatch(self.pool.as_deref(), threads, |tid, barrier| {
+            let (ops_run, skipped) = run(tid, barrier);
+            if tid == 0 {
+                out_ops.store(ops_run, Relaxed);
+                out_skipped.store(skipped, Relaxed);
             }
-            run(0)
         });
+        let (ops_run, skipped) = (out_ops.load(Relaxed), out_skipped.load(Relaxed));
         self.stats.ops_executed += ops_run;
         self.stats.levels_skipped += skipped;
         self.auto_dense_check(ops_run);
@@ -1477,6 +1567,7 @@ mod tests {
                 par.set_eval_policy(EvalPolicy {
                     threads,
                     min_par_ops: 1,
+                    ..EvalPolicy::seq()
                 });
                 let parallel = run_schedule(par);
                 assert_eq!(parallel.0, reference.0, "outputs {mode:?} x{threads}");
@@ -1505,6 +1596,7 @@ mod tests {
                 sim.set_eval_policy(EvalPolicy {
                     threads,
                     min_par_ops: 1,
+                    ..EvalPolicy::seq()
                 });
             }
             for i in 0..8u64 {

@@ -22,6 +22,10 @@
 //! * [`sharded`] — the multi-threaded backend: N independent compiled
 //!   shards over disjoint stimulus lanes, merged bit-identically
 //!   regardless of thread count.
+//! * [`pool`] — the persistent worker-pool runtime behind every parallel
+//!   evaluation path: parked OS threads reused across settles, a
+//!   generation-stamped job protocol, and lock-free chunk/shard claiming
+//!   off atomic counters.
 //! * [`opt`] — "synthesis": re-cons, constant-fold and sweep a netlist.
 //! * [`stats`] — NAND2-equivalent gate counting exactly as the paper's
 //!   area numbers are reported.
@@ -80,11 +84,13 @@ pub mod bus;
 pub mod compiled;
 pub mod level;
 pub mod opt;
+pub mod pool;
 pub mod sharded;
 pub mod sim;
 pub mod stats;
 
 pub use compiled::{CompiledSim, EvalMode, EvalPolicy};
+pub use pool::WorkerPool;
 pub use sharded::{ShardPolicy, ShardSchedule, ShardedSim};
 pub use sim::{EvalStats, Sim, SimBackend};
 

@@ -246,11 +246,13 @@ pub fn check_equivalence(
 
 /// [`check_equivalence`] with an explicit shard policy: each settle packs
 /// `policy.total_lanes()` random vectors (64 per shard) and the shards of
-/// both netlists evaluate on `policy.threads` scoped threads.
+/// both netlists evaluate on `policy.threads` workers of the persistent
+/// [`crate::pool::WorkerPool`] (or scoped threads on the fallback paths).
 ///
 /// The random vector sequence depends only on `seed` and
-/// `policy.total_lanes()` — never on the thread count — so the verdict is
-/// deterministic for a fixed policy shape.
+/// `policy.total_lanes()` — never on the thread count, the scheduler, or
+/// the pool/scoped dispatch — so the verdict is deterministic for a
+/// fixed policy shape.
 ///
 /// # Errors
 ///
@@ -468,6 +470,13 @@ mod tests {
         };
         check_equivalence_with(&good, &opt, 130, 9, static_policy).unwrap();
         assert!(check_equivalence_with(&good, &bad, 100, 7, static_policy).is_err());
+        // So is the persistent-pool vs scoped-thread dispatch.
+        let scoped_policy = ShardPolicy {
+            use_pool: false,
+            ..policy
+        };
+        check_equivalence_with(&good, &opt, 130, 9, scoped_policy).unwrap();
+        assert!(check_equivalence_with(&good, &bad, 100, 7, scoped_policy).is_err());
     }
 
     #[test]

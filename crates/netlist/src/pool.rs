@@ -1,0 +1,761 @@
+//! Persistent worker-pool runtime for parallel evaluation.
+//!
+//! Before this module existed, every parallel settle
+//! ([`crate::compiled::CompiledSim`] with an [`crate::EvalPolicy`] above
+//! one thread, [`crate::sharded::ShardedSim::par_shards`]) opened a fresh
+//! [`std::thread::scope`]: thread creation plus teardown cost hundreds of
+//! microseconds per settle and dominated small-netlist workloads by ~85×
+//! (see `BENCH_baseline.json`'s pre-pool `compiled_64_lanes_par{2,4}`
+//! rows). A [`WorkerPool`] keeps a set of parked OS threads alive across
+//! settles instead, so submitting a parallel settle costs a handful of
+//! atomic operations — and, when settles come back-to-back (a processor
+//! cycle loop), not even a wakeup, because workers spin briefly before
+//! parking and are still hot when the next job lands.
+//!
+//! # The job protocol
+//!
+//! One job at a time (a submit mutex serializes callers; the pool is
+//! shared process-wide, see [`WorkerPool::shared`]). A job is a
+//! type-erased `Fn(tid)` closure executed by `participants` workers:
+//! the **caller is worker 0**, pool threads claim tids `1..participants`
+//! off an atomic counter. Publication is generation-stamped:
+//!
+//! 1. the submitter resets the claim counter to `(generation + 1, tid 1)`,
+//! 2. stores the job descriptor fields (all individually atomic),
+//! 3. publishes the new generation and unparks parked workers,
+//! 4. runs its own share (`f(0)`),
+//! 5. blocks on a lightweight completion latch (an atomic countdown; the
+//!    last finishing worker unparks the caller).
+//!
+//! A worker validates its claim with a compare-and-swap that carries the
+//! generation stamp: a stale worker that dozed through an entire job
+//! observes a mismatched stamp and discards what it read, so a claim can
+//! only ever succeed for the currently-published descriptor. Claimed tids
+//! are unique, which is what lets jobs hand workers *positional* work
+//! (contiguous level chunks in `crate::level`, shard-index claims) with
+//! disjoint writes and no locks.
+//!
+//! # Wakeup and parking
+//!
+//! Idle workers spin (with [`std::thread::yield_now`] on a single
+//! hardware thread, where pure spinning would only steal the submitter's
+//! quantum), then park. The park/unpark handshake is raced-checked in
+//! both directions — a worker re-checks the generation after announcing
+//! itself parked, and a submitter unparks every worker whose parked flag
+//! it observes — so no wakeup is ever lost. Within one cycle-loop `step`
+//! the settles arrive faster than the spin window expires and workers
+//! never touch the futex.
+//!
+//! # Lifecycle
+//!
+//! The process-wide pool is created lazily by the first simulator whose
+//! policy wants threads ([`WorkerPool::shared`]), grows on demand (a
+//! policy asking for more workers than exist), and is reference-counted
+//! by the simulators holding it: dropping the last handle joins every
+//! worker thread — no detached threads survive (regression-tested in
+//! `crates/netlist/tests/pool_lifecycle.rs`). `GATE_SIM_POOL=0` disables
+//! pool acquisition entirely, forcing the scoped-thread fallback paths.
+//!
+//! Results are bit-identical to the scoped and sequential paths by
+//! construction — the pool only changes *who executes* a chunk, never
+//! what it reads or writes (`docs/simulation.md` § "Persistent worker
+//! pool").
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::thread::{JoinHandle, Thread};
+
+/// Spin iterations before an idle worker starts yielding, and yield
+/// iterations before it parks. On a single hardware thread the spin
+/// phase is skipped entirely (spinning can only delay the submitter).
+const IDLE_SPINS: u32 = 256;
+const IDLE_YIELDS: u32 = 64;
+
+/// Spin iterations before a barrier waiter starts yielding.
+const BARRIER_SPINS: u32 = 512;
+
+thread_local! {
+    /// True while the current thread is executing a pool job (as the
+    /// submitting caller or as a pool worker). Nested submissions would
+    /// deadlock on the submit mutex, so parallel evaluators consult
+    /// [`in_job`] and fall back to scoped threads when it is set.
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True while the current thread is (transitively) inside a
+/// [`WorkerPool::run`] job.
+///
+/// Evaluators that can run on the pool must check this and take their
+/// scoped-thread fallback when it returns true: the pool runs one job at
+/// a time, so submitting from inside a job would deadlock. Scoped
+/// fallback threads spawned from inside a job inherit the flag
+/// ([`dispatch`]/[`scoped_run`] handle this), so arbitrarily deep
+/// nesting keeps falling back instead of deadlocking.
+pub fn in_job() -> bool {
+    IN_JOB.with(|f| f.get())
+}
+
+/// Marks the current thread as (not) being transitively inside a pool
+/// job. Only for scoped worker threads spawned *by* an evaluator on
+/// behalf of its caller — they must inherit the caller's flag, because a
+/// thread that is blind to the job above it would submit to the pool and
+/// deadlock on the submit lock its ancestor holds.
+pub(crate) fn inherit_in_job(value: bool) {
+    IN_JOB.with(|f| f.set(value));
+}
+
+/// Runs `worker(tid, barrier)` on `threads` participants (the caller is
+/// tid 0): as one job on `pool` when a pool is available and the current
+/// thread is not already inside one, and on per-call scoped threads with
+/// a stack barrier otherwise. This is the single pool-or-scoped decision
+/// point every parallel evaluator dispatches through, so the
+/// nested-submission policy cannot diverge between them. Both branches
+/// execute the identical worker function — results cannot depend on the
+/// dispatch.
+pub(crate) fn dispatch(
+    pool: Option<&WorkerPool>,
+    threads: usize,
+    worker: impl Fn(usize, &SpinBarrier) + Sync,
+) {
+    match pool {
+        Some(p) if !in_job() => p.run(threads, |tid| worker(tid, p.barrier())),
+        _ => scoped_run(threads, &worker),
+    }
+}
+
+/// The scoped-thread fallback body of [`dispatch`]: spawns
+/// `threads - 1` scoped workers (each inheriting the caller's in-job
+/// flag) around a stack barrier and runs tid 0 on the caller.
+pub(crate) fn scoped_run(threads: usize, worker: &(impl Fn(usize, &SpinBarrier) + Sync)) {
+    let barrier = SpinBarrier::new();
+    let nested = in_job();
+    std::thread::scope(|scope| {
+        for tid in 1..threads {
+            let (w, b) = (worker, &barrier);
+            scope.spawn(move || {
+                inherit_in_job(nested);
+                w(tid, b);
+            });
+        }
+        worker(0, &barrier);
+    });
+}
+
+/// Pool-spawned worker threads currently alive, process-wide. Purely
+/// diagnostic: the shutdown/leak regression tests assert this returns to
+/// its prior value once the last simulator holding a pool drops.
+pub fn alive_workers() -> usize {
+    ALIVE_WORKERS.load(SeqCst)
+}
+
+static ALIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide shared pool, held weakly: the pool lives exactly as
+/// long as some simulator holds a strong handle.
+static SHARED: Mutex<Weak<WorkerPool>> = Mutex::new(Weak::new());
+
+/// True when a single hardware thread backs the whole process: busy
+/// spinning then only delays the thread being waited on.
+fn single_cpu() -> bool {
+    static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CPUS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }) == 1
+}
+
+/// Whether simulators may acquire the shared pool, from the
+/// `GATE_SIM_POOL` environment variable. Unset or `1`/`true`/`on` means
+/// enabled; `0`/`false`/`off` disables the pool and forces the
+/// scoped-thread fallbacks (useful for A/B benches and as an escape
+/// hatch).
+///
+/// # Panics
+///
+/// Panics if the variable is set to anything else, so a typo'd CI matrix
+/// cannot silently test the wrong configuration.
+pub fn env_pool_enabled() -> bool {
+    match std::env::var("GATE_SIM_POOL") {
+        Err(_) => true,
+        Ok(v) => match v.as_str() {
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            other => panic!("GATE_SIM_POOL={other} is not one of 0/1/true/false/on/off"),
+        },
+    }
+}
+
+/// A reusable sense-reversing barrier over two atomics.
+///
+/// Unlike [`std::sync::Barrier`] the participant count is a call-site
+/// argument, so one barrier instance (embedded in the pool, or on a
+/// scoped caller's stack) serves every job without per-settle allocation,
+/// and waiters spin-then-yield instead of taking a mutex — a level
+/// boundary inside a settle is far too short-lived for futex round trips.
+///
+/// Every participant of an episode must call [`SpinBarrier::wait`] with
+/// the same `total`; episodes complete fully (count returns to zero)
+/// before the next begins, which is what makes the instance reusable
+/// across jobs.
+#[derive(Debug, Default)]
+pub struct SpinBarrier {
+    count: AtomicUsize,
+    epoch: AtomicU64,
+}
+
+impl SpinBarrier {
+    /// A fresh barrier (no waiters, epoch zero).
+    pub fn new() -> SpinBarrier {
+        SpinBarrier::default()
+    }
+
+    /// Blocks until `total` participants (including the caller) have
+    /// arrived at this episode.
+    pub fn wait(&self, total: usize) {
+        if total <= 1 {
+            return;
+        }
+        let epoch = self.epoch.load(SeqCst);
+        if self.count.fetch_add(1, SeqCst) + 1 == total {
+            // Last arriver: reset for the next episode, then release the
+            // waiters (the epoch store publishes the reset with it).
+            self.count.store(0, SeqCst);
+            self.epoch.store(epoch.wrapping_add(1), SeqCst);
+        } else {
+            let mut tries = 0u32;
+            while self.epoch.load(SeqCst) == epoch {
+                tries += 1;
+                if tries > BARRIER_SPINS || single_cpu() {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// The type-erased entry point of a job: `data` is a `*const F` for the
+/// submitted closure, `tid` the claimed worker index.
+type JobFn = unsafe fn(*const (), usize);
+
+unsafe fn call_job<F: Fn(usize) + Sync>(data: *const (), tid: usize) {
+    // SAFETY: `data` was erased from a live `&F` by `run`, which does not
+    // return before every participant has finished (completion latch), so
+    // the reference is valid for the whole call.
+    unsafe { (*(data as *const F))(tid) }
+}
+
+/// State shared between the submitting callers and the worker threads.
+struct PoolShared {
+    /// Latest published job generation. Bumped by 1 per job; workers act
+    /// when it differs from the generation they last served.
+    generation: AtomicU64,
+    /// Tid claim counter, generation-stamped: high 32 bits are the
+    /// generation the counter belongs to, low 32 bits the next tid to
+    /// hand out. The submitter resets it (with the *new* stamp) before
+    /// writing the descriptor below, so a compare-and-swap that succeeds
+    /// with stamp `g` proves the descriptor fields still belong to job
+    /// `g` — a stale worker's CAS fails and it discards what it read.
+    claim: AtomicU64,
+    /// Job descriptor: closure data pointer, erased entry point, and the
+    /// total participant count (caller included). Individually atomic so
+    /// a stale worker's read is a race-free stale value, never a torn one.
+    job_data: AtomicPtr<()>,
+    job_call: AtomicUsize,
+    job_participants: AtomicUsize,
+    /// Completion latch: pool-side participants that have finished. The
+    /// caller waits for `participants - 1`.
+    done: AtomicUsize,
+    /// Lock-free shadow of the roster length (updated under the roster
+    /// lock after growth). Lets [`WorkerPool::ensure_workers`] answer
+    /// "already big enough?" without touching the roster mutex — which
+    /// doubles as the submit lock and is held for a whole job, so a
+    /// simulator constructed *inside* a job must not block on it.
+    roster_len: AtomicUsize,
+    /// True when a participant's closure panicked; the caller re-panics
+    /// after the latch so the failure is not swallowed.
+    poisoned: AtomicBool,
+    /// The submitting thread, for the completion unpark. Written only
+    /// while the submit lock is held.
+    caller: Mutex<Option<Thread>>,
+    /// Pool shutdown flag (set once, by [`WorkerPool::drop`]).
+    shutdown: AtomicBool,
+    /// The level barrier jobs use; reusable because jobs are serialized.
+    barrier: SpinBarrier,
+}
+
+/// One spawned worker: its join handle plus the parked flag the submitter
+/// checks to decide whether an unpark syscall is needed.
+struct Worker {
+    handle: JoinHandle<()>,
+    parked: Arc<AtomicBool>,
+}
+
+/// A persistent pool of parked worker threads executing one parallel
+/// evaluation job at a time (see the module docs for the protocol).
+///
+/// Simulators normally obtain the process-wide instance through
+/// [`WorkerPool::shared`] and hold the `Arc` for as long as their policy
+/// wants threads; the pool joins all workers when the last handle drops.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Worker roster. The mutex doubles as the submit lock: holding it is
+    /// what serializes jobs, and growth happens under the same lock.
+    roster: Mutex<Vec<Worker>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.worker_count())
+            .field("generation", &self.shared.generation.load(SeqCst))
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a private pool with `workers` parked worker threads.
+    ///
+    /// Most callers want [`WorkerPool::shared`] instead so concurrent
+    /// simulators reuse one set of OS threads.
+    pub fn new(workers: usize) -> WorkerPool {
+        let pool = WorkerPool {
+            shared: Arc::new(PoolShared {
+                generation: AtomicU64::new(0),
+                claim: AtomicU64::new(0),
+                job_data: AtomicPtr::new(std::ptr::null_mut()),
+                job_call: AtomicUsize::new(0),
+                job_participants: AtomicUsize::new(0),
+                done: AtomicUsize::new(0),
+                roster_len: AtomicUsize::new(0),
+                poisoned: AtomicBool::new(false),
+                caller: Mutex::new(None),
+                shutdown: AtomicBool::new(false),
+                barrier: SpinBarrier::new(),
+            }),
+            roster: Mutex::new(Vec::new()),
+        };
+        pool.ensure_workers(workers);
+        pool
+    }
+
+    /// The process-wide pool, created lazily and grown to at least
+    /// `min_workers` pool-side workers (a job with `participants` total
+    /// threads needs `participants - 1` of them; the caller is worker 0).
+    ///
+    /// The registry holds the pool weakly: simulators keep it alive by
+    /// holding the returned [`Arc`], and dropping the last handle joins
+    /// every worker. A `GATE_SIM_THREADS` override seeds the initial size
+    /// so the first acquisition already matches the CI matrix shape.
+    pub fn shared(min_workers: usize) -> Arc<WorkerPool> {
+        let mut slot = SHARED.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(pool) = slot.upgrade() {
+            pool.ensure_workers(min_workers);
+            return pool;
+        }
+        let seed = crate::env_threads().map_or(0, |n| n.saturating_sub(1));
+        let pool = Arc::new(WorkerPool::new(min_workers.max(seed)));
+        *slot = Arc::downgrade(&pool);
+        pool
+    }
+
+    /// Worker threads currently spawned (jobs may use fewer; a job
+    /// needing more grows the roster on submit). Lock-free so it can be
+    /// read even while a job holds the submit lock.
+    pub fn worker_count(&self) -> usize {
+        self.shared.roster_len.load(SeqCst)
+    }
+
+    /// Grows the roster to at least `workers` threads (never shrinks — a
+    /// policy asking for fewer threads simply leaves the extras parked,
+    /// which costs nothing until shutdown).
+    ///
+    /// From inside a pool job this is a best-effort no-op when growth
+    /// would be needed: the roster mutex doubles as the submit lock and
+    /// is held by the running job's caller, so blocking on it here would
+    /// deadlock. That is always safe — an evaluator inside a job takes
+    /// the scoped fallback regardless, and the next top-level
+    /// acquisition or submission grows the roster as usual.
+    pub fn ensure_workers(&self, workers: usize) {
+        if self.shared.roster_len.load(SeqCst) >= workers || in_job() {
+            return;
+        }
+        let mut roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::grow(&self.shared, &mut roster, workers);
+    }
+
+    fn grow(shared: &Arc<PoolShared>, roster: &mut Vec<Worker>, workers: usize) {
+        while roster.len() < workers {
+            let parked = Arc::new(AtomicBool::new(false));
+            let state = Arc::clone(shared);
+            let flag = Arc::clone(&parked);
+            ALIVE_WORKERS.fetch_add(1, SeqCst);
+            let handle = std::thread::Builder::new()
+                .name(format!("gate-sim-pool-{}", roster.len() + 1))
+                .spawn(move || worker_main(state, flag))
+                .expect("spawning a gate-sim pool worker failed");
+            roster.push(Worker { handle, parked });
+            shared.roster_len.store(roster.len(), SeqCst);
+        }
+    }
+
+    /// The reusable level barrier for the currently running job. Only
+    /// meaningful inside a job closure; all participants of one episode
+    /// must pass the same total (normally the job's participant count).
+    pub fn barrier(&self) -> &SpinBarrier {
+        &self.shared.barrier
+    }
+
+    /// Runs `f(tid)` on `participants` workers — the calling thread is
+    /// tid 0, pool threads claim tids `1..participants` — and returns
+    /// once every participant has finished. Jobs are serialized: a second
+    /// caller blocks until the current job completes.
+    ///
+    /// `f` may rely on tids being exactly `0..participants`, each claimed
+    /// by exactly one thread, and on every side effect of the job
+    /// happening-before `run` returns. [`WorkerPool::barrier`] is
+    /// available for intra-job phase ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a pool job (check [`in_job`] and use
+    /// a scoped fallback instead), or if `f` panicked on any participant.
+    pub fn run<F: Fn(usize) + Sync>(&self, participants: usize, f: F) {
+        assert!(
+            !in_job(),
+            "nested WorkerPool::run would deadlock; callers must check \
+             pool::in_job() and fall back to scoped threads"
+        );
+        if participants <= 1 {
+            f(0);
+            return;
+        }
+        let mut roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::grow(&self.shared, &mut roster, participants - 1);
+        let shared = &*self.shared;
+
+        // Publish the job (the order here is what the worker-side stale
+        //-claim CAS validates; see `PoolShared::claim`).
+        let generation = shared.generation.load(SeqCst).wrapping_add(1);
+        shared.done.store(0, SeqCst);
+        shared.poisoned.store(false, SeqCst);
+        // The stamp carries the generation's low 32 bits — a stale worker
+        // would have to doze through 2^32 jobs to alias, and even then the
+        // claim would merely hand it valid work for the *current* job.
+        shared
+            .claim
+            .store(((generation & 0xffff_ffff) << 32) | 1, SeqCst);
+        shared
+            .job_data
+            .store(&f as *const F as *const () as *mut (), SeqCst);
+        shared
+            .job_call
+            .store(call_job::<F> as *const () as usize, SeqCst);
+        shared.job_participants.store(participants, SeqCst);
+        *shared.caller.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(std::thread::current());
+        shared.generation.store(generation, SeqCst);
+        // Wake parked workers. Spinning workers see the generation store
+        // directly; the parked-flag check keeps the hot consecutive-settle
+        // path free of unpark syscalls.
+        for worker in roster.iter() {
+            if worker.parked.load(SeqCst) {
+                worker.handle.thread().unpark();
+            }
+        }
+
+        // The completion wait lives in a drop guard so that even a panic
+        // in `f(0)` keeps this frame alive until every worker is done
+        // with the borrows the job erased.
+        struct CompletionGuard<'p> {
+            shared: &'p PoolShared,
+            needed: usize,
+        }
+        impl Drop for CompletionGuard<'_> {
+            fn drop(&mut self) {
+                let mut tries = 0u32;
+                while self.shared.done.load(SeqCst) < self.needed {
+                    tries += 1;
+                    if tries < IDLE_SPINS && !single_cpu() {
+                        std::hint::spin_loop();
+                    } else if tries < IDLE_SPINS + IDLE_YIELDS {
+                        std::thread::yield_now();
+                    } else {
+                        // The last finisher always unparks the caller, and
+                        // `park` consumes stale tokens harmlessly.
+                        std::thread::park();
+                    }
+                }
+            }
+        }
+        let guard = CompletionGuard {
+            shared,
+            needed: participants - 1,
+        };
+        IN_JOB.with(|flag| flag.set(true));
+        let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        IN_JOB.with(|flag| flag.set(false));
+        drop(guard); // blocks until all pool-side participants finish
+        *shared.caller.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        let poisoned = shared.poisoned.load(SeqCst);
+        drop(roster); // job complete: release the submit lock
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!poisoned, "a pool worker panicked during the job");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, SeqCst);
+        let mut roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
+        for worker in roster.iter() {
+            worker.handle.thread().unpark();
+        }
+        for worker in roster.drain(..) {
+            // A worker that panicked outside a job (impossible today) has
+            // already been flagged; joining the corpse is still correct.
+            let _ = worker.handle.join();
+        }
+    }
+}
+
+/// The worker thread body: wait for a new generation, claim a tid, run
+/// the job, count down the completion latch, repeat until shutdown.
+fn worker_main(shared: Arc<PoolShared>, parked: Arc<AtomicBool>) {
+    let mut last_served = 0u64;
+    'live: loop {
+        // Phase 1: wait for a generation we have not served yet.
+        let generation = {
+            let mut tries = 0u32;
+            loop {
+                if shared.shutdown.load(SeqCst) {
+                    break 'live;
+                }
+                let g = shared.generation.load(SeqCst);
+                if g != last_served {
+                    break g;
+                }
+                tries += 1;
+                if tries < IDLE_SPINS && !single_cpu() {
+                    std::hint::spin_loop();
+                } else if tries < IDLE_SPINS + IDLE_YIELDS {
+                    std::thread::yield_now();
+                } else {
+                    // Park handshake: announce, re-check, then sleep. A
+                    // submitter that misses the flag has published the
+                    // generation first, so the re-check catches it; one
+                    // that sees the flag sends an unpark whose token makes
+                    // an about-to-park `park()` return immediately.
+                    parked.store(true, SeqCst);
+                    if shared.generation.load(SeqCst) == last_served
+                        && !shared.shutdown.load(SeqCst)
+                    {
+                        std::thread::park();
+                    }
+                    parked.store(false, SeqCst);
+                }
+            }
+        };
+        last_served = generation;
+
+        // Phase 2: claim a tid for exactly this generation's job.
+        loop {
+            let stamped = shared.claim.load(SeqCst);
+            if stamped >> 32 != generation & 0xffff_ffff {
+                break; // a newer job owns the counter; re-observe
+            }
+            let tid = (stamped & 0xffff_ffff) as usize;
+            let participants = shared.job_participants.load(SeqCst);
+            if tid >= participants {
+                break; // job fully claimed; wait for the next one
+            }
+            // Read the descriptor *before* validating the claim: CAS
+            // success with our stamp proves no later submitter has begun
+            // republishing, so these reads were of this job's fields.
+            let data = shared.job_data.load(SeqCst);
+            let call = shared.job_call.load(SeqCst);
+            if shared
+                .claim
+                .compare_exchange(stamped, stamped + 1, SeqCst, SeqCst)
+                .is_err()
+            {
+                continue; // lost the race for this tid; try the next
+            }
+            IN_JOB.with(|flag| flag.set(true));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: fn-pointer round trip through usize (the only
+                // transmute Rust offers for erased fn pointers); the value
+                // was produced from `call_job::<F>` for this descriptor.
+                let call: JobFn = unsafe { std::mem::transmute::<usize, JobFn>(call) };
+                // SAFETY: validated claim — `data` is the submitter's live
+                // closure and `tid` is uniquely ours (see module docs).
+                unsafe { call(data, tid) };
+            }));
+            IN_JOB.with(|flag| flag.set(false));
+            if result.is_err() {
+                shared.poisoned.store(true, SeqCst);
+            }
+            if shared.done.fetch_add(1, SeqCst) + 1 == participants - 1 {
+                let caller = shared
+                    .caller
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone();
+                if let Some(thread) = caller {
+                    thread.unpark();
+                }
+            }
+            break;
+        }
+    }
+    ALIVE_WORKERS.fetch_sub(1, SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_tid_exactly_once() {
+        let pool = WorkerPool::new(3);
+        for participants in [2usize, 3, 4] {
+            let hits: Vec<AtomicUsize> = (0..participants).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(participants, |tid| {
+                hits[tid].fetch_add(1, SeqCst);
+            });
+            for (tid, hit) in hits.iter().enumerate() {
+                assert_eq!(hit.load(SeqCst), 1, "tid {tid} of {participants}");
+            }
+        }
+    }
+
+    #[test]
+    fn reuses_workers_across_many_jobs() {
+        let pool = WorkerPool::new(1);
+        let total = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.run(2, |_| {
+                total.fetch_add(1, SeqCst);
+            });
+        }
+        assert_eq!(total.load(SeqCst), 1000);
+        assert_eq!(pool.worker_count(), 1, "no spurious growth");
+    }
+
+    #[test]
+    fn grows_on_demand_and_single_participant_runs_inline() {
+        let pool = WorkerPool::new(0);
+        pool.run(1, |tid| assert_eq!(tid, 0));
+        assert_eq!(pool.worker_count(), 0, "inline jobs spawn nothing");
+        let sum = AtomicUsize::new(0);
+        pool.run(4, |tid| {
+            sum.fetch_add(tid, SeqCst);
+        });
+        assert_eq!(sum.load(SeqCst), 6, "tids 0..4 each ran once");
+        assert_eq!(pool.worker_count(), 3);
+    }
+
+    #[test]
+    fn barrier_orders_phases_across_participants() {
+        let pool = WorkerPool::new(3);
+        let participants = 4;
+        let phase1: Vec<AtomicUsize> = (0..participants).map(|_| AtomicUsize::new(0)).collect();
+        let observed_complete = AtomicBool::new(true);
+        pool.run(participants, |tid| {
+            phase1[tid].store(tid + 1, SeqCst);
+            pool.barrier().wait(participants);
+            // After the barrier every participant must see every phase-1
+            // store.
+            for (i, slot) in phase1.iter().enumerate() {
+                if slot.load(SeqCst) != i + 1 {
+                    observed_complete.store(false, SeqCst);
+                }
+            }
+            pool.barrier().wait(participants);
+        });
+        assert!(observed_complete.load(SeqCst));
+    }
+
+    #[test]
+    fn in_job_is_visible_to_participants() {
+        let pool = WorkerPool::new(1);
+        assert!(!in_job());
+        let all_in_job = AtomicBool::new(true);
+        pool.run(2, |_| {
+            if !in_job() {
+                all_in_job.store(false, SeqCst);
+            }
+        });
+        assert!(all_in_job.load(SeqCst));
+        assert!(!in_job(), "flag restored after the job");
+    }
+
+    #[test]
+    fn drop_joins_synchronously_after_a_job() {
+        // The exact process-wide census assertion lives in
+        // tests/pool_lifecycle.rs, which owns its own process and
+        // serializes pool users — the global ALIVE_WORKERS counter is
+        // racy here, where sibling lib tests create and drop pools
+        // concurrently. This test pins the behavioral half: a pool that
+        // just ran a job can be dropped (Drop joins its workers) without
+        // hanging or panicking.
+        let pool = WorkerPool::new(4);
+        let ran = AtomicUsize::new(0);
+        pool.run(5, |_| {
+            ran.fetch_add(1, SeqCst);
+        });
+        assert_eq!(ran.load(SeqCst), 5);
+        assert_eq!(pool.worker_count(), 4);
+        drop(pool);
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_not_hung() {
+        let pool = WorkerPool::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(2, |tid| {
+                if tid == 1 {
+                    panic!("injected worker failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the worker panic must reach the caller");
+        // The pool stays usable for the next job.
+        let ok = AtomicUsize::new(0);
+        pool.run(2, |_| {
+            ok.fetch_add(1, SeqCst);
+        });
+        assert_eq!(ok.load(SeqCst), 2);
+    }
+
+    #[test]
+    fn spin_barrier_is_reusable_standalone() {
+        let barrier = SpinBarrier::new();
+        let rounds = 50;
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..rounds {
+                        counter.fetch_add(1, SeqCst);
+                        barrier.wait(4);
+                        // Second episode holds the next round's increments
+                        // back until the main thread has asserted.
+                        barrier.wait(4);
+                    }
+                });
+            }
+            for round in 1..=rounds {
+                counter.fetch_add(1, SeqCst);
+                barrier.wait(4);
+                assert_eq!(counter.load(SeqCst), 4 * round);
+                barrier.wait(4);
+            }
+        });
+    }
+}

@@ -19,18 +19,27 @@
 //!
 //! Two usage patterns:
 //! * **Per-settle** — drive lanes through the [`SimBackend`] trait and call
-//!   [`ShardedSim::eval`]; each eval spreads the shards over one thread
-//!   scope. Good when settles are interleaved with host-side logic.
+//!   [`ShardedSim::eval`]; each eval submits one job to the persistent
+//!   worker pool. Good when settles are interleaved with host-side logic.
 //! * **Batched** — hand a whole per-shard schedule to
-//!   [`ShardedSim::par_shards`]; one thread scope covers the entire run,
-//!   amortising spawn cost over many settles. This is what `hwlib`'s
-//!   verification sweeps and the `gate_sim` bench use.
+//!   [`ShardedSim::par_shards`]; one pool job covers the entire run.
+//!   This is what `hwlib`'s verification sweeps and the `gate_sim` bench
+//!   use.
+//!
+//! Under the default [`ShardSchedule::WorkStealing`], idle workers claim
+//! the next shard index off a single atomic counter — no queue, no lock.
+//! Evaluation runs on the shared [`crate::pool::WorkerPool`] when
+//! available ([`ShardPolicy::use_pool`], `GATE_SIM_POOL`), and on
+//! per-call scoped threads otherwise; both paths use the same claim
+//! counter and are bit-identical.
 
 use crate::compiled::{CompiledSim, EvalMode, EvalPolicy, MAX_LANES};
+use crate::pool::{self, WorkerPool};
 use crate::sim::{EvalStats, SimBackend};
 use crate::{NetId, Netlist};
 use std::cell::OnceCell;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// How a batch of shards is scheduled onto the worker threads of one
 /// [`ShardedSim::par_shards`] scope.
@@ -80,6 +89,14 @@ pub struct ShardPolicy {
     /// shard settles). Multiplies with `threads`, so keep
     /// `threads * par_levels` within the physical core budget.
     pub par_levels: usize,
+    /// Run work-stealing evaluations on the persistent shared
+    /// [`crate::pool::WorkerPool`] (the default) instead of spawning a
+    /// fresh `std::thread::scope` per call. Purely a performance knob —
+    /// both paths claim shards off the same atomic counter and are
+    /// bit-identical — kept switchable so benches can measure the pool
+    /// against its scoped predecessor (`GATE_SIM_POOL=0` forces it off
+    /// globally).
+    pub use_pool: bool,
 }
 
 impl ShardPolicy {
@@ -92,6 +109,7 @@ impl ShardPolicy {
             threads: 1,
             schedule: ShardSchedule::default(),
             par_levels: 1,
+            use_pool: true,
         }
     }
 
@@ -137,6 +155,13 @@ pub struct ShardedSim {
     lanes_per_shard: usize,
     threads: usize,
     schedule: ShardSchedule,
+    /// Whether pooled evaluation was requested ([`ShardPolicy::use_pool`]);
+    /// remembered so [`ShardedSim::set_threads`] can re-acquire the pool.
+    want_pool: bool,
+    /// Handle on the persistent worker pool, held while the policy wants
+    /// pooled threads. Dropping the last handle process-wide joins the
+    /// pool's workers.
+    pool: Option<Arc<WorkerPool>>,
     /// Merged per-net toggle counts, rebuilt lazily after each eval.
     merged_toggles: OnceCell<Vec<u64>>,
 }
@@ -185,15 +210,36 @@ impl ShardedSim {
         // rest (a clone copies the per-lane arrays but shares the compiled
         // program and the netlist Arc).
         let mut first = CompiledSim::with_lanes_arc(netlist, policy.lanes_per_shard);
-        first.set_eval_policy(EvalPolicy::par_levels(policy.par_levels));
+        first.set_eval_policy(EvalPolicy {
+            use_pool: policy.use_pool,
+            ..EvalPolicy::par_levels(policy.par_levels)
+        });
         let shards = vec![first; policy.shards];
-        ShardedSim {
+        let threads = policy.threads.min(policy.shards);
+        let mut sim = ShardedSim {
             shards,
             lanes_per_shard: policy.lanes_per_shard,
-            threads: policy.threads.min(policy.shards),
+            threads,
             schedule: policy.schedule,
+            want_pool: policy.use_pool,
+            pool: None,
             merged_toggles: OnceCell::new(),
-        }
+        };
+        sim.acquire_pool();
+        sim
+    }
+
+    /// (Re-)acquires or releases the shared worker pool to match the
+    /// current `threads`/`schedule`/`want_pool` configuration. The
+    /// deprecated static schedule never pools: it predates the pool and
+    /// is kept byte-for-byte as the determinism pin.
+    fn acquire_pool(&mut self) {
+        #[allow(deprecated)] // recognising Static is what keeps it scoped
+        let poolable = self.threads > 1
+            && self.want_pool
+            && self.schedule == ShardSchedule::WorkStealing
+            && pool::env_pool_enabled();
+        self.pool = poolable.then(|| WorkerPool::shared(self.threads - 1));
     }
 
     /// Selects every shard's evaluation strategy ([`EvalMode`]). Purely a
@@ -258,6 +304,7 @@ impl ShardedSim {
     /// unaffected — this is purely a performance knob.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1).min(self.shards.len());
+        self.acquire_pool();
     }
 
     fn shard_of(&self, lane: usize) -> (usize, usize) {
@@ -271,20 +318,22 @@ impl ShardedSim {
     }
 
     /// Runs `f(shard_index, shard)` for every shard, spread over the
-    /// configured threads inside one [`std::thread::scope`], and returns the
+    /// configured threads as one job on the persistent worker pool (or
+    /// one scoped-thread batch on the fallback paths), and returns the
     /// results in shard order.
     ///
     /// This is the batched entry point: putting a whole settle schedule
-    /// inside `f` amortises thread-spawn cost over the run. Shards are
-    /// disjoint, so any interleaving produces identical state — but keep
-    /// shards in *cycle lockstep* (equal [`CompiledSim::step`] counts) if
-    /// you later read [`ShardedSim::cycles`] or activity.
+    /// inside `f` amortises even the (small) per-job submission cost over
+    /// the run. Shards are disjoint, so any interleaving produces
+    /// identical state — but keep shards in *cycle lockstep* (equal
+    /// [`CompiledSim::step`] counts) if you later read
+    /// [`ShardedSim::cycles`] or activity.
     ///
-    /// Under the default [`ShardSchedule::WorkStealing`] the threads pull
-    /// shards from a shared queue, so uneven per-shard loads rebalance
-    /// automatically; results are written back by shard index either way,
-    /// so `f`'s return values (and all shard state) are independent of the
-    /// schedule and the thread count.
+    /// Under the default [`ShardSchedule::WorkStealing`] the threads
+    /// claim shard indices off one atomic counter, so uneven per-shard
+    /// loads rebalance automatically; results are written back by shard
+    /// index either way, so `f`'s return values (and all shard state) are
+    /// independent of the schedule and the thread count.
     pub fn par_shards<R, F>(&mut self, f: F) -> Vec<R>
     where
         F: Fn(usize, &mut CompiledSim) -> R + Sync,
@@ -308,44 +357,69 @@ impl ShardedSim {
     }
 
     /// [`ShardedSim::par_shards`] under [`ShardSchedule::WorkStealing`]:
-    /// each worker pops the lowest unclaimed shard index from a shared
-    /// queue when it becomes idle. The pop order is nondeterministic; the
-    /// work and the results are not — each `(index, shard)` pair is
-    /// processed exactly once by exactly one thread, and the results are
-    /// sorted back into shard order before returning.
+    /// each worker claims the next unclaimed shard index off one atomic
+    /// counter the moment it goes idle — lock-free, no queue structure at
+    /// all (this replaced a mutex-guarded iterator queue). The claim
+    /// order is nondeterministic; the work and the results are not — a
+    /// `fetch_add` hands out each index exactly once, so every `(index,
+    /// shard)` pair is processed by exactly one thread and each result is
+    /// written into its own slot of a shard-indexed vector.
+    ///
+    /// Runs as one job on the persistent pool when available, and on
+    /// per-call scoped threads otherwise (`GATE_SIM_POOL=0`, a policy
+    /// opt-out, or a call nested inside another pool job); both paths
+    /// execute the identical claim loop.
     fn par_shards_stealing<R, F>(&mut self, threads: usize, f: F) -> Vec<R>
     where
         F: Fn(usize, &mut CompiledSim) -> R + Sync,
         R: Send,
     {
         let count = self.shards.len();
-        // The queue hands out disjoint `&mut CompiledSim`s: the iterator
-        // yields each shard exactly once, so claiming is a short lock
-        // (next + unlock), never held across `f`.
-        let queue = Mutex::new(self.shards.iter_mut().enumerate());
-        let mut results: Vec<(usize, R)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let (queue, f) = (&queue, &f);
-                    scope.spawn(move || {
-                        let mut claimed = Vec::new();
-                        loop {
-                            let next = queue.lock().expect("shard queue poisoned").next();
-                            let Some((i, s)) = next else { break };
-                            claimed.push((i, f(i, s)));
-                        }
-                        claimed
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
-        results.sort_by_key(|(i, _)| *i);
-        debug_assert_eq!(results.len(), count, "every shard claimed exactly once");
-        results.into_iter().map(|(_, r)| r).collect()
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<R>> = (0..count).map(|_| None).collect();
+
+        /// Raw, `Sync` view of the shard array and the result slots.
+        ///
+        /// # Safety contract
+        ///
+        /// Index `i` of both arrays is touched only by the worker whose
+        /// `next.fetch_add(1)` returned `i` — the counter hands out each
+        /// index exactly once — so all concurrent access is
+        /// index-disjoint, and the job's completion edge (pool latch or
+        /// scope join) orders every slot write before the caller's reads.
+        struct StealArena<R> {
+            shards: *mut CompiledSim,
+            results: *mut Option<R>,
+        }
+        // SAFETY: see the struct-level contract — index-disjoint access
+        // ordered by the job completion edge.
+        unsafe impl<R> Sync for StealArena<R> {}
+
+        let arena = StealArena {
+            shards: self.shards.as_mut_ptr(),
+            results: results.as_mut_ptr(),
+        };
+        let worker = |_tid: usize, _barrier: &pool::SpinBarrier| loop {
+            // Capture the whole arena, not its raw-pointer fields: the
+            // `Sync` contract lives on the struct (edition-2021 closures
+            // would otherwise capture the pointers disjointly).
+            let arena = &arena;
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            // SAFETY: the claim counter yielded `i` to this worker alone.
+            let shard = unsafe { &mut *arena.shards.add(i) };
+            let r = f(i, shard);
+            // SAFETY: same claim; the slot was preset to None by the
+            // caller and is read back only after the job completes.
+            unsafe { *arena.results.add(i) = Some(r) };
+        };
+        pool::dispatch(self.pool.as_deref(), threads, worker);
+        results
+            .into_iter()
+            .map(|r| r.expect("every shard index claimed exactly once"))
+            .collect()
     }
 
     /// [`ShardedSim::par_shards`] under the deprecated
@@ -361,6 +435,10 @@ impl ShardedSim {
     {
         let chunk = self.shards.len().div_ceil(threads);
         let mut results: Vec<R> = Vec::with_capacity(self.shards.len());
+        // Scoped threads inherit the caller's in-job flag: a chunk's shard
+        // settling with a pooled policy must keep falling back to scoped
+        // threads when this batch itself runs inside a pool job.
+        let nested = pool::in_job();
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -369,6 +447,7 @@ impl ShardedSim {
                 .map(|(ci, group)| {
                     let f = &f;
                     scope.spawn(move || {
+                        pool::inherit_in_job(nested);
                         group
                             .iter_mut()
                             .enumerate()
@@ -385,7 +464,8 @@ impl ShardedSim {
         results
     }
 
-    /// Settles all combinational logic on every shard (one thread scope).
+    /// Settles all combinational logic on every shard (one pool job, or
+    /// one thread scope on the fallback paths).
     pub fn eval(&mut self) {
         self.par_shards(|_, s| s.eval());
     }

@@ -1,0 +1,273 @@
+//! Lifecycle and leak regression tests for the persistent worker pool.
+//!
+//! These live in their own integration-test binary (their own process)
+//! so the [`netlist::pool::alive_workers`] accounting they assert on is
+//! not perturbed by unrelated tests acquiring the shared pool. Within
+//! the binary, every test serializes on [`pool_mutex`] for the same
+//! reason. The `GATE_SIM_THREADS={1,2,4}` CI matrix runs this file at
+//! each thread count, so the join-on-drop guarantee is exercised with
+//! real concurrency at every shape.
+
+use netlist::pool::{alive_workers, WorkerPool};
+use netlist::{Builder, CompiledSim, EvalPolicy, Netlist, ShardPolicy, ShardedSim, Sim};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes the tests in this binary: each one asserts on the
+/// process-wide worker census, which only holds still while it is the
+/// sole pool user.
+fn pool_mutex() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True when `GATE_SIM_POOL=0` disabled pool acquisition: there is no
+/// roster to assert on, so the census tests vacuously pass (the
+/// scoped-fallback *results* are covered by the property suite).
+fn pool_disabled() -> bool {
+    !netlist::pool::env_pool_enabled()
+}
+
+/// The thread count the CI matrix asked for, with a multi-threaded
+/// default so the pool genuinely spawns when the variable is unset.
+fn matrix_threads() -> usize {
+    netlist::env_threads().unwrap_or(2)
+}
+
+fn counter(bits: usize) -> Netlist {
+    let mut b = Builder::new();
+    let ffs: Vec<_> = (0..bits).map(|_| b.dff(false)).collect();
+    let one = netlist::bus::constant(&mut b, 1, bits);
+    let (next, _) = netlist::bus::add(&mut b, &ffs, &one);
+    for (ff, d) in ffs.iter().zip(&next) {
+        b.connect_dff(*ff, *d);
+    }
+    b.output_bus("count", &ffs);
+    b.finish()
+}
+
+/// Dropping the last simulator that holds the pool joins every worker:
+/// no detached threads survive, at any `GATE_SIM_THREADS` shape.
+#[test]
+fn dropping_the_last_sim_joins_all_workers() {
+    if pool_disabled() {
+        return;
+    }
+    let _guard = pool_mutex();
+    let threads = matrix_threads().max(2);
+    let before = alive_workers();
+    let nl = counter(6);
+    {
+        let mut comp = CompiledSim::with_lanes(&nl, 64);
+        comp.set_eval_policy(EvalPolicy {
+            threads,
+            min_par_ops: 1,
+            ..EvalPolicy::seq()
+        });
+        let mut sharded = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy {
+                shards: threads * 2,
+                lanes_per_shard: 2,
+                threads,
+                ..ShardPolicy::single()
+            },
+        );
+        for _ in 0..5 {
+            comp.eval();
+            comp.step();
+            sharded.eval();
+            sharded.step();
+        }
+        assert!(
+            alive_workers() >= before + threads - 1,
+            "pooled policies must have spawned workers"
+        );
+        // A clone shares the pool handle; dropping the original must not
+        // tear the pool down under the clone.
+        let clone = comp.clone();
+        drop(comp);
+        assert!(alive_workers() >= before + threads - 1);
+        drop(clone);
+        drop(sharded);
+    }
+    // All simulators are gone: WorkerPool::drop has joined every thread
+    // synchronously, so the census is back immediately — no polling.
+    assert_eq!(
+        alive_workers(),
+        before,
+        "dropping the last sim must join all pool workers"
+    );
+}
+
+/// Simulators acquire one shared pool instance, and an explicit
+/// [`WorkerPool::shared`] call while they are alive returns that same
+/// instance rather than spawning a second roster.
+#[test]
+fn concurrent_sims_share_one_pool_instance() {
+    if pool_disabled() {
+        return;
+    }
+    let _guard = pool_mutex();
+    let before = alive_workers();
+    let nl = counter(4);
+    let mut a = CompiledSim::with_lanes(&nl, 64);
+    a.set_eval_policy(EvalPolicy {
+        threads: 2,
+        min_par_ops: 1,
+        ..EvalPolicy::seq()
+    });
+    let spawned_for_a = alive_workers() - before;
+    let mut b = CompiledSim::with_lanes(&nl, 64);
+    b.set_eval_policy(EvalPolicy {
+        threads: 2,
+        min_par_ops: 1,
+        ..EvalPolicy::seq()
+    });
+    assert_eq!(
+        alive_workers() - before,
+        spawned_for_a,
+        "a second sim with the same needs must not spawn a second roster"
+    );
+    let first = WorkerPool::shared(1);
+    let second = WorkerPool::shared(1);
+    assert!(
+        std::sync::Arc::ptr_eq(&first, &second),
+        "the registry must hand out one shared instance"
+    );
+    drop((first, second, a, b));
+    assert_eq!(alive_workers(), before);
+}
+
+/// Growing a policy grows the shared roster in place; shrinking parks
+/// the surplus instead of churning threads, and results stay exact
+/// throughout (the bit-identity half is property-tested — here we pin
+/// the roster census and a smoke-check of the values).
+#[test]
+fn resize_grows_in_place_and_shrink_parks_workers() {
+    if pool_disabled() {
+        return;
+    }
+    let _guard = pool_mutex();
+    let before = alive_workers();
+    let nl = counter(8);
+    let mut reference = Sim::new(&nl);
+    let mut sim = CompiledSim::new(&nl);
+    let mut census_high = 0;
+    // The schedule never passes back through 1 thread: a sequential
+    // policy releases the pool handle outright (covered by
+    // `sequential_policies_keep_no_workers`), which would churn the
+    // roster this test pins as stable across shrinks.
+    for (cycle, threads) in [1usize, 4, 2, 4, 3].into_iter().enumerate() {
+        sim.set_eval_policy(EvalPolicy {
+            threads,
+            min_par_ops: 1,
+            ..EvalPolicy::seq()
+        });
+        census_high = census_high.max(alive_workers() - before);
+        reference.eval();
+        sim.eval();
+        assert_eq!(
+            sim.get_bus("count"),
+            reference.get_bus("count"),
+            "cycle {cycle} under {threads} threads"
+        );
+        reference.step();
+        sim.step();
+    }
+    assert!(
+        census_high >= 3,
+        "the 4-thread policy must have grown to 3+"
+    );
+    assert_eq!(
+        alive_workers() - before,
+        census_high,
+        "shrinking parks workers, it does not churn threads"
+    );
+    drop(sim);
+    assert_eq!(alive_workers(), before, "last handle joins the roster");
+}
+
+/// Regression: evaluators nested *two* levels below a pool job must keep
+/// falling back to scoped threads. The chain is: a pooled `par_shards`
+/// job → a second `ShardedSim` evaluated inside it (falls back to scoped
+/// stealing threads, which must inherit the in-job flag) → that sim's
+/// shards settling with a pooled `par_levels` policy. Before the flag
+/// was inherited by scoped fallback threads, the innermost settle saw a
+/// fresh thread-local, submitted to the pool, and deadlocked on the
+/// submit lock the outermost job still holds — this test hung instead
+/// of passing.
+#[test]
+fn nested_evaluators_fall_back_instead_of_deadlocking() {
+    if pool_disabled() {
+        return;
+    }
+    let _guard = pool_mutex();
+    let nl = counter(5);
+    let mut outer = ShardedSim::with_policy(
+        &nl,
+        ShardPolicy {
+            shards: 2,
+            lanes_per_shard: 2,
+            threads: 2,
+            ..ShardPolicy::single()
+        },
+    );
+    let inner_nl = counter(4);
+    let cycles = outer.par_shards(|_, shard| {
+        let mut inner = ShardedSim::with_policy(
+            &inner_nl,
+            ShardPolicy {
+                shards: 2,
+                lanes_per_shard: 1,
+                threads: 2,
+                par_levels: 2,
+                ..ShardPolicy::single()
+            },
+        );
+        inner.set_eval_policy(EvalPolicy {
+            threads: 2,
+            min_par_ops: 1,
+            ..EvalPolicy::seq()
+        });
+        for _ in 0..3 {
+            inner.eval();
+            inner.step();
+            shard.eval();
+            shard.step();
+        }
+        (inner.cycles(), inner.get_bus_lane("count", 0))
+    });
+    // 3 stepped cycles; the last settle published the count of cycle 2.
+    assert_eq!(cycles, vec![(3, 2), (3, 2)]);
+}
+
+/// A sequential policy holds no pool handle at all: purely sequential
+/// simulators never spawn (or keep alive) a single worker thread.
+#[test]
+fn sequential_policies_keep_no_workers() {
+    if pool_disabled() {
+        return;
+    }
+    let _guard = pool_mutex();
+    let before = alive_workers();
+    let nl = counter(5);
+    let mut sim = CompiledSim::with_lanes(&nl, 64);
+    for _ in 0..3 {
+        sim.eval();
+        sim.step();
+    }
+    // Going parallel then back to sequential releases the handle.
+    sim.set_eval_policy(EvalPolicy {
+        threads: 2,
+        min_par_ops: 1,
+        ..EvalPolicy::seq()
+    });
+    sim.eval();
+    sim.set_eval_policy(EvalPolicy::seq());
+    sim.eval();
+    assert_eq!(
+        alive_workers(),
+        before,
+        "a policy back at seq() must have released the pool"
+    );
+}

@@ -511,7 +511,7 @@ proptest! {
                 sim.set_eval_mode(mode);
                 // min_par_ops: 1 forces genuine chunk splits on these
                 // small random circuits.
-                sim.set_eval_policy(EvalPolicy { threads, min_par_ops: 1 });
+                sim.set_eval_policy(EvalPolicy { threads, min_par_ops: 1, ..EvalPolicy::seq() });
                 let mut outs = Vec::new();
                 for (t, &s) in stimuli.iter().enumerate() {
                     let v = if sparse { stimuli[t - t % 4] } else { s };
@@ -603,7 +603,7 @@ proptest! {
         );
         // Small random circuits need the split threshold lowered for the
         // par-level axis to actually engage.
-        sharded.set_eval_policy(EvalPolicy { threads: 2, min_par_ops: 1 });
+        sharded.set_eval_policy(EvalPolicy { threads: 2, min_par_ops: 1, ..EvalPolicy::seq() });
         for &s in &stimuli {
             int.set_bus("in", s as u32);
             SimBackend::set_bus(&mut sharded, "in", s as u32);
@@ -618,6 +618,143 @@ proptest! {
         }
         let expected: Vec<u64> = int.toggles().iter().map(|&t| 4 * t).collect();
         prop_assert_eq!(sharded.toggles(), &expected[..]);
+    }
+
+    /// Pool lifecycle determinism, leg 1 — reuse and mid-run resizing:
+    /// one simulator whose [`EvalPolicy`] shrinks and grows between
+    /// settles (1 → n → 2 → n threads, every settle reusing the same
+    /// persistent pool) produces bit-identical outputs, FF state, toggle
+    /// counts, and [`netlist::EvalStats`] to a never-parallel run of the
+    /// same schedule.
+    #[test]
+    fn pool_reuse_and_midrun_resize_is_deterministic(
+        recipe in proptest::collection::vec(any::<u8>(), 6..120),
+        stimuli in proptest::collection::vec(any::<u8>(), 4..24),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        let n = *property_threads().last().unwrap();
+        let run = |resize: bool| {
+            let mut sim = CompiledSim::with_lanes(&nl, 64);
+            let mut outs = Vec::new();
+            for (t, &s) in stimuli.iter().enumerate() {
+                if resize {
+                    // Shrink/grow mid-run: the pool grows on demand and
+                    // parks surplus workers; results cannot move.
+                    let threads = [1, n, 2, n][t % 4];
+                    sim.set_eval_policy(EvalPolicy {
+                        threads,
+                        min_par_ops: 1,
+                        ..EvalPolicy::seq()
+                    });
+                }
+                sim.set_bus("in", s as u32);
+                sim.eval();
+                outs.push((sim.get_bus_u64("out"), sim.get_bus_u64("state")));
+                sim.step();
+            }
+            (outs, sim.toggles().to_vec(), sim.eval_stats())
+        };
+        let reference = run(false);
+        prop_assert_eq!(run(true), reference, "mid-run resize diverged");
+    }
+
+    /// Pool lifecycle determinism, leg 2 — interleaved submissions: a
+    /// pooled [`CompiledSim`] and a pooled [`ShardedSim`] (whose shards
+    /// additionally request intra-shard parallel levels, exercising the
+    /// nested-job scoped fallback) alternate settles on the one shared
+    /// pool and both reproduce the interpreted reference exactly.
+    #[test]
+    fn interleaved_compiled_and_sharded_submissions_share_one_pool(
+        recipe in proptest::collection::vec(any::<u8>(), 6..80),
+        stimuli in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        let mut int = Sim::new(&nl);
+        // Single-lane so its toggle counts compare 1:1 with the
+        // interpreter's.
+        let mut comp = CompiledSim::new(&nl);
+        comp.set_eval_policy(EvalPolicy { threads: 2, min_par_ops: 1, ..EvalPolicy::seq() });
+        let mut sharded = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy {
+                shards: 3,
+                lanes_per_shard: 2,
+                threads: 2,
+                par_levels: 2,
+                ..ShardPolicy::single()
+            },
+        );
+        sharded.set_eval_policy(EvalPolicy { threads: 2, min_par_ops: 1, ..EvalPolicy::seq() });
+        for &s in &stimuli {
+            int.set_bus("in", s as u32);
+            comp.set_bus("in", s as u32);
+            SimBackend::set_bus(&mut sharded, "in", s as u32);
+            int.eval();
+            comp.eval(); // pool job from the compiled sim...
+            sharded.eval(); // ...then one from the sharded sim, same pool
+            let want = int.get_bus_u64("out");
+            prop_assert_eq!(comp.get_bus_u64("out"), want);
+            for lane in 0..6 {
+                prop_assert_eq!(sharded.get_bus_lane("out", lane), want, "lane {}", lane);
+            }
+            int.step();
+            comp.step();
+            sharded.step();
+        }
+        prop_assert_eq!(comp.toggles(), int.toggles());
+        let merged: Vec<u64> = int.toggles().iter().map(|&t| 6 * t).collect();
+        prop_assert_eq!(sharded.toggles(), &merged[..]);
+    }
+
+    /// The scoped-thread fallback paths (policy opt-out from the pool)
+    /// are bit-identical to the pooled paths — outputs, toggles, and
+    /// stats for the compiled evaluator; results and merged toggles for
+    /// the work-stealing sharded evaluator.
+    #[test]
+    fn scoped_fallback_matches_pooled_execution(
+        recipe in proptest::collection::vec(any::<u8>(), 6..100),
+        stimuli in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        let compiled_run = |use_pool: bool| {
+            let mut sim = CompiledSim::with_lanes(&nl, 64);
+            sim.set_eval_policy(EvalPolicy {
+                threads: 2,
+                min_par_ops: 1,
+                use_pool,
+            });
+            let mut outs = Vec::new();
+            for &s in &stimuli {
+                sim.set_bus("in", s as u32);
+                sim.eval();
+                outs.push((sim.get_bus_u64("out"), sim.get_bus_u64("state")));
+                sim.step();
+            }
+            (outs, sim.toggles().to_vec(), sim.eval_stats())
+        };
+        prop_assert_eq!(compiled_run(false), compiled_run(true), "compiled fallback diverged");
+        let sharded_run = |use_pool: bool| {
+            let mut sim = ShardedSim::with_policy(
+                &nl,
+                ShardPolicy {
+                    shards: 4,
+                    lanes_per_shard: 2,
+                    threads: 2,
+                    use_pool,
+                    ..ShardPolicy::single()
+                },
+            );
+            let settles = sim.par_shards(|i, s| {
+                for (t, &v) in stimuli.iter().enumerate() {
+                    s.set_bus("in", (v as u32 + i as u32 * 31 + t as u32) & 0xff);
+                    s.eval();
+                    s.step();
+                }
+                s.cycles()
+            });
+            (settles, sim.toggles().to_vec())
+        };
+        prop_assert_eq!(sharded_run(false), sharded_run(true), "sharded fallback diverged");
     }
 
     /// Stuck-at mutation changes the gate census by at most one gate kind,
