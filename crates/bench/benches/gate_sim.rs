@@ -2,10 +2,11 @@
 //!
 //! Measures the interpreted baseline against the compiled bit-parallel
 //! backend and the multi-threaded sharded backend on the same crc32 core:
-//! per-settle (scalar), with 64 stimulus lanes packed per settle, and with
-//! 4 shards x 64 lanes on 1 and 4 threads — so both the `SimBackend`
-//! speedup and the thread-scaling are numbers rather than assertions.
-//! Per-vector throughput = settles x lanes / time.
+//! per-settle (scalar), with 64/128/256 stimulus lanes packed per settle
+//! (K = 1/2/4 words per net), and with 4 shards x 64 lanes on 1 and 4
+//! threads plus the fused 256-lane block equivalent — so the `SimBackend`
+//! speedup, the lane-block scaling, and the thread-scaling are numbers
+//! rather than assertions. Per-vector throughput = settles x lanes / time.
 //!
 //! The `settle_sparse_*` / `settle_dense_*` pairs compare the full-sweep
 //! evaluator against the event-driven one (`EvalMode`) on low-activity
@@ -76,22 +77,28 @@ fn bench(c: &mut Criterion) {
             compiled.cycles()
         })
     });
-    let mut wide = CompiledSim::with_lanes(core, 64);
-    wide.set_eval_mode(EvalMode::FullSweep);
-    let mut stimuli = [0u64; 64];
-    g.bench_function("settle_compiled_64_lanes", |b| {
-        b.iter(|| {
-            for i in 0..EVALS {
-                for (lane, s) in stimuli.iter_mut().enumerate() {
-                    *s = black_box(0x0000_0113u64 ^ ((i * 64 + lane) as u64) << 7);
+    // Lane-block width sweep: 64 lanes is one word per net (K = 1);
+    // 128/256 lanes store K = 2/4 contiguous words per net and retire
+    // K x the stimulus vectors per settle, so per-vector throughput =
+    // settles x lanes / time is the number to compare across rows.
+    for lanes in [64usize, 128, 256] {
+        let mut wide = CompiledSim::with_lanes(core, lanes);
+        wide.set_eval_mode(EvalMode::FullSweep);
+        let mut stimuli = vec![0u64; lanes];
+        g.bench_function(format!("settle_compiled_{lanes}_lanes"), |b| {
+            b.iter(|| {
+                for i in 0..EVALS {
+                    for (lane, s) in stimuli.iter_mut().enumerate() {
+                        *s = black_box(0x0000_0113u64 ^ ((i * lanes + lane) as u64) << 7);
+                    }
+                    wide.set_bus_lanes("insn", &stimuli);
+                    wide.eval();
+                    wide.step();
                 }
-                wide.set_bus_lanes("insn", &stimuli);
-                wide.eval();
-                wide.step();
-            }
-            wide.cycles()
-        })
-    });
+                wide.cycles()
+            })
+        });
+    }
 
     // Intra-netlist parallel level evaluation: the same 64-lane full-sweep
     // schedule with each wide level's ops split across worker threads
@@ -198,6 +205,8 @@ fn bench(c: &mut Criterion) {
     // `par_shards` (shard s's lane l carries global vector s*64 + l, so
     // 1-thread and 4-thread runs do bit-identical work). Per-vector
     // throughput here is over 4x the vectors of `settle_compiled_64_lanes`.
+    // `lane_words: 1` pins the historical one-sim-per-64-lanes layout —
+    // the fused lane-block alternative is measured separately below.
     for threads in [1, 4] {
         let mut sharded = ShardedSim::with_policy(
             core,
@@ -205,6 +214,7 @@ fn bench(c: &mut Criterion) {
                 shards: 4,
                 lanes_per_shard: 64,
                 threads,
+                lane_words: 1,
                 ..ShardPolicy::single()
             },
         );
@@ -230,10 +240,43 @@ fn bench(c: &mut Criterion) {
         );
     }
 
+    // Block-sharded: the same 256 vectors per settle as the 4 x 64 rows,
+    // fused into one 256-lane (K = 4) lane block — one compile, one state
+    // arena, one settle walk — with the outer thread budget routed into
+    // intra-shard parallel level evaluation.
+    {
+        let mut sharded = ShardedSim::with_policy(
+            core,
+            ShardPolicy {
+                shards: 4,
+                lanes_per_shard: 64,
+                threads: 2,
+                lane_words: 4,
+                ..ShardPolicy::single()
+            },
+        );
+        let mut stimuli = vec![0u64; 256];
+        g.bench_function("settle_sharded_block_256_lanes", |b| {
+            b.iter(|| {
+                for i in 0..EVALS {
+                    for (lane, s) in stimuli.iter_mut().enumerate() {
+                        *s = black_box(0x0000_0113u64 ^ ((i * 256 + lane) as u64) << 7);
+                    }
+                    sharded.set_bus_lanes("insn", &stimuli);
+                    sharded.eval();
+                    sharded.step();
+                }
+                sharded.cycles()
+            })
+        });
+    }
+
     // Work-stealing vs the deprecated static scheduler on a deliberately
     // uneven load: shard s settles (s + 1) * EVALS / 4 times, so static
     // chunking pins the heavy shards while stealing rebalances. Results
-    // are bit-identical; only wall clock may differ.
+    // are bit-identical; only wall clock may differ. `lane_words: 1` keeps
+    // the 8 logical shards as 8 physical shards — fused blocks would
+    // change the loads the schedulers race on.
     #[allow(deprecated)] // the static row is the regression reference
     for (name, schedule) in [
         (
@@ -249,6 +292,7 @@ fn bench(c: &mut Criterion) {
                 lanes_per_shard: 64,
                 threads: 4,
                 schedule,
+                lane_words: 1,
                 ..ShardPolicy::single()
             },
         );

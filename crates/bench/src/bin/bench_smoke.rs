@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! bench_smoke [--out BENCH_pr.json] [--check-against BENCH_baseline.json]
-//!             [--settles 200]
+//!             [--settles 2000]
 //! ```
 //!
 //! The report format is intentionally line-oriented (one config per line)
@@ -51,6 +51,10 @@ struct Row {
     lanes: usize,
     ops_per_settle: f64,
     settles_per_sec: f64,
+    /// Per-lane-vector throughput: `settles_per_sec * lanes`. The
+    /// apples-to-apples number across lane widths — a 256-lane settle
+    /// retires 4x the stimulus vectors of a 64-lane settle.
+    lane_vectors_per_sec: f64,
 }
 
 fn usage() -> ! {
@@ -61,7 +65,10 @@ fn usage() -> ! {
 fn main() {
     let mut out = String::from("BENCH_pr.json");
     let mut baseline: Option<String> = None;
-    let mut settles: u64 = 200;
+    // 2000 timed settles per config: ~20-100 ms of measured time each.
+    // The old 200-settle default measured ~2 ms, which on a shared 1-CPU
+    // runner swings +/-40% run to run — enough to fake a regression.
+    let mut settles: u64 = 2000;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -98,8 +105,15 @@ fn main() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
-             \"lanes\": {}, \"ops_per_settle\": {:.1}, \"settles_per_sec\": {:.1}}}{comma}\n",
-            r.name, r.backend, r.threads, r.lanes, r.ops_per_settle, r.settles_per_sec
+             \"lanes\": {}, \"ops_per_settle\": {:.1}, \"settles_per_sec\": {:.1}, \
+             \"lane_vectors_per_sec\": {:.1}}}{comma}\n",
+            r.name,
+            r.backend,
+            r.threads,
+            r.lanes,
+            r.ops_per_settle,
+            r.settles_per_sec,
+            r.lane_vectors_per_sec
         ));
     }
     json.push_str("  ]\n}\n");
@@ -109,13 +123,18 @@ fn main() {
     });
 
     println!(
-        "{:<28} {:>8} {:>6} {:>14} {:>14}",
-        "config", "threads", "lanes", "ops/settle", "settles/sec"
+        "{:<28} {:>8} {:>6} {:>14} {:>14} {:>12}",
+        "config", "threads", "lanes", "ops/settle", "settles/sec", "Mlanevec/s"
     );
     for r in &rows {
         println!(
-            "{:<28} {:>8} {:>6} {:>14.1} {:>14.1}",
-            r.name, r.threads, r.lanes, r.ops_per_settle, r.settles_per_sec
+            "{:<28} {:>8} {:>6} {:>14.1} {:>14.1} {:>12.2}",
+            r.name,
+            r.threads,
+            r.lanes,
+            r.ops_per_settle,
+            r.settles_per_sec,
+            r.lane_vectors_per_sec / 1e6
         );
     }
     eprintln!("bench_smoke: wrote {out}");
@@ -173,8 +192,16 @@ fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
         rows.push(row("interpreted_1_lane", "Sim", 1, 1, &sim, f));
     }
 
-    // Compiled full sweep, scalar and 64-lane.
-    for (name, lanes) in [("compiled_1_lane", 1), ("compiled_64_lanes", 64)] {
+    // Compiled full sweep across lane-block widths: scalar, the classic
+    // 64-lane single word, and the K = 2 / K = 4 wide blocks. One settle
+    // of the 256-lane row retires 4x the stimulus vectors of the 64-lane
+    // row, which is what the lane_vectors_per_sec column normalises.
+    for (name, lanes) in [
+        ("compiled_1_lane", 1),
+        ("compiled_64_lanes", 64),
+        ("compiled_128_lanes", 128),
+        ("compiled_256_lanes", 256),
+    ] {
         let mut sim = CompiledSim::with_lanes_arc(core.clone(), lanes);
         sim.set_eval_mode(EvalMode::FullSweep);
         let f = time_settles(settles, |i| {
@@ -226,7 +253,10 @@ fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
 
     // Sharded: pooled work-stealing (default) vs the scoped-thread
     // stealing fallback vs the deprecated static scheduler, 4 shards x
-    // 64 lanes on 2 threads.
+    // 64 lanes on 2 threads. `lane_words: 1` pins the historical
+    // one-CompiledSim-per-64-lanes layout so these rows stay comparable
+    // with their pre-lane-block baselines; the `sharded_block_*` row
+    // below measures the same 256 lanes fused into one K = 4 lane block.
     #[allow(deprecated)] // the static row is the trajectory reference
     let schedules = [
         ("sharded_4x64_pool_2t", ShardSchedule::WorkStealing, true),
@@ -246,6 +276,7 @@ fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
                 threads: 2,
                 schedule,
                 use_pool,
+                lane_words: 1,
                 ..ShardPolicy::single()
             },
         );
@@ -255,6 +286,36 @@ fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
             sim.step();
         });
         rows.push(row(name, "ShardedSim", 2, 256, &sim, f));
+    }
+
+    // Block-sharded: the same 4 x 64 = 256 lanes, but fused into a
+    // single 256-lane (K = 4) lane block — one compile, one state arena,
+    // one settle walk — with the freed outer threads routed into
+    // intra-shard parallel level evaluation.
+    {
+        let mut sim = ShardedSim::with_policy_arc(
+            core.clone(),
+            ShardPolicy {
+                shards: 4,
+                lanes_per_shard: 64,
+                threads: 2,
+                lane_words: 4,
+                ..ShardPolicy::single()
+            },
+        );
+        let f = time_settles(settles, |i| {
+            sim.set_bus("insn", 0x0000_0113 ^ (i as u32) << 7);
+            sim.eval();
+            sim.step();
+        });
+        rows.push(row(
+            "sharded_block_256_pool_2t",
+            "ShardedSim",
+            2,
+            256,
+            &sim,
+            f,
+        ));
     }
 
     rows
@@ -290,6 +351,7 @@ fn row(
         lanes,
         ops_per_settle: st.ops_executed as f64 / st.settles.max(1) as f64,
         settles_per_sec,
+        lane_vectors_per_sec: settles_per_sec * lanes as f64,
     }
 }
 

@@ -9,7 +9,7 @@
 use flexic::tech::Tech;
 use flexic::DesignMetrics;
 use hwlib::HwLibrary;
-use netlist::compiled::{EvalPolicy, MAX_LANES};
+use netlist::compiled::{EvalPolicy, MAX_TOTAL_LANES};
 use netlist::stats::GateCounts;
 use rissp::processor::{BatchedGateLevelCpu, GateLevelCpu};
 use rissp::profile::InstructionSubset;
@@ -93,7 +93,8 @@ pub fn characterise_workload(lib: &HwLibrary, w: &Workload, t: &Tech) -> Charact
 
 /// Builds the `RISSP-RV32E` full-ISA baseline. Its activity is measured by
 /// one batched gate-level run: the full evaluation suite executes on a
-/// single 64-lane core simulation, one workload per lane with per-lane
+/// single lane-parallel core simulation (up to 512 lanes as a K-word lane
+/// block), one workload per lane with per-lane
 /// memory and register-file models. The α is normalised by the *committed*
 /// cycle total (lanes that halt early stop contributing both toggles and
 /// cycles), so it is the cycle-weighted average of the per-workload scalar
@@ -109,8 +110,8 @@ pub fn characterise_rv32e(lib: &HwLibrary, t: &Tech, threads: usize) -> Characte
     let rissp = Rissp::generate_full_isa(lib);
     let suite = workloads::all();
     assert!(
-        suite.len() <= MAX_LANES,
-        "evaluation suite ({} workloads) no longer fits one 64-lane batch — chunk it",
+        suite.len() <= MAX_TOTAL_LANES,
+        "evaluation suite ({} workloads) no longer fits one {MAX_TOTAL_LANES}-lane batch — chunk it",
         suite.len()
     );
     let images: Vec<_> = suite

@@ -9,14 +9,14 @@
 //! them to execute real programs through the gates.
 //!
 //! [`BatchedGateLevelCpu`] is the lane-parallel variant: one compiled core
-//! simulation with up to 64 stimulus lanes, one independent program per
+//! simulation with up to 512 stimulus lanes (K-word lane blocks), one independent program per
 //! lane, each lane carrying its own behavioural register file, memory, PC
 //! and halt state. Per-lane architectural results are bit-identical to the
 //! corresponding scalar [`GateLevelCpu`] runs, and merged toggle counts are
 //! their exact sum (`docs/simulation.md` § "Toggle accounting").
 
 use hwlib::{ports, HwLibrary};
-use netlist::compiled::{CompiledSim, EvalPolicy, MAX_LANES};
+use netlist::compiled::{CompiledSim, EvalPolicy, MAX_TOTAL_LANES};
 use netlist::{Builder, NetId, Netlist};
 use riscv_emu::{RvfiRecord, RvfiTrace, SparseMemory};
 use riscv_isa::semantics::Memory as _;
@@ -337,8 +337,9 @@ enum LaneState {
     Faulted(ExecError),
 }
 
-/// Lane-parallel gate-level CPU: one compiled core simulation, up to 64
-/// independent programs — one per stimulus lane — each with its own
+/// Lane-parallel gate-level CPU: one compiled core simulation, up to 512
+/// independent programs — one per stimulus lane of a K-word lane block —
+/// each with its own
 /// behavioural register file, unified memory, PC and halt state.
 ///
 /// Every lane follows the exact phase schedule of the scalar
@@ -381,7 +382,8 @@ impl BatchedGateLevelCpu {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is empty or holds more than 64 lanes.
+    /// Panics if `entries` is empty or holds more than
+    /// [`MAX_TOTAL_LANES`] lanes.
     pub fn new(rissp: &crate::Rissp, entries: &[u32]) -> BatchedGateLevelCpu {
         BatchedGateLevelCpu::with_core_arc(Arc::new(rissp.core.clone()), entries)
     }
@@ -391,12 +393,12 @@ impl BatchedGateLevelCpu {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is empty, holds more than 64 lanes, or the
-    /// netlist does not expose the core's `pc` output port.
+    /// Panics if `entries` is empty, holds more than [`MAX_TOTAL_LANES`]
+    /// lanes, or the netlist does not expose the core's `pc` output port.
     pub fn with_core_arc(core: Arc<Netlist>, entries: &[u32]) -> BatchedGateLevelCpu {
         assert!(
-            (1..=MAX_LANES).contains(&entries.len()),
-            "lane count must be in 1..=64, got {}",
+            (1..=MAX_TOTAL_LANES).contains(&entries.len()),
+            "lane count must be in 1..={MAX_TOTAL_LANES}, got {}",
             entries.len()
         );
         let lanes = entries.len();

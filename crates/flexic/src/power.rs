@@ -35,8 +35,9 @@ pub fn average_power_mw(m: &DesignMetrics, freq_khz: f64, area_scale: f64) -> f6
 /// merging is an exact sum (see `docs/simulation.md`).
 ///
 /// For multi-lane runs (e.g. `rissp`'s `BatchedGateLevelCpu` with one
-/// workload per lane) this is the per-lane average: the merged toggle
-/// total divided by `gates * cycles * lanes`.
+/// workload per lane, up to 512 lanes per K-word lane block) this is the
+/// per-lane average: the merged toggle total divided by
+/// `gates * cycles * lanes`.
 pub fn measured_activity<S: SimBackend + ?Sized>(sim: &S) -> f64 {
     sim.average_activity()
 }
@@ -124,6 +125,41 @@ mod tests {
         );
         assert!((direct - from_counts).abs() < 1e-15);
         assert_eq!(activity_from_counts(100, 0, 10, 1), 0.0);
+    }
+
+    #[test]
+    fn wide_lane_blocks_report_the_same_activity() {
+        // α from one 128-lane (K = 2) block equals α from the same
+        // stimuli split across two 64-lane sims: the popcount-per-word
+        // toggle rule keeps the accounting exact at every lane width.
+        use netlist::{Builder, CompiledSim, SimBackend};
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 6);
+        let lo = b.and(x[0], x[1]);
+        let hi = b.xor(x[4], x[5]);
+        b.output_bus("y", &[lo, hi, x[2], x[3]]);
+        let nl = b.finish();
+        let mut wide = CompiledSim::with_lanes(&nl, 128);
+        let mut chunks = [
+            CompiledSim::with_lanes(&nl, 64),
+            CompiledSim::with_lanes(&nl, 64),
+        ];
+        for i in 0..10u64 {
+            for lane in 0..128usize {
+                let v = i.wrapping_mul(lane as u64 * 2 + 1) & 0x3f;
+                wide.set_bus_lane("x", lane, v);
+                chunks[lane / 64].set_bus_lane("x", lane % 64, v);
+            }
+            wide.eval();
+            wide.step();
+            for c in &mut chunks {
+                c.eval();
+                c.step();
+            }
+        }
+        let toggle_sum: u64 = chunks.iter().flat_map(|c| c.toggles()).sum();
+        let merged = activity_from_counts(toggle_sum, nl.len(), SimBackend::cycles(&wide), 128);
+        assert!((wide.average_activity() - merged).abs() < 1e-15);
     }
 
     #[test]

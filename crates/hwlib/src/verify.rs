@@ -105,28 +105,32 @@ fn read_outputs_lane<S: SimBackend>(sim: &S, lane: usize) -> BlockOutputs {
 }
 
 /// Evaluates `vectors` through a sharded block simulation: each settle
-/// packs `sim.lanes()` stimuli (64 per shard) and the *whole sweep* —
-/// driving, evaluation, and the per-lane `check` calls — runs inside one
-/// thread scope via [`ShardedSim::par_shards`], so both the settles and
-/// the golden-model comparisons parallelise and thread-spawn cost is paid
-/// once per sweep, not once per settle. Shard `s` owns the lane range
-/// `[s * 64, (s + 1) * 64)` of every chunk and stops at its first failing
-/// vector; the smallest global index across shards wins, so the returned
-/// error is exactly the one a sequential sweep would hit first, at any
-/// thread count.
+/// packs `sim.lanes()` stimuli (up to `lane_words * 64` per fused lane
+/// block) and the *whole sweep* — driving, evaluation, and the per-lane
+/// `check` calls — runs inside one thread scope via
+/// [`ShardedSim::par_shards`], so both the settles and the golden-model
+/// comparisons parallelise and thread-spawn cost is paid once per sweep,
+/// not once per settle. Physical shard `s` owns the lane range
+/// `[s * lanes_per_shard, s * lanes_per_shard + s.lanes())` of every
+/// chunk and stops at its first failing vector; the smallest global index
+/// across shards wins, so the returned error is exactly the one a
+/// sequential sweep would hit first, at any thread count.
 fn run_batched(
     sim: &mut ShardedSim,
     vectors: &[BlockInputs],
     check: impl Fn(&CompiledSim, usize, usize, &BlockInputs) -> Result<(), VerifyError> + Sync,
 ) -> Result<(), VerifyError> {
     let lanes_per_shard = sim.lanes_per_shard();
-    let width = sim.shard_count() * lanes_per_shard;
+    let width = sim.lanes();
     let earliest = sim
         .par_shards(|shard, s| {
+            // Shards are uniform except for a possibly-narrower trailing
+            // lane block, so clamp this shard's slice to its own width.
+            let shard_lanes = s.lanes();
             let mut first: Option<(usize, VerifyError)> = None;
             'chunks: for (chunk_idx, chunk) in vectors.chunks(width).enumerate() {
                 let lo = (shard * lanes_per_shard).min(chunk.len());
-                let hi = ((shard + 1) * lanes_per_shard).min(chunk.len());
+                let hi = (shard * lanes_per_shard + shard_lanes).min(chunk.len());
                 let slice = &chunk[lo..hi];
                 if slice.is_empty() {
                     continue; // the final partial chunk may not reach this shard
@@ -507,6 +511,7 @@ mod tests {
                     schedule,
                     par_levels,
                     use_pool,
+                    ..ShardPolicy::single()
                 };
                 functional_verify_with(&block(Mnemonic::Xor), policy)
                     .unwrap_or_else(|e| panic!("{schedule:?}/{par_levels}: {e}"));

@@ -1,12 +1,17 @@
-//! Compiled, 64-lane bit-parallel simulation backend.
+//! Compiled, bit-parallel simulation backend over K-word lane blocks.
 //!
 //! [`CompiledSim`] executes the flat op stream produced by
-//! [`crate::level::Program`]: each net's value is a `u64` word holding one
-//! bit per stimulus lane, so AND/OR/XOR/NOT/MUX settle 64 independent input
-//! vectors with single word ops. Toggle counting stays exact —
-//! `popcount((old ^ new) & lane_mask)` accumulates per-net switching over
-//! the active lanes, so [`SimBackend::average_activity`] feeds the `flexic`
-//! power model the same α it would get from 64 interpreted runs.
+//! [`crate::level::Program`]: each net's value is a *lane block* of
+//! `lane_words` contiguous `u64` words (word-major SoA, lane `l` lives in
+//! word `l / 64`, bit `l % 64`), so AND/OR/XOR/NOT/MUX settle up to
+//! [`MAX_TOTAL_LANES`] independent input vectors per eval as straight-line
+//! loops over K contiguous words — loops the compiler autovectorizes. The
+//! common K = 1 and K = 4 block widths dispatch to monomorphized fast
+//! paths; other widths run the same kernel with a runtime word count.
+//! Toggle counting stays exact — `popcount((old ^ new) & mask[w])` summed
+//! over the words of the block accumulates per-net switching over the
+//! active lanes, so [`SimBackend::average_activity`] feeds the `flexic`
+//! power model the same α it would get from `lanes` interpreted runs.
 //!
 //! With `lanes == 1` the backend is a drop-in replacement for the
 //! interpreted [`crate::sim::Sim`] (same values, same toggle counts, same
@@ -62,8 +67,50 @@ use crate::{Gate, NetId, Netlist};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-/// Maximum stimulus lanes per evaluation (bits of the value word).
+/// Stimulus lanes per value word (bits of one `u64`). Historically also
+/// the per-simulator lane ceiling, which K-word lane blocks removed.
+#[deprecated(note = "64 is the per-word lane count, not a ceiling any more: \
+            `CompiledSim` packs up to `MAX_TOTAL_LANES` lanes into K-word \
+            lane blocks (`LANES_PER_WORD * MAX_LANE_WORDS`)")]
 pub const MAX_LANES: usize = 64;
+
+/// Stimulus lanes per `u64` value word (bit `l % 64` of word `l / 64`).
+pub const LANES_PER_WORD: usize = 64;
+
+/// Maximum words per lane block (K in the `[u64; K]`-strided layout).
+pub const MAX_LANE_WORDS: usize = 8;
+
+/// Maximum stimulus lanes per evaluation:
+/// `LANES_PER_WORD * MAX_LANE_WORDS`.
+pub const MAX_TOTAL_LANES: usize = LANES_PER_WORD * MAX_LANE_WORDS;
+
+/// The active-lane mask for one value word carrying `lanes` lanes
+/// (`lanes == 64` means all bits — the shift that would overflow a plain
+/// `(1 << lanes) - 1` at a block boundary).
+///
+/// # Panics
+///
+/// Panics if `lanes > 64`.
+pub fn word_lane_mask(lanes: usize) -> u64 {
+    assert!(
+        lanes <= LANES_PER_WORD,
+        "a value word holds at most 64 lanes"
+    );
+    if lanes == LANES_PER_WORD {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Per-word active-lane masks for a `lanes`-lane block: full words are
+/// all-ones, the final partial word (if any) masks to `lanes % 64` bits.
+fn block_lane_masks(lanes: usize) -> Vec<u64> {
+    let words = lanes.div_ceil(LANES_PER_WORD);
+    (0..words)
+        .map(|w| word_lane_mask((lanes - w * LANES_PER_WORD).min(LANES_PER_WORD)))
+        .collect()
+}
 
 /// How [`CompiledSim::eval`] sweeps the op stream. Every mode produces
 /// bit-identical values and toggle counts; the mode only changes how much
@@ -177,17 +224,24 @@ impl Default for EvalPolicy {
 pub struct CompiledSim {
     netlist: Arc<Netlist>,
     prog: Arc<Program>,
-    /// Per-net lane words.
+    /// Per-net lane blocks (`lane_words` contiguous words per net: net `n`
+    /// occupies `values[n * lane_words .. (n + 1) * lane_words]`).
     values: Vec<u64>,
-    /// Per-DFF stored lane words (indexed by net id; non-DFF slots unused).
+    /// Per-DFF stored lane blocks (indexed by net id; non-DFF blocks
+    /// unused), same `lane_words` stride as `values`.
     ff_state: Vec<u64>,
-    /// Per-primary-input-bit lane words.
+    /// Per-primary-input-bit lane blocks, same stride.
     input_values: Vec<u64>,
-    /// Per-net toggle counts over active lanes.
+    /// Per-net toggle counts over active lanes (one counter per net — the
+    /// per-word popcounts of a block sum into it).
     toggles: Vec<u64>,
     cycles: u64,
     lanes: usize,
-    lane_mask: u64,
+    /// Words per lane block (K): `lanes.div_ceil(64)`.
+    lane_words: usize,
+    /// Per-word active-lane masks (`lane_words` entries; full words are
+    /// all-ones, the final partial word masks its active low bits).
+    lane_masks: Vec<u64>,
     /// False until the first eval settles arbitrary reset state; that first
     /// pass's pseudo-toggles are discarded so activity numbers start clean.
     primed: bool,
@@ -262,11 +316,31 @@ struct NetArrays {
 // these pointers is index-disjoint or ordered by a barrier edge.
 unsafe impl Sync for NetArrays {}
 
+/// Expands to a `match` on the runtime lane-block word count that calls
+/// `$body::<K>($args...)` with the matching const generic. Every legal
+/// width (1..=[`MAX_LANE_WORDS`]) gets its own monomorphization: the
+/// const `K` makes the per-op `[u64; K]` scratch buffer register-sized
+/// and fully unrolls the word loops — a runtime `k` parameter would keep
+/// the buffer on the stack and the loops rolled, costing ~30% at K = 1.
+macro_rules! dispatch_lane_words {
+    ($k:expr, $body:ident($($args:expr),* $(,)?)) => {
+        match $k {
+            1 => $body::<1>($($args),*),
+            2 => $body::<2>($($args),*),
+            3 => $body::<3>($($args),*),
+            4 => $body::<4>($($args),*),
+            5 => $body::<5>($($args),*),
+            6 => $body::<6>($($args),*),
+            7 => $body::<7>($($args),*),
+            8 => $body::<8>($($args),*),
+            k => unreachable!("lane-block word count {k} outside 1..={}", MAX_LANE_WORDS),
+        }
+    };
+}
+
 /// Executes ops `range` of the stream unconditionally; returns true when
-/// any destination word changed on an active lane.
-///
-/// The operand arrays are sliced to the range up front so the hot loop's
-/// stream indexing is bounds-check free.
+/// any destination word changed on an active lane. Dispatches to a body
+/// monomorphized per lane-block word count (the `masks` slice length).
 ///
 /// # Safety
 ///
@@ -279,7 +353,33 @@ unsafe fn exec_chunk_full(
     arrays: &NetArrays,
     inputs: &[u64],
     ffs: &[u64],
-    mask: u64,
+    masks: &[u64],
+    range: std::ops::Range<usize>,
+) -> bool {
+    dispatch_lane_words!(
+        masks.len(),
+        exec_chunk_full_impl(prog, arrays, inputs, ffs, masks, range)
+    )
+}
+
+/// The width-monomorphized body of [`exec_chunk_full`]; `K == masks.len()`
+/// is the lane-block word count.
+///
+/// The operand arrays are sliced to the range up front so the hot loop's
+/// stream indexing is bounds-check free.
+///
+/// # Safety
+///
+/// See [`exec_chunk_full`].
+// Indexed `0..K` word loops on purpose: the const trip count unrolls them.
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+unsafe fn exec_chunk_full_impl<const K: usize>(
+    prog: &Program,
+    arrays: &NetArrays,
+    inputs: &[u64],
+    ffs: &[u64],
+    masks: &[u64],
     range: std::ops::Range<usize>,
 ) -> bool {
     let n = range.len();
@@ -288,31 +388,75 @@ unsafe fn exec_chunk_full(
     let pb = &prog.b[range.clone()][..n];
     let pc = &prog.c[range.clone()][..n];
     let pd = &prog.dst[range][..n];
+    // A register-resident copy: the raw-pointer `values` stores could
+    // alias the `masks` slice as far as LLVM knows (the noalias attribute
+    // dies at inlining), which would force a reload per op.
+    let masks: [u64; K] = masks[..K].try_into().unwrap();
     let values = arrays.values;
     let mut changed = false;
     for i in 0..n {
-        let v = match ops[i] {
-            OpCode::Input => inputs[pa[i] as usize],
-            OpCode::Not => !*values.add(pa[i] as usize),
-            OpCode::And => *values.add(pa[i] as usize) & *values.add(pb[i] as usize),
-            OpCode::Or => *values.add(pa[i] as usize) | *values.add(pb[i] as usize),
-            OpCode::Xor => *values.add(pa[i] as usize) ^ *values.add(pb[i] as usize),
-            OpCode::Nand => !(*values.add(pa[i] as usize) & *values.add(pb[i] as usize)),
-            OpCode::Nor => !(*values.add(pa[i] as usize) | *values.add(pb[i] as usize)),
-            OpCode::Xnor => !(*values.add(pa[i] as usize) ^ *values.add(pb[i] as usize)),
-            OpCode::Mux => {
-                let sel = *values.add(pc[i] as usize);
-                (sel & *values.add(pb[i] as usize)) | (!sel & *values.add(pa[i] as usize))
+        let a = pa[i] as usize * K;
+        let b = pb[i] as usize * K;
+        let d = pd[i] as usize * K;
+        let mut v = [0u64; K];
+        match ops[i] {
+            OpCode::Input => v.copy_from_slice(&inputs[a..a + K]),
+            OpCode::Not => {
+                for w in 0..K {
+                    v[w] = !*values.add(a + w);
+                }
             }
-            OpCode::DffOut => ffs[pd[i] as usize],
-        };
-        let d = pd[i] as usize;
-        let diff = (*values.add(d) ^ v) & mask;
-        if diff != 0 {
-            *arrays.toggles.add(d) += diff.count_ones() as u64;
+            OpCode::And => {
+                for w in 0..K {
+                    v[w] = *values.add(a + w) & *values.add(b + w);
+                }
+            }
+            OpCode::Or => {
+                for w in 0..K {
+                    v[w] = *values.add(a + w) | *values.add(b + w);
+                }
+            }
+            OpCode::Xor => {
+                for w in 0..K {
+                    v[w] = *values.add(a + w) ^ *values.add(b + w);
+                }
+            }
+            OpCode::Nand => {
+                for w in 0..K {
+                    v[w] = !(*values.add(a + w) & *values.add(b + w));
+                }
+            }
+            OpCode::Nor => {
+                for w in 0..K {
+                    v[w] = !(*values.add(a + w) | *values.add(b + w));
+                }
+            }
+            OpCode::Xnor => {
+                for w in 0..K {
+                    v[w] = !(*values.add(a + w) ^ *values.add(b + w));
+                }
+            }
+            OpCode::Mux => {
+                let c = pc[i] as usize * K;
+                for w in 0..K {
+                    let sel = *values.add(c + w);
+                    v[w] = (sel & *values.add(b + w)) | (!sel & *values.add(a + w));
+                }
+            }
+            OpCode::DffOut => v.copy_from_slice(&ffs[d..d + K]),
+        }
+        let mut toggled = 0u64;
+        let mut any = 0u64;
+        for w in 0..K {
+            let diff = (*values.add(d + w) ^ v[w]) & masks[w];
+            toggled += diff.count_ones() as u64;
+            any |= diff;
+            *values.add(d + w) = v[w];
+        }
+        if any != 0 {
+            *arrays.toggles.add(pd[i] as usize) += toggled;
             changed = true;
         }
-        *values.add(d) = v;
     }
     changed
 }
@@ -331,7 +475,30 @@ unsafe fn exec_chunk_level0(
     arrays: &NetArrays,
     inputs: &[u64],
     ffs: &[u64],
-    mask: u64,
+    masks: &[u64],
+    cur: u32,
+    range: std::ops::Range<usize>,
+) -> (bool, bool) {
+    dispatch_lane_words!(
+        masks.len(),
+        exec_chunk_level0_impl(prog, arrays, inputs, ffs, masks, cur, range)
+    )
+}
+
+/// The width-monomorphized body of [`exec_chunk_level0`].
+///
+/// # Safety
+///
+/// See [`exec_chunk_level0`].
+// Indexed `0..K` word loops on purpose: the const trip count unrolls them.
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+unsafe fn exec_chunk_level0_impl<const K: usize>(
+    prog: &Program,
+    arrays: &NetArrays,
+    inputs: &[u64],
+    ffs: &[u64],
+    masks: &[u64],
     cur: u32,
     range: std::ops::Range<usize>,
 ) -> (bool, bool) {
@@ -339,25 +506,39 @@ unsafe fn exec_chunk_level0(
     let ops = &prog.opcodes[range.clone()][..n];
     let pa = &prog.a[range.clone()][..n];
     let pd = &prog.dst[range][..n];
+    // A register-resident copy: the raw-pointer `values` stores could
+    // alias the `masks` slice as far as LLVM knows (the noalias attribute
+    // dies at inlining), which would force a reload per op.
+    let masks: [u64; K] = masks[..K].try_into().unwrap();
     let (mut in_changed, mut ff_changed) = (false, false);
     for i in 0..n {
-        let (v, is_input) = match ops[i] {
-            OpCode::Input => (inputs[pa[i] as usize], true),
-            OpCode::DffOut => (ffs[pd[i] as usize], false),
+        let d = pd[i] as usize * K;
+        let (src, is_input): (&[u64], bool) = match ops[i] {
+            OpCode::Input => {
+                let a = pa[i] as usize * K;
+                (&inputs[a..a + K], true)
+            }
+            OpCode::DffOut => (&ffs[d..d + K], false),
             op => unreachable!("level 0 holds only Input/DffOut ops, found {op:?}"),
         };
-        let d = pd[i] as usize;
-        let diff = (*arrays.values.add(d) ^ v) & mask;
-        if diff != 0 {
-            *arrays.toggles.add(d) += diff.count_ones() as u64;
-            *arrays.stamp.add(d) = cur;
+        let mut toggled = 0u64;
+        let mut any = 0u64;
+        for w in 0..K {
+            let v = src[w];
+            let diff = (*arrays.values.add(d + w) ^ v) & masks[w];
+            toggled += diff.count_ones() as u64;
+            any |= diff;
+            *arrays.values.add(d + w) = v;
+        }
+        if any != 0 {
+            *arrays.toggles.add(pd[i] as usize) += toggled;
+            *arrays.stamp.add(pd[i] as usize) = cur;
             if is_input {
                 in_changed = true;
             } else {
                 ff_changed = true;
             }
         }
-        *arrays.values.add(d) = v;
     }
     (in_changed, ff_changed)
 }
@@ -376,7 +557,31 @@ unsafe fn exec_chunk_level0(
 unsafe fn exec_chunk_gated(
     prog: &Program,
     arrays: &NetArrays,
-    mask: u64,
+    masks: &[u64],
+    cur: u32,
+    range: std::ops::Range<usize>,
+) -> (u64, bool) {
+    dispatch_lane_words!(
+        masks.len(),
+        exec_chunk_gated_impl(prog, arrays, masks, cur, range)
+    )
+}
+
+/// The width-monomorphized body of [`exec_chunk_gated`]. Gating stays per
+/// net: one change stamp covers the whole lane block (a net is "changed"
+/// when any active lane of any word flipped), so wider blocks gate exactly
+/// as often as a 64-lane sim driven with the union of the block's stimuli.
+///
+/// # Safety
+///
+/// See [`exec_chunk_gated`].
+// Indexed `0..K` word loops on purpose: the const trip count unrolls them.
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+unsafe fn exec_chunk_gated_impl<const K: usize>(
+    prog: &Program,
+    arrays: &NetArrays,
+    masks: &[u64],
     cur: u32,
     range: std::ops::Range<usize>,
 ) -> (u64, bool) {
@@ -386,53 +591,70 @@ unsafe fn exec_chunk_gated(
     let pb = &prog.b[range.clone()][..n];
     let pc = &prog.c[range.clone()][..n];
     let pd = &prog.dst[range][..n];
+    // A register-resident copy: the raw-pointer `values` stores could
+    // alias the `masks` slice as far as LLVM knows (the noalias attribute
+    // dies at inlining), which would force a reload per op.
+    let masks: [u64; K] = masks[..K].try_into().unwrap();
     let values = arrays.values;
     let stamp = arrays.stamp;
     let mut executed = 0u64;
     let mut changed = false;
     for i in 0..n {
-        let v = match ops[i] {
+        let a = pa[i] as usize;
+        let b = pb[i] as usize;
+        let mut v = [0u64; K];
+        match ops[i] {
             OpCode::Not => {
-                let a = pa[i] as usize;
                 if *stamp.add(a) != cur {
                     continue;
                 }
-                !*values.add(a)
+                for w in 0..K {
+                    v[w] = !*values.add(a * K + w);
+                }
             }
             OpCode::Mux => {
-                let (a, b, c) = (pa[i] as usize, pb[i] as usize, pc[i] as usize);
+                let c = pc[i] as usize;
                 if *stamp.add(a) != cur && *stamp.add(b) != cur && *stamp.add(c) != cur {
                     continue;
                 }
-                let sel = *values.add(c);
-                (sel & *values.add(b)) | (!sel & *values.add(a))
+                for w in 0..K {
+                    let sel = *values.add(c * K + w);
+                    v[w] = (sel & *values.add(b * K + w)) | (!sel & *values.add(a * K + w));
+                }
             }
             op => {
-                let (a, b) = (pa[i] as usize, pb[i] as usize);
                 if *stamp.add(a) != cur && *stamp.add(b) != cur {
                     continue;
                 }
-                let (x, y) = (*values.add(a), *values.add(b));
-                match op {
-                    OpCode::And => x & y,
-                    OpCode::Or => x | y,
-                    OpCode::Xor => x ^ y,
-                    OpCode::Nand => !(x & y),
-                    OpCode::Nor => !(x | y),
-                    OpCode::Xnor => !(x ^ y),
-                    _ => unreachable!("Input/DffOut ops live in level 0, found {op:?}"),
+                for w in 0..K {
+                    let (x, y) = (*values.add(a * K + w), *values.add(b * K + w));
+                    v[w] = match op {
+                        OpCode::And => x & y,
+                        OpCode::Or => x | y,
+                        OpCode::Xor => x ^ y,
+                        OpCode::Nand => !(x & y),
+                        OpCode::Nor => !(x | y),
+                        OpCode::Xnor => !(x ^ y),
+                        _ => unreachable!("Input/DffOut ops live in level 0, found {op:?}"),
+                    };
                 }
             }
-        };
+        }
         executed += 1;
-        let d = pd[i] as usize;
-        let diff = (*values.add(d) ^ v) & mask;
-        if diff != 0 {
-            *arrays.toggles.add(d) += diff.count_ones() as u64;
-            *stamp.add(d) = cur;
+        let d = pd[i] as usize * K;
+        let mut toggled = 0u64;
+        let mut any = 0u64;
+        for w in 0..K {
+            let diff = (*values.add(d + w) ^ v[w]) & masks[w];
+            toggled += diff.count_ones() as u64;
+            any |= diff;
+            *values.add(d + w) = v[w];
+        }
+        if any != 0 {
+            *arrays.toggles.add(pd[i] as usize) += toggled;
+            *stamp.add(pd[i] as usize) = cur;
             changed = true;
         }
-        *values.add(d) = v;
     }
     (executed, changed)
 }
@@ -464,7 +686,7 @@ impl CompiledSim {
     ///
     /// # Panics
     ///
-    /// Panics unless `1 <= lanes <= 64`.
+    /// Panics unless `1 <= lanes <= `[`MAX_TOTAL_LANES`].
     pub fn with_lanes(netlist: &Netlist, lanes: usize) -> CompiledSim {
         CompiledSim::with_lanes_arc(Arc::new(netlist.clone()), lanes)
     }
@@ -474,37 +696,65 @@ impl CompiledSim {
     /// so fanning out many simulators over one netlist (shards, repeated
     /// CPU constructions) pays for the gate arena once.
     ///
+    /// Lane counts above 64 round the state arena up to whole 64-lane
+    /// words: every net stores `lanes.div_ceil(64)` contiguous `u64`s
+    /// (a *lane block*), and the kernels loop over the block.
+    ///
     /// # Panics
     ///
-    /// Panics unless `1 <= lanes <= 64`.
+    /// Panics unless `1 <= lanes <= `[`MAX_TOTAL_LANES`].
     pub fn with_lanes_arc(netlist: Arc<Netlist>, lanes: usize) -> CompiledSim {
+        let prog = Arc::new(Program::compile(&netlist));
+        CompiledSim::from_parts(netlist, prog, lanes)
+    }
+
+    /// A fresh simulator (reset state, zero counters) over the same
+    /// compiled program and netlist, with a possibly different lane
+    /// count. No recompilation: both [`Arc`]s are shared. The eval mode
+    /// and policy are copied over. `ShardedSim` uses this to shape a
+    /// partial trailing lane block without paying a second levelization.
+    pub(crate) fn reshaped(&self, lanes: usize) -> CompiledSim {
+        let mut sim =
+            CompiledSim::from_parts(Arc::clone(&self.netlist), Arc::clone(&self.prog), lanes);
+        sim.set_eval_mode(self.mode);
+        sim.set_eval_policy(self.policy);
+        sim
+    }
+
+    /// Shared constructor body: allocates the K-word state arena for
+    /// `lanes` over an already-compiled `prog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lanes <= `[`MAX_TOTAL_LANES`].
+    fn from_parts(netlist: Arc<Netlist>, prog: Arc<Program>, lanes: usize) -> CompiledSim {
         assert!(
-            (1..=MAX_LANES).contains(&lanes),
-            "lanes must be in 1..=64, got {lanes}"
+            (1..=MAX_TOTAL_LANES).contains(&lanes),
+            "lanes must be in 1..={MAX_TOTAL_LANES}, got {lanes}: a CompiledSim packs \
+             up to {MAX_LANE_WORDS} 64-lane words into one lane block; for more \
+             stimulus vectors, split the sweep into multiple lane blocks \
+             (e.g. `ShardedSim`) or multiple settles"
         );
-        let prog = Program::compile(&netlist);
-        let mut values = vec![0u64; prog.net_count];
+        let k = lanes.div_ceil(LANES_PER_WORD);
+        let mut values = vec![0u64; prog.net_count * k];
         for &(net, v) in &prog.consts {
-            values[net as usize] = broadcast(v);
+            values[net as usize * k..(net as usize + 1) * k].fill(broadcast(v));
         }
-        let mut ff_state = vec![0u64; prog.net_count];
+        let mut ff_state = vec![0u64; prog.net_count * k];
         for (id, gate) in netlist.gates().iter().enumerate() {
             if let Gate::Dff { init, .. } = gate {
-                ff_state[id] = broadcast(*init);
+                ff_state[id * k..(id + 1) * k].fill(broadcast(*init));
             }
         }
         CompiledSim {
             values,
             ff_state,
-            input_values: vec![0u64; prog.input_count],
+            input_values: vec![0u64; prog.input_count * k],
             toggles: vec![0u64; prog.net_count],
             cycles: 0,
             lanes,
-            lane_mask: if lanes == MAX_LANES {
-                u64::MAX
-            } else {
-                (1u64 << lanes) - 1
-            },
+            lane_words: k,
+            lane_masks: block_lane_masks(lanes),
             primed: false,
             mode: EvalMode::Auto,
             inputs_dirty: true,
@@ -518,7 +768,7 @@ impl CompiledSim {
             par_split: Arc::new(Vec::new()),
             pool: None,
             stats: EvalStats::default(),
-            prog: Arc::new(prog),
+            prog,
             netlist,
         }
     }
@@ -615,9 +865,37 @@ impl CompiledSim {
         self.stats
     }
 
-    /// The raw lane word of one net (bit `l` = lane `l`'s value).
+    /// The first lane word of one net (bit `l` = lane `l`'s value for
+    /// lanes 0..64). Shorthand for `lane_word_at(net, 0)`.
     pub fn lane_word(&self, net: NetId) -> u64 {
-        self.values[net as usize]
+        self.values[net as usize * self.lane_words]
+    }
+
+    /// One word of a net's lane block: bit `b` = lane `word * 64 + b`'s
+    /// value. Bits beyond the active lane count hold garbage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= lane_words`.
+    pub fn lane_word_at(&self, net: NetId, word: usize) -> u64 {
+        assert!(
+            word < self.lane_words,
+            "word {word} out of range (lane_words = {})",
+            self.lane_words
+        );
+        self.values[net as usize * self.lane_words + word]
+    }
+
+    /// Words per lane block (`lanes.div_ceil(64)`): the stride of the
+    /// `values`/`ff_state`/`input_values` arrays.
+    pub fn lane_words(&self) -> usize {
+        self.lane_words
+    }
+
+    /// Per-word active-lane masks (`lane_words` entries; see
+    /// [`word_lane_mask`]).
+    pub fn lane_masks(&self) -> &[u64] {
+        &self.lane_masks
     }
 
     /// Drives one lane of the named input port with `value`'s low bits.
@@ -637,11 +915,12 @@ impl CompiledSim {
             .netlist
             .input(port)
             .unwrap_or_else(|| panic!("no input port `{port}`"));
+        let (w, bit) = (lane / LANES_PER_WORD, lane % LANES_PER_WORD);
         for (i, &net) in port.nets.iter().enumerate() {
             match self.netlist.gates()[net as usize] {
                 Gate::Input(idx) => {
-                    let word = &mut self.input_values[idx as usize];
-                    let new = (*word & !(1u64 << lane)) | (port_bit(value, i) << lane);
+                    let word = &mut self.input_values[idx as usize * self.lane_words + w];
+                    let new = (*word & !(1u64 << bit)) | (port_bit(value, i) << bit);
                     if *word != new {
                         *word = new;
                         self.inputs_dirty = true;
@@ -674,15 +953,19 @@ impl CompiledSim {
             .netlist
             .input(port)
             .unwrap_or_else(|| panic!("no input port `{port}`"));
+        let k = self.lane_words;
         for (i, &net) in port.nets.iter().enumerate() {
             match self.netlist.gates()[net as usize] {
                 Gate::Input(idx) => {
-                    let mut word = self.input_values[idx as usize];
+                    let base = idx as usize * k;
+                    let mut block = [0u64; MAX_LANE_WORDS];
+                    block[..k].copy_from_slice(&self.input_values[base..base + k]);
                     for (lane, &v) in values.iter().enumerate() {
-                        word = (word & !(1u64 << lane)) | (port_bit(v, i) << lane);
+                        let (w, bit) = (lane / LANES_PER_WORD, lane % LANES_PER_WORD);
+                        block[w] = (block[w] & !(1u64 << bit)) | (port_bit(v, i) << bit);
                     }
-                    if self.input_values[idx as usize] != word {
-                        self.input_values[idx as usize] = word;
+                    if self.input_values[base..base + k] != block[..k] {
+                        self.input_values[base..base + k].copy_from_slice(&block[..k]);
                         self.inputs_dirty = true;
                     }
                 }
@@ -702,12 +985,14 @@ impl CompiledSim {
             .netlist
             .input(port)
             .unwrap_or_else(|| panic!("no input port `{port}`"));
+        let k = self.lane_words;
         for (i, &net) in port.nets.iter().enumerate() {
             match self.netlist.gates()[net as usize] {
                 Gate::Input(idx) => {
+                    let base = idx as usize * k;
                     let word = broadcast(port_bit(value, i) == 1);
-                    if self.input_values[idx as usize] != word {
-                        self.input_values[idx as usize] = word;
+                    if self.input_values[base..base + k].iter().any(|&w| w != word) {
+                        self.input_values[base..base + k].fill(word);
                         self.inputs_dirty = true;
                     }
                 }
@@ -787,7 +1072,7 @@ impl CompiledSim {
                 &arrays,
                 &self.input_values,
                 &self.ff_state,
-                self.lane_mask,
+                &self.lane_masks,
                 0..n,
             );
         }
@@ -832,7 +1117,7 @@ impl CompiledSim {
                         &arrays,
                         &self.input_values,
                         &self.ff_state,
-                        self.lane_mask,
+                        &self.lane_masks,
                         cur,
                         range,
                     )
@@ -859,7 +1144,7 @@ impl CompiledSim {
             // SAFETY: `&mut self` is exclusive; all earlier levels have
             // already executed, so operand values and stamps are final.
             let (executed, changed) =
-                unsafe { exec_chunk_gated(&self.prog, &arrays, self.lane_mask, cur, range) };
+                unsafe { exec_chunk_gated(&self.prog, &arrays, &self.lane_masks, cur, range) };
             ops_run += executed;
             if changed {
                 self.changed_levels[level / 64] |= 1u64 << (level % 64);
@@ -898,7 +1183,7 @@ impl CompiledSim {
         let arrays = self.net_arrays();
         let prog = &*self.prog;
         let (inputs, ffs) = (&self.input_values[..], &self.ff_state[..]);
-        let mask = self.lane_mask;
+        let masks = &self.lane_masks[..];
         let split = Arc::clone(&self.par_split);
         let worker = move |tid: usize, barrier: &SpinBarrier| {
             // The barrier bookkeeping is a pure function of the (shared)
@@ -920,7 +1205,7 @@ impl CompiledSim {
                         // SAFETY: chunks partition the level (disjoint dst
                         // writes), operands live in earlier levels, and
                         // the barrier edges order cross-thread access.
-                        unsafe { exec_chunk_full(prog, &arrays, inputs, ffs, mask, chunk) };
+                        unsafe { exec_chunk_full(prog, &arrays, inputs, ffs, masks, chunk) };
                     }
                     pending_chunks = true;
                 } else {
@@ -931,7 +1216,7 @@ impl CompiledSim {
                     if tid == 0 {
                         // SAFETY: only worker 0 touches unsplit levels,
                         // and the edge above sealed any chunk operands.
-                        unsafe { exec_chunk_full(prog, &arrays, inputs, ffs, mask, range) };
+                        unsafe { exec_chunk_full(prog, &arrays, inputs, ffs, masks, range) };
                     }
                     pending_seq = true;
                 }
@@ -947,42 +1232,53 @@ impl CompiledSim {
 
     /// Parallel event-driven settle. Same two exact skipping tiers as
     /// [`CompiledSim::eval_event`], composed with the per-level chunk
-    /// parallelism of [`CompiledSim::eval_full_par`]:
+    /// parallelism of [`CompiledSim::eval_full_par`] — but with worker 0
+    /// as the *sole* owner of the dirt-source bitset and of every skip
+    /// decision, so the narrow levels that dominate sparse schedules run
+    /// barrier-free:
     ///
-    /// * Every worker replays the whole-level skip decisions on a private
-    ///   copy of the dirt-source bitset. The decisions only read state
-    ///   sealed by a barrier, so all copies agree — skipped levels cost no
-    ///   barrier at all.
-    /// * A dirty level runs two barriers: *execute* (workers evaluate
-    ///   their chunks with per-op gating, writing disjoint
-    ///   value/toggle/stamp entries, and publish per-chunk `(ops executed,
-    ///   changed)` into per-thread slots) and *merge* (every worker reads
-    ///   all slots and folds them into its private dirt set — the slots
-    ///   may not be rewritten before everyone has read them).
-    /// * Per-thread ops-executed counts merge into the same total the
-    ///   sequential gated sweep would compute (gating depends only on
-    ///   sealed stamps), so [`EvalStats`] and the [`EvalMode::Auto`] dense
-    ///   fallback are thread-count independent.
+    /// * Unsplit levels (`par_split[level]` false: fewer scheduled ops
+    ///   than `min_par_ops`) are executed whole by worker 0 with no
+    ///   synchronisation at all, exactly like the sequential gated sweep.
+    ///   The other workers never even look at them.
+    /// * A split level costs one *decision* barrier: worker 0 publishes
+    ///   whether the level is dirty into that level's `go` slot (only it
+    ///   can know), and the barrier doubles as the seal for every value
+    ///   and stamp written since the previous edge. A dirty split level
+    ///   adds one *execute* barrier after the chunks run; worker 0 then
+    ///   folds the per-thread `(ops executed, changed)` slots into its
+    ///   dirt set. The slots are not rewritten until after the *next*
+    ///   decision barrier — which worker 0 enters only after reading them
+    ///   — so no merge barrier is needed. (`go` is per level, not one
+    ///   reused flag: a worker that sees "skip" continues without further
+    ///   synchronisation, so worker 0 may publish a *later* level's
+    ///   decision before a slow worker has read the earlier one.)
+    /// * Gating depends only on sealed stamps and worker 0 replays the
+    ///   sequential decision stream exactly, so [`EvalStats`] and the
+    ///   [`EvalMode::Auto`] dense fallback are thread-count independent.
     fn eval_event_par(&mut self, threads: usize) {
         let arrays = self.net_arrays();
         let prog = &*self.prog;
         let (inputs, ffs) = (&self.input_values[..], &self.ff_state[..]);
-        let mask = self.lane_mask;
+        let masks = &self.lane_masks[..];
         let cur = self.settle_id;
         let min_ops = self.policy.min_par_ops;
         let (inputs_dirty, ffs_dirty) = (self.inputs_dirty, self.ffs_dirty);
         let levels = prog.levels();
         let stride = prog.dep_stride;
-        // Per-thread result slots for the level being executed. Each
-        // worker stores its own slot *before* the execute barrier; all
-        // workers read every slot between the execute and merge barriers;
-        // the next level's stores happen only after the merge barrier —
-        // so stores and loads of the same slot are never concurrent.
+        let split = Arc::clone(&self.par_split);
+        // Per-thread result slots for the split level being executed. Each
+        // worker stores its own slot *before* the execute barrier; worker
+        // 0 reads them after it; the next store happens only after a later
+        // decision barrier — so stores and loads are never concurrent.
         let execd: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
         let flag_a: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
         let flag_b: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+        // Worker 0's published skip decision, one slot per split level.
+        let go: Vec<AtomicBool> = (0..levels).map(|_| AtomicBool::new(false)).collect();
         let run = |tid: usize, barrier: &SpinBarrier| -> (u64, u64) {
-            // Private dirt-source set: deterministic decisions, no sharing.
+            // The dirt-source set lives on worker 0 alone; other workers
+            // never make (or need) a skip decision of their own.
             let mut changed_levels = vec![0u64; stride];
             let mut ops_run = 0u64;
             let mut skipped = 0u64;
@@ -992,64 +1288,110 @@ impl CompiledSim {
                     continue;
                 }
                 if level == 0 {
+                    // Level 0's skip decision reads pre-captured dirt
+                    // flags, so every worker can make it locally.
                     if !inputs_dirty && !ffs_dirty {
                         skipped += 1;
                         continue;
                     }
                     ops_run += range.len() as u64;
-                    let chunk = par_chunk(range, tid, threads, min_ops);
-                    let (in_c, ff_c) = if chunk.is_empty() {
-                        (false, false)
-                    } else {
-                        // SAFETY: chunks partition level 0; see NetArrays.
-                        unsafe { exec_chunk_level0(prog, &arrays, inputs, ffs, mask, cur, chunk) }
-                    };
-                    flag_a[tid].store(in_c, Relaxed);
-                    flag_b[tid].store(ff_c, Relaxed);
-                    barrier.wait(threads); // execute done: slots + stamps sealed
-                    for (bit, flags) in [(levels, &flag_a), (levels + 1, &flag_b)] {
-                        if flags.iter().any(|f| f.load(Relaxed)) {
-                            changed_levels[bit / 64] |= 1u64 << (bit % 64);
+                    if split[0] {
+                        let chunk = par_chunk(range, tid, threads, min_ops);
+                        let (in_c, ff_c) = if chunk.is_empty() {
+                            (false, false)
+                        } else {
+                            // SAFETY: chunks partition level 0; see NetArrays.
+                            unsafe {
+                                exec_chunk_level0(prog, &arrays, inputs, ffs, masks, cur, chunk)
+                            }
+                        };
+                        flag_a[tid].store(in_c, Relaxed);
+                        flag_b[tid].store(ff_c, Relaxed);
+                        barrier.wait(threads); // execute done: slots + stamps sealed
+                        if tid == 0 {
+                            for (bit, flags) in [(levels, &flag_a), (levels + 1, &flag_b)] {
+                                if flags.iter().any(|f| f.load(Relaxed)) {
+                                    changed_levels[bit / 64] |= 1u64 << (bit % 64);
+                                }
+                            }
+                        }
+                    } else if tid == 0 {
+                        // SAFETY: worker 0 alone runs unsplit levels.
+                        let (in_c, ff_c) = unsafe {
+                            exec_chunk_level0(prog, &arrays, inputs, ffs, masks, cur, range)
+                        };
+                        for (bit, c) in [(levels, in_c), (levels + 1, ff_c)] {
+                            if c {
+                                changed_levels[bit / 64] |= 1u64 << (bit % 64);
+                            }
                         }
                     }
-                    barrier.wait(threads); // merge done: slots may be reused
                     continue;
                 }
-                let dirty = prog
-                    .level_dep_set(level)
-                    .iter()
-                    .zip(changed_levels.iter())
-                    .any(|(d, c)| d & c != 0);
-                if !dirty {
-                    skipped += 1;
-                    continue;
+                if split[level] {
+                    if tid == 0 {
+                        let dirty = prog
+                            .level_dep_set(level)
+                            .iter()
+                            .zip(changed_levels.iter())
+                            .any(|(d, c)| d & c != 0);
+                        go[level].store(dirty, Relaxed);
+                    }
+                    // Decision barrier: publishes `go[level]` and seals
+                    // every value and stamp written since the last edge.
+                    barrier.wait(threads);
+                    if !go[level].load(Relaxed) {
+                        skipped += 1;
+                        continue;
+                    }
+                    let chunk = par_chunk(range, tid, threads, min_ops);
+                    let (executed, changed) = if chunk.is_empty() {
+                        (0, false)
+                    } else {
+                        // SAFETY: chunks partition the level; operand
+                        // values and stamps were sealed by the decision
+                        // barrier.
+                        unsafe { exec_chunk_gated(prog, &arrays, masks, cur, chunk) }
+                    };
+                    execd[tid].store(executed, Relaxed);
+                    flag_a[tid].store(changed, Relaxed);
+                    barrier.wait(threads); // execute done
+                    if tid == 0 {
+                        let mut any = false;
+                        for t in 0..threads {
+                            ops_run += execd[t].load(Relaxed);
+                            any |= flag_a[t].load(Relaxed);
+                        }
+                        if any {
+                            changed_levels[level / 64] |= 1u64 << (level % 64);
+                        }
+                    }
+                } else if tid == 0 {
+                    let dirty = prog
+                        .level_dep_set(level)
+                        .iter()
+                        .zip(changed_levels.iter())
+                        .any(|(d, c)| d & c != 0);
+                    if !dirty {
+                        skipped += 1;
+                        continue;
+                    }
+                    // SAFETY: worker 0 alone runs unsplit levels; chunk
+                    // writes from earlier split levels were sealed by
+                    // their execute barriers.
+                    let (executed, changed) =
+                        unsafe { exec_chunk_gated(prog, &arrays, masks, cur, range) };
+                    ops_run += executed;
+                    if changed {
+                        changed_levels[level / 64] |= 1u64 << (level % 64);
+                    }
                 }
-                let chunk = par_chunk(range, tid, threads, min_ops);
-                let (executed, changed) = if chunk.is_empty() {
-                    (0, false)
-                } else {
-                    // SAFETY: chunks partition the level; operand values
-                    // and stamps were sealed by earlier-level barriers.
-                    unsafe { exec_chunk_gated(prog, &arrays, mask, cur, chunk) }
-                };
-                execd[tid].store(executed, Relaxed);
-                flag_a[tid].store(changed, Relaxed);
-                barrier.wait(threads); // execute done
-                let mut any = false;
-                for t in 0..threads {
-                    ops_run += execd[t].load(Relaxed);
-                    any |= flag_a[t].load(Relaxed);
-                }
-                if any {
-                    changed_levels[level / 64] |= 1u64 << (level % 64);
-                }
-                barrier.wait(threads); // merge done
             }
             (ops_run, skipped)
         };
-        // Every worker computes identical (ops_run, skipped) totals — the
-        // merge barriers fold all per-chunk slots into every private copy
-        // — so worker 0 publishing its pair loses nothing.
+        // Only worker 0 owns the dirt set and the slot folds, so only its
+        // (ops_run, skipped) pair is meaningful — and it equals the
+        // sequential gated sweep's totals exactly.
         let (out_ops, out_skipped) = (AtomicU64::new(0), AtomicU64::new(0));
         pool::dispatch(self.pool.as_deref(), threads, |tid, barrier| {
             let (ops_run, skipped) = run(tid, barrier);
@@ -1064,17 +1406,21 @@ impl CompiledSim {
         self.auto_dense_check(ops_run);
     }
 
-    /// Clock edge: latches every DFF's `d` word into its state.
+    /// Clock edge: latches every DFF's `d` lane block into its state.
     pub fn step(&mut self) {
+        let k = self.lane_words;
         for &(ff, d) in &self.prog.dffs {
-            let next = self.values[d as usize];
-            // The FF output publishes the *stored* word on the next settle,
-            // so level 0 only needs re-evaluation when the newly latched
-            // word differs from the currently published one.
-            if self.values[ff as usize] != next {
-                self.ffs_dirty = true;
+            let (fb, db) = (ff as usize * k, d as usize * k);
+            for w in 0..k {
+                let next = self.values[db + w];
+                // The FF output publishes the *stored* block on the next
+                // settle, so level 0 only needs re-evaluation when a newly
+                // latched word differs from the currently published one.
+                if self.values[fb + w] != next {
+                    self.ffs_dirty = true;
+                }
+                self.ff_state[fb + w] = next;
             }
-            self.ff_state[ff as usize] = next;
         }
         self.cycles += 1;
     }
@@ -1090,7 +1436,8 @@ impl CompiledSim {
             "lane {lane} out of range (lanes = {})",
             self.lanes
         );
-        (self.values[net as usize] >> lane) & 1 == 1
+        let (w, bit) = (lane / LANES_PER_WORD, lane % LANES_PER_WORD);
+        (self.values[net as usize * self.lane_words + w] >> bit) & 1 == 1
     }
 
     /// Reads one net on lane 0.
@@ -1115,12 +1462,13 @@ impl CompiledSim {
             .netlist
             .output(port)
             .unwrap_or_else(|| panic!("no output port `{port}`"));
+        let (w, bit) = (lane / LANES_PER_WORD, lane % LANES_PER_WORD);
         port.nets
             .iter()
             .take(64)
             .enumerate()
             .fold(0u64, |acc, (i, &n)| {
-                acc | (((self.values[n as usize] >> lane) & 1) << i)
+                acc | (((self.values[n as usize * self.lane_words + w] >> bit) & 1) << i)
             })
     }
 
@@ -1144,11 +1492,13 @@ impl CompiledSim {
             self.netlist.gates()[net as usize].is_dff(),
             "net {net} is not a DFF"
         );
+        let k = self.lane_words;
+        let base = net as usize * k;
         let word = broadcast(value);
-        if self.values[net as usize] != word {
+        if self.values[base..base + k].iter().any(|&w| w != word) {
             self.ffs_dirty = true;
         }
-        self.ff_state[net as usize] = word;
+        self.ff_state[base..base + k].fill(word);
     }
 
     /// Forces the stored state of a DFF on one lane only (e.g. a per-lane
@@ -1167,9 +1517,11 @@ impl CompiledSim {
             self.netlist.gates()[net as usize].is_dff(),
             "net {net} is not a DFF"
         );
-        let word = &mut self.ff_state[net as usize];
-        *word = (*word & !(1u64 << lane)) | ((value as u64) << lane);
-        if *word != self.values[net as usize] {
+        let (w, bit) = (lane / LANES_PER_WORD, lane % LANES_PER_WORD);
+        let idx = net as usize * self.lane_words + w;
+        let word = &mut self.ff_state[idx];
+        *word = (*word & !(1u64 << bit)) | ((value as u64) << bit);
+        if *word != self.values[idx] {
             self.ffs_dirty = true;
         }
     }
@@ -1309,6 +1661,78 @@ mod tests {
                 "lane {lane}"
             );
         }
+    }
+
+    #[test]
+    fn wide_lane_blocks_evaluate_independent_stimuli() {
+        // Same adder, but the stimuli span multiple words of a lane block
+        // (including the deliberately awkward 65- and 512-lane shapes).
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (sum, _) = crate::bus::add(&mut b, &x, &y);
+        b.output_bus("sum", &sum);
+        let nl = b.finish();
+        for lanes in [65usize, 128, 256, 512] {
+            let mut sim = CompiledSim::with_lanes(&nl, lanes);
+            assert_eq!(sim.lane_words(), lanes.div_ceil(64), "lanes = {lanes}");
+            for lane in 0..lanes as u64 {
+                sim.set_bus_lane("x", lane as usize, lane * 3);
+                sim.set_bus_lane("y", lane as usize, lane * 5 + 1);
+            }
+            sim.eval();
+            for lane in 0..lanes as u64 {
+                assert_eq!(
+                    sim.get_bus_lane("sum", lane as usize),
+                    (lane * 3 + lane * 5 + 1) & 0xff,
+                    "lanes = {lanes}, lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_block_matches_chunked_64_lane_runs() {
+        // A 256-lane sequential run must be bit-identical — values and
+        // exact per-net toggle counts — to the same stimuli run as four
+        // chunked 64-lane sims. (The property tests sweep this across the
+        // full mode x threads x pool matrix; this is the fast pin.)
+        let nl = {
+            let mut b = Builder::new();
+            let ffs: Vec<NetId> = (0..6).map(|_| b.dff(false)).collect();
+            let x = b.input_bus("x", 6);
+            let (next, _) = crate::bus::add(&mut b, &ffs, &x);
+            for (ff, d) in ffs.iter().zip(&next) {
+                b.connect_dff(*ff, *d);
+            }
+            b.output_bus("count", &ffs);
+            b.finish()
+        };
+        let stim = |lane: u64, cycle: u64| (lane * 7 + cycle * 13 + 1) & 0x3f;
+        let mut wide = CompiledSim::with_lanes(&nl, 256);
+        let mut chunks: Vec<CompiledSim> =
+            (0..4).map(|_| CompiledSim::with_lanes(&nl, 64)).collect();
+        for cycle in 0..11 {
+            for lane in 0..256u64 {
+                wide.set_bus_lane("x", lane as usize, stim(lane, cycle));
+                chunks[lane as usize / 64].set_bus_lane("x", lane as usize % 64, stim(lane, cycle));
+            }
+            wide.eval();
+            chunks.iter_mut().for_each(|c| c.eval());
+            for lane in 0..256usize {
+                assert_eq!(
+                    wide.get_bus_lane("count", lane),
+                    chunks[lane / 64].get_bus_lane("count", lane % 64),
+                    "cycle {cycle}, lane {lane}"
+                );
+            }
+            wide.step();
+            chunks.iter_mut().for_each(|c| c.step());
+        }
+        let merged: Vec<u64> = (0..nl.len())
+            .map(|n| chunks.iter().map(|c| c.toggles()[n]).sum())
+            .collect();
+        assert_eq!(wide.toggles(), &merged[..], "exact toggle accounting");
     }
 
     #[test]
@@ -1649,7 +2073,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lanes must be in 1..=64")]
+    #[should_panic(expected = "lanes must be in 1..=512")]
     fn zero_lanes_rejected() {
         let mut b = Builder::new();
         let x = b.input("x");

@@ -15,13 +15,13 @@
 //!   activity numbers feed the FlexIC power model).
 //! * [`level`] — levelization and compilation of a netlist into a flat,
 //!   structure-of-arrays op stream with per-level fan-in metadata.
-//! * [`compiled`] — the compiled backend: 64 stimulus lanes per eval, one
-//!   `u64` word per net, exact popcount toggle accounting, and
-//!   event-driven level skipping on low-activity stimulus
-//!   ([`compiled::EvalMode`]).
-//! * [`sharded`] — the multi-threaded backend: N independent compiled
-//!   shards over disjoint stimulus lanes, merged bit-identically
-//!   regardless of thread count.
+//! * [`compiled`] — the compiled backend: up to 512 stimulus lanes per
+//!   eval packed as K-word lane blocks (K contiguous `u64`s per net),
+//!   exact popcount-per-word toggle accounting, and event-driven level
+//!   skipping on low-activity stimulus ([`compiled::EvalMode`]).
+//! * [`sharded`] — the multi-threaded backend: compiled lane blocks over
+//!   disjoint stimulus lanes, merged bit-identically regardless of
+//!   thread count, schedule, or block width.
 //! * [`pool`] — the persistent worker-pool runtime behind every parallel
 //!   evaluation path: parked OS threads reused across settles, a
 //!   generation-stamped job protocol, and lock-free chunk/shard claiming
@@ -71,13 +71,13 @@
 //! let x = b.input_bus("x", 4);
 //! b.output_bus("y", &x);
 //! let nl = b.finish();
-//! let mut wide = CompiledSim::with_lanes(&nl, 64);
+//! let mut wide = CompiledSim::with_lanes(&nl, 128); // one 2-word lane block
 //! let mut sharded = ShardedSim::with_policy(&nl, ShardPolicy { shards: 2, lanes_per_shard: 64, threads: 2, ..ShardPolicy::single() });
 //! wide.set_bus("x", 0b1010);
 //! SimBackend::set_bus(&mut sharded, "x", 0b1010);
 //! wide.eval();
 //! sharded.eval();
-//! assert_eq!(wide.get_bus_lane("y", 63), sharded.get_bus_lane("y", 127));
+//! assert_eq!(wide.get_bus_lane("y", 127), sharded.get_bus_lane("y", 127));
 //! ```
 
 pub mod bus;
@@ -89,7 +89,10 @@ pub mod sharded;
 pub mod sim;
 pub mod stats;
 
-pub use compiled::{CompiledSim, EvalMode, EvalPolicy};
+pub use compiled::{
+    word_lane_mask, CompiledSim, EvalMode, EvalPolicy, LANES_PER_WORD, MAX_LANE_WORDS,
+    MAX_TOTAL_LANES,
+};
 pub use pool::WorkerPool;
 pub use sharded::{ShardPolicy, ShardSchedule, ShardedSim};
 pub use sim::{EvalStats, Sim, SimBackend};
@@ -109,6 +112,26 @@ pub fn env_threads() -> Option<usize> {
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => Some(n),
         _ => panic!("GATE_SIM_THREADS={v} is not a positive integer"),
+    }
+}
+
+/// Lane-block width override from the `GATE_SIM_LANE_WORDS` environment
+/// variable: the default [`ShardPolicy::lane_words`] fusion width, in
+/// 64-lane words (`1..=`[`MAX_LANE_WORDS`]). `1` reproduces the
+/// historical one-`CompiledSim`-per-64-lanes sharding; the CI matrix runs
+/// the test suite at both `1` and `4`. Returns `None` when unset; a set
+/// but unusable value panics so a typo'd CI matrix cannot silently test
+/// the wrong shape.
+///
+/// # Panics
+///
+/// Panics if the variable is set to anything but an integer in
+/// `1..=`[`MAX_LANE_WORDS`].
+pub fn env_lane_words() -> Option<usize> {
+    let v = std::env::var("GATE_SIM_LANE_WORDS").ok()?;
+    match v.parse::<usize>() {
+        Ok(n) if (1..=MAX_LANE_WORDS).contains(&n) => Some(n),
+        _ => panic!("GATE_SIM_LANE_WORDS={v} is not an integer in 1..={MAX_LANE_WORDS}"),
     }
 }
 

@@ -245,7 +245,8 @@ pub fn check_equivalence(
 }
 
 /// [`check_equivalence`] with an explicit shard policy: each settle packs
-/// `policy.total_lanes()` random vectors (64 per shard) and the shards of
+/// `policy.total_lanes()` random vectors (up to `lane_words * 64` per
+/// fused lane block) and the shards of
 /// both netlists evaluate on `policy.threads` workers of the persistent
 /// [`crate::pool::WorkerPool`] (or scoped threads on the fallback paths).
 ///
@@ -287,7 +288,9 @@ pub fn check_equivalence_with(
     let mut sa = ShardedSim::with_policy(a, policy);
     let mut sb = ShardedSim::with_policy(b, policy);
     let width = policy.total_lanes();
-    let lanes_per_shard = policy.lanes_per_shard;
+    // Physical lanes per shard after lane-block fusion (both sims share
+    // the policy, so their physical shapes agree).
+    let lanes_per_shard = sa.lanes_per_shard();
     let mut remaining = samples;
     // values[port index][lane], allocated once — port names are recovered
     // from `a.inputs()` order only on the rare mismatch.
@@ -312,10 +315,11 @@ pub fn check_equivalence_with(
             let Some(port_b) = b.output(&port.name) else {
                 continue;
             };
-            // Word-compare shard by shard across all active lanes at once
-            // (numeric equality: the common bits must match and the wider
-            // port's extra bits must be zero); only on a mismatch do we pay
-            // for per-lane reconstruction of the failing assignment.
+            // Word-compare shard by shard, one `u64` of the lane block at
+            // a time, across all active lanes at once (numeric equality:
+            // the common bits must match and the wider port's extra bits
+            // must be zero); only on a mismatch do we pay for per-lane
+            // reconstruction of the failing assignment.
             let common = port.nets.len().min(port_b.nets.len());
             let diverged = sa.shards().iter().zip(sb.shards()).enumerate().any(
                 |(shard, (shard_a, shard_b))| {
@@ -325,21 +329,27 @@ pub fn check_equivalence_with(
                     if active == 0 {
                         return false;
                     }
-                    let lane_mask = if active >= 64 {
-                        u64::MAX
-                    } else {
-                        (1u64 << active) - 1
-                    };
-                    port.nets[..common].iter().zip(&port_b.nets[..common]).any(
-                        |(&net_a, &net_b)| {
-                            (shard_a.lane_word(net_a) ^ shard_b.lane_word(net_b)) & lane_mask != 0
-                        },
-                    ) || port.nets[common..]
-                        .iter()
-                        .any(|&n| shard_a.lane_word(n) & lane_mask != 0)
-                        || port_b.nets[common..]
+                    (0..shard_a.lane_words()).any(|w| {
+                        let in_word = active
+                            .saturating_sub(w * crate::compiled::LANES_PER_WORD)
+                            .min(crate::compiled::LANES_PER_WORD);
+                        if in_word == 0 {
+                            return false;
+                        }
+                        let lane_mask = crate::compiled::word_lane_mask(in_word);
+                        port.nets[..common].iter().zip(&port_b.nets[..common]).any(
+                            |(&net_a, &net_b)| {
+                                (shard_a.lane_word_at(net_a, w) ^ shard_b.lane_word_at(net_b, w))
+                                    & lane_mask
+                                    != 0
+                            },
+                        ) || port.nets[common..]
                             .iter()
-                            .any(|&n| shard_b.lane_word(n) & lane_mask != 0)
+                            .any(|&n| shard_a.lane_word_at(n, w) & lane_mask != 0)
+                            || port_b.nets[common..]
+                                .iter()
+                                .any(|&n| shard_b.lane_word_at(n, w) & lane_mask != 0)
+                    })
                 },
             );
             if diverged {

@@ -90,7 +90,7 @@ thread_local! {
 /// scoped-thread fallback when it returns true: the pool runs one job at
 /// a time, so submitting from inside a job would deadlock. Scoped
 /// fallback threads spawned from inside a job inherit the flag
-/// ([`dispatch`]/[`scoped_run`] handle this), so arbitrarily deep
+/// (`dispatch`/`scoped_run` handle this), so arbitrarily deep
 /// nesting keeps falling back instead of deadlocking.
 pub fn in_job() -> bool {
     IN_JOB.with(|f| f.get())

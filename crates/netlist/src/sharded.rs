@@ -1,21 +1,31 @@
 //! Multi-threaded sharded simulation backend.
 //!
-//! [`ShardedSim`] runs N independent 64-lane [`CompiledSim`]s — the
-//! *shards* — over disjoint stimulus lane ranges, optionally spread across
-//! [`std::thread::scope`] threads. Because shards never share mutable
-//! state, the merged results (outputs, FF state, per-net toggle counts)
-//! are bit-identical to running the same shards sequentially on one
-//! thread: the thread count is purely a scheduling knob and can never
-//! change a simulation result. The full contract is written down in
-//! `docs/simulation.md` and enforced by the cross-backend property tests
-//! in `crates/netlist/tests/properties.rs`.
+//! [`ShardedSim`] runs N independent [`CompiledSim`]s — the *shards* —
+//! over disjoint stimulus lane ranges, optionally spread across worker
+//! threads. Because shards never share mutable state, the merged results
+//! (outputs, FF state, per-net toggle counts) are bit-identical to
+//! running the same shards sequentially on one thread: the thread count
+//! is purely a scheduling knob and can never change a simulation result.
+//! The full contract is written down in `docs/simulation.md` and enforced
+//! by the cross-backend property tests in
+//! `crates/netlist/tests/properties.rs`.
 //!
-//! Lane numbering is global: a [`ShardedSim`] with `S` shards of `L` lanes
-//! exposes `S * L` lanes, and global lane `g` lives in shard `g / L` at
-//! local lane `g % L`. Toggle merging is exact because the compiled
-//! backend's popcount accounting is per-lane independent — the merged
-//! per-net count is simply the sum over shards (see
-//! `docs/simulation.md` § "Toggle accounting").
+//! Since the compiled backend grew K-word lane blocks, full-width (64
+//! lane) logical shards *fuse*: [`ShardPolicy::lane_words`] consecutive
+//! shards become one wide `CompiledSim` of up to `lane_words * 64` lanes
+//! — one compile, one state arena, one settle walk for the whole block —
+//! and any thread budget the fusion frees up is routed into intra-shard
+//! parallel level evaluation ([`EvalPolicy::par_levels`]). A policy
+//! asking for `4 x 64` lanes on 2 threads therefore runs one 256-lane
+//! sim whose settles split levels across 2 workers, instead of 4 sims
+//! paying 4 level walks. Shards narrower than a full word never fuse.
+//!
+//! Lane numbering is global: a [`ShardedSim`] over `T` total lanes in
+//! physical blocks of `B` puts global lane `g` in block `g / B` at local
+//! lane `g % B` (only the trailing block may be narrower). Toggle merging
+//! is exact because the compiled backend's popcount accounting is
+//! per-lane independent — the merged per-net count is simply the sum over
+//! shards (see `docs/simulation.md` § "Toggle accounting").
 //!
 //! Two usage patterns:
 //! * **Per-settle** — drive lanes through the [`SimBackend`] trait and call
@@ -33,13 +43,17 @@
 //! per-call scoped threads otherwise; both paths use the same claim
 //! counter and are bit-identical.
 
-use crate::compiled::{CompiledSim, EvalMode, EvalPolicy, MAX_LANES};
+use crate::compiled::{CompiledSim, EvalMode, EvalPolicy, LANES_PER_WORD, MAX_LANE_WORDS};
 use crate::pool::{self, WorkerPool};
 use crate::sim::{EvalStats, SimBackend};
 use crate::{NetId, Netlist};
 use std::cell::OnceCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Default lane-block fusion width when `GATE_SIM_LANE_WORDS` is unset:
+/// 4 words = 256 lanes per block, the widest monomorphized kernel.
+pub const DEFAULT_LANE_WORDS: usize = 4;
 
 /// How a batch of shards is scheduled onto the worker threads of one
 /// [`ShardedSim::par_shards`] scope.
@@ -55,13 +69,17 @@ pub enum ShardSchedule {
     /// longer serialize on the slowest statically-assigned thread.
     #[default]
     WorkStealing,
-    /// The pre-work-stealing scheduler: shards are split into
-    /// `ceil(shards / threads)`-sized contiguous chunks, one thread each.
+    /// The pre-work-stealing scheduler: shards are pre-sliced into one
+    /// contiguous chunk per thread, balanced by *weight* (a shard's op
+    /// stream length times its lane-block width), so a partial trailing
+    /// lane block no longer drags a full-width shard onto its thread.
+    /// Runs on the persistent worker pool like the stealing scheduler.
     #[deprecated(
         since = "0.1.0",
-        note = "static chunking serializes uneven shard loads on the \
-                slowest thread; use ShardSchedule::WorkStealing (the \
-                default). Kept reachable so the determinism property \
+        note = "static pre-slicing balances compile-time weight but still \
+                cannot rebalance loads that only differ at run time (e.g. \
+                per-shard settle counts); use ShardSchedule::WorkStealing \
+                (the default). Kept reachable so the determinism property \
                 tests can pin both schedulers against each other."
     )]
     Static,
@@ -70,17 +88,20 @@ pub enum ShardSchedule {
 /// How a stimulus batch is split into shards and scheduled onto threads.
 ///
 /// `shards * lanes_per_shard` is the total lane count; `threads`,
-/// `schedule`, and `par_levels` only control how those shards evaluate
-/// (how many OS threads, how shards are handed to them, and how many
-/// additional workers split each level *inside* a shard settle) and never
-/// affect results.
+/// `schedule`, `par_levels`, and `lane_words` only control how those
+/// lanes evaluate (how many OS threads, how shards are handed to them,
+/// how many additional workers split each level *inside* a shard settle,
+/// and how many full-width shards fuse into one wide lane block) and
+/// never affect simulation values or toggle counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPolicy {
-    /// Number of independent [`CompiledSim`] shards.
+    /// Number of logical [`CompiledSim`] shards.
     pub shards: usize,
-    /// Stimulus lanes per shard (1..=[`MAX_LANES`]).
+    /// Stimulus lanes per logical shard (1..=[`LANES_PER_WORD`]).
     pub lanes_per_shard: usize,
-    /// Worker threads to spread shards over (clamped to the shard count).
+    /// Worker threads to spread shards over (clamped to the physical
+    /// shard count after lane-block fusion; the leftover budget becomes
+    /// intra-shard [`EvalPolicy::par_levels`] workers).
     pub threads: usize,
     /// How shards are handed to the worker threads.
     pub schedule: ShardSchedule,
@@ -97,6 +118,18 @@ pub struct ShardPolicy {
     /// against its scoped predecessor (`GATE_SIM_POOL=0` forces it off
     /// globally).
     pub use_pool: bool,
+    /// Lane-block fusion width in 64-lane words
+    /// (1..=[`MAX_LANE_WORDS`]): up to `lane_words` consecutive
+    /// *full-width* (64-lane) logical shards fuse into one wide
+    /// [`CompiledSim`] so one settle walk covers the whole block; `1`
+    /// reproduces the historical one-sim-per-64-lanes layout exactly.
+    /// Shards narrower than 64 lanes never fuse. Values and toggle
+    /// counts are bit-identical for every width; only
+    /// [`crate::sim::EvalStats`] work counters may differ (a wide block
+    /// re-evaluates an op when *any* of its lanes changed). Defaults to
+    /// the `GATE_SIM_LANE_WORDS` environment override
+    /// ([`crate::env_lane_words`]), falling back to 4.
+    pub lane_words: usize,
 }
 
 impl ShardPolicy {
@@ -105,19 +138,21 @@ impl ShardPolicy {
     pub fn single() -> ShardPolicy {
         ShardPolicy {
             shards: 1,
-            lanes_per_shard: MAX_LANES,
+            lanes_per_shard: LANES_PER_WORD,
             threads: 1,
             schedule: ShardSchedule::default(),
             par_levels: 1,
             use_pool: true,
+            lane_words: crate::env_lane_words().unwrap_or(DEFAULT_LANE_WORDS),
         }
     }
 
-    /// `n` full-width shards, one thread each.
+    /// `n` full-width shards, one thread each (fusion permitting — see
+    /// [`ShardPolicy::lane_words`]).
     pub fn threads(n: usize) -> ShardPolicy {
         ShardPolicy {
             shards: n.max(1),
-            lanes_per_shard: MAX_LANES,
+            lanes_per_shard: LANES_PER_WORD,
             threads: n.max(1),
             ..ShardPolicy::single()
         }
@@ -152,7 +187,11 @@ impl Default for ShardPolicy {
 #[derive(Debug)]
 pub struct ShardedSim {
     shards: Vec<CompiledSim>,
+    /// Physical lanes per shard after fusion (only the trailing shard may
+    /// hold fewer).
     lanes_per_shard: usize,
+    /// Total stimulus lanes (`policy.shards * policy.lanes_per_shard`).
+    total_lanes: usize,
     threads: usize,
     schedule: ShardSchedule,
     /// Whether pooled evaluation was requested ([`ShardPolicy::use_pool`]);
@@ -206,19 +245,56 @@ impl ShardedSim {
             policy.par_levels >= 1,
             "policy needs at least one par-level worker"
         );
-        // Shards are identical at reset: levelize/compile once, clone the
-        // rest (a clone copies the per-lane arrays but shares the compiled
+        assert!(
+            (1..=MAX_LANE_WORDS).contains(&policy.lane_words),
+            "policy.lane_words must be in 1..={MAX_LANE_WORDS}, got {}",
+            policy.lane_words
+        );
+        let total_lanes = policy.shards * policy.lanes_per_shard;
+        // Lane-block fusion: full-width logical shards regroup into wide
+        // physical blocks of `lane_words * 64` lanes (one compile, one
+        // state arena, one settle walk per block); narrower shards are
+        // not word-aligned and keep their requested shape.
+        let block_lanes = if policy.lanes_per_shard == LANES_PER_WORD && policy.lane_words > 1 {
+            policy.lane_words * LANES_PER_WORD
+        } else {
+            policy.lanes_per_shard
+        };
+        let shard_lanes: Vec<usize> = (0..total_lanes.div_ceil(block_lanes))
+            .map(|i| (total_lanes - i * block_lanes).min(block_lanes))
+            .collect();
+        let threads = policy.threads.min(shard_lanes.len());
+        // Fusion can leave fewer blocks than requested threads; route the
+        // freed budget into intra-shard parallel level evaluation so
+        // `threads` keeps meaning "worker threads the eval may use".
+        // Results are unaffected: par-level settles are bit-identical.
+        let intra = policy.par_levels * (policy.threads / shard_lanes.len()).max(1);
+        // Blocks are identical at reset: levelize/compile once, clone (or
+        // reshape, for a partial trailing block — both share the compiled
         // program and the netlist Arc).
-        let mut first = CompiledSim::with_lanes_arc(netlist, policy.lanes_per_shard);
+        let mut first = CompiledSim::with_lanes_arc(netlist, shard_lanes[0]);
         first.set_eval_policy(EvalPolicy {
             use_pool: policy.use_pool,
-            ..EvalPolicy::par_levels(policy.par_levels)
+            ..EvalPolicy::par_levels(intra)
         });
-        let shards = vec![first; policy.shards];
-        let threads = policy.threads.min(policy.shards);
+        let shards: Vec<CompiledSim> = shard_lanes
+            .iter()
+            .map(|&l| {
+                if l == shard_lanes[0] {
+                    first.clone()
+                } else {
+                    first.reshaped(l)
+                }
+            })
+            .collect();
         let mut sim = ShardedSim {
             shards,
-            lanes_per_shard: policy.lanes_per_shard,
+            // `shard_lanes[0]`, not `block_lanes`: when `total_lanes` is
+            // smaller than a full fusion block the only shard is narrower
+            // than the block cap, and `lanes_per_shard()` must report the
+            // width callers can actually drive.
+            lanes_per_shard: shard_lanes[0],
+            total_lanes,
             threads,
             schedule: policy.schedule,
             want_pool: policy.use_pool,
@@ -230,15 +306,12 @@ impl ShardedSim {
     }
 
     /// (Re-)acquires or releases the shared worker pool to match the
-    /// current `threads`/`schedule`/`want_pool` configuration. The
-    /// deprecated static schedule never pools: it predates the pool and
-    /// is kept byte-for-byte as the determinism pin.
+    /// current `threads`/`want_pool` configuration. Both schedulers run
+    /// their slices on the pool: pooled-vs-scoped execution is
+    /// bit-identical, so pooling the deprecated static path keeps the
+    /// determinism pins intact while removing its per-call spawn tax.
     fn acquire_pool(&mut self) {
-        #[allow(deprecated)] // recognising Static is what keeps it scoped
-        let poolable = self.threads > 1
-            && self.want_pool
-            && self.schedule == ShardSchedule::WorkStealing
-            && pool::env_pool_enabled();
+        let poolable = self.threads > 1 && self.want_pool && pool::env_pool_enabled();
         self.pool = poolable.then(|| WorkerPool::shared(self.threads - 1));
     }
 
@@ -280,17 +353,20 @@ impl ShardedSim {
         self.shards[0].netlist()
     }
 
-    /// The shard simulators, in lane order (read access for inspection).
+    /// The physical shard simulators, in lane order (read access for
+    /// inspection). With lane-block fusion these are *wide* sims — see
+    /// [`ShardPolicy::lane_words`].
     pub fn shards(&self) -> &[CompiledSim] {
         &self.shards
     }
 
-    /// Number of shards.
+    /// Number of physical shards (lane blocks) after fusion.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
-    /// Stimulus lanes per shard.
+    /// Stimulus lanes per physical shard (the trailing shard may hold
+    /// fewer; see [`CompiledSim::lanes`][SimBackend::lanes] per shard).
     pub fn lanes_per_shard(&self) -> usize {
         self.lanes_per_shard
     }
@@ -308,13 +384,12 @@ impl ShardedSim {
     }
 
     fn shard_of(&self, lane: usize) -> (usize, usize) {
-        let shard = lane / self.lanes_per_shard;
         assert!(
-            shard < self.shards.len(),
+            lane < self.total_lanes,
             "lane {lane} out of range (lanes = {})",
-            self.shards.len() * self.lanes_per_shard
+            self.total_lanes
         );
-        (shard, lane % self.lanes_per_shard)
+        (lane / self.lanes_per_shard, lane % self.lanes_per_shard)
     }
 
     /// Runs `f(shard_index, shard)` for every shard, spread over the
@@ -423,45 +498,70 @@ impl ShardedSim {
     }
 
     /// [`ShardedSim::par_shards`] under the deprecated
-    /// [`ShardSchedule::Static`]: shards are split into contiguous
-    /// `ceil(shards / threads)`-sized chunks, one thread each, so one
-    /// overloaded chunk serializes the whole scope on its thread. Kept so
-    /// the determinism property tests can pin both schedulers against
-    /// each other.
+    /// [`ShardSchedule::Static`]: shards are pre-sliced into one
+    /// contiguous chunk per thread, balanced by measured weight (a
+    /// shard's op stream length times its lane-block width) instead of
+    /// by shard count, so a cheap partial trailing block no longer
+    /// occupies a whole thread while a heavy one queues. The slicing is
+    /// a pure function of the (immutable) program and shard shapes —
+    /// fully deterministic — and each shard index is owned by exactly
+    /// one thread, so results are bit-identical to the stealing
+    /// scheduler and to sequential execution. Runtime load imbalance
+    /// (e.g. uneven per-shard settle counts in `f`) still serializes on
+    /// the assigned thread; that is why the stealing scheduler remains
+    /// the default.
     fn par_shards_static<R, F>(&mut self, threads: usize, f: F) -> Vec<R>
     where
         F: Fn(usize, &mut CompiledSim) -> R + Sync,
         R: Send,
     {
-        let chunk = self.shards.len().div_ceil(threads);
-        let mut results: Vec<R> = Vec::with_capacity(self.shards.len());
-        // Scoped threads inherit the caller's in-job flag: a chunk's shard
-        // settling with a pooled policy must keep falling back to scoped
-        // threads when this batch itself runs inside a pool job.
-        let nested = pool::in_job();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(ci, group)| {
-                    let f = &f;
-                    scope.spawn(move || {
-                        pool::inherit_in_job(nested);
-                        group
-                            .iter_mut()
-                            .enumerate()
-                            .map(|(j, s)| f(ci * chunk + j, s))
-                            .collect::<Vec<R>>()
-                    })
-                })
-                .collect();
-            // Joining in spawn order keeps the result order deterministic.
-            for h in handles {
-                results.extend(h.join().expect("shard thread panicked"));
+        let weights: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| (s.program().len() * s.lane_words()) as u64)
+            .collect();
+        let bounds = balanced_bounds(&weights, threads);
+        let mut results: Vec<Option<R>> = (0..self.shards.len()).map(|_| None).collect();
+
+        /// Raw, `Sync` view of the shard array and the result slots.
+        ///
+        /// # Safety contract
+        ///
+        /// `bounds` partitions `0..shards.len()` into disjoint contiguous
+        /// ranges, and thread `t` touches exactly the indices of
+        /// `bounds[t]` — so all concurrent access is index-disjoint, and
+        /// the job's completion edge (pool latch or scope join) orders
+        /// every slot write before the caller's reads.
+        struct StaticArena<R> {
+            shards: *mut CompiledSim,
+            results: *mut Option<R>,
+        }
+        // SAFETY: see the struct-level contract — index-disjoint access
+        // ordered by the job completion edge.
+        unsafe impl<R> Sync for StaticArena<R> {}
+
+        let arena = StaticArena {
+            shards: self.shards.as_mut_ptr(),
+            results: results.as_mut_ptr(),
+        };
+        let worker = |tid: usize, _barrier: &pool::SpinBarrier| {
+            // Capture the whole arena, not its raw-pointer fields (the
+            // `Sync` contract lives on the struct).
+            let arena = &arena;
+            for i in bounds[tid].clone() {
+                // SAFETY: `bounds` hands index `i` to this thread alone.
+                let shard = unsafe { &mut *arena.shards.add(i) };
+                let r = f(i, shard);
+                // SAFETY: same ownership; the slot was preset to None by
+                // the caller and read back only after the job completes.
+                unsafe { *arena.results.add(i) = Some(r) };
             }
-        });
+        };
+        pool::dispatch(self.pool.as_deref(), threads, worker);
         results
+            .into_iter()
+            .map(|r| r.expect("balanced bounds cover every shard index"))
+            .collect()
     }
 
     /// Settles all combinational logic on every shard (one pool job, or
@@ -499,10 +599,10 @@ impl ShardedSim {
     /// Panics if the port does not exist or `values.len() > lanes()`.
     pub fn set_bus_lanes(&mut self, port: &str, values: &[u64]) {
         assert!(
-            values.len() <= self.shards.len() * self.lanes_per_shard,
+            values.len() <= self.total_lanes,
             "{} stimuli exceed {} lanes",
             values.len(),
-            self.shards.len() * self.lanes_per_shard
+            self.total_lanes
         );
         for (shard, chunk) in values.chunks(self.lanes_per_shard).enumerate() {
             self.shards[shard].set_bus_lanes(port, chunk);
@@ -556,13 +656,43 @@ impl ShardedSim {
     }
 }
 
+/// Pre-slices `weights.len()` items into `threads` contiguous ranges so
+/// each range's weight is as close to the remaining average as a greedy
+/// left-to-right walk can make it, while guaranteeing every range holds
+/// at least one item (callers clamp `threads <= weights.len()`). Fully
+/// deterministic: the slicing depends only on the weights.
+fn balanced_bounds(weights: &[u64], threads: usize) -> Vec<std::ops::Range<usize>> {
+    let n = weights.len();
+    debug_assert!(threads >= 1 && threads <= n);
+    let total: u64 = weights.iter().sum();
+    let mut bounds = Vec::with_capacity(threads);
+    let (mut start, mut spent) = (0usize, 0u64);
+    for t in 0..threads {
+        let left = threads - t; // ranges still to emit, this one included
+                                // Later ranges must keep at least one item each; this one must
+                                // take at least one.
+        let hi = n - (left - 1);
+        let target = (total - spent).div_ceil(left as u64);
+        let mut end = start + 1;
+        let mut acc = weights[start];
+        while end < hi && acc < target {
+            acc += weights[end];
+            end += 1;
+        }
+        spent += acc;
+        bounds.push(start..end);
+        start = end;
+    }
+    bounds
+}
+
 impl SimBackend for ShardedSim {
     fn netlist(&self) -> &Netlist {
         ShardedSim::netlist(self)
     }
 
     fn lanes(&self) -> usize {
-        self.shards.len() * self.lanes_per_shard
+        self.total_lanes
     }
 
     fn set_bus_u64(&mut self, port: &str, value: u64) {
@@ -864,6 +994,92 @@ mod tests {
             },
         );
         let _ = sim.get_bus_lane("count", 4);
+    }
+
+    #[test]
+    fn full_width_shards_fuse_into_lane_blocks() {
+        let nl = counter(4);
+        let sim = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy {
+                shards: 5,
+                lanes_per_shard: 64,
+                threads: 4,
+                lane_words: 4,
+                ..ShardPolicy::single()
+            },
+        );
+        // 5 x 64 lanes fuse into a 256-lane block plus a 64-lane tail.
+        assert_eq!(sim.shard_count(), 2);
+        assert_eq!(sim.lanes_per_shard(), 256);
+        assert_eq!(SimBackend::lanes(&sim), 320);
+        assert_eq!(SimBackend::lanes(&sim.shards()[0]), 256);
+        assert_eq!(SimBackend::lanes(&sim.shards()[1]), 64);
+        // Fusion halved the outer thread count; the freed budget became
+        // intra-shard parallel level workers (4 threads / 2 blocks = 2).
+        assert_eq!(sim.thread_count(), 2);
+        assert_eq!(sim.shards()[0].eval_policy().threads, 2);
+        // Narrow shards never fuse.
+        let narrow = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy {
+                shards: 6,
+                lanes_per_shard: 2,
+                threads: 1,
+                lane_words: 4,
+                ..ShardPolicy::single()
+            },
+        );
+        assert_eq!(narrow.shard_count(), 6);
+        assert_eq!(narrow.lanes_per_shard(), 2);
+    }
+
+    #[test]
+    fn fused_lane_blocks_match_unfused_shards() {
+        let nl = counter(6);
+        let run = |lane_words: usize, threads: usize| {
+            let mut sim = ShardedSim::with_policy(
+                &nl,
+                ShardPolicy {
+                    shards: 4,
+                    lanes_per_shard: 64,
+                    threads,
+                    lane_words,
+                    ..ShardPolicy::single()
+                },
+            );
+            for _ in 0..9 {
+                sim.eval();
+                sim.step();
+            }
+            sim.eval();
+            let outs: Vec<u64> = (0..256).map(|l| sim.get_bus_lane("count", l)).collect();
+            (outs, sim.toggles().to_vec(), sim.cycles())
+        };
+        let reference = run(1, 1);
+        for lane_words in [2, 4, 8] {
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    run(lane_words, threads),
+                    reference,
+                    "lane_words = {lane_words}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_bounds_slices_by_weight_not_count() {
+        // One heavy item among light ones: count-based chunking would put
+        // two items per thread regardless; weight-based slicing gives the
+        // heavy item its own thread.
+        let bounds = balanced_bounds(&[6, 1, 1, 1, 1, 2], 3);
+        assert_eq!(bounds, vec![0..1, 1..4, 4..6]);
+        let covered: Vec<usize> = bounds.iter().flat_map(|r| r.clone()).collect();
+        assert_eq!(covered, (0..6).collect::<Vec<_>>(), "a partition");
+        // Degenerate slices.
+        assert_eq!(balanced_bounds(&[3, 3, 3], 1), vec![0..3]);
+        assert_eq!(balanced_bounds(&[5, 1], 2), vec![0..1, 1..2]);
     }
 
     #[test]

@@ -783,3 +783,185 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // The wide-lane-block tests sweep lane widths × eval modes × thread
+    // counts × pool on/off *inside* every case, so fewer random circuits
+    // per test keep the suite's runtime flat.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// K-word lane blocks are bit-identical to chunked 64-lane runs
+    /// (`docs/simulation.md` § "Lane packing"): a 128-lane (K = 2) and a
+    /// 256-lane (K = 4) [`CompiledSim`] driven with distinct per-lane
+    /// stimuli reproduce 2/4 independent 64-lane sims chunk-for-chunk —
+    /// per-lane outputs and FF state every settle, cycle counts, and
+    /// per-net toggle counts summing exactly across chunks — in both Auto
+    /// and pinned-full-sweep modes, at every thread count, pooled and
+    /// scoped. In full-sweep mode the wide block's [`netlist::EvalStats`]
+    /// additionally equal each chunk's: every settle walks the whole
+    /// program either way, K only changes the words per op. (Auto-mode
+    /// *stats* can legitimately differ on uncorrelated stimuli — a wide
+    /// block gates each net on the union of its lanes' activity — which
+    /// is what [`wide_lane_auto_stats_match_chunked_on_replicated_stimuli`]
+    /// pins down instead.)
+    #[test]
+    fn wide_lane_blocks_match_chunked_64_lane_sims(
+        recipe in proptest::collection::vec(any::<u8>(), 6..60),
+        stimuli in proptest::collection::vec(any::<u8>(), 1..8),
+        base in any::<u64>(),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        for lanes in [128usize, 256] {
+            let chunks = lanes / 64;
+            for mode in [EvalMode::Auto, EvalMode::FullSweep] {
+                for threads in property_threads() {
+                    for use_pool in [false, true] {
+                        let policy = EvalPolicy { threads, min_par_ops: 1, use_pool };
+                        let mut wide = CompiledSim::with_lanes(&nl, lanes);
+                        wide.set_eval_mode(mode);
+                        wide.set_eval_policy(policy);
+                        let mut refs: Vec<CompiledSim> = (0..chunks)
+                            .map(|_| {
+                                let mut sim = CompiledSim::with_lanes(&nl, 64);
+                                sim.set_eval_mode(mode);
+                                sim.set_eval_policy(policy);
+                                sim
+                            })
+                            .collect();
+                        for (t, &s) in stimuli.iter().enumerate() {
+                            for g in 0..lanes {
+                                // A distinct, deterministic stimulus per
+                                // lane per settle.
+                                let v = (s as u64)
+                                    .wrapping_mul(g as u64 * 2 + 3)
+                                    .wrapping_add(base ^ t as u64)
+                                    & 0xff;
+                                wide.set_bus_lane("in", g, v);
+                                refs[g / 64].set_bus_lane("in", g % 64, v);
+                            }
+                            wide.eval();
+                            for r in &mut refs {
+                                r.eval();
+                            }
+                            for g in (0..lanes).step_by(17) {
+                                let r = &refs[g / 64];
+                                prop_assert_eq!(
+                                    wide.get_bus_lane("out", g),
+                                    r.get_bus_lane("out", g % 64),
+                                    "out lane {} of {} ({:?} x{} pool={})",
+                                    g, lanes, mode, threads, use_pool
+                                );
+                                prop_assert_eq!(
+                                    wide.get_bus_lane("state", g),
+                                    r.get_bus_lane("state", g % 64),
+                                    "state lane {} of {}", g, lanes
+                                );
+                            }
+                            wide.step();
+                            for r in &mut refs {
+                                r.step();
+                            }
+                        }
+                        let mut sum = vec![0u64; nl.len()];
+                        for r in &refs {
+                            for (acc, &t) in sum.iter_mut().zip(r.toggles()) {
+                                *acc += t;
+                            }
+                        }
+                        prop_assert_eq!(
+                            wide.toggles(), &sum[..],
+                            "toggles at {} lanes ({:?} x{} pool={})",
+                            lanes, mode, threads, use_pool
+                        );
+                        prop_assert_eq!(
+                            SimBackend::cycles(&wide),
+                            SimBackend::cycles(&refs[0])
+                        );
+                        if mode == EvalMode::FullSweep {
+                            for r in &refs {
+                                prop_assert_eq!(
+                                    wide.eval_stats(), r.eval_stats(),
+                                    "full-sweep stats at {} lanes x{} pool={}",
+                                    lanes, threads, use_pool
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Auto-mode work accounting for wide blocks: when every 64-lane
+    /// chunk of the block receives the *same* per-lane stimulus pattern
+    /// (so the per-net activity union across the block equals each
+    /// chunk's own activity), a 128/256-lane sim's full
+    /// [`netlist::EvalStats`] — ops executed, levels skipped, full
+    /// sweeps — equal each chunked 64-lane reference's, settle for
+    /// settle, at every thread count. The stimulus schedule only changes
+    /// every third settle so the event-driven gating actually engages.
+    #[test]
+    fn wide_lane_auto_stats_match_chunked_on_replicated_stimuli(
+        recipe in proptest::collection::vec(any::<u8>(), 6..60),
+        stimuli in proptest::collection::vec(any::<u8>(), 3..12),
+        base in any::<u64>(),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        for lanes in [128usize, 256] {
+            let chunks = lanes / 64;
+            for threads in property_threads() {
+                let policy = EvalPolicy { threads, min_par_ops: 1, use_pool: true };
+                let mut wide = CompiledSim::with_lanes(&nl, lanes);
+                wide.set_eval_policy(policy);
+                let mut refs: Vec<CompiledSim> = (0..chunks)
+                    .map(|_| {
+                        let mut sim = CompiledSim::with_lanes(&nl, 64);
+                        sim.set_eval_policy(policy);
+                        sim
+                    })
+                    .collect();
+                for (t, &_s) in stimuli.iter().enumerate() {
+                    let s = stimuli[t - t % 3]; // sparse: re-drive 2 of 3
+                    for lane in 0..64usize {
+                        let v = (s as u64)
+                            .wrapping_mul(lane as u64 * 2 + 3)
+                            .wrapping_add(base)
+                            & 0xff;
+                        for chunk in 0..chunks {
+                            wide.set_bus_lane("in", chunk * 64 + lane, v);
+                        }
+                        for r in &mut refs {
+                            r.set_bus_lane("in", lane, v);
+                        }
+                    }
+                    wide.eval();
+                    for r in &mut refs {
+                        r.eval();
+                    }
+                    for lane in (0..64usize).step_by(13) {
+                        for (c, r) in refs.iter().enumerate() {
+                            prop_assert_eq!(
+                                wide.get_bus_lane("out", c * 64 + lane),
+                                r.get_bus_lane("out", lane),
+                                "out chunk {} lane {} settle {}", c, lane, t
+                            );
+                        }
+                    }
+                    wide.step();
+                    for r in &mut refs {
+                        r.step();
+                    }
+                }
+                for r in &refs {
+                    prop_assert_eq!(
+                        wide.eval_stats(), r.eval_stats(),
+                        "auto-mode stats diverged at {} lanes x{}", lanes, threads
+                    );
+                }
+                let expected: Vec<u64> =
+                    refs[0].toggles().iter().map(|&t| chunks as u64 * t).collect();
+                prop_assert_eq!(wide.toggles(), &expected[..]);
+            }
+        }
+    }
+}
