@@ -19,6 +19,7 @@
 //! The report format is intentionally line-oriented (one config per line)
 //! so the checker can parse its own output without a JSON dependency.
 
+use hwlib::campaign::{library_mutation_coverage, CampaignConfig};
 use netlist::sim::SimBackend;
 use netlist::{CompiledSim, EvalMode, EvalPolicy, ShardPolicy, ShardSchedule, ShardedSim, Sim};
 use rissp::profile::InstructionSubset;
@@ -55,6 +56,16 @@ struct Row {
     /// apples-to-apples number across lane widths — a 256-lane settle
     /// retires 4x the stimulus vectors of a 64-lane settle.
     lane_vectors_per_sec: f64,
+}
+
+/// One measured mutation-campaign configuration (a full-library
+/// lane-parallel sweep; see `hwlib::campaign` and `docs/campaigns.md`).
+struct CampaignRow {
+    name: &'static str,
+    threads: usize,
+    lanes: usize,
+    mutants: usize,
+    mutants_per_sec: f64,
 }
 
 fn usage() -> ! {
@@ -94,6 +105,8 @@ fn main() {
     let core = Arc::new(rissp.core.clone());
 
     let rows = measure(&core, settles);
+    eprintln!("bench_smoke: running mutation-campaign probes...");
+    let campaigns = measure_campaigns(&lib);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -101,12 +114,11 @@ fn main() {
     json.push_str("  \"generated_by\": \"bench_smoke\",\n");
     json.push_str(&format!("  \"settles_per_config\": {settles},\n"));
     json.push_str("  \"configs\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
+    for r in rows.iter() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
              \"lanes\": {}, \"ops_per_settle\": {:.1}, \"settles_per_sec\": {:.1}, \
-             \"lane_vectors_per_sec\": {:.1}}}{comma}\n",
+             \"lane_vectors_per_sec\": {:.1}}},\n",
             r.name,
             r.backend,
             r.threads,
@@ -114,6 +126,14 @@ fn main() {
             r.ops_per_settle,
             r.settles_per_sec,
             r.lane_vectors_per_sec
+        ));
+    }
+    for (i, r) in campaigns.iter().enumerate() {
+        let comma = if i + 1 == campaigns.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"backend\": \"campaign\", \"threads\": {}, \
+             \"lanes\": {}, \"mutants\": {}, \"mutants_per_sec\": {:.1}}}{comma}\n",
+            r.name, r.threads, r.lanes, r.mutants, r.mutants_per_sec
         ));
     }
     json.push_str("  ]\n}\n");
@@ -137,12 +157,66 @@ fn main() {
             r.lane_vectors_per_sec / 1e6
         );
     }
+    println!(
+        "\n{:<28} {:>8} {:>6} {:>10} {:>14}",
+        "campaign", "threads", "lanes", "mutants", "mutants/sec"
+    );
+    for r in &campaigns {
+        println!(
+            "{:<28} {:>8} {:>6} {:>10} {:>14.1}",
+            r.name, r.threads, r.lanes, r.mutants, r.mutants_per_sec
+        );
+    }
     eprintln!("bench_smoke: wrote {out}");
 
     check_pooled_vs_scoped(&rows);
     if let Some(path) = baseline {
-        check_against(&rows, &path);
+        let fresh: Vec<(String, f64)> = rows
+            .iter()
+            .map(|r| (r.name.to_string(), r.settles_per_sec))
+            .chain(
+                campaigns
+                    .iter()
+                    .map(|r| (r.name.to_string(), r.mutants_per_sec)),
+            )
+            .collect();
+        check_against(&fresh, &path);
     }
+}
+
+/// Times full-library lane-parallel mutation sweeps (`hwlib::campaign`)
+/// at the single-threaded and pooled shapes. Pinned seed and mutant
+/// budget, so the mutant population is identical run to run and the
+/// mutants/sec trajectory is comparable across PRs.
+fn measure_campaigns(lib: &hwlib::HwLibrary) -> Vec<CampaignRow> {
+    [
+        ("campaign_mutation_256l_1t", 256, 1),
+        ("campaign_mutation_256l_2t", 256, 2),
+    ]
+    .into_iter()
+    .map(|(name, lanes, threads)| {
+        let cfg = CampaignConfig {
+            limit: 16,
+            seed: 0xbe_ac_11,
+            lanes,
+            threads,
+        };
+        // Warm once (first run compiles the instrumented netlists cold),
+        // then time a fresh sweep.
+        library_mutation_coverage(lib, &cfg);
+        let start = Instant::now();
+        let reports = library_mutation_coverage(lib, &cfg);
+        let elapsed = start.elapsed().as_secs_f64();
+        let mutants: usize = reports.iter().map(|bc| bc.report.generated).sum();
+        CampaignRow {
+            name,
+            threads,
+            lanes,
+            mutants,
+            mutants_per_sec: mutants as f64 / elapsed.max(1e-9),
+        }
+    })
+    .collect()
 }
 
 /// Same-run soft gate: warn when a pooled configuration is slower than
@@ -355,10 +429,11 @@ fn row(
     }
 }
 
-/// Parses the `(name, settles_per_sec)` pairs out of a bench_smoke
-/// report. Line-oriented on purpose: one config object per line, fields
-/// in a fixed order, so a substring scan is sufficient and exact for the
-/// format this binary writes.
+/// Parses the `(name, rate)` pairs out of a bench_smoke report, where
+/// the rate is `settles_per_sec` for simulator configs and
+/// `mutants_per_sec` for campaign configs. Line-oriented on purpose: one
+/// config object per line, fields in a fixed order, so a substring scan
+/// is sufficient and exact for the format this binary writes.
 fn parse_rows(text: &str) -> Vec<(String, f64)> {
     let mut rows = Vec::new();
     for line in text.lines() {
@@ -367,12 +442,15 @@ fn parse_rows(text: &str) -> Vec<(String, f64)> {
         else {
             continue;
         };
-        let Some(sps) = field(line, "\"settles_per_sec\": ")
-            .and_then(|v| v.trim_end_matches(['}', ',', ' ']).parse::<f64>().ok())
+        // The rate is not necessarily the last field in the line, so cut
+        // at the first delimiter rather than trimming from the end.
+        let Some(rate) = field(line, "\"settles_per_sec\": ")
+            .or_else(|| field(line, "\"mutants_per_sec\": "))
+            .and_then(|v| v.split([',', '}']).next()?.trim().parse::<f64>().ok())
         else {
             continue;
         };
-        rows.push((name, sps));
+        rows.push((name, rate));
     }
     rows
 }
@@ -386,7 +464,7 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 /// comparison table, but always exits 0 — the 1-CPU runners are too noisy
 /// for a hard perf gate, and new configurations simply have no baseline
 /// yet.
-fn check_against(rows: &[Row], path: &str) {
+fn check_against(fresh: &[(String, f64)], path: &str) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -397,29 +475,20 @@ fn check_against(rows: &[Row], path: &str) {
     let baseline = parse_rows(&text);
     println!(
         "\n{:<28} {:>14} {:>14} {:>8}",
-        "config", "baseline s/s", "pr s/s", "ratio"
+        "config", "baseline rate", "pr rate", "ratio"
     );
-    for r in rows {
-        let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) else {
-            println!(
-                "{:<28} {:>14} {:>14.1} {:>8}",
-                r.name, "-", r.settles_per_sec, "new"
-            );
+    for (name, rate) in fresh {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) else {
+            println!("{name:<28} {:>14} {rate:>14.1} {:>8}", "-", "new");
             continue;
         };
-        let ratio = r.settles_per_sec / base.max(1e-9);
-        println!(
-            "{:<28} {:>14.1} {:>14.1} {:>8.2}",
-            r.name, base, r.settles_per_sec, ratio
-        );
+        let ratio = rate / base.max(1e-9);
+        println!("{name:<28} {base:>14.1} {rate:>14.1} {ratio:>8.2}");
         if ratio < SOFT_THRESHOLD {
             println!(
-                "::warning::bench-smoke: {} settles/sec regressed to {:.0}% of baseline \
-                 ({:.1} vs {:.1}); advisory only — shared runners are noisy",
-                r.name,
-                ratio * 100.0,
-                r.settles_per_sec,
-                base
+                "::warning::bench-smoke: {name} rate regressed to {:.0}% of baseline \
+                 ({rate:.1} vs {base:.1}); advisory only — shared runners are noisy",
+                ratio * 100.0
             );
         }
     }

@@ -1,0 +1,185 @@
+//! Campaign driver: mass mutation coverage, differential fuzzing, and
+//! compliance sweeps from one CLI entry point.
+//!
+//! ```text
+//! campaign smoke                      # bounded CI sweep: all three runners, pinned seeds
+//! campaign mutation [--limit N] [--seed S] [--lanes L] [--threads T]
+//! campaign fuzz [--iterations N] [--seed S] [--lanes L] [--opt 0..4] [--max-cycles N]
+//! campaign compliance
+//! ```
+//!
+//! Every runner is seeded and deterministic; see `docs/campaigns.md` for
+//! the campaign semantics (lane↔mutant mapping, divergence contract,
+//! seed pinning). Exit status is the verdict: `mutation` fails if any
+//! observable mutant survives, `fuzz` fails if any divergence is found,
+//! `compliance` fails if any corpus case mismatches — so the CI
+//! `campaign-smoke` job is just `campaign smoke`.
+
+use hwlib::campaign::{library_mutation_coverage, CampaignConfig};
+use hwlib::HwLibrary;
+use rissp::campaign::{compliance_corpus, compliance_sweep, differential_fuzz, FuzzConfig};
+use std::time::Instant;
+use xcc::OptLevel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign smoke\n\
+         \x20      campaign mutation [--limit N] [--seed S] [--lanes L] [--threads T]\n\
+         \x20      campaign fuzz [--iterations N] [--seed S] [--lanes L] [--opt 0..4] [--max-cycles N]\n\
+         \x20      campaign compliance"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ok = match args.next().as_deref() {
+        Some("smoke") => smoke(),
+        Some("mutation") => {
+            let mut cfg = CampaignConfig::default();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--limit" => cfg.limit = parse(&mut args),
+                    "--seed" => cfg.seed = parse(&mut args),
+                    "--lanes" => cfg.lanes = parse(&mut args),
+                    "--threads" => cfg.threads = parse(&mut args),
+                    _ => usage(),
+                }
+            }
+            mutation(&cfg)
+        }
+        Some("fuzz") => {
+            let mut cfg = FuzzConfig::default();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--iterations" => cfg.iterations = parse(&mut args),
+                    "--seed" => cfg.seed = parse(&mut args),
+                    "--lanes" => cfg.lanes = parse(&mut args),
+                    "--max-cycles" => cfg.max_cycles = parse(&mut args),
+                    "--opt" => cfg.opt_level = OptLevel::ALL[parse::<usize>(&mut args).min(4)],
+                    _ => usage(),
+                }
+            }
+            fuzz(&cfg)
+        }
+        Some("compliance") => compliance(),
+        _ => usage(),
+    };
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+/// The bounded CI sweep: every runner with pinned seeds, sized to finish
+/// well under a minute on a shared runner.
+fn smoke() -> bool {
+    let mutation_cfg = CampaignConfig {
+        limit: 8,
+        seed: 0xca3b_a161,
+        ..CampaignConfig::default()
+    };
+    let fuzz_cfg = FuzzConfig {
+        iterations: 64,
+        lanes: 64,
+        ..FuzzConfig::default()
+    };
+    let mut ok = mutation(&mutation_cfg);
+    ok &= fuzz(&fuzz_cfg);
+    ok &= compliance();
+    ok
+}
+
+fn mutation(cfg: &CampaignConfig) -> bool {
+    eprintln!(
+        "campaign: mutation sweep (limit {}, seed {:#x}, {} lanes, {} threads)",
+        cfg.limit, cfg.seed, cfg.lanes, cfg.threads
+    );
+    let lib = HwLibrary::build_full();
+    let start = Instant::now();
+    let reports = library_mutation_coverage(&lib, cfg);
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut ok = true;
+    let (mut generated, mut observable, mut killed) = (0usize, 0usize, 0usize);
+    println!(
+        "{:<8} {:>9} {:>10} {:>6} {:>9}",
+        "block", "generated", "observable", "killed", "coverage"
+    );
+    for bc in &reports {
+        let r = &bc.report;
+        generated += r.generated;
+        observable += r.observable;
+        killed += r.killed;
+        let survived = r.observable - r.killed;
+        println!(
+            "{:<8} {:>9} {:>10} {:>6} {:>8.0}%{}",
+            bc.mnemonic,
+            r.generated,
+            r.observable,
+            r.killed,
+            r.coverage() * 100.0,
+            if survived > 0 { "  <-- SURVIVORS" } else { "" }
+        );
+        ok &= survived == 0;
+    }
+    println!(
+        "total: {generated} mutants, {observable} observable, {killed} killed \
+         in {elapsed:.2}s ({:.0} mutants/sec)",
+        generated as f64 / elapsed.max(1e-9)
+    );
+    ok
+}
+
+fn fuzz(cfg: &FuzzConfig) -> bool {
+    eprintln!(
+        "campaign: differential fuzz ({} programs, seed {:#x}, {} lanes, {:?})",
+        cfg.iterations, cfg.seed, cfg.lanes, cfg.opt_level
+    );
+    let lib = HwLibrary::build_full();
+    let start = Instant::now();
+    let report = differential_fuzz(&lib, cfg);
+    println!(
+        "fuzz: {} programs in {} waves (widest {}) in {:.2}s — {} divergence(s)",
+        report.programs,
+        report.waves,
+        report.max_wave_width,
+        start.elapsed().as_secs_f64(),
+        report.reproducers.len()
+    );
+    for r in &report.reproducers {
+        println!("\n--- reproducer ---\n{}", r.listing);
+    }
+    report.reproducers.is_empty()
+}
+
+fn compliance() -> bool {
+    eprintln!("campaign: riscof compliance sweep");
+    let lib = HwLibrary::build_full();
+    let cases = compliance_corpus();
+    let start = Instant::now();
+    match compliance_sweep(&lib, &cases, 100_000) {
+        Ok(reports) => {
+            for (name, r) in &reports {
+                println!(
+                    "{name:<14} {} cycles, {} ref instructions, {}-word signature",
+                    r.dut_cycles,
+                    r.ref_instructions,
+                    r.signature.len()
+                );
+            }
+            println!(
+                "compliance: {} case(s) passed in {:.2}s",
+                reports.len(),
+                start.elapsed().as_secs_f64()
+            );
+            true
+        }
+        Err((name, e)) => {
+            println!("compliance: {name} FAILED: {e}");
+            false
+        }
+    }
+}

@@ -1,0 +1,1205 @@
+//! Differential fuzzing and batched compliance campaigns over the full
+//! stack: eDSL → `xcc` → gate-level RISSP vs. the reference emulator.
+//!
+//! The ROADMAP's north star — "as many scenarios as you can imagine" —
+//! needs a driver, not just lane-parallel machinery. This module supplies
+//! two:
+//!
+//! * [`differential_fuzz`] — seeded random eDSL programs are compiled by
+//!   `xcc`, executed on a [`BatchedGateLevelCpu`] (up to
+//!   [`MAX_TOTAL_LANES`] program-seeds settle per eval, one program per
+//!   lane) and on the [`riscv_emu::Emulator`] golden reference; any lane
+//!   whose architectural outcome differs is localized against the scalar
+//!   RVFI traces and shrunk to a minimal self-contained [`Reproducer`].
+//! * [`run_compliance_batched`] / [`compliance_sweep`] — the RISCOF step
+//!   ([`crate::riscof`]) lane-batched: one signature case per lane, the
+//!   whole corpus settling together on a union-subset core, with reports
+//!   identical to the scalar [`crate::riscof::run_compliance`] per case.
+//!
+//! # Seed pinning and determinism
+//!
+//! Everything downstream of a [`FuzzConfig`] is a pure function of it:
+//! program generation uses one `StdRng` stream per seed, wave packing is
+//! by seed order, and the shrinker ([`shrink`]) is a deterministic
+//! cheapest-first removal fixpoint — the same config always yields the
+//! same reproducers, byte for byte. CI runs pinned configs (see
+//! `docs/campaigns.md`).
+
+use crate::processor::{BatchedGateLevelCpu, ExecError, GateLevelCpu};
+use crate::profile::InstructionSubset;
+use crate::riscof::{RiscofError, RiscofReport};
+use crate::Rissp;
+use hwlib::{HwLibrary, InstrBlock};
+use netlist::compiled::MAX_TOTAL_LANES;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use riscv_emu::{Emulator, HaltReason};
+use xcc::ast::build::*;
+use xcc::ast::{BinOp, DataObject, Expr, Function, Program, Stmt, VarId};
+use xcc::{compile, CompiledProgram, OptLevel, CODE_BASE};
+
+/// Words in the shared `buf` data object every generated program reads
+/// and writes; its final contents are part of the compared outcome.
+pub const BUF_WORDS: usize = 16;
+
+/// Tuning knobs for a differential-fuzz campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Number of program seeds to run.
+    pub iterations: u64,
+    /// Base seed; program `i` is generated from `seed + i`.
+    pub seed: u64,
+    /// Lanes per wave: up to this many programs settle per eval on one
+    /// batched CPU. Clamped to [`MAX_TOTAL_LANES`].
+    pub lanes: usize,
+    /// Optimisation level every program is compiled at.
+    pub opt_level: OptLevel,
+    /// Per-program cycle budget (generated programs always terminate well
+    /// inside the default).
+    pub max_cycles: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            iterations: 64,
+            seed: 0xf022_5eed,
+            lanes: 64,
+            opt_level: OptLevel::O1,
+            max_cycles: 500_000,
+        }
+    }
+}
+
+/// How a lane's architectural outcome differed from the reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The gate-level run faulted while the reference ran to completion.
+    DutFault(ExecError),
+    /// Cycle/retirement relation broken (`dut_cycles != ref_retired + 1`
+    /// for the single-cycle core, which counts the halt jal once).
+    CycleMismatch {
+        /// Cycles the gate-level lane executed.
+        dut: u64,
+        /// Instructions the reference retired.
+        ref_retired: u64,
+    },
+    /// A register differs after halt.
+    RegMismatch {
+        /// Register index (1..16; x0 is never compared).
+        index: usize,
+        /// Gate-level value.
+        dut: u32,
+        /// Reference value.
+        reference: u32,
+    },
+    /// A word of the `buf` data object differs after halt.
+    MemMismatch {
+        /// Byte address of the differing word.
+        addr: u32,
+        /// Gate-level value.
+        dut: u32,
+        /// Reference value.
+        reference: u32,
+    },
+}
+
+impl std::fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivergenceKind::DutFault(e) => write!(f, "gate-level fault: {e}"),
+            DivergenceKind::CycleMismatch { dut, ref_retired } => {
+                write!(f, "cycle mismatch: dut={dut} ref_retired={ref_retired}")
+            }
+            DivergenceKind::RegMismatch {
+                index,
+                dut,
+                reference,
+            } => write!(
+                f,
+                "x{index} mismatch: dut={dut:#010x} ref={reference:#010x}"
+            ),
+            DivergenceKind::MemMismatch {
+                addr,
+                dut,
+                reference,
+            } => write!(
+                f,
+                "mem[{addr:#x}] mismatch: dut={dut:#010x} ref={reference:#010x}"
+            ),
+        }
+    }
+}
+
+/// A divergence pinned to its program seed, with the first differing RVFI
+/// retirement when trace localization could find one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The program seed that exposed the divergence.
+    pub seed: u64,
+    /// What differed.
+    pub kind: DivergenceKind,
+    /// Index of the first retirement at which the scalar gate-level RVFI
+    /// trace differs from the reference trace (`None` when the traces
+    /// agree up to the shorter one and the divergence is elsewhere, e.g.
+    /// a post-halt memory difference).
+    pub first_retirement: Option<usize>,
+}
+
+/// A minimal, self-contained failing artifact emitted by the fuzzer.
+///
+/// Self-contained means: [`replay`] regenerates everything from the
+/// fields alone — the program is recompiled at `opt_level`, a RISSP is
+/// generated from the program's own instruction subset, and the
+/// divergence must reproduce. The shrunk program is 1-minimal under the
+/// shrinker's moves: removing any single remaining statement makes the
+/// divergence disappear.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reproducer {
+    /// The original failing seed.
+    pub seed: u64,
+    /// Optimisation level the divergence reproduces at.
+    pub opt_level: OptLevel,
+    /// The shrunk program.
+    pub program: Program,
+    /// The divergence [`replay`] reproduces.
+    pub divergence: Divergence,
+    /// Human-readable artifact: the shrunk AST plus the divergence, ready
+    /// to paste into a bug report.
+    pub listing: String,
+}
+
+/// Outcome of a [`differential_fuzz`] campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// Programs generated and executed.
+    pub programs: u64,
+    /// Batched waves run.
+    pub waves: usize,
+    /// Widest wave (program-seeds that settled together per eval).
+    pub max_wave_width: usize,
+    /// One minimal reproducer per diverging seed, in seed order.
+    pub reproducers: Vec<Reproducer>,
+}
+
+// ---------------------------------------------------------------------
+// Program generation
+// ---------------------------------------------------------------------
+
+/// Locals 0..ASSIGNABLE are fair game for `set`; the remaining slots are
+/// loop induction variables only, so a generated `For` body can never
+/// overwrite its own counter (which could make the loop non-terminating).
+const ASSIGNABLE: VarId = 4;
+const MAIN_LOCALS: usize = 6;
+
+fn gen_leaf(rng: &mut StdRng, locals: VarId) -> Expr {
+    match rng.gen_range(0..5u32) {
+        0 => c([0i32, 1, -1, 2, 0x7fff_ffff, i32::MIN, 0x5a5a][rng.gen_range(0..7)]),
+        1 => c(rng.gen_range(-128..128)),
+        2 => v(rng.gen_range(0..locals)),
+        3 => lw(add(ga("buf"), c(4 * rng.gen_range(0..BUF_WORDS as i32)))),
+        _ => {
+            if rng.gen() {
+                lbu(add(ga("buf"), c(rng.gen_range(0..(BUF_WORDS * 4) as i32))))
+            } else {
+                lb(add(ga("buf"), c(rng.gen_range(0..(BUF_WORDS * 4) as i32))))
+            }
+        }
+    }
+}
+
+fn gen_expr(rng: &mut StdRng, depth: u32, locals: VarId, calls: bool) -> Expr {
+    if depth == 0 {
+        return gen_leaf(rng, locals);
+    }
+    let sub = |rng: &mut StdRng| gen_expr(rng, depth - 1, locals, calls);
+    match rng.gen_range(0..14u32) {
+        0 => add(sub(rng), sub(rng)),
+        1 => sub_(sub(rng), sub(rng)),
+        2 => mul(sub(rng), sub(rng)),
+        3 => and(sub(rng), sub(rng)),
+        4 => or(sub(rng), sub(rng)),
+        5 => xor(sub(rng), sub(rng)),
+        6 => shl(sub(rng), sub(rng)),
+        7 => shr(sub(rng), sub(rng)),
+        8 => sar(sub(rng), sub(rng)),
+        // Nonzero constant divisors: the division builtins always
+        // terminate and compile-time folding cannot hit divide-by-zero.
+        9 => bin(
+            if rng.gen() { BinOp::DivS } else { BinOp::RemU },
+            sub(rng),
+            c(rng.gen_range(1..10)),
+        ),
+        10 => eq(sub(rng), sub(rng)),
+        11 => ltu(sub(rng), sub(rng)),
+        12 => lt(sub(rng), sub(rng)),
+        _ if calls => call("helper", vec![sub(rng), sub(rng)]),
+        _ => ge(sub(rng), sub(rng)),
+    }
+}
+
+// `sub` the builder collides with the closure name above.
+use xcc::ast::build::sub as sub_;
+
+fn gen_stmts(rng: &mut StdRng, depth: u32, count: usize, loop_depth: usize) -> Vec<Stmt> {
+    let locals = MAIN_LOCALS;
+    (0..count)
+        .map(|_| match rng.gen_range(0..8u32) {
+            0..=2 => {
+                let depth = rng.gen_range(1..3);
+                set(
+                    rng.gen_range(0..ASSIGNABLE),
+                    gen_expr(rng, depth, locals, true),
+                )
+            }
+            3 => sw(
+                add(ga("buf"), c(4 * rng.gen_range(0..BUF_WORDS as i32))),
+                gen_expr(rng, 1, locals, true),
+            ),
+            4 => {
+                // Sub-word stores at width-aligned offsets so neither
+                // side can fault on alignment.
+                if rng.gen() {
+                    sb(
+                        add(ga("buf"), c(rng.gen_range(0..(BUF_WORDS * 4) as i32))),
+                        gen_expr(rng, 1, locals, false),
+                    )
+                } else {
+                    sh(
+                        add(ga("buf"), c(2 * rng.gen_range(0..(BUF_WORDS * 2) as i32))),
+                        gen_expr(rng, 1, locals, false),
+                    )
+                }
+            }
+            5 if depth > 0 => {
+                let var = ASSIGNABLE + loop_depth;
+                let to = rng.gen_range(2..6);
+                let count = rng.gen_range(1..3);
+                Stmt::For {
+                    var,
+                    from: c(0),
+                    to: c(to),
+                    body: gen_stmts(rng, depth - 1, count, loop_depth + 1),
+                }
+            }
+            6 if depth > 0 => {
+                let cond = gen_expr(rng, 1, locals, false);
+                let count = rng.gen_range(1..3);
+                if_else(
+                    cond,
+                    gen_stmts(rng, depth - 1, count, loop_depth),
+                    gen_stmts(rng, depth - 1, 1, loop_depth),
+                )
+            }
+            _ => set(
+                rng.gen_range(0..ASSIGNABLE),
+                gen_expr(rng, 1, locals, false),
+            ),
+        })
+        .collect()
+}
+
+/// Generates a random, always-terminating, always-compiling eDSL program
+/// from one seed: a `main` over a shared 16-word `buf` global plus a
+/// loop-free `helper` callee. Loops are counted `For`s with constant
+/// bounds whose induction variables are never assigned in their bodies,
+/// division is by nonzero constants, and sub-word accesses are
+/// width-aligned — so both executions terminate and any dut/ref
+/// difference is a real stack divergence, not a generator artifact.
+pub fn random_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let helper = Function {
+        name: "helper",
+        params: 2,
+        locals: 4,
+        body: vec![
+            set(2, gen_expr(&mut rng, 2, 2, false)),
+            set(3, gen_expr(&mut rng, 1, 4, false)),
+            ret(gen_expr(&mut rng, 1, 4, false)),
+        ],
+    };
+    let count = rng.gen_range(4..9);
+    let mut body = gen_stmts(&mut rng, 2, count, 0);
+    body.push(ret(gen_expr(&mut rng, 1, MAIN_LOCALS, true)));
+    let main = Function {
+        name: "main",
+        params: 0,
+        locals: MAIN_LOCALS,
+        body,
+    };
+    let words = (0..BUF_WORDS as u64)
+        .map(|i| {
+            let mut r = StdRng::seed_from_u64(seed ^ i.rotate_left(17));
+            r.gen()
+        })
+        .collect();
+    Program {
+        functions: vec![helper, main],
+        data: vec![DataObject { name: "buf", words }],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution and comparison
+// ---------------------------------------------------------------------
+
+fn run_reference(image: &CompiledProgram, max_cycles: u64) -> (Emulator, u64) {
+    let mut emu = Emulator::with_entry(CODE_BASE);
+    image.load(&mut emu);
+    let summary = emu.run(max_cycles).expect("generated programs never fault");
+    assert_eq!(
+        summary.halt,
+        HaltReason::SelfLoop,
+        "generated programs always halt within the cycle budget"
+    );
+    (emu, summary.retired)
+}
+
+/// Compares one halted gate-level lane against the reference outcome.
+/// The comparison order (fault, cycles, registers, memory) is fixed so a
+/// given divergence always reports the same kind.
+fn compare_lane(
+    dut_result: &Result<u64, ExecError>,
+    reg: impl Fn(usize) -> u32,
+    mem_word: impl Fn(u32) -> u32,
+    emu: &Emulator,
+    ref_retired: u64,
+    buf_base: u32,
+) -> Option<DivergenceKind> {
+    let dut_cycles = match dut_result {
+        Ok(c) => *c,
+        Err(e) => return Some(DivergenceKind::DutFault(e.clone())),
+    };
+    // The single-cycle core executes the halt jal once before the
+    // self-loop is detected; the emulator stops on retiring it.
+    if dut_cycles != ref_retired + 1 {
+        return Some(DivergenceKind::CycleMismatch {
+            dut: dut_cycles,
+            ref_retired,
+        });
+    }
+    for index in 1..riscv_isa::REG_COUNT {
+        let dut = reg(index);
+        let reference = emu.state().regs[index];
+        if dut != reference {
+            return Some(DivergenceKind::RegMismatch {
+                index,
+                dut,
+                reference,
+            });
+        }
+    }
+    for i in 0..BUF_WORDS as u32 {
+        let addr = buf_base + 4 * i;
+        let dut = mem_word(addr);
+        let reference = emu.memory().load_word(addr);
+        if dut != reference {
+            return Some(DivergenceKind::MemMismatch {
+                addr,
+                dut,
+                reference,
+            });
+        }
+    }
+    None
+}
+
+/// Subset-keyed cache of generated cores: shrink candidates usually
+/// share an instruction subset with their parent, so the expensive
+/// generate-and-synthesize step runs once per distinct subset instead of
+/// once per candidate.
+type CoreCache =
+    std::collections::HashMap<Vec<riscv_isa::Mnemonic>, std::sync::Arc<netlist::Netlist>>;
+
+fn cached_core(
+    lib: &HwLibrary,
+    cache: &mut CoreCache,
+    subset: &InstructionSubset,
+) -> std::sync::Arc<netlist::Netlist> {
+    let key: Vec<riscv_isa::Mnemonic> = subset.iter().collect();
+    cache
+        .entry(key)
+        .or_insert_with(|| std::sync::Arc::new(Rissp::generate(lib, subset).core))
+        .clone()
+}
+
+fn check_diverges(
+    lib: &HwLibrary,
+    cache: &mut CoreCache,
+    program: &Program,
+    opt_level: OptLevel,
+    max_cycles: u64,
+) -> Option<DivergenceKind> {
+    let Ok(image) = compile(program, opt_level) else {
+        // Shrink candidates must stay compilable; a candidate that is not
+        // simply does not reproduce.
+        return None;
+    };
+    let subset = InstructionSubset::from_words(&image.words);
+    if subset.is_empty() {
+        return None;
+    }
+    let core = cached_core(lib, cache, &subset);
+    let mut dut = GateLevelCpu::with_core_arc(core, CODE_BASE);
+    for (base, words) in image.segments() {
+        dut.load_words(base, words);
+    }
+    let (emu, ref_retired) = run_reference(&image, max_cycles);
+    // An agreeing DUT halts in exactly ref_retired + 1 cycles; one cycle
+    // past that the verdict is already "diverged", so a diverging run
+    // that never reaches its halt self-loop stops immediately instead of
+    // burning the whole cycle budget.
+    let dut_result = dut.run(max_cycles.min(ref_retired + 2));
+    let buf_base = image.global("buf").unwrap_or(xcc::DATA_BASE);
+    compare_lane(
+        &dut_result,
+        |i| dut.reg(i),
+        |a| dut.memory().load_word(a),
+        &emu,
+        ref_retired,
+        buf_base,
+    )
+}
+
+/// Checks whether `program` diverges between the gate-level core and the
+/// reference at `opt_level`, regenerating the RISSP from the program's
+/// own instruction subset. This is the shrinker's oracle and the replay
+/// contract of a [`Reproducer`]: it depends only on `lib`, the program
+/// and the level.
+pub fn reproduces(
+    lib: &HwLibrary,
+    program: &Program,
+    opt_level: OptLevel,
+    max_cycles: u64,
+) -> Option<DivergenceKind> {
+    check_diverges(lib, &mut CoreCache::new(), program, opt_level, max_cycles)
+}
+
+/// Localizes a known-diverging program: re-runs it on the scalar
+/// gate-level CPU and the reference with RVFI tracing enabled and returns
+/// the first retirement index at which the traces disagree.
+fn localize(
+    lib: &HwLibrary,
+    cache: &mut CoreCache,
+    program: &Program,
+    opt_level: OptLevel,
+    max_cycles: u64,
+) -> Option<usize> {
+    let image = compile(program, opt_level).ok()?;
+    let subset = InstructionSubset::from_words(&image.words);
+    let core = cached_core(lib, cache, &subset);
+    let mut emu = Emulator::with_entry(CODE_BASE);
+    emu.enable_trace();
+    image.load(&mut emu);
+    let ref_retired = emu
+        .run(max_cycles)
+        .map(|summary| summary.retired)
+        .unwrap_or(max_cycles);
+    let ref_trace = emu.take_trace();
+    let mut dut = GateLevelCpu::with_core_arc(core, CODE_BASE);
+    dut.enable_trace();
+    for (base, words) in image.segments() {
+        dut.load_words(base, words);
+    }
+    // A diverging DUT must disagree with the reference trace within the
+    // reference's own retirement count: if every retirement through the
+    // halt matched, the final architectural state would match too. So the
+    // trace run gets the same `ref_retired + 2` cap as the verdict runs.
+    let _ = dut.run(max_cycles.min(ref_retired + 2));
+    let dut_trace = dut.take_trace();
+    dut_trace.first_divergence(&ref_trace)
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+fn body_of_mut<'p>(f: &'p mut Function, path: &[usize]) -> &'p mut Vec<Stmt> {
+    let mut body = &mut f.body;
+    for &step in path {
+        let idx = step >> 1;
+        body = match &mut body[idx] {
+            Stmt::For { body, .. } | Stmt::While { body, .. } => body,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                if step & 1 == 0 {
+                    then_body
+                } else {
+                    else_body
+                }
+            }
+            _ => unreachable!("path descends through a leaf statement"),
+        };
+    }
+    body
+}
+
+/// Enumerates every removable statement position in `f` as
+/// (block-path, index) pairs, outermost blocks first. A path element
+/// `2*i` descends into statement `i`'s single body (`For`/`While`) or
+/// then-branch; `2*i + 1` descends into its else-branch.
+fn removal_sites(f: &Function) -> Vec<(Vec<usize>, usize)> {
+    fn walk(body: &[Stmt], path: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, usize)>) {
+        for (i, stmt) in body.iter().enumerate() {
+            out.push((path.clone(), i));
+            match stmt {
+                Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                    path.push(2 * i);
+                    walk(body, path, out);
+                    path.pop();
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    path.push(2 * i);
+                    walk(then_body, path, out);
+                    path.pop();
+                    path.push(2 * i + 1);
+                    walk(else_body, path, out);
+                    path.pop();
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&f.body, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Enumerates every single-statement-removal candidate of `program`, in
+/// the shrinker's fixed order: functions in order, outer blocks before
+/// their bodies.
+fn removal_candidates(program: &Program) -> Vec<Program> {
+    let mut candidates = Vec::new();
+    for fi in 0..program.functions.len() {
+        for (path, idx) in removal_sites(&program.functions[fi]) {
+            let mut candidate = program.clone();
+            body_of_mut(&mut candidate.functions[fi], &path).remove(idx);
+            candidates.push(candidate);
+        }
+    }
+    candidates
+}
+
+/// Returns the index of the *cheapest* diverging candidate — the one
+/// whose reference run retires the fewest instructions, ties broken by
+/// position — evaluating the whole list lane-parallel: one candidate per
+/// lane of a union-subset [`BatchedGateLevelCpu`], chunks of up to
+/// `MAX_TOTAL_LANES`. Verdicts equal the scalar [`check_diverges`] per
+/// candidate (a superset core executes an in-subset program identically,
+/// and CPI = 1 makes cycle counts core-independent), and the
+/// `(ref_retired, index)` key is deterministic, so the choice is a pure
+/// function of the candidate list. Preferring the fastest survivor means
+/// the shrinker sheds long-running loops first, which keeps every later
+/// pass (all capped at the slowest lane's reference run) cheap.
+fn best_diverging(
+    lib: &HwLibrary,
+    cache: &mut CoreCache,
+    candidates: &[Program],
+    opt_level: OptLevel,
+    max_cycles: u64,
+) -> Option<usize> {
+    let mut best: Option<(u64, usize)> = None;
+    for (ci, chunk) in candidates.chunks(MAX_TOTAL_LANES).enumerate() {
+        // Candidates that fail to compile or have an empty instruction
+        // subset cannot diverge; they simply get no lane.
+        let images: Vec<(usize, CompiledProgram)> = chunk
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let image = compile(p, opt_level).ok()?;
+                if InstructionSubset::from_words(&image.words).is_empty() {
+                    return None;
+                }
+                Some((ci * MAX_TOTAL_LANES + i, image))
+            })
+            .collect();
+        if images.is_empty() {
+            continue;
+        }
+        let subset = images
+            .iter()
+            .map(|(_, image)| InstructionSubset::from_words(&image.words))
+            .fold(InstructionSubset::new(), |a, b| a.union(&b));
+        let core = cached_core(lib, cache, &subset);
+        let entries = vec![CODE_BASE; images.len()];
+        let mut cpu = BatchedGateLevelCpu::with_core_arc(core, &entries);
+        for (lane, (_, image)) in images.iter().enumerate() {
+            for (base, words) in image.segments() {
+                cpu.load_words(lane, base, words);
+            }
+        }
+        // The whole chunk is capped at the slowest reference's retirement
+        // + 2: any lane still running past its own ref_retired + 1 has
+        // already diverged (see `check_diverges`).
+        let refs: Vec<(Emulator, u64)> = images
+            .iter()
+            .map(|(_, image)| run_reference(image, max_cycles))
+            .collect();
+        let slowest = refs.iter().map(|&(_, r)| r).max().unwrap_or(0);
+        let results = cpu.run(max_cycles.min(slowest + 2));
+        for (lane, (index, image)) in images.iter().enumerate() {
+            let (emu, ref_retired) = &refs[lane];
+            let buf_base = image.global("buf").unwrap_or(xcc::DATA_BASE);
+            let diverged = compare_lane(
+                &results[lane],
+                |i| cpu.reg(lane, i),
+                |a| cpu.memory(lane).load_word(a),
+                emu,
+                *ref_retired,
+                buf_base,
+            );
+            if diverged.is_some() {
+                let key = (*ref_retired, *index);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+    }
+    best.map(|(_, index)| index)
+}
+
+/// Deterministically shrinks a diverging program to a 1-minimal
+/// reproducer: repeatedly remove the single statement whose removal
+/// keeps the divergence alive *and* leaves the fastest-running program
+/// (ties broken by position — functions in order, outer blocks before
+/// their bodies), until no single removal diverges. The selection key is
+/// fixed, so the result is a pure function of the input program —
+/// re-shrinking the same divergence always yields the same artifact.
+/// Each pass evaluates all removal candidates lane-parallel on one
+/// union-subset batched CPU, which changes only the wall clock.
+pub fn shrink(lib: &HwLibrary, program: &Program, opt_level: OptLevel, max_cycles: u64) -> Program {
+    shrink_with(lib, &mut CoreCache::new(), program, opt_level, max_cycles)
+}
+
+fn shrink_with(
+    lib: &HwLibrary,
+    cache: &mut CoreCache,
+    program: &Program,
+    opt_level: OptLevel,
+    max_cycles: u64,
+) -> Program {
+    let mut current = program.clone();
+    loop {
+        let mut candidates = removal_candidates(&current);
+        match best_diverging(lib, cache, &candidates, opt_level, max_cycles) {
+            Some(i) => current = candidates.swap_remove(i),
+            None => return current,
+        }
+    }
+}
+
+/// The shrinker's postcondition, exposed for tests and audits: `program`
+/// still diverges, and removing any single statement (at any nesting
+/// depth, in any function) makes the divergence disappear.
+pub fn is_one_minimal(
+    lib: &HwLibrary,
+    program: &Program,
+    opt_level: OptLevel,
+    max_cycles: u64,
+) -> bool {
+    let mut cache = CoreCache::new();
+    if check_diverges(lib, &mut cache, program, opt_level, max_cycles).is_none() {
+        return false;
+    }
+    let candidates = removal_candidates(program);
+    best_diverging(lib, &mut cache, &candidates, opt_level, max_cycles).is_none()
+}
+
+fn make_reproducer(
+    lib: &HwLibrary,
+    cache: &mut CoreCache,
+    seed: u64,
+    program: &Program,
+    cfg: &FuzzConfig,
+) -> Reproducer {
+    let shrunk = shrink_with(lib, cache, program, cfg.opt_level, cfg.max_cycles);
+    let kind = check_diverges(lib, cache, &shrunk, cfg.opt_level, cfg.max_cycles)
+        .expect("shrink preserves the divergence");
+    let divergence = Divergence {
+        seed,
+        kind: kind.clone(),
+        first_retirement: localize(lib, cache, &shrunk, cfg.opt_level, cfg.max_cycles),
+    };
+    let listing = format!(
+        "seed {seed} at {}: {kind}\nfirst diverging retirement: {:?}\n{:#?}",
+        cfg.opt_level, divergence.first_retirement, shrunk
+    );
+    Reproducer {
+        seed,
+        opt_level: cfg.opt_level,
+        program: shrunk,
+        divergence,
+        listing,
+    }
+}
+
+/// Replays a reproducer from its fields alone and returns the divergence
+/// it exposes (`None` means it no longer fails — e.g. the underlying bug
+/// was fixed).
+pub fn replay(lib: &HwLibrary, r: &Reproducer) -> Option<DivergenceKind> {
+    reproduces(
+        lib,
+        &r.program,
+        r.opt_level,
+        FuzzConfig::default().max_cycles,
+    )
+}
+
+// ---------------------------------------------------------------------
+// The fuzz campaign
+// ---------------------------------------------------------------------
+
+/// Runs a differential-fuzz campaign: `cfg.iterations` seeded programs,
+/// packed `cfg.lanes` per wave onto one [`BatchedGateLevelCpu`] whose
+/// core is generated from the wave's union instruction subset, compared
+/// lane-by-lane against the reference emulator, with every divergence
+/// shrunk to a minimal self-contained [`Reproducer`].
+pub fn differential_fuzz(lib: &HwLibrary, cfg: &FuzzConfig) -> FuzzReport {
+    let lanes = cfg.lanes.clamp(1, MAX_TOTAL_LANES);
+    let seeds: Vec<u64> = (0..cfg.iterations).map(|i| cfg.seed + i).collect();
+    let mut waves = 0;
+    let mut max_wave_width = 0;
+    let mut reproducers = Vec::new();
+    // One subset-keyed core cache for the whole campaign: shrink
+    // candidates across different divergences revisit the same subsets,
+    // and regenerating a RISSP per candidate dwarfs the actual runs.
+    let mut cache = CoreCache::new();
+
+    for wave in seeds.chunks(lanes) {
+        waves += 1;
+        max_wave_width = max_wave_width.max(wave.len());
+        let programs: Vec<Program> = wave.iter().map(|&s| random_program(s)).collect();
+        let images: Vec<CompiledProgram> = programs
+            .iter()
+            .map(|p| compile(p, cfg.opt_level).expect("generated programs compile"))
+            .collect();
+        // One core per wave, supporting the union of every lane's subset:
+        // lanes execute different binaries on the same netlist.
+        let subset = images
+            .iter()
+            .map(|i| InstructionSubset::from_words(&i.words))
+            .fold(InstructionSubset::new(), |a, b| a.union(&b));
+        let rissp = Rissp::generate(lib, &subset);
+        let entries = vec![CODE_BASE; wave.len()];
+        let mut cpu = BatchedGateLevelCpu::new(&rissp, &entries);
+        for (lane, image) in images.iter().enumerate() {
+            for (base, words) in image.segments() {
+                cpu.load_words(lane, base, words);
+            }
+        }
+        // Cap the wave at the slowest reference's retirement + 2: a lane
+        // still running past its own ref_retired + 1 cycles has already
+        // diverged (see `check_diverges`), so a diverging wave settles
+        // for as long as its programs actually run, not the full budget.
+        let refs: Vec<(Emulator, u64)> = images
+            .iter()
+            .map(|image| run_reference(image, cfg.max_cycles))
+            .collect();
+        let slowest = refs.iter().map(|&(_, r)| r).max().unwrap_or(0);
+        let results = cpu.run(cfg.max_cycles.min(slowest + 2));
+
+        for (lane, (&seed, image)) in wave.iter().zip(&images).enumerate() {
+            let (emu, ref_retired) = &refs[lane];
+            let buf_base = image.global("buf").unwrap_or(xcc::DATA_BASE);
+            let diverged = compare_lane(
+                &results[lane],
+                |i| cpu.reg(lane, i),
+                |a| cpu.memory(lane).load_word(a),
+                emu,
+                *ref_retired,
+                buf_base,
+            );
+            if diverged.is_some() {
+                reproducers.push(make_reproducer(lib, &mut cache, seed, &programs[lane], cfg));
+            }
+        }
+    }
+
+    FuzzReport {
+        programs: cfg.iterations,
+        waves,
+        max_wave_width,
+        reproducers,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sabotage support
+// ---------------------------------------------------------------------
+
+/// Returns a copy of `block` whose `rd_data` output has bit 0 inverted —
+/// a deterministic, decode-preserving fault for sabotage testing: the
+/// block still selects exactly its own encodings, but every executed
+/// instance writes back a wrong value. Pair with
+/// [`HwLibrary::replace_block`] to prove a campaign catches a bad block.
+pub fn sabotage_rd_data(block: &InstrBlock) -> InstrBlock {
+    use std::collections::HashMap;
+    let mut b = netlist::Builder::new();
+    let mut bind: HashMap<&str, Vec<netlist::NetId>> = HashMap::new();
+    for (name, width) in hwlib::ports::INPUTS {
+        bind.insert(name, b.input_bus(name, width));
+    }
+    for (name, nets) in b.import(&block.netlist, &bind) {
+        let mut nets = nets;
+        if name == hwlib::ports::RD_DATA {
+            nets[0] = b.not(nets[0]);
+        }
+        b.output_bus(&name, &nets);
+    }
+    InstrBlock {
+        mnemonic: block.mnemonic,
+        netlist: b.finish(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched compliance (the RISCOF sweep)
+// ---------------------------------------------------------------------
+
+/// One RISCOF-style signature case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComplianceCase {
+    /// Test name, for reporting.
+    pub name: &'static str,
+    /// The program image, loaded at `base`.
+    pub program: Vec<u32>,
+    /// Load address and entry point.
+    pub base: u32,
+    /// Signature region start (inclusive).
+    pub sig_begin: u32,
+    /// Signature region end (exclusive).
+    pub sig_end: u32,
+}
+
+/// Lane-batched [`crate::riscof::run_compliance`]: every case runs on its
+/// own lane of one batched CPU over `rissp` (which must support the union
+/// of all cases' subsets), then each lane's signature is compared against
+/// the reference emulator. Per-case reports are identical to the scalar
+/// path — cycles on the single-cycle core depend only on the program, not
+/// on which supporting core executes it.
+pub fn run_compliance_batched(
+    rissp: &Rissp,
+    cases: &[ComplianceCase],
+    max_steps: u64,
+) -> Vec<Result<RiscofReport, RiscofError>> {
+    assert!(!cases.is_empty(), "no compliance cases");
+    let mut reports = Vec::with_capacity(cases.len());
+    for chunk in cases.chunks(MAX_TOTAL_LANES) {
+        let entries: Vec<u32> = chunk.iter().map(|c| c.base).collect();
+        let mut cpu = BatchedGateLevelCpu::new(rissp, &entries);
+        for (lane, case) in chunk.iter().enumerate() {
+            cpu.load_words(lane, case.base, &case.program);
+        }
+        let results = cpu.run(max_steps);
+        for (lane, case) in chunk.iter().enumerate() {
+            reports.push(compliance_verdict(
+                &cpu,
+                lane,
+                case,
+                &results[lane],
+                max_steps,
+            ));
+        }
+    }
+    reports
+}
+
+fn compliance_verdict(
+    cpu: &BatchedGateLevelCpu,
+    lane: usize,
+    case: &ComplianceCase,
+    result: &Result<u64, ExecError>,
+    max_steps: u64,
+) -> Result<RiscofReport, RiscofError> {
+    let dut_cycles = result.clone().map_err(RiscofError::Dut)?;
+    let mut reference = Emulator::with_entry(case.base);
+    reference.load_words(case.base, &case.program);
+    let run = reference
+        .run(max_steps)
+        .map_err(|e| RiscofError::Reference(e.to_string()))?;
+    let words = ((case.sig_end - case.sig_begin) / 4) as usize;
+    let dut_sig: Vec<u32> = (0..words)
+        .map(|i| cpu.memory(lane).load_word(case.sig_begin + 4 * i as u32))
+        .collect();
+    let ref_sig = reference.signature(case.sig_begin, case.sig_end);
+    for (index, (d, r)) in dut_sig.iter().zip(&ref_sig).enumerate() {
+        if d != r {
+            return Err(RiscofError::SignatureMismatch {
+                index,
+                dut: *d,
+                reference: *r,
+            });
+        }
+    }
+    Ok(RiscofReport {
+        dut_cycles,
+        ref_instructions: run.retired,
+        signature: dut_sig,
+    })
+}
+
+/// The handwritten RISCOF corpus: signature-writing programs covering
+/// arithmetic, logic, shifts, comparisons, loads/stores of every width,
+/// branches, jumps and upper-immediate instructions. Each writes its
+/// signature from `0x1000`.
+pub fn compliance_corpus() -> Vec<ComplianceCase> {
+    use riscv_isa::asm;
+    let case = |name: &'static str, src: &str, words: u32| ComplianceCase {
+        name,
+        program: asm::assemble(&asm::parse(src).unwrap(), 0).unwrap(),
+        base: 0,
+        sig_begin: 0x1000,
+        sig_end: 0x1000 + 4 * words,
+    };
+    vec![
+        case(
+            "arith_loop",
+            "
+            lui  a5, 0x1
+            addi a0, zero, 1
+            addi a1, zero, 0
+            loop:
+            add  a1, a1, a0
+            addi a0, a0, 1
+            sw   a1, 0(a5)
+            addi a5, a5, 4
+            sltiu a3, a0, 10
+            bne  a3, zero, loop
+            halt: jal x0, halt
+            ",
+            9,
+        ),
+        case(
+            "logic_imm",
+            "
+            lui  a5, 0x1
+            addi a0, zero, -1
+            andi a1, a0, 0x5a5
+            ori  a2, a1, 0x0f0
+            xori a3, a2, -1
+            sw   a1, 0(a5)
+            sw   a2, 4(a5)
+            sw   a3, 8(a5)
+            halt: jal x0, halt
+            ",
+            3,
+        ),
+        case(
+            "shifts",
+            "
+            lui  a5, 0x1
+            lui  a0, 0x80000
+            srai a1, a0, 4
+            srli a2, a0, 4
+            addi a3, zero, 3
+            sll  a4, a3, a3
+            sw   a1, 0(a5)
+            sw   a2, 4(a5)
+            sw   a4, 8(a5)
+            halt: jal x0, halt
+            ",
+            3,
+        ),
+        case(
+            "mem_widths",
+            "
+            lui  a5, 0x1
+            lui  a0, 0x12345
+            addi a0, a0, 0x678
+            sw   a0, 0(a5)
+            sb   a0, 5(a5)
+            sh   a0, 8(a5)
+            lb   a1, 5(a5)
+            lhu  a2, 8(a5)
+            sw   a1, 12(a5)
+            sw   a2, 16(a5)
+            halt: jal x0, halt
+            ",
+            5,
+        ),
+        case(
+            "branches",
+            "
+            lui  a5, 0x1
+            addi a0, zero, -5
+            addi a1, zero, 5
+            blt  a0, a1, lt_taken
+            addi a2, zero, 0
+            jal  x0, store
+            lt_taken:
+            addi a2, zero, 1
+            store:
+            bltu a0, a1, u_taken
+            addi a3, zero, 2
+            jal  x0, fin
+            u_taken:
+            addi a3, zero, 3
+            fin:
+            sw   a2, 0(a5)
+            sw   a3, 4(a5)
+            bge  a1, a0, ge_taken
+            addi a4, zero, 9
+            ge_taken:
+            sw   a4, 8(a5)
+            halt: jal x0, halt
+            ",
+            3,
+        ),
+        case(
+            "jumps_upper",
+            "
+            lui  a5, 0x1
+            auipc a0, 0
+            jal  a1, target
+            addi a2, zero, 77
+            target:
+            sw   a0, 0(a5)
+            sw   a1, 4(a5)
+            addi a3, zero, 32
+            jalr a4, a3, 4
+            addi a2, zero, 88
+            sw   a2, 8(a5)
+            halt: jal x0, halt
+            ",
+            3,
+        ),
+    ]
+}
+
+/// Runs the whole compliance corpus lane-batched on a core generated
+/// from the union of the cases' subsets, returning `(name, report)`
+/// pairs.
+///
+/// # Errors
+///
+/// Returns the first failing case.
+pub fn compliance_sweep(
+    lib: &HwLibrary,
+    cases: &[ComplianceCase],
+    max_steps: u64,
+) -> Result<Vec<(&'static str, RiscofReport)>, (&'static str, RiscofError)> {
+    let subset = cases
+        .iter()
+        .map(|c| InstructionSubset::from_words(&c.program))
+        .fold(InstructionSubset::new(), |a, b| a.union(&b));
+    let rissp = Rissp::generate(lib, &subset);
+    let reports = run_compliance_batched(&rissp, cases, max_steps);
+    cases
+        .iter()
+        .zip(reports)
+        .map(|(case, r)| match r {
+            Ok(report) => Ok((case.name, report)),
+            Err(e) => Err((case.name, e)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::riscof::run_compliance;
+
+    #[test]
+    fn generated_programs_are_deterministic_and_terminate() {
+        for seed in 0..8 {
+            let a = random_program(seed);
+            let b = random_program(seed);
+            assert_eq!(a, b, "seed {seed}");
+            let image = compile(&a, OptLevel::O1).expect("compiles");
+            let (_, retired) = run_reference(&image, FuzzConfig::default().max_cycles);
+            assert!(retired > 0);
+        }
+    }
+
+    #[test]
+    fn clean_library_fuzz_finds_nothing() {
+        let lib = HwLibrary::build_full();
+        let cfg = FuzzConfig {
+            iterations: 8,
+            lanes: 8,
+            ..FuzzConfig::default()
+        };
+        let report = differential_fuzz(&lib, &cfg);
+        assert_eq!(report.programs, 8);
+        assert_eq!(report.waves, 1);
+        assert_eq!(report.max_wave_width, 8);
+        assert!(
+            report.reproducers.is_empty(),
+            "clean stack diverged: {}",
+            report.reproducers[0].listing
+        );
+    }
+
+    #[test]
+    fn batched_compliance_matches_scalar_reports() {
+        let lib = HwLibrary::build_full();
+        let cases = compliance_corpus();
+        let swept = compliance_sweep(&lib, &cases, 100_000).unwrap();
+        for (case, (name, batched)) in cases.iter().zip(&swept) {
+            assert_eq!(case.name, *name);
+            let subset = InstructionSubset::from_words(&case.program);
+            let rissp = Rissp::generate(&lib, &subset);
+            let scalar = run_compliance(
+                &rissp,
+                &case.program,
+                case.base,
+                case.sig_begin,
+                case.sig_end,
+                100_000,
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(&scalar, batched, "{name}");
+            assert_eq!(batched.dut_cycles - 1, batched.ref_instructions, "{name}");
+        }
+    }
+
+    #[test]
+    fn sabotaged_block_preserves_decode_but_breaks_writeback() {
+        let lib = HwLibrary::build_full();
+        let bad = sabotage_rd_data(lib.block(riscv_isa::Mnemonic::Xor));
+        // Decode (sel) is untouched...
+        assert!(hwlib::verify::formal_verify(&bad, 64, 1).is_err());
+        // ...and the divergence is observable through the full stack.
+        let mut sabotaged = lib.clone();
+        sabotaged.replace_block(bad);
+        let program = Program {
+            functions: vec![Function {
+                name: "main",
+                params: 0,
+                locals: 2,
+                body: vec![
+                    // Register-register xor: loads cannot constant-fold,
+                    // so codegen must emit the sabotaged `xor`, not `xori`.
+                    set(0, lw(ga("buf"))),
+                    set(1, lw(add(ga("buf"), c(4)))),
+                    set(0, xor(v(0), v(1))),
+                    sw(ga("buf"), v(0)),
+                    ret(v(0)),
+                ],
+            }],
+            data: vec![DataObject {
+                name: "buf",
+                words: {
+                    let mut words = vec![0; BUF_WORDS];
+                    words[0] = 0x0f0f;
+                    words[1] = 0x00ff;
+                    words
+                },
+            }],
+        };
+        let kind = reproduces(&sabotaged, &program, OptLevel::O0, 100_000)
+            .expect("sabotaged xor must diverge");
+        assert!(
+            !matches!(kind, DivergenceKind::DutFault(_)),
+            "decode-preserving sabotage must not fault: {kind}"
+        );
+    }
+}

@@ -39,6 +39,7 @@
 //! assert_eq!(cpu.reg(10), 14);
 //! ```
 
+pub mod campaign;
 pub mod modularex;
 pub mod processor;
 pub mod profile;

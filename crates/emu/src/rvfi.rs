@@ -81,6 +81,20 @@ impl RvfiTrace {
             .windows(2)
             .position(|w| w[0].next_pc != w[1].pc)
     }
+
+    /// The first retirement index at which two traces disagree: either the
+    /// records differ, or one trace ends while the other continues.
+    /// `None` when the traces are identical.
+    pub fn first_divergence(&self, other: &RvfiTrace) -> Option<usize> {
+        let common = self.records.len().min(other.records.len());
+        if let Some(i) = (0..common).find(|&i| self.records[i] != other.records[i]) {
+            return Some(i);
+        }
+        if self.records.len() != other.records.len() {
+            return Some(common);
+        }
+        None
+    }
 }
 
 impl FromIterator<RvfiRecord> for RvfiTrace {

@@ -1,0 +1,375 @@
+//! Lane-parallel mutation-coverage campaigns (the MCY step at scale).
+//!
+//! [`mutate::mutation_coverage`](crate::mutate::mutation_coverage) runs one
+//! mutant at a time through the interpreted [`netlist::Sim`] — fine for a
+//! handful of blocks, hopeless for "millions of scenarios". This module
+//! drives the same MCY loop through the batched backends: up to
+//! `lanes - 1` mutants of a block settle *simultaneously*, one mutant per
+//! stimulus lane of a single [`CompiledSim`], with the last lane reserved
+//! as the unmutated reference.
+//!
+//! # Lane ↔ mutant mapping
+//!
+//! A chunk of mutants is compiled into one *instrumented* netlist: every
+//! mutated net's driver is wrapped in an injection mux
+//!
+//! ```text
+//! value(net) = mux(__mut{i}, original_gate, mutated_gate)
+//! ```
+//!
+//! where `__mut{i}` is a fresh 1-bit input asserted **only on lane `i`**.
+//! Lane `i` therefore computes exactly the function of
+//! [`Netlist::with_gate_replaced`] applied for mutant `i` alone, while the
+//! reference lane (all selects low) computes the original block — so one
+//! broadcast settle evaluates the whole chunk against one stimulus.
+//! Mutants of the *same* net chain their muxes in mutant order; at most
+//! one select is high per lane, so the chain resolves to the single
+//! requested fault.
+//!
+//! The verdicts — which mutants are observable and which of those the
+//! architecture testbench kills — are **bit-identical** to the scalar
+//! [`mutate::mutation_coverage`](crate::mutate::mutation_coverage) loop
+//! for every lane width and thread count (`tests/campaigns.rs` pins this
+//! across the whole block library), because both paths compare the same
+//! output ports on the same vector sets; only the evaluation schedule
+//! changes.
+
+use crate::mutate::{mutants_of, observability_probes, CoverageReport, Mutant, Mutation};
+use crate::verify::{arch_test_vectors, read_outputs_lane};
+use crate::{HwLibrary, InstrBlock};
+use netlist::compiled::{CompiledSim, LANES_PER_WORD, MAX_TOTAL_LANES};
+use netlist::pool::{self, WorkerPool};
+use netlist::{Builder, Gate, NetId, Netlist};
+use riscv_isa::semantics::{block_semantics, BlockInputs};
+use riscv_isa::Mnemonic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for a mutation-coverage campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Mutants sampled per block (the `limit` of
+    /// [`mutants_of`]).
+    pub limit: usize,
+    /// Mutant-sampling seed, shared by every block (each block's mutant
+    /// set still differs because its netlist differs).
+    pub seed: u64,
+    /// Stimulus lanes per settle: `lanes - 1` mutants evaluate per chunk
+    /// and the last lane carries the unmutated reference. Clamped to
+    /// [`MAX_TOTAL_LANES`].
+    pub lanes: usize,
+    /// Worker threads for the library-wide sweep (blocks are claimed off
+    /// a shared counter by the persistent worker pool). `1` runs inline.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            limit: 24,
+            seed: 0x5eed_cafe,
+            lanes: LANES_PER_WORD * netlist::env_lane_words().unwrap_or(4),
+            threads: netlist::env_threads().unwrap_or(1),
+        }
+    }
+}
+
+/// One block's campaign outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCoverage {
+    /// The block the mutants were drawn from.
+    pub mnemonic: Mnemonic,
+    /// The kill report, bit-identical to the scalar MCY loop's.
+    pub report: CoverageReport,
+}
+
+/// Builds the instrumented netlist for one chunk of mutants: every mutated
+/// net's driver is wrapped in `mux(__mut{i}, original, mutated)` with a
+/// fresh 1-bit `__mut{i}` input per mutant.
+///
+/// The rebuild walks the gate arena in topological (id) order through a
+/// fresh [`Builder`], so hash-consing and constant folding re-apply; that
+/// cannot change any lane's I/O function — lane `i` with only `__mut{i}`
+/// high computes exactly the mutant-`i` netlist, and a lane with all
+/// selects low computes the original block.
+///
+/// # Panics
+///
+/// Panics if the block netlist contains flip-flops (instruction blocks are
+/// purely combinational) or a mutant refers to an out-of-range net.
+pub fn instrument(netlist: &Netlist, mutants: &[&Mutant]) -> Netlist {
+    let mut b = Builder::new();
+    let mut map: Vec<NetId> = vec![NetId::MAX; netlist.len()];
+
+    // Re-declare the input ports first, in declaration order, so the
+    // instrumented netlist keeps the block's port interface; the injection
+    // selects follow as fresh single-bit ports.
+    for port in netlist.inputs() {
+        let nets = b.input_bus(&port.name, port.nets.len());
+        for (&old, &new) in port.nets.iter().zip(&nets) {
+            map[old as usize] = new;
+        }
+    }
+    let sels: Vec<NetId> = (0..mutants.len())
+        .map(|i| b.input(&format!("__mut{i}")))
+        .collect();
+
+    for (id, gate) in netlist.gates().iter().enumerate() {
+        let m = |n: NetId| map[n as usize];
+        let mut new = match *gate {
+            Gate::Input(_) => continue, // mapped with its port above
+            Gate::Const(v) => b.constant(v),
+            Gate::Not(x) => b.not(m(x)),
+            Gate::And(x, y) => b.and(m(x), m(y)),
+            Gate::Or(x, y) => b.or(m(x), m(y)),
+            Gate::Xor(x, y) => b.xor(m(x), m(y)),
+            Gate::Nand(x, y) => b.nand(m(x), m(y)),
+            Gate::Nor(x, y) => b.nor(m(x), m(y)),
+            Gate::Xnor(x, y) => b.xnor(m(x), m(y)),
+            Gate::Mux { sel, a, b: bb } => b.mux(m(sel), m(a), m(bb)),
+            Gate::Dff { .. } => panic!("instrument: instruction blocks are combinational"),
+        };
+        for (i, mutant) in mutants.iter().enumerate() {
+            if mutant.net as usize != id {
+                continue;
+            }
+            let faulty = mutated_value(&mut b, gate, mutant.mutation, &map);
+            // sel high (lane i) selects the faulty value.
+            new = b.mux(sels[i], new, faulty);
+        }
+        map[id] = new;
+    }
+
+    for port in netlist.outputs() {
+        let nets: Vec<NetId> = port.nets.iter().map(|&n| map[n as usize]).collect();
+        b.output_bus(&port.name, &nets);
+    }
+    b.finish()
+}
+
+/// Emits the faulty replacement value for one mutation of `gate`, with
+/// fan-ins remapped into the instrumented netlist.
+fn mutated_value(b: &mut Builder, gate: &Gate, mutation: Mutation, map: &[NetId]) -> NetId {
+    let m = |n: NetId| map[n as usize];
+    match mutation {
+        Mutation::StuckAtZero => b.zero(),
+        Mutation::StuckAtOne => b.one(),
+        Mutation::FlipKind => match *gate {
+            Gate::And(x, y) => b.or(m(x), m(y)),
+            Gate::Or(x, y) => b.and(m(x), m(y)),
+            Gate::Xor(x, y) => b.xnor(m(x), m(y)),
+            Gate::Xnor(x, y) => b.xor(m(x), m(y)),
+            Gate::Nand(x, y) => b.nor(m(x), m(y)),
+            Gate::Nor(x, y) => b.nand(m(x), m(y)),
+            ref g => panic!("FlipKind has no flip for {g:?}"),
+        },
+        Mutation::SwapMuxInputs => match *gate {
+            Gate::Mux { sel, a, b: bb } => b.mux(m(sel), m(bb), m(a)),
+            ref g => panic!("SwapMuxInputs on non-mux {g:?}"),
+        },
+    }
+}
+
+/// Drives every input port of the block interface identically on all
+/// lanes (the injection selects are left untouched).
+fn broadcast(sim: &mut CompiledSim, inputs: &BlockInputs) {
+    sim.set_bus(crate::ports::PC, inputs.pc);
+    sim.set_bus(crate::ports::INSN, inputs.insn);
+    sim.set_bus(crate::ports::RS1_DATA, inputs.rs1_data);
+    sim.set_bus(crate::ports::RS2_DATA, inputs.rs2_data);
+    sim.set_bus(crate::ports::DMEM_RDATA, inputs.dmem_rdata);
+}
+
+/// Lane-parallel [`mutate::mutation_coverage`](crate::mutate::mutation_coverage):
+/// same mutants, same probes, same testbench vectors, same verdicts — but
+/// up to `lanes - 1` mutants settle per evaluation instead of one mutant
+/// per interpreted sweep.
+///
+/// # Panics
+///
+/// Panics if `lanes < 2` after clamping (one mutant lane plus the
+/// reference lane is the minimum useful width).
+pub fn lane_mutation_coverage(
+    block: &InstrBlock,
+    limit: usize,
+    seed: u64,
+    lanes: usize,
+) -> CoverageReport {
+    let lanes = lanes.min(MAX_TOTAL_LANES);
+    assert!(lanes >= 2, "lane_mutation_coverage needs >= 2 lanes");
+    let vectors = arch_test_vectors(block.mnemonic);
+    let probes = observability_probes(&vectors);
+    let mutants = mutants_of(block, limit, seed);
+    let generated = mutants.len();
+    let mut observable = 0;
+    let mut killed = 0;
+
+    for chunk in mutants.chunks(lanes - 1) {
+        let refs: Vec<&Mutant> = chunk.iter().collect();
+        let instrumented = instrument(&block.netlist, &refs);
+        let width = refs.len() + 1; // + reference lane
+        let reference = refs.len();
+        let mut sim = CompiledSim::with_lanes(&instrumented, width);
+        // Assert each mutant's select on its own lane only. The selects
+        // never change again, so the per-chunk sweeps below are pure
+        // stimulus broadcasts.
+        for (i, _) in refs.iter().enumerate() {
+            let pattern: Vec<u64> = (0..width).map(|l| u64::from(l == i)).collect();
+            sim.set_bus_lanes(&format!("__mut{i}"), &pattern);
+        }
+
+        // MCY observability filter: a mutant is observable iff some probe
+        // vector distinguishes its lane from the reference lane.
+        let mut is_observable = vec![false; refs.len()];
+        for probe in &probes {
+            broadcast(&mut sim, probe);
+            sim.eval();
+            let golden = read_outputs_lane(&sim, reference);
+            for (i, seen) in is_observable.iter_mut().enumerate() {
+                if !*seen && read_outputs_lane(&sim, i) != golden {
+                    *seen = true;
+                }
+            }
+            if is_observable.iter().all(|&o| o) {
+                break;
+            }
+        }
+
+        // Kill check: an observable mutant is killed iff some testbench
+        // vector makes its lane differ from the golden semantics.
+        let mut is_killed = vec![false; refs.len()];
+        let mut open = is_observable.iter().filter(|&&o| o).count();
+        'vectors: for v in &vectors {
+            if open == 0 {
+                break;
+            }
+            let instr = riscv_isa::Instruction::decode(v.insn).expect("vector decodes");
+            let golden = block_semantics(instr, v);
+            broadcast(&mut sim, v);
+            sim.eval();
+            for i in 0..refs.len() {
+                if !is_observable[i] || is_killed[i] {
+                    continue;
+                }
+                if read_outputs_lane(&sim, i) != golden {
+                    is_killed[i] = true;
+                    open -= 1;
+                    if open == 0 {
+                        break 'vectors;
+                    }
+                }
+            }
+        }
+
+        observable += is_observable.iter().filter(|&&o| o).count();
+        killed += is_killed.iter().filter(|&&k| k).count();
+    }
+
+    CoverageReport {
+        generated,
+        observable,
+        killed,
+    }
+}
+
+/// Runs the lane-parallel MCY loop over every block in the library, with
+/// blocks claimed off a shared counter by the persistent worker pool when
+/// `cfg.threads > 1`. Results are in deterministic mnemonic order and
+/// independent of the thread count (each block's campaign is
+/// self-contained).
+pub fn library_mutation_coverage(lib: &HwLibrary, cfg: &CampaignConfig) -> Vec<BlockCoverage> {
+    let blocks: Vec<&InstrBlock> = lib.iter().collect();
+    let run = |block: &InstrBlock| BlockCoverage {
+        mnemonic: block.mnemonic,
+        report: lane_mutation_coverage(block, cfg.limit, cfg.seed, cfg.lanes),
+    };
+    let threads = cfg.threads.max(1).min(blocks.len().max(1));
+    if threads == 1 || pool::in_job() {
+        return blocks.into_iter().map(run).collect();
+    }
+    // Worker-pool fan-out: workers claim block indices off one atomic
+    // counter (same claiming scheme as the shard scheduler) and publish
+    // into index-addressed slots, so the output order never depends on
+    // the interleaving.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BlockCoverage>>> =
+        blocks.iter().map(|_| Mutex::new(None)).collect();
+    let pool = WorkerPool::shared(threads - 1);
+    pool.run(threads, |_tid| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(block) = blocks.get(i) else { break };
+        *slots[i].lock().unwrap() = Some(run(block));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every block was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::build_block;
+    use crate::mutate::mutation_coverage;
+
+    fn block(m: Mnemonic) -> InstrBlock {
+        InstrBlock {
+            mnemonic: m,
+            netlist: build_block(m),
+        }
+    }
+
+    #[test]
+    fn lane_coverage_matches_scalar_for_representative_blocks() {
+        for m in [Mnemonic::Add, Mnemonic::Beq, Mnemonic::Sb, Mnemonic::Sra] {
+            let b = block(m);
+            let scalar = mutation_coverage(&b, 25, 23);
+            for lanes in [4, 64, 96] {
+                let batched = lane_mutation_coverage(&b, 25, 23, lanes);
+                assert_eq!(batched, scalar, "{m} at {lanes} lanes");
+            }
+        }
+    }
+
+    #[test]
+    fn chunking_never_changes_the_report() {
+        // 3 lanes -> 2 mutants per chunk: the 20-mutant campaign spans 10
+        // instrumented netlists and must still agree with the widest case.
+        let b = block(Mnemonic::Xor);
+        let narrow = lane_mutation_coverage(&b, 20, 7, 3);
+        let wide = lane_mutation_coverage(&b, 20, 7, MAX_TOTAL_LANES);
+        assert_eq!(narrow, wide);
+        assert_eq!(narrow, mutation_coverage(&b, 20, 7));
+    }
+
+    #[test]
+    fn instrumented_netlist_with_idle_selects_matches_original() {
+        let b = block(Mnemonic::And);
+        let mutants = mutants_of(&b, 6, 3);
+        let refs: Vec<&Mutant> = mutants.iter().collect();
+        let instrumented = instrument(&b.netlist, &refs);
+        let mut sim = CompiledSim::with_lanes(&instrumented, 2);
+        for v in arch_test_vectors(b.mnemonic).iter().take(40) {
+            broadcast(&mut sim, v);
+            sim.eval();
+            let hw = crate::verify::run_hw_block(&b, v);
+            assert_eq!(read_outputs_lane(&sim, 0), hw);
+            assert_eq!(read_outputs_lane(&sim, 1), hw);
+        }
+    }
+
+    #[test]
+    fn library_sweep_is_thread_count_independent() {
+        let lib = HwLibrary::build_full();
+        let cfg = CampaignConfig {
+            limit: 3,
+            seed: 11,
+            lanes: 64,
+            threads: 1,
+        };
+        let seq = library_mutation_coverage(&lib, &cfg);
+        assert_eq!(seq.len(), lib.len());
+        let par = library_mutation_coverage(&lib, &CampaignConfig { threads: 4, ..cfg });
+        assert_eq!(seq, par);
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod blocks;
+pub mod campaign;
 pub mod mutate;
 pub mod verify;
 
@@ -155,6 +156,24 @@ impl HwLibrary {
     /// True when the library holds no blocks.
     pub fn is_empty(&self) -> bool {
         self.blocks.is_empty()
+    }
+
+    /// Replaces the block for `mnemonic`, returning the previous one.
+    ///
+    /// This exists for *sabotage testing*: campaign-layer tests swap in a
+    /// deliberately faulty netlist and require the differential fuzzer or
+    /// the mutation sweep to notice. Libraries handed to production RISSP
+    /// generation must never be patched this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mnemonic is not in the library.
+    pub fn replace_block(&mut self, block: InstrBlock) -> InstrBlock {
+        let slot = self
+            .blocks
+            .get_mut(&block.mnemonic)
+            .unwrap_or_else(|| panic!("{} is not in the library", block.mnemonic));
+        std::mem::replace(slot, block)
     }
 
     /// Runs the full pre-verification pipeline over every block: functional

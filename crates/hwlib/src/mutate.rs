@@ -129,6 +129,13 @@ pub fn mutants_of(block: &InstrBlock, limit: usize, seed: u64) -> Vec<Mutant> {
         .collect()
 }
 
+/// The observability-probe subset of a testbench vector set, shared by the
+/// scalar loop and the lane-parallel campaign engine so both filters see
+/// the exact same stimuli (mirroring MCY's independent filter).
+pub(crate) fn observability_probes(vectors: &[BlockInputs]) -> Vec<BlockInputs> {
+    vectors.iter().step_by(7).copied().collect()
+}
+
 /// MCY's observability filter: does the mutant differ from the original on
 /// any of `probes` random input vectors?
 pub fn is_observable(original: &InstrBlock, mutant: &Mutant, probes: &[BlockInputs]) -> bool {
@@ -146,9 +153,7 @@ pub fn is_observable(original: &InstrBlock, mutant: &Mutant, probes: &[BlockInpu
 /// observable mutant.
 pub fn mutation_coverage(block: &InstrBlock, limit: usize, seed: u64) -> CoverageReport {
     let vectors = arch_test_vectors(block.mnemonic);
-    // Observability probes: a subset of the testbench vectors plus random
-    // extras, mirroring MCY's independent filter.
-    let probes: Vec<BlockInputs> = vectors.iter().step_by(7).copied().collect();
+    let probes = observability_probes(&vectors);
     let mutants = mutants_of(block, limit, seed);
     let generated = mutants.len();
     let mut observable = 0;

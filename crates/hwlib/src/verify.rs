@@ -89,7 +89,7 @@ fn read_outputs(sim: &Sim) -> BlockOutputs {
     read_outputs_lane(sim, 0)
 }
 
-fn read_outputs_lane<S: SimBackend>(sim: &S, lane: usize) -> BlockOutputs {
+pub(crate) fn read_outputs_lane<S: SimBackend>(sim: &S, lane: usize) -> BlockOutputs {
     BlockOutputs {
         next_pc: sim.get_bus_lane(ports::NEXT_PC, lane) as u32,
         rs1_addr: sim.get_bus_lane(ports::RS1_ADDR, lane) as u8,

@@ -113,6 +113,15 @@ impl CompiledProgram {
         }
     }
 
+    /// All loadable segments — the code image at [`CODE_BASE`] followed by
+    /// the data segments — as `(base, words)` pairs, for loaders other
+    /// than the reference emulator (e.g. one lane of a batched gate-level
+    /// CPU).
+    pub fn segments(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        std::iter::once((CODE_BASE, self.words.as_slice()))
+            .chain(self.data_segments.iter().map(|(b, w)| (*b, w.as_slice())))
+    }
+
     /// Code size in bytes (Figure 5's y-axis).
     pub fn code_bytes(&self) -> usize {
         self.words.len() * 4
