@@ -65,7 +65,7 @@ fn bench(c: &mut Criterion) {
     // packing and sharding against the interpreted baseline, so they pin
     // the full-sweep evaluator; the event-driven delta is measured by the
     // dedicated `settle_sparse_*`/`settle_dense_*` rows below.
-    let mut compiled = CompiledSim::new(core);
+    let mut compiled = CompiledSim::new_arc(core_arc.clone());
     compiled.set_eval_mode(EvalMode::FullSweep);
     g.bench_function("settle_compiled", |b| {
         b.iter(|| {
@@ -82,7 +82,7 @@ fn bench(c: &mut Criterion) {
     // K x the stimulus vectors per settle, so per-vector throughput =
     // settles x lanes / time is the number to compare across rows.
     for lanes in [64usize, 128, 256] {
-        let mut wide = CompiledSim::with_lanes(core, lanes);
+        let mut wide = CompiledSim::with_lanes_arc(core_arc.clone(), lanes);
         wide.set_eval_mode(EvalMode::FullSweep);
         let mut stimuli = vec![0u64; lanes];
         g.bench_function(format!("settle_compiled_{lanes}_lanes"), |b| {

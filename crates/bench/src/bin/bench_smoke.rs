@@ -19,6 +19,7 @@
 //! The report format is intentionally line-oriented (one config per line)
 //! so the checker can parse its own output without a JSON dependency.
 
+use bench::service::{run_service, ServiceConfig, ServiceMix};
 use hwlib::campaign::{library_mutation_coverage, CampaignConfig};
 use netlist::sim::SimBackend;
 use netlist::{CompiledSim, EvalMode, EvalPolicy, ShardPolicy, ShardSchedule, ShardedSim, Sim};
@@ -68,6 +69,17 @@ struct CampaignRow {
     mutants_per_sec: f64,
 }
 
+/// One measured service load-mix configuration (a YCSB-style read/update
+/// mix against the program cache + multi-job pool; see `bench::service`
+/// and `docs/simulation.md` § "Simulation as a service").
+struct ServiceRow {
+    name: &'static str,
+    submitters: usize,
+    jobs: u64,
+    jobs_per_sec: f64,
+    hit_rate: f64,
+}
+
 fn usage() -> ! {
     eprintln!("usage: bench_smoke [--out PATH] [--check-against PATH] [--settles N]");
     std::process::exit(2);
@@ -107,6 +119,8 @@ fn main() {
     let rows = measure(&core, settles);
     eprintln!("bench_smoke: running mutation-campaign probes...");
     let campaigns = measure_campaigns(&lib);
+    eprintln!("bench_smoke: running service load-mix probes...");
+    let services = measure_service(&lib);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -128,12 +142,19 @@ fn main() {
             r.lane_vectors_per_sec
         ));
     }
-    for (i, r) in campaigns.iter().enumerate() {
-        let comma = if i + 1 == campaigns.len() { "" } else { "," };
+    for r in campaigns.iter() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"backend\": \"campaign\", \"threads\": {}, \
-             \"lanes\": {}, \"mutants\": {}, \"mutants_per_sec\": {:.1}}}{comma}\n",
+             \"lanes\": {}, \"mutants\": {}, \"mutants_per_sec\": {:.1}}},\n",
             r.name, r.threads, r.lanes, r.mutants, r.mutants_per_sec
+        ));
+    }
+    for (i, r) in services.iter().enumerate() {
+        let comma = if i + 1 == services.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"backend\": \"service\", \"submitters\": {}, \
+             \"jobs\": {}, \"jobs_per_sec\": {:.1}, \"cache_hit_rate\": {:.3}}}{comma}\n",
+            r.name, r.submitters, r.jobs, r.jobs_per_sec, r.hit_rate
         ));
     }
     json.push_str("  ]\n}\n");
@@ -167,6 +188,20 @@ fn main() {
             r.name, r.threads, r.lanes, r.mutants, r.mutants_per_sec
         );
     }
+    println!(
+        "\n{:<28} {:>10} {:>8} {:>12} {:>10}",
+        "service mix", "submitters", "jobs", "jobs/sec", "hit rate"
+    );
+    for r in &services {
+        println!(
+            "{:<28} {:>10} {:>8} {:>12.1} {:>9.1}%",
+            r.name,
+            r.submitters,
+            r.jobs,
+            r.jobs_per_sec,
+            r.hit_rate * 100.0
+        );
+    }
     eprintln!("bench_smoke: wrote {out}");
 
     check_pooled_vs_scoped(&rows);
@@ -178,6 +213,11 @@ fn main() {
                 campaigns
                     .iter()
                     .map(|r| (r.name.to_string(), r.mutants_per_sec)),
+            )
+            .chain(
+                services
+                    .iter()
+                    .map(|r| (r.name.to_string(), r.jobs_per_sec)),
             )
             .collect();
         check_against(&fresh, &path);
@@ -214,6 +254,43 @@ fn measure_campaigns(lib: &hwlib::HwLibrary) -> Vec<CampaignRow> {
             lanes,
             mutants,
             mutants_per_sec: mutants as f64 / elapsed.max(1e-9),
+        }
+    })
+    .collect()
+}
+
+/// Times the YCSB-style service load mixes (`bench::service`): two
+/// concurrent submitters drive read-heavy / write-heavy / 50-50 mixes
+/// against the shared program cache and the multi-job worker pool. Reads
+/// verify cached library cores (compile hits); updates evaluate fresh
+/// mutants (compile misses). Pinned seeds, so the op schedule — and
+/// therefore the hit-rate profile — is identical run to run; only
+/// jobs/sec moves with the machine.
+fn measure_service(lib: &hwlib::HwLibrary) -> Vec<ServiceRow> {
+    [
+        // One distinct seed per row: a shared seed would re-generate the
+        // previous row's mutants, turning its "fresh" updates into cache
+        // hits and faking the hit-rate profile.
+        ("service_read_heavy_2s", ServiceMix::read_heavy(), 0x51),
+        ("service_write_heavy_2s", ServiceMix::write_heavy(), 0x52),
+        ("service_mixed_50_50_2s", ServiceMix::mixed(), 0x53),
+    ]
+    .into_iter()
+    .map(|(name, mix, seed)| {
+        let cfg = ServiceConfig {
+            mix,
+            submitters: 2,
+            ops_per_submitter: 25,
+            threads: 2,
+            seed,
+        };
+        let report = run_service(lib, &cfg);
+        ServiceRow {
+            name,
+            submitters: cfg.submitters,
+            jobs: report.jobs,
+            jobs_per_sec: report.jobs_per_sec,
+            hit_rate: report.cache.hit_rate(),
         }
     })
     .collect()
@@ -430,8 +507,9 @@ fn row(
 }
 
 /// Parses the `(name, rate)` pairs out of a bench_smoke report, where
-/// the rate is `settles_per_sec` for simulator configs and
-/// `mutants_per_sec` for campaign configs. Line-oriented on purpose: one
+/// the rate is `settles_per_sec` for simulator configs,
+/// `mutants_per_sec` for campaign configs and `jobs_per_sec` for service
+/// load-mix configs. Line-oriented on purpose: one
 /// config object per line, fields in a fixed order, so a substring scan
 /// is sufficient and exact for the format this binary writes.
 fn parse_rows(text: &str) -> Vec<(String, f64)> {
@@ -446,6 +524,7 @@ fn parse_rows(text: &str) -> Vec<(String, f64)> {
         // at the first delimiter rather than trimming from the end.
         let Some(rate) = field(line, "\"settles_per_sec\": ")
             .or_else(|| field(line, "\"mutants_per_sec\": "))
+            .or_else(|| field(line, "\"jobs_per_sec\": "))
             .and_then(|v| v.split([',', '}']).next()?.trim().parse::<f64>().ok())
         else {
             continue;

@@ -107,8 +107,8 @@ mod tests {
         let mut b = Builder::new();
         let x = b.input_bus("x", 4);
         b.output_bus("y", &x);
-        let nl = b.finish();
-        let mut sim = CompiledSim::with_lanes(&nl, 8);
+        let nl = std::sync::Arc::new(b.finish());
+        let mut sim = CompiledSim::with_lanes_arc(nl, 8);
         for i in 0..10u64 {
             for lane in 0..8 {
                 sim.set_bus_lane("x", lane, i * (lane as u64 + 1));
@@ -138,11 +138,13 @@ mod tests {
         let lo = b.and(x[0], x[1]);
         let hi = b.xor(x[4], x[5]);
         b.output_bus("y", &[lo, hi, x[2], x[3]]);
-        let nl = b.finish();
-        let mut wide = CompiledSim::with_lanes(&nl, 128);
+        let nl = std::sync::Arc::new(b.finish());
+        // All three sims share one netlist Arc and (via the program
+        // cache) one compiled program.
+        let mut wide = CompiledSim::with_lanes_arc(nl.clone(), 128);
         let mut chunks = [
-            CompiledSim::with_lanes(&nl, 64),
-            CompiledSim::with_lanes(&nl, 64),
+            CompiledSim::with_lanes_arc(nl.clone(), 64),
+            CompiledSim::with_lanes_arc(nl.clone(), 64),
         ];
         for i in 0..10u64 {
             for lane in 0..128usize {

@@ -209,7 +209,7 @@ pub fn lane_mutation_coverage(
         let instrumented = instrument(&block.netlist, &refs);
         let width = refs.len() + 1; // + reference lane
         let reference = refs.len();
-        let mut sim = CompiledSim::with_lanes(&instrumented, width);
+        let mut sim = CompiledSim::with_lanes_arc(std::sync::Arc::new(instrumented), width);
         // Assert each mutant's select on its own lane only. The selects
         // never change again, so the per-chunk sweeps below are pure
         // stimulus broadcasts.
@@ -295,7 +295,7 @@ pub fn library_mutation_coverage(lib: &HwLibrary, cfg: &CampaignConfig) -> Vec<B
     let slots: Vec<Mutex<Option<BlockCoverage>>> =
         blocks.iter().map(|_| Mutex::new(None)).collect();
     let pool = WorkerPool::shared(threads - 1);
-    pool.run(threads, |_tid| loop {
+    pool.run(threads, |_tid, _barrier| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(block) = blocks.get(i) else { break };
         *slots[i].lock().unwrap() = Some(run(block));
@@ -348,7 +348,7 @@ mod tests {
         let mutants = mutants_of(&b, 6, 3);
         let refs: Vec<&Mutant> = mutants.iter().collect();
         let instrumented = instrument(&b.netlist, &refs);
-        let mut sim = CompiledSim::with_lanes(&instrumented, 2);
+        let mut sim = CompiledSim::with_lanes_arc(std::sync::Arc::new(instrumented), 2);
         for v in arch_test_vectors(b.mnemonic).iter().take(40) {
             broadcast(&mut sim, v);
             sim.eval();

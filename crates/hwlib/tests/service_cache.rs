@@ -1,0 +1,110 @@
+//! Service-level program-cache guarantees over the hardware library.
+//!
+//! These live in their own integration-test binary (their own process) so
+//! the [`netlist::ProgramCache::global`] counters they assert on are not
+//! perturbed by unrelated tests compiling netlists concurrently. Within
+//! the binary, the global-cache tests serialize on [`cache_mutex`].
+
+use hwlib::campaign::instrument;
+use hwlib::mutate::{mutants_of, Mutant};
+use hwlib::HwLibrary;
+use netlist::ProgramCache;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes the tests that assert on the process-wide cache counters.
+fn cache_mutex() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The service contract of `docs/simulation.md` § "Simulation as a
+/// service": one process compiles each distinct library core exactly
+/// once. The first `verify_all` sweep misses once per distinct core (and
+/// already hits when a block's second verification stage reuses the
+/// content); a second full sweep adds zero misses — every compile in it
+/// is a cache hit.
+#[test]
+fn verify_all_compiles_each_distinct_core_exactly_once_per_process() {
+    if !netlist::env::program_cache_enabled() {
+        return; // GATE_SIM_PROGRAM_CACHE=0: every compile is a bypass.
+    }
+    let _guard = cache_mutex();
+    let cache = ProgramCache::global();
+    let lib = HwLibrary::build_full();
+    cache.clear();
+    let before = cache.stats();
+
+    lib.verify_all(64, 1).expect("library verifies");
+    let mid = cache.stats();
+    let first_misses = mid.misses - before.misses;
+    assert!(
+        first_misses > 0 && first_misses <= lib.len() as u64,
+        "first sweep must compile each distinct core once: {first_misses} misses for {} blocks",
+        lib.len()
+    );
+    // Each block is verified twice (functional + formal) over the same
+    // content, so the first sweep already reuses compiles.
+    assert!(
+        mid.hits - before.hits >= lib.len() as u64,
+        "the second verification stage of each block must hit: {:?}",
+        mid
+    );
+
+    lib.verify_all(64, 1).expect("library verifies again");
+    let after = cache.stats();
+    assert_eq!(
+        after.misses - mid.misses,
+        0,
+        "a second verify_all sweep must not compile anything: {:?}",
+        after
+    );
+    assert!(after.hits > mid.hits, "the second sweep must hit");
+    let sweep = netlist::CacheStats {
+        hits: after.hits - mid.hits,
+        misses: 0,
+        evictions: 0,
+        bypasses: after.bypasses - mid.bypasses,
+        entries: after.entries,
+    };
+    assert_eq!(sweep.hit_rate(), 1.0, "second sweep is 100% hits");
+}
+
+/// The content hash is the correctness boundary: instrumented campaign
+/// netlists carrying different mutant sets are different content and must
+/// never share a compiled program — while re-presenting the same mutant
+/// set behind a fresh allocation is the same content and must hit.
+#[test]
+fn instrumented_netlists_with_different_mutants_never_false_hit() {
+    let lib = HwLibrary::build_full();
+    let block = lib.iter().next().expect("library is non-empty");
+    let mutants = mutants_of(block, 4, 9);
+    assert!(mutants.len() >= 2, "need two mutants to instrument with");
+    let refs: Vec<&Mutant> = mutants.iter().collect();
+    let set_a = instrument(&block.netlist, &refs[..1]);
+    let set_b = instrument(&block.netlist, &refs[1..2]);
+    assert_ne!(
+        ProgramCache::content_hash(&set_a),
+        ProgramCache::content_hash(&set_b),
+        "different mutant sets must hash as different content"
+    );
+
+    // A private cache keeps this test independent of the global counters
+    // (and of GATE_SIM_PROGRAM_CACHE): the keying contract is the same.
+    let cache = ProgramCache::new(8);
+    let a = cache.get_or_compile(&std::sync::Arc::new(set_a.clone()));
+    let b = cache.get_or_compile(&std::sync::Arc::new(set_b));
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.misses, stats.hits),
+        (2, 0),
+        "each mutant set is distinct content: {stats:?}"
+    );
+    assert!(
+        !std::sync::Arc::ptr_eq(&a, &b),
+        "different content must never share a program"
+    );
+    // Same content behind a brand-new allocation: a hit on A's program.
+    let a_again = cache.get_or_compile(&std::sync::Arc::new(set_a));
+    assert!(std::sync::Arc::ptr_eq(&a, &a_again));
+    assert_eq!(cache.stats().hits, 1);
+}

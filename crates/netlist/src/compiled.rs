@@ -696,6 +696,12 @@ impl CompiledSim {
     /// so fanning out many simulators over one netlist (shards, repeated
     /// CPU constructions) pays for the gate arena once.
     ///
+    /// The compile itself goes through the process-wide
+    /// [`crate::cache::ProgramCache`]: a netlist whose *content* was
+    /// compiled before (even behind a different `Arc`) reuses the cached
+    /// [`Program`] instead of re-levelizing. `GATE_SIM_PROGRAM_CACHE=0`
+    /// forces a fresh compile; results are bit-identical either way.
+    ///
     /// Lane counts above 64 round the state arena up to whole 64-lane
     /// words: every net stores `lanes.div_ceil(64)` contiguous `u64`s
     /// (a *lane block*), and the kernels loop over the block.
@@ -704,7 +710,7 @@ impl CompiledSim {
     ///
     /// Panics unless `1 <= lanes <= `[`MAX_TOTAL_LANES`].
     pub fn with_lanes_arc(netlist: Arc<Netlist>, lanes: usize) -> CompiledSim {
-        let prog = Arc::new(Program::compile(&netlist));
+        let prog = crate::cache::ProgramCache::compile_via_global(&netlist);
         CompiledSim::from_parts(netlist, prog, lanes)
     }
 

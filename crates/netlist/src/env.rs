@@ -1,0 +1,93 @@
+//! The `GATE_SIM_*` environment knobs, parsed in one place.
+//!
+//! Every knob follows the same contract: **unset means default**, a
+//! well-formed value overrides, and a malformed value panics — a typo'd
+//! CI matrix or shell export must never silently test the wrong
+//! configuration. The four knobs:
+//!
+//! | variable | values | default | consumers |
+//! | --- | --- | --- | --- |
+//! | `GATE_SIM_THREADS` | positive integer | auto | [`crate::ShardPolicy::auto`], CI property sweeps, [`crate::pool::WorkerPool::shared`] seeding |
+//! | `GATE_SIM_LANE_WORDS` | `1..=`[`MAX_LANE_WORDS`] | 4 | [`crate::ShardPolicy`] lane-block fusion width |
+//! | `GATE_SIM_POOL` | `0/1/true/false/on/off` | on | pool acquisition ([`crate::pool`]); off forces scoped-thread fallbacks |
+//! | `GATE_SIM_PROGRAM_CACHE` | `0/1/true/false/on/off` | on | the process-wide [`crate::cache::ProgramCache`]; off recompiles every construction |
+//!
+//! The historical entry points (`netlist::env_threads`,
+//! `netlist::env_lane_words`, `netlist::pool::env_pool_enabled`) remain
+//! as re-exports, so existing callers and the CI matrix scripts keep
+//! working unchanged.
+
+use crate::compiled::MAX_LANE_WORDS;
+
+/// Thread-count override from the `GATE_SIM_THREADS` environment
+/// variable, used by [`crate::ShardPolicy::auto`] and the CI
+/// thread-matrix (the property tests read it so the parallel paths run
+/// with real concurrency when CI sets it). Returns `None` when unset.
+///
+/// # Panics
+///
+/// Panics if the variable is set to anything but a positive integer.
+pub fn threads() -> Option<usize> {
+    let v = std::env::var("GATE_SIM_THREADS").ok()?;
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => panic!("GATE_SIM_THREADS={v} is not a positive integer"),
+    }
+}
+
+/// Lane-block width override from the `GATE_SIM_LANE_WORDS` environment
+/// variable: the default [`crate::ShardPolicy`] fusion width, in 64-lane
+/// words (`1..=`[`MAX_LANE_WORDS`]). `1` reproduces the historical
+/// one-`CompiledSim`-per-64-lanes sharding; the CI matrix runs the test
+/// suite at both `1` and `4`. Returns `None` when unset.
+///
+/// # Panics
+///
+/// Panics if the variable is set to anything but an integer in
+/// `1..=`[`MAX_LANE_WORDS`].
+pub fn lane_words() -> Option<usize> {
+    let v = std::env::var("GATE_SIM_LANE_WORDS").ok()?;
+    match v.parse::<usize>() {
+        Ok(n) if (1..=MAX_LANE_WORDS).contains(&n) => Some(n),
+        _ => panic!("GATE_SIM_LANE_WORDS={v} is not an integer in 1..={MAX_LANE_WORDS}"),
+    }
+}
+
+/// Whether simulators may acquire the shared worker pool, from the
+/// `GATE_SIM_POOL` environment variable. Unset or `1`/`true`/`on` means
+/// enabled; `0`/`false`/`off` disables the pool and forces the
+/// scoped-thread fallbacks (useful for A/B benches and as an escape
+/// hatch).
+///
+/// # Panics
+///
+/// Panics if the variable is set to anything else.
+pub fn pool_enabled() -> bool {
+    switch("GATE_SIM_POOL")
+}
+
+/// Whether `CompiledSim` construction may consult the process-wide
+/// [`crate::cache::ProgramCache`], from the `GATE_SIM_PROGRAM_CACHE`
+/// environment variable. Unset or `1`/`true`/`on` means enabled;
+/// `0`/`false`/`off` forces a fresh [`crate::level::Program`] compile on
+/// every construction (the pre-cache behavior — results are bit-identical
+/// either way, this is an A/B and escape hatch, mirrored by a CI leg).
+///
+/// # Panics
+///
+/// Panics if the variable is set to anything else.
+pub fn program_cache_enabled() -> bool {
+    switch("GATE_SIM_PROGRAM_CACHE")
+}
+
+/// Shared on/off parser: unset defaults to on, junk panics.
+fn switch(name: &str) -> bool {
+    match std::env::var(name) {
+        Err(_) => true,
+        Ok(v) => match v.as_str() {
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            other => panic!("{name}={other} is not one of 0/1/true/false/on/off"),
+        },
+    }
+}

@@ -81,7 +81,9 @@
 //! ```
 
 pub mod bus;
+pub mod cache;
 pub mod compiled;
+pub mod env;
 pub mod level;
 pub mod opt;
 pub mod pool;
@@ -89,6 +91,7 @@ pub mod sharded;
 pub mod sim;
 pub mod stats;
 
+pub use cache::{CacheStats, ProgramCache};
 pub use compiled::{
     word_lane_mask, CompiledSim, EvalMode, EvalPolicy, LANES_PER_WORD, MAX_LANE_WORDS,
     MAX_TOTAL_LANES,
@@ -97,43 +100,14 @@ pub use pool::WorkerPool;
 pub use sharded::{ShardPolicy, ShardSchedule, ShardedSim};
 pub use sim::{EvalStats, Sim, SimBackend};
 
-/// Thread-count override from the `GATE_SIM_THREADS` environment
-/// variable, used by [`ShardPolicy::auto`] and the CI thread-matrix (the
-/// property tests read it so the parallel paths run with real concurrency
-/// when CI sets it). Returns `None` when unset; a set but unusable value
-/// (not a number, or zero) panics so a typo'd CI matrix cannot silently
-/// test the wrong shape.
-///
-/// # Panics
-///
-/// Panics if the variable is set to anything but a positive integer.
-pub fn env_threads() -> Option<usize> {
-    let v = std::env::var("GATE_SIM_THREADS").ok()?;
-    match v.parse::<usize>() {
-        Ok(n) if n >= 1 => Some(n),
-        _ => panic!("GATE_SIM_THREADS={v} is not a positive integer"),
-    }
-}
+/// Historical entry point for [`env::threads`] (the `GATE_SIM_THREADS`
+/// knob); all the `GATE_SIM_*` parsing now lives in [`mod@env`].
+pub use env::threads as env_threads;
 
-/// Lane-block width override from the `GATE_SIM_LANE_WORDS` environment
-/// variable: the default [`ShardPolicy::lane_words`] fusion width, in
-/// 64-lane words (`1..=`[`MAX_LANE_WORDS`]). `1` reproduces the
-/// historical one-`CompiledSim`-per-64-lanes sharding; the CI matrix runs
-/// the test suite at both `1` and `4`. Returns `None` when unset; a set
-/// but unusable value panics so a typo'd CI matrix cannot silently test
-/// the wrong shape.
-///
-/// # Panics
-///
-/// Panics if the variable is set to anything but an integer in
-/// `1..=`[`MAX_LANE_WORDS`].
-pub fn env_lane_words() -> Option<usize> {
-    let v = std::env::var("GATE_SIM_LANE_WORDS").ok()?;
-    match v.parse::<usize>() {
-        Ok(n) if (1..=MAX_LANE_WORDS).contains(&n) => Some(n),
-        _ => panic!("GATE_SIM_LANE_WORDS={v} is not an integer in 1..={MAX_LANE_WORDS}"),
-    }
-}
+/// Historical entry point for [`env::lane_words`] (the
+/// `GATE_SIM_LANE_WORDS` knob); all the `GATE_SIM_*` parsing now lives
+/// in [`mod@env`].
+pub use env::lane_words as env_lane_words;
 
 use std::collections::HashMap;
 
@@ -209,7 +183,7 @@ impl Gate {
 }
 
 /// A named multi-bit port (LSB first).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Port {
     /// Port name, unique within its direction.
     pub name: String,
@@ -222,7 +196,12 @@ pub struct Port {
 /// Gates are stored in construction order, which is a valid topological
 /// order for combinational evaluation (a gate's fan-in always has smaller
 /// ids; DFF outputs act as sources).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// `Hash` covers the full structure (gates and both port tables) and is
+/// what the [`cache::ProgramCache`] content hash is built on: equal
+/// netlists hash equal, and any structural difference — a replaced gate,
+/// a renamed port — changes the hash.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Netlist {
     gates: Vec<Gate>,
     inputs: Vec<Port>,

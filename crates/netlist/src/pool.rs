@@ -1,4 +1,5 @@
-//! Persistent worker-pool runtime for parallel evaluation.
+//! Persistent worker-pool runtime for parallel evaluation, with
+//! multi-job admission.
 //!
 //! Before this module existed, every parallel settle
 //! ([`crate::compiled::CompiledSim`] with an [`crate::EvalPolicy`] above
@@ -12,59 +13,86 @@
 //! cycle loop), not even a wakeup, because workers spin briefly before
 //! parking and are still hot when the next job lands.
 //!
-//! # The job protocol
+//! # The job table
 //!
-//! One job at a time (a submit mutex serializes callers; the pool is
-//! shared process-wide, see [`WorkerPool::shared`]). A job is a
-//! type-erased `Fn(tid)` closure executed by `participants` workers:
-//! the **caller is worker 0**, pool threads claim tids `1..participants`
-//! off an atomic counter. Publication is generation-stamped:
+//! The pool admits up to [`MAX_JOBS`] jobs **concurrently**: each
+//! submission claims one slot of a fixed job table (a compare-and-swap
+//! on the slot's busy flag), publishes its descriptor there, and idle
+//! workers scan the table for claimable work — so two independent
+//! simulators evaluate at the same time on disjoint worker subsets
+//! instead of taking turns. (The pre-table protocol serialized every
+//! caller on a submit mutex held for the whole job.) Admission reserves
+//! `participants - 1` workers on a pool-wide committed counter and grows
+//! the roster to the sum over all admitted jobs before publishing, so
+//! concurrent jobs can never strand each other at their barriers: every
+//! published tid has a worker able to claim it. A submission that finds
+//! all [`MAX_JOBS`] slots busy falls back to scoped threads — admission
+//! never blocks on another job's completion.
 //!
-//! 1. the submitter resets the claim counter to `(generation + 1, tid 1)`,
+//! # The per-slot job protocol
+//!
+//! A job is a type-erased `Fn(tid, &SpinBarrier)` closure executed by
+//! `participants` workers: the **caller is worker 0**, pool threads claim
+//! tids `1..participants` off the slot's atomic counter. Publication on a
+//! slot is generation-stamped:
+//!
+//! 1. the submitter resets the slot's claim counter to
+//!    `(generation + 1, tid 1)`,
 //! 2. stores the job descriptor fields (all individually atomic),
-//! 3. publishes the new generation and unparks parked workers,
-//! 4. runs its own share (`f(0)`),
-//! 5. blocks on a lightweight completion latch (an atomic countdown; the
-//!    last finishing worker unparks the caller).
+//! 3. publishes the slot's new generation, bumps the pool-wide epoch and
+//!    unparks parked workers,
+//! 4. runs its own share (`f(0, barrier)`),
+//! 5. blocks on the slot's completion latch (an atomic countdown; the
+//!    last finishing worker unparks the caller), then releases the slot.
 //!
 //! A worker validates its claim with a compare-and-swap that carries the
 //! generation stamp: a stale worker that dozed through an entire job
 //! observes a mismatched stamp and discards what it read, so a claim can
-//! only ever succeed for the currently-published descriptor. Claimed tids
-//! are unique, which is what lets jobs hand workers *positional* work
-//! (contiguous level chunks in `crate::level`, shard-index claims) with
-//! disjoint writes and no locks.
+//! only ever succeed against the slot's currently-published descriptor
+//! (jobs on one slot are serialized by the busy flag, which is also what
+//! makes the slot's embedded [`SpinBarrier`] safely reusable). Claimed
+//! tids are unique, which is what lets jobs hand workers *positional*
+//! work (contiguous level chunks in `crate::level`, shard-index claims)
+//! with disjoint writes and no locks.
 //!
 //! # Wakeup and parking
 //!
-//! Idle workers spin (with [`std::thread::yield_now`] on a single
-//! hardware thread, where pure spinning would only steal the submitter's
-//! quantum), then park. The park/unpark handshake is raced-checked in
-//! both directions — a worker re-checks the generation after announcing
-//! itself parked, and a submitter unparks every worker whose parked flag
-//! it observes — so no wakeup is ever lost. Within one cycle-loop `step`
-//! the settles arrive faster than the spin window expires and workers
-//! never touch the futex.
+//! Idle workers watch the pool-wide publication epoch: they spin (with
+//! [`std::thread::yield_now`] on a single hardware thread, where pure
+//! spinning would only steal the submitter's quantum), then park. The
+//! park/unpark handshake is race-checked in both directions — a worker
+//! re-checks the epoch after announcing itself parked, and a submitter
+//! unparks every worker whose parked flag it observes after bumping the
+//! epoch — so no wakeup is ever lost. Within one cycle-loop `step` the
+//! settles arrive faster than the spin window expires and workers never
+//! touch the futex.
 //!
 //! # Lifecycle
 //!
 //! The process-wide pool is created lazily by the first simulator whose
 //! policy wants threads ([`WorkerPool::shared`]), grows on demand (a
-//! policy asking for more workers than exist), and is reference-counted
-//! by the simulators holding it: dropping the last handle joins every
-//! worker thread — no detached threads survive (regression-tested in
+//! policy asking for more workers than exist, or concurrent jobs whose
+//! needs sum past the roster), and is reference-counted by the simulators
+//! holding it: dropping the last handle joins every worker thread — no
+//! detached threads survive (regression-tested in
 //! `crates/netlist/tests/pool_lifecycle.rs`). `GATE_SIM_POOL=0` disables
 //! pool acquisition entirely, forcing the scoped-thread fallback paths.
 //!
 //! Results are bit-identical to the scoped and sequential paths by
 //! construction — the pool only changes *who executes* a chunk, never
-//! what it reads or writes (`docs/simulation.md` § "Persistent worker
-//! pool").
+//! what it reads or writes (`docs/simulation.md` § "Simulation as a
+//! service").
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::thread::{JoinHandle, Thread};
+
+/// Job-table width: jobs admitted concurrently before submissions fall
+/// back to scoped threads. Sixteen is far past any realistic service
+/// shape (each job already fans out over multiple workers) while keeping
+/// the idle-worker scan trivially cheap.
+pub const MAX_JOBS: usize = 16;
 
 /// Spin iterations before an idle worker starts yielding, and yield
 /// iterations before it parks. On a single hardware thread the spin
@@ -77,9 +105,10 @@ const BARRIER_SPINS: u32 = 512;
 
 thread_local! {
     /// True while the current thread is executing a pool job (as the
-    /// submitting caller or as a pool worker). Nested submissions would
-    /// deadlock on the submit mutex, so parallel evaluators consult
-    /// [`in_job`] and fall back to scoped threads when it is set.
+    /// submitting caller or as a pool worker). A nested submission from
+    /// inside a job could deadlock waiting for workers its own ancestors
+    /// hold, so parallel evaluators consult [`in_job`] and fall back to
+    /// scoped threads when it is set.
     static IN_JOB: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -87,10 +116,11 @@ thread_local! {
 /// [`WorkerPool::run`] job.
 ///
 /// Evaluators that can run on the pool must check this and take their
-/// scoped-thread fallback when it returns true: the pool runs one job at
-/// a time, so submitting from inside a job would deadlock. Scoped
-/// fallback threads spawned from inside a job inherit the flag
-/// (`dispatch`/`scoped_run` handle this), so arbitrarily deep
+/// scoped-thread fallback when it returns true: a job submitted from
+/// inside another job competes for the very workers its ancestors are
+/// blocking at barriers, which can deadlock when the roster is fully
+/// claimed. Scoped fallback threads spawned from inside a job inherit
+/// the flag (`dispatch`/`scoped_run` handle this), so arbitrarily deep
 /// nesting keeps falling back instead of deadlocking.
 pub fn in_job() -> bool {
     IN_JOB.with(|f| f.get())
@@ -100,7 +130,7 @@ pub fn in_job() -> bool {
 /// job. Only for scoped worker threads spawned *by* an evaluator on
 /// behalf of its caller — they must inherit the caller's flag, because a
 /// thread that is blind to the job above it would submit to the pool and
-/// deadlock on the submit lock its ancestor holds.
+/// risk the worker-starvation deadlock [`in_job`] exists to prevent.
 pub(crate) fn inherit_in_job(value: bool) {
     IN_JOB.with(|f| f.set(value));
 }
@@ -119,7 +149,7 @@ pub(crate) fn dispatch(
     worker: impl Fn(usize, &SpinBarrier) + Sync,
 ) {
     match pool {
-        Some(p) if !in_job() => p.run(threads, |tid| worker(tid, p.barrier())),
+        Some(p) if !in_job() => p.run(threads, worker),
         _ => scoped_run(threads, &worker),
     }
 }
@@ -166,31 +196,15 @@ fn single_cpu() -> bool {
     }) == 1
 }
 
-/// Whether simulators may acquire the shared pool, from the
-/// `GATE_SIM_POOL` environment variable. Unset or `1`/`true`/`on` means
-/// enabled; `0`/`false`/`off` disables the pool and forces the
-/// scoped-thread fallbacks (useful for A/B benches and as an escape
-/// hatch).
-///
-/// # Panics
-///
-/// Panics if the variable is set to anything else, so a typo'd CI matrix
-/// cannot silently test the wrong configuration.
-pub fn env_pool_enabled() -> bool {
-    match std::env::var("GATE_SIM_POOL") {
-        Err(_) => true,
-        Ok(v) => match v.as_str() {
-            "1" | "true" | "on" => true,
-            "0" | "false" | "off" => false,
-            other => panic!("GATE_SIM_POOL={other} is not one of 0/1/true/false/on/off"),
-        },
-    }
-}
+/// Whether simulators may acquire the shared pool (the `GATE_SIM_POOL`
+/// knob). Historical entry point for [`crate::env::pool_enabled`]; all
+/// the `GATE_SIM_*` parsing now lives in [`crate::env`].
+pub use crate::env::pool_enabled as env_pool_enabled;
 
 /// A reusable sense-reversing barrier over two atomics.
 ///
 /// Unlike [`std::sync::Barrier`] the participant count is a call-site
-/// argument, so one barrier instance (embedded in the pool, or on a
+/// argument, so one barrier instance (embedded in a job slot, or on a
 /// scoped caller's stack) serves every job without per-settle allocation,
 /// and waiters spin-then-yield instead of taking a mutex — a level
 /// boundary inside a settle is far too short-lived for futex round trips.
@@ -238,22 +252,36 @@ impl SpinBarrier {
 }
 
 /// The type-erased entry point of a job: `data` is a `*const F` for the
-/// submitted closure, `tid` the claimed worker index.
-type JobFn = unsafe fn(*const (), usize);
+/// submitted closure, `tid` the claimed worker index, `barrier` the
+/// serving slot's embedded barrier.
+type JobFn = unsafe fn(*const (), usize, *const SpinBarrier);
 
-unsafe fn call_job<F: Fn(usize) + Sync>(data: *const (), tid: usize) {
+unsafe fn call_job<F: Fn(usize, &SpinBarrier) + Sync>(
+    data: *const (),
+    tid: usize,
+    barrier: *const SpinBarrier,
+) {
     // SAFETY: `data` was erased from a live `&F` by `run`, which does not
     // return before every participant has finished (completion latch), so
-    // the reference is valid for the whole call.
-    unsafe { (*(data as *const F))(tid) }
+    // the reference is valid for the whole call; `barrier` points into
+    // the slot inside the pool's `Arc<PoolShared>`, alive for the same
+    // duration.
+    unsafe { (*(data as *const F))(tid, &*barrier) }
 }
 
-/// State shared between the submitting callers and the worker threads.
-struct PoolShared {
-    /// Latest published job generation. Bumped by 1 per job; workers act
-    /// when it differs from the generation they last served.
+/// One entry of the job table. Submitters serialize on [`JobSlot::busy`];
+/// everything else follows the per-slot publication protocol in the
+/// module docs.
+struct JobSlot {
+    /// Slot admission flag: a submitter owns the slot from a successful
+    /// `false -> true` compare-and-swap until it stores `false` back
+    /// after its completion latch — so at most one job ever occupies a
+    /// slot, which is what makes `generation`/`claim`/`barrier` reusable.
+    busy: AtomicBool,
+    /// Latest published job generation *on this slot*. Bumped by 1 per
+    /// job; workers validate claims against it.
     generation: AtomicU64,
-    /// Tid claim counter, generation-stamped: high 32 bits are the
+    /// Tid claim counter, generation-stamped: high 32 bits are the slot
     /// generation the counter belongs to, low 32 bits the next tid to
     /// hand out. The submitter resets it (with the *new* stamp) before
     /// writing the descriptor below, so a compare-and-swap that succeeds
@@ -269,22 +297,55 @@ struct PoolShared {
     /// Completion latch: pool-side participants that have finished. The
     /// caller waits for `participants - 1`.
     done: AtomicUsize,
-    /// Lock-free shadow of the roster length (updated under the roster
-    /// lock after growth). Lets [`WorkerPool::ensure_workers`] answer
-    /// "already big enough?" without touching the roster mutex — which
-    /// doubles as the submit lock and is held for a whole job, so a
-    /// simulator constructed *inside* a job must not block on it.
-    roster_len: AtomicUsize,
     /// True when a participant's closure panicked; the caller re-panics
     /// after the latch so the failure is not swallowed.
     poisoned: AtomicBool,
-    /// The submitting thread, for the completion unpark. Written only
-    /// while the submit lock is held.
+    /// The submitting thread, for the completion unpark. Written only by
+    /// the slot owner.
     caller: Mutex<Option<Thread>>,
+    /// The level barrier this slot's jobs use; reusable because jobs on
+    /// one slot are serialized by `busy`.
+    barrier: SpinBarrier,
+}
+
+impl JobSlot {
+    fn new() -> JobSlot {
+        JobSlot {
+            busy: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            // Stamp 0xffff_ffff can never match generation 0: freshly
+            // created slots are unclaimable until their first publish.
+            claim: AtomicU64::new(u64::MAX),
+            job_data: AtomicPtr::new(std::ptr::null_mut()),
+            job_call: AtomicUsize::new(0),
+            job_participants: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            caller: Mutex::new(None),
+            barrier: SpinBarrier::new(),
+        }
+    }
+}
+
+/// State shared between the submitting callers and the worker threads.
+struct PoolShared {
+    /// The job table (see [`JobSlot`] and the module docs).
+    slots: [JobSlot; MAX_JOBS],
+    /// Pool-wide publication counter: bumped once per published job.
+    /// Idle workers wait for it to move, then scan the table — the
+    /// cheap "is there anything new?" signal that replaces the old
+    /// single-descriptor generation watch.
+    epoch: AtomicU64,
+    /// Workers reserved by admitted-but-unfinished jobs
+    /// (`participants - 1` each). Admission grows the roster to this sum
+    /// *before* publishing, so concurrently admitted jobs can always all
+    /// be fully claimed — no job can strand another at a barrier.
+    committed: AtomicUsize,
+    /// Lock-free shadow of the roster length (updated under the roster
+    /// lock after growth) so size checks never touch the mutex.
+    roster_len: AtomicUsize,
     /// Pool shutdown flag (set once, by [`WorkerPool::drop`]).
     shutdown: AtomicBool,
-    /// The level barrier jobs use; reusable because jobs are serialized.
-    barrier: SpinBarrier,
 }
 
 /// One spawned worker: its join handle plus the parked flag the submitter
@@ -294,16 +355,18 @@ struct Worker {
     parked: Arc<AtomicBool>,
 }
 
-/// A persistent pool of parked worker threads executing one parallel
-/// evaluation job at a time (see the module docs for the protocol).
+/// A persistent pool of parked worker threads executing up to
+/// [`MAX_JOBS`] parallel evaluation jobs concurrently (see the module
+/// docs for the protocol).
 ///
 /// Simulators normally obtain the process-wide instance through
 /// [`WorkerPool::shared`] and hold the `Arc` for as long as their policy
 /// wants threads; the pool joins all workers when the last handle drops.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    /// Worker roster. The mutex doubles as the submit lock: holding it is
-    /// what serializes jobs, and growth happens under the same lock.
+    /// Worker roster. Held only briefly — for growth and for the
+    /// post-publish unpark sweep — never across a job, which is what
+    /// lets independent submissions run concurrently.
     roster: Mutex<Vec<Worker>>,
 }
 
@@ -311,7 +374,8 @@ impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("workers", &self.worker_count())
-            .field("generation", &self.shared.generation.load(SeqCst))
+            .field("epoch", &self.shared.epoch.load(SeqCst))
+            .field("committed", &self.shared.committed.load(SeqCst))
             .finish()
     }
 }
@@ -324,17 +388,11 @@ impl WorkerPool {
     pub fn new(workers: usize) -> WorkerPool {
         let pool = WorkerPool {
             shared: Arc::new(PoolShared {
-                generation: AtomicU64::new(0),
-                claim: AtomicU64::new(0),
-                job_data: AtomicPtr::new(std::ptr::null_mut()),
-                job_call: AtomicUsize::new(0),
-                job_participants: AtomicUsize::new(0),
-                done: AtomicUsize::new(0),
+                slots: std::array::from_fn(|_| JobSlot::new()),
+                epoch: AtomicU64::new(0),
+                committed: AtomicUsize::new(0),
                 roster_len: AtomicUsize::new(0),
-                poisoned: AtomicBool::new(false),
-                caller: Mutex::new(None),
                 shutdown: AtomicBool::new(false),
-                barrier: SpinBarrier::new(),
             }),
             roster: Mutex::new(Vec::new()),
         };
@@ -364,23 +422,19 @@ impl WorkerPool {
 
     /// Worker threads currently spawned (jobs may use fewer; a job
     /// needing more grows the roster on submit). Lock-free so it can be
-    /// read even while a job holds the submit lock.
+    /// read at any time without contending with submissions.
     pub fn worker_count(&self) -> usize {
         self.shared.roster_len.load(SeqCst)
     }
 
     /// Grows the roster to at least `workers` threads (never shrinks — a
     /// policy asking for fewer threads simply leaves the extras parked,
-    /// which costs nothing until shutdown).
-    ///
-    /// From inside a pool job this is a best-effort no-op when growth
-    /// would be needed: the roster mutex doubles as the submit lock and
-    /// is held by the running job's caller, so blocking on it here would
-    /// deadlock. That is always safe — an evaluator inside a job takes
-    /// the scoped fallback regardless, and the next top-level
-    /// acquisition or submission grows the roster as usual.
+    /// which costs nothing until shutdown). Safe to call from anywhere,
+    /// including inside a job: the roster mutex is only ever held for
+    /// the duration of thread spawns or an unpark sweep, never across a
+    /// running job.
     pub fn ensure_workers(&self, workers: usize) {
-        if self.shared.roster_len.load(SeqCst) >= workers || in_job() {
+        if self.shared.roster_len.load(SeqCst) >= workers {
             return;
         }
         let mut roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
@@ -402,68 +456,84 @@ impl WorkerPool {
         }
     }
 
-    /// The reusable level barrier for the currently running job. Only
-    /// meaningful inside a job closure; all participants of one episode
-    /// must pass the same total (normally the job's participant count).
-    pub fn barrier(&self) -> &SpinBarrier {
-        &self.shared.barrier
-    }
-
-    /// Runs `f(tid)` on `participants` workers — the calling thread is
-    /// tid 0, pool threads claim tids `1..participants` — and returns
-    /// once every participant has finished. Jobs are serialized: a second
-    /// caller blocks until the current job completes.
+    /// Runs `f(tid, barrier)` on `participants` workers — the calling
+    /// thread is tid 0, pool threads claim tids `1..participants` — and
+    /// returns once every participant has finished. Independent callers
+    /// run concurrently, each on its own job-table slot with its own
+    /// barrier; a caller finding the whole table busy falls back to
+    /// scoped threads rather than queueing.
     ///
     /// `f` may rely on tids being exactly `0..participants`, each claimed
     /// by exactly one thread, and on every side effect of the job
-    /// happening-before `run` returns. [`WorkerPool::barrier`] is
-    /// available for intra-job phase ordering.
+    /// happening-before `run` returns. `barrier` is private to this job:
+    /// participants use it for intra-job phase ordering (all episodes
+    /// with the job's participant count).
     ///
     /// # Panics
     ///
     /// Panics if called from inside a pool job (check [`in_job`] and use
     /// a scoped fallback instead), or if `f` panicked on any participant.
-    pub fn run<F: Fn(usize) + Sync>(&self, participants: usize, f: F) {
+    pub fn run<F: Fn(usize, &SpinBarrier) + Sync>(&self, participants: usize, f: F) {
         assert!(
             !in_job(),
-            "nested WorkerPool::run would deadlock; callers must check \
-             pool::in_job() and fall back to scoped threads"
+            "nested WorkerPool::run could deadlock on worker starvation; \
+             callers must check pool::in_job() and fall back to scoped threads"
         );
         if participants <= 1 {
-            f(0);
+            f(0, &SpinBarrier::new());
             return;
         }
-        let mut roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
-        Self::grow(&self.shared, &mut roster, participants - 1);
         let shared = &*self.shared;
+        let needed = participants - 1;
+        // Reserve our workers on top of every other admitted job's, and
+        // grow the roster to the sum before publishing: this is the
+        // no-starvation invariant — all concurrently admitted jobs can
+        // be fully claimed at once, so none can strand another at a
+        // barrier by hoarding the roster.
+        let committed = shared.committed.fetch_add(needed, SeqCst) + needed;
+        self.ensure_workers(committed);
 
-        // Publish the job (the order here is what the worker-side stale
-        //-claim CAS validates; see `PoolShared::claim`).
-        let generation = shared.generation.load(SeqCst).wrapping_add(1);
-        shared.done.store(0, SeqCst);
-        shared.poisoned.store(false, SeqCst);
+        let Some(slot) = shared
+            .slots
+            .iter()
+            .find(|s| s.busy.compare_exchange(false, true, SeqCst, SeqCst).is_ok())
+        else {
+            // Every slot occupied (MAX_JOBS concurrent jobs): run scoped
+            // instead of queueing behind an unbounded stall.
+            shared.committed.fetch_sub(needed, SeqCst);
+            scoped_run(participants, &f);
+            return;
+        };
+
+        // Publish the job on the claimed slot (the order here is what the
+        // worker-side stale-claim CAS validates; see `JobSlot::claim`).
+        let generation = slot.generation.load(SeqCst).wrapping_add(1);
+        slot.done.store(0, SeqCst);
+        slot.poisoned.store(false, SeqCst);
         // The stamp carries the generation's low 32 bits — a stale worker
-        // would have to doze through 2^32 jobs to alias, and even then the
-        // claim would merely hand it valid work for the *current* job.
-        shared
-            .claim
+        // would have to doze through 2^32 of this slot's jobs to alias,
+        // and even then the claim would merely hand it valid work for the
+        // *current* job.
+        slot.claim
             .store(((generation & 0xffff_ffff) << 32) | 1, SeqCst);
-        shared
-            .job_data
+        slot.job_data
             .store(&f as *const F as *const () as *mut (), SeqCst);
-        shared
-            .job_call
+        slot.job_call
             .store(call_job::<F> as *const () as usize, SeqCst);
-        shared.job_participants.store(participants, SeqCst);
-        *shared.caller.lock().unwrap_or_else(PoisonError::into_inner) =
-            Some(std::thread::current());
-        shared.generation.store(generation, SeqCst);
-        // Wake parked workers. Spinning workers see the generation store
+        slot.job_participants.store(participants, SeqCst);
+        *slot.caller.lock().unwrap_or_else(PoisonError::into_inner) = Some(std::thread::current());
+        slot.generation.store(generation, SeqCst);
+        shared.epoch.fetch_add(1, SeqCst);
+        // Wake parked workers. Spinning workers see the epoch bump
         // directly; the parked-flag check keeps the hot consecutive-settle
-        // path free of unpark syscalls.
-        for worker in roster.iter() {
-            if worker.parked.load(SeqCst) {
-                worker.handle.thread().unpark();
+        // path free of unpark syscalls. The roster lock is held only for
+        // this sweep.
+        {
+            let roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
+            for worker in roster.iter() {
+                if worker.parked.load(SeqCst) {
+                    worker.handle.thread().unpark();
+                }
             }
         }
 
@@ -471,13 +541,13 @@ impl WorkerPool {
         // in `f(0)` keeps this frame alive until every worker is done
         // with the borrows the job erased.
         struct CompletionGuard<'p> {
-            shared: &'p PoolShared,
+            slot: &'p JobSlot,
             needed: usize,
         }
         impl Drop for CompletionGuard<'_> {
             fn drop(&mut self) {
                 let mut tries = 0u32;
-                while self.shared.done.load(SeqCst) < self.needed {
+                while self.slot.done.load(SeqCst) < self.needed {
                     tries += 1;
                     if tries < IDLE_SPINS && !single_cpu() {
                         std::hint::spin_loop();
@@ -491,17 +561,16 @@ impl WorkerPool {
                 }
             }
         }
-        let guard = CompletionGuard {
-            shared,
-            needed: participants - 1,
-        };
+        let guard = CompletionGuard { slot, needed };
         IN_JOB.with(|flag| flag.set(true));
-        let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        let caller_result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0, &slot.barrier)));
         IN_JOB.with(|flag| flag.set(false));
         drop(guard); // blocks until all pool-side participants finish
-        *shared.caller.lock().unwrap_or_else(PoisonError::into_inner) = None;
-        let poisoned = shared.poisoned.load(SeqCst);
-        drop(roster); // job complete: release the submit lock
+        *slot.caller.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        let poisoned = slot.poisoned.load(SeqCst);
+        slot.busy.store(false, SeqCst); // job complete: release the slot
+        shared.committed.fetch_sub(needed, SeqCst);
         if let Err(payload) = caller_result {
             std::panic::resume_unwind(payload);
         }
@@ -524,21 +593,21 @@ impl Drop for WorkerPool {
     }
 }
 
-/// The worker thread body: wait for a new generation, claim a tid, run
-/// the job, count down the completion latch, repeat until shutdown.
+/// The worker thread body: wait for the publication epoch to move, scan
+/// the job table and serve every claimable tid, repeat until shutdown.
 fn worker_main(shared: Arc<PoolShared>, parked: Arc<AtomicBool>) {
-    let mut last_served = 0u64;
+    let mut last_epoch = 0u64;
     'live: loop {
-        // Phase 1: wait for a generation we have not served yet.
-        let generation = {
+        // Phase 1: wait for an epoch we have not scanned from yet.
+        let epoch = {
             let mut tries = 0u32;
             loop {
                 if shared.shutdown.load(SeqCst) {
                     break 'live;
                 }
-                let g = shared.generation.load(SeqCst);
-                if g != last_served {
-                    break g;
+                let e = shared.epoch.load(SeqCst);
+                if e != last_epoch {
+                    break e;
                 }
                 tries += 1;
                 if tries < IDLE_SPINS && !single_cpu() {
@@ -547,73 +616,89 @@ fn worker_main(shared: Arc<PoolShared>, parked: Arc<AtomicBool>) {
                     std::thread::yield_now();
                 } else {
                     // Park handshake: announce, re-check, then sleep. A
-                    // submitter that misses the flag has published the
-                    // generation first, so the re-check catches it; one
-                    // that sees the flag sends an unpark whose token makes
-                    // an about-to-park `park()` return immediately.
+                    // submitter that misses the flag has bumped the epoch
+                    // first, so the re-check catches it; one that sees the
+                    // flag sends an unpark whose token makes an
+                    // about-to-park `park()` return immediately.
                     parked.store(true, SeqCst);
-                    if shared.generation.load(SeqCst) == last_served
-                        && !shared.shutdown.load(SeqCst)
-                    {
+                    if shared.epoch.load(SeqCst) == last_epoch && !shared.shutdown.load(SeqCst) {
                         std::thread::park();
                     }
                     parked.store(false, SeqCst);
                 }
             }
         };
-        last_served = generation;
-
-        // Phase 2: claim a tid for exactly this generation's job.
+        // Phase 2: sweep the table until a pass serves nothing. A job
+        // published mid-sweep either gets served by this pass or bumps
+        // the epoch past `epoch`, so the next phase-1 check rescans —
+        // no published tid is ever silently skipped.
         loop {
-            let stamped = shared.claim.load(SeqCst);
-            if stamped >> 32 != generation & 0xffff_ffff {
-                break; // a newer job owns the counter; re-observe
+            let mut served = false;
+            for slot in shared.slots.iter() {
+                served |= try_serve(slot);
             }
-            let tid = (stamped & 0xffff_ffff) as usize;
-            let participants = shared.job_participants.load(SeqCst);
-            if tid >= participants {
-                break; // job fully claimed; wait for the next one
+            if !served {
+                break;
             }
-            // Read the descriptor *before* validating the claim: CAS
-            // success with our stamp proves no later submitter has begun
-            // republishing, so these reads were of this job's fields.
-            let data = shared.job_data.load(SeqCst);
-            let call = shared.job_call.load(SeqCst);
-            if shared
-                .claim
-                .compare_exchange(stamped, stamped + 1, SeqCst, SeqCst)
-                .is_err()
-            {
-                continue; // lost the race for this tid; try the next
-            }
-            IN_JOB.with(|flag| flag.set(true));
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                // SAFETY: fn-pointer round trip through usize (the only
-                // transmute Rust offers for erased fn pointers); the value
-                // was produced from `call_job::<F>` for this descriptor.
-                let call: JobFn = unsafe { std::mem::transmute::<usize, JobFn>(call) };
-                // SAFETY: validated claim — `data` is the submitter's live
-                // closure and `tid` is uniquely ours (see module docs).
-                unsafe { call(data, tid) };
-            }));
-            IN_JOB.with(|flag| flag.set(false));
-            if result.is_err() {
-                shared.poisoned.store(true, SeqCst);
-            }
-            if shared.done.fetch_add(1, SeqCst) + 1 == participants - 1 {
-                let caller = shared
-                    .caller
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .clone();
-                if let Some(thread) = caller {
-                    thread.unpark();
-                }
-            }
-            break;
         }
+        last_epoch = epoch;
     }
     ALIVE_WORKERS.fetch_sub(1, SeqCst);
+}
+
+/// Attempts to claim and run one tid of `slot`'s currently published job.
+/// Returns whether a closure was executed.
+fn try_serve(slot: &JobSlot) -> bool {
+    let generation = slot.generation.load(SeqCst);
+    loop {
+        let stamped = slot.claim.load(SeqCst);
+        if stamped >> 32 != generation & 0xffff_ffff {
+            return false; // unpublished slot, or a newer job owns the counter
+        }
+        let tid = (stamped & 0xffff_ffff) as usize;
+        let participants = slot.job_participants.load(SeqCst);
+        if tid >= participants {
+            return false; // job fully claimed
+        }
+        // Read the descriptor *before* validating the claim: CAS success
+        // with our stamp proves no later submitter has begun republishing
+        // this slot, so these reads were of this job's fields.
+        let data = slot.job_data.load(SeqCst);
+        let call = slot.job_call.load(SeqCst);
+        if slot
+            .claim
+            .compare_exchange(stamped, stamped + 1, SeqCst, SeqCst)
+            .is_err()
+        {
+            continue; // lost the race for this tid; try the next
+        }
+        IN_JOB.with(|flag| flag.set(true));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: fn-pointer round trip through usize (the only
+            // transmute Rust offers for erased fn pointers); the value
+            // was produced from `call_job::<F>` for this descriptor.
+            let call: JobFn = unsafe { std::mem::transmute::<usize, JobFn>(call) };
+            // SAFETY: validated claim — `data` is the submitter's live
+            // closure and `tid` is uniquely ours (see module docs); the
+            // barrier is the serving slot's own.
+            unsafe { call(data, tid, &slot.barrier) };
+        }));
+        IN_JOB.with(|flag| flag.set(false));
+        if result.is_err() {
+            slot.poisoned.store(true, SeqCst);
+        }
+        if slot.done.fetch_add(1, SeqCst) + 1 == participants - 1 {
+            let caller = slot
+                .caller
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            if let Some(thread) = caller {
+                thread.unpark();
+            }
+        }
+        return true;
+    }
 }
 
 #[cfg(test)]
@@ -625,7 +710,7 @@ mod tests {
         let pool = WorkerPool::new(3);
         for participants in [2usize, 3, 4] {
             let hits: Vec<AtomicUsize> = (0..participants).map(|_| AtomicUsize::new(0)).collect();
-            pool.run(participants, |tid| {
+            pool.run(participants, |tid, _| {
                 hits[tid].fetch_add(1, SeqCst);
             });
             for (tid, hit) in hits.iter().enumerate() {
@@ -639,7 +724,7 @@ mod tests {
         let pool = WorkerPool::new(1);
         let total = AtomicUsize::new(0);
         for _ in 0..500 {
-            pool.run(2, |_| {
+            pool.run(2, |_, _| {
                 total.fetch_add(1, SeqCst);
             });
         }
@@ -650,10 +735,10 @@ mod tests {
     #[test]
     fn grows_on_demand_and_single_participant_runs_inline() {
         let pool = WorkerPool::new(0);
-        pool.run(1, |tid| assert_eq!(tid, 0));
+        pool.run(1, |tid, _| assert_eq!(tid, 0));
         assert_eq!(pool.worker_count(), 0, "inline jobs spawn nothing");
         let sum = AtomicUsize::new(0);
-        pool.run(4, |tid| {
+        pool.run(4, |tid, _| {
             sum.fetch_add(tid, SeqCst);
         });
         assert_eq!(sum.load(SeqCst), 6, "tids 0..4 each ran once");
@@ -666,9 +751,9 @@ mod tests {
         let participants = 4;
         let phase1: Vec<AtomicUsize> = (0..participants).map(|_| AtomicUsize::new(0)).collect();
         let observed_complete = AtomicBool::new(true);
-        pool.run(participants, |tid| {
+        pool.run(participants, |tid, barrier| {
             phase1[tid].store(tid + 1, SeqCst);
-            pool.barrier().wait(participants);
+            barrier.wait(participants);
             // After the barrier every participant must see every phase-1
             // store.
             for (i, slot) in phase1.iter().enumerate() {
@@ -676,7 +761,7 @@ mod tests {
                     observed_complete.store(false, SeqCst);
                 }
             }
-            pool.barrier().wait(participants);
+            barrier.wait(participants);
         });
         assert!(observed_complete.load(SeqCst));
     }
@@ -686,7 +771,7 @@ mod tests {
         let pool = WorkerPool::new(1);
         assert!(!in_job());
         let all_in_job = AtomicBool::new(true);
-        pool.run(2, |_| {
+        pool.run(2, |_, _| {
             if !in_job() {
                 all_in_job.store(false, SeqCst);
             }
@@ -706,7 +791,7 @@ mod tests {
         // hanging or panicking.
         let pool = WorkerPool::new(4);
         let ran = AtomicUsize::new(0);
-        pool.run(5, |_| {
+        pool.run(5, |_, _| {
             ran.fetch_add(1, SeqCst);
         });
         assert_eq!(ran.load(SeqCst), 5);
@@ -718,7 +803,7 @@ mod tests {
     fn worker_panic_is_propagated_not_hung() {
         let pool = WorkerPool::new(1);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run(2, |tid| {
+            pool.run(2, |tid, _| {
                 if tid == 1 {
                     panic!("injected worker failure");
                 }
@@ -727,10 +812,114 @@ mod tests {
         assert!(result.is_err(), "the worker panic must reach the caller");
         // The pool stays usable for the next job.
         let ok = AtomicUsize::new(0);
-        pool.run(2, |_| {
+        pool.run(2, |_, _| {
             ok.fetch_add(1, SeqCst);
         });
         assert_eq!(ok.load(SeqCst), 2);
+    }
+
+    /// The multi-job acceptance case: job B runs to completion while job
+    /// A is deliberately stalled mid-closure. Under the pre-table
+    /// protocol B's submitter would block on the submit lock until A
+    /// finished — this test would hang.
+    #[test]
+    fn a_job_completes_while_another_is_stalled() {
+        let pool = WorkerPool::new(4);
+        let gate_open = AtomicBool::new(false);
+        let a_running = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (pool_ref, gate, running) = (&pool, &gate_open, &a_running);
+            scope.spawn(move || {
+                pool_ref.run(2, |_, _| {
+                    running.fetch_add(1, SeqCst);
+                    while !gate.load(SeqCst) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            // Wait until job A occupies its slot (both participants are
+            // spinning on the gate).
+            while a_running.load(SeqCst) < 2 {
+                std::thread::yield_now();
+            }
+            // Job B must be admitted and complete while A stays stalled.
+            let b_hits = AtomicUsize::new(0);
+            pool.run(2, |_, _| {
+                b_hits.fetch_add(1, SeqCst);
+            });
+            assert_eq!(b_hits.load(SeqCst), 2, "job B ran every tid");
+            assert!(
+                !gate_open.load(SeqCst),
+                "job A was still stalled when B finished"
+            );
+            gate_open.store(true, SeqCst);
+        });
+    }
+
+    /// Concurrent submitters from many threads: every job sees exactly
+    /// its own tids, barriers do not cross-talk between slots, and the
+    /// roster grows to cover the concurrent demand.
+    #[test]
+    fn concurrent_submitters_each_get_exact_tids() {
+        let pool = WorkerPool::new(0);
+        let submitters = 6;
+        let rounds = 25;
+        std::thread::scope(|scope| {
+            for s in 0..submitters {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let participants = 2 + s % 3;
+                    for _ in 0..rounds {
+                        let sum = AtomicUsize::new(0);
+                        pool.run(participants, |tid, barrier| {
+                            sum.fetch_add(tid + 1, SeqCst);
+                            barrier.wait(participants);
+                            // Post-barrier, the whole job's sum is sealed.
+                            assert_eq!(
+                                sum.load(SeqCst),
+                                participants * (participants + 1) / 2,
+                                "tids 0..{participants} each ran exactly once"
+                            );
+                        });
+                    }
+                });
+            }
+        });
+    }
+
+    /// Saturating the job table falls back to scoped threads instead of
+    /// blocking: a submission arriving while all MAX_JOBS slots are
+    /// stalled still completes.
+    #[test]
+    fn table_overflow_falls_back_to_scoped() {
+        let pool = WorkerPool::new(0);
+        let gate_open = AtomicBool::new(false);
+        let stalled = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..MAX_JOBS {
+                let (pool_ref, gate, count) = (&pool, &gate_open, &stalled);
+                scope.spawn(move || {
+                    pool_ref.run(2, |tid, _| {
+                        if tid == 0 {
+                            count.fetch_add(1, SeqCst);
+                        }
+                        while !gate.load(SeqCst) {
+                            std::thread::yield_now();
+                        }
+                    });
+                });
+            }
+            while stalled.load(SeqCst) < MAX_JOBS {
+                std::thread::yield_now();
+            }
+            // Table full; the next submission must still complete.
+            let hits = AtomicUsize::new(0);
+            pool.run(3, |_, _| {
+                hits.fetch_add(1, SeqCst);
+            });
+            assert_eq!(hits.load(SeqCst), 3, "overflow job ran every tid");
+            gate_open.store(true, SeqCst);
+        });
     }
 
     #[test]

@@ -241,6 +241,69 @@ fn nested_evaluators_fall_back_instead_of_deadlocking() {
     assert_eq!(cycles, vec![(3, 2), (3, 2)]);
 }
 
+/// Multi-job admission: two threads submit independent pooled
+/// evaluations concurrently — each claims its own job-table slot and a
+/// disjoint worker subset — and every result is bit-identical to the
+/// same run serialized on one thread. Afterwards the census is back at
+/// the baseline: concurrent admission leaks neither workers nor job
+/// slots. (Before the job table, the second submitter would simply
+/// block on the pool-wide submit lock; this test pins the new protocol
+/// end to end through the public simulator API.)
+#[test]
+fn concurrent_admissions_are_deterministic_and_leak_free() {
+    if pool_disabled() {
+        return;
+    }
+    let _guard = pool_mutex();
+    let before = alive_workers();
+    let nl_a = counter(8);
+    let nl_b = counter(6);
+    let run = |nl: &Netlist, cycles: usize| {
+        let mut sim = CompiledSim::with_lanes(nl, 128);
+        sim.set_eval_policy(EvalPolicy {
+            threads: matrix_threads().max(2),
+            min_par_ops: 1,
+            ..EvalPolicy::seq()
+        });
+        for _ in 0..cycles {
+            sim.eval();
+            sim.step();
+        }
+        sim.eval();
+        (sim.get_bus_lane("count", 0), sim.toggles().to_vec())
+    };
+    // Serialized reference runs first, on this thread.
+    let want_a = run(&nl_a, 37);
+    let want_b = run(&nl_b, 53);
+    // Now the same two workloads concurrently, from separate submitter
+    // threads, several rounds to vary slot/worker interleavings.
+    for round in 0..10 {
+        let gate = std::sync::Barrier::new(2);
+        let (got_a, got_b) = std::thread::scope(|s| {
+            let a = s.spawn(|| {
+                gate.wait();
+                run(&nl_a, 37)
+            });
+            gate.wait();
+            let b = run(&nl_b, 53);
+            (a.join().expect("submitter A panicked"), b)
+        });
+        assert_eq!(
+            got_a, want_a,
+            "job A diverged under concurrency (round {round})"
+        );
+        assert_eq!(
+            got_b, want_b,
+            "job B diverged under concurrency (round {round})"
+        );
+    }
+    assert_eq!(
+        alive_workers(),
+        before,
+        "concurrent admissions must not leak workers or job slots"
+    );
+}
+
 /// A sequential policy holds no pool handle at all: purely sequential
 /// simulators never spawn (or keep alive) a single worker thread.
 #[test]

@@ -964,4 +964,72 @@ proptest! {
             }
         }
     }
+
+    /// The program cache is invisible to results: a simulator whose
+    /// construction hit the process-wide [`netlist::ProgramCache`] (the
+    /// second construction of a content-equal netlist behind a fresh
+    /// `Arc`) is bit-identical to the first-construction simulator and to
+    /// the cache-free interpreted reference — outputs, FF state, exact
+    /// toggle counts, and [`netlist::EvalStats`] — across lane widths,
+    /// thread counts, and eval modes. (With `GATE_SIM_PROGRAM_CACHE=0`
+    /// both constructions compile fresh and the property must hold all
+    /// the same.)
+    #[test]
+    fn cache_hit_sims_are_bit_identical_to_fresh_compiles(
+        recipe in proptest::collection::vec(any::<u8>(), 6..100),
+        stimuli in proptest::collection::vec(any::<u8>(), 2..16),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        let mut int = Sim::new(&nl);
+        let int_outs: Vec<(u64, u64)> = stimuli
+            .iter()
+            .map(|&s| {
+                int.set_bus("in", s as u32);
+                int.eval();
+                let out = (int.get_bus_u64("out"), int.get_bus_u64("state"));
+                int.step();
+                out
+            })
+            .collect();
+        for lanes in [1usize, 64, 128] {
+            for mode in [EvalMode::FullSweep, EvalMode::EventDriven] {
+                for threads in property_threads() {
+                    let run = |netlist: std::sync::Arc<Netlist>| {
+                        let mut sim = CompiledSim::with_lanes_arc(netlist, lanes);
+                        sim.set_eval_mode(mode);
+                        sim.set_eval_policy(EvalPolicy {
+                            threads,
+                            min_par_ops: 1,
+                            ..EvalPolicy::seq()
+                        });
+                        let mut outs = Vec::new();
+                        for &s in &stimuli {
+                            sim.set_bus("in", s as u32); // broadcast: all lanes alike
+                            sim.eval();
+                            outs.push((
+                                sim.get_bus_lane("out", 0),
+                                sim.get_bus_lane("state", 0),
+                                sim.get_bus_lane("out", lanes - 1),
+                            ));
+                            sim.step();
+                        }
+                        (outs, sim.toggles().to_vec(), sim.eval_stats())
+                    };
+                    // First construction compiles (or hits a prior
+                    // iteration's entry); the second is the cache-hit
+                    // path: same content behind a brand-new allocation.
+                    let first = run(std::sync::Arc::new(nl.clone()));
+                    let hit = run(std::sync::Arc::new(nl.clone()));
+                    prop_assert_eq!(&hit, &first, "cached construction diverged");
+                    for (got, want) in first.0.iter().zip(&int_outs) {
+                        prop_assert_eq!((got.0, got.1), *want, "vs interpreter");
+                        prop_assert_eq!(got.2, want.0, "last lane vs interpreter");
+                    }
+                    let scaled: Vec<u64> =
+                        int.toggles().iter().map(|&t| lanes as u64 * t).collect();
+                    prop_assert_eq!(&first.1, &scaled, "exact toggles");
+                }
+            }
+        }
+    }
 }
