@@ -363,6 +363,30 @@ fn measure(core: &Arc<netlist::Netlist>, settles: u64) -> Vec<Row> {
         rows.push(row(name, "CompiledSim", 1, lanes, &sim, f));
     }
 
+    // The same full-sweep schedule through natively emitted code
+    // (`EvalMode::Jit`, docs/jit.md): the per-op interpreter dispatch
+    // is the cost these rows exist to measure the removal of. On hosts
+    // without codegen support they silently measure the interpreted
+    // fallback — the `::notice::` below flags that so a flat jit row on
+    // CI is attributable.
+    for (name, lanes) in [
+        ("compiled_1_lane_jit", 1),
+        ("compiled_64_lanes_jit", 64),
+        ("compiled_256_lanes_jit", 256),
+    ] {
+        let mut sim = CompiledSim::with_lanes_arc(core.clone(), lanes);
+        sim.set_eval_mode(EvalMode::Jit);
+        if !sim.jit_active() {
+            println!("::notice::bench-smoke: {name} is running the interpreter fallback (codegen unavailable on this host)");
+        }
+        let f = time_settles(settles, |i| {
+            sim.set_bus("insn", 0x0000_0113 ^ (i as u32) << 7);
+            sim.eval();
+            sim.step();
+        });
+        rows.push(row(name, "CompiledSim", 1, lanes, &sim, f));
+    }
+
     // Intra-netlist parallel level evaluation (the par_levels axis):
     // the scoped-thread predecessor rows (a fresh thread::scope per
     // settle) and the persistent-pool rows, same schedule, so the
@@ -556,9 +580,11 @@ fn check_against(fresh: &[(String, f64)], path: &str) {
         "\n{:<28} {:>14} {:>14} {:>8}",
         "config", "baseline rate", "pr rate", "ratio"
     );
+    let mut unbaselined: Vec<&str> = Vec::new();
     for (name, rate) in fresh {
         let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) else {
             println!("{name:<28} {:>14} {rate:>14.1} {:>8}", "-", "new");
+            unbaselined.push(name);
             continue;
         };
         let ratio = rate / base.max(1e-9);
@@ -570,5 +596,33 @@ fn check_against(fresh: &[(String, f64)], path: &str) {
                 ratio * 100.0
             );
         }
+    }
+    // A row with no baseline entry has no regression tracking at all, so a
+    // newly added config (or a renamed one) must not vanish into the table
+    // silently — flag it until the baseline is regenerated.
+    if !unbaselined.is_empty() {
+        println!(
+            "::warning::bench-smoke: {} row(s) missing from the baseline: {}; regenerate it \
+             with `cargo run --release -p bench --bin bench_smoke -- --out {path}` so they \
+             get regression tracking",
+            unbaselined.len(),
+            unbaselined.join(", ")
+        );
+    }
+    // And the reverse direction: baseline rows the fresh run no longer
+    // produces usually mean a config was renamed or dropped — either way the
+    // baseline is stale for them.
+    let stale: Vec<&str> = baseline
+        .iter()
+        .filter(|(n, _)| !fresh.iter().any(|(f, _)| f == n))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if !stale.is_empty() {
+        println!(
+            "::warning::bench-smoke: {} baseline row(s) not measured by this run: {}; \
+             stale until the baseline is regenerated",
+            stale.len(),
+            stale.join(", ")
+        );
     }
 }

@@ -127,6 +127,14 @@ pub enum EvalMode {
     FullSweep,
     /// Always run the level-skipping evaluator (no dense fallback).
     EventDriven,
+    /// Full sweeps through natively emitted code ([`crate::jit`]) when
+    /// codegen is available for this host, program, and lane width —
+    /// otherwise interpreted full sweeps, bit-identically. Selected by
+    /// default when `GATE_SIM_JIT=1`; `GATE_SIM_JIT=0` disables the
+    /// native path even under an explicit `Jit` mode. Sequential only:
+    /// an [`EvalPolicy`] with `threads > 1` takes precedence and runs
+    /// the interpreted parallel sweep (see `docs/jit.md`).
+    Jit,
 }
 
 /// Full-sweep settles an [`EvalMode::Auto`] simulator runs after a settle
@@ -283,6 +291,14 @@ pub struct CompiledSim {
     /// pooled threads. Dropping the last handle process-wide joins the
     /// pool's workers.
     pool: Option<Arc<WorkerPool>>,
+    /// Native code for this program at this lane width, held while the
+    /// mode is [`EvalMode::Jit`] and codegen succeeded; `None` is the
+    /// interpreter-fallback state ([`CompiledSim::jit_active`]).
+    jit: Option<Arc<crate::jit::JitProgram>>,
+    /// Codegen options the `Jit` mode compiles under
+    /// ([`CompiledSim::set_jit_options`]); defaults consult
+    /// `GATE_SIM_JIT` and CPU feature detection.
+    jit_options: crate::jit::JitOptions,
     stats: EvalStats,
 }
 
@@ -722,6 +738,7 @@ impl CompiledSim {
     pub(crate) fn reshaped(&self, lanes: usize) -> CompiledSim {
         let mut sim =
             CompiledSim::from_parts(Arc::clone(&self.netlist), Arc::clone(&self.prog), lanes);
+        sim.jit_options = self.jit_options.clone();
         sim.set_eval_mode(self.mode);
         sim.set_eval_policy(self.policy);
         sim
@@ -752,7 +769,7 @@ impl CompiledSim {
                 ff_state[id * k..(id + 1) * k].fill(broadcast(*init));
             }
         }
-        CompiledSim {
+        let mut sim = CompiledSim {
             values,
             ff_state,
             input_values: vec![0u64; prog.input_count * k],
@@ -773,10 +790,18 @@ impl CompiledSim {
             par_threads: 1,
             par_split: Arc::new(Vec::new()),
             pool: None,
+            jit: None,
+            jit_options: crate::jit::JitOptions::default(),
             stats: EvalStats::default(),
             prog,
             netlist,
+        };
+        // `GATE_SIM_JIT=1` makes native full sweeps the default mode for
+        // every construction (unsupported hosts fall back, bit-identically).
+        if crate::env::jit() == Some(true) {
+            sim.set_eval_mode(EvalMode::Jit);
         }
+        sim
     }
 
     /// The compiled op stream (level-major, structure-of-arrays).
@@ -798,9 +823,51 @@ impl CompiledSim {
 
     /// Selects the evaluation strategy. Purely a performance knob: values
     /// and toggle counts are bit-identical in every mode.
+    ///
+    /// Entering [`EvalMode::Jit`] acquires (compiling and caching on
+    /// first use) native code for this program at this lane width;
+    /// when codegen is unavailable the mode still holds but settles run
+    /// the interpreter ([`CompiledSim::jit_active`] reports which).
     pub fn set_eval_mode(&mut self, mode: EvalMode) {
         self.mode = mode;
         self.dense_backoff = 0;
+        self.jit = if mode == EvalMode::Jit {
+            self.acquire_jit()
+        } else {
+            None
+        };
+    }
+
+    /// Native code for the current (program, lane width) under the
+    /// current [`crate::jit::JitOptions`] — `None` is the documented
+    /// fallback signal. Default options hit the per-program cache
+    /// ([`Program::jit`]); custom options compile privately.
+    fn acquire_jit(&self) -> Option<Arc<crate::jit::JitProgram>> {
+        if self.jit_options == crate::jit::JitOptions::default() {
+            self.prog.jit(self.lane_words)
+        } else {
+            crate::jit::compile(&self.prog, self.lane_words, &self.jit_options)
+                .ok()
+                .map(Arc::new)
+        }
+    }
+
+    /// Replaces the codegen options (a test/bench seam — e.g. forcing
+    /// the portable non-BMI1 encodings or a tiny code-size cap to
+    /// exercise fallback) and re-acquires code if the current mode is
+    /// [`EvalMode::Jit`].
+    pub fn set_jit_options(&mut self, options: crate::jit::JitOptions) {
+        self.jit_options = options;
+        if self.mode == EvalMode::Jit {
+            self.jit = self.acquire_jit();
+        }
+    }
+
+    /// True when settles in [`EvalMode::Jit`] actually execute emitted
+    /// native code; false in every other mode and in the fallback state
+    /// (unsupported host, codegen failure, or `GATE_SIM_JIT=0`).
+    pub fn jit_active(&self) -> bool {
+        self.jit.is_some()
     }
 
     /// The intra-settle parallelism policy ([`EvalPolicy`]).
@@ -1022,7 +1089,7 @@ impl CompiledSim {
     pub fn eval(&mut self) {
         let event = self.primed
             && match self.mode {
-                EvalMode::FullSweep => false,
+                EvalMode::FullSweep | EvalMode::Jit => false,
                 EvalMode::EventDriven => true,
                 EvalMode::Auto => {
                     if self.dense_backoff > 0 {
@@ -1066,9 +1133,30 @@ impl CompiledSim {
         }
     }
 
-    /// One unconditional forward sweep of the whole op stream.
+    /// One unconditional forward sweep of the whole op stream — through
+    /// the emitted native code when [`EvalMode::Jit`] holds some, else
+    /// the interpreter. Both paths are bit-identical (values, exact
+    /// popcount toggles) and report identical [`EvalStats`].
     fn eval_full(&mut self) {
         let n = self.prog.len();
+        if let Some(jit) = &self.jit {
+            // SAFETY: `&mut self` is exclusive, and the arrays are exactly
+            // the layout the code was emitted for — same program, same
+            // `lane_words` (acquire_jit pins both), array sizes fixed by
+            // `from_parts`.
+            unsafe {
+                jit.run(
+                    self.values.as_mut_ptr(),
+                    self.input_values.as_ptr(),
+                    self.ff_state.as_ptr(),
+                    self.toggles.as_mut_ptr(),
+                    self.lane_masks.as_ptr(),
+                );
+            }
+            self.stats.full_sweeps += 1;
+            self.stats.ops_executed += n as u64;
+            return;
+        }
         let arrays = self.net_arrays();
         // SAFETY: `&mut self` is exclusive — no other thread can touch the
         // arrays — and `0..n` is the whole (valid) op stream.
@@ -1869,7 +1957,9 @@ mod tests {
         b.output_bus("sum", &sum);
         let nl = b.finish();
         let mut sim = CompiledSim::with_lanes(&nl, 64);
-        assert_eq!(sim.eval_mode(), EvalMode::Auto);
+        // Pinned explicitly: GATE_SIM_JIT=1 changes the construction
+        // default, and this test is about Auto's dense fallback.
+        sim.set_eval_mode(EvalMode::Auto);
         for i in 0..8u64 {
             // Every lane changes every settle: maximally dense stimulus.
             for lane in 0..64 {
@@ -1982,10 +2072,81 @@ mod tests {
         (outs, toggles, stats)
     }
 
+    /// Jit-mode settles (native code where supported, interpreted
+    /// fallback elsewhere) are bit-identical to pinned full sweeps —
+    /// outputs, FF state, exact toggle counts, *and* EvalStats — at
+    /// one-word, partial-word, and multi-word lane widths.
+    #[test]
+    fn jit_mode_matches_full_sweep_bit_identically() {
+        let nl = par_test_circuit();
+        for lanes in [1usize, 2, 64, 100, 256] {
+            let mut full = CompiledSim::with_lanes(&nl, lanes);
+            full.set_eval_mode(EvalMode::FullSweep);
+            let reference = run_schedule(full);
+            let mut jit = CompiledSim::with_lanes(&nl, lanes);
+            jit.set_eval_mode(EvalMode::Jit);
+            if crate::jit::host_supported() && crate::env::jit() != Some(false) {
+                assert!(jit.jit_active(), "codegen must engage on a supported host");
+            }
+            let native = run_schedule(jit);
+            assert_eq!(native.0, reference.0, "outputs, {lanes} lanes");
+            assert_eq!(native.1, reference.1, "toggles, {lanes} lanes");
+            assert_eq!(native.2, reference.2, "stats, {lanes} lanes");
+        }
+    }
+
+    /// Forcing the portable (non-BMI1) encodings must not change a bit.
+    #[test]
+    fn jit_without_bmi1_matches() {
+        let nl = par_test_circuit();
+        let mut full = CompiledSim::with_lanes(&nl, 64);
+        full.set_eval_mode(EvalMode::FullSweep);
+        let reference = run_schedule(full);
+        let mut jit = CompiledSim::with_lanes(&nl, 64);
+        jit.set_eval_mode(EvalMode::Jit);
+        jit.set_jit_options(crate::jit::JitOptions {
+            use_bmi1: false,
+            ..crate::jit::JitOptions::default()
+        });
+        let portable = run_schedule(jit);
+        assert_eq!(portable.0, reference.0);
+        assert_eq!(portable.1, reference.1);
+        assert_eq!(portable.2, reference.2);
+    }
+
+    /// A code-size cap the program cannot fit under must downgrade to
+    /// the interpreter — same results, `jit_active()` reporting false.
+    #[test]
+    fn jit_code_cap_falls_back_to_interpreter() {
+        let nl = par_test_circuit();
+        let mut full = CompiledSim::with_lanes(&nl, 64);
+        full.set_eval_mode(EvalMode::FullSweep);
+        let reference = run_schedule(full);
+        let mut capped = CompiledSim::with_lanes(&nl, 64);
+        capped.set_eval_mode(EvalMode::Jit);
+        capped.set_jit_options(crate::jit::JitOptions {
+            max_code_bytes: 8,
+            ..crate::jit::JitOptions::default()
+        });
+        assert!(
+            !capped.jit_active(),
+            "an 8-byte cap cannot hold the program"
+        );
+        let fallback = run_schedule(capped);
+        assert_eq!(fallback.0, reference.0);
+        assert_eq!(fallback.1, reference.1);
+        assert_eq!(fallback.2, reference.2);
+    }
+
     #[test]
     fn parallel_levels_are_bit_identical_in_every_mode() {
         let nl = par_test_circuit();
-        for mode in [EvalMode::FullSweep, EvalMode::EventDriven, EvalMode::Auto] {
+        for mode in [
+            EvalMode::FullSweep,
+            EvalMode::EventDriven,
+            EvalMode::Auto,
+            EvalMode::Jit,
+        ] {
             let mut seq = CompiledSim::with_lanes(&nl, 64);
             seq.set_eval_mode(mode);
             let reference = run_schedule(seq);

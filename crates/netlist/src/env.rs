@@ -1,9 +1,11 @@
 //! The `GATE_SIM_*` environment knobs, parsed in one place.
 //!
-//! Every knob follows the same contract: **unset means default**, a
-//! well-formed value overrides, and a malformed value panics — a typo'd
-//! CI matrix or shell export must never silently test the wrong
-//! configuration. The four knobs:
+//! Every knob follows the same contract: **unset (or set to the empty
+//! string) means default**, a well-formed value overrides, and a
+//! malformed value panics — a typo'd CI matrix or shell export must
+//! never silently test the wrong configuration. (The empty string
+//! counts as unset because CI matrix legs that omit a key would
+//! otherwise export `FOO=""` and panic.) The five knobs:
 //!
 //! | variable | values | default | consumers |
 //! | --- | --- | --- | --- |
@@ -11,6 +13,10 @@
 //! | `GATE_SIM_LANE_WORDS` | `1..=`[`MAX_LANE_WORDS`] | 4 | [`crate::ShardPolicy`] lane-block fusion width |
 //! | `GATE_SIM_POOL` | `0/1/true/false/on/off` | on | pool acquisition ([`crate::pool`]); off forces scoped-thread fallbacks |
 //! | `GATE_SIM_PROGRAM_CACHE` | `0/1/true/false/on/off` | on | the process-wide [`crate::cache::ProgramCache`]; off recompiles every construction |
+//! | `GATE_SIM_JIT` | `0/1/true/false/on/off` | unset | [`crate::jit`]: `1` makes [`crate::EvalMode::Jit`] the default eval mode; `0` disables codegen entirely (explicit `Jit` falls back to the interpreter); unset leaves the JIT available but opt-in |
+//!
+//! The same table, with prose semantics, lives in the README's
+//! "Environment knobs" section — keep the two in sync.
 //!
 //! The historical entry points (`netlist::env_threads`,
 //! `netlist::env_lane_words`, `netlist::pool::env_pool_enabled`) remain
@@ -28,7 +34,7 @@ use crate::compiled::MAX_LANE_WORDS;
 ///
 /// Panics if the variable is set to anything but a positive integer.
 pub fn threads() -> Option<usize> {
-    let v = std::env::var("GATE_SIM_THREADS").ok()?;
+    let v = non_empty("GATE_SIM_THREADS")?;
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => Some(n),
         _ => panic!("GATE_SIM_THREADS={v} is not a positive integer"),
@@ -46,7 +52,7 @@ pub fn threads() -> Option<usize> {
 /// Panics if the variable is set to anything but an integer in
 /// `1..=`[`MAX_LANE_WORDS`].
 pub fn lane_words() -> Option<usize> {
-    let v = std::env::var("GATE_SIM_LANE_WORDS").ok()?;
+    let v = non_empty("GATE_SIM_LANE_WORDS")?;
     match v.parse::<usize>() {
         Ok(n) if (1..=MAX_LANE_WORDS).contains(&n) => Some(n),
         _ => panic!("GATE_SIM_LANE_WORDS={v} is not an integer in 1..={MAX_LANE_WORDS}"),
@@ -80,14 +86,43 @@ pub fn program_cache_enabled() -> bool {
     switch("GATE_SIM_PROGRAM_CACHE")
 }
 
+/// The `GATE_SIM_JIT` tri-state, governing [`crate::jit`] native code
+/// emission:
+///
+/// * unset (`None`) — the JIT is *available* but opt-in: the default
+///   [`crate::EvalMode`] stays `Auto`, and callers select codegen with
+///   [`crate::CompiledSim::set_eval_mode`]`(EvalMode::Jit)`.
+/// * `1`/`true`/`on` (`Some(true)`) — `EvalMode::Jit` becomes the
+///   default eval mode for every newly constructed `CompiledSim` (and
+///   therefore every `ShardedSim` shard). Hosts without codegen support
+///   fall back to interpreted full sweeps, bit-identically.
+/// * `0`/`false`/`off` (`Some(false)`) — codegen is disabled outright:
+///   even an explicit `EvalMode::Jit` runs the interpreter.
+///
+/// # Panics
+///
+/// Panics if the variable is set to anything else.
+pub fn jit() -> Option<bool> {
+    tri_switch("GATE_SIM_JIT")
+}
+
+/// `Some(value)` of `name` when set non-empty; empty-string counts as
+/// unset (a CI matrix leg without the key exports `""`).
+fn non_empty(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
 /// Shared on/off parser: unset defaults to on, junk panics.
 fn switch(name: &str) -> bool {
-    match std::env::var(name) {
-        Err(_) => true,
-        Ok(v) => match v.as_str() {
-            "1" | "true" | "on" => true,
-            "0" | "false" | "off" => false,
-            other => panic!("{name}={other} is not one of 0/1/true/false/on/off"),
-        },
+    tri_switch(name).unwrap_or(true)
+}
+
+/// On/off parser that preserves the unset case: `None` when unset or
+/// empty, `Some(bool)` otherwise, junk panics.
+fn tri_switch(name: &str) -> Option<bool> {
+    match non_empty(name)?.as_str() {
+        "1" | "true" | "on" => Some(true),
+        "0" | "false" | "off" => Some(false),
+        other => panic!("{name}={other} is not one of 0/1/true/false/on/off"),
     }
 }

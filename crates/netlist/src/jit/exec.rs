@@ -1,0 +1,214 @@
+//! The W^X executable code buffer.
+//!
+//! [`ExecBuf`] owns one anonymous private mapping whose lifecycle
+//! enforces write-xor-execute: the pages are mapped `PROT_READ |
+//! PROT_WRITE`, the finished code bytes are copied in, and the
+//! protection is then flipped to `PROT_READ | PROT_EXEC` before any
+//! entry pointer is handed out. The mapping is never writable and
+//! executable at the same time, and it is unmapped on drop — the
+//! [`crate::level::Program`] (and through it every
+//! [`crate::cache::ProgramCache`] entry) holds the owning
+//! `Arc<JitProgram>`, so code outlives every simulator borrowing it.
+//!
+//! The workspace builds offline with no `libc` crate, so on
+//! x86-64 Linux the three required syscalls (`mmap`, `mprotect`,
+//! `munmap`) are issued directly via inline assembly. On any other
+//! target the constructor returns [`MapError::Unsupported`] and the
+//! JIT layer falls back to the interpreter.
+
+/// Mapping-layer failures. All of them downgrade to interpreter
+/// fallback; none abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// Not an x86-64 Linux host — no syscall shims for this target.
+    Unsupported,
+    /// `mmap` failed (negated errno).
+    Map(i32),
+    /// `mprotect` to read+execute failed (negated errno).
+    Protect(i32),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Unsupported => write!(f, "executable mappings unsupported on this target"),
+            MapError::Map(e) => write!(f, "mmap failed (errno {e})"),
+            MapError::Protect(e) => write!(f, "mprotect failed (errno {e})"),
+        }
+    }
+}
+
+/// One read+execute mapping holding finalized machine code.
+#[derive(Debug)]
+pub struct ExecBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (R+X) after construction and owned
+// exclusively by this value; raw-pointer aliasing is read/execute only.
+unsafe impl Send for ExecBuf {}
+unsafe impl Sync for ExecBuf {}
+
+impl ExecBuf {
+    /// Map `code` into fresh executable pages (W^X: written while RW,
+    /// executed only after the flip to RX).
+    pub fn new(code: &[u8]) -> Result<ExecBuf, MapError> {
+        sys::map_executable(code)
+    }
+
+    /// Pointer to the code byte at `offset`. The caller is responsible
+    /// for only calling into offsets that are genuine instruction
+    /// starts emitted by the lowering layer.
+    pub fn entry(&self, offset: usize) -> *const u8 {
+        assert!(
+            offset < self.len,
+            "entry offset {offset} outside code ({} bytes)",
+            self.len
+        );
+        // SAFETY: offset is in-bounds for the mapping.
+        unsafe { self.ptr.add(offset) }
+    }
+
+    /// Size of the mapping in bytes (page-rounded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// A mapping is never empty — kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for ExecBuf {
+    fn drop(&mut self) {
+        sys::unmap(self.ptr, self.len);
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod sys {
+    use super::{ExecBuf, MapError};
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MPROTECT: usize = 10;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 1;
+    const PROT_WRITE: usize = 2;
+    const PROT_EXEC: usize = 4;
+    const MAP_PRIVATE: usize = 2;
+    const MAP_ANONYMOUS: usize = 0x20;
+    const PAGE: usize = 4096;
+
+    /// Raw x86-64 Linux syscall. The kernel clobbers `rcx`/`r11`.
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn errno(ret: isize) -> Option<i32> {
+        // Linux returns -errno in [-4095, -1] on failure.
+        if (-4095..0).contains(&ret) {
+            Some(-ret as i32)
+        } else {
+            None
+        }
+    }
+
+    pub(super) fn map_executable(code: &[u8]) -> Result<ExecBuf, MapError> {
+        let len = code.len().max(1).div_ceil(PAGE) * PAGE;
+        // SAFETY: anonymous private mapping of a fresh region; no
+        // existing memory is touched.
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                usize::MAX, // fd = -1
+                0,
+            )
+        };
+        if let Some(e) = errno(ret) {
+            return Err(MapError::Map(e));
+        }
+        let ptr = ret as *mut u8;
+        // SAFETY: ptr..ptr+len is the mapping just created, RW.
+        unsafe { core::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len()) };
+        // SAFETY: flips our own fresh mapping to R+X.
+        let ret = unsafe {
+            syscall6(
+                SYS_MPROTECT,
+                ptr as usize,
+                len,
+                PROT_READ | PROT_EXEC,
+                0,
+                0,
+                0,
+            )
+        };
+        if let Some(e) = errno(ret) {
+            unmap(ptr, len);
+            return Err(MapError::Protect(e));
+        }
+        Ok(ExecBuf { ptr, len })
+    }
+
+    pub(super) fn unmap(ptr: *mut u8, len: usize) {
+        // SAFETY: unmaps exactly the mapping created in map_executable;
+        // failure (impossible for a valid mapping) leaks, which is safe.
+        unsafe { syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0) };
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+mod sys {
+    use super::{ExecBuf, MapError};
+
+    pub(super) fn map_executable(_code: &[u8]) -> Result<ExecBuf, MapError> {
+        Err(MapError::Unsupported)
+    }
+
+    pub(super) fn unmap(_ptr: *mut u8, _len: usize) {}
+}
+
+#[cfg(all(test, target_arch = "x86_64", target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_executes_a_trivial_function() {
+        // mov rax, rdi ; ret — the sysv64 identity function.
+        let code = [0x48, 0x89, 0xf8, 0xc3];
+        let buf = ExecBuf::new(&code).expect("mmap");
+        let f: unsafe extern "sysv64" fn(u64) -> u64 =
+            // SAFETY: entry(0) points at the code above.
+            unsafe { std::mem::transmute(buf.entry(0)) };
+        // SAFETY: valid straight-line sysv64 function.
+        assert_eq!(unsafe { f(0xdead_beef) }, 0xdead_beef);
+        assert_eq!(unsafe { f(u64::MAX) }, u64::MAX);
+    }
+}

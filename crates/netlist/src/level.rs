@@ -171,6 +171,11 @@ pub struct Program {
     pub net_count: usize,
     /// Number of primary-input bits.
     pub input_count: usize,
+    /// Lazily-compiled native code, one slot per lane-block width
+    /// ([`crate::jit`]). Rides the program's lifetime — including
+    /// through [`crate::cache::ProgramCache`] `Arc`s — and clones
+    /// empty, so hand-mutated program copies never execute stale code.
+    pub(crate) jit: crate::jit::JitSlots,
 }
 
 impl Program {
@@ -195,6 +200,7 @@ impl Program {
             dffs: Vec::new(),
             net_count: gates.len(),
             input_count: netlist.inputs().iter().map(|port| port.nets.len()).sum(),
+            jit: crate::jit::JitSlots::default(),
         };
         p.bounds.push(0);
         for level in 0..levels {
@@ -240,6 +246,15 @@ impl Program {
             p.bounds.push(checked_u32(p.opcodes.len(), "ops"));
         }
         p
+    }
+
+    /// Native code for `lane_words`-word lane blocks, compiled with
+    /// default [`crate::jit::JitOptions`] on first request and cached
+    /// on the program (so [`crate::cache::ProgramCache`] hits reuse
+    /// it). `None` when codegen is unavailable for this host, program,
+    /// or width — callers run the interpreter instead.
+    pub fn jit(&self, lane_words: usize) -> Option<std::sync::Arc<crate::jit::JitProgram>> {
+        self.jit.get_or_build(self, lane_words)
     }
 
     /// Number of scheduled ops.

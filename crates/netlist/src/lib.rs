@@ -19,6 +19,11 @@
 //!   eval packed as K-word lane blocks (K contiguous `u64`s per net),
 //!   exact popcount-per-word toggle accounting, and event-driven level
 //!   skipping on low-activity stimulus ([`compiled::EvalMode`]).
+//! * [`jit`] — native code emission for the compiled op stream: each
+//!   level lowered to straight-line x86-64 in an mmap'd W^X buffer
+//!   (`EvalMode::Jit` / `GATE_SIM_JIT`), falling back to the
+//!   interpreter bit-identically wherever codegen is unavailable
+//!   (contract in `docs/jit.md`).
 //! * [`sharded`] — the multi-threaded backend: compiled lane blocks over
 //!   disjoint stimulus lanes, merged bit-identically regardless of
 //!   thread count, schedule, or block width.
@@ -84,6 +89,7 @@ pub mod bus;
 pub mod cache;
 pub mod compiled;
 pub mod env;
+pub mod jit;
 pub mod level;
 pub mod opt;
 pub mod pool;
@@ -96,6 +102,7 @@ pub use compiled::{
     word_lane_mask, CompiledSim, EvalMode, EvalPolicy, LANES_PER_WORD, MAX_LANE_WORDS,
     MAX_TOTAL_LANES,
 };
+pub use jit::{JitOptions, JitProgram};
 pub use pool::WorkerPool;
 pub use sharded::{ShardPolicy, ShardSchedule, ShardedSim};
 pub use sim::{EvalStats, Sim, SimBackend};

@@ -1032,4 +1032,155 @@ proptest! {
             }
         }
     }
+
+    /// The JIT axis of the backend contract (`docs/jit.md`): Jit-mode
+    /// settles — natively emitted code where the host supports it, the
+    /// interpreted fallback everywhere else — are bit-identical to
+    /// pinned full sweeps *and* to the interpreted reference backend on
+    /// random sequential netlists: per-lane outputs, FF state, exact
+    /// per-net toggle counts, and [`netlist::EvalStats`], across lane
+    /// widths (one-word, multi-word, partial-word blocks) × thread
+    /// counts (parallel policies run the interpreted parallel sweep —
+    /// the documented precedence rule — and must still match) ×
+    /// distinct per-lane stimulus.
+    #[test]
+    fn jit_matches_interpreter_and_full_sweep_everywhere(
+        recipe in proptest::collection::vec(any::<u8>(), 6..100),
+        stimuli in proptest::collection::vec(any::<u8>(), 2..12),
+        base in any::<u64>(),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        let lane_stim = |s: u8, g: usize, t: usize| {
+            (s as u64).wrapping_mul(g as u64 * 2 + 3).wrapping_add(base ^ t as u64) & 0xff
+        };
+        for lanes in [1usize, 64, 100, 256] {
+            for threads in property_threads() {
+                let policy = EvalPolicy { threads, min_par_ops: 1, ..EvalPolicy::seq() };
+                let mut int = Sim::new(&nl);
+                let mut full = CompiledSim::with_lanes(&nl, lanes);
+                full.set_eval_mode(EvalMode::FullSweep);
+                full.set_eval_policy(policy);
+                let mut jit = CompiledSim::with_lanes(&nl, lanes);
+                jit.set_eval_mode(EvalMode::Jit);
+                jit.set_eval_policy(policy);
+                for (t, &s) in stimuli.iter().enumerate() {
+                    for g in 0..lanes {
+                        let v = lane_stim(s, g, t);
+                        full.set_bus_lane("in", g, v);
+                        jit.set_bus_lane("in", g, v);
+                    }
+                    int.set_bus("in", lane_stim(s, 0, t) as u32);
+                    int.eval();
+                    full.eval();
+                    jit.eval();
+                    for g in (0..lanes).step_by(13) {
+                        for port in ["out", "state"] {
+                            prop_assert_eq!(
+                                jit.get_bus_lane(port, g),
+                                full.get_bus_lane(port, g),
+                                "jit vs full, {} lane {} of {} x{} settle {}",
+                                port, g, lanes, threads, t
+                            );
+                        }
+                    }
+                    // Lane 0 doubles as the interpreter cross-check.
+                    prop_assert_eq!(
+                        jit.get_bus_lane("out", 0),
+                        int.get_bus_u64("out"),
+                        "jit vs interpreter, {} lanes x{} settle {}", lanes, threads, t
+                    );
+                    int.step();
+                    full.step();
+                    jit.step();
+                }
+                prop_assert_eq!(
+                    jit.toggles(), full.toggles(),
+                    "exact toggles, {} lanes x{}", lanes, threads
+                );
+                prop_assert_eq!(
+                    jit.eval_stats(), full.eval_stats(),
+                    "eval stats, {} lanes x{}", lanes, threads
+                );
+            }
+        }
+    }
+
+    /// [`ShardedSim::set_eval_mode`] forwards [`EvalMode::Jit`] to every
+    /// shard (including a reshaped partial trailing block): per-lane
+    /// results and merged toggle counts match the full-sweep schedule.
+    #[test]
+    fn sharded_jit_mode_matches_full_sweep(
+        recipe in proptest::collection::vec(any::<u8>(), 6..80),
+        stimuli in proptest::collection::vec(any::<u8>(), 2..10),
+    ) {
+        let nl = sequential_circuit_from_recipe(&recipe);
+        // 3 shards × 40 lanes: forces a fused multi-word block plus a
+        // partial trailing shape through `reshaped`.
+        let policy = ShardPolicy { shards: 3, lanes_per_shard: 40, threads: 2, ..ShardPolicy::single() };
+        let run = |mode: EvalMode| {
+            let mut sim = ShardedSim::with_policy(&nl, policy);
+            sim.set_eval_mode(mode);
+            let mut outs = Vec::new();
+            for (t, &s) in stimuli.iter().enumerate() {
+                for lane in 0..sim.lanes() {
+                    sim.set_bus_lane("in", lane, (s as u64).wrapping_add(lane as u64 * 5 + t as u64) & 0xff);
+                }
+                sim.eval();
+                for lane in (0..sim.lanes()).step_by(7) {
+                    outs.push((sim.get_bus_lane("out", lane), sim.get_bus_lane("state", lane)));
+                }
+                sim.step();
+            }
+            (outs, sim.toggles().to_vec())
+        };
+        let full = run(EvalMode::FullSweep);
+        let jit = run(EvalMode::Jit);
+        prop_assert_eq!(&jit.0, &full.0, "sharded per-lane outputs");
+        prop_assert_eq!(&jit.1, &full.1, "sharded merged toggles");
+    }
+}
+
+/// Forcing an op stream the lowerer rejects must surface as a fallback
+/// signal from [`netlist::jit::compile`] — never a miscompile. The
+/// rejection shape is an [`netlist::level::OpCode::Input`] scheduled
+/// outside level 0, which [`netlist::level::Program::compile`] can
+/// never emit but the public (all-`pub`-fields) `Program` can express.
+#[test]
+fn jit_rejects_unsupported_op_stream_and_falls_back() {
+    use netlist::jit::{self, JitError, JitOptions};
+    use netlist::level::{OpCode, Program};
+
+    let mut b = Builder::new();
+    let x = b.input("x");
+    let y = b.input("y");
+    let n = b.and(x, y);
+    let o = b.xor(n, x);
+    b.output("o", o);
+    let prog = Program::compile(&b.finish());
+    assert!(prog.levels() >= 2, "need a level-1 op to corrupt");
+    let mut bad = prog.clone();
+    let i = bad.level_ops(1).start;
+    bad.opcodes[i] = OpCode::Input;
+    bad.a[i] = 0;
+    match jit::compile(&bad, 1, &JitOptions::default()) {
+        Err(JitError::UnsupportedOp { index, opcode }) => {
+            assert_eq!(index, i);
+            assert_eq!(opcode, OpCode::Input);
+        }
+        // GATE_SIM_JIT=0 legs and non-x86-64 hosts fail earlier — both
+        // are fallback signals too.
+        Err(JitError::Disabled | JitError::HostUnsupported) => {}
+        other => panic!("unsupported op must be rejected, got {other:?}"),
+    }
+    // The cached-slot path memoizes the same verdict: no code for this
+    // stream, on any host, under any `GATE_SIM_JIT` setting.
+    assert!(
+        bad.jit(1).is_none(),
+        "rejected stream must never yield code"
+    );
+    // And the pristine clone source is unaffected: the mutation cannot
+    // have poisoned the original program's cache (clones start empty).
+    if jit::host_supported() && netlist::env::jit() != Some(false) {
+        assert!(prog.jit(1).is_some(), "pristine program still compiles");
+    }
 }
