@@ -757,6 +757,88 @@ pub fn replay(lib: &HwLibrary, r: &Reproducer) -> Option<DivergenceKind> {
 // The fuzz campaign
 // ---------------------------------------------------------------------
 
+/// Runs one wave — up to `lanes` program seeds on one batched CPU — and
+/// returns the diverging seeds in lane order. This is the unit both the
+/// one-shot campaign and the checkpoint-resume loop iterate over: a
+/// wave's verdicts are a pure function of its seed slice and `cfg`
+/// (its core comes from the wave's own union subset), so waves can be
+/// replayed or skipped independently without changing any verdict.
+fn run_wave(lib: &HwLibrary, wave: &[u64], cfg: &FuzzConfig) -> Vec<u64> {
+    let programs: Vec<Program> = wave.iter().map(|&s| random_program(s)).collect();
+    let images: Vec<CompiledProgram> = programs
+        .iter()
+        .map(|p| compile(p, cfg.opt_level).expect("generated programs compile"))
+        .collect();
+    // One core per wave, supporting the union of every lane's subset:
+    // lanes execute different binaries on the same netlist.
+    let subset = images
+        .iter()
+        .map(|i| InstructionSubset::from_words(&i.words))
+        .fold(InstructionSubset::new(), |a, b| a.union(&b));
+    let rissp = Rissp::generate(lib, &subset);
+    let entries = vec![CODE_BASE; wave.len()];
+    let mut cpu = BatchedGateLevelCpu::new(&rissp, &entries);
+    for (lane, image) in images.iter().enumerate() {
+        for (base, words) in image.segments() {
+            cpu.load_words(lane, base, words);
+        }
+    }
+    // Cap the wave at the slowest reference's retirement + 2: a lane
+    // still running past its own ref_retired + 1 cycles has already
+    // diverged (see `check_diverges`), so a diverging wave settles
+    // for as long as its programs actually run, not the full budget.
+    let refs: Vec<(Emulator, u64)> = images
+        .iter()
+        .map(|image| run_reference(image, cfg.max_cycles))
+        .collect();
+    let slowest = refs.iter().map(|&(_, r)| r).max().unwrap_or(0);
+    let results = cpu.run(cfg.max_cycles.min(slowest + 2));
+
+    let mut diverging = Vec::new();
+    for (lane, (&seed, image)) in wave.iter().zip(&images).enumerate() {
+        let (emu, ref_retired) = &refs[lane];
+        let buf_base = image.global("buf").unwrap_or(xcc::DATA_BASE);
+        let diverged = compare_lane(
+            &results[lane],
+            |i| cpu.reg(lane, i),
+            |a| cpu.memory(lane).load_word(a),
+            emu,
+            *ref_retired,
+            buf_base,
+        );
+        if diverged.is_some() {
+            diverging.push(seed);
+        }
+    }
+    diverging
+}
+
+/// Builds the final report from the diverging-seed list: one minimal
+/// [`Reproducer`] per seed, regenerated deterministically (the seed
+/// recreates the program, the shrinker is a pure function of it). This
+/// is why checkpoints only need to record *seeds*: resuming rebuilds
+/// byte-identical reproducers.
+fn finish_report(lib: &HwLibrary, cfg: &FuzzConfig, waves: usize, diverged: &[u64]) -> FuzzReport {
+    let lanes = cfg.lanes.clamp(1, MAX_TOTAL_LANES);
+    // One subset-keyed core cache for all the shrinks: candidates across
+    // different divergences revisit the same subsets, and regenerating a
+    // RISSP per candidate dwarfs the actual runs.
+    let mut cache = CoreCache::new();
+    let reproducers = diverged
+        .iter()
+        .map(|&seed| make_reproducer(lib, &mut cache, seed, &random_program(seed), cfg))
+        .collect();
+    FuzzReport {
+        programs: cfg.iterations,
+        waves,
+        // Every wave is `lanes` wide except a possibly-short last one, so
+        // the widest is min(lanes, iterations) — computable without
+        // replaying the wave loop (0 iterations means 0 waves).
+        max_wave_width: (cfg.iterations.min(lanes as u64)) as usize,
+        reproducers,
+    }
+}
+
 /// Runs a differential-fuzz campaign: `cfg.iterations` seeded programs,
 /// packed `cfg.lanes` per wave onto one [`BatchedGateLevelCpu`] whose
 /// core is generated from the wave's union instruction subset, compared
@@ -766,69 +848,267 @@ pub fn differential_fuzz(lib: &HwLibrary, cfg: &FuzzConfig) -> FuzzReport {
     let lanes = cfg.lanes.clamp(1, MAX_TOTAL_LANES);
     let seeds: Vec<u64> = (0..cfg.iterations).map(|i| cfg.seed + i).collect();
     let mut waves = 0;
-    let mut max_wave_width = 0;
-    let mut reproducers = Vec::new();
-    // One subset-keyed core cache for the whole campaign: shrink
-    // candidates across different divergences revisit the same subsets,
-    // and regenerating a RISSP per candidate dwarfs the actual runs.
-    let mut cache = CoreCache::new();
-
+    let mut diverged = Vec::new();
     for wave in seeds.chunks(lanes) {
         waves += 1;
-        max_wave_width = max_wave_width.max(wave.len());
-        let programs: Vec<Program> = wave.iter().map(|&s| random_program(s)).collect();
-        let images: Vec<CompiledProgram> = programs
-            .iter()
-            .map(|p| compile(p, cfg.opt_level).expect("generated programs compile"))
-            .collect();
-        // One core per wave, supporting the union of every lane's subset:
-        // lanes execute different binaries on the same netlist.
-        let subset = images
-            .iter()
-            .map(|i| InstructionSubset::from_words(&i.words))
-            .fold(InstructionSubset::new(), |a, b| a.union(&b));
-        let rissp = Rissp::generate(lib, &subset);
-        let entries = vec![CODE_BASE; wave.len()];
-        let mut cpu = BatchedGateLevelCpu::new(&rissp, &entries);
-        for (lane, image) in images.iter().enumerate() {
-            for (base, words) in image.segments() {
-                cpu.load_words(lane, base, words);
-            }
-        }
-        // Cap the wave at the slowest reference's retirement + 2: a lane
-        // still running past its own ref_retired + 1 cycles has already
-        // diverged (see `check_diverges`), so a diverging wave settles
-        // for as long as its programs actually run, not the full budget.
-        let refs: Vec<(Emulator, u64)> = images
-            .iter()
-            .map(|image| run_reference(image, cfg.max_cycles))
-            .collect();
-        let slowest = refs.iter().map(|&(_, r)| r).max().unwrap_or(0);
-        let results = cpu.run(cfg.max_cycles.min(slowest + 2));
+        diverged.extend(run_wave(lib, wave, cfg));
+    }
+    finish_report(lib, cfg, waves, &diverged)
+}
 
-        for (lane, (&seed, image)) in wave.iter().zip(&images).enumerate() {
-            let (emu, ref_retired) = &refs[lane];
-            let buf_base = image.global("buf").unwrap_or(xcc::DATA_BASE);
-            let diverged = compare_lane(
-                &results[lane],
-                |i| cpu.reg(lane, i),
-                |a| cpu.memory(lane).load_word(a),
-                emu,
-                *ref_retired,
-                buf_base,
-            );
-            if diverged.is_some() {
-                reproducers.push(make_reproducer(lib, &mut cache, seed, &programs[lane], cfg));
-            }
+// ---------------------------------------------------------------------
+// Resumable fuzzing: wave-grained checkpoints
+// ---------------------------------------------------------------------
+
+/// On-disk checkpoint of a differential-fuzz campaign: the config the
+/// verdicts depend on, how many waves have fully run, and the diverging
+/// seeds found so far. Reproducers are deliberately *not* stored — the
+/// shrinker is a pure function of (library, seed, config), so resuming
+/// regenerates them byte-identically from the seed list.
+///
+/// Same atomic text-file discipline as
+/// `hwlib::campaign::MutationCheckpoint` (version-tagged, `.tmp` +
+/// rename, strict parse):
+///
+/// ```text
+/// gate-sim-checkpoint v1 fuzz
+/// config iterations=64 seed=0xf0225eed lanes=64 opt=-O1 max_cycles=500000
+/// waves_done 2
+/// diverged 0xf0225f03
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCheckpoint {
+    /// `FuzzConfig::iterations` the checkpoint was written under.
+    pub iterations: u64,
+    /// `FuzzConfig::seed` the checkpoint was written under.
+    pub seed: u64,
+    /// `FuzzConfig::lanes` the checkpoint was written under (the wave
+    /// grain — resuming at a different width would re-slice the seeds).
+    pub lanes: usize,
+    /// `FuzzConfig::opt_level` the checkpoint was written under.
+    pub opt_level: OptLevel,
+    /// `FuzzConfig::max_cycles` the checkpoint was written under.
+    pub max_cycles: u64,
+    /// Waves fully evaluated so far.
+    pub waves_done: usize,
+    /// Diverging seeds found in the finished waves, in seed order.
+    pub diverged: Vec<u64>,
+}
+
+impl FuzzCheckpoint {
+    /// Fresh, empty checkpoint bound to `cfg`.
+    pub fn new(cfg: &FuzzConfig) -> FuzzCheckpoint {
+        FuzzCheckpoint {
+            iterations: cfg.iterations,
+            seed: cfg.seed,
+            lanes: cfg.lanes,
+            opt_level: cfg.opt_level,
+            max_cycles: cfg.max_cycles,
+            waves_done: 0,
+            diverged: Vec::new(),
         }
     }
 
-    FuzzReport {
-        programs: cfg.iterations,
-        waves,
-        max_wave_width,
-        reproducers,
+    /// True when the checkpoint was written under exactly `cfg` — every
+    /// field of [`FuzzConfig`] affects verdicts, so all of them gate
+    /// resumption.
+    pub fn matches(&self, cfg: &FuzzConfig) -> bool {
+        self.iterations == cfg.iterations
+            && self.seed == cfg.seed
+            && self.lanes == cfg.lanes
+            && self.opt_level == cfg.opt_level
+            && self.max_cycles == cfg.max_cycles
     }
+
+    /// Serializes to the v1 text format (see the type docs).
+    pub fn render(&self) -> String {
+        let mut out = String::from("gate-sim-checkpoint v1 fuzz\n");
+        out.push_str(&format!(
+            "config iterations={} seed={:#x} lanes={} opt={} max_cycles={}\n",
+            self.iterations, self.seed, self.lanes, self.opt_level, self.max_cycles
+        ));
+        out.push_str(&format!("waves_done {}\n", self.waves_done));
+        for seed in &self.diverged {
+            out.push_str(&format!("diverged {seed:#x}\n"));
+        }
+        out
+    }
+
+    /// Parses the v1 text format, rejecting anything malformed.
+    pub fn parse(text: &str) -> Result<FuzzCheckpoint, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("gate-sim-checkpoint v1 fuzz") => {}
+            other => return Err(format!("bad checkpoint header: {other:?}")),
+        }
+        let config = lines.next().ok_or("missing config line")?;
+        let mut fields = config.split_whitespace();
+        if fields.next() != Some("config") {
+            return Err(format!("bad config line: {config:?}"));
+        }
+        let mut iterations = None;
+        let mut seed = None;
+        let mut lanes = None;
+        let mut opt_level = None;
+        let mut max_cycles = None;
+        for field in fields {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("bad config field: {field:?}"))?;
+            match key {
+                "iterations" => iterations = Some(parse_u64(value)?),
+                "seed" => seed = Some(parse_u64(value)?),
+                "lanes" => lanes = Some(parse_u64(value)? as usize),
+                "opt" => opt_level = Some(parse_opt_level(value)?),
+                "max_cycles" => max_cycles = Some(parse_u64(value)?),
+                _ => return Err(format!("unknown config key: {key:?}")),
+            }
+        }
+        let (Some(iterations), Some(seed), Some(lanes), Some(opt_level), Some(max_cycles)) =
+            (iterations, seed, lanes, opt_level, max_cycles)
+        else {
+            return Err(format!("incomplete config line: {config:?}"));
+        };
+        let mut waves_done = None;
+        let mut diverged = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match line.split_whitespace().collect::<Vec<_>>()[..] {
+                ["waves_done", n] if waves_done.is_none() => {
+                    waves_done = Some(parse_u64(n)? as usize);
+                }
+                ["diverged", s] => diverged.push(parse_u64(s)?),
+                _ => return Err(format!("bad checkpoint line: {line:?}")),
+            }
+        }
+        Ok(FuzzCheckpoint {
+            iterations,
+            seed,
+            lanes,
+            opt_level,
+            max_cycles,
+            waves_done: waves_done.ok_or("missing waves_done line")?,
+            diverged,
+        })
+    }
+
+    /// Loads a checkpoint from `path`. `Ok(None)` when the file does not
+    /// exist (a fresh run); malformed contents are an
+    /// [`io::ErrorKind::InvalidData`](std::io::ErrorKind::InvalidData)
+    /// error, never a silent restart.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Option<FuzzCheckpoint>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        FuzzCheckpoint::parse(&text)
+            .map(Some)
+            .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidData, msg))
+    }
+
+    /// Atomically persists the checkpoint (`.tmp` sibling + rename).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn parse_u64(value: &str) -> Result<u64, String> {
+    if let Some(hex) = value.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad hex integer: {value:?}"))
+    } else {
+        value
+            .parse::<u64>()
+            .map_err(|_| format!("bad integer: {value:?}"))
+    }
+}
+
+fn parse_opt_level(value: &str) -> Result<OptLevel, String> {
+    match value {
+        "-O0" => Ok(OptLevel::O0),
+        "-O1" => Ok(OptLevel::O1),
+        "-O2" => Ok(OptLevel::O2),
+        "-O3" => Ok(OptLevel::O3),
+        "-Oz" => Ok(OptLevel::Oz),
+        _ => Err(format!("bad opt level: {value:?}")),
+    }
+}
+
+/// Result of a checkpointed fuzz run: either the campaign finished (the
+/// report is bit-identical to an uninterrupted [`differential_fuzz`] at
+/// the same config), or the wave budget ran out first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzOutcome {
+    /// Every wave ran; reproducers were (re)generated from the diverging
+    /// seed list.
+    Complete(FuzzReport),
+    /// The wave budget ran out. `waves_run` waves were evaluated this
+    /// invocation and the checkpoint records the frontier.
+    Interrupted {
+        /// Waves evaluated before the budget ran out.
+        waves_run: usize,
+    },
+}
+
+/// [`differential_fuzz`] with wave-grained checkpointing: waves already
+/// recorded in `checkpoint` are skipped, the checkpoint is re-persisted
+/// to `path` (atomically) after **every** wave, and `wave_budget` bounds
+/// how many waves this invocation may run (`None` = unbounded) — the
+/// deterministic stand-in for a mid-run kill in tests and the
+/// `--max-waves` flag of the `campaign` binary. Shrinking only happens
+/// on completion, from the accumulated seed list, so an interrupted run
+/// never wastes shrink work.
+///
+/// # Errors
+///
+/// Only checkpoint persistence can fail.
+///
+/// # Panics
+///
+/// Panics if `checkpoint` does not [`match`](FuzzCheckpoint::matches)
+/// `cfg` — the `campaign` binary refuses a mismatch with a runtime error
+/// before getting here.
+pub fn differential_fuzz_resumable(
+    lib: &HwLibrary,
+    cfg: &FuzzConfig,
+    checkpoint: &mut FuzzCheckpoint,
+    path: Option<&std::path::Path>,
+    wave_budget: Option<usize>,
+) -> std::io::Result<FuzzOutcome> {
+    assert!(
+        checkpoint.matches(cfg),
+        "checkpoint config does not match the campaign config"
+    );
+    let lanes = cfg.lanes.clamp(1, MAX_TOTAL_LANES);
+    let seeds: Vec<u64> = (0..cfg.iterations).map(|i| cfg.seed + i).collect();
+    let total_waves = seeds.chunks(lanes).count();
+    let resumed_from = checkpoint.waves_done;
+    for (index, wave) in seeds.chunks(lanes).enumerate().skip(resumed_from) {
+        let waves_run = index - resumed_from;
+        if wave_budget.is_some_and(|budget| waves_run >= budget) {
+            if let Some(path) = path {
+                checkpoint.save(path)?;
+            }
+            return Ok(FuzzOutcome::Interrupted { waves_run });
+        }
+        checkpoint.diverged.extend(run_wave(lib, wave, cfg));
+        checkpoint.waves_done = index + 1;
+        if let Some(path) = path {
+            checkpoint.save(path)?;
+        }
+    }
+    Ok(FuzzOutcome::Complete(finish_report(
+        lib,
+        cfg,
+        total_waves,
+        &checkpoint.diverged,
+    )))
 }
 
 // ---------------------------------------------------------------------
@@ -1158,6 +1438,116 @@ mod tests {
             .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(&scalar, batched, "{name}");
             assert_eq!(batched.dut_cycles - 1, batched.ref_instructions, "{name}");
+        }
+    }
+
+    #[test]
+    fn fuzz_checkpoint_roundtrips_through_text() {
+        let cfg = FuzzConfig::default();
+        let mut ckpt = FuzzCheckpoint::new(&cfg);
+        ckpt.waves_done = 2;
+        ckpt.diverged = vec![0xf022_5f03, 0xf022_5f10];
+        let parsed = FuzzCheckpoint::parse(&ckpt.render()).expect("roundtrip");
+        assert_eq!(parsed, ckpt);
+        assert!(parsed.matches(&cfg));
+        // Every FuzzConfig field affects verdicts, so each invalidates.
+        assert!(!parsed.matches(&FuzzConfig { seed: 1, ..cfg }));
+        assert!(!parsed.matches(&FuzzConfig {
+            opt_level: OptLevel::O3,
+            ..cfg
+        }));
+        assert!(!parsed.matches(&FuzzConfig {
+            max_cycles: 1,
+            ..cfg
+        }));
+
+        assert!(FuzzCheckpoint::parse("").is_err(), "empty file");
+        let good = ckpt.render();
+        assert!(
+            FuzzCheckpoint::parse(&good.replace("fuzz", "muzz")).is_err(),
+            "wrong kind"
+        );
+        assert!(
+            FuzzCheckpoint::parse(&good.replace("opt=-O1", "opt=-O9")).is_err(),
+            "bad opt level"
+        );
+        assert!(
+            FuzzCheckpoint::parse(&good.replace("waves_done 2", "waves_done two")).is_err(),
+            "bad waves_done"
+        );
+    }
+
+    #[test]
+    fn interrupted_fuzz_resumes_bit_identically() {
+        let lib = HwLibrary::build_full();
+        let cfg = FuzzConfig {
+            iterations: 12,
+            lanes: 4,
+            ..FuzzConfig::default()
+        };
+        let baseline = differential_fuzz(&lib, &cfg);
+        assert_eq!(baseline.waves, 3);
+        let path = std::env::temp_dir().join(format!(
+            "gate-sim-fuzz-resume-{}.checkpoint",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // One wave per invocation, reloading the checkpoint from disk
+        // each time — exactly what a restarted process would see.
+        let mut ckpt = FuzzCheckpoint::new(&cfg);
+        let mut interruptions = 0;
+        let report = loop {
+            match differential_fuzz_resumable(&lib, &cfg, &mut ckpt, Some(&path), Some(1))
+                .expect("checkpoint persistence")
+            {
+                FuzzOutcome::Complete(report) => break report,
+                FuzzOutcome::Interrupted { waves_run } => {
+                    assert_eq!(waves_run, 1);
+                    interruptions += 1;
+                    assert!(interruptions < 100, "fuzz never completes");
+                    ckpt = FuzzCheckpoint::load(&path)
+                        .expect("readable checkpoint")
+                        .expect("checkpoint was saved");
+                    assert!(ckpt.matches(&cfg));
+                }
+            }
+        };
+        assert!(interruptions >= 1, "budget never interrupted the run");
+        assert_eq!(
+            report, baseline,
+            "resumed fuzz must be bit-identical to the uninterrupted one"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_fuzz_regenerates_identical_reproducers() {
+        // A sabotaged `add` writeback makes essentially every generated
+        // program diverge; the point here is that reproducers are *not*
+        // checkpointed — resumption regenerates them from the diverging
+        // seed list — so the resumed report (listings included) must be
+        // byte-identical to the uninterrupted one.
+        let mut lib = HwLibrary::build_full();
+        lib.replace_block(sabotage_rd_data(lib.block(riscv_isa::Mnemonic::Add)));
+        let cfg = FuzzConfig {
+            iterations: 2,
+            lanes: 1,
+            ..FuzzConfig::default()
+        };
+        let baseline = differential_fuzz(&lib, &cfg);
+        assert!(
+            !baseline.reproducers.is_empty(),
+            "sabotaged add produced no divergence"
+        );
+        let mut ckpt = FuzzCheckpoint::new(&cfg);
+        let first = differential_fuzz_resumable(&lib, &cfg, &mut ckpt, None, Some(1)).unwrap();
+        assert_eq!(first, FuzzOutcome::Interrupted { waves_run: 1 });
+        // Simulate the restart by rebuilding the checkpoint from text.
+        let mut ckpt = FuzzCheckpoint::parse(&ckpt.render()).unwrap();
+        match differential_fuzz_resumable(&lib, &cfg, &mut ckpt, None, None).unwrap() {
+            FuzzOutcome::Complete(report) => assert_eq!(report, baseline),
+            other => panic!("unbounded resume did not complete: {other:?}"),
         }
     }
 

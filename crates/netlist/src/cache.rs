@@ -185,9 +185,15 @@ impl ProgramCache {
     /// the same netlist in, so all simulators share one program).
     pub fn get_or_compile(&self, netlist: &Arc<Netlist>) -> Arc<Program> {
         let key = Self::content_hash(netlist);
-        if let Some(prog) = self.lookup(key, netlist) {
-            self.hits.fetch_add(1, SeqCst);
-            return prog;
+        // Chaos: a forced miss recompiles and drives the race-convergent
+        // `insert` path below — results are bit-identical because equal
+        // netlists compile to equal programs; only the counters move.
+        let forced_miss = crate::failpoints::fire("cache::miss").is_some();
+        if !forced_miss {
+            if let Some(prog) = self.lookup(key, netlist) {
+                self.hits.fetch_add(1, SeqCst);
+                return prog;
+            }
         }
         // Miss: compile with the lock released. Two threads racing the
         // same netlist both compile (identical outputs), and `insert`
@@ -233,6 +239,14 @@ impl ProgramCache {
         });
         inner.len += 1;
         while inner.len > self.capacity {
+            Self::evict_lru(&mut inner);
+            self.evictions.fetch_add(1, SeqCst);
+        }
+        // Chaos: a forced eviction exercises the LRU sweep under
+        // pressure that the capacity bound alone would not create. The
+        // guard keeps the just-inserted entry alive (mirroring the
+        // capacity >= 1 invariant of the organic path).
+        if inner.len > 1 && crate::failpoints::fire("cache::evict").is_some() {
             Self::evict_lru(&mut inner);
             self.evictions.fetch_add(1, SeqCst);
         }

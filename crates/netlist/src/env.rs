@@ -14,6 +14,7 @@
 //! | `GATE_SIM_POOL` | `0/1/true/false/on/off` | on | pool acquisition ([`crate::pool`]); off forces scoped-thread fallbacks |
 //! | `GATE_SIM_PROGRAM_CACHE` | `0/1/true/false/on/off` | on | the process-wide [`crate::cache::ProgramCache`]; off recompiles every construction |
 //! | `GATE_SIM_JIT` | `0/1/true/false/on/off` | unset | [`crate::jit`]: `1` makes [`crate::EvalMode::Jit`] the default eval mode; `0` disables codegen entirely (explicit `Jit` falls back to the interpreter); unset leaves the JIT available but opt-in |
+//! | `GATE_SIM_FAILPOINTS` | `<seed>:<site>=<rule>[@<arg>],...` | unset | [`crate::failpoints`] chaos schedules (parsed there, not here) — **only with the `failpoints` cargo feature**; in default builds the variable is ignored and the sites compile to nothing |
 //!
 //! The same table, with prose semantics, lives in the README's
 //! "Environment knobs" section — keep the two in sync.

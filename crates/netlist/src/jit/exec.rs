@@ -54,6 +54,12 @@ impl ExecBuf {
     /// Map `code` into fresh executable pages (W^X: written while RW,
     /// executed only after the flip to RX).
     pub fn new(code: &[u8]) -> Result<ExecBuf, MapError> {
+        if let Some(errno) = crate::failpoints::fire("jit::map") {
+            // Chaos: refuse the mapping as the kernel would. The `@`
+            // argument is the errno (0 defaults to ENOMEM), so schedules
+            // can simulate memory pressure or a W^X lockdown (EACCES).
+            return Err(MapError::Map(if errno == 0 { 12 } else { errno as i32 }));
+        }
         sys::map_executable(code)
     }
 

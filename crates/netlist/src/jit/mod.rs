@@ -226,6 +226,15 @@ pub fn compile(
         "lane_words {lane_words} outside 1..={MAX_LANE_WORDS}"
     );
     let use_bmi1 = opts.use_bmi1 && bmi1_supported();
+    if crate::failpoints::fire("jit::emit").is_some() {
+        // Chaos: a synthesized emit-budget overflow, indistinguishable
+        // to callers from a genuinely oversized lowering — it must take
+        // the same silent interpreter fallback.
+        return Err(JitError::Emit(emit::EmitError::CodeTooLarge {
+            len: usize::MAX,
+            cap: opts.max_code_bytes,
+        }));
+    }
     let (code, level_entries) =
         lower::lower_program(prog, lane_words, opts.max_code_bytes, use_bmi1)?;
     let code_bytes = code.len();

@@ -31,6 +31,10 @@
 //!   evaluation path: parked OS threads reused across settles, a
 //!   generation-stamped job protocol, and lock-free chunk/shard claiming
 //!   off atomic counters.
+//! * [`failpoints`] — feature-gated deterministic fault injection
+//!   (`GATE_SIM_FAILPOINTS`): seeded schedules that force worker
+//!   panics, cache misses/evictions, and JIT failures so the fallback
+//!   paths above are exercised on purpose (`docs/robustness.md`).
 //! * [`opt`] — "synthesis": re-cons, constant-fold and sweep a netlist.
 //! * [`stats`] — NAND2-equivalent gate counting exactly as the paper's
 //!   area numbers are reported.
@@ -89,6 +93,7 @@ pub mod bus;
 pub mod cache;
 pub mod compiled;
 pub mod env;
+pub mod failpoints;
 pub mod jit;
 pub mod level;
 pub mod opt;
@@ -103,7 +108,7 @@ pub use compiled::{
     MAX_TOTAL_LANES,
 };
 pub use jit::{JitOptions, JitProgram};
-pub use pool::WorkerPool;
+pub use pool::{JobError, JobOptions, WorkerPool};
 pub use sharded::{ShardPolicy, ShardSchedule, ShardedSim};
 pub use sim::{EvalStats, Sim, SimBackend};
 

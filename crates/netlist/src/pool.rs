@@ -67,6 +67,37 @@
 //! settles arrive faster than the spin window expires and workers never
 //! touch the futex.
 //!
+//! # Failure model
+//!
+//! The pool survives its own participants (normative description in
+//! `docs/robustness.md`):
+//!
+//! * **Panic payloads.** A worker whose closure panics is caught; the
+//!   *first* panicking participant's payload is captured in the slot and
+//!   surfaces to the submitter — as [`JobError::WorkerPanic`] from
+//!   [`WorkerPool::run_with`], or re-raised verbatim by
+//!   [`WorkerPool::run`] so the original message is never replaced by a
+//!   generic one.
+//! * **Deadlines and cancellation.** [`JobOptions::deadline`] bounds a
+//!   job: a lazily spawned watchdog thread (plus the waiting submitter
+//!   itself) converts an overrun into [`JobError::DeadlineExceeded`] by
+//!   setting the job's cancel flag — observable from inside closures via
+//!   [`job_cancelled`] — and *revoking* every not-yet-claimed tid, so
+//!   the submitter only waits for participants that actually started.
+//!   A claimed participant that neither polls [`job_cancelled`] nor
+//!   returns cannot be abandoned (its closure borrows the submitter's
+//!   stack), so the return of `DeadlineExceeded` happens once every
+//!   *claimed* participant has exited.
+//! * **Self-healing roster.** A worker thread that dies outside the
+//!   closure catch (in practice: only the `pool::worker_loss` failpoint,
+//!   or a bug) completes its claim with a synthesized payload so the
+//!   submitter is never stranded, then respawns a replacement for
+//!   itself under the roster lock — pool capacity never decays.
+//! * **Failpoints.** With the `failpoints` feature, the
+//!   [`crate::failpoints`] sites `pool::worker_panic`,
+//!   `pool::worker_loss`, `pool::worker_doze` and `pool::stalled_claim`
+//!   inject exactly these faults on a deterministic seeded schedule.
+//!
 //! # Lifecycle
 //!
 //! The process-wide pool is created lazily by the first simulator whose
@@ -83,10 +114,12 @@
 //! what it reads or writes (`docs/simulation.md` § "Simulation as a
 //! service").
 
+use std::any::Any;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::thread::{JoinHandle, Thread};
+use std::time::{Duration, Instant};
 
 /// Job-table width: jobs admitted concurrently before submissions fall
 /// back to scoped threads. Sixteen is far past any realistic service
@@ -103,6 +136,10 @@ const IDLE_YIELDS: u32 = 64;
 /// Spin iterations before a barrier waiter starts yielding.
 const BARRIER_SPINS: u32 = 512;
 
+/// A captured panic payload, exactly as [`std::panic::catch_unwind`]
+/// returns it.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
 thread_local! {
     /// True while the current thread is executing a pool job (as the
     /// submitting caller or as a pool worker). A nested submission from
@@ -110,6 +147,16 @@ thread_local! {
     /// hold, so parallel evaluators consult [`in_job`] and fall back to
     /// scoped threads when it is set.
     static IN_JOB: Cell<bool> = const { Cell::new(false) };
+
+    /// Cancel flag of the job the current thread is executing (null
+    /// outside jobs). Read by [`job_cancelled`]; set around the closure
+    /// call by the caller and by serving workers.
+    static CANCEL: Cell<*const AtomicBool> = const { Cell::new(std::ptr::null()) };
+
+    /// Job-table index of the claim the current worker thread is
+    /// serving, if any. A dying worker's guard uses it to complete the
+    /// abandoned claim so the submitter is never stranded.
+    static SERVING: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// True while the current thread is (transitively) inside a
@@ -135,6 +182,23 @@ pub(crate) fn inherit_in_job(value: bool) {
     IN_JOB.with(|f| f.set(value));
 }
 
+/// Cooperative cancellation token: true when the job the current thread
+/// is participating in has been cancelled (its deadline expired).
+///
+/// Long-running closures should poll this at natural boundaries (a
+/// chunk, a wave, a level) and return early; a closure that never polls
+/// cannot be abandoned — see [`JobError::DeadlineExceeded`]. Outside a
+/// pool job (including the scoped fallback paths) this is always false.
+pub fn job_cancelled() -> bool {
+    CANCEL.with(|c| {
+        let p = c.get();
+        // SAFETY: non-null only while the current thread executes a job
+        // closure, and the flag lives in the pool's `Arc<PoolShared>`,
+        // which outlives the job (the submitter holds the pool).
+        !p.is_null() && unsafe { (*p).load(SeqCst) }
+    })
+}
+
 /// Runs `worker(tid, barrier)` on `threads` participants (the caller is
 /// tid 0): as one job on `pool` when a pool is available and the current
 /// thread is not already inside one, and on per-call scoped threads with
@@ -156,20 +220,46 @@ pub(crate) fn dispatch(
 
 /// The scoped-thread fallback body of [`dispatch`]: spawns
 /// `threads - 1` scoped workers (each inheriting the caller's in-job
-/// flag) around a stack barrier and runs tid 0 on the caller.
+/// flag) around a stack barrier and runs tid 0 on the caller. A worker
+/// panic is re-raised with its *original* payload (not
+/// [`std::thread::scope`]'s generic "a scoped thread panicked").
 pub(crate) fn scoped_run(threads: usize, worker: &(impl Fn(usize, &SpinBarrier) + Sync)) {
+    if let Err(payload) = scoped_run_result(threads, worker) {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// [`scoped_run`] with the first worker panic payload returned instead
+/// of re-raised. A panic on the *caller's* own share (tid 0) still
+/// propagates directly, taking precedence.
+fn scoped_run_result(
+    threads: usize,
+    worker: &(impl Fn(usize, &SpinBarrier) + Sync),
+) -> Result<(), PanicPayload> {
     let barrier = SpinBarrier::new();
     let nested = in_job();
+    let first_payload: Mutex<Option<PanicPayload>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for tid in 1..threads {
-            let (w, b) = (worker, &barrier);
+            let (w, b, sink) = (worker, &barrier, &first_payload);
             scope.spawn(move || {
                 inherit_in_job(nested);
-                w(tid, b);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w(tid, b)));
+                if let Err(payload) = result {
+                    let mut sink = sink.lock().unwrap_or_else(PoisonError::into_inner);
+                    sink.get_or_insert(payload);
+                }
             });
         }
         worker(0, &barrier);
     });
+    match first_payload
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        Some(payload) => Err(payload),
+        None => Ok(()),
+    }
 }
 
 /// Pool-spawned worker threads currently alive, process-wide. Purely
@@ -251,6 +341,113 @@ impl SpinBarrier {
     }
 }
 
+/// Per-job submission options for [`WorkerPool::run_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobOptions {
+    /// Upper bound on the job's wall-clock time. When it expires, the
+    /// job is cancelled ([`job_cancelled`] turns true, unclaimed tids
+    /// are revoked) and the submitter gets
+    /// [`JobError::DeadlineExceeded`] instead of blocking forever.
+    /// `None` (the default) waits indefinitely, exactly like
+    /// [`WorkerPool::run`].
+    pub deadline: Option<Duration>,
+}
+
+impl JobOptions {
+    /// Options with the given deadline.
+    pub fn deadline(deadline: Duration) -> JobOptions {
+        JobOptions {
+            deadline: Some(deadline),
+        }
+    }
+}
+
+/// Typed failure of a pool job, from [`WorkerPool::run_with`].
+pub enum JobError {
+    /// A participant's closure panicked. `payload` is the *first*
+    /// panicking participant's original payload, verbatim —
+    /// [`WorkerPool::run`] re-raises it so `panic!("my message")` inside
+    /// a job surfaces as `"my message"` at the submitter, never as a
+    /// generic pool assertion.
+    WorkerPanic {
+        /// The captured panic payload.
+        payload: PanicPayload,
+    },
+    /// The job's [`JobOptions::deadline`] expired before every
+    /// participant finished. Side effects of participants that *did*
+    /// run (including any that finished after cancellation) are visible;
+    /// `revoked` tids never started at all.
+    DeadlineExceeded {
+        /// The deadline that was exceeded.
+        deadline: Duration,
+        /// Tids revoked before any worker claimed them.
+        revoked: usize,
+        /// The job's total participant count (caller included).
+        participants: usize,
+    },
+}
+
+impl JobError {
+    /// The panic message, when this is a [`JobError::WorkerPanic`] whose
+    /// payload is a string (the overwhelmingly common case).
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            JobError::WorkerPanic { payload } => payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str)),
+            JobError::DeadlineExceeded { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::WorkerPanic { .. } => f
+                .debug_struct("WorkerPanic")
+                .field(
+                    "message",
+                    &self.panic_message().unwrap_or("<non-string payload>"),
+                )
+                .finish(),
+            JobError::DeadlineExceeded {
+                deadline,
+                revoked,
+                participants,
+            } => f
+                .debug_struct("DeadlineExceeded")
+                .field("deadline", deadline)
+                .field("revoked", revoked)
+                .field("participants", participants)
+                .finish(),
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::WorkerPanic { .. } => write!(
+                f,
+                "a pool worker panicked during the job: {}",
+                self.panic_message().unwrap_or("<non-string payload>")
+            ),
+            JobError::DeadlineExceeded {
+                deadline,
+                revoked,
+                participants,
+            } => write!(
+                f,
+                "job deadline of {deadline:?} exceeded \
+                 ({revoked} of {participants} tids revoked unstarted)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// The type-erased entry point of a job: `data` is a `*const F` for the
 /// submitted closure, `tid` the claimed worker index, `barrier` the
 /// serving slot's embedded barrier.
@@ -287,6 +484,8 @@ struct JobSlot {
     /// writing the descriptor below, so a compare-and-swap that succeeds
     /// with stamp `g` proves the descriptor fields still belong to job
     /// `g` — a stale worker's CAS fails and it discards what it read.
+    /// Deadline expiry *seals* the counter (stores `participants` as the
+    /// next tid) to revoke every unclaimed tid atomically.
     claim: AtomicU64,
     /// Job descriptor: closure data pointer, erased entry point, and the
     /// total participant count (caller included). Individually atomic so
@@ -295,11 +494,22 @@ struct JobSlot {
     job_call: AtomicUsize,
     job_participants: AtomicUsize,
     /// Completion latch: pool-side participants that have finished. The
-    /// caller waits for `participants - 1`.
+    /// caller waits for `participants - 1 - revoked`.
     done: AtomicUsize,
-    /// True when a participant's closure panicked; the caller re-panics
-    /// after the latch so the failure is not swallowed.
-    poisoned: AtomicBool,
+    /// Cooperative cancellation flag, set on deadline expiry and polled
+    /// by closures via [`job_cancelled`].
+    cancel: AtomicBool,
+    /// Tids revoked unclaimed by deadline expiry; shrinks the caller's
+    /// completion target.
+    revoked: AtomicUsize,
+    /// The first panicking participant's payload; later panics on the
+    /// same job are dropped (first wins).
+    panic_payload: Mutex<Option<PanicPayload>>,
+    /// Absolute deadline of the current job, if any. Scanned by the
+    /// watchdog; cleared (one-shot) by whoever expires it, and by the
+    /// submitter on release so a stale deadline can never leak into the
+    /// slot's next job.
+    deadline: Mutex<Option<Instant>>,
     /// The submitting thread, for the completion unpark. Written only by
     /// the slot owner.
     caller: Mutex<Option<Thread>>,
@@ -320,14 +530,84 @@ impl JobSlot {
             job_call: AtomicUsize::new(0),
             job_participants: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
-            poisoned: AtomicBool::new(false),
+            cancel: AtomicBool::new(false),
+            revoked: AtomicUsize::new(0),
+            panic_payload: Mutex::new(None),
+            deadline: Mutex::new(None),
             caller: Mutex::new(None),
             barrier: SpinBarrier::new(),
         }
     }
 }
 
-/// State shared between the submitting callers and the worker threads.
+/// Stores `payload` as the slot's panic payload if it is the first.
+fn poison(slot: &JobSlot, payload: PanicPayload) {
+    let mut sink = slot
+        .panic_payload
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    sink.get_or_insert(payload);
+}
+
+/// Counts one pool-side participant as finished and unparks the caller
+/// when the (revocation-adjusted) completion target is reached. Shared
+/// by the normal serve path and the dying-worker guard.
+fn complete_participant(slot: &JobSlot) {
+    let done = slot.done.fetch_add(1, SeqCst) + 1;
+    let participants = slot.job_participants.load(SeqCst);
+    let revoked = slot.revoked.load(SeqCst);
+    if done + revoked >= participants.saturating_sub(1) {
+        let caller = slot
+            .caller
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(thread) = caller {
+            thread.unpark();
+        }
+    }
+}
+
+/// Expires the job currently on `slot`: sets the cancel flag, seals the
+/// claim counter so every unclaimed tid is revoked, and wakes the
+/// caller to re-evaluate its completion target. Idempotent — the
+/// watchdog and the waiting submitter may both call it.
+fn expire(slot: &JobSlot) {
+    slot.cancel.store(true, SeqCst);
+    let generation = slot.generation.load(SeqCst);
+    loop {
+        let stamped = slot.claim.load(SeqCst);
+        if stamped >> 32 != generation & 0xffff_ffff {
+            break; // unpublished, or already a newer job (release race)
+        }
+        let tid = (stamped & 0xffff_ffff) as usize;
+        let participants = slot.job_participants.load(SeqCst);
+        if tid >= participants {
+            break; // fully claimed (or already sealed): nothing to revoke
+        }
+        let sealed = (stamped & 0xffff_ffff_0000_0000) | participants as u64;
+        if slot
+            .claim
+            .compare_exchange(stamped, sealed, SeqCst, SeqCst)
+            .is_ok()
+        {
+            slot.revoked.store(participants - tid, SeqCst);
+            break;
+        }
+        // Lost a race against a worker claim; re-read and retry.
+    }
+    let caller = slot
+        .caller
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    if let Some(thread) = caller {
+        thread.unpark();
+    }
+}
+
+/// State shared between the submitting callers, the worker threads and
+/// the watchdog.
 struct PoolShared {
     /// The job table (see [`JobSlot`] and the module docs).
     slots: [JobSlot; MAX_JOBS],
@@ -346,6 +626,14 @@ struct PoolShared {
     roster_len: AtomicUsize,
     /// Pool shutdown flag (set once, by [`WorkerPool::drop`]).
     shutdown: AtomicBool,
+    /// Worker roster. Lives in the shared state (not the [`WorkerPool`]
+    /// facade) so a dying worker's guard can respawn its own
+    /// replacement. Held only briefly — growth, the post-publish unpark
+    /// sweep, respawn — never across a running job.
+    roster: Mutex<Vec<Worker>>,
+    /// The deadline watchdog thread, spawned lazily by the first
+    /// deadline-carrying submission and joined on pool drop.
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// One spawned worker: its join handle plus the parked flag the submitter
@@ -355,19 +643,35 @@ struct Worker {
     parked: Arc<AtomicBool>,
 }
 
+/// Spawns one pool worker thread, incrementing the census. Returns
+/// `None` only if the OS refuses the thread (the self-healing guard
+/// degrades rather than aborting the unwind).
+fn spawn_worker(shared: &Arc<PoolShared>, index: usize) -> Option<Worker> {
+    let parked = Arc::new(AtomicBool::new(false));
+    let state = Arc::clone(shared);
+    let flag = Arc::clone(&parked);
+    ALIVE_WORKERS.fetch_add(1, SeqCst);
+    match std::thread::Builder::new()
+        .name(format!("gate-sim-pool-{}", index + 1))
+        .spawn(move || worker_main(state, flag))
+    {
+        Ok(handle) => Some(Worker { handle, parked }),
+        Err(_) => {
+            ALIVE_WORKERS.fetch_sub(1, SeqCst);
+            None
+        }
+    }
+}
+
 /// A persistent pool of parked worker threads executing up to
 /// [`MAX_JOBS`] parallel evaluation jobs concurrently (see the module
-/// docs for the protocol).
+/// docs for the protocol and the failure model).
 ///
 /// Simulators normally obtain the process-wide instance through
 /// [`WorkerPool::shared`] and hold the `Arc` for as long as their policy
 /// wants threads; the pool joins all workers when the last handle drops.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    /// Worker roster. Held only briefly — for growth and for the
-    /// post-publish unpark sweep — never across a job, which is what
-    /// lets independent submissions run concurrently.
-    roster: Mutex<Vec<Worker>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -393,8 +697,9 @@ impl WorkerPool {
                 committed: AtomicUsize::new(0),
                 roster_len: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
+                roster: Mutex::new(Vec::new()),
+                watchdog: Mutex::new(None),
             }),
-            roster: Mutex::new(Vec::new()),
         };
         pool.ensure_workers(workers);
         pool
@@ -437,21 +742,19 @@ impl WorkerPool {
         if self.shared.roster_len.load(SeqCst) >= workers {
             return;
         }
-        let mut roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut roster = self
+            .shared
+            .roster
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         Self::grow(&self.shared, &mut roster, workers);
     }
 
     fn grow(shared: &Arc<PoolShared>, roster: &mut Vec<Worker>, workers: usize) {
         while roster.len() < workers {
-            let parked = Arc::new(AtomicBool::new(false));
-            let state = Arc::clone(shared);
-            let flag = Arc::clone(&parked);
-            ALIVE_WORKERS.fetch_add(1, SeqCst);
-            let handle = std::thread::Builder::new()
-                .name(format!("gate-sim-pool-{}", roster.len() + 1))
-                .spawn(move || worker_main(state, flag))
-                .expect("spawning a gate-sim pool worker failed");
-            roster.push(Worker { handle, parked });
+            let worker =
+                spawn_worker(shared, roster.len()).expect("spawning a gate-sim pool worker failed");
+            roster.push(worker);
             shared.roster_len.store(roster.len(), SeqCst);
         }
     }
@@ -472,8 +775,38 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Panics if called from inside a pool job (check [`in_job`] and use
-    /// a scoped fallback instead), or if `f` panicked on any participant.
+    /// a scoped fallback instead), or — with the *original payload*, see
+    /// [`JobError::WorkerPanic`] — if `f` panicked on any participant.
     pub fn run<F: Fn(usize, &SpinBarrier) + Sync>(&self, participants: usize, f: F) {
+        match self.run_with(participants, &JobOptions::default(), f) {
+            Ok(()) => {}
+            Err(JobError::WorkerPanic { payload }) => std::panic::resume_unwind(payload),
+            // No deadline was set, so none can have expired.
+            Err(e) => panic!("pool job failed without a deadline: {e}"),
+        }
+    }
+
+    /// [`WorkerPool::run`] with per-job [`JobOptions`] and a typed
+    /// result instead of a panic.
+    ///
+    /// Returns [`JobError::WorkerPanic`] carrying the first panicking
+    /// participant's payload, or [`JobError::DeadlineExceeded`] when
+    /// [`JobOptions::deadline`] expired first (see the module's
+    /// "Failure model" section for exactly what each guarantees). On the
+    /// scoped fallback path (full job table) the deadline is not
+    /// enforced — overflow jobs run to completion, reporting panics only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a pool job, or if `f` panicked on
+    /// the *caller's own* share (tid 0) — the caller's panic unwinds
+    /// this frame itself and takes precedence over any `JobError`.
+    pub fn run_with<F: Fn(usize, &SpinBarrier) + Sync>(
+        &self,
+        participants: usize,
+        opts: &JobOptions,
+        f: F,
+    ) -> Result<(), JobError> {
         assert!(
             !in_job(),
             "nested WorkerPool::run could deadlock on worker starvation; \
@@ -481,7 +814,7 @@ impl WorkerPool {
         );
         if participants <= 1 {
             f(0, &SpinBarrier::new());
-            return;
+            return Ok(());
         }
         let shared = &*self.shared;
         let needed = participants - 1;
@@ -492,6 +825,9 @@ impl WorkerPool {
         // barrier by hoarding the roster.
         let committed = shared.committed.fetch_add(needed, SeqCst) + needed;
         self.ensure_workers(committed);
+        if opts.deadline.is_some() {
+            ensure_watchdog(&self.shared);
+        }
 
         let Some(slot) = shared
             .slots
@@ -499,17 +835,27 @@ impl WorkerPool {
             .find(|s| s.busy.compare_exchange(false, true, SeqCst, SeqCst).is_ok())
         else {
             // Every slot occupied (MAX_JOBS concurrent jobs): run scoped
-            // instead of queueing behind an unbounded stall.
+            // instead of queueing behind an unbounded stall. Deadlines
+            // are not enforced on this degraded path (documented above).
             shared.committed.fetch_sub(needed, SeqCst);
-            scoped_run(participants, &f);
-            return;
+            return scoped_run_result(participants, &f)
+                .map_err(|payload| JobError::WorkerPanic { payload });
         };
 
         // Publish the job on the claimed slot (the order here is what the
         // worker-side stale-claim CAS validates; see `JobSlot::claim`).
         let generation = slot.generation.load(SeqCst).wrapping_add(1);
         slot.done.store(0, SeqCst);
-        slot.poisoned.store(false, SeqCst);
+        slot.cancel.store(false, SeqCst);
+        slot.revoked.store(0, SeqCst);
+        *slot
+            .panic_payload
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+        if deadline_at.is_some() {
+            *slot.deadline.lock().unwrap_or_else(PoisonError::into_inner) = deadline_at;
+        }
         // The stamp carries the generation's low 32 bits — a stale worker
         // would have to doze through 2^32 of this slot's jobs to alias,
         // and even then the claim would merely hand it valid work for the
@@ -529,7 +875,11 @@ impl WorkerPool {
         // path free of unpark syscalls. The roster lock is held only for
         // this sweep.
         {
-            let roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
+            let roster = self
+                .shared
+                .roster
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for worker in roster.iter() {
                 if worker.parked.load(SeqCst) {
                     worker.handle.thread().unpark();
@@ -542,17 +892,38 @@ impl WorkerPool {
         // with the borrows the job erased.
         struct CompletionGuard<'p> {
             slot: &'p JobSlot,
-            needed: usize,
+            participants: usize,
+            deadline: Option<Instant>,
         }
         impl Drop for CompletionGuard<'_> {
             fn drop(&mut self) {
                 let mut tries = 0u32;
-                while self.slot.done.load(SeqCst) < self.needed {
+                loop {
+                    let done = self.slot.done.load(SeqCst);
+                    let revoked = self.slot.revoked.load(SeqCst);
+                    if done + revoked >= self.participants - 1 {
+                        break;
+                    }
+                    if let Some(at) = self.deadline {
+                        if Instant::now() >= at {
+                            // The watchdog normally gets here first;
+                            // expiry is idempotent, so racing it is fine.
+                            expire(self.slot);
+                            self.deadline = None;
+                        }
+                    }
                     tries += 1;
                     if tries < IDLE_SPINS && !single_cpu() {
                         std::hint::spin_loop();
                     } else if tries < IDLE_SPINS + IDLE_YIELDS {
                         std::thread::yield_now();
+                    } else if let Some(at) = self.deadline {
+                        // Bounded so this thread itself notices expiry.
+                        std::thread::park_timeout(at.saturating_duration_since(Instant::now()));
+                    } else if self.slot.cancel.load(SeqCst) {
+                        // Post-expiry: bounded parks so a revocation
+                        // racing the done latch can never strand us.
+                        std::thread::park_timeout(Duration::from_millis(1));
                     } else {
                         // The last finisher always unparks the caller, and
                         // `park` consumes stale tokens harmlessly.
@@ -561,34 +932,186 @@ impl WorkerPool {
                 }
             }
         }
-        let guard = CompletionGuard { slot, needed };
+        let guard = CompletionGuard {
+            slot,
+            participants,
+            deadline: deadline_at,
+        };
         IN_JOB.with(|flag| flag.set(true));
+        CANCEL.with(|c| c.set(&slot.cancel as *const AtomicBool));
         let caller_result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0, &slot.barrier)));
+        CANCEL.with(|c| c.set(std::ptr::null()));
         IN_JOB.with(|flag| flag.set(false));
-        drop(guard); // blocks until all pool-side participants finish
+        drop(guard); // blocks until all live pool-side participants finish
+        let payload = slot
+            .panic_payload
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        let cancelled = slot.cancel.load(SeqCst);
+        let revoked = slot.revoked.load(SeqCst);
+        if deadline_at.is_some() {
+            // One-shot hygiene: never leak this job's deadline into the
+            // slot's next occupant.
+            *slot.deadline.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        }
         *slot.caller.lock().unwrap_or_else(PoisonError::into_inner) = None;
-        let poisoned = slot.poisoned.load(SeqCst);
         slot.busy.store(false, SeqCst); // job complete: release the slot
         shared.committed.fetch_sub(needed, SeqCst);
         if let Err(payload) = caller_result {
             std::panic::resume_unwind(payload);
         }
-        assert!(!poisoned, "a pool worker panicked during the job");
+        if let Some(payload) = payload {
+            return Err(JobError::WorkerPanic { payload });
+        }
+        if cancelled {
+            return Err(JobError::DeadlineExceeded {
+                deadline: opts.deadline.unwrap_or_default(),
+                revoked,
+                participants,
+            });
+        }
+        Ok(())
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
+        // Shutdown *before* touching the roster: a dying worker's
+        // respawn guard re-checks the flag under the roster lock, so no
+        // replacement can be spawned after this store.
         self.shared.shutdown.store(true, SeqCst);
-        let mut roster = self.roster.lock().unwrap_or_else(PoisonError::into_inner);
-        for worker in roster.iter() {
+        let workers: Vec<Worker> = {
+            let mut roster = self
+                .shared
+                .roster
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            roster.drain(..).collect()
+            // Lock released here: a concurrently dying worker's guard can
+            // now run (it finds shutdown set and an empty roster), which
+            // its join below requires.
+        };
+        for worker in &workers {
             worker.handle.thread().unpark();
         }
-        for worker in roster.drain(..) {
-            // A worker that panicked outside a job (impossible today) has
-            // already been flagged; joining the corpse is still correct.
+        for worker in workers {
+            // A worker that panicked outside a job has already completed
+            // its claim via its guard; joining the corpse is still
+            // correct.
             let _ = worker.handle.join();
+        }
+        let watchdog = self
+            .shared
+            .watchdog
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = watchdog {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawns the deadline watchdog if it is not already running.
+fn ensure_watchdog(shared: &Arc<PoolShared>) {
+    let mut slot = shared
+        .watchdog
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if slot.is_some() {
+        return;
+    }
+    let state = Arc::clone(shared);
+    *slot = Some(
+        std::thread::Builder::new()
+            .name("gate-sim-watchdog".to_string())
+            .spawn(move || watchdog_main(state))
+            .expect("spawning the gate-sim deadline watchdog failed"),
+    );
+}
+
+/// The watchdog body: scan the job table for expired deadlines and
+/// convert each into a cancellation + revocation (see [`expire`]). The
+/// scan interval bounds how late past its deadline a job is detected —
+/// the submitter's own bounded waits back it up, so a stalled watchdog
+/// cannot reintroduce an unbounded hang.
+fn watchdog_main(shared: Arc<PoolShared>) {
+    while !shared.shutdown.load(SeqCst) {
+        for slot in shared.slots.iter() {
+            if !slot.busy.load(SeqCst) {
+                continue;
+            }
+            let expired = {
+                let mut deadline = slot.deadline.lock().unwrap_or_else(PoisonError::into_inner);
+                match *deadline {
+                    Some(at) if Instant::now() >= at => {
+                        *deadline = None; // one-shot
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if expired {
+                expire(slot);
+            }
+        }
+        std::thread::park_timeout(Duration::from_micros(500));
+    }
+}
+
+/// Census + self-healing guard for one worker thread. On a *panicking*
+/// exit it completes any claim the thread died holding (so the
+/// submitter's completion latch still closes) and respawns a
+/// replacement worker in its own roster seat, so pool capacity never
+/// decays. On normal shutdown it only maintains the census.
+struct WorkerGuard {
+    shared: Arc<PoolShared>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        ALIVE_WORKERS.fetch_sub(1, SeqCst);
+        if !std::thread::panicking() {
+            return;
+        }
+        // Finish the claim we died holding: synthesize a payload (there
+        // is no caught one — the panic happened outside the closure
+        // catch) and count ourselves done so the submitter is unparked,
+        // not stranded.
+        if let Some(idx) = SERVING.with(|s| s.take()) {
+            let slot = &self.shared.slots[idx];
+            poison(
+                slot,
+                Box::new(
+                    "pool worker thread lost during the job \
+                     (panicked outside the job closure)"
+                        .to_string(),
+                ),
+            );
+            complete_participant(slot);
+        }
+        // Self-heal: replace ourselves in the roster. Shutdown is
+        // re-checked under the roster lock — after WorkerPool::drop sets
+        // it and drains the roster, no replacement can slip in.
+        let mut roster = self
+            .shared
+            .roster
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if self.shared.shutdown.load(SeqCst) {
+            return;
+        }
+        let me = std::thread::current().id();
+        let Some(pos) = roster.iter().position(|w| w.handle.thread().id() == me) else {
+            return;
+        };
+        if let Some(replacement) = spawn_worker(&self.shared, pos) {
+            // Dropping our own handle detaches this dying thread; the
+            // census was already decremented above.
+            roster[pos] = replacement;
         }
     }
 }
@@ -596,8 +1119,15 @@ impl Drop for WorkerPool {
 /// The worker thread body: wait for the publication epoch to move, scan
 /// the job table and serve every claimable tid, repeat until shutdown.
 fn worker_main(shared: Arc<PoolShared>, parked: Arc<AtomicBool>) {
+    let guard = WorkerGuard { shared };
+    let shared = &guard.shared;
     let mut last_epoch = 0u64;
     'live: loop {
+        if let Some(ms) = crate::failpoints::fire("pool::worker_doze") {
+            // Chaos: this worker oversleeps a wakeup; jobs must complete
+            // via other workers, revocation, or the worker's late scan.
+            std::thread::sleep(Duration::from_millis(ms.max(1)));
+        }
         // Phase 1: wait for an epoch we have not scanned from yet.
         let epoch = {
             let mut tries = 0u32;
@@ -634,8 +1164,8 @@ fn worker_main(shared: Arc<PoolShared>, parked: Arc<AtomicBool>) {
         // no published tid is ever silently skipped.
         loop {
             let mut served = false;
-            for slot in shared.slots.iter() {
-                served |= try_serve(slot);
+            for (idx, slot) in shared.slots.iter().enumerate() {
+                served |= try_serve(slot, idx);
             }
             if !served {
                 break;
@@ -643,12 +1173,13 @@ fn worker_main(shared: Arc<PoolShared>, parked: Arc<AtomicBool>) {
         }
         last_epoch = epoch;
     }
-    ALIVE_WORKERS.fetch_sub(1, SeqCst);
 }
 
 /// Attempts to claim and run one tid of `slot`'s currently published job.
-/// Returns whether a closure was executed.
-fn try_serve(slot: &JobSlot) -> bool {
+/// Returns whether a closure was executed. `idx` is the slot's table
+/// index, registered thread-locally so the dying-worker guard can find
+/// the claim.
+fn try_serve(slot: &JobSlot, idx: usize) -> bool {
     let generation = slot.generation.load(SeqCst);
     loop {
         let stamped = slot.claim.load(SeqCst);
@@ -658,13 +1189,18 @@ fn try_serve(slot: &JobSlot) -> bool {
         let tid = (stamped & 0xffff_ffff) as usize;
         let participants = slot.job_participants.load(SeqCst);
         if tid >= participants {
-            return false; // job fully claimed
+            return false; // job fully claimed (or sealed by expiry)
         }
         // Read the descriptor *before* validating the claim: CAS success
         // with our stamp proves no later submitter has begun republishing
         // this slot, so these reads were of this job's fields.
         let data = slot.job_data.load(SeqCst);
         let call = slot.job_call.load(SeqCst);
+        if let Some(ms) = crate::failpoints::fire("pool::stalled_claim") {
+            // Chaos: widen the read-to-CAS window so stale-claim
+            // validation races are exercised on purpose.
+            std::thread::sleep(Duration::from_millis(ms.max(1)));
+        }
         if slot
             .claim
             .compare_exchange(stamped, stamped + 1, SeqCst, SeqCst)
@@ -672,8 +1208,18 @@ fn try_serve(slot: &JobSlot) -> bool {
         {
             continue; // lost the race for this tid; try the next
         }
+        SERVING.with(|s| s.set(Some(idx)));
+        if crate::failpoints::fire("pool::worker_loss").is_some() {
+            // Chaos: die *outside* the closure catch — the WorkerGuard
+            // must complete this claim and respawn a replacement.
+            panic!("failpoint pool::worker_loss: worker thread killed");
+        }
         IN_JOB.with(|flag| flag.set(true));
+        CANCEL.with(|c| c.set(&slot.cancel as *const AtomicBool));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if crate::failpoints::fire("pool::worker_panic").is_some() {
+                panic!("failpoint pool::worker_panic: injected worker panic");
+            }
             // SAFETY: fn-pointer round trip through usize (the only
             // transmute Rust offers for erased fn pointers); the value
             // was produced from `call_job::<F>` for this descriptor.
@@ -683,20 +1229,13 @@ fn try_serve(slot: &JobSlot) -> bool {
             // barrier is the serving slot's own.
             unsafe { call(data, tid, &slot.barrier) };
         }));
+        CANCEL.with(|c| c.set(std::ptr::null()));
         IN_JOB.with(|flag| flag.set(false));
-        if result.is_err() {
-            slot.poisoned.store(true, SeqCst);
+        if let Err(payload) = result {
+            poison(slot, payload);
         }
-        if slot.done.fetch_add(1, SeqCst) + 1 == participants - 1 {
-            let caller = slot
-                .caller
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .clone();
-            if let Some(thread) = caller {
-                thread.unpark();
-            }
-        }
+        complete_participant(slot);
+        SERVING.with(|s| s.set(None));
         return true;
     }
 }
@@ -816,6 +1355,179 @@ mod tests {
             ok.fetch_add(1, SeqCst);
         });
         assert_eq!(ok.load(SeqCst), 2);
+    }
+
+    /// Regression for the old `assert!(!poisoned, ...)`: the submitter
+    /// must see the panicking worker's *original* message, not a generic
+    /// pool assertion that swallows it.
+    #[test]
+    fn worker_panic_payload_reaches_submitter_verbatim() {
+        let pool = WorkerPool::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(2, |tid, _| {
+                if tid == 1 {
+                    panic!("mutant 0xbeef diverged in chunk 7");
+                }
+            });
+        }));
+        let payload = result.expect_err("the worker panic must reach the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("payload must still be the original string");
+        assert_eq!(message, "mutant 0xbeef diverged in chunk 7");
+    }
+
+    /// The typed flavor: `run_with` returns `JobError::WorkerPanic`
+    /// carrying the first payload instead of panicking at all.
+    #[test]
+    fn run_with_returns_typed_worker_panic() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .run_with(3, &JobOptions::default(), |tid, _| {
+                if tid != 0 {
+                    panic!("typed failure from tid {tid}");
+                }
+            })
+            .expect_err("a worker panicked");
+        let message = err.panic_message().expect("string payload");
+        assert!(
+            message.starts_with("typed failure from tid"),
+            "got: {message}"
+        );
+        // Exactly one payload is captured (first wins); the pool stays
+        // usable.
+        assert!(pool.run_with(3, &JobOptions::default(), |_, _| {}).is_ok());
+    }
+
+    /// N consecutive panicking jobs, then a clean one at full width: the
+    /// pool must remain usable and at full roster width throughout
+    /// (closure panics are caught — no worker thread is ever lost; the
+    /// hard thread-loss respawn is chaos-tested in tests/chaos.rs).
+    #[test]
+    fn repeated_panics_keep_the_pool_at_full_width() {
+        let pool = WorkerPool::new(3);
+        for round in 0..8 {
+            let err = pool
+                .run_with(4, &JobOptions::default(), |tid, _| {
+                    if tid != 0 {
+                        panic!("round {round} tid {tid} down");
+                    }
+                })
+                .expect_err("every round panics");
+            assert!(
+                err.panic_message().is_some(),
+                "payload survives round {round}"
+            );
+            assert_eq!(pool.worker_count(), 3, "roster intact after round {round}");
+        }
+        let hits = AtomicUsize::new(0);
+        pool.run(4, |_, _| {
+            hits.fetch_add(1, SeqCst);
+        });
+        assert_eq!(hits.load(SeqCst), 4, "clean job runs every tid");
+        assert_eq!(pool.worker_count(), 3);
+    }
+
+    /// A job whose workers only exit when cancelled: the deadline must
+    /// convert the stall into a typed error instead of hanging, and the
+    /// pool must be fully usable afterwards.
+    #[test]
+    fn deadline_converts_a_stall_into_a_typed_error() {
+        let pool = WorkerPool::new(2);
+        let polled = AtomicUsize::new(0);
+        let err = pool
+            .run_with(
+                3,
+                &JobOptions::deadline(Duration::from_millis(20)),
+                |tid, _| {
+                    if tid != 0 {
+                        // Cooperative stall: spin until the watchdog (or
+                        // the waiting submitter) cancels the job.
+                        while !job_cancelled() {
+                            std::thread::yield_now();
+                        }
+                        polled.fetch_add(1, SeqCst);
+                    }
+                },
+            )
+            .expect_err("the deadline must fire");
+        match err {
+            JobError::DeadlineExceeded {
+                deadline,
+                participants,
+                ..
+            } => {
+                assert_eq!(deadline, Duration::from_millis(20));
+                assert_eq!(participants, 3);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(polled.load(SeqCst), 2, "both workers saw the cancel flag");
+        // No poisoned state: the next (deadline-free) job is clean.
+        let hits = AtomicUsize::new(0);
+        assert!(pool
+            .run_with(3, &JobOptions::default(), |_, _| {
+                hits.fetch_add(1, SeqCst);
+            })
+            .is_ok());
+        assert_eq!(hits.load(SeqCst), 3);
+    }
+
+    /// A job that finishes comfortably inside its deadline is Ok — the
+    /// watchdog must not cancel healthy jobs.
+    #[test]
+    fn deadline_does_not_fire_on_healthy_jobs() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..20 {
+            let sum = AtomicUsize::new(0);
+            pool.run_with(
+                3,
+                &JobOptions::deadline(Duration::from_secs(30)),
+                |tid, _| {
+                    sum.fetch_add(tid + 1, SeqCst);
+                },
+            )
+            .expect("healthy job inside its deadline");
+            assert_eq!(sum.load(SeqCst), 6);
+        }
+    }
+
+    #[test]
+    fn job_cancelled_is_false_outside_jobs() {
+        assert!(!job_cancelled());
+        let pool = WorkerPool::new(1);
+        let saw_uncancelled = AtomicBool::new(false);
+        pool.run(2, |_, _| {
+            if !job_cancelled() {
+                saw_uncancelled.store(true, SeqCst);
+            }
+        });
+        assert!(
+            saw_uncancelled.load(SeqCst),
+            "healthy jobs are not cancelled"
+        );
+        assert!(!job_cancelled(), "token cleared after the job");
+    }
+
+    /// The scoped fallback must also preserve the original payload (it
+    /// serves both `dispatch` without a pool and job-table overflow).
+    #[test]
+    fn scoped_fallback_preserves_panic_payload() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scoped_run(3, &|tid, _: &SpinBarrier| {
+                if tid == 2 {
+                    panic!("scoped tid 2 died");
+                }
+            });
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload must be the original &str");
+        assert_eq!(message, "scoped tid 2 died");
     }
 
     /// The multi-job acceptance case: job B runs to completion while job

@@ -1,0 +1,451 @@
+//! The chaos property axis: bit-identity and typed-failure contracts
+//! under seeded failpoint schedules (`docs/robustness.md`).
+//!
+//! Every test here holds [`failpoints::exclusive`] for its whole body —
+//! schedules are process-global — and installs its own [`Plan`], so the
+//! suite is deterministic regardless of test interleaving. The CI
+//! `chaos-smoke` job runs this binary across a matrix of
+//! `GATE_SIM_FAILPOINTS` seeds; [`ambient_plan`] picks that schedule up
+//! when present so each matrix leg genuinely exercises different fire
+//! patterns.
+//!
+//! Two invariants are pinned:
+//!
+//! * **Bit-identity** — latency, cache, and JIT chaos may change *how*
+//!   a result is computed (which worker, recompiled or cached, native
+//!   or interpreted) but never the result: outputs, FF state, and exact
+//!   toggle counts must match the interpreted [`Sim`] ground truth.
+//! * **Typed failure** — pool chaos (injected panics, lost worker
+//!   threads, expired deadlines) must surface as the documented
+//!   [`JobError`] values and leave the pool serving the next job at
+//!   full width.
+//!
+//! `pool::worker_panic` / `pool::worker_loss` are deliberately excluded
+//! from the bit-identity schedules ([`benign`]): a participant that
+//! dies can never produce a bit-identical settle — those sites get the
+//! dedicated typed-failure tests instead.
+
+#![cfg(feature = "failpoints")]
+
+use netlist::failpoints::{self, coin, Plan};
+use netlist::jit::exec::{ExecBuf, MapError};
+use netlist::jit::{self, JitError, JitOptions};
+use netlist::level::Program;
+use netlist::pool;
+use netlist::sim::Sim;
+use netlist::{
+    Builder, CompiledSim, EvalMode, JobError, JobOptions, Netlist, ProgramCache, ShardPolicy,
+    ShardedSim, SimBackend, WorkerPool,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// The default chaos schedule when CI does not provide one: every
+/// benign site armed at a rate that fires often within a short test.
+const DEFAULT_SCHEDULE: &str = "1:pool::worker_doze=10%@1,pool::stalled_claim=10%@1,\
+                                cache::miss=25%,cache::evict=25%,jit::emit=50%,jit::map=50%";
+
+/// The schedule under test: `GATE_SIM_FAILPOINTS` when the CI matrix
+/// sets it, the built-in default otherwise — always stripped to the
+/// benign sites (see the module docs).
+fn ambient_plan() -> Plan {
+    let plan = match std::env::var("GATE_SIM_FAILPOINTS") {
+        Ok(v) if !v.trim().is_empty() => Plan::parse(&v),
+        _ => Plan::parse(DEFAULT_SCHEDULE),
+    };
+    benign(plan)
+}
+
+/// Drops the sites that kill a participant mid-job: a dead participant
+/// can never be bit-identical, so those sites only appear in the
+/// dedicated typed-failure tests.
+fn benign(mut plan: Plan) -> Plan {
+    plan.clauses
+        .retain(|c| c.site != "pool::worker_panic" && c.site != "pool::worker_loss");
+    plan
+}
+
+/// A deterministic random sequential circuit, seeded through the same
+/// [`coin`] the failpoint machinery uses (no other RNG exists in the
+/// test environment). Distinct seeds give structurally distinct
+/// netlists — important because JIT failure memoization is per
+/// [`Program`], and the [`ProgramCache`] dedupes identical content.
+fn chaos_circuit(seed: u64) -> Netlist {
+    let mut b = Builder::new();
+    let inputs = b.input_bus("in", 8);
+    let mut nets = inputs.clone();
+    let ffs: Vec<_> = (0..3).map(|i| b.dff(i == 0)).collect();
+    nets.extend(&ffs);
+    for k in 0..40u64 {
+        let r = coin(seed, "chaos::circuit", k);
+        let x = nets[(r >> 8) as usize % nets.len()];
+        let y = nets[(r >> 24) as usize % nets.len()];
+        let n = match r % 7 {
+            0 => b.and(x, y),
+            1 => b.or(x, y),
+            2 => b.xor(x, y),
+            3 => b.nand(x, y),
+            4 => b.nor(x, y),
+            5 => b.not(x),
+            _ => b.mux(x, y, nets[(r >> 40) as usize % nets.len()]),
+        };
+        nets.push(n);
+    }
+    for (k, &ff) in ffs.iter().enumerate() {
+        let d = nets[nets.len() - 1 - 2 * k];
+        b.connect_dff(ff, d);
+    }
+    let out: Vec<_> = nets.iter().rev().take(8).copied().collect();
+    b.output_bus("out", &out);
+    b.output_bus("state", &ffs);
+    b.finish()
+}
+
+/// Deterministic stimulus sequence for `chaos_circuit`.
+fn stimuli(seed: u64, cycles: usize) -> Vec<u8> {
+    (0..cycles as u64)
+        .map(|k| coin(seed, "chaos::stimulus", k) as u8)
+        .collect()
+}
+
+/// The tentpole bit-identity property: under the ambient chaos
+/// schedule, the compiled backends (full-sweep auto, JIT-with-fallback,
+/// and the pool-driven sharded evaluator) replay the interpreted
+/// [`Sim`] bit for bit — outputs, FF state, and exact toggle counts —
+/// no matter which failpoints fire along the way.
+#[test]
+fn ambient_chaos_is_bit_identical_across_backends() {
+    let _guard = failpoints::exclusive();
+    failpoints::configure(ambient_plan());
+
+    for seed in [3, 7] {
+        let nl = chaos_circuit(seed);
+        let mut int = Sim::new(&nl);
+        let mut comp = CompiledSim::new(&nl);
+        let mut jitted = CompiledSim::new(&nl);
+        jitted.set_eval_mode(EvalMode::Jit);
+        let mut sharded = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy {
+                shards: 2,
+                lanes_per_shard: 2,
+                threads: 2,
+                ..ShardPolicy::single()
+            },
+        );
+
+        for &s in &stimuli(seed, 16) {
+            int.set_bus("in", s as u32);
+            comp.set_bus("in", s as u32);
+            jitted.set_bus("in", s as u32);
+            SimBackend::set_bus(&mut sharded, "in", s as u32);
+            int.eval();
+            comp.eval();
+            jitted.eval();
+            sharded.eval();
+            for (name, sim) in [("auto", &comp), ("jit", &jitted)] {
+                assert_eq!(sim.get_bus("out"), int.get_bus("out"), "{name} out");
+                assert_eq!(sim.get_bus("state"), int.get_bus("state"), "{name} state");
+            }
+            for lane in 0..4 {
+                assert_eq!(
+                    sharded.get_bus_lane("out", lane),
+                    int.get_bus_u64("out"),
+                    "sharded out lane {lane}"
+                );
+                assert_eq!(
+                    sharded.get_bus_lane("state", lane),
+                    int.get_bus_u64("state"),
+                    "sharded state lane {lane}"
+                );
+            }
+            int.step();
+            comp.step();
+            jitted.step();
+            sharded.step();
+        }
+
+        assert_eq!(int.toggles(), comp.toggles(), "auto toggles (seed {seed})");
+        assert_eq!(int.toggles(), jitted.toggles(), "jit toggles (seed {seed})");
+        let scaled: Vec<u64> = int.toggles().iter().map(|&t| 4 * t).collect();
+        assert_eq!(
+            sharded.toggles(),
+            &scaled[..],
+            "sharded merged toggles (seed {seed})"
+        );
+    }
+    failpoints::clear();
+}
+
+/// Forced misses and evictions churn the program cache's counters but
+/// can never change what a simulator computes — a recompiled program is
+/// the same program.
+#[test]
+fn cache_chaos_moves_counters_never_results() {
+    let _guard = failpoints::exclusive();
+    failpoints::configure(Plan::parse("5:cache::miss=always,cache::evict=always"));
+
+    let nl = chaos_circuit(11);
+    let mut int = Sim::new(&nl);
+    let before = ProgramCache::global().stats();
+    let mut a = CompiledSim::new(&nl);
+    let mut b = CompiledSim::new(&nl); // forced miss: recompiles despite `a`
+    for &s in &stimuli(11, 12) {
+        int.set_bus("in", s as u32);
+        a.set_bus("in", s as u32);
+        b.set_bus("in", s as u32);
+        int.eval();
+        a.eval();
+        b.eval();
+        assert_eq!(a.get_bus("out"), int.get_bus("out"));
+        assert_eq!(b.get_bus("out"), int.get_bus("out"));
+        int.step();
+        a.step();
+        b.step();
+    }
+    assert_eq!(int.toggles(), a.toggles());
+    assert_eq!(int.toggles(), b.toggles());
+    let after = ProgramCache::global().stats();
+    if netlist::env::program_cache_enabled() {
+        assert!(
+            after.misses >= before.misses + 2,
+            "forced misses must recompile: {before:?} -> {after:?}"
+        );
+    }
+    failpoints::clear();
+}
+
+/// JIT chaos — refused mappings and synthesized emit overflows — must
+/// be invisible: the simulator silently falls back to the interpreter,
+/// stays bit-identical (values *and* toggles), and reports coherent
+/// eval statistics for the interpreted path it actually took.
+#[test]
+fn jit_chaos_falls_back_bit_identically_with_coherent_stats() {
+    let _guard = failpoints::exclusive();
+    for (seed, spec) in [(21u64, "5:jit::map=always"), (22, "5:jit::emit=always")] {
+        failpoints::configure(Plan::parse(spec));
+        let nl = chaos_circuit(seed); // fresh program: failures memoize per Program
+        let mut int = Sim::new(&nl);
+        let mut sim = CompiledSim::new(&nl);
+        sim.set_eval_mode(EvalMode::Jit);
+        let cycles = 10;
+        for &s in &stimuli(seed, cycles) {
+            int.set_bus("in", s as u32);
+            sim.set_bus("in", s as u32);
+            int.eval();
+            sim.eval();
+            assert_eq!(sim.get_bus("out"), int.get_bus("out"), "{spec}");
+            assert_eq!(sim.get_bus("state"), int.get_bus("state"), "{spec}");
+            int.step();
+            sim.step();
+        }
+        assert!(
+            !sim.jit_active(),
+            "{spec}: codegen must not be active after a forced failure"
+        );
+        assert_eq!(int.toggles(), sim.toggles(), "{spec}: toggles");
+        let stats = sim.eval_stats();
+        assert_eq!(stats.settles, cycles as u64, "{spec}: settles");
+        assert_eq!(
+            stats.full_sweeps, stats.settles,
+            "{spec}: interpreter fallback is a full sweep per settle"
+        );
+        assert!(stats.ops_executed > 0, "{spec}: ops accounted");
+        assert_eq!(
+            stats.ops_executed % stats.settles,
+            0,
+            "{spec}: sweeps execute the whole op stream each settle"
+        );
+    }
+    failpoints::clear();
+}
+
+/// The mapping layer's typed refusal: the scheduled errno comes back
+/// verbatim (`@0` defaults to ENOMEM), and the site disarms once spent.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[test]
+fn exec_buf_map_refusal_is_typed() {
+    let _guard = failpoints::exclusive();
+    let code = [0xc3u8]; // ret
+    failpoints::configure(Plan::parse("7:jit::map=always@13"));
+    assert!(matches!(ExecBuf::new(&code), Err(MapError::Map(13))));
+    failpoints::configure(Plan::parse("7:jit::map=once"));
+    assert!(
+        matches!(ExecBuf::new(&code), Err(MapError::Map(12))),
+        "@0 defaults to ENOMEM"
+    );
+    assert!(
+        ExecBuf::new(&code).is_ok(),
+        "a spent `once` site must let the real mapping through"
+    );
+    failpoints::clear();
+}
+
+/// `jit::compile` surfaces both chaos sites as the typed errors the
+/// fallback layer keys on.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[test]
+fn jit_compile_surfaces_typed_errors() {
+    let _guard = failpoints::exclusive();
+    let nl = chaos_circuit(31);
+    let prog = Program::compile(&nl);
+    let opts = JitOptions {
+        enabled: true,
+        ..JitOptions::default()
+    };
+    failpoints::configure(Plan::parse("7:jit::emit=always"));
+    assert!(matches!(
+        jit::compile(&prog, 1, &opts),
+        Err(JitError::Emit(_))
+    ));
+    failpoints::configure(Plan::parse("7:jit::map=always@9"));
+    assert!(matches!(
+        jit::compile(&prog, 1, &opts),
+        Err(JitError::Map(MapError::Map(9)))
+    ));
+    failpoints::clear();
+}
+
+/// An injected worker panic inside the job closure is a typed
+/// [`JobError::WorkerPanic`] at the submitter, and the pool serves the
+/// next job at full width.
+#[test]
+fn worker_panic_chaos_is_typed_and_the_pool_recovers() {
+    let _guard = failpoints::exclusive();
+    let pool = WorkerPool::new(2);
+    failpoints::configure(Plan::parse("11:pool::worker_panic=once"));
+    let err = pool
+        .run_with(3, &JobOptions::default(), |_tid, _barrier| {})
+        .expect_err("injected panic must surface");
+    assert!(
+        err.panic_message()
+            .is_some_and(|m| m.contains("failpoint pool::worker_panic")),
+        "unexpected error: {err:?}"
+    );
+    failpoints::clear();
+    let hits = AtomicUsize::new(0);
+    pool.run(3, |_tid, _barrier| {
+        hits.fetch_add(1, Ordering::SeqCst);
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 3, "pool must recover");
+}
+
+/// A worker thread dying *outside* the closure catch (the
+/// `pool::worker_loss` site) is converted by the respawn guard into a
+/// completed claim with a synthesized payload, and a replacement worker
+/// keeps the roster at full width for the next job.
+#[test]
+fn worker_loss_chaos_respawns_a_replacement() {
+    let _guard = failpoints::exclusive();
+    let pool = WorkerPool::new(1);
+    let width = pool.worker_count();
+    failpoints::configure(Plan::parse("13:pool::worker_loss=once"));
+    let err = pool
+        .run_with(2, &JobOptions::default(), |_tid, _barrier| {})
+        .expect_err("a lost worker must surface");
+    assert!(
+        err.panic_message()
+            .is_some_and(|m| m.contains("lost during the job")),
+        "unexpected error: {err:?}"
+    );
+    failpoints::clear();
+    assert_eq!(pool.worker_count(), width, "roster width must not shrink");
+    // The replacement (spawned by the dying worker's guard) serves the
+    // next job; a generous deadline bounds the test if respawn broke.
+    let hits = AtomicUsize::new(0);
+    pool.run_with(
+        2,
+        &JobOptions::deadline(Duration::from_secs(10)),
+        |_t, _b| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        },
+    )
+    .expect("replacement worker must serve");
+    assert_eq!(hits.load(Ordering::SeqCst), 2);
+}
+
+/// A dozing roster plus a deadline: the unclaimed tid is revoked, the
+/// submitter gets the typed [`JobError::DeadlineExceeded`] with the
+/// revocation count, and the pool still serves afterwards.
+#[test]
+fn deadline_revokes_tids_a_dozing_worker_never_claims() {
+    let _guard = failpoints::exclusive();
+    let pool = WorkerPool::new(1);
+    // Warm the worker up and let it park, so the doze below lands at its
+    // wakeup (loop top) rather than racing an initial spin phase.
+    pool.run(2, |_tid, _barrier| {});
+    std::thread::sleep(Duration::from_millis(50));
+    // Belt and braces: even if the worker were mid-scan, the stalled
+    // claim delay keeps its CAS past the deadline, where the sealed
+    // claim counter rejects it.
+    failpoints::configure(Plan::parse(
+        "17:pool::worker_doze=always@500,pool::stalled_claim=always@500",
+    ));
+    let deadline = Duration::from_millis(50);
+    let err = pool
+        .run_with(2, &JobOptions::deadline(deadline), |tid, _barrier| {
+            assert_eq!(tid, 0, "the dozing worker must never run its tid");
+        })
+        .expect_err("the unclaimed tid must expire the job");
+    match err {
+        JobError::DeadlineExceeded {
+            deadline: d,
+            revoked,
+            participants,
+        } => {
+            assert_eq!(d, deadline);
+            assert_eq!(participants, 2);
+            assert_eq!(revoked, 1, "exactly the worker's tid is revoked");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    failpoints::clear();
+    let hits = AtomicUsize::new(0);
+    pool.run(2, |_tid, _barrier| {
+        hits.fetch_add(1, Ordering::SeqCst);
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 2, "pool must recover");
+}
+
+/// The scoped fallback (taken when an evaluator runs while already
+/// inside a pool job, per [`pool::in_job`]) honours the same chaos
+/// contract: the nested sharded evaluator stays bit-identical even
+/// though it cannot use the roster.
+#[test]
+fn chaos_respects_the_in_job_escape_hatch() {
+    let _guard = failpoints::exclusive();
+    failpoints::configure(ambient_plan());
+    let nl = chaos_circuit(41);
+    let mut int = Sim::new(&nl);
+    for &s in &stimuli(41, 8) {
+        int.set_bus("in", s as u32);
+        int.eval();
+        int.step();
+    }
+    let want = int.get_bus("out");
+    let got = std::sync::Mutex::new(None);
+    let outer = WorkerPool::new(1);
+    outer.run(2, |tid, _barrier| {
+        if tid != 0 {
+            return;
+        }
+        assert!(pool::in_job(), "the job flag gates the scoped fallback");
+        let mut sharded = ShardedSim::with_policy(
+            &nl,
+            ShardPolicy {
+                shards: 2,
+                lanes_per_shard: 1,
+                threads: 2,
+                ..ShardPolicy::single()
+            },
+        );
+        for &s in &stimuli(41, 8) {
+            SimBackend::set_bus(&mut sharded, "in", s as u32);
+            sharded.eval();
+            sharded.step();
+        }
+        *got.lock().unwrap() = Some(sharded.get_bus_lane("out", 0));
+    });
+    assert_eq!(got.into_inner().unwrap(), Some(want as u64));
+    failpoints::clear();
+}
